@@ -1,0 +1,29 @@
+"""Benchmark fixtures: result recording for EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory the benchmarks write their regenerated tables into."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_table(results_dir):
+    """Write a rendered table to ``benchmarks/results/<name>.txt``."""
+
+    def _record(name: str, table) -> None:
+        text = table.render()
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _record

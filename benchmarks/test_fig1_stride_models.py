@@ -1,0 +1,32 @@
+"""Fig. 1(d): existing stride models applied directly to wrist signals.
+
+Paper shape: all three families (empirical, biomechanical, naive
+double-integral) are substantially less accurate than PTrack's ~5 cm,
+with the integral the worst — it recovers only the oscillatory part of
+the velocity (SII).
+"""
+
+import numpy as np
+
+from repro.eval.harness import format_cdf
+from repro.experiments import fig1
+
+
+def test_fig1d_stride_models_on_wrist(benchmark, record_table, results_dir):
+    errors, table = benchmark.pedantic(
+        fig1.run_stride_models, kwargs={"duration_s": 120.0}, rounds=1, iterations=1
+    )
+    record_table("fig1d_stride_models", table)
+    # The paper presents Fig. 1(d) as CDFs; export ours alongside.
+    for name, errs in errors.items():
+        (results_dir / f"fig1d_cdf_{name}.txt").write_text(
+            format_cdf(errs, name=f"{name} err (cm)") + "\n"
+        )
+
+    means = {name: float(np.mean(errs)) for name, errs in errors.items()}
+    # Ordering: the naive integral is the worst family.
+    assert means["integral"] > means["empirical"]
+    assert means["integral"] > means["biomechanical"]
+    # All families sit well above PTrack's ~2-5 cm regime.
+    for name, value in means.items():
+        assert value > 5.0, name

@@ -1,0 +1,25 @@
+"""Fig. 3: critical-point offsets of walking vs swinging vs stepping.
+
+Paper shape: the two rigid motions keep their projected critical points
+synchronous (offsets well below delta = 0.0325), while walking's
+superposed arm + body sources push every cycle above delta.
+"""
+
+import numpy as np
+
+from repro.core.config import PTrackConfig
+from repro.experiments import fig3
+
+
+def test_fig3_offset_separation(benchmark, record_table):
+    config = PTrackConfig()
+    offsets, table = benchmark.pedantic(
+        fig3.run_offsets, kwargs={"duration_s": 60.0}, rounds=1, iterations=1
+    )
+    record_table("fig3_offsets", table)
+
+    delta = config.offset_threshold
+    assert np.median(offsets["walking"]) > delta
+    assert float((offsets["walking"] > delta).mean()) > 0.95
+    assert np.median(offsets["swinging"]) < 0.5 * delta
+    assert np.median(offsets["stepping"]) < 0.5 * delta

@@ -1,0 +1,46 @@
+"""Fig. 6: overall step-counting accuracy and gait-type breakdown.
+
+Paper values (GFit/Mtage/SCAR/PTrack): walking 0.97/0.97/0.99/0.98,
+stepping 0.98/0.99/1.0/0.98, mixed 0.91/0.92/0.90/0.93. PTrack's
+"Others" mis-rate: 2.3 / 1.7 / 7.4 % per category.
+"""
+
+from repro.experiments import fig6
+
+
+def test_fig6a_overall_accuracy(benchmark, record_table):
+    means, table = benchmark.pedantic(
+        fig6.run_overall_accuracy,
+        kwargs={"n_users": 3, "duration_s": 60.0},
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig6a_accuracy", table)
+
+    for system in ("gfit", "mtage", "scar", "ptrack"):
+        assert means[(system, "walking")] > 0.9
+        assert means[(system, "stepping")] > 0.9
+        assert means[(system, "mixed")] > 0.85
+    # PTrack must stay within a hair of the best baseline per category
+    # (the paper's point: no accuracy sacrificed for robustness).
+    for category in ("walking", "stepping", "mixed"):
+        best = max(means[(s, category)] for s in ("gfit", "mtage", "scar"))
+        assert means[("ptrack", category)] > best - 0.06
+
+
+def test_fig6b_gait_breakdown(benchmark, record_table):
+    percents, table = benchmark.pedantic(
+        fig6.run_breakdown,
+        kwargs={"n_users": 3, "duration_s": 60.0},
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig6b_breakdown", table)
+
+    # Paper: 2.3 / 1.7 / 7.4 % mis-identified as "Others".
+    assert percents["walking"]["others"] < 8.0
+    assert percents["stepping"]["others"] < 8.0
+    assert percents["mixed"]["others"] < 12.0
+    # The dominant class matches the ground-truth category.
+    assert percents["walking"]["walking"] > 85.0
+    assert percents["stepping"]["stepping"] > 85.0

@@ -1,0 +1,28 @@
+"""Fig. 9: the indoor-navigation case study.
+
+Paper values: a 141.5 m route is tracked as 136.4 m (3.6% under) with a
+5.1 cm average per-step error; the dead-reckoned trajectory follows the
+suggested route closely enough to show the two 4 m corridor crossings.
+"""
+
+from repro.experiments import fig9
+
+
+def test_fig9_navigation_case_study(benchmark, record_table):
+    summary, report, route, table = benchmark.pedantic(
+        fig9.run_navigation, rounds=1, iterations=1
+    )
+    record_table("fig9_navigation", table)
+
+    assert summary.route_length_m == 141.5
+    # Tracked distance under-runs the route, as the paper's does
+    # (136.4 vs 141.5 = 3.6% under; across our user population the
+    # under-run spans 4-12%, dominated by turn-transition cycles).
+    assert summary.tracked_distance_m < 141.5
+    assert abs(summary.tracked_distance_m - 141.5) < 18.0
+    # Per-step error in the paper's regime (5.1 cm).
+    assert summary.mean_stride_error_cm < 8.0
+    # The reckoned path ends near the elevator.
+    assert summary.final_position_error_m < 15.0
+    # The trajectory is dense enough to show the corridor crossings.
+    assert report.positions_m.shape[0] > 150

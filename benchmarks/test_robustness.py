@@ -1,0 +1,54 @@
+"""Robustness sweep benches: deployment-condition tolerance."""
+
+from repro.experiments import robustness
+
+
+def test_robustness_attitude_error(benchmark, record_table):
+    rows, table = benchmark.pedantic(
+        robustness.sweep_attitude_error, rounds=1, iterations=1
+    )
+    record_table("robust_attitude_error", table)
+    by_error = {round(e, 3): (acc, stride) for e, acc, stride in rows}
+    # Consumer-grade residual error (0.02 rad) costs nothing.
+    assert by_error[0.02][0] > 0.95
+    assert by_error[0.02][1] < 6.0
+    # Even a sloppy 0.1 rad attitude keeps counting usable.
+    assert by_error[0.1][0] > 0.9
+
+
+def test_robustness_wrist_mount(benchmark, record_table):
+    rows, table = benchmark.pedantic(
+        robustness.sweep_wrist_mount, rounds=1, iterations=1
+    )
+    record_table("robust_mount", table)
+    for pitch, accuracy, stride_err in rows:
+        # The attitude filter absorbs any static mount angle.
+        assert accuracy > 0.9, pitch
+        assert stride_err < 8.0, pitch
+
+
+def test_robustness_arm_lag(benchmark, record_table):
+    rows, table = benchmark.pedantic(
+        robustness.sweep_arm_lag, rounds=1, iterations=1
+    )
+    record_table("robust_arm_lag", table)
+    by_lag = {round(l, 3): (acc, stride) for l, acc, stride in rows}
+    # Counting is lag-insensitive across the physiological band...
+    for lag, (accuracy, _) in by_lag.items():
+        if lag >= 0.05:
+            assert accuracy > 0.9, lag
+    # ...while the stride error grows with lag (the Eqs. 3-5 model
+    # assumes the arm's extremes near the heel strikes) yet stays
+    # within ~2x the paper's 5 cm at the top of the human range.
+    assert by_lag[0.09][1] < 12.0
+
+
+def test_robustness_gyro_quality(benchmark, record_table):
+    rows, table = benchmark.pedantic(
+        robustness.sweep_gyro_quality, rounds=1, iterations=1
+    )
+    record_table("robust_gyro", table)
+    for sigma, accuracy, stride_err in rows:
+        assert accuracy > 0.9, sigma
+    # A 10x worse-than-consumer gyro still yields usable strides.
+    assert rows[-1][2] < 12.0

@@ -1,0 +1,74 @@
+"""Self-training robustness bench: profile recovery across users.
+
+Fig. 8(b) validates self-training by downstream stride accuracy; this
+bench additionally reports the recovered parameters themselves across a
+user population, plus the training runtime.
+"""
+
+import numpy as np
+
+from repro.core.pipeline import PTrack
+from repro.core.selftrain import CalibrationWalk, SelfTrainer
+from repro.eval.reporting import Table
+from repro.experiments.common import make_users
+from repro.sensing.imu import IMUTrace
+from repro.simulation.walker import simulate_walk
+
+
+def _calibration_walks(user, rng):
+    walks = []
+    for cadence_scale, stride_scale in ((0.9, 0.88), (1.0, 1.0), (1.1, 1.1)):
+        tuned = user.with_gait(
+            cadence_hz=cadence_scale * user.cadence_hz,
+            stride_m=stride_scale * user.stride_m,
+        )
+        walk_trace, walk_truth = simulate_walk(tuned, 40.0, rng=rng)
+        step_trace, step_truth = simulate_walk(
+            tuned, 25.0, rng=rng, arm_mode="rigid"
+        )
+        trace = IMUTrace.concatenate([walk_trace, step_trace])
+        reference = (
+            walk_truth.total_distance_m + step_truth.total_distance_m
+        ) * (1.0 + float(rng.normal(0.0, 0.02)))
+        walks.append(CalibrationWalk(trace, reference))
+    return walks
+
+
+def test_selftrain_across_users(benchmark, record_table):
+    users = make_users(4, 127)
+    rng = np.random.default_rng(128)
+    prepared = [(u, _calibration_walks(u, rng)) for u in users]
+
+    def train_all():
+        return [
+            (user, SelfTrainer().train(walks)) for user, walks in prepared
+        ]
+
+    profiles = benchmark.pedantic(train_all, rounds=1, iterations=1)
+
+    table = Table(
+        "Self-training across users: recovered profile and downstream error",
+        ["user", "arm est/true", "leg est/true", "k", "stride err (cm)"],
+    )
+    errors = []
+    for user, profile in profiles:
+        test_trace, _ = simulate_walk(user, 30.0, rng=rng)
+        result = PTrack(profile=profile).track(test_trace)
+        strides = np.array([s.length_m for s in result.strides])
+        err_cm = 100.0 * float(np.mean(np.abs(strides - user.stride_m)))
+        errors.append(err_cm)
+        table.add_row(
+            user.name,
+            f"{profile.arm_length_m:.2f}/{user.arm_length_m:.2f}",
+            f"{profile.leg_length_m:.2f}/{user.leg_length_m:.2f}",
+            profile.calibration_k,
+            err_cm,
+        )
+    record_table("selftrain_users", table)
+
+    # The paper's criterion is downstream accuracy (5.3 cm average).
+    assert float(np.mean(errors)) < 7.0
+    assert max(errors) < 12.0
+    # Recovered k stays near the geometric value for every user.
+    for _, profile in profiles:
+        assert 1.5 < profile.calibration_k < 2.5

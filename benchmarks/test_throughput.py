@@ -1,0 +1,61 @@
+"""Throughput benches: the pipeline must run far faster than real time.
+
+A tracker that cannot keep up with its own sensor stream is useless on
+a watch; these benches time the actual hot paths (pytest-benchmark's
+real purpose) and assert comfortable real-time margins on laptop-class
+hardware.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PTrack
+from repro.core.step_counter import PTrackStepCounter
+from repro.core.streaming import StreamingPTrack
+from repro.simulation.profiles import SimulatedUser
+from repro.simulation.walker import simulate_walk
+
+DURATION_S = 60.0
+
+
+@pytest.fixture(scope="module")
+def walk_minute():
+    user = SimulatedUser()
+    trace, truth = simulate_walk(user, DURATION_S, rng=np.random.default_rng(0))
+    return user, trace, truth
+
+
+def test_throughput_step_counter(benchmark, walk_minute):
+    _, trace, truth = walk_minute
+    counter = PTrackStepCounter()
+    counted = benchmark(counter.count_steps, trace)
+    assert counted == pytest.approx(truth.step_count, abs=3)
+    # Processing one minute of data must take well under a minute.
+    assert benchmark.stats["mean"] < 0.25 * DURATION_S
+
+
+def test_throughput_full_pipeline(benchmark, walk_minute):
+    user, trace, truth = walk_minute
+    tracker = PTrack(profile=user.profile)
+    result = benchmark(tracker.track, trace)
+    assert result.step_count == pytest.approx(truth.step_count, abs=3)
+    assert benchmark.stats["mean"] < 0.5 * DURATION_S
+
+
+def test_throughput_streaming_batches(benchmark, walk_minute):
+    user, trace, _ = walk_minute
+    data = trace.linear_acceleration
+    batch = 100  # one second per append
+
+    def run():
+        streamer = StreamingPTrack(trace.sample_rate_hz, profile=user.profile)
+        for i in range(0, data.shape[0], batch):
+            streamer.append(data[i : i + batch])
+        streamer.flush()
+        return streamer.step_count
+
+    steps = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert steps > 0
+    # The whole streamed minute (including repeated re-analysis of the
+    # rolling buffer) must stay well inside real time.
+    assert benchmark.stats["mean"] < 0.75 * DURATION_S

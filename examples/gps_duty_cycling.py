@@ -1,0 +1,51 @@
+"""Energy-aware localisation: sleep the GPS, dead-reckon with PTrack.
+
+The paper's introduction motivates pedestrian tracking for
+location-based services that want to access "energy-consuming sensors
+less, e.g., GPS". This example walks the Fig. 9 route while a
+localisation client takes a GPS fix every T seconds and either holds
+the last fix or dead-reckons between fixes with PTrack — and prints the
+energy/error trade both ways.
+
+Run:  python examples/gps_duty_cycling.py
+"""
+
+import numpy as np
+
+from repro import PTrack
+from repro.apps import evaluate_duty_cycle
+from repro.simulation import SimulatedUser, paper_route
+from repro.simulation.routes import walk_route
+
+
+def main() -> None:
+    user = SimulatedUser()
+    route = paper_route()
+    rng = np.random.default_rng(30)
+    trace, truth = walk_route(user, route, rng=rng)
+    tracker = PTrack(profile=user.profile)
+
+    print(f"walking the {route.total_length_m:.1f} m route "
+          f"({trace.duration_s:.0f} s)")
+    print()
+    header = (f"{'GPS fix every':>14s} | {'hold last fix':^22s} | "
+              f"{'PTrack dead-reckoning':^22s}")
+    print(header)
+    print(f"{'':>14s} | {'err (m)':>10s}{'mW':>10s}  | "
+          f"{'err (m)':>10s}{'mW':>10s}")
+    print("-" * len(header))
+    for interval in (5.0, 15.0, 30.0, 60.0):
+        hold, reckon = evaluate_duty_cycle(
+            tracker, trace, truth, interval, rng=np.random.default_rng(1)
+        )
+        print(f"{interval:>12.0f} s | {hold.mean_error_m:>10.1f}"
+              f"{hold.energy_mw:>10.0f}  | {reckon.mean_error_m:>10.1f}"
+              f"{reckon.energy_mw:>10.0f}")
+
+    print()
+    print("Dead-reckoning at a 60 s duty cycle matches the accuracy of a")
+    print("5 s hold-only client at roughly a quarter of the power.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Regenerate docs/API.md from the live package.
+
+Usage:  python scripts/gen_api_reference.py
+"""
+
+import importlib
+import inspect
+import io
+import pathlib
+
+MODULES = [
+    "repro",
+    "repro.types",
+    "repro.exceptions",
+    "repro.signal",
+    "repro.sensing",
+    "repro.simulation",
+    "repro.core",
+    "repro.baselines",
+    "repro.apps",
+    "repro.eval",
+    "repro.experiments",
+]
+
+
+def main() -> None:
+    out = io.StringIO()
+    out.write("# API REFERENCE\n\n")
+    out.write(
+        "Auto-generated from the live package (first docstring line per\n"
+        "public symbol). Regenerate with "
+        "`python scripts/gen_api_reference.py`.\n"
+    )
+    for modname in MODULES:
+        mod = importlib.import_module(modname)
+        out.write(f"\n## `{modname}`\n\n")
+        doc = (mod.__doc__ or "").strip().splitlines()
+        if doc:
+            out.write(doc[0] + "\n\n")
+        names = getattr(mod, "__all__", [])
+        if not names:
+            continue
+        out.write("| symbol | kind | summary |\n| --- | --- | --- |\n")
+        for name in sorted(names):
+            obj = getattr(mod, name)
+            if inspect.isclass(obj):
+                kind = "class"
+            elif inspect.isfunction(obj):
+                kind = "function"
+            elif inspect.ismodule(obj):
+                kind = "module"
+            else:
+                kind = type(obj).__name__
+            summary = ""
+            docstring = inspect.getdoc(obj)
+            if docstring:
+                summary = docstring.strip().splitlines()[0]
+            summary = summary.replace("|", "\\|")
+            out.write(f"| `{name}` | {kind} | {summary} |\n")
+
+    target = pathlib.Path(__file__).resolve().parents[1] / "docs" / "API.md"
+    target.write_text(out.getvalue())
+    print(f"wrote {target}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""PTrack: applicability-enhanced pedestrian tracking with wearables.
+
+A full reproduction of *PTrack: Enhancing the Applicability of
+Pedestrian Tracking with Wearables* (Jiang, Li, Wang — ICDCS 2017),
+including every substrate the paper depends on:
+
+* :mod:`repro.core` — the PTrack step counter (training-free gait-type
+  identification via critical-point offsets), stride estimator (body
+  bounce from mixed wrist signals, Eqs. (3)-(5) + Eq. (2)) and
+  user-profile self-training;
+* :mod:`repro.signal` / :mod:`repro.sensing` — the DSP and IMU
+  substrates;
+* :mod:`repro.simulation` — the biomechanical wrist-IMU simulator
+  standing in for the paper's LG Urbane deployment;
+* :mod:`repro.baselines` — GFit-class peak counters, Montage, SCAR and
+  the classic stride models;
+* :mod:`repro.apps` — dead-reckoning navigation and fitness reporting;
+* :mod:`repro.experiments` — drivers regenerating every figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import PTrack, UserProfile
+    from repro.simulation import SimulatedUser, simulate_walk
+
+    user = SimulatedUser()
+    trace, truth = simulate_walk(user, 60.0, rng=np.random.default_rng(0))
+    tracker = PTrack(profile=user.profile)
+    result = tracker.track(trace)
+    print(result.step_count, result.distance_m)
+"""
+
+from repro.core.config import PTrackConfig
+from repro.core.pipeline import PTrack
+from repro.core.selftrain import CalibrationWalk, SelfTrainer
+from repro.core.step_counter import PTrackStepCounter
+from repro.core.stride import PTrackStrideEstimator
+from repro.exceptions import (
+    CalibrationError,
+    ConfigurationError,
+    GeometryError,
+    IntegrationError,
+    ReproError,
+    SignalError,
+    SimulationError,
+    TrainingError,
+)
+from repro.sensing.imu import IMUTrace
+from repro.types import (
+    ActivityKind,
+    CycleClassification,
+    GaitType,
+    Posture,
+    StepEvent,
+    StrideEstimate,
+    TrackingResult,
+    UserProfile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActivityKind",
+    "CalibrationError",
+    "CalibrationWalk",
+    "ConfigurationError",
+    "CycleClassification",
+    "GaitType",
+    "GeometryError",
+    "IMUTrace",
+    "IntegrationError",
+    "PTrack",
+    "PTrackConfig",
+    "PTrackStepCounter",
+    "PTrackStrideEstimator",
+    "Posture",
+    "ReproError",
+    "SelfTrainer",
+    "SignalError",
+    "SimulationError",
+    "StepEvent",
+    "StrideEstimate",
+    "TrackingResult",
+    "TrainingError",
+    "UserProfile",
+    "__version__",
+]

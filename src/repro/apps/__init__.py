@@ -1,0 +1,26 @@
+"""Applications built on the PTrack public API.
+
+* :mod:`repro.apps.deadreckoning` — the indoor-navigation case study
+  of Fig. 9: step + stride + heading integrated into a trajectory.
+* :mod:`repro.apps.fitness` — the daily-fitness aggregation the
+  paper's introduction motivates (healthcare / insurance assessment):
+  trustworthy step and distance totals over mixed-activity days.
+"""
+
+from repro.apps.deadreckoning import DeadReckoner, NavigationReport, navigate_route
+from repro.apps.energy import EnergyModel, LocalizationOutcome, evaluate_duty_cycle
+from repro.apps.fitness import DailyFitnessReport, FitnessTracker
+from repro.apps.heading import HeadingEstimator, estimate_headings
+
+__all__ = [
+    "DailyFitnessReport",
+    "DeadReckoner",
+    "EnergyModel",
+    "FitnessTracker",
+    "LocalizationOutcome",
+    "evaluate_duty_cycle",
+    "HeadingEstimator",
+    "NavigationReport",
+    "estimate_headings",
+    "navigate_route",
+]

@@ -1,0 +1,39 @@
+"""Baseline pedestrian-tracking designs the paper compares against.
+
+* :class:`PeakStepCounter` — the classic low-pass + peak-detection
+  pedometer, representing Google Fit and commercial wrist counters.
+* :class:`MontageTracker` — Montage [6]: peak-detection step counting
+  plus bounce-based stride estimation *assuming the device is rigidly
+  attached to the body* (the assumption wrist wear breaks).
+* :class:`ScarClassifier` / :class:`ScarStepCounter` — SCAR [18]: a
+  supervised activity classifier gating a peak counter; accurate on
+  activities it was trained on, blind outside the training set.
+* :mod:`repro.baselines.stride_models` — the stride estimators
+  surveyed by Jahn et al. [14] (biomechanical, empirical/Weinberg,
+  naive double integration), used by Fig. 1(d).
+"""
+
+from repro.baselines.autocorr_counter import AutocorrelationStepCounter
+from repro.baselines.decision_tree import DecisionTreeClassifier
+from repro.baselines.knn import KNeighborsClassifier
+from repro.baselines.montage import MontageTracker
+from repro.baselines.peak_counter import PeakStepCounter
+from repro.baselines.scar import ScarClassifier, ScarStepCounter
+from repro.baselines.stride_models import (
+    biomechanical_strides,
+    empirical_strides,
+    integral_strides,
+)
+
+__all__ = [
+    "AutocorrelationStepCounter",
+    "DecisionTreeClassifier",
+    "KNeighborsClassifier",
+    "MontageTracker",
+    "PeakStepCounter",
+    "ScarClassifier",
+    "ScarStepCounter",
+    "biomechanical_strides",
+    "empirical_strides",
+    "integral_strides",
+]

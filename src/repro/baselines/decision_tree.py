@@ -1,0 +1,199 @@
+"""A from-scratch CART decision tree (Gini impurity).
+
+Dernbach et al. [18] evaluate tree-family classifiers among others;
+scikit-learn is not available offline, so this is a small, fully
+self-contained CART implementation used as an alternative SCAR backend
+(:class:`repro.baselines.scar.ScarClassifier` accepts either backend).
+
+The implementation favours clarity over raw speed: axis-aligned binary
+splits chosen by exhaustive Gini search over midpoints, depth- and
+leaf-size-limited, majority-vote leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+@dataclass
+class _Node:
+    """One tree node (internal or leaf)."""
+
+    label: Optional[str] = None  # set for leaves
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.label is not None
+
+
+def _gini(labels: np.ndarray) -> float:
+    """Gini impurity of a label array."""
+    _, counts = np.unique(labels, return_counts=True)
+    p = counts / labels.size
+    return float(1.0 - np.sum(p * p))
+
+
+def _majority(labels: np.ndarray) -> str:
+    values, counts = np.unique(labels, return_counts=True)
+    return str(values[int(np.argmax(counts))])
+
+
+class DecisionTreeClassifier:
+    """CART classifier with Gini splitting.
+
+    Args:
+        max_depth: Maximum tree depth (root = depth 0).
+        min_leaf: Minimum samples a leaf must hold.
+        max_thresholds: Cap on candidate thresholds per feature per
+            split (evenly sampled midpoints), bounding training cost.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_leaf: int = 3,
+        max_thresholds: int = 32,
+    ) -> None:
+        if max_depth < 1:
+            raise TrainingError(f"max_depth must be >= 1, got {max_depth}")
+        if min_leaf < 1:
+            raise TrainingError(f"min_leaf must be >= 1, got {min_leaf}")
+        if max_thresholds < 2:
+            raise TrainingError("max_thresholds must be >= 2")
+        self._max_depth = max_depth
+        self._min_leaf = min_leaf
+        self._max_thresholds = max_thresholds
+        self._root: Optional[_Node] = None
+        self._n_features = 0
+        self._classes: List[str] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._root is not None
+
+    @property
+    def classes(self) -> List[str]:
+        """Labels seen during training."""
+        return list(self._classes)
+
+    def fit(
+        self, features: np.ndarray, labels: Sequence[str]
+    ) -> "DecisionTreeClassifier":
+        """Grow the tree.
+
+        Args:
+            features: Array of shape (N, F).
+            labels: N class labels.
+
+        Returns:
+            ``self`` (chainable).
+
+        Raises:
+            TrainingError: On malformed training data.
+        """
+        x = np.asarray(features, dtype=float)
+        y = np.asarray([str(label) for label in labels])
+        if x.ndim != 2 or x.shape[0] == 0:
+            raise TrainingError(f"features must have shape (N>0, F), got {x.shape}")
+        if y.shape[0] != x.shape[0]:
+            raise TrainingError(
+                f"labels ({y.shape[0]}) must match features ({x.shape[0]})"
+            )
+        if not np.all(np.isfinite(x)):
+            raise TrainingError("features contain non-finite values")
+        self._n_features = x.shape[1]
+        self._classes = sorted(set(y))
+        self._root = self._grow(x, y, depth=0)
+        return self
+
+    def predict(self, features: np.ndarray) -> List[str]:
+        """Predict a label per row of ``features``."""
+        if self._root is None:
+            raise TrainingError("classifier is not fitted")
+        x = np.atleast_2d(np.asarray(features, dtype=float))
+        if x.shape[1] != self._n_features:
+            raise TrainingError(
+                f"feature width {x.shape[1]} != training width {self._n_features}"
+            )
+        return [self._walk(row) for row in x]
+
+    def predict_one(self, feature: np.ndarray) -> str:
+        """Predict the label of a single feature vector."""
+        return self.predict(np.atleast_2d(feature))[0]
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the grown tree."""
+
+        def _depth(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self._root)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        if (
+            depth >= self._max_depth
+            or y.size < 2 * self._min_leaf
+            or np.unique(y).size == 1
+        ):
+            return _Node(label=_majority(y))
+
+        parent_gini = _gini(y)
+        best_gain = 1e-9
+        best: Optional[tuple] = None
+        for feature in range(x.shape[1]):
+            column = x[:, feature]
+            values = np.unique(column)
+            if values.size < 2:
+                continue
+            midpoints = (values[:-1] + values[1:]) / 2.0
+            if midpoints.size > self._max_thresholds:
+                idx = np.linspace(
+                    0, midpoints.size - 1, self._max_thresholds
+                ).astype(int)
+                midpoints = midpoints[idx]
+            for threshold in midpoints:
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                if n_left < self._min_leaf or y.size - n_left < self._min_leaf:
+                    continue
+                gain = parent_gini - (
+                    n_left * _gini(y[mask])
+                    + (y.size - n_left) * _gini(y[~mask])
+                ) / y.size
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float(threshold), mask)
+        if best is None:
+            return _Node(label=_majority(y))
+
+        feature, threshold, mask = best
+        return _Node(
+            feature=feature,
+            threshold=threshold,
+            left=self._grow(x[mask], y[mask], depth + 1),
+            right=self._grow(x[~mask], y[~mask], depth + 1),
+        )
+
+    def _walk(self, row: np.ndarray) -> str:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.label

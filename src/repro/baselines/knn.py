@@ -1,0 +1,117 @@
+"""A from-scratch k-nearest-neighbour classifier.
+
+scikit-learn is not among the offline dependencies, and the SCAR
+baseline only needs a small supervised classifier, so this module
+implements standardised-Euclidean k-NN directly on numpy. It is
+deliberately simple: SCAR's point in the paper is not classifier
+sophistication but the *structural* limit of supervised designs —
+blindness to activities outside the training set — which any
+reasonable classifier exhibits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier:
+    """Standardised-Euclidean k-NN with majority voting.
+
+    Args:
+        k: Number of neighbours; ties resolve toward the nearest
+            neighbour's label.
+    """
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise TrainingError(f"k must be >= 1, got {k}")
+        self._k = k
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._labels: List[str] = []
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._x is not None
+
+    @property
+    def classes(self) -> List[str]:
+        """Labels seen during training."""
+        return list(self._labels)
+
+    def fit(self, features: np.ndarray, labels: Sequence[str]) -> "KNeighborsClassifier":
+        """Memorise the training set and its standardisation.
+
+        Args:
+            features: Array of shape (N, F).
+            labels: N class labels (any hashable; stored as str).
+
+        Returns:
+            ``self`` (chainable).
+
+        Raises:
+            TrainingError: On shape mismatch or an empty training set.
+        """
+        x = np.asarray(features, dtype=float)
+        y = np.asarray([str(label) for label in labels])
+        if x.ndim != 2 or x.shape[0] == 0:
+            raise TrainingError(f"features must have shape (N>0, F), got {x.shape}")
+        if y.shape[0] != x.shape[0]:
+            raise TrainingError(
+                f"labels ({y.shape[0]}) must match features ({x.shape[0]})"
+            )
+        if not np.all(np.isfinite(x)):
+            raise TrainingError("features contain non-finite values")
+        self._mean = x.mean(axis=0)
+        scale = x.std(axis=0)
+        scale[scale < 1e-12] = 1.0
+        self._scale = scale
+        self._x = (x - self._mean) / self._scale
+        self._y = y
+        self._labels = sorted(set(y))
+        return self
+
+    def predict(self, features: np.ndarray) -> List[str]:
+        """Predict a label per row of ``features``.
+
+        Raises:
+            TrainingError: If the classifier is unfitted or the feature
+                width differs from training.
+        """
+        if self._x is None or self._y is None:
+            raise TrainingError("classifier is not fitted")
+        x = np.atleast_2d(np.asarray(features, dtype=float))
+        if x.shape[1] != self._x.shape[1]:
+            raise TrainingError(
+                f"feature width {x.shape[1]} != training width {self._x.shape[1]}"
+            )
+        z = (x - self._mean) / self._scale
+        out: List[str] = []
+        k = min(self._k, self._x.shape[0])
+        for row in z:
+            dist = np.linalg.norm(self._x - row, axis=1)
+            order = np.argsort(dist, kind="stable")[:k]
+            votes: dict = {}
+            for idx in order:
+                votes[self._y[idx]] = votes.get(self._y[idx], 0) + 1
+            best_count = max(votes.values())
+            # Tie break: nearest neighbour among the tied labels.
+            tied = {label for label, c in votes.items() if c == best_count}
+            for idx in order:
+                if self._y[idx] in tied:
+                    out.append(str(self._y[idx]))
+                    break
+        return out
+
+    def predict_one(self, feature: np.ndarray) -> str:
+        """Predict the label of a single feature vector."""
+        return self.predict(np.atleast_2d(feature))[0]

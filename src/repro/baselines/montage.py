@@ -1,0 +1,119 @@
+"""Montage (Mtage) [6] — the state-of-the-art comparison point.
+
+Montage tracks multi-user movement with smartphones *firmly attached to
+the body* (pocket, belt): steps come from peak detection on the
+vertical acceleration, and the stride from the biomechanical model of
+Eq. (2), with the bounce measured directly from the vertical
+displacement — valid because a body-mounted device sees purely the
+body's motion.
+
+Run on a wrist, the same code measures the arm + body mixture: the
+"bounce" it extracts contains the arm's vertical travel, and stride
+accuracy collapses (Fig. 8(a)). The implementation is deliberately
+faithful to that failure mode — it is the paper's motivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import SignalError
+from repro.sensing.imu import IMUTrace
+from repro.signal.filters import butter_lowpass
+from repro.signal.integration import peak_to_peak_displacement
+from repro.signal.segmentation import segment_gait_cycles
+from repro.types import GaitType, StrideEstimate, UserProfile
+
+__all__ = ["MontageTracker"]
+
+
+@dataclass(frozen=True)
+class MontageTracker:
+    """Peak-detection counting + body-attached stride estimation.
+
+    Args:
+        profile: User profile (leg length and calibration factor feed
+            Eq. (2) exactly as in PTrack; Montage also needs them).
+        cutoff_hz: Front-end low-pass cutoff.
+        min_prominence: Step-peak prominence floor.
+        min_step_rate_hz: Slowest admissible stepping rate.
+        max_step_rate_hz: Fastest admissible stepping rate.
+    """
+
+    profile: Optional[UserProfile] = None
+    cutoff_hz: float = 5.0
+    min_prominence: float = 0.6
+    min_step_rate_hz: float = 1.2
+    max_step_rate_hz: float = 3.2
+
+    # ------------------------------------------------------------------
+    # Step counting (peak principle, same candidate stage as PTrack's
+    # front end — Montage has no gait-type identification)
+    # ------------------------------------------------------------------
+    def count_steps(self, trace: IMUTrace) -> int:
+        """Steps reported for a trace: every candidate cycle counts."""
+        return sum(len(seg.peak_indices) for seg in self._cycles(trace))
+
+    def estimate_strides(self, trace: IMUTrace) -> List[StrideEstimate]:
+        """Per-step strides from the direct-bounce model.
+
+        The bounce of each cycle is the peak-to-peak vertical
+        displacement of the *device* — correct on the body, arm-polluted
+        on the wrist.
+
+        Raises:
+            SignalError: When the tracker has no profile.
+        """
+        if self.profile is None:
+            raise SignalError("Montage stride estimation requires a profile")
+        filtered = butter_lowpass(
+            trace.linear_acceleration, self.cutoff_hz, trace.sample_rate_hz
+        )
+        vertical = filtered[:, 2]
+        estimates: List[StrideEstimate] = []
+        leg = self.profile.leg_length_m
+        for cycle_id, seg in enumerate(self._cycles(trace)):
+            v_seg = vertical[seg.start : seg.end]
+            try:
+                bounce = peak_to_peak_displacement(v_seg, trace.dt)
+            except SignalError:
+                continue
+            b = float(np.clip(bounce, 0.0, leg))
+            stride = self.profile.calibration_k * float(
+                np.sqrt(leg**2 - (leg - b) ** 2)
+            )
+            n_seg = seg.end - seg.start
+            for step in range(2):
+                frac = (step + 0.5) / 2.0
+                estimates.append(
+                    StrideEstimate(
+                        time=trace.start_time + (seg.start + frac * n_seg) * trace.dt,
+                        length_m=stride,
+                        bounce_m=b,
+                        cycle_id=cycle_id,
+                        gait_type=GaitType.WALKING,
+                    )
+                )
+        return estimates
+
+    def distance_m(self, trace: IMUTrace) -> float:
+        """Total distance implied by the stride estimates."""
+        return float(sum(e.length_m for e in self.estimate_strides(trace)))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _cycles(self, trace: IMUTrace):
+        filtered = butter_lowpass(
+            trace.linear_acceleration, self.cutoff_hz, trace.sample_rate_hz
+        )
+        return segment_gait_cycles(
+            filtered[:, 2],
+            trace.sample_rate_hz,
+            min_step_rate_hz=self.min_step_rate_hz,
+            max_step_rate_hz=self.max_step_rate_hz,
+            min_prominence=self.min_prominence,
+        )

@@ -1,0 +1,118 @@
+"""The classic peak-detection pedometer (GFit-class).
+
+Commercial step counters — Google Fit on the LG Urbane, the Mi Band's
+on-device counter, phone pedometer apps — share one principle: low-pass
+the acceleration magnitude (or vertical axis), detect peaks above a
+threshold, and rate-gate them to the human stepping band. That is the
+entire design; there is no notion of *which activity* produced the
+peaks, which is exactly why Figs. 1 and 7 show them mis-triggered by
+eating, card games, photos and spoofing rigs.
+
+Two profiles mirror Fig. 1(b)'s phone experiment: the "coprocessor"
+profile (heavier filtering, stricter gating — Apple's M-series motion
+coprocessor) and the "software" profile (lighter filtering, the typical
+third-party app).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.sensing.imu import IMUTrace
+from repro.signal.filters import butter_lowpass
+from repro.signal.peaks import detect_peaks
+
+__all__ = ["PeakStepCounter"]
+
+
+@dataclass(frozen=True)
+class PeakStepCounter:
+    """Low-pass + peak detection + rate gating.
+
+    Args:
+        cutoff_hz: Low-pass cutoff of the front-end filter.
+        min_prominence: Peak prominence floor, m/s^2.
+        min_step_interval_s: Refractory period between counted steps.
+        max_step_interval_s: Peaks farther apart than this do not
+            continue a walking bout; isolated peaks still count once a
+            bout has started (commercial counters behave the same way,
+            which is what the spoofer exploits).
+        use_magnitude: Count on the acceleration magnitude instead of
+            the attitude-derived vertical axis.  Modern wearables have
+            attitude filters and count on the vertical (the default);
+            simple phone apps often use the magnitude.
+    """
+
+    cutoff_hz: float = 3.5
+    min_prominence: float = 0.8
+    min_step_interval_s: float = 0.30
+    max_step_interval_s: float = 2.0
+    use_magnitude: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cutoff_hz <= 0:
+            raise ConfigurationError("cutoff_hz must be positive")
+        if self.min_prominence < 0:
+            raise ConfigurationError("min_prominence must be >= 0")
+        if not 0 < self.min_step_interval_s < self.max_step_interval_s:
+            raise ConfigurationError(
+                "need 0 < min_step_interval_s < max_step_interval_s"
+            )
+
+    @staticmethod
+    def gfit() -> "PeakStepCounter":
+        """Profile representing a commercial wrist counter (GFit)."""
+        return PeakStepCounter()
+
+    @staticmethod
+    def coprocessor() -> "PeakStepCounter":
+        """Phone-profile with heavier filtering (motion coprocessor)."""
+        return PeakStepCounter(
+            cutoff_hz=2.5,
+            min_prominence=1.0,
+            min_step_interval_s=0.35,
+            use_magnitude=True,
+        )
+
+    @staticmethod
+    def software() -> "PeakStepCounter":
+        """Phone-profile of a typical third-party pedometer app."""
+        return PeakStepCounter(
+            cutoff_hz=4.0,
+            min_prominence=0.6,
+            min_step_interval_s=0.28,
+            use_magnitude=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Counting
+    # ------------------------------------------------------------------
+    def step_indices(self, trace: IMUTrace) -> np.ndarray:
+        """Sample indices of counted steps."""
+        if self.use_magnitude:
+            signal = np.linalg.norm(trace.linear_acceleration, axis=1)
+            signal = signal - signal.mean()
+        else:
+            signal = trace.vertical
+        filtered = butter_lowpass(signal, self.cutoff_hz, trace.sample_rate_hz)
+        min_gap = max(1, int(round(self.min_step_interval_s * trace.sample_rate_hz)))
+        peaks = detect_peaks(
+            filtered,
+            min_prominence=self.min_prominence,
+            min_distance=min_gap,
+        )
+        return peaks
+
+    def count_steps(self, trace: IMUTrace) -> int:
+        """Number of steps the pedometer reports for a trace."""
+        return int(self.step_indices(trace).size)
+
+    def step_times(self, trace: IMUTrace) -> List[float]:
+        """Timestamps of counted steps."""
+        return [
+            trace.start_time + int(i) * trace.dt for i in self.step_indices(trace)
+        ]

@@ -1,0 +1,183 @@
+"""SCAR [18] — the machine-learning activity-recognition baseline.
+
+Dernbach et al. classify windows of accelerometer data into labelled
+activities with supervised learning. As a step counter, the natural
+composition (and the one the paper evaluates) is: classify each window;
+if the predicted activity is pedestrian (walking/stepping), count the
+window's peaks as steps, otherwise keep silent.
+
+Its strength and weakness both come from the labels: with eating /
+poker / gaming in the training set it suppresses them almost perfectly,
+but an activity it never saw — the paper deliberately withholds
+"photo" — gets mapped onto the nearest known class, and when that
+nearest class is pedestrian the counter mis-fires (Fig. 7(a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.knn import KNeighborsClassifier
+from repro.baselines.peak_counter import PeakStepCounter
+from repro.exceptions import TrainingError
+from repro.sensing.imu import IMUTrace
+from repro.signal.features import activity_features
+from repro.signal.segmentation import sliding_windows
+from repro.types import ActivityKind
+
+__all__ = ["ScarClassifier", "ScarStepCounter"]
+
+#: Activity kinds SCAR treats as step-producing.
+_PEDESTRIAN_LABELS = {ActivityKind.WALKING.value, ActivityKind.STEPPING.value}
+
+
+class ScarClassifier:
+    """Windowed activity classifier (features + a supervised backend).
+
+    Args:
+        window_s: Classification window length in seconds.
+        hop_s: Hop between windows in seconds.
+        k: Neighbour count of the k-NN backend.
+        backend: ``"knn"`` (standardised-Euclidean k-NN, default) or
+            ``"tree"`` (from-scratch CART — Dernbach et al. evaluate
+            tree-family classifiers). Both exhibit the same structural
+            vulnerability the paper studies: blindness outside the
+            training set.
+    """
+
+    def __init__(
+        self,
+        window_s: float = 2.0,
+        hop_s: float = 1.0,
+        k: int = 5,
+        backend: str = "knn",
+    ) -> None:
+        if window_s <= 0 or hop_s <= 0:
+            raise TrainingError("window_s and hop_s must be positive")
+        self._window_s = window_s
+        self._hop_s = hop_s
+        if backend == "knn":
+            self._knn = KNeighborsClassifier(k=k)
+        elif backend == "tree":
+            from repro.baselines.decision_tree import DecisionTreeClassifier
+
+            self._knn = DecisionTreeClassifier()
+        else:
+            raise TrainingError(f"unknown backend {backend!r}")
+
+    @property
+    def window_s(self) -> float:
+        """Window length in seconds."""
+        return self._window_s
+
+    @property
+    def hop_s(self) -> float:
+        """Window hop in seconds."""
+        return self._hop_s
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether training has happened."""
+        return self._knn.is_fitted
+
+    @property
+    def classes(self) -> List[str]:
+        """Activity labels seen in training."""
+        return self._knn.classes
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        labelled_traces: Sequence[Tuple[IMUTrace, ActivityKind]],
+    ) -> "ScarClassifier":
+        """Train on labelled traces.
+
+        Args:
+            labelled_traces: Pairs of (trace, ground-truth kind); each
+                trace is cut into windows and every window inherits the
+                trace's label.
+
+        Returns:
+            ``self`` (chainable).
+
+        Raises:
+            TrainingError: When no usable windows exist.
+        """
+        features: List[np.ndarray] = []
+        labels: List[str] = []
+        for trace, kind in labelled_traces:
+            for f in self._window_features(trace):
+                features.append(f)
+                labels.append(kind.value)
+        if not features:
+            raise TrainingError("no usable training windows")
+        self._knn.fit(np.vstack(features), labels)
+        return self
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict_windows(self, trace: IMUTrace) -> List[Tuple[int, int, str]]:
+        """Label every window of a trace.
+
+        Returns:
+            List of ``(start_index, end_index, label)`` per window.
+        """
+        if not self._knn.is_fitted:
+            raise TrainingError("SCAR classifier is not fitted")
+        out: List[Tuple[int, int, str]] = []
+        window = int(round(self._window_s * trace.sample_rate_hz))
+        hop = int(round(self._hop_s * trace.sample_rate_hz))
+        for start, end in sliding_windows(trace.n_samples, window, hop):
+            f = activity_features(
+                trace.linear_acceleration[start:end], trace.sample_rate_hz
+            )
+            out.append((start, end, self._knn.predict_one(f)))
+        return out
+
+    def _window_features(self, trace: IMUTrace) -> List[np.ndarray]:
+        window = int(round(self._window_s * trace.sample_rate_hz))
+        hop = int(round(self._hop_s * trace.sample_rate_hz))
+        return [
+            activity_features(
+                trace.linear_acceleration[start:end], trace.sample_rate_hz
+            )
+            for start, end in sliding_windows(trace.n_samples, window, hop)
+        ]
+
+
+@dataclass
+class ScarStepCounter:
+    """SCAR composed into a step counter.
+
+    Peaks are counted only inside windows whose predicted activity is
+    pedestrian; everything else is suppressed.
+
+    Args:
+        classifier: A fitted :class:`ScarClassifier`.
+        peak_counter: The underlying peak detector.
+    """
+
+    classifier: ScarClassifier
+    peak_counter: PeakStepCounter = field(default_factory=PeakStepCounter.gfit)
+
+    def count_steps(self, trace: IMUTrace) -> int:
+        """Steps reported for a trace."""
+        if not self.classifier.is_fitted:
+            raise TrainingError("SCAR classifier is not fitted")
+        # Mark pedestrian samples from window votes (majority over
+        # overlapping windows).
+        votes = np.zeros(trace.n_samples, dtype=int)
+        total = np.zeros(trace.n_samples, dtype=int)
+        for start, end, label in self.classifier.predict_windows(trace):
+            total[start:end] += 1
+            if label in _PEDESTRIAN_LABELS:
+                votes[start:end] += 1
+        pedestrian = (total > 0) & (votes * 2 >= total)
+        peaks = self.peak_counter.step_indices(trace)
+        return int(sum(1 for p in peaks if pedestrian[int(p)]))

@@ -1,0 +1,144 @@
+"""Stride estimators surveyed by Jahn et al. [14], applied to wrists.
+
+Fig. 1(d) of the paper motivates the PTrack stride estimator by running
+three existing model families directly on wrist signals:
+
+* **biomechanical** — Eq. (2) with the bounce measured from the
+  device's vertical displacement (the body-attachment assumption);
+* **empirical** — the Weinberg-style model
+  ``s = k_e * (a_max - a_min)^(1/4)`` on per-step vertical
+  acceleration extremes;
+* **(double) integral** — integrate horizontal acceleration twice and
+  read the per-step displacement; infeasible in principle on wrists
+  because the integral recovers only the time-varying velocity part
+  and the arm's motion dominates it (SII).
+
+All three inherit the wrist's arm + body mixture, which is what the
+figure demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import SignalError
+from repro.sensing.imu import IMUTrace
+from repro.signal.filters import butter_lowpass
+from repro.signal.integration import (
+    cumulative_trapezoid,
+    integrate_mean_removal,
+    peak_to_peak_displacement,
+)
+from repro.signal.projection import anterior_direction, project_horizontal
+from repro.signal.segmentation import Segment, segment_gait_cycles
+from repro.types import UserProfile
+
+__all__ = ["biomechanical_strides", "empirical_strides", "integral_strides"]
+
+
+def _cycles(trace: IMUTrace, cutoff_hz: float = 5.0) -> List[Segment]:
+    filtered = butter_lowpass(
+        trace.linear_acceleration, cutoff_hz, trace.sample_rate_hz
+    )
+    return segment_gait_cycles(filtered[:, 2], trace.sample_rate_hz)
+
+
+def _filtered_vertical(trace: IMUTrace, cutoff_hz: float = 5.0) -> np.ndarray:
+    return butter_lowpass(
+        trace.linear_acceleration, cutoff_hz, trace.sample_rate_hz
+    )[:, 2]
+
+
+def biomechanical_strides(
+    trace: IMUTrace,
+    profile: UserProfile,
+) -> List[float]:
+    """Eq. (2) with the bounce taken from the device's vertical motion.
+
+    Args:
+        trace: Wrist trace.
+        profile: User profile (leg length, k).
+
+    Returns:
+        One stride estimate per detected step (two per cycle).
+    """
+    vertical = _filtered_vertical(trace)
+    leg = profile.leg_length_m
+    strides: List[float] = []
+    for seg in _cycles(trace):
+        try:
+            bounce = peak_to_peak_displacement(vertical[seg.start : seg.end], trace.dt)
+        except SignalError:
+            continue
+        b = float(np.clip(bounce, 0.0, leg))
+        s = profile.calibration_k * float(np.sqrt(leg**2 - (leg - b) ** 2))
+        strides.extend([s, s])
+    return strides
+
+
+def empirical_strides(
+    trace: IMUTrace,
+    k_empirical: float = 0.49,
+) -> List[float]:
+    """Weinberg-style empirical model on per-step acceleration extremes.
+
+    ``s = k_e * (a_max - a_min)^(1/4)`` per step; ``k_e`` = 0.49 is a
+    common handheld calibration.
+
+    Args:
+        trace: Wrist trace.
+        k_empirical: The empirical scale constant.
+
+    Returns:
+        One stride estimate per detected step.
+    """
+    if k_empirical <= 0:
+        raise SignalError(f"k_empirical must be positive, got {k_empirical}")
+    vertical = _filtered_vertical(trace)
+    strides: List[float] = []
+    for seg in _cycles(trace):
+        v_seg = vertical[seg.start : seg.end]
+        half = max(1, v_seg.size // 2)
+        for step_seg in (v_seg[:half], v_seg[half:]):
+            if step_seg.size < 2:
+                continue
+            swing = float(step_seg.max() - step_seg.min())
+            strides.append(k_empirical * swing**0.25)
+    return strides
+
+
+def integral_strides(trace: IMUTrace) -> List[float]:
+    """Naive double integration of the anterior acceleration.
+
+    Integrates the projected anterior acceleration to velocity (with
+    bias/mean removal — without it the result diverges in metres within
+    seconds) and reads the per-step displacement from the velocity
+    integral. As SII explains, the integral can only recover the
+    oscillatory velocity ``v_t``, not the baseline ``v0`` that carries
+    the actual stride, so the estimates collapse toward zero net
+    travel plus arm artefacts.
+
+    Returns:
+        One stride estimate per detected step.
+    """
+    filtered = butter_lowpass(
+        trace.linear_acceleration, 5.0, trace.sample_rate_hz
+    )
+    vertical = filtered[:, 2]
+    horizontal = filtered[:, :2]
+    strides: List[float] = []
+    for seg in _cycles(trace):
+        h_seg = horizontal[seg.start : seg.end]
+        try:
+            direction = anterior_direction(h_seg)
+            a_seg = project_horizontal(h_seg, direction)
+            velocity = integrate_mean_removal(a_seg, trace.dt)
+            disp = cumulative_trapezoid(velocity, trace.dt)
+        except SignalError:
+            continue
+        half = max(1, disp.size // 2)
+        strides.append(float(abs(disp[half - 1] - disp[0])))
+        strides.append(float(abs(disp[-1] - disp[half - 1])))
+    return strides

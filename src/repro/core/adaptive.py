@@ -1,0 +1,211 @@
+"""Adaptive offset-threshold tuning — the paper's stated future work.
+
+SV: "In the future, we plan to adaptively tune the threshold delta."
+The empirical delta = 0.0325 works because walking offsets and rigid
+offsets form two well-separated populations, but *where* each
+population sits drifts with the user (arm lag, swing vigour), the
+device (noise, rate) and the activity mix. This module learns the
+boundary from the offsets themselves:
+
+* every classified cycle's offset is added to a bounded reservoir;
+* when both populations are represented, the threshold is re-fit by
+  **Otsu's criterion** (maximising between-class variance over the
+  1-D offset sample — the classic bimodal separator, needing no labels
+  and no distributional assumptions);
+* safeguards keep the adapted threshold inside a sane band and fall
+  back to the paper's constant until the sample is informative
+  (bimodality check via the valley-to-peak ratio of the split).
+
+``AdaptiveDeltaCounter`` wraps the standard counter: it classifies with
+the current threshold and re-tunes after every trace.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import PTrackConfig
+from repro.core.step_counter import PTrackStepCounter
+from repro.exceptions import CalibrationError, ConfigurationError
+from repro.sensing.imu import IMUTrace
+from repro.types import CycleClassification, StepEvent
+
+__all__ = ["otsu_threshold", "AdaptiveDelta", "AdaptiveDeltaCounter"]
+
+
+def otsu_threshold(values: np.ndarray, bins: int = 64) -> float:
+    """Otsu's threshold of a 1-D sample.
+
+    Args:
+        values: Sample values (e.g. cycle offsets).
+        bins: Histogram resolution.
+
+    Returns:
+        The threshold maximising between-class variance.
+
+    Raises:
+        CalibrationError: For samples with fewer than 4 points or no
+            spread.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size < 4:
+        raise CalibrationError(f"need >= 4 values for Otsu, got {arr.size}")
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-12:
+        raise CalibrationError("sample has no spread")
+    hist, edges = np.histogram(arr, bins=bins, range=(lo, hi))
+    total = hist.sum()
+    centers = (edges[:-1] + edges[1:]) / 2.0
+
+    best_sigma = -1.0
+    best_threshold = (lo + hi) / 2.0
+    w0 = 0.0
+    sum0 = 0.0
+    sum_all = float((hist * centers).sum())
+    for i in range(bins - 1):
+        w0 += hist[i]
+        if w0 == 0:
+            continue
+        w1 = total - w0
+        if w1 == 0:
+            break
+        sum0 += hist[i] * centers[i]
+        mu0 = sum0 / w0
+        mu1 = (sum_all - sum0) / w1
+        sigma = w0 * w1 * (mu0 - mu1) ** 2
+        if sigma > best_sigma:
+            best_sigma = sigma
+            best_threshold = float(edges[i + 1])
+    return best_threshold
+
+
+class AdaptiveDelta:
+    """Reservoir of cycle offsets with Otsu-based threshold re-fitting.
+
+    Args:
+        initial_delta: Starting threshold (the paper's 0.0325).
+        band: Admissible (min, max) band for the adapted threshold;
+            adaptation never leaves it, so a pathological activity mix
+            cannot disable the counter.
+        reservoir: Number of recent offsets remembered.
+        min_samples: Offsets required before adaptation starts.
+        separation_ratio: Bimodality safeguard: the sub-population
+            means must differ by at least this factor before the Otsu
+            split replaces the current threshold.
+        margin: How far past the Otsu valley, toward the upper
+            (walking) mode's mean, the threshold is placed — as a
+            fraction of that gap. False positives (gestures counted as
+            steps) cost more than clipping a borderline walking cycle,
+            so the boundary leans conservative; 0 uses the raw valley.
+    """
+
+    def __init__(
+        self,
+        initial_delta: float = 0.0325,
+        band: Tuple[float, float] = (0.015, 0.06),
+        reservoir: int = 512,
+        min_samples: int = 40,
+        separation_ratio: float = 2.0,
+        margin: float = 0.3,
+    ) -> None:
+        if not 0 < band[0] < band[1]:
+            raise ConfigurationError(f"invalid band {band}")
+        if not band[0] <= initial_delta <= band[1]:
+            raise ConfigurationError("initial_delta must lie inside band")
+        if min_samples < 8:
+            raise ConfigurationError("min_samples must be >= 8")
+        if separation_ratio <= 1:
+            raise ConfigurationError("separation_ratio must be > 1")
+        if not 0 <= margin < 1:
+            raise ConfigurationError("margin must be in [0, 1)")
+        self._margin = margin
+        self._delta = initial_delta
+        self._band = band
+        self._offsets: Deque[float] = deque(maxlen=reservoir)
+        self._min_samples = min_samples
+        self._ratio = separation_ratio
+
+    @property
+    def delta(self) -> float:
+        """The current threshold."""
+        return self._delta
+
+    @property
+    def n_observed(self) -> int:
+        """Offsets currently in the reservoir."""
+        return len(self._offsets)
+
+    def observe(self, offsets: List[float]) -> float:
+        """Fold new cycle offsets in and re-fit the threshold.
+
+        Args:
+            offsets: Offsets of newly classified cycles.
+
+        Returns:
+            The (possibly updated) threshold.
+        """
+        for value in offsets:
+            if np.isfinite(value) and value >= 0:
+                self._offsets.append(float(value))
+        if len(self._offsets) < self._min_samples:
+            return self._delta
+        sample = np.asarray(self._offsets)
+        try:
+            candidate = otsu_threshold(sample)
+        except CalibrationError:
+            return self._delta
+        below = sample[sample < candidate]
+        above = sample[sample >= candidate]
+        if below.size < 5 or above.size < 5:
+            return self._delta  # one-sided activity mix: keep current
+        if above.mean() < self._ratio * max(below.mean(), 1e-6):
+            return self._delta  # populations not separated: keep current
+        adjusted = candidate + self._margin * (float(above.mean()) - candidate)
+        self._delta = float(np.clip(adjusted, *self._band))
+        return self._delta
+
+
+class AdaptiveDeltaCounter:
+    """A PTrack step counter whose delta tracks the user.
+
+    Args:
+        config: Base configuration (its ``offset_threshold`` seeds the
+            adaptation).
+        adaptation: Adaptive state; default constructed from config.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PTrackConfig] = None,
+        adaptation: Optional[AdaptiveDelta] = None,
+    ) -> None:
+        cfg = config if config is not None else PTrackConfig()
+        self._base = cfg
+        self._adaptive = (
+            adaptation
+            if adaptation is not None
+            else AdaptiveDelta(initial_delta=cfg.offset_threshold)
+        )
+
+    @property
+    def delta(self) -> float:
+        """The threshold the next trace will be classified with."""
+        return self._adaptive.delta
+
+    def process(
+        self,
+        trace: IMUTrace,
+    ) -> Tuple[List[StepEvent], List[CycleClassification]]:
+        """Classify a trace with the current delta, then adapt it."""
+        cfg = self._base.with_overrides(offset_threshold=self._adaptive.delta)
+        steps, classifications = PTrackStepCounter(cfg).process(trace)
+        self._adaptive.observe([c.offset for c in classifications])
+        return steps, classifications
+
+    def count_steps(self, trace: IMUTrace) -> int:
+        """Steps of one trace under the current threshold."""
+        steps, _ = self.process(trace)
+        return len(steps)

@@ -1,0 +1,120 @@
+"""PTrack configuration.
+
+All thresholds live here so experiments (and the ablation benches) can
+sweep them; the defaults are the paper's where it states them — notably
+the offset threshold delta = 0.0325 — and sensible engineering values
+elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["PTrackConfig"]
+
+
+@dataclass(frozen=True)
+class PTrackConfig:
+    """Tunable parameters of the PTrack pipeline.
+
+    Attributes:
+        lowpass_cutoff_hz: Cutoff of the front-end low-pass filter.
+        lowpass_order: Order of the front-end filter.
+        min_step_rate_hz: Slowest admissible stepping rate for the
+            candidate segmenter.
+        max_step_rate_hz: Fastest admissible stepping rate.
+        min_peak_prominence: Vertical-acceleration prominence floor of
+            the candidate segmenter, m/s^2. Eliminates "very ineligible
+            activities, e.g. mouse moving or keystroking" (SIII-B).
+        min_vertical_std: Minimum vertical-acceleration standard
+            deviation (m/s^2) a candidate cycle must carry; cycles
+            below it are residual micro-motions (tremor, postural
+            sway) and are classified as interference outright — the
+            paper's "without significant vertical motions" gate.
+        offset_threshold: The paper's delta: candidates whose
+            critical-point offset (Eq. 1) exceeds it are walking.
+            Empirically 0.0325 in the paper's implementation.
+        critical_point_prominence: Prominence floor for critical
+            points, m/s^2 (absolute: gait and gesture accelerations
+            live in a known physical band, and per-axis adaptive gates
+            would asymmetrically drop one axis's bumps).
+        crossing_hysteresis: Hysteresis for zero-crossing critical
+            points, m/s^2.
+        matching_prominence_factor: Relaxation factor applied to the
+            anterior *matching* set's gates: a rigid motion whose
+            direction favours the vertical axis still produces the same
+            (scaled-down) bumps on the anterior axis, and dropping them
+            would fake asynchrony.
+        max_point_weight: Cap on the per-point weight w(n_v), so the
+            first critical point of a sparse cycle cannot dominate the
+            aggregate offset.
+        max_normalized_offset: Cap on each point's normalised offset;
+            covers the "matching point disappears" case of Fig. 3(a).
+        stepping_consecutive: Consecutive confirmations required before
+            stepping cycles are counted (the paper uses 3, crediting 6
+            steps at once — Fig. 4).
+        phase_difference_target: Expected vertical/anterior phase
+            difference for pure body motion, as a fraction of the
+            per-step period (one quarter, per Kim et al. [22]).
+        phase_difference_tolerance: Admissible deviation from the
+            target (fraction of the period).
+        min_half_cycle_correlation: Floor on the half-cycle
+            auto-correlation ``C``; the paper requires ``C > 0``.
+        steps_per_cycle: Steps credited per confirmed gait cycle.
+    """
+
+    lowpass_cutoff_hz: float = 5.0
+    lowpass_order: int = 4
+    min_step_rate_hz: float = 1.2
+    max_step_rate_hz: float = 3.2
+    min_peak_prominence: float = 0.6
+    min_vertical_std: float = 0.5
+    offset_threshold: float = 0.0325
+    critical_point_prominence: float = 0.8
+    crossing_hysteresis: float = 0.4
+    matching_prominence_factor: float = 0.5
+    max_point_weight: float = 0.3
+    max_normalized_offset: float = 0.25
+    stepping_consecutive: int = 3
+    phase_difference_target: float = 0.25
+    phase_difference_tolerance: float = 0.12
+    min_half_cycle_correlation: float = 0.0
+    steps_per_cycle: int = 2
+
+    def __post_init__(self) -> None:
+        if self.lowpass_cutoff_hz <= 0:
+            raise ConfigurationError("lowpass_cutoff_hz must be positive")
+        if self.lowpass_order < 1:
+            raise ConfigurationError("lowpass_order must be >= 1")
+        if not 0 < self.min_step_rate_hz < self.max_step_rate_hz:
+            raise ConfigurationError("need 0 < min_step_rate_hz < max_step_rate_hz")
+        if self.min_peak_prominence < 0:
+            raise ConfigurationError("min_peak_prominence must be >= 0")
+        if self.min_vertical_std < 0:
+            raise ConfigurationError("min_vertical_std must be >= 0")
+        if self.offset_threshold < 0:
+            raise ConfigurationError("offset_threshold must be >= 0")
+        if self.critical_point_prominence < 0:
+            raise ConfigurationError("critical_point_prominence must be >= 0")
+        if self.crossing_hysteresis < 0:
+            raise ConfigurationError("crossing_hysteresis must be >= 0")
+        if not 0 < self.matching_prominence_factor <= 1:
+            raise ConfigurationError("matching_prominence_factor must be in (0, 1]")
+        if not 0 < self.max_point_weight <= 1:
+            raise ConfigurationError("max_point_weight must be in (0, 1]")
+        if not 0 < self.max_normalized_offset <= 1:
+            raise ConfigurationError("max_normalized_offset must be in (0, 1]")
+        if self.stepping_consecutive < 1:
+            raise ConfigurationError("stepping_consecutive must be >= 1")
+        if not 0 <= self.phase_difference_target < 1:
+            raise ConfigurationError("phase_difference_target must be in [0, 1)")
+        if not 0 < self.phase_difference_tolerance < 0.5:
+            raise ConfigurationError("phase_difference_tolerance must be in (0, 0.5)")
+        if self.steps_per_cycle < 1:
+            raise ConfigurationError("steps_per_cycle must be >= 1")
+
+    def with_overrides(self, **kwargs) -> "PTrackConfig":
+        """A copy with selected fields replaced (for ablation sweeps)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,131 @@
+"""The PTrack pipeline facade.
+
+Bundles the step counter, the stride estimator and (optionally) the
+profile self-trainer behind the interface a downstream application —
+a fitness tracker, an insurance assessment backend, a dead-reckoning
+navigator — would consume.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.config import PTrackConfig
+from repro.core.selftrain import CalibrationWalk, SelfTrainer
+from repro.core.step_counter import PTrackStepCounter
+from repro.core.stride import PTrackStrideEstimator
+from repro.exceptions import ConfigurationError
+from repro.sensing.imu import IMUTrace
+from repro.types import TrackingResult, UserProfile
+
+__all__ = ["PTrack"]
+
+
+class PTrack:
+    """End-to-end pedestrian tracking for wrist wearables.
+
+    Example::
+
+        tracker = PTrack(profile=UserProfile(0.60, 0.90))
+        result = tracker.track(trace)
+        print(result.step_count, result.distance_m)
+
+    Or with automatic profile training::
+
+        tracker = PTrack.self_trained([CalibrationWalk(trace, 80.0), ...])
+
+    Args:
+        profile: User profile for stride estimation; ``None`` builds a
+            counter-only tracker (``track`` still works but reports no
+            strides).
+        config: Pipeline configuration; ``None`` uses paper defaults.
+    """
+
+    def __init__(
+        self,
+        profile: Optional[UserProfile] = None,
+        config: Optional[PTrackConfig] = None,
+    ) -> None:
+        self._config = config if config is not None else PTrackConfig()
+        self._profile = profile
+        self._counter = PTrackStepCounter(self._config)
+        self._estimator = (
+            PTrackStrideEstimator(profile, self._config) if profile is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def self_trained(
+        cls,
+        walks: Sequence[CalibrationWalk],
+        config: Optional[PTrackConfig] = None,
+    ) -> "PTrack":
+        """Build a tracker whose profile is learned from walks.
+
+        Args:
+            walks: Initialisation walks with coarse distance references.
+            config: Pipeline configuration.
+
+        Returns:
+            A ready :class:`PTrack` with the self-trained profile.
+        """
+        cfg = config if config is not None else PTrackConfig()
+        profile = SelfTrainer(cfg).train(walks)
+        return cls(profile=profile, config=cfg)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> PTrackConfig:
+        """The active configuration."""
+        return self._config
+
+    @property
+    def profile(self) -> Optional[UserProfile]:
+        """The active user profile (``None`` for counter-only use)."""
+        return self._profile
+
+    # ------------------------------------------------------------------
+    # Tracking
+    # ------------------------------------------------------------------
+    def count_steps(self, trace: IMUTrace) -> int:
+        """Steps in a trace (interference and spoofing excluded)."""
+        return self._counter.count_steps(trace)
+
+    def track(self, trace: IMUTrace) -> TrackingResult:
+        """Full tracking pass: steps, per-step strides, diagnostics.
+
+        Args:
+            trace: The observed wrist trace.
+
+        Returns:
+            A :class:`TrackingResult`; ``strides`` is empty when the
+            tracker has no profile.
+        """
+        steps, classifications = self._counter.process(trace)
+        strides = (
+            self._estimator.estimate(trace, classifications)
+            if self._estimator is not None
+            else []
+        )
+        return TrackingResult(
+            steps=tuple(steps),
+            strides=tuple(strides),
+            classifications=tuple(classifications),
+        )
+
+    def distance_m(self, trace: IMUTrace) -> float:
+        """Walked distance over a trace.
+
+        Raises:
+            ConfigurationError: When the tracker has no profile.
+        """
+        if self._estimator is None:
+            raise ConfigurationError(
+                "distance estimation requires a user profile; construct "
+                "PTrack with a profile or use PTrack.self_trained(...)"
+            )
+        return self.track(trace).distance_m

@@ -1,0 +1,246 @@
+"""The PTrack step counter — the Fig. 4 decision flow.
+
+Pipeline per trace:
+
+1. Front end (reused from existing designs, grayed in Fig. 2): low-pass
+   filter, peak detection, acceleration segmentation into gait-cycle
+   *candidates*.
+2. Acceleration projection (SIII-B2): vertical from the attitude-aware
+   sensor axis; anterior recovered from the horizontal acceleration
+   cloud by (total) least squares, per candidate cycle.
+3. Gait-type identification (SIII-B1): offset > delta -> walking,
+   +2 steps. Otherwise the stepping tests run (half-cycle correlation
+   C > 0 and the fixed quarter-period phase difference); after the
+   configured number of consecutive confirmations (3), the buffered
+   cycles are credited at once (+6) and the streak keeps crediting +2.
+   Everything else is interference and leaves the counter untouched.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import PTrackConfig
+from repro.core.offset import cycle_offset
+from repro.core.stepping import has_fixed_phase_difference, stepping_correlation
+from repro.exceptions import SignalError
+from repro.sensing.imu import IMUTrace
+from repro.signal.filters import butter_lowpass
+from repro.signal.projection import anterior_direction, project_horizontal
+from repro.signal.segmentation import Segment, segment_gait_cycles
+from repro.types import CycleClassification, GaitType, StepEvent
+
+__all__ = ["PTrackStepCounter"]
+
+
+class PTrackStepCounter:
+    """Training-free, interference-robust step counter.
+
+    Args:
+        config: Pipeline configuration; ``None`` uses paper defaults.
+    """
+
+    def __init__(self, config: Optional[PTrackConfig] = None) -> None:
+        self._config = config if config is not None else PTrackConfig()
+
+    @property
+    def config(self) -> PTrackConfig:
+        """The active configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def count_steps(self, trace: IMUTrace) -> int:
+        """Total steps in a trace (convenience wrapper)."""
+        steps, _ = self.process(trace)
+        return len(steps)
+
+    def process(
+        self,
+        trace: IMUTrace,
+    ) -> Tuple[List[StepEvent], List[CycleClassification]]:
+        """Run the full Fig.-4 flow over a trace.
+
+        Args:
+            trace: The observed wrist trace.
+
+        Returns:
+            Tuple ``(steps, classifications)``: counted step events in
+            time order, and the per-candidate decisions (including the
+            rejected interference cycles) for diagnostics.
+        """
+        cfg = self._config
+        vertical, anterior_full, cycles = self._front_end(trace)
+        dt = trace.dt
+
+        steps: List[StepEvent] = []
+        classifications: List[CycleClassification] = []
+        pending: List[Tuple[Segment, int, float, float, bool]] = []
+        streak = 0
+
+        def credit(segment: Segment, cycle_id: int, gait: GaitType) -> int:
+            added = 0
+            for peak in segment.peak_indices:
+                steps.append(
+                    StepEvent(
+                        time=trace.start_time + peak * dt,
+                        index=int(peak),
+                        gait_type=gait,
+                        cycle_id=cycle_id,
+                    )
+                )
+                added += 1
+            return added
+
+        def flush_pending_as_interference() -> None:
+            nonlocal streak
+            for seg, cid, off, corr, phase_ok in pending:
+                classifications.append(
+                    CycleClassification(
+                        cycle_id=cid,
+                        start_index=seg.start,
+                        end_index=seg.end,
+                        gait_type=GaitType.INTERFERENCE,
+                        offset=off,
+                        half_cycle_correlation=corr,
+                        phase_difference_ok=phase_ok,
+                        steps_added=0,
+                    )
+                )
+            pending.clear()
+            streak = 0
+
+        for cycle_id, segment in enumerate(cycles):
+            v_seg = segment.slice(vertical)
+            a_seg = segment.slice(anterior_full)
+            # Per-cycle anterior refinement: project this cycle's
+            # horizontal samples onto their own dominant direction so a
+            # turning walker does not smear the projection.
+            a_seg = self._refine_anterior(trace, segment, a_seg)
+
+            if float(np.std(v_seg - v_seg.mean())) < cfg.min_vertical_std:
+                # Residual micro-motion (tremor, postural sway): the
+                # paper's candidate stage already rejects activities
+                # "without significant vertical motions".
+                pending.append((segment, cycle_id, 0.0, 0.0, False))
+                flush_pending_as_interference()
+                continue
+
+            offset = cycle_offset(v_seg, a_seg, cfg)
+
+            if offset > cfg.offset_threshold:
+                # Walking: superposed arm + body sources.
+                flush_pending_as_interference()
+                added = credit(segment, cycle_id, GaitType.WALKING)
+                classifications.append(
+                    CycleClassification(
+                        cycle_id=cycle_id,
+                        start_index=segment.start,
+                        end_index=segment.end,
+                        gait_type=GaitType.WALKING,
+                        offset=offset,
+                        half_cycle_correlation=None,
+                        phase_difference_ok=None,
+                        steps_added=added,
+                    )
+                )
+                continue
+
+            # Candidate stepping: run the admission tests.  The user
+            # steps twice per cycle, so the per-step repetition must
+            # appear on *both* projected axes — a mechanical shaker
+            # whose vertical axis carries strong cycle-period content
+            # fails the vertical half-cycle test even when its
+            # horizontal axis happens to repeat.
+            try:
+                corr = stepping_correlation(a_seg)
+                corr_v = stepping_correlation(v_seg)
+                phase_ok, _ = has_fixed_phase_difference(v_seg, a_seg, cfg)
+            except SignalError:
+                corr, corr_v, phase_ok = 0.0, 0.0, False
+
+            if (
+                corr > cfg.min_half_cycle_correlation
+                and corr_v > cfg.min_half_cycle_correlation
+                and phase_ok
+            ):
+                streak += 1
+                pending.append((segment, cycle_id, offset, corr, True))
+                if streak >= cfg.stepping_consecutive:
+                    # Confirmation reached: credit every buffered cycle
+                    # (the paper's "+6" event is exactly 3 cycles x 2).
+                    for seg, cid, off, c_val, p_ok in pending:
+                        added = credit(seg, cid, GaitType.STEPPING)
+                        classifications.append(
+                            CycleClassification(
+                                cycle_id=cid,
+                                start_index=seg.start,
+                                end_index=seg.end,
+                                gait_type=GaitType.STEPPING,
+                                offset=off,
+                                half_cycle_correlation=c_val,
+                                phase_difference_ok=p_ok,
+                                steps_added=added,
+                            )
+                        )
+                    pending.clear()
+                    # Streak stays "confirmed": subsequent cycles credit
+                    # immediately until a test fails.
+                    streak = cfg.stepping_consecutive
+            else:
+                pending.append((segment, cycle_id, offset, corr, bool(phase_ok)))
+                flush_pending_as_interference()
+
+        flush_pending_as_interference()
+        classifications.sort(key=lambda c: c.cycle_id)
+        steps.sort(key=lambda s: s.time)
+        return steps, classifications
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+    def _front_end(
+        self,
+        trace: IMUTrace,
+    ) -> Tuple[np.ndarray, np.ndarray, List[Segment]]:
+        """Existing-stack front end: filter, project, segment."""
+        cfg = self._config
+        filtered = butter_lowpass(
+            trace.linear_acceleration,
+            cfg.lowpass_cutoff_hz,
+            trace.sample_rate_hz,
+            cfg.lowpass_order,
+        )
+        vertical = filtered[:, 2]
+        horizontal = filtered[:, :2]
+        try:
+            direction = anterior_direction(horizontal)
+            anterior = project_horizontal(horizontal, direction)
+        except SignalError:
+            anterior = np.zeros_like(vertical)
+        cycles = segment_gait_cycles(
+            vertical,
+            trace.sample_rate_hz,
+            min_step_rate_hz=cfg.min_step_rate_hz,
+            max_step_rate_hz=cfg.max_step_rate_hz,
+            min_prominence=cfg.min_peak_prominence,
+        )
+        self._filtered = filtered
+        return vertical, anterior, cycles
+
+    def _refine_anterior(
+        self,
+        trace: IMUTrace,
+        segment: Segment,
+        fallback: np.ndarray,
+    ) -> np.ndarray:
+        """Anterior projection using only this cycle's horizontal cloud."""
+        horizontal = self._filtered[segment.start : segment.end, :2]
+        try:
+            direction = anterior_direction(horizontal)
+            return project_horizontal(horizontal, direction)
+        except SignalError:
+            return fallback

@@ -1,0 +1,203 @@
+"""Online (streaming) PTrack.
+
+A watch does not hand the app a finished trace; samples arrive in small
+batches and steps must be credited with bounded latency.
+:class:`StreamingPTrack` wraps the batch pipeline in an incremental
+driver: samples are appended to a rolling buffer, the candidate
+segmenter runs over the unprocessed region, and only *settled* cycles —
+those that end far enough from the buffer head that no future sample
+can change their boundaries — are classified and credited.
+
+The stepping test's consecutive-confirmation state (Fig. 4) spans
+cycles, so it lives here across `append` calls; results are therefore
+identical to the batch pipeline on the same data (verified by tests)
+except for the trailing unsettled region.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import PTrackConfig
+from repro.core.step_counter import PTrackStepCounter
+from repro.core.stride import PTrackStrideEstimator
+from repro.exceptions import ConfigurationError, SignalError
+from repro.sensing.imu import IMUTrace
+from repro.types import StepEvent, StrideEstimate, UserProfile
+
+__all__ = ["StreamingPTrack"]
+
+
+class StreamingPTrack:
+    """Incremental step counting and stride estimation.
+
+    Example::
+
+        streamer = StreamingPTrack(sample_rate_hz=100.0, profile=profile)
+        for batch in sensor_batches:          # (n, 3) arrays
+            steps, strides = streamer.append(batch)
+            ...
+        steps, strides = streamer.flush()     # settle the tail
+
+    Args:
+        sample_rate_hz: Sampling rate of the incoming stream.
+        profile: Optional user profile; without it only steps are
+            produced.
+        config: PTrack configuration.
+        settle_s: How far behind the buffer head a cycle must end
+            before it is classified. Must exceed one maximum-length
+            gait cycle so segmentation near the head cannot change
+            settled boundaries. Default: 2.5 s (latency of crediting).
+        max_buffer_s: Rolling buffer length; processed samples older
+            than this are dropped.
+    """
+
+    def __init__(
+        self,
+        sample_rate_hz: float,
+        profile: Optional[UserProfile] = None,
+        config: Optional[PTrackConfig] = None,
+        settle_s: float = 2.5,
+        max_buffer_s: float = 30.0,
+    ) -> None:
+        if sample_rate_hz <= 0:
+            raise ConfigurationError("sample_rate_hz must be positive")
+        self._config = config if config is not None else PTrackConfig()
+        min_cycle_s = 2.0 / self._config.min_step_rate_hz
+        if settle_s < min_cycle_s:
+            raise ConfigurationError(
+                f"settle_s must cover one maximal gait cycle "
+                f"({min_cycle_s:.1f} s), got {settle_s}"
+            )
+        if max_buffer_s < 4 * settle_s:
+            raise ConfigurationError("max_buffer_s must be >= 4 * settle_s")
+        self._rate = sample_rate_hz
+        self._profile = profile
+        self._settle = settle_s
+        self._max_buffer = int(max_buffer_s * sample_rate_hz)
+        self._counter = PTrackStepCounter(self._config)
+        self._estimator = (
+            PTrackStrideEstimator(profile, self._config)
+            if profile is not None
+            else None
+        )
+        self._buffer = np.empty((0, 3))
+        self._buffer_start_time = 0.0
+        self._consumed_index = 0  # absolute index of the buffer start
+        self._credited_until = 0  # absolute sample index already settled
+        self._total_steps = 0
+        self._total_distance = 0.0
+        self._pending_streak_reset = True
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def step_count(self) -> int:
+        """Steps credited so far."""
+        return self._total_steps
+
+    @property
+    def distance_m(self) -> float:
+        """Distance credited so far (0 without a profile)."""
+        return self._total_distance
+
+    @property
+    def latency_s(self) -> float:
+        """Worst-case crediting latency (the settle window)."""
+        return self._settle
+
+    def append(
+        self,
+        samples: np.ndarray,
+    ) -> Tuple[List[StepEvent], List[StrideEstimate]]:
+        """Feed a batch of samples; return newly settled steps/strides.
+
+        Args:
+            samples: Array of shape (n, 3), world-frame linear
+                acceleration at the stream's sampling rate.
+
+        Returns:
+            Tuple of (new step events, new stride estimates), both in
+            absolute stream time.
+        """
+        arr = np.asarray(samples, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != 3:
+            raise SignalError(f"samples must have shape (n, 3), got {arr.shape}")
+        if arr.shape[0] == 0:
+            return [], []
+        if not np.all(np.isfinite(arr)):
+            raise SignalError("samples contain non-finite values")
+        self._buffer = np.vstack([self._buffer, arr])
+        return self._drain(settle_margin=int(self._settle * self._rate))
+
+    def flush(self) -> Tuple[List[StepEvent], List[StrideEstimate]]:
+        """Settle everything remaining in the buffer (end of stream)."""
+        return self._drain(settle_margin=0)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _drain(
+        self,
+        settle_margin: int,
+    ) -> Tuple[List[StepEvent], List[StrideEstimate]]:
+        n = self._buffer.shape[0]
+        if n < 16:
+            return [], []
+        trace = IMUTrace(
+            self._buffer,
+            self._rate,
+            start_time=self._consumed_index / self._rate,
+        )
+        steps, classifications = self._counter.process(trace)
+        if self._estimator is not None:
+            strides = self._estimator.estimate(trace, classifications)
+        else:
+            strides = []
+
+        settled_end = n - settle_margin
+        # A cycle is settled when it ends before the settle horizon.
+        settled_cycles = {
+            c.cycle_id for c in classifications if c.end_index <= settled_end
+        }
+        credited_after = self._credited_until - self._consumed_index
+
+        new_steps = [
+            s
+            for s in steps
+            if s.cycle_id in settled_cycles and s.index >= credited_after
+        ]
+        # Strides are credited in lockstep with steps, one per newly
+        # credited step of the cycle.  After a buffer trim the
+        # segmenter may re-pair an already-credited peak with a fresh
+        # one into a hybrid cycle; crediting that cycle's full stride
+        # pair would double-count distance even though the step dedup
+        # holds, so each cycle contributes exactly as many strides as
+        # it contributed new steps (the latest ones).
+        new_steps_per_cycle: dict = {}
+        for s in new_steps:
+            new_steps_per_cycle[s.cycle_id] = new_steps_per_cycle.get(s.cycle_id, 0) + 1
+        new_strides = []
+        for cycle_id, count in new_steps_per_cycle.items():
+            cycle_strides = [s for s in strides if s.cycle_id == cycle_id]
+            new_strides.extend(cycle_strides[-count:])
+        if new_steps:
+            last_index = max(s.index for s in new_steps)
+            self._credited_until = self._consumed_index + last_index + 1
+        self._total_steps += len(new_steps)
+        self._total_distance += float(sum(s.length_m for s in new_strides))
+
+        # Trim the buffer, keeping the unsettled tail plus one settle
+        # window of context for the segmenter.
+        keep_from = max(0, settled_end - settle_margin)
+        keep_from = min(keep_from, max(0, self._credited_until - self._consumed_index))
+        if self._buffer.shape[0] > self._max_buffer:
+            overflow = self._buffer.shape[0] - self._max_buffer
+            keep_from = max(keep_from, overflow)
+        if keep_from > 0:
+            self._buffer = self._buffer[keep_from:]
+            self._consumed_index += keep_from
+        return new_steps, new_strides

@@ -1,0 +1,177 @@
+"""The PTrack stride estimator (SIII-C).
+
+Per confirmed gait cycle the estimator recovers the body bounce —
+through the Eqs. (3)-(5) geometry for walking cycles (mixed arm + body
+signal) or directly for stepping cycles (device rigid with the body) —
+and converts it to a per-step stride with the biomechanical model of
+Eq. (2):
+
+    s = k * sqrt(l^2 - (l - b)^2)
+
+where ``l`` is the user's leg length and ``k`` the per-user calibration
+factor (2 for the pure inverted-pendulum geometry).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bounce import direct_bounce, extract_cycle_moments, solve_bounce
+from repro.core.config import PTrackConfig
+from repro.exceptions import GeometryError, SignalError
+from repro.sensing.imu import IMUTrace
+from repro.signal.filters import butter_lowpass
+from repro.signal.projection import anterior_direction, project_horizontal
+from repro.types import CycleClassification, GaitType, StrideEstimate, UserProfile
+
+__all__ = ["stride_from_bounce_model", "PTrackStrideEstimator"]
+
+
+def stride_from_bounce_model(bounce_m: float, profile: UserProfile) -> float:
+    """Eq. (2): per-step stride from bounce and the user profile.
+
+    Args:
+        bounce_m: Estimated body bounce ``b`` (clipped into ``[0, l]``;
+            measurement error can push the raw estimate slightly out).
+        profile: User profile carrying ``l`` and ``k``.
+
+    Returns:
+        Stride length in metres.
+    """
+    leg = profile.leg_length_m
+    b = float(np.clip(bounce_m, 0.0, leg))
+    return profile.calibration_k * float(np.sqrt(leg**2 - (leg - b) ** 2))
+
+
+class PTrackStrideEstimator:
+    """Per-step stride estimation from mixed wrist signals.
+
+    Args:
+        profile: The user profile (manual or self-trained).
+        config: Pipeline configuration; ``None`` uses paper defaults.
+    """
+
+    def __init__(
+        self,
+        profile: UserProfile,
+        config: Optional[PTrackConfig] = None,
+    ) -> None:
+        self._profile = profile
+        self._config = config if config is not None else PTrackConfig()
+
+    @property
+    def profile(self) -> UserProfile:
+        """The active user profile."""
+        return self._profile
+
+    def estimate(
+        self,
+        trace: IMUTrace,
+        classifications: Sequence[CycleClassification],
+    ) -> List[StrideEstimate]:
+        """Estimate strides for every confirmed pedestrian cycle.
+
+        Args:
+            trace: The observed wrist trace (same one the step counter
+                processed).
+            classifications: Per-cycle decisions from
+                :class:`repro.core.step_counter.PTrackStepCounter`.
+
+        Returns:
+            Two :class:`StrideEstimate` per confirmed cycle (one per
+            step), in time order. Cycles whose geometry does not admit
+            a bounce solve are skipped.
+        """
+        cfg = self._config
+        filtered = butter_lowpass(
+            trace.linear_acceleration,
+            cfg.lowpass_cutoff_hz,
+            trace.sample_rate_hz,
+            cfg.lowpass_order,
+        )
+        vertical = filtered[:, 2]
+        horizontal = filtered[:, :2]
+        dt = trace.dt
+
+        estimates: List[StrideEstimate] = []
+        pending_imputation: List[CycleClassification] = []
+        recent_strides: List[float] = []
+        for cls in classifications:
+            if cls.gait_type is GaitType.INTERFERENCE or cls.steps_added == 0:
+                continue
+            v_seg = vertical[cls.start_index : cls.end_index]
+            h_seg = horizontal[cls.start_index : cls.end_index]
+            bounce = self._cycle_bounce(v_seg, h_seg, dt, cls.gait_type)
+            if bounce is None:
+                # A confirmed cycle whose geometry did not admit a
+                # solve (turn transitions, leg boundaries) still moved
+                # the user; it is imputed with the walk's median stride
+                # below rather than silently dropping distance.
+                pending_imputation.append(cls)
+                continue
+            stride = stride_from_bounce_model(bounce, self._profile)
+            recent_strides.append(stride)
+            self._emit(estimates, trace, cls, stride, bounce)
+
+        if pending_imputation and recent_strides:
+            imputed = float(np.median(recent_strides))
+            for cls in pending_imputation:
+                self._emit(estimates, trace, cls, imputed, None)
+        estimates.sort(key=lambda e: e.time)
+        return estimates
+
+    def _emit(
+        self,
+        estimates: List[StrideEstimate],
+        trace: IMUTrace,
+        cls: CycleClassification,
+        stride: float,
+        bounce: Optional[float],
+    ) -> None:
+        """Append one cycle's per-step stride estimates."""
+        n_seg = cls.end_index - cls.start_index
+        for step in range(self._config.steps_per_cycle):
+            frac = (step + 0.5) / self._config.steps_per_cycle
+            estimates.append(
+                StrideEstimate(
+                    time=trace.start_time
+                    + (cls.start_index + frac * n_seg) * trace.dt,
+                    length_m=stride,
+                    bounce_m=bounce,
+                    cycle_id=cls.cycle_id,
+                    gait_type=cls.gait_type,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _cycle_bounce(
+        self,
+        v_seg: np.ndarray,
+        h_seg: np.ndarray,
+        dt: float,
+        gait: GaitType,
+    ) -> Optional[float]:
+        """Bounce of one cycle, or ``None`` when no solve exists."""
+        if gait is GaitType.STEPPING:
+            try:
+                return direct_bounce(v_seg, dt)
+            except SignalError:
+                return None
+        try:
+            direction = anterior_direction(h_seg)
+            a_seg = project_horizontal(h_seg, direction)
+            moments = extract_cycle_moments(v_seg, a_seg, dt)
+            return solve_bounce(
+                moments.h1_m,
+                moments.h2_m,
+                moments.d_m,
+                self._profile.arm_length_m,
+            )
+        except (SignalError, GeometryError):
+            return None
+
+

@@ -1,0 +1,35 @@
+"""Evaluation utilities: metrics, and tabular reporting helpers.
+
+The experiment drivers in :mod:`repro.experiments` use these to turn
+raw tracking output into the numbers the paper's figures report
+(accuracies, mis-counts, stride-error CDFs) and to print them in
+paper-vs-measured tables.
+"""
+
+from repro.eval.harness import Replicates, compare_cdfs, format_cdf, repeat
+from repro.eval.plotting import histogram, sparkline, timeline
+from repro.eval.metrics import (
+    cdf_points,
+    count_accuracy,
+    count_error_rate,
+    stride_errors,
+    summarize,
+)
+from repro.eval.reporting import Table, format_table
+
+__all__ = [
+    "Replicates",
+    "Table",
+    "compare_cdfs",
+    "cdf_points",
+    "count_accuracy",
+    "count_error_rate",
+    "format_cdf",
+    "format_table",
+    "histogram",
+    "repeat",
+    "sparkline",
+    "timeline",
+    "stride_errors",
+    "summarize",
+]

@@ -1,0 +1,159 @@
+"""Experiment-running utilities.
+
+The figure drivers in :mod:`repro.experiments` are single runs with
+fixed seeds; this module adds the machinery for *studies around* them:
+repeating a measurement across seeds, aggregating the replicates, and
+exporting empirical CDFs in a plain-text format (the paper reports
+Figs. 1(d) and 8 as CDFs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.eval.metrics import cdf_points
+from repro.exceptions import SignalError
+
+__all__ = ["Replicates", "repeat", "format_cdf", "compare_cdfs"]
+
+
+@dataclass(frozen=True)
+class Replicates:
+    """Aggregated replicate measurements of one scalar metric.
+
+    Attributes:
+        name: Metric name.
+        values: One value per replicate, in seed order.
+    """
+
+    name: str
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise SignalError(f"metric {self.name!r} has no replicates")
+
+    @property
+    def mean(self) -> float:
+        """Replicate mean."""
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        """Replicate standard deviation."""
+        return float(np.std(self.values))
+
+    @property
+    def minimum(self) -> float:
+        """Smallest replicate."""
+        return float(np.min(self.values))
+
+    @property
+    def maximum(self) -> float:
+        """Largest replicate."""
+        return float(np.max(self.values))
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Normal-approximation confidence interval of the mean."""
+        half = z * self.std / np.sqrt(len(self.values))
+        return self.mean - half, self.mean + half
+
+
+def repeat(
+    measure: Callable[[int], Dict[str, float]],
+    seeds: Sequence[int],
+) -> Dict[str, Replicates]:
+    """Run a seeded measurement across seeds and aggregate per metric.
+
+    Args:
+        measure: Callable mapping a seed to a dict of scalar metrics;
+            every replicate must produce the same metric names.
+        seeds: Seeds to run (one replicate each).
+
+    Returns:
+        Mapping from metric name to its :class:`Replicates`.
+
+    Raises:
+        SignalError: On empty seeds or inconsistent metric names.
+    """
+    if not seeds:
+        raise SignalError("need at least one seed")
+    collected: Dict[str, List[float]] = {}
+    names: set = set()
+    for i, seed in enumerate(seeds):
+        metrics = measure(int(seed))
+        if i == 0:
+            names = set(metrics)
+            for name in names:
+                collected[name] = []
+        elif set(metrics) != names:
+            raise SignalError(
+                f"replicate for seed {seed} produced metrics {sorted(metrics)}, "
+                f"expected {sorted(names)}"
+            )
+        for name, value in metrics.items():
+            collected[name].append(float(value))
+    return {
+        name: Replicates(name, tuple(values)) for name, values in collected.items()
+    }
+
+
+def format_cdf(
+    values: Sequence[float],
+    name: str = "metric",
+    points: int = 20,
+) -> str:
+    """Render an empirical CDF as an aligned text table.
+
+    Args:
+        values: Sample values.
+        name: Column label of the value axis.
+        points: Number of CDF rows (evenly spaced in probability).
+
+    Returns:
+        The table text ("value  P(X <= value)" rows).
+
+    Raises:
+        SignalError: On an empty sample.
+    """
+    xs, ps = cdf_points(values)
+    if xs.size == 0:
+        raise SignalError("cannot render the CDF of an empty sample")
+    rows = [f"{name:>12}  cdf"]
+    rows.append("-" * len(rows[0]))
+    targets = np.linspace(1.0 / points, 1.0, points)
+    for p in targets:
+        idx = int(np.searchsorted(ps, p, side="left"))
+        idx = min(idx, xs.size - 1)
+        rows.append(f"{xs[idx]:12.4f}  {p:.2f}")
+    return "\n".join(rows)
+
+
+def compare_cdfs(
+    samples: Dict[str, Sequence[float]],
+    quantiles: Sequence[float] = (0.5, 0.9, 0.99),
+) -> List[Tuple[str, Dict[float, float]]]:
+    """Quantile comparison across named samples (CDF crossover view).
+
+    Args:
+        samples: Mapping of system name to its sample.
+        quantiles: Quantiles to evaluate.
+
+    Returns:
+        List of ``(name, {quantile: value})``, sorted by the median so
+        the winner reads first.
+    """
+    out = []
+    for name, values in samples.items():
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            raise SignalError(f"sample {name!r} is empty")
+        out.append(
+            (name, {float(q): float(np.quantile(arr, q)) for q in quantiles})
+        )
+    median_q = 0.5 if 0.5 in [round(q, 10) for q in quantiles] else quantiles[0]
+    out.sort(key=lambda item: item[1][float(median_q)])
+    return out

@@ -1,0 +1,132 @@
+"""Tracking-quality metrics.
+
+Definitions follow the paper's usage:
+
+* step-count **accuracy** = ``1 - |counted - true| / true`` (clipped to
+  [0, 1]), the quantity Fig. 6(a) reports per gait category;
+* step-count **error rate** = ``|counted - true| / true`` (the paper's
+  headline "error rate as low as 0.02");
+* **stride error** = per-step ``|estimated - true|``; Figs. 1(d) and 8
+  report its CDF and mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SignalError
+
+__all__ = [
+    "count_accuracy",
+    "count_error_rate",
+    "stride_errors",
+    "cdf_points",
+    "summarize",
+]
+
+
+def count_accuracy(counted: int, true: int) -> float:
+    """Step-count accuracy in [0, 1].
+
+    Args:
+        counted: Steps the tracker reported.
+        true: Ground-truth steps; must be positive (an interference
+            trace has no meaningful accuracy — use the raw mis-count).
+
+    Returns:
+        ``max(0, 1 - |counted - true| / true)``.
+    """
+    if true <= 0:
+        raise SignalError(f"true step count must be positive, got {true}")
+    return max(0.0, 1.0 - abs(counted - true) / true)
+
+
+def count_error_rate(counted: int, true: int) -> float:
+    """Step-count error rate ``|counted - true| / true``."""
+    if true <= 0:
+        raise SignalError(f"true step count must be positive, got {true}")
+    return abs(counted - true) / true
+
+
+def stride_errors(
+    estimated: Sequence[float],
+    true: Sequence[float],
+) -> np.ndarray:
+    """Per-step absolute stride errors, aligning by order.
+
+    The two sequences may have different lengths (missed or spurious
+    steps); errors are computed over the overlapping prefix after
+    sorting both by time order, which matches how the paper reports
+    per-step errors against assisted ground truth.
+
+    Args:
+        estimated: Estimated stride lengths in time order, metres.
+        true: Ground-truth stride lengths in time order, metres.
+
+    Returns:
+        Array of ``min(len(estimated), len(true))`` absolute errors.
+    """
+    est = np.asarray(list(estimated), dtype=float)
+    tru = np.asarray(list(true), dtype=float)
+    n = min(est.size, tru.size)
+    if n == 0:
+        return np.empty(0)
+    return np.abs(est[:n] - tru[:n])
+
+
+def cdf_points(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of a sample.
+
+    Args:
+        values: Sample values.
+
+    Returns:
+        Tuple ``(sorted_values, cumulative_probabilities)``.
+    """
+    arr = np.sort(np.asarray(list(values), dtype=float))
+    if arr.size == 0:
+        return np.empty(0), np.empty(0)
+    probs = np.arange(1, arr.size + 1) / arr.size
+    return arr, probs
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample.
+
+    Attributes:
+        mean: Sample mean.
+        median: Sample median.
+        p90: 90th percentile.
+        maximum: Sample maximum.
+        n: Sample size.
+    """
+
+    mean: float
+    median: float
+    p90: float
+    maximum: float
+    n: int
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of a sample (NaNs rejected).
+
+    Raises:
+        SignalError: For an empty or non-finite sample.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise SignalError("cannot summarize an empty sample")
+    if not np.all(np.isfinite(arr)):
+        raise SignalError("sample contains non-finite values")
+    return Summary(
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        p90=float(np.percentile(arr, 90)),
+        maximum=float(arr.max()),
+        n=int(arr.size),
+    )

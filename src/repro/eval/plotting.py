@@ -1,0 +1,111 @@
+"""Terminal plotting: sparklines and block histograms.
+
+The repository is terminal-first (no matplotlib dependency); these
+helpers give the CLI and examples just enough visual output to show a
+trace's character or a distribution's shape inline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import SignalError
+
+__all__ = ["sparkline", "histogram", "timeline"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a sample as a one-line unicode sparkline.
+
+    Args:
+        values: Sample values; resampled (by bucket means) to ``width``.
+        width: Output width in characters.
+
+    Returns:
+        The sparkline string.
+
+    Raises:
+        SignalError: On an empty sample or bad width.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise SignalError("cannot sparkline an empty sample")
+    if width < 1:
+        raise SignalError(f"width must be >= 1, got {width}")
+    if not np.all(np.isfinite(arr)):
+        raise SignalError("sample contains non-finite values")
+    if arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array(
+            [arr[a:b].mean() if b > a else arr[min(a, arr.size - 1)]
+             for a, b in zip(edges[:-1], edges[1:])]
+        )
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-12:
+        return _BLOCKS[1] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_BLOCKS) - 2) + 1
+    return "".join(_BLOCKS[int(round(v))] for v in scaled)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 12,
+    width: int = 40,
+    label: str = "",
+) -> str:
+    """Render a horizontal block histogram.
+
+    Args:
+        values: Sample values.
+        bins: Number of bins.
+        width: Maximum bar width in characters.
+        label: Optional title line.
+
+    Returns:
+        Multi-line histogram text.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise SignalError("cannot histogram an empty sample")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = [label] if label else []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "█" * int(round(width * count / peak))
+        lines.append(f"{lo:10.4f} – {hi:10.4f} |{bar} {count}")
+    return "\n".join(lines)
+
+
+def timeline(
+    values: Sequence[float],
+    sample_rate_hz: float,
+    width: int = 60,
+    label: str = "",
+    unit: str = "",
+) -> str:
+    """A sparkline with a time axis annotation.
+
+    Args:
+        values: Uniformly sampled signal.
+        sample_rate_hz: Its sampling rate.
+        width: Sparkline width.
+        label: Optional prefix label.
+        unit: Unit string for the min/max annotation.
+
+    Returns:
+        One line: ``label [sparkline] min..max unit over T s``.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if sample_rate_hz <= 0:
+        raise SignalError("sample_rate_hz must be positive")
+    spark = sparkline(arr, width)
+    duration = arr.size / sample_rate_hz
+    prefix = f"{label} " if label else ""
+    return (
+        f"{prefix}{spark}  {arr.min():.2f}..{arr.max():.2f} {unit}"
+        f" over {duration:.0f} s"
+    )

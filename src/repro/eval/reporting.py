@@ -1,0 +1,92 @@
+"""Plain-text tabular reporting for experiment drivers.
+
+Every benchmark prints a paper-vs-measured table through these helpers
+so the regenerated rows are directly comparable to the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+__all__ = ["Table", "format_table"]
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}" if abs(cell) < 1000 else f"{cell:.1f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: str = "",
+) -> str:
+    """Format rows into an aligned monospace table.
+
+    Args:
+        headers: Column headers.
+        rows: Row cells; each row must match the header width.
+        title: Optional title line printed above the table.
+
+    Returns:
+        The formatted table as one string.
+    """
+    rendered = [[_render(c) for c in row] for row in rows]
+    for i, row in enumerate(rendered):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[j])), *(len(r[j]) for r in rendered)) if rendered else len(str(headers[j]))
+        for j in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[j]) for j, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(row[j].ljust(widths[j]) for j in range(len(headers))))
+    return "\n".join(lines)
+
+
+@dataclass
+class Table:
+    """Accumulating table builder used by experiment drivers.
+
+    Attributes:
+        title: Table title.
+        headers: Column headers.
+    """
+
+    title: str
+    headers: Sequence[str]
+    _rows: List[List[Cell]] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> "Table":
+        """Append one row (chainable)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self._rows.append(list(cells))
+        return self
+
+    @property
+    def rows(self) -> List[List[Cell]]:
+        """The accumulated rows."""
+        return [list(r) for r in self._rows]
+
+    def render(self) -> str:
+        """Format the accumulated table."""
+        return format_table(self.headers, self._rows, self.title)
+
+    def show(self) -> None:
+        """Print the table (benchmarks call this)."""
+        print()
+        print(self.render())

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the PTrack reproduction library.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of range or inconsistent.
+
+    Raised eagerly at construction time (e.g. a non-positive sampling
+    rate, a filter cutoff above Nyquist) so that misconfiguration never
+    surfaces as a cryptic numerical failure deep inside a pipeline.
+    """
+
+
+class SignalError(ReproError):
+    """An input signal does not satisfy a processing precondition.
+
+    Examples: an empty trace handed to the segmenter, mismatched axis
+    lengths, or a segment too short to contain a single gait cycle.
+    """
+
+
+class IntegrationError(SignalError):
+    """Mean-removal double integration was applied to an invalid segment.
+
+    The technique of Wang et al. (MOLE, MobiCom'15) requires segments
+    that start and end at zero velocity; violating callers get this
+    error rather than silently wrong displacement values.
+    """
+
+
+class CalibrationError(ReproError):
+    """Self-training or manual calibration could not produce a profile.
+
+    Raised when the search space is empty, the observations are
+    insufficient (e.g. fewer gait cycles than required), or no candidate
+    satisfies the geometric constraints of Eqs. (3)-(5).
+    """
+
+
+class GeometryError(ReproError):
+    """A biomechanical geometric relation cannot be satisfied.
+
+    For instance a bounce solve where the measured anterior distance
+    exceeds what any bounce value could explain given the arm length, or
+    a stride solve where the bounce exceeds the leg length.
+    """
+
+
+class SimulationError(ReproError):
+    """The trace simulator was asked for an impossible scenario.
+
+    Examples: a negative duration, a stride longer than twice the leg
+    length, or a route with fewer than two waypoints.
+    """
+
+
+class TrainingError(ReproError):
+    """A learned baseline (e.g. SCAR) was used before or beyond training.
+
+    Raised when predicting with an unfitted classifier or fitting with
+    inconsistent feature/label shapes.
+    """

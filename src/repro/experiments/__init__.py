@@ -1,0 +1,50 @@
+"""Experiment drivers: one module per figure of the paper.
+
+Each driver synthesises the figure's workload, runs every system under
+test, and returns structured results plus a rendered paper-vs-measured
+table. The pytest-benchmark targets in ``benchmarks/`` are thin
+wrappers around these functions, so the same code path serves both
+interactive use and ``pytest benchmarks/ --benchmark-only``.
+
+| Module | Reproduces |
+| --- | --- |
+| ``fig1`` | Fig. 1(a)-(c) mis-counts and spoofing; Fig. 1(d) stride models |
+| ``fig3`` | Fig. 3 critical-point offsets per motion type |
+| ``fig6`` | Fig. 6(a) overall accuracy, Fig. 6(b) gait-type breakdown |
+| ``fig7`` | Fig. 7(a) interference robustness, Fig. 7(b) spoofing |
+| ``fig8`` | Fig. 8(a) PTrack vs Montage strides, Fig. 8(b) self-training |
+| ``fig9`` | Fig. 9 indoor-navigation case study |
+| ``ablations`` | delta sweep, noise sweep, sampling-rate sweep, design knobs |
+| ``study`` | the month-long mixed-activity protocol (headline error rate) |
+| ``extensions`` | counter design space, adaptive delta, inertial navigation, attitude + energy |
+| ``robustness`` | attitude-error / mount / arm-lag / gyro-quality sweeps |
+| ``dataset_eval`` | scoring PTrack over saved labelled datasets |
+"""
+
+from repro.experiments import (
+    ablations,
+    dataset_eval,
+    extensions,
+    fig1,
+    fig3,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    robustness,
+    study,
+)
+
+__all__ = [
+    "ablations",
+    "dataset_eval",
+    "extensions",
+    "fig1",
+    "fig3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "robustness",
+    "study",
+]

@@ -1,0 +1,102 @@
+"""Shared builders for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.montage import MontageTracker
+from repro.baselines.peak_counter import PeakStepCounter
+from repro.baselines.scar import ScarClassifier, ScarStepCounter
+from repro.core.config import PTrackConfig
+from repro.core.step_counter import PTrackStepCounter
+from repro.sensing.imu import IMUTrace
+from repro.simulation.activities import simulate_interference
+from repro.simulation.profiles import SimulatedUser, sample_users
+from repro.simulation.walker import simulate_walk
+from repro.types import ActivityKind
+
+__all__ = [
+    "make_users",
+    "train_scar",
+    "scar_training_set",
+    "count_with",
+]
+
+#: Activities SCAR is trained on in Fig. 7 (photo deliberately absent).
+SCAR_TRAINING_KINDS: Tuple[ActivityKind, ...] = (
+    ActivityKind.EATING,
+    ActivityKind.GAME,
+    ActivityKind.POKER,
+)
+
+
+def make_users(n: int, seed: int = 7) -> List[SimulatedUser]:
+    """A reproducible user population."""
+    return sample_users(n, np.random.default_rng(seed))
+
+
+def scar_training_set(
+    user: SimulatedUser,
+    rng: np.random.Generator,
+    duration_s: float = 60.0,
+    kinds: Sequence[ActivityKind] = SCAR_TRAINING_KINDS,
+) -> List[Tuple[IMUTrace, ActivityKind]]:
+    """Labelled training traces: pedestrian gaits + chosen interferers.
+
+    Mirrors the paper's protocol: "we collect data for both pedestrian
+    activities, e.g., walking, stepping and their mixture, and some
+    typical interfering activities ... to form the training set", while
+    withholding whatever ``kinds`` omits (Fig. 7 withholds photo).
+    """
+    data: List[Tuple[IMUTrace, ActivityKind]] = []
+    walk_trace, _ = simulate_walk(user, duration_s, rng=rng, arm_mode="swing")
+    data.append((walk_trace, ActivityKind.WALKING))
+    step_trace, _ = simulate_walk(user, duration_s, rng=rng, arm_mode="rigid")
+    data.append((step_trace, ActivityKind.STEPPING))
+    for kind in kinds:
+        trace = simulate_interference(kind, duration_s, rng=rng)
+        data.append((trace, kind))
+    return data
+
+
+def train_scar(
+    user: SimulatedUser,
+    rng: np.random.Generator,
+    duration_s: float = 60.0,
+    kinds: Sequence[ActivityKind] = SCAR_TRAINING_KINDS,
+) -> ScarStepCounter:
+    """A SCAR counter trained on the standard (photo-free) set."""
+    classifier = ScarClassifier().fit(scar_training_set(user, rng, duration_s, kinds))
+    return ScarStepCounter(classifier)
+
+
+def count_with(
+    name: str,
+    trace: IMUTrace,
+    scar: Optional[ScarStepCounter] = None,
+    config: Optional[PTrackConfig] = None,
+) -> int:
+    """Count steps with a named system under test.
+
+    Args:
+        name: One of ``"gfit"``, ``"mtage"``, ``"scar"``, ``"ptrack"``.
+        trace: The trace to count on.
+        scar: Fitted SCAR counter (required for ``"scar"``).
+        config: PTrack configuration override.
+
+    Returns:
+        The reported step count.
+    """
+    if name == "gfit":
+        return PeakStepCounter.gfit().count_steps(trace)
+    if name == "mtage":
+        return MontageTracker().count_steps(trace)
+    if name == "scar":
+        if scar is None:
+            raise ValueError("scar counter required for name='scar'")
+        return scar.count_steps(trace)
+    if name == "ptrack":
+        return PTrackStepCounter(config).count_steps(trace)
+    raise ValueError(f"unknown system under test {name!r}")

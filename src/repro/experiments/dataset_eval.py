@@ -1,0 +1,147 @@
+"""Evaluation over saved datasets (the offline workflow).
+
+``python -m repro dataset`` writes labelled ``.npz`` sessions;
+``evaluate_directory`` scores any collection of them — the workflow a
+downstream user runs when swapping in their own recordings.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.core.pipeline import PTrack
+from repro.eval.metrics import count_error_rate
+from repro.eval.reporting import Table
+from repro.exceptions import SignalError
+from repro.sensing.io import load_session
+from repro.simulation.scenarios import LabeledSession
+
+__all__ = ["SessionScore", "evaluate_sessions", "evaluate_directory"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+@dataclass(frozen=True)
+class SessionScore:
+    """PTrack's score on one labelled session.
+
+    Attributes:
+        name: Session identifier (file stem for loaded sessions).
+        counted: Steps PTrack reported.
+        true: Ground-truth steps.
+        error_rate: ``|counted - true| / true`` (NaN for stepless
+            sessions).
+        distance_m: Estimated distance.
+        true_distance_m: Ground-truth distance.
+        rejected_cycles: Candidate cycles rejected as interference.
+    """
+
+    name: str
+    counted: int
+    true: int
+    error_rate: float
+    distance_m: float
+    true_distance_m: float
+    rejected_cycles: int
+
+
+def evaluate_sessions(
+    sessions: Sequence[Tuple[str, LabeledSession]],
+) -> Tuple[List[SessionScore], Table]:
+    """Score PTrack on labelled sessions.
+
+    Args:
+        sessions: Pairs of (name, session).
+
+    Returns:
+        Tuple of (per-session scores + a TOTAL row in the table).
+
+    Raises:
+        SignalError: On an empty session list.
+    """
+    if not sessions:
+        raise SignalError("no sessions to evaluate")
+    scores: List[SessionScore] = []
+    total_counted = total_true = 0
+    total_distance = total_true_distance = 0.0
+    for name, session in sessions:
+        tracker = PTrack(profile=session.user.profile)
+        result = tracker.track(session.trace)
+        rejected = sum(
+            1
+            for c in result.classifications
+            if c.gait_type.value == "interference"
+        )
+        true_steps = session.true_step_count
+        scores.append(
+            SessionScore(
+                name=name,
+                counted=result.step_count,
+                true=true_steps,
+                error_rate=(
+                    count_error_rate(result.step_count, true_steps)
+                    if true_steps > 0
+                    else float("nan")
+                ),
+                distance_m=result.distance_m,
+                true_distance_m=session.true_distance_m,
+                rejected_cycles=rejected,
+            )
+        )
+        total_counted += result.step_count
+        total_true += true_steps
+        total_distance += result.distance_m
+        total_true_distance += session.true_distance_m
+
+    table = Table(
+        "PTrack over %d labelled sessions" % len(scores),
+        ["session", "steps", "true", "err rate", "dist (m)", "true (m)", "rejected"],
+    )
+    for s in scores:
+        table.add_row(
+            s.name,
+            s.counted,
+            s.true,
+            s.error_rate,
+            s.distance_m,
+            s.true_distance_m,
+            s.rejected_cycles,
+        )
+    table.add_row(
+        "TOTAL",
+        total_counted,
+        total_true,
+        count_error_rate(total_counted, total_true) if total_true else float("nan"),
+        total_distance,
+        total_true_distance,
+        sum(s.rejected_cycles for s in scores),
+    )
+    return scores, table
+
+
+def evaluate_directory(path: PathLike) -> Tuple[List[SessionScore], Table]:
+    """Score PTrack on every ``.npz`` session in a directory.
+
+    Args:
+        path: Directory containing session archives (as written by
+            ``python -m repro dataset`` or
+            :func:`repro.sensing.io.save_session`).
+
+    Returns:
+        Same as :func:`evaluate_sessions`.
+
+    Raises:
+        SignalError: When the directory holds no loadable sessions.
+    """
+    directory = pathlib.Path(path)
+    sessions: List[Tuple[str, LabeledSession]] = []
+    for archive in sorted(directory.glob("*.npz")):
+        try:
+            sessions.append((archive.stem, load_session(archive)))
+        except SignalError:
+            continue  # plain traces (no labels) are skipped
+    if not sessions:
+        raise SignalError(f"no labelled sessions found under {directory}")
+    return evaluate_sessions(sessions)

@@ -1,0 +1,301 @@
+"""Extension experiments beyond the paper's figures.
+
+Three studies of material this repository adds on top of the paper:
+
+* **Design space of counters** — where each counting principle fails:
+  naive peaks (gestures + spoofers), periodicity gating (gait-band
+  spoofers), supervised classification (untrained patterns), PTrack's
+  two-source test (none of the above).
+* **Adaptive delta** (the paper's SV future work) — a user whose
+  walking offsets sit below the stock threshold, rescued by Otsu
+  adaptation over their own offset history.
+* **Inertial navigation** — dead-reckoning with headings estimated
+  from the accelerations themselves (no compass/gyro), vs the paper's
+  platform-heading setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.apps.deadreckoning import navigate_route
+from repro.baselines.autocorr_counter import AutocorrelationStepCounter
+from repro.baselines.peak_counter import PeakStepCounter
+from repro.core.adaptive import AdaptiveDeltaCounter
+from repro.core.config import PTrackConfig
+from repro.core.pipeline import PTrack
+from repro.core.step_counter import PTrackStepCounter
+from repro.eval.reporting import Table
+from repro.experiments.common import make_users, train_scar
+from repro.simulation.activities import simulate_interference
+from repro.simulation.routes import paper_route, walk_route
+from repro.simulation.spoofer import SpooferParams, simulate_spoofer
+from repro.simulation.walker import simulate_walk
+from repro.types import ActivityKind
+
+__all__ = [
+    "run_adaptive_delta",
+    "run_attitude_pipeline",
+    "run_counter_design_space",
+    "run_energy_tradeoff",
+    "run_inertial_navigation",
+]
+
+
+def run_counter_design_space(
+    duration_s: float = 60.0,
+    seed: int = 89,
+) -> Tuple[Dict[Tuple[str, str], float], Table]:
+    """False/true steps of four counting principles on four workloads.
+
+    Workloads: genuine walking, sparse gestures (eating), a slow
+    spoofer (0.6 Hz drive) and a gait-band spoofer (1.6 Hz drive).
+
+    Returns:
+        Tuple of (counts per (counter, workload), rendered table).
+    """
+    rng = np.random.default_rng(seed)
+    user = make_users(1, seed)[0]
+    scar = train_scar(user, rng, duration_s=45.0)
+
+    walk_trace, walk_truth = simulate_walk(user, duration_s, rng=rng)
+    workloads = {
+        "walking": walk_trace,
+        "eating": simulate_interference(ActivityKind.EATING, duration_s, rng=rng),
+        "slow spoofer": simulate_spoofer(
+            duration_s, rng=rng, params=SpooferParams(rate_hz=0.6)
+        ),
+        "gait-band spoofer": simulate_spoofer(
+            duration_s, rng=rng, params=SpooferParams(rate_hz=1.6)
+        ),
+    }
+    counters = {
+        "peaks": PeakStepCounter.gfit().count_steps,
+        "periodicity": AutocorrelationStepCounter().count_steps,
+        "supervised": scar.count_steps,
+        "ptrack": PTrackStepCounter().count_steps,
+    }
+    counts: Dict[Tuple[str, str], float] = {}
+    table = Table(
+        "Counter design space: counted steps per %.0f s "
+        "(walking truth: %d; every other workload's truth: 0)"
+        % (duration_s, walk_truth.step_count),
+        ["workload", "peaks", "periodicity", "supervised", "ptrack"],
+    )
+    for workload, trace in workloads.items():
+        row: List = [workload]
+        for counter, count in counters.items():
+            value = count(trace)
+            counts[(counter, workload)] = value
+            row.append(value)
+        table.add_row(*row)
+    return counts, table
+
+
+def run_adaptive_delta(
+    seed: int = 97,
+    n_sessions: int = 6,
+) -> Tuple[Dict[str, float], Table]:
+    """A sloppy-wristband user rescued by delta adaptation (SV future work).
+
+    The subject wears the watch loosely, so the band's elastic lag
+    (~90 ms, ten times the paper's elbow-cushioning estimate) smears
+    every rigid gesture's critical points apart; their eating gestures
+    leak past the stock delta = 0.0325. The adaptive counter watches
+    the subject's own offset stream — gestures cluster around 0.02,
+    walking around 0.06 — and Otsu re-fits the boundary between the
+    modes, recovering the suppression without touching the walking
+    accuracy.
+
+    Returns:
+        Tuple of (summary numbers, rendered table).
+    """
+    from repro.simulation.activities import _PRESETS, InterferenceParams
+
+    subject = make_users(1, seed)[0]
+    sloppy_eating = replace(
+        _PRESETS[ActivityKind.EATING], cushioning_lag_s=0.09
+    )
+    rng = np.random.default_rng(seed + 1)
+
+    fixed = PTrackStepCounter()
+    adaptive = AdaptiveDeltaCounter()
+
+    fixed_counted = adaptive_counted = true_total = 0
+    for _ in range(n_sessions):
+        walk, truth = simulate_walk(subject, 40.0, rng=rng)
+        gestures = simulate_interference(
+            ActivityKind.EATING, 60.0, rng=rng, params=sloppy_eating
+        )
+        true_total += truth.step_count
+        fixed_counted += fixed.count_steps(walk) + fixed.count_steps(gestures)
+        adaptive_counted += adaptive.count_steps(walk) + adaptive.count_steps(
+            gestures
+        )
+
+    summary = {
+        "true": float(true_total),
+        "fixed": float(fixed_counted),
+        "adaptive": float(adaptive_counted),
+        "final_delta": adaptive.delta,
+    }
+    table = Table(
+        "Adaptive delta (paper SV future work): loose-band subject over "
+        "%d sessions" % n_sessions,
+        ["counter", "counted", "true", "error rate"],
+    )
+    for name in ("fixed", "adaptive"):
+        counted = summary[name]
+        table.add_row(
+            name, int(counted), true_total, abs(counted - true_total) / true_total
+        )
+    table.add_row("(final delta)", round(summary["final_delta"], 4), "-", "-")
+    return summary, table
+
+
+def run_inertial_navigation(
+    seed: int = 61,
+) -> Tuple[Dict[str, float], Table]:
+    """Fig. 9's route with estimated instead of platform headings.
+
+    Returns:
+        Tuple of (per-mode errors, rendered table).
+    """
+    user = make_users(1, seed)[0]
+    route = paper_route()
+    results: Dict[str, float] = {}
+    table = Table(
+        "Dead-reckoning heading sources on the Fig. 9 route",
+        ["heading source", "tracked (m)", "final error (m)", "mean error (m)"],
+    )
+    for source in ("platform", "inertial"):
+        rng = np.random.default_rng(seed)
+        trace, truth = walk_route(user, route, rng=rng)
+        report = navigate_route(
+            PTrack(profile=user.profile),
+            trace,
+            truth,
+            route,
+            heading_source=source,
+            rng=rng,
+        )
+        results[f"{source}_final_m"] = report.final_error_m
+        results[f"{source}_mean_m"] = report.mean_position_error_m
+        table.add_row(
+            source,
+            report.tracked_distance_m,
+            report.final_error_m,
+            report.mean_position_error_m,
+        )
+    return results, table
+
+
+def run_attitude_pipeline(
+    seed: int = 101,
+    duration_s: float = 45.0,
+) -> Tuple[Dict[str, float], Table]:
+    """The full [25] substrate: raw device stream vs oracle world frame.
+
+    The paper's pipeline consumes "vertical accelerations ... directly
+    acquired from motion sensor APIs". This experiment synthesises what
+    the *hardware* outputs (device-frame specific force + gyro),
+    recovers the world frame with the complementary attitude filter,
+    and compares PTrack's accuracy against the oracle world-frame path
+    across filter time constants.
+
+    Returns:
+        Tuple of (metrics, rendered table).
+    """
+    from repro.sensing.attitude import recover_linear_acceleration
+    from repro.simulation.raw import simulate_walk_raw
+    from repro.eval.metrics import count_accuracy
+
+    user = make_users(1, seed)[0]
+    results: Dict[str, float] = {}
+    table = Table(
+        "Attitude substrate: PTrack on oracle vs attitude-recovered traces",
+        ["data path", "step accuracy", "stride error (cm)"],
+    )
+
+    def _score(trace, truth):
+        tracker = PTrack(profile=user.profile)
+        result = tracker.track(trace)
+        accuracy = count_accuracy(result.step_count, truth.step_count)
+        strides = np.array([s.length_m for s in result.strides])
+        err = (
+            100.0 * float(np.mean(np.abs(strides - user.stride_m)))
+            if strides.size
+            else float("nan")
+        )
+        return accuracy, err
+
+    oracle_trace, oracle_truth = simulate_walk(
+        user, duration_s, rng=np.random.default_rng(seed)
+    )
+    acc, err = _score(oracle_trace, oracle_truth)
+    results["oracle_accuracy"] = acc
+    results["oracle_stride_cm"] = err
+    table.add_row("oracle world frame", acc, err)
+
+    for tau in (0.5, 2.0, 8.0):
+        raw, truth, _ = simulate_walk_raw(
+            user, duration_s, rng=np.random.default_rng(seed)
+        )
+        trace = recover_linear_acceleration(raw, tau_s=tau)
+        acc, err = _score(trace, truth)
+        results[f"attitude_tau{tau}_accuracy"] = acc
+        results[f"attitude_tau{tau}_stride_cm"] = err
+        table.add_row(f"attitude filter (tau={tau:.1f} s)", acc, err)
+    return results, table
+
+
+def run_energy_tradeoff(
+    seed: int = 30,
+    fix_intervals_s: Tuple[float, ...] = (5.0, 15.0, 30.0, 60.0),
+) -> Tuple[Dict[Tuple[str, float], Dict[str, float]], Table]:
+    """GPS duty-cycling with and without dead-reckoning (SI motivation).
+
+    The paper's introduction motivates pedestrian tracking by letting
+    location apps access "energy-consuming sensors less, e.g., GPS";
+    this experiment sweeps the fix interval on the Fig. 9 route and
+    compares the hold-last-fix baseline against PTrack dead-reckoning
+    between fixes.
+
+    Returns:
+        Tuple of (per-(strategy, interval) metrics, rendered table).
+    """
+    from repro.apps.energy import evaluate_duty_cycle
+
+    user = make_users(1, seed)[0]
+    route = paper_route()
+    rng = np.random.default_rng(seed)
+    trace, truth = walk_route(user, route, rng=rng)
+    tracker = PTrack(profile=user.profile)
+
+    results: Dict[Tuple[str, float], Dict[str, float]] = {}
+    table = Table(
+        "GPS duty cycling on the Fig. 9 route: hold-last-fix vs "
+        "PTrack dead-reckoning between fixes",
+        ["fix every", "strategy", "mean err (m)", "p95 err (m)", "power (mW)"],
+    )
+    for interval in fix_intervals_s:
+        hold, reckon = evaluate_duty_cycle(
+            tracker, trace, truth, interval, rng=np.random.default_rng(seed + 1)
+        )
+        for outcome in (hold, reckon):
+            results[(outcome.strategy, interval)] = {
+                "mean_error_m": outcome.mean_error_m,
+                "p95_error_m": outcome.p95_error_m,
+                "energy_mw": outcome.energy_mw,
+            }
+            table.add_row(
+                f"{interval:.0f} s",
+                outcome.strategy,
+                outcome.mean_error_m,
+                outcome.p95_error_m,
+                outcome.energy_mw,
+            )
+    return results, table

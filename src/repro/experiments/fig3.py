@@ -1,0 +1,95 @@
+"""Fig. 3 — critical-point structure of walking vs swinging vs stepping.
+
+The paper's Fig. 3 plots one gait cycle of each motion with its
+critical points marked, showing that the two rigid motions (swinging,
+stepping) keep their vertical and anterior critical points synchronous
+while walking's superposition pulls them apart. This driver reproduces
+the quantitative content: the per-cycle offset (Eq. 1) distributions of
+the three motions, which is what the step counter thresholds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.config import PTrackConfig
+from repro.core.offset import critical_points_for_offset, cycle_offset
+from repro.eval.metrics import summarize
+from repro.eval.reporting import Table
+from repro.sensing.imu import IMUTrace
+from repro.signal.filters import butter_lowpass
+from repro.signal.projection import anterior_direction, project_horizontal
+from repro.signal.segmentation import segment_gait_cycles
+from repro.simulation.profiles import SimulatedUser
+from repro.simulation.walker import simulate_walk
+
+__all__ = ["cycle_offsets", "run_offsets"]
+
+
+def cycle_offsets(trace: IMUTrace, config: PTrackConfig) -> List[float]:
+    """Per-candidate-cycle offsets of a trace (diagnostic helper)."""
+    filtered = butter_lowpass(
+        trace.linear_acceleration, config.lowpass_cutoff_hz, trace.sample_rate_hz
+    )
+    vertical = filtered[:, 2]
+    horizontal = filtered[:, :2]
+    offsets: List[float] = []
+    for seg in segment_gait_cycles(
+        vertical,
+        trace.sample_rate_hz,
+        config.min_step_rate_hz,
+        config.max_step_rate_hz,
+        config.min_peak_prominence,
+    ):
+        h_seg = horizontal[seg.start : seg.end]
+        try:
+            direction = anterior_direction(h_seg)
+            anterior = project_horizontal(h_seg, direction)
+            offsets.append(
+                cycle_offset(vertical[seg.start : seg.end], anterior, config)
+            )
+        except Exception:  # degenerate cycles are simply skipped
+            continue
+    return offsets
+
+
+def run_offsets(
+    duration_s: float = 60.0,
+    seed: int = 29,
+    config: PTrackConfig = PTrackConfig(),
+) -> Tuple[Dict[str, np.ndarray], Table]:
+    """Offset distributions of the three Fig. 3 motions.
+
+    Returns:
+        Tuple of (per-motion offset arrays, rendered table). The
+        expected shape: walking well above the threshold delta,
+        swinging and stepping well below.
+    """
+    rng = np.random.default_rng(seed)
+    user = SimulatedUser()
+    traces = {
+        "walking": simulate_walk(user, duration_s, rng=rng, arm_mode="swing")[0],
+        "swinging": simulate_walk(
+            user, duration_s, rng=rng, arm_mode="swing", body=False
+        )[0],
+        "stepping": simulate_walk(user, duration_s, rng=rng, arm_mode="rigid")[0],
+    }
+    offsets = {
+        name: np.asarray(cycle_offsets(trace, config))
+        for name, trace in traces.items()
+    }
+    table = Table(
+        "Fig. 3: critical-point offsets per motion (delta = %.4f)"
+        % config.offset_threshold,
+        ["motion", "cycles", "mean", "median", "p90", "> delta %"],
+    )
+    for name, offs in offsets.items():
+        if offs.size == 0:
+            table.add_row(name, 0, "-", "-", "-", "-")
+            continue
+        s = summarize(offs)
+        above = 100.0 * float((offs > config.offset_threshold).mean())
+        table.add_row(name, s.n, s.mean, s.median, s.p90, above)
+    return offsets, table

@@ -1,0 +1,161 @@
+"""Fig. 6 — overall step-counting accuracy and gait-type breakdown.
+
+(a) Without intended interference, all four systems are accurate on
+    pure walking and pure stepping, slightly less on mixed gait:
+    paper accuracies (GFit/Mtage/SCAR/PTrack) are 0.97/0.97/0.99/0.98
+    (walking), 0.98/0.99/1.0/0.98 (stepping), 0.91/0.92/0.90/0.93
+    (mixed).
+(b) PTrack's internal gait-type breakdown: 2.3 / 1.7 / 7.4 % of cycles
+    mis-identified as "Others" in the three categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.step_counter import PTrackStepCounter
+from repro.eval.metrics import count_accuracy
+from repro.eval.reporting import Table
+from repro.experiments.common import count_with, make_users, train_scar
+from repro.sensing.imu import IMUTrace
+from repro.simulation.profiles import SimulatedUser
+from repro.simulation.scenarios import SessionBuilder
+from repro.simulation.walker import simulate_walk
+from repro.types import GaitType
+
+__all__ = ["run_overall_accuracy", "run_breakdown", "PAPER_ACCURACY"]
+
+#: Fig. 6(a) paper accuracies per (system, category).
+PAPER_ACCURACY = {
+    ("gfit", "walking"): 0.97,
+    ("mtage", "walking"): 0.97,
+    ("scar", "walking"): 0.99,
+    ("ptrack", "walking"): 0.98,
+    ("gfit", "stepping"): 0.98,
+    ("mtage", "stepping"): 0.99,
+    ("scar", "stepping"): 1.00,
+    ("ptrack", "stepping"): 0.98,
+    ("gfit", "mixed"): 0.91,
+    ("mtage", "mixed"): 0.92,
+    ("scar", "mixed"): 0.90,
+    ("ptrack", "mixed"): 0.93,
+}
+
+#: Fig. 6(b) paper mis-identification ("Others") percentages.
+PAPER_OTHERS_PERCENT = {"walking": 2.3, "stepping": 1.7, "mixed": 7.4}
+
+
+def _category_sessions(
+    user: SimulatedUser,
+    rng: np.random.Generator,
+    duration_s: float,
+) -> Dict[str, Tuple[IMUTrace, int]]:
+    """(trace, true steps) per gait category for one user."""
+    walk_trace, walk_truth = simulate_walk(user, duration_s, rng=rng, arm_mode="swing")
+    step_trace, step_truth = simulate_walk(user, duration_s, rng=rng, arm_mode="rigid")
+    chunk = max(10.0, duration_s / 4.0)
+    mixed = (
+        SessionBuilder(user, rng=rng)
+        .walk(chunk)
+        .step(chunk)
+        .walk(chunk)
+        .step(chunk)
+        .build()
+    )
+    return {
+        "walking": (walk_trace, walk_truth.step_count),
+        "stepping": (step_trace, step_truth.step_count),
+        "mixed": (mixed.trace, mixed.true_step_count),
+    }
+
+
+def run_overall_accuracy(
+    n_users: int = 3,
+    duration_s: float = 60.0,
+    seed: int = 31,
+) -> Tuple[Dict[Tuple[str, str], float], Table]:
+    """Fig. 6(a): accuracy of all four systems per gait category.
+
+    Returns:
+        Tuple of (mean accuracy per (system, category), table with
+        paper values alongside).
+    """
+    users = make_users(n_users, seed)
+    rng = np.random.default_rng(seed + 1)
+    systems = ("gfit", "mtage", "scar", "ptrack")
+    sums: Dict[Tuple[str, str], List[float]] = {}
+    for user in users:
+        scar = train_scar(user, rng)
+        sessions = _category_sessions(user, rng, duration_s)
+        for category, (trace, true_steps) in sessions.items():
+            for system in systems:
+                counted = count_with(system, trace, scar=scar)
+                sums.setdefault((system, category), []).append(
+                    count_accuracy(counted, true_steps)
+                )
+    means = {key: float(np.mean(vals)) for key, vals in sums.items()}
+    table = Table(
+        "Fig. 6(a): step-count accuracy (mean over %d users)" % n_users,
+        ["category", "system", "measured", "paper"],
+    )
+    for category in ("walking", "stepping", "mixed"):
+        for system in systems:
+            table.add_row(
+                category,
+                system,
+                means[(system, category)],
+                PAPER_ACCURACY[(system, category)],
+            )
+    return means, table
+
+
+def run_breakdown(
+    n_users: int = 3,
+    duration_s: float = 60.0,
+    seed: int = 37,
+) -> Tuple[Dict[str, Dict[str, float]], Table]:
+    """Fig. 6(b): PTrack's gait-type classification breakdown.
+
+    Returns:
+        Tuple of (percentages per category, table). "others" is the
+        fraction of candidate cycles classified as interference.
+    """
+    users = make_users(n_users, seed)
+    rng = np.random.default_rng(seed + 1)
+    counter = PTrackStepCounter()
+    counts: Dict[str, Dict[str, int]] = {
+        c: {"walking": 0, "stepping": 0, "others": 0}
+        for c in ("walking", "stepping", "mixed")
+    }
+    for user in users:
+        for category, (trace, _) in _category_sessions(user, rng, duration_s).items():
+            _, classifications = counter.process(trace)
+            for cls in classifications:
+                if cls.gait_type is GaitType.WALKING:
+                    counts[category]["walking"] += 1
+                elif cls.gait_type is GaitType.STEPPING:
+                    counts[category]["stepping"] += 1
+                else:
+                    counts[category]["others"] += 1
+    percents: Dict[str, Dict[str, float]] = {}
+    for category, c in counts.items():
+        total = max(1, sum(c.values()))
+        percents[category] = {k: 100.0 * v / total for k, v in c.items()}
+    table = Table(
+        "Fig. 6(b): PTrack gait-type breakdown (%% of candidate cycles; "
+        "paper 'Others': walking 2.3, stepping 1.7, mixed 7.4)",
+        ["category", "walking %", "stepping %", "others %", "paper others %"],
+    )
+    for category in ("walking", "stepping", "mixed"):
+        p = percents[category]
+        table.add_row(
+            category,
+            p["walking"],
+            p["stepping"],
+            p["others"],
+            PAPER_OTHERS_PERCENT[category],
+        )
+    return percents, table

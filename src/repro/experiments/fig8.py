@@ -1,0 +1,158 @@
+"""Fig. 8 — stride-estimation accuracy.
+
+(a) PTrack vs Montage on the wrist: Montage's body-attachment
+    assumption breaks (it reads arm + body as bounce), PTrack's bounce
+    extraction keeps the per-step error around 5 cm.
+(b) PTrack-Automatic (self-trained profile) vs PTrack-Manual (noisy
+    tape-measured profile): paper averages 5.3 cm vs 5.7 cm —
+    self-training is at least as good as manual measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.baselines.montage import MontageTracker
+from repro.core.pipeline import PTrack
+from repro.core.selftrain import CalibrationWalk, SelfTrainer
+from repro.eval.metrics import stride_errors, summarize
+from repro.eval.reporting import Table
+from repro.experiments.common import make_users
+from repro.sensing.imu import IMUTrace
+from repro.simulation.profiles import SimulatedUser
+from repro.simulation.walker import simulate_walk
+
+__all__ = ["run_stride_comparison", "run_self_training", "PAPER_ERRORS_CM"]
+
+#: Paper-reported average per-step stride errors (cm).
+PAPER_ERRORS_CM = {"ptrack": 5.0, "ptrack_automatic": 5.3, "ptrack_manual": 5.7}
+
+
+def _test_walks(
+    user: SimulatedUser,
+    rng: np.random.Generator,
+    duration_s: float,
+) -> List[Tuple[IMUTrace, np.ndarray]]:
+    """Indoor/outdoor-style test trajectories at different paces."""
+    walks = []
+    for cadence, stride in (
+        (0.9 * user.cadence_hz, 0.9 * user.stride_m),
+        (user.cadence_hz, user.stride_m),
+        (1.1 * user.cadence_hz, 1.1 * user.stride_m),
+    ):
+        tuned = user.with_gait(cadence_hz=cadence, stride_m=stride)
+        trace, truth = simulate_walk(tuned, duration_s, rng=rng)
+        walks.append((trace, truth.stride_lengths_m))
+    return walks
+
+
+def _calibration_walks(
+    user: SimulatedUser,
+    rng: np.random.Generator,
+    duration_s: float = 45.0,
+) -> List[CalibrationWalk]:
+    """Initialisation walks (walking + stepping, coarse distance refs)."""
+    walks = []
+    for cadence, stride in (
+        (0.9 * user.cadence_hz, 0.88 * user.stride_m),
+        (user.cadence_hz, user.stride_m),
+        (1.1 * user.cadence_hz, 1.12 * user.stride_m),
+    ):
+        tuned = user.with_gait(cadence_hz=cadence, stride_m=stride)
+        walk_trace, walk_truth = simulate_walk(tuned, duration_s, rng=rng)
+        step_trace, step_truth = simulate_walk(
+            tuned, duration_s * 0.6, rng=rng, arm_mode="rigid"
+        )
+        trace = IMUTrace.concatenate([walk_trace, step_trace])
+        reference = (walk_truth.total_distance_m + step_truth.total_distance_m) * (
+            1.0 + float(rng.normal(0.0, 0.02))
+        )
+        walks.append(CalibrationWalk(trace, reference))
+    return walks
+
+
+def run_stride_comparison(
+    n_users: int = 3,
+    duration_s: float = 45.0,
+    seed: int = 47,
+) -> Tuple[Dict[str, np.ndarray], Table]:
+    """Fig. 8(a): per-step stride errors, PTrack vs Montage on wrists.
+
+    Returns:
+        Tuple of (per-system error arrays in cm, table).
+    """
+    users = make_users(n_users, seed)
+    rng = np.random.default_rng(seed + 1)
+    errors: Dict[str, List[float]] = {"ptrack": [], "mtage": []}
+    for user in users:
+        ptrack = PTrack(profile=user.profile)
+        mtage = MontageTracker(profile=user.profile)
+        for trace, true_strides in _test_walks(user, rng, duration_s):
+            result = ptrack.track(trace)
+            errors["ptrack"].extend(
+                stride_errors([s.length_m for s in result.strides], true_strides)
+                * 100.0
+            )
+            errors["mtage"].extend(
+                stride_errors(
+                    [s.length_m for s in mtage.estimate_strides(trace)], true_strides
+                )
+                * 100.0
+            )
+    arrays = {k: np.asarray(v) for k, v in errors.items()}
+    table = Table(
+        "Fig. 8(a): per-step stride error (cm); paper: PTrack ~5, Montage much worse",
+        ["system", "mean", "median", "p90", "n steps"],
+    )
+    for name, errs in arrays.items():
+        s = summarize(errs)
+        table.add_row(name, s.mean, s.median, s.p90, s.n)
+    return arrays, table
+
+
+def run_self_training(
+    n_users: int = 2,
+    duration_s: float = 45.0,
+    seed: int = 53,
+    manual_sigma_m: float = 0.035,
+) -> Tuple[Dict[str, np.ndarray], Table]:
+    """Fig. 8(b): self-trained vs manually measured profiles.
+
+    Manual profiles carry tape-measure error (the paper attributes
+    PTrack-Manual's slightly worse accuracy to imprecise landmark
+    placement by inexperienced users).
+
+    Returns:
+        Tuple of (per-mode error arrays in cm, table).
+    """
+    users = make_users(n_users, seed)
+    rng = np.random.default_rng(seed + 1)
+    errors: Dict[str, List[float]] = {"automatic": [], "manual": []}
+    for user in users:
+        profile_auto = SelfTrainer().train(_calibration_walks(user, rng))
+        profile_manual = user.measured_profile(rng, measurement_sigma_m=manual_sigma_m)
+        trackers = {
+            "automatic": PTrack(profile=profile_auto),
+            "manual": PTrack(profile=profile_manual),
+        }
+        for trace, true_strides in _test_walks(user, rng, duration_s):
+            for mode, tracker in trackers.items():
+                result = tracker.track(trace)
+                errors[mode].extend(
+                    stride_errors(
+                        [s.length_m for s in result.strides], true_strides
+                    )
+                    * 100.0
+                )
+    arrays = {k: np.asarray(v) for k, v in errors.items()}
+    table = Table(
+        "Fig. 8(b): stride error (cm), automatic vs manual profiles "
+        "(paper: 5.3 vs 5.7)",
+        ["mode", "mean", "median", "p90", "n steps"],
+    )
+    for name, errs in arrays.items():
+        s = summarize(errs)
+        table.add_row(name, s.mean, s.median, s.p90, s.n)
+    return arrays, table

@@ -1,0 +1,158 @@
+"""The month-long study protocol (SIV, headline claim).
+
+"The experiments last for more than one month and we assist each user
+to record their entire testing processes" — and the headline result:
+"steps can be accurately counted by PTrack, achieving an error rate as
+low as 0.02 with extensive interfering activities".
+
+This driver reproduces that protocol at simulation speed: a population
+of users each live through many mixed-activity sessions (walks, phone
+calls with stepping, meals, card games, phone games, photo breaks,
+desk work, the occasional spoofer prank), and every counter is scored
+on the aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.baselines.autocorr_counter import AutocorrelationStepCounter
+from repro.baselines.montage import MontageTracker
+from repro.baselines.peak_counter import PeakStepCounter
+from repro.core.step_counter import PTrackStepCounter
+from repro.eval.metrics import count_error_rate
+from repro.eval.reporting import Table
+from repro.experiments.common import make_users, train_scar
+from repro.simulation.scenarios import LabeledSession, SessionBuilder
+from repro.simulation.profiles import SimulatedUser
+from repro.types import ActivityKind, Posture
+
+__all__ = ["run_study", "StudyResult", "daily_session"]
+
+PAPER_ERROR_RATE = 0.02
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """Aggregate outcome of one counter over the whole study.
+
+    Attributes:
+        counter: System name.
+        counted: Total steps reported.
+        true: Total ground-truth steps.
+        error_rate: ``|counted - true| / true``.
+    """
+
+    counter: str
+    counted: int
+    true: int
+    error_rate: float
+
+
+def daily_session(
+    user: SimulatedUser,
+    rng: np.random.Generator,
+    scale: float = 1.0,
+) -> LabeledSession:
+    """One day-in-the-life session: walks interleaved with daily noise.
+
+    Args:
+        user: The simulated user.
+        rng: Random generator (drives both the plan and the signals).
+        scale: Duration multiplier (1.0 = ~8 minutes of recording,
+            standing in for the highlights of a day).
+
+    Returns:
+        The labelled session.
+    """
+    builder = SessionBuilder(user, rng=rng)
+    builder.walk(rng.uniform(40, 70) * scale)
+    builder.interfere(
+        ActivityKind.KEYSTROKE, rng.uniform(30, 60) * scale, posture=Posture.SEATED
+    )
+    builder.step(rng.uniform(30, 50) * scale)
+    builder.interfere(
+        ActivityKind.EATING, rng.uniform(50, 90) * scale, posture=Posture.SEATED
+    )
+    builder.walk(rng.uniform(30, 60) * scale)
+    builder.interfere(
+        ActivityKind.GAME, rng.uniform(40, 70) * scale, posture=Posture.SEATED
+    )
+    if rng.uniform() < 0.5:
+        builder.interfere(
+            ActivityKind.POKER, rng.uniform(40, 70) * scale, posture=Posture.SEATED
+        )
+    else:
+        builder.interfere(
+            ActivityKind.PHOTO, rng.uniform(40, 70) * scale, posture=Posture.STANDING
+        )
+    builder.interfere(
+        ActivityKind.WATCH_GLANCE, rng.uniform(30, 50) * scale, posture=Posture.STANDING
+    )
+    builder.step(rng.uniform(25, 45) * scale)
+    if rng.uniform() < 0.3:
+        builder.spoof(rng.uniform(20, 40) * scale)
+    builder.walk(rng.uniform(30, 60) * scale)
+    return builder.build()
+
+
+def run_study(
+    n_users: int = 3,
+    n_days: int = 3,
+    seed: int = 83,
+    scale: float = 0.6,
+) -> Tuple[List[StudyResult], Table]:
+    """Score every counter over a multi-user, multi-day study.
+
+    Args:
+        n_users: Population size.
+        n_days: Sessions per user.
+        seed: Reproducibility seed.
+        scale: Session-duration multiplier.
+
+    Returns:
+        Tuple of (per-counter results, rendered table).
+    """
+    users = make_users(n_users, seed)
+    rng = np.random.default_rng(seed + 1)
+    counters = {
+        "gfit": PeakStepCounter.gfit().count_steps,
+        "mtage": MontageTracker().count_steps,
+        "autocorr": AutocorrelationStepCounter().count_steps,
+        "ptrack": PTrackStepCounter().count_steps,
+    }
+    counted: Dict[str, int] = {name: 0 for name in counters}
+    counted["scar"] = 0
+    total_true = 0
+
+    for user in users:
+        scar = train_scar(user, rng, duration_s=45.0)
+        for _ in range(n_days):
+            session = daily_session(user, rng, scale=scale)
+            total_true += session.true_step_count
+            for name, count in counters.items():
+                counted[name] += count(session.trace)
+            counted["scar"] += scar.count_steps(session.trace)
+
+    results = [
+        StudyResult(
+            counter=name,
+            counted=value,
+            true=total_true,
+            error_rate=count_error_rate(value, total_true),
+        )
+        for name, value in counted.items()
+    ]
+    results.sort(key=lambda r: r.error_rate)
+
+    table = Table(
+        "Month-long-study protocol: %d users x %d sessions "
+        "(paper: PTrack error rate as low as 0.02)" % (n_users, n_days),
+        ["counter", "counted", "true", "error rate"],
+    )
+    for r in results:
+        table.add_row(r.counter, r.counted, r.true, r.error_rate)
+    return results, table

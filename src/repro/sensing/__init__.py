@@ -1,0 +1,41 @@
+"""Sensing substrate: IMU traces, noise models, frames and devices.
+
+The paper's platform is an LG Urbane smartwatch streaming accelerometer
+data through attitude-aware motion APIs [25], which expose *linear*
+(gravity-removed) acceleration in a gravity-aligned frame. This package
+models that data path: trace containers, realistic sensor impairments,
+frame conversions and a wearable-device front end that turns ideal
+simulated kinematics into the samples an algorithm would actually see.
+"""
+
+from repro.sensing.attitude import (
+    ComplementaryFilter,
+    RawIMUTrace,
+    recover_linear_acceleration,
+)
+from repro.sensing.device import WearableDevice
+from repro.sensing.frames import (
+    heading_rotation,
+    rotate_xyz,
+    rotation_from_euler,
+)
+from repro.sensing.imu import GRAVITY_M_S2, IMUTrace
+from repro.sensing.io import load_session, load_trace, save_session, save_trace
+from repro.sensing.noise import NoiseModel
+
+__all__ = [
+    "ComplementaryFilter",
+    "GRAVITY_M_S2",
+    "RawIMUTrace",
+    "recover_linear_acceleration",
+    "IMUTrace",
+    "NoiseModel",
+    "WearableDevice",
+    "load_session",
+    "load_trace",
+    "save_session",
+    "save_trace",
+    "heading_rotation",
+    "rotate_xyz",
+    "rotation_from_euler",
+]

@@ -1,0 +1,229 @@
+"""Attitude estimation: from raw device-frame IMU data to the
+gravity-aligned frame the tracking pipeline consumes.
+
+The paper obtains vertical accelerations "directly ... from motion
+sensor APIs on both Android and iOS platforms" [25]. Those APIs are an
+attitude filter fusing the gyroscope (fast, drifting) with the
+accelerometer's gravity observation (slow, absolute): this module
+implements that substrate so the pipeline can run on *raw* device-frame
+data rather than oracle world-frame signals.
+
+The filter is a rotation-matrix complementary filter:
+
+* predict: integrate the body-rate gyro, ``R <- R @ expm(skew(w) dt)``;
+* correct: tilt the estimate a small step toward agreement between the
+  measured specific-force direction and the predicted gravity, gated by
+  how close the accelerometer magnitude is to 1 g (during vigorous
+  swings the accelerometer measures motion, not gravity, and must not
+  be trusted).
+
+Yaw is unobservable without a magnetometer and may drift slowly; PTrack
+is insensitive to it because the anterior axis is re-derived from the
+data every cycle (SIII-B2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SignalError
+from repro.sensing.imu import GRAVITY_M_S2, IMUTrace
+
+__all__ = ["RawIMUTrace", "ComplementaryFilter", "recover_linear_acceleration"]
+
+
+@dataclass(frozen=True)
+class RawIMUTrace:
+    """Raw device-frame IMU stream (what the hardware really outputs).
+
+    Attributes:
+        specific_force: Accelerometer output, shape (N, 3), device
+            frame, *including* the gravity reaction (m/s^2).
+        angular_rate: Gyroscope output, shape (N, 3), device frame
+            (rad/s).
+        sample_rate_hz: Sampling rate.
+        start_time: Timestamp of the first sample.
+    """
+
+    specific_force: np.ndarray
+    angular_rate: np.ndarray
+    sample_rate_hz: float
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        acc = np.asarray(self.specific_force, dtype=float)
+        gyr = np.asarray(self.angular_rate, dtype=float)
+        if acc.ndim != 2 or acc.shape[1] != 3:
+            raise SignalError(f"specific_force must be (N, 3), got {acc.shape}")
+        if gyr.shape != acc.shape:
+            raise SignalError(
+                f"angular_rate shape {gyr.shape} != specific_force {acc.shape}"
+            )
+        if acc.shape[0] == 0:
+            raise SignalError("raw trace must contain at least one sample")
+        if not (np.all(np.isfinite(acc)) and np.all(np.isfinite(gyr))):
+            raise SignalError("raw trace contains non-finite values")
+        if self.sample_rate_hz <= 0:
+            raise SignalError("sample_rate_hz must be positive")
+        object.__setattr__(self, "specific_force", acc.copy())
+        object.__setattr__(self, "angular_rate", gyr.copy())
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples."""
+        return int(self.specific_force.shape[0])
+
+    @property
+    def dt(self) -> float:
+        """Sample period in seconds."""
+        return 1.0 / self.sample_rate_hz
+
+
+def _skew(v: np.ndarray) -> np.ndarray:
+    return np.array(
+        [
+            [0.0, -v[2], v[1]],
+            [v[2], 0.0, -v[0]],
+            [-v[1], v[0], 0.0],
+        ]
+    )
+
+
+def _rotation_exp(axis_angle: np.ndarray) -> np.ndarray:
+    """Rodrigues' formula: matrix exponential of a rotation vector."""
+    angle = float(np.linalg.norm(axis_angle))
+    if angle < 1e-12:
+        return np.eye(3) + _skew(axis_angle)
+    axis = axis_angle / angle
+    k = _skew(axis)
+    return np.eye(3) + np.sin(angle) * k + (1.0 - np.cos(angle)) * (k @ k)
+
+
+class ComplementaryFilter:
+    """Rotation-matrix complementary attitude filter.
+
+    Args:
+        sample_rate_hz: Rate of the incoming raw stream.
+        tau_s: Correction time constant — how quickly the accelerometer
+            pulls the tilt estimate (2 s suits wrist dynamics: faster
+            corrections chase swing accelerations, slower ones let gyro
+            bias accumulate).
+        gravity_gate: Relative band around 1 g within which the
+            accelerometer is trusted as a gravity observation.
+    """
+
+    def __init__(
+        self,
+        sample_rate_hz: float,
+        tau_s: float = 2.0,
+        gravity_gate: float = 0.3,
+    ) -> None:
+        if sample_rate_hz <= 0:
+            raise ConfigurationError("sample_rate_hz must be positive")
+        if tau_s <= 0:
+            raise ConfigurationError("tau_s must be positive")
+        if not 0 < gravity_gate < 1:
+            raise ConfigurationError("gravity_gate must be in (0, 1)")
+        self._rate = sample_rate_hz
+        self._dt = 1.0 / sample_rate_hz
+        self._alpha = self._dt / (tau_s + self._dt)
+        self._gate = gravity_gate
+
+    def estimate(
+        self,
+        raw: RawIMUTrace,
+        initial_rotation: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-sample world-from-device rotation estimates.
+
+        Args:
+            raw: The raw device-frame stream.
+            initial_rotation: Optional known initial attitude; when
+                absent, the first accelerometer sample initialises the
+                tilt (device assumed quasi-static at start).
+
+        Returns:
+            Array of shape (N, 3, 3): world_from_device rotations.
+        """
+        if abs(raw.sample_rate_hz - self._rate) > 1e-9:
+            raise ConfigurationError(
+                f"raw rate {raw.sample_rate_hz} != filter rate {self._rate}"
+            )
+        n = raw.n_samples
+        rotations = np.empty((n, 3, 3))
+        if initial_rotation is not None:
+            rotation = np.asarray(initial_rotation, dtype=float).copy()
+        else:
+            rotation = self._tilt_from_accel(raw.specific_force[0])
+
+        up = np.array([0.0, 0.0, 1.0])
+        for k in range(n):
+            if k > 0:
+                # Predict: integrate the body rate.
+                rotation = rotation @ _rotation_exp(
+                    raw.angular_rate[k] * self._dt
+                )
+            # Correct: pull the predicted gravity toward the measured
+            # specific-force direction when the magnitude is ~1 g.
+            force = raw.specific_force[k]
+            magnitude = float(np.linalg.norm(force))
+            if abs(magnitude - GRAVITY_M_S2) < self._gate * GRAVITY_M_S2:
+                measured_up = rotation @ (force / magnitude)
+                axis = np.cross(measured_up, up)
+                norm = float(np.linalg.norm(axis))
+                if norm > 1e-12:
+                    angle = float(
+                        np.arcsin(np.clip(norm, -1.0, 1.0))
+                    )
+                    correction = (axis / norm) * (self._alpha * angle)
+                    rotation = _rotation_exp(correction) @ rotation
+            rotations[k] = rotation
+        return rotations
+
+    @staticmethod
+    def _tilt_from_accel(force: np.ndarray) -> np.ndarray:
+        """Initial attitude whose gravity matches one accel sample."""
+        magnitude = float(np.linalg.norm(force))
+        if magnitude < 1e-9:
+            return np.eye(3)
+        measured_up_device = force / magnitude
+        up = np.array([0.0, 0.0, 1.0])
+        # Rotation sending the device's measured up to world up.
+        axis = np.cross(measured_up_device, up)
+        norm = float(np.linalg.norm(axis))
+        if norm < 1e-12:
+            return np.eye(3) if measured_up_device @ up > 0 else _rotation_exp(
+                np.array([np.pi, 0.0, 0.0])
+            )
+        angle = float(np.arctan2(norm, float(measured_up_device @ up)))
+        return _rotation_exp((axis / norm) * angle)
+
+
+def recover_linear_acceleration(
+    raw: RawIMUTrace,
+    tau_s: float = 2.0,
+    initial_rotation: Optional[np.ndarray] = None,
+) -> IMUTrace:
+    """The [25] substrate: raw device stream -> world-frame linear trace.
+
+    Runs the complementary filter, rotates the specific force into the
+    world frame and subtracts gravity — producing exactly the
+    :class:`~repro.sensing.imu.IMUTrace` the tracking pipeline
+    consumes.
+
+    Args:
+        raw: Raw device-frame stream.
+        tau_s: Filter time constant.
+        initial_rotation: Optional known initial attitude.
+
+    Returns:
+        World-frame linear-acceleration trace.
+    """
+    filt = ComplementaryFilter(raw.sample_rate_hz, tau_s=tau_s)
+    rotations = filt.estimate(raw, initial_rotation)
+    world = np.einsum("nij,nj->ni", rotations, raw.specific_force)
+    world[:, 2] -= GRAVITY_M_S2
+    return IMUTrace(world, raw.sample_rate_hz, raw.start_time)

@@ -1,0 +1,88 @@
+"""Wearable device front end.
+
+Converts ideal simulated wrist kinematics into the trace an algorithm
+receives from a real watch: noise, a residual attitude error (the
+attitude filter on the device is good but not perfect, so "vertical"
+leaks a little horizontal signal and vice versa) and the platform's
+gravity removal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.sensing.frames import rotation_from_euler, rotate_xyz
+from repro.sensing.imu import IMUTrace
+from repro.sensing.noise import NoiseModel
+
+__all__ = ["WearableDevice"]
+
+
+@dataclass(frozen=True)
+class WearableDevice:
+    """A smartwatch-class accelerometer pipeline.
+
+    Attributes:
+        sample_rate_hz: Output sampling rate (LG Urbane streams ~100 Hz).
+        noise: Sensor impairment model.
+        attitude_error_rad: Scale of the residual attitude error. Each
+            observed trace draws small roll/pitch errors from a normal
+            distribution with this standard deviation, representing the
+            imperfection of the on-device attitude filter [25].
+    """
+
+    sample_rate_hz: float = 100.0
+    noise: NoiseModel = field(default_factory=NoiseModel.consumer_wrist)
+    attitude_error_rad: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_hz <= 0:
+            raise ConfigurationError(
+                f"sample_rate_hz must be positive, got {self.sample_rate_hz}"
+            )
+        if self.attitude_error_rad < 0:
+            raise ConfigurationError(
+                f"attitude_error_rad must be >= 0, got {self.attitude_error_rad}"
+            )
+
+    @staticmethod
+    def ideal(sample_rate_hz: float = 100.0) -> "WearableDevice":
+        """A perfect device: no noise, no attitude error."""
+        return WearableDevice(sample_rate_hz, NoiseModel.ideal(), 0.0)
+
+    def observe(
+        self,
+        true_acceleration: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        start_time: float = 0.0,
+    ) -> IMUTrace:
+        """Produce the trace the platform API would hand an app.
+
+        Args:
+            true_acceleration: Ideal world-frame linear acceleration of
+                the device, shape (N, 3), sampled at ``sample_rate_hz``.
+            rng: Random generator for noise/attitude draws. ``None``
+                yields the noiseless (but attitude-error-free) path,
+                used by deterministic unit tests.
+            start_time: Timestamp of the first sample.
+
+        Returns:
+            The observed :class:`IMUTrace`.
+        """
+        arr = np.asarray(true_acceleration, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != 3:
+            raise ConfigurationError(
+                f"true_acceleration must have shape (N, 3), got {arr.shape}"
+            )
+        observed = arr
+        if rng is not None:
+            if self.attitude_error_rad > 0:
+                roll, pitch = rng.normal(0.0, self.attitude_error_rad, size=2)
+                tilt = rotation_from_euler(float(roll), float(pitch), 0.0)
+                observed = rotate_xyz(observed, tilt)
+            observed = self.noise.apply(observed, rng)
+        return IMUTrace(observed, self.sample_rate_hz, start_time)

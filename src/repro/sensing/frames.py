@@ -1,0 +1,86 @@
+"""Coordinate-frame utilities.
+
+The library works in a gravity-aligned world frame (x anterior at
+heading 0, y lateral, z up). The simulator rotates walking kinematics
+to arbitrary headings, and the device model can apply a small residual
+attitude error representing imperfect attitude estimation on the watch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["heading_rotation", "rotation_from_euler", "rotate_xyz"]
+
+
+def heading_rotation(heading_rad: float) -> np.ndarray:
+    """Rotation matrix about the vertical axis by ``heading_rad``.
+
+    Heading 0 maps the local anterior axis onto world +x; positive
+    headings rotate counter-clockwise when viewed from above.
+
+    Returns:
+        3x3 rotation matrix (world_from_local).
+    """
+    c, s = np.cos(heading_rad), np.sin(heading_rad)
+    return np.array(
+        [
+            [c, -s, 0.0],
+            [s, c, 0.0],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+
+
+def rotation_from_euler(
+    roll_rad: float,
+    pitch_rad: float,
+    yaw_rad: float,
+) -> np.ndarray:
+    """Rotation matrix from intrinsic z-y-x (yaw, pitch, roll) Euler angles.
+
+    Args:
+        roll_rad: Rotation about the (final) x axis.
+        pitch_rad: Rotation about the (intermediate) y axis.
+        yaw_rad: Rotation about the (initial) z axis.
+
+    Returns:
+        3x3 rotation matrix composing ``Rz(yaw) @ Ry(pitch) @ Rx(roll)``.
+    """
+    cr, sr = np.cos(roll_rad), np.sin(roll_rad)
+    cp, sp = np.cos(pitch_rad), np.sin(pitch_rad)
+    cy, sy = np.cos(yaw_rad), np.sin(yaw_rad)
+    rx = np.array([[1, 0, 0], [0, cr, -sr], [0, sr, cr]], dtype=float)
+    ry = np.array([[cp, 0, sp], [0, 1, 0], [-sp, 0, cp]], dtype=float)
+    rz = np.array([[cy, -sy, 0], [sy, cy, 0], [0, 0, 1]], dtype=float)
+    return rz @ ry @ rx
+
+
+def rotate_xyz(vectors: np.ndarray, rotation: np.ndarray) -> np.ndarray:
+    """Apply a rotation matrix to an array of 3-vectors.
+
+    Args:
+        vectors: Array of shape (N, 3) or (3,).
+        rotation: 3x3 rotation matrix.
+
+    Returns:
+        Rotated vectors with the input's shape.
+
+    Raises:
+        ConfigurationError: If ``rotation`` is not a proper 3x3 matrix.
+    """
+    rot = np.asarray(rotation, dtype=float)
+    if rot.shape != (3, 3):
+        raise ConfigurationError(f"rotation must be 3x3, got {rot.shape}")
+    if not np.allclose(rot @ rot.T, np.eye(3), atol=1e-6):
+        raise ConfigurationError("rotation matrix is not orthonormal")
+    arr = np.asarray(vectors, dtype=float)
+    if arr.ndim == 1:
+        if arr.shape != (3,):
+            raise ConfigurationError(f"vector must have shape (3,), got {arr.shape}")
+        return rot @ arr
+    if arr.ndim != 2 or arr.shape[1] != 3:
+        raise ConfigurationError(f"vectors must have shape (N, 3), got {arr.shape}")
+    return arr @ rot.T

@@ -1,0 +1,155 @@
+"""IMU trace container.
+
+A :class:`IMUTrace` is the single currency between the simulator, the
+sensing front end and every tracking algorithm in this library: a
+uniformly sampled stream of world-frame linear acceleration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.exceptions import SignalError
+
+__all__ = ["GRAVITY_M_S2", "IMUTrace"]
+
+GRAVITY_M_S2: float = 9.80665
+"""Standard gravity, used when converting raw to linear acceleration."""
+
+
+@dataclass(frozen=True)
+class IMUTrace:
+    """A uniformly sampled world-frame linear-acceleration stream.
+
+    Attributes:
+        linear_acceleration: Array of shape (N, 3); columns are world
+            (x, y, z) with z pointing up, gravity already removed —
+            matching what platform motion APIs deliver [25].
+        sample_rate_hz: Sampling rate in Hz.
+        start_time: Timestamp of the first sample in seconds; segments
+            cut from a longer trace keep absolute time.
+    """
+
+    linear_acceleration: np.ndarray
+    sample_rate_hz: float
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.linear_acceleration, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != 3:
+            raise SignalError(
+                f"linear_acceleration must have shape (N, 3), got {arr.shape}"
+            )
+        if arr.shape[0] == 0:
+            raise SignalError("trace must contain at least one sample")
+        if not np.all(np.isfinite(arr)):
+            raise SignalError("linear_acceleration contains non-finite values")
+        if self.sample_rate_hz <= 0:
+            raise SignalError(
+                f"sample_rate_hz must be positive, got {self.sample_rate_hz}"
+            )
+        # Freeze the payload: dataclass(frozen) protects the binding,
+        # not the buffer, so make the buffer itself read-only.
+        arr = arr.copy()
+        arr.setflags(write=False)
+        object.__setattr__(self, "linear_acceleration", arr)
+
+    # ------------------------------------------------------------------
+    # Basic geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        """Number of samples in the trace."""
+        return int(self.linear_acceleration.shape[0])
+
+    @property
+    def dt(self) -> float:
+        """Sample period in seconds."""
+        return 1.0 / self.sample_rate_hz
+
+    @property
+    def duration_s(self) -> float:
+        """Trace duration in seconds (n_samples / rate)."""
+        return self.n_samples / self.sample_rate_hz
+
+    @property
+    def times(self) -> np.ndarray:
+        """Timestamps of every sample, shape (N,)."""
+        return self.start_time + np.arange(self.n_samples) / self.sample_rate_hz
+
+    @property
+    def vertical(self) -> np.ndarray:
+        """Vertical (z, up-positive) acceleration, shape (N,)."""
+        return self.linear_acceleration[:, 2]
+
+    @property
+    def horizontal(self) -> np.ndarray:
+        """Horizontal acceleration, shape (N, 2)."""
+        return self.linear_acceleration[:, :2]
+
+    # ------------------------------------------------------------------
+    # Slicing and joining
+    # ------------------------------------------------------------------
+    def slice_samples(self, start: int, end: int) -> "IMUTrace":
+        """Sub-trace covering sample range ``[start, end)``.
+
+        Raises:
+            SignalError: If the range is empty or out of bounds.
+        """
+        if not (0 <= start < end <= self.n_samples):
+            raise SignalError(
+                f"invalid sample range [{start}, {end}) for {self.n_samples} samples"
+            )
+        return IMUTrace(
+            self.linear_acceleration[start:end],
+            self.sample_rate_hz,
+            self.start_time + start / self.sample_rate_hz,
+        )
+
+    def slice_time(self, t0: float, t1: float) -> "IMUTrace":
+        """Sub-trace covering absolute time range ``[t0, t1)``."""
+        if t1 <= t0:
+            raise SignalError(f"need t1 > t0, got [{t0}, {t1})")
+        start = int(np.ceil((t0 - self.start_time) * self.sample_rate_hz))
+        end = int(np.ceil((t1 - self.start_time) * self.sample_rate_hz))
+        start = max(0, start)
+        end = min(self.n_samples, end)
+        if end <= start:
+            raise SignalError(f"time range [{t0}, {t1}) selects no samples")
+        return self.slice_samples(start, end)
+
+    @staticmethod
+    def concatenate(traces: Iterable["IMUTrace"]) -> "IMUTrace":
+        """Join traces end to end.
+
+        All traces must share the sampling rate; the result keeps the
+        first trace's start time and re-times the rest contiguously
+        (simulated sessions are stitched from activity segments, so
+        original per-segment start times are intentionally dropped).
+
+        Raises:
+            SignalError: On an empty input or mismatched rates.
+        """
+        items: List[IMUTrace] = list(traces)
+        if not items:
+            raise SignalError("cannot concatenate zero traces")
+        rate = items[0].sample_rate_hz
+        for t in items[1:]:
+            if abs(t.sample_rate_hz - rate) > 1e-9:
+                raise SignalError(
+                    f"sample-rate mismatch: {t.sample_rate_hz} != {rate}"
+                )
+        data = np.vstack([t.linear_acceleration for t in items])
+        return IMUTrace(data, rate, items[0].start_time)
+
+    def with_acceleration(self, linear_acceleration: np.ndarray) -> "IMUTrace":
+        """Copy of this trace with replaced acceleration payload."""
+        return IMUTrace(linear_acceleration, self.sample_rate_hz, self.start_time)
+
+    def index_at_time(self, t: float) -> int:
+        """Nearest sample index to absolute time ``t`` (clamped)."""
+        idx = int(round((t - self.start_time) * self.sample_rate_hz))
+        return min(max(idx, 0), self.n_samples - 1)

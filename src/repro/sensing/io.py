@@ -1,0 +1,157 @@
+"""Trace and session serialisation.
+
+Real evaluations collect traces once and process them many times; this
+module persists :class:`~repro.sensing.imu.IMUTrace` objects and
+labelled sessions to ``.npz`` archives (numpy's portable compressed
+container — no extra dependencies) so datasets survive across runs and
+can be shared.
+
+Format (versioned): each archive stores the payload arrays plus a
+``meta`` JSON string with the scalar fields; sessions add per-segment
+label records.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import List, Union
+
+import numpy as np
+
+from repro.exceptions import SignalError
+from repro.sensing.imu import IMUTrace
+from repro.simulation.profiles import SimulatedUser
+from repro.simulation.scenarios import ActivitySegment, LabeledSession
+from repro.types import ActivityKind, Posture
+
+__all__ = ["save_trace", "load_trace", "save_session", "load_session"]
+
+_TRACE_VERSION = 1
+_SESSION_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_trace(path: PathLike, trace: IMUTrace) -> None:
+    """Persist a trace to a ``.npz`` archive.
+
+    Args:
+        path: Destination file (``.npz`` appended if missing).
+        trace: The trace to save.
+    """
+    meta = {
+        "version": _TRACE_VERSION,
+        "sample_rate_hz": trace.sample_rate_hz,
+        "start_time": trace.start_time,
+    }
+    np.savez_compressed(
+        str(path),
+        linear_acceleration=trace.linear_acceleration,
+        meta=np.asarray(json.dumps(meta)),
+    )
+
+
+def load_trace(path: PathLike) -> IMUTrace:
+    """Load a trace saved by :func:`save_trace`.
+
+    Raises:
+        SignalError: On a malformed or wrong-version archive.
+    """
+    with np.load(str(path), allow_pickle=False) as archive:
+        if "meta" not in archive or "linear_acceleration" not in archive:
+            raise SignalError(f"{path} is not a saved trace")
+        meta = json.loads(str(archive["meta"]))
+        if meta.get("version") != _TRACE_VERSION:
+            raise SignalError(
+                f"unsupported trace version {meta.get('version')} in {path}"
+            )
+        return IMUTrace(
+            archive["linear_acceleration"],
+            float(meta["sample_rate_hz"]),
+            float(meta["start_time"]),
+        )
+
+
+def save_session(path: PathLike, session: LabeledSession) -> None:
+    """Persist a labelled session (trace + ground truth segments).
+
+    Args:
+        path: Destination file.
+        session: The session to save.
+    """
+    segments = [
+        {
+            "kind": seg.kind.value,
+            "posture": seg.posture.value,
+            "start_time": seg.start_time,
+            "end_time": seg.end_time,
+            "step_times": list(seg.step_times),
+            "stride_lengths_m": list(seg.stride_lengths_m),
+        }
+        for seg in session.segments
+    ]
+    user = {
+        "name": session.user.name,
+        "arm_length_m": session.user.arm_length_m,
+        "leg_length_m": session.user.leg_length_m,
+        "shoulder_height_m": session.user.shoulder_height_m,
+        "cadence_hz": session.user.cadence_hz,
+        "stride_m": session.user.stride_m,
+        "arm_swing_amplitude_rad": session.user.arm_swing_amplitude_rad,
+        "arm_swing_forward_bias_rad": session.user.arm_swing_forward_bias_rad,
+        "speed_ripple": session.user.speed_ripple,
+        "lateral_sway_m": session.user.lateral_sway_m,
+        "elbow_lag_s": session.user.elbow_lag_s,
+        "arm_phase_lag": session.user.arm_phase_lag,
+        "arm_second_harmonic_rad": session.user.arm_second_harmonic_rad,
+        "arm_second_harmonic_phase": session.user.arm_second_harmonic_phase,
+    }
+    meta = {
+        "version": _SESSION_VERSION,
+        "sample_rate_hz": session.trace.sample_rate_hz,
+        "start_time": session.trace.start_time,
+        "segments": segments,
+        "user": user,
+    }
+    np.savez_compressed(
+        str(path),
+        linear_acceleration=session.trace.linear_acceleration,
+        meta=np.asarray(json.dumps(meta)),
+    )
+
+
+def load_session(path: PathLike) -> LabeledSession:
+    """Load a session saved by :func:`save_session`.
+
+    Raises:
+        SignalError: On a malformed or wrong-version archive.
+    """
+    with np.load(str(path), allow_pickle=False) as archive:
+        if "meta" not in archive or "linear_acceleration" not in archive:
+            raise SignalError(f"{path} is not a saved session")
+        meta = json.loads(str(archive["meta"]))
+        if meta.get("version") != _SESSION_VERSION:
+            raise SignalError(
+                f"unsupported session version {meta.get('version')} in {path}"
+            )
+        if "segments" not in meta or "user" not in meta:
+            raise SignalError(f"{path} is a plain trace, not a session")
+        trace = IMUTrace(
+            archive["linear_acceleration"],
+            float(meta["sample_rate_hz"]),
+            float(meta["start_time"]),
+        )
+    segments: List[ActivitySegment] = [
+        ActivitySegment(
+            kind=ActivityKind(record["kind"]),
+            posture=Posture(record["posture"]),
+            start_time=float(record["start_time"]),
+            end_time=float(record["end_time"]),
+            step_times=tuple(float(t) for t in record["step_times"]),
+            stride_lengths_m=tuple(float(s) for s in record["stride_lengths_m"]),
+        )
+        for record in meta["segments"]
+    ]
+    user = SimulatedUser(**meta["user"])
+    return LabeledSession(trace=trace, segments=tuple(segments), user=user)

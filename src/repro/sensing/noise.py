@@ -1,0 +1,83 @@
+"""Accelerometer impairment models.
+
+Wrist IMUs are not ideal sensors: per-axis white noise, a slowly
+wandering bias and quantisation all corrupt the signal the algorithms
+see. The model here is deliberately parametric so benchmarks can sweep
+noise levels (the ablation experiments do exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["NoiseModel"]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Additive accelerometer impairments.
+
+    Attributes:
+        white_sigma: Standard deviation of i.i.d. Gaussian noise per
+            axis, m/s^2. Typical consumer wrist IMUs: 0.02-0.1.
+        bias_sigma: Standard deviation of the constant per-axis bias
+            drawn once per trace, m/s^2.
+        bias_walk_sigma: Per-sample standard deviation of a random-walk
+            bias component, m/s^2/sqrt(sample). Models thermal drift.
+        quantization_step: LSB size of the ADC in m/s^2; 0 disables
+            quantisation.
+    """
+
+    white_sigma: float = 0.03
+    bias_sigma: float = 0.01
+    bias_walk_sigma: float = 0.0
+    quantization_step: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("white_sigma", "bias_sigma", "bias_walk_sigma", "quantization_step"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigurationError(f"{name} must be >= 0, got {value}")
+
+    @staticmethod
+    def ideal() -> "NoiseModel":
+        """A noiseless model, for algorithm-correctness tests."""
+        return NoiseModel(0.0, 0.0, 0.0, 0.0)
+
+    @staticmethod
+    def consumer_wrist() -> "NoiseModel":
+        """Default model matching a consumer smartwatch accelerometer."""
+        return NoiseModel(white_sigma=0.04, bias_sigma=0.015, bias_walk_sigma=0.0005)
+
+    def apply(self, acceleration: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Corrupt ideal acceleration with this model's impairments.
+
+        Args:
+            acceleration: Array of shape (N, 3), ideal kinematics.
+            rng: Random generator; the caller owns seeding so whole
+                simulated sessions are reproducible.
+
+        Returns:
+            New array of the same shape with noise applied.
+        """
+        arr = np.asarray(acceleration, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != 3:
+            raise ConfigurationError(
+                f"acceleration must have shape (N, 3), got {arr.shape}"
+            )
+        out = arr.copy()
+        n = arr.shape[0]
+        if self.bias_sigma > 0:
+            out += rng.normal(0.0, self.bias_sigma, size=(1, 3))
+        if self.bias_walk_sigma > 0:
+            steps = rng.normal(0.0, self.bias_walk_sigma, size=(n, 3))
+            out += np.cumsum(steps, axis=0)
+        if self.white_sigma > 0:
+            out += rng.normal(0.0, self.white_sigma, size=(n, 3))
+        if self.quantization_step > 0:
+            out = np.round(out / self.quantization_step) * self.quantization_step
+        return out

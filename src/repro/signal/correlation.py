@@ -1,0 +1,170 @@
+"""Correlation utilities: auto-correlation, half-cycle test, phase lag.
+
+Two PTrack tests live on these primitives (SIII-B1):
+
+* **Half-cycle auto-correlation ``C``** — within one gait cycle the
+  user steps twice, so the anterior acceleration repeats at the
+  half-cycle lag and its auto-correlation there is large and positive.
+  Arm gestures are back-and-forth (sine turns into cosine at direction
+  reversals), so their half-cycle correlation is not reliably positive.
+
+* **Fixed phase difference** — for the body alone, vertical and
+  anterior accelerations keep a fixed quarter-period phase offset
+  (Kim et al. [22]); stepping inherits it, arbitrary gestures do not.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import SignalError
+
+__all__ = [
+    "autocorrelation",
+    "half_cycle_correlation",
+    "normalized_cross_correlation",
+    "best_lag",
+    "phase_difference_fraction",
+]
+
+
+def _validate(x: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim != 1:
+        raise SignalError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size < 2:
+        raise SignalError(f"{name} needs at least 2 samples, got {arr.size}")
+    if not np.all(np.isfinite(arr)):
+        raise SignalError(f"{name} contains non-finite values")
+    return arr
+
+
+def autocorrelation(x: np.ndarray, lag: int) -> float:
+    """Normalised auto-correlation of ``x`` at one lag.
+
+    Pearson correlation between ``x[:-lag]`` and ``x[lag:]`` — bounded
+    in [-1, 1] and invariant to offset and scale, so thresholding at
+    zero is meaningful across users and devices.
+
+    Args:
+        x: 1-D signal.
+        lag: Positive lag in samples, strictly less than ``len(x)``.
+
+    Returns:
+        The correlation coefficient; 0.0 when either windowed half has
+        no variance (a constant signal carries no periodicity evidence).
+    """
+    arr = _validate(x, "signal")
+    if not 0 < lag < arr.size:
+        raise SignalError(f"lag must be in (0, {arr.size}), got {lag}")
+    a, b = arr[:-lag], arr[lag:]
+    sa, sb = a.std(), b.std()
+    if sa == 0.0 or sb == 0.0:
+        return 0.0
+    return float(np.mean((a - a.mean()) * (b - b.mean())) / (sa * sb))
+
+
+def half_cycle_correlation(anterior: np.ndarray) -> float:
+    """PTrack's ``C``: auto-correlation of one cycle at the half-cycle lag.
+
+    Args:
+        anterior: Anterior acceleration covering exactly one gait-cycle
+            candidate (two steps when the candidate is genuine gait).
+
+    Returns:
+        The normalised auto-correlation at ``len(anterior) // 2``.
+    """
+    arr = _validate(anterior, "anterior")
+    if arr.size < 4:
+        raise SignalError(f"cycle too short for half-cycle test: {arr.size} samples")
+    return autocorrelation(arr, arr.size // 2)
+
+
+def normalized_cross_correlation(x: np.ndarray, y: np.ndarray, lag: int) -> float:
+    """Pearson correlation between ``x`` and ``y`` shifted by ``lag``.
+
+    Positive ``lag`` compares ``x[t]`` with ``y[t + lag]`` (``y`` leads
+    by ``lag`` samples); negative compares against ``y`` delayed.
+
+    Returns:
+        Correlation in [-1, 1]; 0.0 for degenerate (constant) overlap.
+    """
+    a = _validate(x, "x")
+    b = _validate(y, "y")
+    if a.size != b.size:
+        raise SignalError(f"length mismatch: {a.size} vs {b.size}")
+    n = a.size
+    if abs(lag) >= n - 1:
+        raise SignalError(f"|lag| must be < {n - 1}, got {lag}")
+    if lag >= 0:
+        aa, bb = a[: n - lag], b[lag:]
+    else:
+        aa, bb = a[-lag:], b[: n + lag]
+    sa, sb = aa.std(), bb.std()
+    if sa == 0.0 or sb == 0.0:
+        return 0.0
+    return float(np.mean((aa - aa.mean()) * (bb - bb.mean())) / (sa * sb))
+
+
+def best_lag(x: np.ndarray, y: np.ndarray, max_lag: int) -> int:
+    """Lag in ``[-max_lag, max_lag]`` maximising the cross-correlation.
+
+    Args:
+        x: Reference signal.
+        y: Signal whose shift is sought.
+        max_lag: Symmetric lag search bound in samples.
+
+    Returns:
+        The maximising lag (ties resolve to the smallest magnitude).
+    """
+    a = _validate(x, "x")
+    b = _validate(y, "y")
+    if a.size != b.size:
+        raise SignalError(f"length mismatch: {a.size} vs {b.size}")
+    max_lag = min(max_lag, a.size - 2)
+    if max_lag < 0:
+        raise SignalError("signals too short for any lag search")
+    lags = sorted(range(-max_lag, max_lag + 1), key=abs)
+    best = 0
+    best_val = -np.inf
+    for lag in lags:
+        val = normalized_cross_correlation(a, b, lag)
+        if val > best_val + 1e-12:
+            best_val = val
+            best = lag
+    return best
+
+
+def phase_difference_fraction(
+    vertical: np.ndarray,
+    anterior: np.ndarray,
+    period_samples: Optional[int] = None,
+) -> float:
+    """Phase lead of ``anterior`` relative to ``vertical`` as a period fraction.
+
+    The lag maximising the cross-correlation is folded into
+    ``[0, period)`` and normalised by the period, so a fixed
+    quarter-period offset reads as ~0.25 (or 0.75 for the mirrored
+    direction convention) regardless of cadence.
+
+    Args:
+        vertical: Vertical acceleration of one gait cycle.
+        anterior: Anterior acceleration of the same cycle.
+        period_samples: Oscillation period; defaults to half the cycle
+            length (the per-step period, which is the body's dominant
+            period on both axes).
+
+    Returns:
+        Phase difference in ``[0, 1)`` of the per-step oscillation.
+    """
+    v = _validate(vertical, "vertical")
+    a = _validate(anterior, "anterior")
+    if v.size != a.size:
+        raise SignalError(f"length mismatch: {v.size} vs {a.size}")
+    period = period_samples if period_samples is not None else max(2, v.size // 2)
+    if period < 2:
+        raise SignalError(f"period_samples must be >= 2, got {period}")
+    lag = best_lag(v, a, max_lag=period)
+    return float(lag % period) / float(period)

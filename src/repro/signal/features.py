@@ -1,0 +1,145 @@
+"""Windowed activity features for learned classifiers (SCAR baseline).
+
+Dernbach et al. [18] classify simple/complex activities from short
+accelerometer windows using time- and frequency-domain statistics.
+This module computes a comparable feature vector; it is used only by
+the SCAR baseline — PTrack itself is training-free by design.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import SignalError
+
+__all__ = ["FEATURE_NAMES", "activity_features"]
+
+FEATURE_NAMES: Tuple[str, ...] = (
+    "vert_mean",
+    "vert_std",
+    "vert_rms",
+    "vert_energy",
+    "vert_zero_cross_rate",
+    "vert_dominant_freq_hz",
+    "vert_spectral_entropy",
+    "horiz_mean_mag",
+    "horiz_std_mag",
+    "horiz_dominant_freq_hz",
+    "vert_horiz_correlation",
+    "magnitude_mean",
+    "magnitude_std",
+    "magnitude_skew",
+    "magnitude_kurtosis",
+    "peak_rate_hz",
+)
+"""Names of the entries of a feature vector, in order."""
+
+
+def _spectral(x: np.ndarray, sample_rate_hz: float) -> Tuple[float, float]:
+    """(dominant frequency, spectral entropy) of a window."""
+    centred = x - x.mean()
+    spectrum = np.abs(np.fft.rfft(centred)) ** 2
+    freqs = np.fft.rfftfreq(centred.size, d=1.0 / sample_rate_hz)
+    if spectrum.size <= 1 or spectrum[1:].sum() <= 0:
+        return 0.0, 0.0
+    # Skip the DC bin for the dominant frequency.
+    dom = float(freqs[1:][int(np.argmax(spectrum[1:]))])
+    p = spectrum[1:] / spectrum[1:].sum()
+    p = p[p > 0]
+    entropy = float(-(p * np.log2(p)).sum() / np.log2(max(2, p.size)))
+    return dom, entropy
+
+
+def _zero_cross_rate(x: np.ndarray, sample_rate_hz: float) -> float:
+    centred = x - x.mean()
+    signs = np.sign(centred)
+    signs = signs[signs != 0]
+    if signs.size < 2:
+        return 0.0
+    crossings = int(np.count_nonzero(np.diff(signs)))
+    duration_s = x.size / sample_rate_hz
+    return crossings / duration_s
+
+
+def _moments(x: np.ndarray) -> Tuple[float, float, float, float]:
+    mean = float(x.mean())
+    std = float(x.std())
+    if std < 1e-12:
+        return mean, std, 0.0, 0.0
+    z = (x - mean) / std
+    return mean, std, float(np.mean(z**3)), float(np.mean(z**4) - 3.0)
+
+
+def activity_features(
+    acceleration: np.ndarray,
+    sample_rate_hz: float,
+) -> np.ndarray:
+    """Feature vector of one acceleration window.
+
+    Args:
+        acceleration: Array of shape (N, 3), world-frame linear
+            acceleration (z vertical).
+        sample_rate_hz: Sampling rate in Hz.
+
+    Returns:
+        1-D array of ``len(FEATURE_NAMES)`` floats.
+
+    Raises:
+        SignalError: On bad shape, fewer than 8 samples, or a
+            non-positive sample rate.
+    """
+    arr = np.asarray(acceleration, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 3:
+        raise SignalError(f"acceleration must have shape (N, 3), got {arr.shape}")
+    if arr.shape[0] < 8:
+        raise SignalError(f"need at least 8 samples, got {arr.shape[0]}")
+    if sample_rate_hz <= 0:
+        raise SignalError(f"sample_rate_hz must be positive, got {sample_rate_hz}")
+    if not np.all(np.isfinite(arr)):
+        raise SignalError("acceleration contains non-finite values")
+
+    vert = arr[:, 2]
+    horiz_mag = np.linalg.norm(arr[:, :2], axis=1)
+    mag = np.linalg.norm(arr, axis=1)
+
+    vert_dom, vert_ent = _spectral(vert, sample_rate_hz)
+    horiz_dom, _ = _spectral(horiz_mag, sample_rate_hz)
+    m_mean, m_std, m_skew, m_kurt = _moments(mag)
+
+    v_std = vert.std()
+    h_std = horiz_mag.std()
+    if v_std < 1e-12 or h_std < 1e-12:
+        vh_corr = 0.0
+    else:
+        vh_corr = float(
+            np.mean((vert - vert.mean()) * (horiz_mag - horiz_mag.mean()))
+            / (v_std * h_std)
+        )
+
+    # Peak rate: zero-crossing rate of the centred vertical divided by 2
+    # approximates oscillations per second without a prominence choice.
+    zcr = _zero_cross_rate(vert, sample_rate_hz)
+
+    return np.array(
+        [
+            float(vert.mean()),
+            float(v_std),
+            float(np.sqrt(np.mean(vert**2))),
+            float(np.mean((vert - vert.mean()) ** 2)),
+            zcr,
+            vert_dom,
+            vert_ent,
+            float(horiz_mag.mean()),
+            float(h_std),
+            horiz_dom,
+            vh_corr,
+            m_mean,
+            m_std,
+            m_skew,
+            m_kurt,
+            zcr / 2.0,
+        ],
+        dtype=float,
+    )

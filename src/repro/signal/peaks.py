@@ -1,0 +1,142 @@
+"""Peak and valley detection.
+
+Peak detection over the (filtered) vertical acceleration is the
+canonical step-counting primitive used by GFit-style pedometers,
+Montage [6] and — as the *candidate generator* only — by PTrack itself.
+
+The implementation is self-contained (no ``scipy.signal.find_peaks``)
+so its semantics are fully specified here: a peak is a strict local
+maximum that clears a prominence floor and a minimum spacing to the
+previously accepted peak.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SignalError
+
+__all__ = ["detect_peaks", "detect_valleys", "peak_prominences"]
+
+
+def _local_maxima(x: np.ndarray) -> np.ndarray:
+    """Indices of strict local maxima, resolving flat tops to their centre."""
+    n = x.size
+    if n < 3:
+        return np.empty(0, dtype=int)
+    maxima = []
+    i = 1
+    while i < n - 1:
+        if x[i] > x[i - 1]:
+            # Walk over a potential plateau.
+            j = i
+            while j < n - 1 and x[j + 1] == x[j]:
+                j += 1
+            if j < n - 1 and x[j + 1] < x[j]:
+                maxima.append((i + j) // 2)
+            i = j + 1
+        else:
+            i += 1
+    return np.asarray(maxima, dtype=int)
+
+
+def peak_prominences(x: np.ndarray, peaks: np.ndarray) -> np.ndarray:
+    """Topographic prominence of each peak.
+
+    The prominence of a peak is its height above the higher of the two
+    deepest valleys separating it from taller terrain on either side —
+    the standard definition, computed directly.
+
+    Args:
+        x: 1-D signal.
+        peaks: Indices of local maxima within ``x``.
+
+    Returns:
+        Array of prominences aligned with ``peaks``.
+    """
+    arr = np.asarray(x, dtype=float)
+    out = np.empty(len(peaks), dtype=float)
+    for k, p in enumerate(peaks):
+        height = arr[p]
+        # Left search: lowest point until terrain exceeds the peak.
+        left_min = height
+        i = p - 1
+        while i >= 0 and arr[i] <= height:
+            left_min = min(left_min, arr[i])
+            i -= 1
+        # Right search symmetric.
+        right_min = height
+        i = p + 1
+        while i < arr.size and arr[i] <= height:
+            right_min = min(right_min, arr[i])
+            i += 1
+        out[k] = height - max(left_min, right_min)
+    return out
+
+
+def detect_peaks(
+    x: np.ndarray,
+    min_prominence: float = 0.0,
+    min_distance: int = 1,
+    min_height: Optional[float] = None,
+) -> np.ndarray:
+    """Detect peaks with prominence, spacing and height gates.
+
+    Args:
+        x: 1-D signal.
+        min_prominence: Minimum topographic prominence a peak must have.
+        min_distance: Minimum sample spacing between accepted peaks;
+            when two candidates are closer, the more prominent survives.
+        min_height: Optional absolute height floor.
+
+    Returns:
+        Sorted array of accepted peak indices.
+
+    Raises:
+        SignalError: If the signal is not a finite 1-D array.
+        ConfigurationError: If gates are negative.
+    """
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim != 1:
+        raise SignalError(f"signal must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        return np.empty(0, dtype=int)
+    if not np.all(np.isfinite(arr)):
+        raise SignalError("signal contains non-finite values")
+    if min_prominence < 0:
+        raise ConfigurationError(f"min_prominence must be >= 0, got {min_prominence}")
+    if min_distance < 1:
+        raise ConfigurationError(f"min_distance must be >= 1, got {min_distance}")
+
+    candidates = _local_maxima(arr)
+    if candidates.size == 0:
+        return candidates
+    if min_height is not None:
+        candidates = candidates[arr[candidates] >= min_height]
+        if candidates.size == 0:
+            return candidates
+    proms = peak_prominences(arr, candidates)
+    keep = proms >= min_prominence
+    candidates, proms = candidates[keep], proms[keep]
+    if candidates.size == 0 or min_distance == 1:
+        return candidates
+
+    # Greedy spacing enforcement: visit candidates from most to least
+    # prominent, accept those not within min_distance of an accepted one.
+    order = np.argsort(-proms, kind="stable")
+    accepted: list[int] = []
+    for idx in candidates[order]:
+        if all(abs(int(idx) - a) >= min_distance for a in accepted):
+            accepted.append(int(idx))
+    return np.asarray(sorted(accepted), dtype=int)
+
+
+def detect_valleys(
+    x: np.ndarray,
+    min_prominence: float = 0.0,
+    min_distance: int = 1,
+) -> np.ndarray:
+    """Detect valleys (peaks of the negated signal)."""
+    return detect_peaks(-np.asarray(x, dtype=float), min_prominence, min_distance)

@@ -1,0 +1,182 @@
+"""Acceleration segmentation into gait-cycle candidates.
+
+The existing step-counting stack reused by PTrack (Fig. 2, grayed
+modules) ends with *acceleration segmentation*: the filtered vertical
+acceleration is cut into candidate gait cycles, each spanning two
+step peaks (left + right leg), delimited at valleys so that every
+segment starts and ends near zero vertical velocity — the precondition
+of the mean-removal integration used later by the stride estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SignalError
+from repro.signal.peaks import detect_peaks, detect_valleys
+
+__all__ = ["Segment", "segment_gait_cycles", "segment_by_valleys", "sliding_windows"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A half-open sample range ``[start, end)`` within a trace.
+
+    Attributes:
+        start: First sample index (inclusive).
+        end: One past the last sample index (exclusive).
+        peak_indices: Step-peak indices falling inside the segment.
+    """
+
+    start: int
+    end: int
+    peak_indices: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(f"invalid segment [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> int:
+        """Number of samples covered by the segment."""
+        return self.end - self.start
+
+    def slice(self, x: np.ndarray) -> np.ndarray:
+        """Extract this segment from an array (along axis 0)."""
+        return np.asarray(x)[self.start : self.end]
+
+
+def segment_by_valleys(
+    vertical: np.ndarray,
+    peaks: np.ndarray,
+    valleys: np.ndarray,
+) -> List[Segment]:
+    """Cut a trace into per-step segments bounded by valleys around each peak.
+
+    Each returned segment covers exactly one step peak and extends to
+    the nearest valley on either side (or to the trace boundary).
+
+    Args:
+        vertical: The vertical acceleration the peaks were found on.
+        peaks: Sorted step-peak indices.
+        valleys: Sorted valley indices.
+
+    Returns:
+        One :class:`Segment` per peak, in time order.
+    """
+    v = np.asarray(vertical, dtype=float)
+    segs: List[Segment] = []
+    for p in np.asarray(peaks, dtype=int):
+        left_candidates = valleys[valleys < p]
+        right_candidates = valleys[valleys > p]
+        start = int(left_candidates[-1]) if left_candidates.size else 0
+        end = int(right_candidates[0]) + 1 if right_candidates.size else v.size
+        if end - start >= 3:
+            segs.append(Segment(start, end, (int(p),)))
+    return segs
+
+
+def segment_gait_cycles(
+    vertical: np.ndarray,
+    sample_rate_hz: float,
+    min_step_rate_hz: float = 1.2,
+    max_step_rate_hz: float = 3.2,
+    min_prominence: float = 0.6,
+) -> List[Segment]:
+    """Segment vertical acceleration into two-step gait-cycle candidates.
+
+    The detector finds step peaks whose spacing is plausible for human
+    gait, then pairs consecutive peaks into cycles. Cycle boundaries are
+    placed at the valley preceding the first peak and the valley
+    following the second, so boundaries sit near zero vertical velocity.
+
+    This stage is deliberately permissive: vigorous arm activities also
+    produce qualifying peak trains and *will* appear as candidates.
+    Rejecting them is the job of PTrack's gait-type identification, not
+    of this module (the paper keeps the same split).
+
+    Args:
+        vertical: Filtered vertical (linear) acceleration, m/s^2.
+        sample_rate_hz: Sampling rate in Hz.
+        min_step_rate_hz: Slowest admissible stepping rate.
+        max_step_rate_hz: Fastest admissible stepping rate.
+        min_prominence: Peak prominence floor in m/s^2; suppresses
+            micro-motions such as mouse moves or keystrokes, which the
+            paper notes are eliminated before gait identification.
+
+    Returns:
+        List of candidate cycles; each carries its two step peaks.
+
+    Raises:
+        ConfigurationError: If the rate band is empty or negative.
+        SignalError: If the input is not a finite 1-D signal.
+    """
+    if sample_rate_hz <= 0:
+        raise ConfigurationError(f"sample_rate_hz must be positive, got {sample_rate_hz}")
+    if not 0 < min_step_rate_hz < max_step_rate_hz:
+        raise ConfigurationError(
+            f"need 0 < min_step_rate_hz < max_step_rate_hz, got "
+            f"({min_step_rate_hz}, {max_step_rate_hz})"
+        )
+    v = np.asarray(vertical, dtype=float)
+    if v.ndim != 1:
+        raise SignalError(f"vertical must be 1-D, got shape {v.shape}")
+    if v.size == 0:
+        return []
+    if not np.all(np.isfinite(v)):
+        raise SignalError("vertical contains non-finite values")
+
+    min_gap = max(1, int(round(sample_rate_hz / max_step_rate_hz)))
+    max_gap = int(round(sample_rate_hz / min_step_rate_hz))
+    peaks = detect_peaks(v, min_prominence=min_prominence, min_distance=min_gap)
+    if peaks.size < 2:
+        return []
+    valleys = detect_valleys(v, min_prominence=min_prominence * 0.5, min_distance=min_gap)
+
+    cycles: List[Segment] = []
+    i = 0
+    while i + 1 < peaks.size:
+        p1, p2 = int(peaks[i]), int(peaks[i + 1])
+        if p2 - p1 > max_gap:
+            # Gap too long to be two consecutive steps; slide forward.
+            i += 1
+            continue
+        left = valleys[valleys < p1]
+        right = valleys[valleys > p2]
+        start = int(left[-1]) if left.size else max(0, p1 - min_gap)
+        end = int(right[0]) + 1 if right.size else min(v.size, p2 + min_gap + 1)
+        if end - start >= 4:
+            cycles.append(Segment(start, end, (p1, p2)))
+        i += 2
+    return cycles
+
+
+def sliding_windows(
+    n_samples: int,
+    window: int,
+    hop: int,
+) -> Iterator[Tuple[int, int]]:
+    """Yield ``(start, end)`` index pairs of a hopping window.
+
+    Args:
+        n_samples: Total number of samples available.
+        window: Window length in samples.
+        hop: Hop (stride) between window starts in samples.
+
+    Yields:
+        Half-open ranges fully contained in ``[0, n_samples)``.
+
+    Raises:
+        ConfigurationError: If window or hop are not positive.
+    """
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1, got {window}")
+    if hop < 1:
+        raise ConfigurationError(f"hop must be >= 1, got {hop}")
+    start = 0
+    while start + window <= n_samples:
+        yield start, start + window
+        start += hop

@@ -1,0 +1,62 @@
+"""Biomechanical wrist-IMU simulator.
+
+The paper evaluates PTrack on a physical LG Urbane worn by users for a
+month. This package is the substitution for that hardware and those
+users (see DESIGN.md): it synthesises the wrist's world-frame linear
+acceleration from first-principles kinematics —
+
+* the body as an inverted pendulum (vertical *bounce* geometry
+  consistent with Eq. (2), anterior progression with cadence-locked
+  speed ripple, lateral sway),
+* the arm as a shoulder-pivoted pendulum with fore/aft asymmetry and an
+  elbow-cushioning lag (the paper's footnote 3),
+* interfering activities as *rigid single-source* gestures (eating,
+  poker, photo, phone games, mouse, keystrokes) and a mechanical
+  spoofing shaker,
+
+and composes them per activity: walking = arm + body, stepping = body
+with the arm rigidly attached, swinging = arm only.
+
+Nothing in this package is visible to the tracking algorithms: they
+consume only the resulting :class:`repro.sensing.IMUTrace`.
+"""
+
+from repro.simulation.activities import (
+    InterferenceParams,
+    simulate_interference,
+)
+from repro.simulation.arm import ArmSwingModel
+from repro.simulation.gait import GaitParameters, bounce_from_stride, stride_from_bounce
+from repro.simulation.profiles import SimulatedUser, sample_users
+from repro.simulation.raw import GyroNoiseModel, simulate_walk_raw
+from repro.simulation.routes import FloorMap, Route, paper_route
+from repro.simulation.scenarios import (
+    ActivitySegment,
+    LabeledSession,
+    SessionBuilder,
+)
+from repro.simulation.spoofer import SpooferParams, simulate_spoofer
+from repro.simulation.walker import WalkGroundTruth, simulate_walk
+
+__all__ = [
+    "ArmSwingModel",
+    "ActivitySegment",
+    "FloorMap",
+    "GaitParameters",
+    "GyroNoiseModel",
+    "InterferenceParams",
+    "LabeledSession",
+    "Route",
+    "SessionBuilder",
+    "SimulatedUser",
+    "SpooferParams",
+    "WalkGroundTruth",
+    "bounce_from_stride",
+    "paper_route",
+    "sample_users",
+    "simulate_interference",
+    "simulate_spoofer",
+    "simulate_walk",
+    "simulate_walk_raw",
+    "stride_from_bounce",
+]

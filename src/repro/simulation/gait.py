@@ -1,0 +1,176 @@
+"""Body-side gait kinematics: the inverted-pendulum bounce geometry.
+
+During one step the stance leg pivots over the foot like an inverted
+pendulum; the hip therefore rises and falls by the *bounce*
+
+    b = l - sqrt(l^2 - (s/2)^2)
+
+for leg length ``l`` and (per-step) stride ``s`` — the same geometry
+Eq. (2) of the paper inverts. The functions here convert between the
+two and build the continuous body trajectory used by the walking
+synthesiser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import GeometryError, SimulationError
+
+__all__ = [
+    "bounce_from_stride",
+    "stride_from_bounce",
+    "GaitParameters",
+    "body_trajectory",
+]
+
+
+def bounce_from_stride(stride_m: float, leg_length_m: float) -> float:
+    """Bounce implied by the inverted-pendulum geometry.
+
+    Args:
+        stride_m: Per-step stride length ``s``.
+        leg_length_m: Leg length ``l``.
+
+    Returns:
+        Bounce ``b = l - sqrt(l^2 - (s/2)^2)`` in metres.
+
+    Raises:
+        GeometryError: If ``s`` is not in ``(0, 2l)``.
+    """
+    if leg_length_m <= 0:
+        raise GeometryError(f"leg length must be positive, got {leg_length_m}")
+    if not 0 < stride_m < 2 * leg_length_m:
+        raise GeometryError(
+            f"stride must be in (0, {2 * leg_length_m}), got {stride_m}"
+        )
+    return leg_length_m - float(np.sqrt(leg_length_m**2 - (stride_m / 2.0) ** 2))
+
+
+def stride_from_bounce(bounce_m: float, leg_length_m: float, k: float = 2.0) -> float:
+    """Stride from bounce: Eq. (2), ``s = k * sqrt(l^2 - (l - b)^2)``.
+
+    Args:
+        bounce_m: Bounce ``b`` in metres.
+        leg_length_m: Leg length ``l``.
+        k: Per-user calibration factor (pure geometry gives 2).
+
+    Returns:
+        Per-step stride length in metres.
+
+    Raises:
+        GeometryError: If ``b`` is not in ``[0, l]``.
+    """
+    if leg_length_m <= 0:
+        raise GeometryError(f"leg length must be positive, got {leg_length_m}")
+    if not 0 <= bounce_m <= leg_length_m:
+        raise GeometryError(
+            f"bounce must be in [0, {leg_length_m}], got {bounce_m}"
+        )
+    if k <= 0:
+        raise GeometryError(f"k must be positive, got {k}")
+    # Eq. (2): s = k * sqrt(l^2 - (l - b)^2); pure geometry gives k = 2
+    # because sqrt(l^2 - (l - b)^2) equals half the step length.
+    return k * float(np.sqrt(leg_length_m**2 - (leg_length_m - bounce_m) ** 2))
+
+
+@dataclass(frozen=True)
+class GaitParameters:
+    """Per-cycle gait parameters of the body trajectory.
+
+    Attributes:
+        cadence_hz: Gait-cycle frequency (two steps per cycle).
+        stride_m: Per-step stride length.
+        leg_length_m: User leg length (sets the bounce).
+        speed_ripple: Relative within-step speed oscillation amplitude.
+        lateral_sway_m: Lateral sway amplitude at the cycle frequency.
+    """
+
+    cadence_hz: float
+    stride_m: float
+    leg_length_m: float
+    speed_ripple: float = 0.15
+    lateral_sway_m: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.cadence_hz <= 0:
+            raise SimulationError(f"cadence_hz must be positive, got {self.cadence_hz}")
+        if not 0 < self.stride_m < 2 * self.leg_length_m:
+            raise SimulationError(
+                f"stride_m must be in (0, 2*leg), got {self.stride_m}"
+            )
+        if not 0 <= self.speed_ripple < 1:
+            raise SimulationError(
+                f"speed_ripple must be in [0, 1), got {self.speed_ripple}"
+            )
+
+    @property
+    def bounce_m(self) -> float:
+        """Bounce implied by stride and leg length."""
+        return bounce_from_stride(self.stride_m, self.leg_length_m)
+
+    @property
+    def speed_m_s(self) -> float:
+        """Baseline anterior speed ``v0 = stride * step rate``."""
+        return self.stride_m * 2.0 * self.cadence_hz
+
+
+def body_trajectory(
+    phase: np.ndarray,
+    bounce_m: np.ndarray,
+    speed_m_s: np.ndarray,
+    speed_ripple: np.ndarray,
+    lateral_sway_m: np.ndarray,
+    dt: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Body-frame trajectory components from a phase track.
+
+    All inputs are per-sample arrays so cadence, stride and sway may
+    drift cycle to cycle; ``phase`` is the accumulated gait-cycle phase
+    (1.0 per full left+right cycle).
+
+    Conventions (phase ``p`` within a cycle):
+      * heel strikes at ``p = 0`` and ``p = 0.5`` — the body is lowest;
+      * the body is highest mid-stance, ``p = 0.25`` and ``p = 0.75``;
+      * the anterior speed ripples at the step frequency;
+      * lateral sway completes one period per cycle (weight shifts
+        left then right).
+
+    Args:
+        phase: Monotonic phase array, shape (N,).
+        bounce_m: Per-sample bounce (peak-to-peak vertical excursion).
+        speed_m_s: Per-sample baseline anterior speed.
+        speed_ripple: Per-sample relative speed oscillation amplitude.
+        lateral_sway_m: Per-sample sway amplitude.
+        dt: Sample period in seconds.
+
+    Returns:
+        Tuple ``(anterior, lateral, vertical)`` position arrays of
+        shape (N,) in the body path frame (anterior = along travel).
+    """
+    phase = np.asarray(phase, dtype=float)
+    if phase.ndim != 1 or phase.size < 2:
+        raise SimulationError("phase must be a 1-D array with >= 2 samples")
+    if np.any(np.diff(phase) < 0):
+        raise SimulationError("phase must be non-decreasing")
+
+    # Vertical: lowest at heel strikes (p = 0, 0.5), peak-to-peak = b.
+    vertical = -(np.asarray(bounce_m) / 2.0) * np.cos(4.0 * np.pi * phase)
+
+    # Anterior: integrate the rippling speed.  The ripple peaks at each
+    # heel strike (double support), which puts the anterior
+    # *acceleration* a quarter of the per-step period away from the
+    # vertical one — the fixed phase difference Kim et al. [22] report
+    # for pure body motion and which PTrack's stepping test verifies.
+    speed = np.asarray(speed_m_s) * (
+        1.0 + np.asarray(speed_ripple) * np.cos(4.0 * np.pi * phase)
+    )
+    anterior = np.concatenate(([0.0], np.cumsum((speed[1:] + speed[:-1]) * dt / 2.0)))
+
+    # Lateral sway: one period per gait cycle.
+    lateral = np.asarray(lateral_sway_m) * np.sin(2.0 * np.pi * phase)
+
+    return anterior, lateral, vertical

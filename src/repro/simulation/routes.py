@@ -1,0 +1,208 @@
+"""Route and floor-map models for the navigation case study (Fig. 9).
+
+The paper's case study walks a 141.5 m route through a large shopping
+centre, from store exit A to elevator G via markers B-F, deliberately
+crossing a 4 m wide corridor twice between B and D. ``paper_route``
+rebuilds that geometry; ``walk_route`` synthesises the wrist trace of a
+user following any route, leg by leg.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.sensing.device import WearableDevice
+from repro.sensing.imu import IMUTrace
+from repro.simulation.profiles import SimulatedUser
+from repro.simulation.walker import WalkGroundTruth, simulate_walk
+
+__all__ = ["FloorMap", "Route", "paper_route", "walk_route"]
+
+
+@dataclass(frozen=True)
+class FloorMap:
+    """Descriptive floor geometry (for reports and plots).
+
+    Attributes:
+        width_m: Extent along x.
+        depth_m: Extent along y.
+        corridors: Axis-aligned corridor rectangles
+            ``(x0, y0, x1, y1)`` used only for narrative/reporting.
+        name: Human-readable map name.
+    """
+
+    width_m: float
+    depth_m: float
+    corridors: Tuple[Tuple[float, float, float, float], ...] = ()
+    name: str = "floor"
+
+    def __post_init__(self) -> None:
+        if self.width_m <= 0 or self.depth_m <= 0:
+            raise SimulationError("floor dimensions must be positive")
+
+
+@dataclass(frozen=True)
+class Route:
+    """A polyline route across a floor.
+
+    Attributes:
+        waypoints: Array of shape (K, 2), ordered visit points.
+        markers: Names of the waypoints (len K).
+        floor: The hosting floor map.
+    """
+
+    waypoints: np.ndarray
+    markers: Tuple[str, ...]
+    floor: FloorMap
+
+    def __post_init__(self) -> None:
+        pts = np.asarray(self.waypoints, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2 or pts.shape[0] < 2:
+            raise SimulationError(
+                f"waypoints must have shape (K>=2, 2), got {pts.shape}"
+            )
+        if len(self.markers) != pts.shape[0]:
+            raise SimulationError("markers must match waypoints")
+        object.__setattr__(self, "waypoints", pts)
+
+    @property
+    def leg_vectors(self) -> np.ndarray:
+        """Displacement of each leg, shape (K-1, 2)."""
+        return np.diff(self.waypoints, axis=0)
+
+    @property
+    def leg_lengths_m(self) -> np.ndarray:
+        """Length of each leg in metres."""
+        return np.linalg.norm(self.leg_vectors, axis=1)
+
+    @property
+    def leg_headings_rad(self) -> np.ndarray:
+        """Heading of each leg (atan2 convention, x east, y north)."""
+        v = self.leg_vectors
+        return np.arctan2(v[:, 1], v[:, 0])
+
+    @property
+    def total_length_m(self) -> float:
+        """Total route length in metres."""
+        return float(self.leg_lengths_m.sum())
+
+
+def paper_route() -> Route:
+    """The Fig. 9 shopping-centre route: 141.5 m, markers A-G.
+
+    Leg lengths: A-B 20 m, B-C 4.5 m and C-D 4.5 m (crossing a 4 m
+    corridor twice), D-E 38 m, E-F 50 m, F-G 24.5 m. The floor is the
+    125 m x 85 m hall shown in the figure.
+    """
+    cross = float(np.sqrt(4.5**2 - 4.0**2))  # horizontal advance while crossing
+    a = np.array([120.0, 60.0])
+    b = a + [-20.0, 0.0]
+    c = b + [-cross, -4.0]
+    d = c + [-cross, 4.0]
+    e = d + [-38.0, 0.0]
+    f = e + [0.0, -50.0]
+    g = f + [-24.5, 0.0]
+    floor = FloorMap(
+        width_m=125.0,
+        depth_m=85.0,
+        corridors=((b[0] - 10.0, 56.0, b[0] + 2.0, 60.0),),
+        name="shopping-centre",
+    )
+    route = Route(
+        waypoints=np.vstack([a, b, c, d, e, f, g]),
+        markers=("A", "B", "C", "D", "E", "F", "G"),
+        floor=floor,
+    )
+    assert abs(route.total_length_m - 141.5) < 1e-9
+    return route
+
+
+def walk_route(
+    user: SimulatedUser,
+    route: Route,
+    sample_rate_hz: float = 100.0,
+    rng: Optional[np.random.Generator] = None,
+    device: Optional[WearableDevice] = None,
+    arm_mode: str = "swing",
+) -> Tuple[IMUTrace, WalkGroundTruth]:
+    """Walk a route as one continuous trace and return trace + truth.
+
+    The walk is generated in two passes with identical random draws:
+    pass one (heading 0) measures the distance-vs-time profile of the
+    user's jittered gait, pass two re-synthesises the *same* gait with
+    a per-sample heading that follows the route's legs by travelled
+    distance. This keeps the trace free of leg-boundary stitching
+    artefacts (a per-leg synthesis would put acceleration
+    discontinuities and window edges at every turn, corrupting the
+    bounce measurements of the adjacent cycles).
+
+    Args:
+        user: The walking user.
+        route: The route to follow.
+        sample_rate_hz: Device sampling rate.
+        rng: Random generator for gait jitter and sensor noise.
+        device: Sensing front end.
+        arm_mode: ``"swing"`` or ``"rigid"`` (see ``simulate_walk``).
+
+    Returns:
+        Tuple ``(trace, ground_truth)``; ground-truth positions are in
+        the route's floor coordinates, the trace ends when the route's
+        total length has been covered.
+    """
+    seed = int(rng.integers(0, 2**31 - 1)) if rng is not None else None
+    speed = user.stride_m * 2.0 * user.cadence_hz
+    duration = route.total_length_m / speed * 1.15 + 4.0
+
+    def _generate(heading_rad):
+        pass_rng = np.random.default_rng(seed) if seed is not None else None
+        return simulate_walk(
+            user,
+            duration_s=duration,
+            sample_rate_hz=sample_rate_hz,
+            rng=pass_rng,
+            arm_mode=arm_mode,
+            heading_rad=heading_rad,
+            device=device,
+        )
+
+    # Pass 1: distance along the path over time (heading irrelevant).
+    _, flat_truth = _generate(0.0)
+    travelled = flat_truth.body_positions_m[:, 0] - flat_truth.body_positions_m[0, 0]
+
+    # Per-sample heading by travelled distance along the route.
+    boundaries = np.concatenate(([0.0], np.cumsum(route.leg_lengths_m)))
+    leg_index = np.clip(
+        np.searchsorted(boundaries, travelled, side="right") - 1,
+        0,
+        len(route.leg_headings_rad) - 1,
+    )
+    headings = route.leg_headings_rad[leg_index]
+
+    # Pass 2: identical gait, routed heading.
+    trace, truth = _generate(headings)
+
+    # Trim to the route's end.
+    done = np.nonzero(travelled >= route.total_length_m)[0]
+    end = int(done[0]) + 1 if done.size else trace.n_samples
+    end = max(end, 16)
+    trace = trace.slice_samples(0, end)
+    end_time = trace.start_time + end / sample_rate_hz
+    keep = truth.step_times < end_time
+
+    positions = truth.body_positions_m[:end].copy()
+    positions[:, 0] += route.waypoints[0][0] - positions[0, 0]
+    positions[:, 1] += route.waypoints[0][1] - positions[0, 1]
+
+    trimmed = WalkGroundTruth(
+        step_times=truth.step_times[keep],
+        stride_lengths_m=truth.stride_lengths_m[keep],
+        bounce_m=truth.bounce_m[keep],
+        body_positions_m=positions,
+        headings_rad=truth.headings_rad[:end],
+        sample_rate_hz=sample_rate_hz,
+    )
+    return trace, trimmed

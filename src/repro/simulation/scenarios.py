@@ -1,0 +1,277 @@
+"""Mixed-activity session building.
+
+Real evaluations are not single-activity traces: the paper's users
+walked, stopped to eat, played with their phones and walked again, over
+a month of recording with assisted ground truth. ``SessionBuilder``
+reproduces that protocol: it stitches labelled activity segments into
+one continuous trace and keeps the exact ground truth alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.sensing.device import WearableDevice
+from repro.sensing.imu import IMUTrace
+from repro.simulation.activities import simulate_interference
+from repro.simulation.profiles import SimulatedUser
+from repro.simulation.spoofer import SpooferParams, simulate_spoofer
+from repro.simulation.walker import simulate_walk
+from repro.types import ActivityKind, Posture
+
+__all__ = ["ActivitySegment", "LabeledSession", "SessionBuilder"]
+
+
+@dataclass(frozen=True)
+class ActivitySegment:
+    """Ground truth of one segment of a session.
+
+    Attributes:
+        kind: Activity kind.
+        posture: Posture during the segment.
+        start_time: Segment start (seconds, absolute session time).
+        end_time: Segment end (exclusive).
+        step_times: Ground-truth step timestamps inside the segment.
+        stride_lengths_m: Ground-truth per-step strides (same length).
+    """
+
+    kind: ActivityKind
+    posture: Posture
+    start_time: float
+    end_time: float
+    step_times: Tuple[float, ...] = ()
+    stride_lengths_m: Tuple[float, ...] = ()
+
+    @property
+    def duration_s(self) -> float:
+        """Segment duration in seconds."""
+        return self.end_time - self.start_time
+
+    @property
+    def true_step_count(self) -> int:
+        """Steps genuinely taken during the segment."""
+        return len(self.step_times)
+
+    @property
+    def true_distance_m(self) -> float:
+        """Distance genuinely covered during the segment."""
+        return float(sum(self.stride_lengths_m))
+
+
+@dataclass(frozen=True)
+class LabeledSession:
+    """A stitched session trace with exact ground truth.
+
+    Attributes:
+        trace: The full observed trace.
+        segments: Time-ordered labelled segments covering the trace.
+        user: The simulated user who produced the session.
+    """
+
+    trace: IMUTrace
+    segments: Tuple[ActivitySegment, ...]
+    user: SimulatedUser
+
+    @property
+    def true_step_count(self) -> int:
+        """Total ground-truth steps across all segments."""
+        return sum(s.true_step_count for s in self.segments)
+
+    @property
+    def true_distance_m(self) -> float:
+        """Total ground-truth distance across all segments."""
+        return sum(s.true_distance_m for s in self.segments)
+
+    @property
+    def true_step_times(self) -> np.ndarray:
+        """All ground-truth step timestamps, sorted."""
+        times: List[float] = []
+        for s in self.segments:
+            times.extend(s.step_times)
+        return np.asarray(sorted(times))
+
+    def segments_of_kind(self, kind: ActivityKind) -> Tuple[ActivitySegment, ...]:
+        """Segments whose ground-truth kind is ``kind``."""
+        return tuple(s for s in self.segments if s.kind is kind)
+
+    def segment_at(self, t: float) -> Optional[ActivitySegment]:
+        """The segment covering absolute time ``t`` (None if outside)."""
+        for s in self.segments:
+            if s.start_time <= t < s.end_time:
+                return s
+        return None
+
+
+class SessionBuilder:
+    """Fluent builder of mixed labelled sessions.
+
+    Example::
+
+        session = (
+            SessionBuilder(user, rng=rng)
+            .walk(60.0)
+            .interfere(ActivityKind.EATING, 120.0, posture=Posture.SEATED)
+            .step(45.0)
+            .build()
+        )
+    """
+
+    def __init__(
+        self,
+        user: SimulatedUser,
+        sample_rate_hz: float = 100.0,
+        rng: Optional[np.random.Generator] = None,
+        device: Optional[WearableDevice] = None,
+    ) -> None:
+        if sample_rate_hz <= 0:
+            raise SimulationError(
+                f"sample_rate_hz must be positive, got {sample_rate_hz}"
+            )
+        self._user = user
+        self._rate = sample_rate_hz
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._device = device if device is not None else WearableDevice()
+        self._traces: List[IMUTrace] = []
+        self._segments: List[ActivitySegment] = []
+        self._t = 0.0
+
+    # ------------------------------------------------------------------
+    # Segment appenders (all return self for chaining)
+    # ------------------------------------------------------------------
+    def walk(self, duration_s: float, heading_rad: float = 0.0) -> "SessionBuilder":
+        """Append a walking (arm-swinging) segment."""
+        return self._pedestrian(duration_s, "swing", ActivityKind.WALKING, heading_rad)
+
+    def step(self, duration_s: float, heading_rad: float = 0.0) -> "SessionBuilder":
+        """Append a stepping segment (arm rigid w.r.t. the body)."""
+        return self._pedestrian(duration_s, "rigid", ActivityKind.STEPPING, heading_rad)
+
+    def swing(self, duration_s: float) -> "SessionBuilder":
+        """Append an arm-swinging-while-standing segment (interference)."""
+        trace, _ = simulate_walk(
+            self._user,
+            duration_s=duration_s,
+            sample_rate_hz=self._rate,
+            rng=self._rng,
+            arm_mode="swing",
+            body=False,
+            device=self._device,
+            start_time=self._t,
+        )
+        self._append(trace, ActivityKind.SWINGING, Posture.STANDING, (), ())
+        return self
+
+    def interfere(
+        self,
+        kind: ActivityKind,
+        duration_s: float,
+        posture: Posture = Posture.STANDING,
+        vigor: float = 1.0,
+    ) -> "SessionBuilder":
+        """Append an interfering-activity segment."""
+        trace = simulate_interference(
+            kind,
+            duration_s=duration_s,
+            sample_rate_hz=self._rate,
+            rng=self._rng,
+            posture=posture,
+            vigor=vigor,
+            device=self._device,
+            start_time=self._t,
+        )
+        self._append(trace, kind, posture, (), ())
+        return self
+
+    def spoof(
+        self,
+        duration_s: float,
+        params: Optional[SpooferParams] = None,
+    ) -> "SessionBuilder":
+        """Append a spoofing-shaker segment."""
+        trace = simulate_spoofer(
+            duration_s=duration_s,
+            sample_rate_hz=self._rate,
+            rng=self._rng,
+            params=params,
+            device=self._device,
+            start_time=self._t,
+        )
+        self._append(trace, ActivityKind.SPOOFING, Posture.SEATED, (), ())
+        return self
+
+    def idle(self, duration_s: float) -> "SessionBuilder":
+        """Append a resting-wrist segment."""
+        trace = simulate_interference(
+            ActivityKind.IDLE,
+            duration_s=duration_s,
+            sample_rate_hz=self._rate,
+            rng=self._rng,
+            device=self._device,
+            start_time=self._t,
+        )
+        self._append(trace, ActivityKind.IDLE, Posture.SEATED, (), ())
+        return self
+
+    def build(self) -> LabeledSession:
+        """Stitch all appended segments into a :class:`LabeledSession`."""
+        if not self._traces:
+            raise SimulationError("session has no segments")
+        return LabeledSession(
+            trace=IMUTrace.concatenate(self._traces),
+            segments=tuple(self._segments),
+            user=self._user,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _pedestrian(
+        self,
+        duration_s: float,
+        arm_mode: str,
+        kind: ActivityKind,
+        heading_rad: float,
+    ) -> "SessionBuilder":
+        trace, truth = simulate_walk(
+            self._user,
+            duration_s=duration_s,
+            sample_rate_hz=self._rate,
+            rng=self._rng,
+            arm_mode=arm_mode,
+            heading_rad=heading_rad,
+            device=self._device,
+            start_time=self._t,
+        )
+        self._append(
+            trace,
+            kind,
+            Posture.STANDING,
+            tuple(float(t) for t in truth.step_times),
+            tuple(float(s) for s in truth.stride_lengths_m),
+        )
+        return self
+
+    def _append(
+        self,
+        trace: IMUTrace,
+        kind: ActivityKind,
+        posture: Posture,
+        step_times: Tuple[float, ...],
+        strides: Tuple[float, ...],
+    ) -> None:
+        self._traces.append(trace)
+        self._segments.append(
+            ActivitySegment(
+                kind=kind,
+                posture=posture,
+                start_time=self._t,
+                end_time=self._t + trace.duration_s,
+                step_times=step_times,
+                stride_lengths_m=strides,
+            )
+        )
+        self._t += trace.duration_s

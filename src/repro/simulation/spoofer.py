@@ -1,0 +1,123 @@
+"""Spoofing-device synthesis.
+
+UNFIT BITS-style spoofers [15] strap the tracker to a mechanical shaker
+(metronome arm, drill, pendulum rig) that repeats an alternating motion
+pattern so peak-detection pedometers accumulate steps while the wearer
+sits still. The paper's spoofer ticks existing counters 48 times in
+40 s (Fig. 1(c)) and 79/78/61 times in 60 s for GFit/Mtage/SCAR
+(Fig. 7(b)).
+
+Being a machine, the spoofer is the *most* rigid motion source of all:
+a single drive angle, no cushioning. That is exactly why PTrack — which
+keys on the independence of two motion sources — rejects it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.sensing.device import WearableDevice
+from repro.sensing.imu import IMUTrace
+
+__all__ = ["SpooferParams", "simulate_spoofer"]
+
+
+@dataclass(frozen=True)
+class SpooferParams:
+    """Mechanical shaker configuration.
+
+    Attributes:
+        rate_hz: Oscillations per second. 0.6 Hz (each oscillation triggers two
+            magnitude peaks) reproduces the paper's 48 ticks / 40 s and ~79 ticks / 60 s with harmonics counted.
+        arm_length_m: Shaker arm radius.
+        swing_rad: Angular half-range of the shaker arm.
+        tilt_rad: Mounting tilt of the oscillation plane, so both the
+            vertical and a horizontal axis see the drive signal.
+        rate_drift: Relative slow drift of the drive rate (motors are
+            not perfectly stable).
+    """
+
+    rate_hz: float = 0.6
+    arm_length_m: float = 0.80
+    swing_rad: float = 0.45
+    tilt_rad: float = 0.5
+    rate_drift: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise SimulationError(f"rate_hz must be positive, got {self.rate_hz}")
+        if self.arm_length_m <= 0:
+            raise SimulationError("arm_length_m must be positive")
+        if not 0 < self.swing_rad < np.pi / 2:
+            raise SimulationError("swing_rad must be in (0, pi/2)")
+        if self.rate_drift < 0:
+            raise SimulationError("rate_drift must be >= 0")
+
+
+def simulate_spoofer(
+    duration_s: float,
+    sample_rate_hz: float = 100.0,
+    rng: Optional[np.random.Generator] = None,
+    params: Optional[SpooferParams] = None,
+    device: Optional[WearableDevice] = None,
+    start_time: float = 0.0,
+) -> IMUTrace:
+    """Simulate a tracker strapped to a mechanical shaker.
+
+    Args:
+        duration_s: Trace duration in seconds.
+        sample_rate_hz: Device sampling rate.
+        rng: Random generator for drive drift and sensor noise.
+        params: Shaker configuration (default: paper-calibrated).
+        device: Sensing front end (default: consumer wrist device).
+        start_time: Timestamp of the first sample.
+
+    Returns:
+        The observed :class:`IMUTrace` (ground-truth steps: zero).
+    """
+    if duration_s <= 0:
+        raise SimulationError(f"duration_s must be positive, got {duration_s}")
+    p = params if params is not None else SpooferParams()
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    dt = 1.0 / sample_rate_hz
+    n = int(round(duration_s * sample_rate_hz))
+    if n < 8:
+        raise SimulationError(f"duration too short: {n} samples")
+
+    # Drive angle with slow rate drift (random walk on frequency).
+    rate = p.rate_hz * (
+        1.0 + p.rate_drift * np.cumsum(rng.normal(0.0, 1.0, n)) * np.sqrt(dt)
+    )
+    rate = np.clip(rate, 0.5 * p.rate_hz, 1.5 * p.rate_hz)
+    drive_phase = 2.0 * np.pi * np.cumsum(rate) * dt
+    theta = p.swing_rad * np.sin(drive_phase)
+
+    # Shaker arm in its oscillation plane, tilted by tilt_rad so the
+    # motion projects onto both vertical and horizontal axes.
+    u = p.arm_length_m * np.sin(theta)   # along the swing direction
+    w = -p.arm_length_m * np.cos(theta)  # along the arm axis
+    ct, st = np.cos(p.tilt_rad), np.sin(p.tilt_rad)
+    position = np.column_stack(
+        [
+            u * ct - 0.0 * w,
+            np.zeros(n),
+            u * st + w * ct,
+        ]
+    )
+
+    velocity = np.gradient(position, dt, axis=0)
+    acceleration = np.gradient(velocity, dt, axis=0)
+
+    if device is None:
+        device = WearableDevice()
+    if abs(device.sample_rate_hz - sample_rate_hz) > 1e-9:
+        raise SimulationError(
+            f"device rate {device.sample_rate_hz} != requested {sample_rate_hz}"
+        )
+    return device.observe(acceleration, rng=rng, start_time=start_time)

@@ -1,0 +1,384 @@
+"""Pedestrian trace synthesis: walking, stepping and arm swinging.
+
+``simulate_walk`` composes the body trajectory (:mod:`repro.simulation.gait`)
+and the arm pendulum (:mod:`repro.simulation.arm`) into the wrist's
+world-frame kinematics, differentiates twice for acceleration, passes
+the result through a :class:`repro.sensing.WearableDevice`, and returns
+both the observed trace and the exact ground truth.
+
+Three compositions map to the paper's Fig. 3:
+
+* ``arm_mode="swing"`` — *walking*: arm swing + body movement (two
+  concurrent, independent sources at the wrist);
+* ``arm_mode="rigid"`` — *stepping*: the body moves, the arm is held
+  rigid w.r.t. the body (handbag / pocket / phone call);
+* ``body=False`` — *swinging*: the arm swings while the body stands
+  still (an interfering activity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.sensing.device import WearableDevice
+from repro.sensing.imu import IMUTrace
+from repro.simulation.arm import ArmSwingModel
+from repro.simulation.gait import body_trajectory, bounce_from_stride
+from repro.simulation.profiles import SimulatedUser
+
+__all__ = ["WalkGroundTruth", "WalkInternals", "simulate_walk"]
+
+
+@dataclass(frozen=True)
+class WalkGroundTruth:
+    """Exact ground truth of one simulated pedestrian trace.
+
+    Attributes:
+        step_times: Heel-strike timestamps, shape (S,), seconds.
+        stride_lengths_m: Ground-truth per-step stride (chord distance
+            the body travelled during each step), shape (S,).
+        bounce_m: Ground-truth per-step bounce, shape (S,).
+        body_positions_m: Body path positions, shape (N, 3), world frame.
+        headings_rad: Per-sample heading, shape (N,).
+        sample_rate_hz: Sampling rate of the per-sample arrays.
+    """
+
+    step_times: np.ndarray
+    stride_lengths_m: np.ndarray
+    bounce_m: np.ndarray
+    body_positions_m: np.ndarray
+    headings_rad: np.ndarray
+    sample_rate_hz: float
+
+    @property
+    def step_count(self) -> int:
+        """Number of ground-truth steps."""
+        return int(self.step_times.size)
+
+    @property
+    def total_distance_m(self) -> float:
+        """Sum of per-step stride lengths."""
+        return float(self.stride_lengths_m.sum())
+
+
+@dataclass(frozen=True)
+class WalkInternals:
+    """Kinematic internals of a simulated walk (for raw-IMU synthesis).
+
+    Attributes:
+        true_acceleration: Ideal world-frame wrist acceleration, (N, 3).
+        arm_pitch_rad: Wrist pitch about the lateral axis per sample —
+            the swing angle theta for walking, a constant carry angle
+            for stepping, zero for body-mounted mode.
+        headings_rad: Per-sample heading.
+        phase: Gait-cycle phase per sample.
+    """
+
+    true_acceleration: np.ndarray
+    arm_pitch_rad: np.ndarray
+    headings_rad: np.ndarray
+    phase: np.ndarray
+
+
+def _smooth(x: np.ndarray, width: int) -> np.ndarray:
+    """Moving-average smoothing used to avoid acceleration spikes at
+    cycle-parameter switches (positions get differentiated twice)."""
+    if width < 2 or x.size < 3:
+        return x
+    kernel = np.ones(width) / width
+    padded = np.concatenate([np.full(width, x[0]), x, np.full(width, x[-1])])
+    return np.convolve(padded, kernel, mode="same")[width:-width]
+
+
+def _second_derivative(p: np.ndarray, dt: float) -> np.ndarray:
+    """Central-difference second derivative along axis 0."""
+    v = np.gradient(p, dt, axis=0)
+    return np.gradient(v, dt, axis=0)
+
+
+def simulate_walk(
+    user: SimulatedUser,
+    duration_s: float,
+    sample_rate_hz: float = 100.0,
+    rng: Optional[np.random.Generator] = None,
+    arm_mode: str = "swing",
+    body: bool = True,
+    heading_rad: Union[float, np.ndarray] = 0.0,
+    cadence_jitter: float = 0.03,
+    stride_jitter: float = 0.03,
+    device: Optional[WearableDevice] = None,
+    start_time: float = 0.0,
+    return_internals: bool = False,
+):
+    """Simulate a pedestrian (or arm-swinging) trace.
+
+    Args:
+        user: The simulated user.
+        duration_s: Trace duration in seconds (> 1 gait cycle).
+        sample_rate_hz: Device sampling rate.
+        rng: Random generator driving per-cycle gait jitter and sensor
+            noise; ``None`` produces the deterministic noiseless path.
+        arm_mode: ``"swing"`` (walking), ``"rigid"`` (stepping — the
+            wrist is fixed w.r.t. the body) or ``"none"`` (no arm term;
+            the device sits directly on the body, as Montage assumes).
+        body: When ``False`` the body stands still and only the arm
+            moves — the *swinging* interference motion of Fig. 3(b).
+        heading_rad: Scalar heading, or per-sample array of shape (N,).
+        cadence_jitter: Relative std-dev of per-cycle cadence draws.
+        stride_jitter: Relative std-dev of per-cycle stride draws.
+        device: Sensing front end; defaults to a consumer wrist device
+            when ``rng`` is given, otherwise an ideal device.
+        start_time: Timestamp of the first sample.
+        return_internals: Also return the :class:`WalkInternals` used
+            by the raw-IMU synthesiser (:mod:`repro.simulation.raw`).
+
+    Returns:
+        Tuple ``(trace, ground_truth)``, or ``(trace, ground_truth,
+        internals)`` when ``return_internals`` is set.
+
+    Raises:
+        SimulationError: On invalid durations, modes or heading shapes.
+    """
+    if duration_s <= 0:
+        raise SimulationError(f"duration_s must be positive, got {duration_s}")
+    if sample_rate_hz <= 0:
+        raise SimulationError(f"sample_rate_hz must be positive, got {sample_rate_hz}")
+    if arm_mode not in ("swing", "rigid", "none"):
+        raise SimulationError(f"unknown arm_mode {arm_mode!r}")
+    if not body and arm_mode != "swing":
+        raise SimulationError("body=False requires arm_mode='swing' (pure swinging)")
+
+    dt = 1.0 / sample_rate_hz
+    n = int(round(duration_s * sample_rate_hz))
+    if n < 8:
+        raise SimulationError(f"duration too short: {n} samples")
+
+    # ------------------------------------------------------------------
+    # Per-cycle gait parameters, expanded to per-sample arrays.
+    # ------------------------------------------------------------------
+    approx_cycles = int(np.ceil(duration_s * user.cadence_hz)) + 2
+    if rng is not None and cadence_jitter > 0:
+        cyc_cadence = user.cadence_hz * (
+            1.0 + rng.normal(0.0, cadence_jitter, size=approx_cycles)
+        )
+    else:
+        cyc_cadence = np.full(approx_cycles, user.cadence_hz)
+    if rng is not None and stride_jitter > 0:
+        cyc_stride = user.stride_m * (
+            1.0 + rng.normal(0.0, stride_jitter, size=approx_cycles)
+        )
+    else:
+        cyc_stride = np.full(approx_cycles, user.stride_m)
+    cyc_cadence = np.clip(cyc_cadence, 0.4 * user.cadence_hz, 1.8 * user.cadence_hz)
+    cyc_stride = np.clip(cyc_stride, 0.3 * user.stride_m, min(1.7 * user.stride_m, 1.9 * user.leg_length_m))
+
+    # Arm-timing jitter: the arm swing is *concurrent but relatively
+    # independent* of the legs (the paper's key observation), so its
+    # phase lag behind the gait wanders cycle to cycle rather than
+    # staying locked.
+    if rng is not None:
+        cyc_lag = user.arm_phase_lag + rng.normal(0.0, 0.015, size=approx_cycles)
+        cyc_lag = np.clip(cyc_lag, 0.0, 0.12)
+    else:
+        cyc_lag = np.full(approx_cycles, user.arm_phase_lag)
+
+    # Walk sample-by-sample assigning the current cycle's parameters.
+    cadence = np.empty(n)
+    stride = np.empty(n)
+    arm_lag = np.empty(n)
+    phase = np.empty(n)
+    p = 0.0
+    cycle_idx = 0
+    for i in range(n):
+        cadence[i] = cyc_cadence[cycle_idx]
+        stride[i] = cyc_stride[cycle_idx]
+        arm_lag[i] = cyc_lag[cycle_idx]
+        phase[i] = p
+        p += cadence[i] * dt
+        if p >= cycle_idx + 1 and cycle_idx + 1 < approx_cycles:
+            cycle_idx += 1
+    smooth_w = max(2, int(0.25 * sample_rate_hz))
+    cadence = _smooth(cadence, smooth_w)
+    stride = _smooth(stride, smooth_w)
+    arm_lag = _smooth(arm_lag, smooth_w)
+    phase = np.concatenate(([0.0], np.cumsum(cadence[:-1] * dt)))
+
+    bounce = np.array(
+        [bounce_from_stride(s, user.leg_length_m) for s in stride]
+    )
+    speed = stride * 2.0 * cadence
+
+    # ------------------------------------------------------------------
+    # Body path.
+    # ------------------------------------------------------------------
+    if body:
+        anterior, lateral, vertical = body_trajectory(
+            phase,
+            bounce,
+            speed,
+            np.full(n, user.speed_ripple),
+            np.full(n, user.lateral_sway_m),
+            dt,
+        )
+    else:
+        anterior = np.zeros(n)
+        vertical = np.zeros(n)
+        # Standing users still sway slightly; keeps "swinging" realistic.
+        lateral = 0.25 * user.lateral_sway_m * np.sin(2.0 * np.pi * 0.3 * np.arange(n) * dt)
+
+    if np.isscalar(heading_rad) or np.ndim(heading_rad) == 0:
+        headings = np.full(n, float(heading_rad))
+    else:
+        headings = np.asarray(heading_rad, dtype=float)
+        if headings.shape != (n,):
+            raise SimulationError(
+                f"heading array must have shape ({n},), got {headings.shape}"
+            )
+    hx, hy = np.cos(headings), np.sin(headings)
+
+    d_ant = np.diff(anterior, prepend=anterior[0])
+    body_x = np.cumsum(d_ant * hx) - lateral * hy
+    body_y = np.cumsum(d_ant * hy) + lateral * hx
+    body_z = user.shoulder_height_m + vertical
+    body_pos = np.column_stack([body_x, body_y, body_z])
+
+    # ------------------------------------------------------------------
+    # Wrist position = body + (rotated) arm offset.
+    # ------------------------------------------------------------------
+    if arm_mode == "swing":
+        # Arm-swing amplitude grows with walking speed (a slow stroll
+        # barely swings the arms, a brisk walk swings them widely); the
+        # user's nominal amplitude corresponds to their nominal speed.
+        if body:
+            typical_speed = 1.33  # m/s, average adult walking speed
+            speed_scale = float(
+                np.clip(np.sqrt(speed.mean() / typical_speed), 0.6, 1.25)
+            )
+        else:
+            speed_scale = 1.0
+        # Walking arm swing stays in the regime where the wrist sees
+        # both motion sources: swings whose 2f vertical term would
+        # drown the bounce belong to running, not walking (same bound
+        # as the user-population sampler, applied after speed scaling).
+        if body:
+            amp_cap = float(np.sqrt(1.4 * bounce.mean() / user.arm_length_m))
+        else:
+            amp_cap = np.inf
+        effective_amp = min(user.arm_swing_amplitude_rad * speed_scale, amp_cap)
+        arm = ArmSwingModel(
+            arm_length_m=user.arm_length_m,
+            amplitude_rad=effective_amp,
+            forward_bias_rad=user.arm_swing_forward_bias_rad * speed_scale,
+            elbow_lag_s=user.elbow_lag_s,
+            second_harmonic_rad=user.arm_second_harmonic_rad * speed_scale,
+            second_harmonic_phase=user.arm_second_harmonic_phase,
+        )
+        arm_pitch = arm.angle(phase - arm_lag)
+        rel = arm.wrist_offset(phase - arm_lag, dt)
+        wrist = np.column_stack(
+            [
+                body_x + rel[:, 0] * hx,
+                body_y + rel[:, 0] * hy,
+                body_z + rel[:, 2],
+            ]
+        )
+    elif arm_mode == "rigid":
+        # Wrist fixed w.r.t. the torso (e.g. hand in pocket): the device
+        # sees pure body motion, plus a tiny muscular tremor.
+        arm_pitch = np.full(n, 0.3)  # forearm carried slightly raised
+        wrist = body_pos.copy()
+        wrist[:, 2] -= 0.55 * user.arm_length_m
+        if rng is not None:
+            tremor = rng.normal(0.0, 0.0008, size=(n, 3))
+            wrist = wrist + _smooth_columns(tremor, max(2, int(0.05 * sample_rate_hz)))
+    else:  # "none": device directly on the body (Montage's assumption).
+        arm_pitch = np.zeros(n)
+        wrist = body_pos.copy()
+
+    acceleration = _second_derivative(wrist, dt)
+
+    if device is None:
+        device = WearableDevice() if rng is not None else WearableDevice.ideal(sample_rate_hz)
+    if abs(device.sample_rate_hz - sample_rate_hz) > 1e-9:
+        raise SimulationError(
+            f"device rate {device.sample_rate_hz} != requested {sample_rate_hz}"
+        )
+    trace = device.observe(acceleration, rng=rng, start_time=start_time)
+
+    # ------------------------------------------------------------------
+    # Ground truth: steps at every half-integer phase crossing.
+    # ------------------------------------------------------------------
+    if body:
+        step_times, stride_truth, bounce_truth = _step_truth(
+            phase, body_pos, bounce, dt, start_time
+        )
+    else:
+        step_times = np.empty(0)
+        stride_truth = np.empty(0)
+        bounce_truth = np.empty(0)
+
+    truth = WalkGroundTruth(
+        step_times=step_times,
+        stride_lengths_m=stride_truth,
+        bounce_m=bounce_truth,
+        body_positions_m=body_pos,
+        headings_rad=headings,
+        sample_rate_hz=sample_rate_hz,
+    )
+    if return_internals:
+        internals = WalkInternals(
+            true_acceleration=acceleration,
+            arm_pitch_rad=arm_pitch,
+            headings_rad=headings,
+            phase=phase,
+        )
+        return trace, truth, internals
+    return trace, truth
+
+
+def _smooth_columns(x: np.ndarray, width: int) -> np.ndarray:
+    return np.column_stack([_smooth(x[:, j], width) for j in range(x.shape[1])])
+
+
+def _step_truth(
+    phase: np.ndarray,
+    body_pos: np.ndarray,
+    bounce: np.ndarray,
+    dt: float,
+    start_time: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Heel-strike times and per-step stride/bounce ground truth."""
+    # Steps occur when phase crosses multiples of 0.5.
+    k_first = int(np.ceil(phase[0] / 0.5))
+    k_last = int(np.floor(phase[-1] / 0.5))
+    times = []
+    indices = []
+    for k in range(k_first, k_last + 1):
+        target = 0.5 * k
+        if target <= phase[0] or target > phase[-1]:
+            continue
+        i = int(np.searchsorted(phase, target))
+        # Linear interpolation between samples i-1 and i.
+        p0, p1 = phase[i - 1], phase[i]
+        frac = 0.0 if p1 == p0 else (target - p0) / (p1 - p0)
+        times.append(start_time + (i - 1 + frac) * dt)
+        indices.append(i)
+    times_arr = np.asarray(times)
+
+    strides = []
+    bounces = []
+    for j in range(1, len(indices)):
+        a, b = indices[j - 1], indices[j]
+        chord = float(np.linalg.norm(body_pos[b, :2] - body_pos[a, :2]))
+        strides.append(chord)
+        bounces.append(float(bounce[a:b].mean()))
+    if len(indices) >= 1:
+        # The first detected step gets the stride of the following one
+        # (its own preceding motion started before the trace).
+        strides = strides[:1] + strides if strides else [0.0]
+        bounces = bounces[:1] + bounces if bounces else [0.0]
+    return times_arr, np.asarray(strides[: len(times)]), np.asarray(bounces[: len(times)])

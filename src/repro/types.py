@@ -1,0 +1,174 @@
+"""Shared value types used across the PTrack reproduction library.
+
+These are deliberately small, immutable dataclasses: they carry results
+between pipeline stages (Fig. 2 of the paper) without coupling the
+stages to each other's internals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class GaitType(enum.Enum):
+    """Classification of one gait-cycle candidate.
+
+    The PTrack step counter (paper SIII-B) sorts every candidate cycle
+    into one of three buckets; only the first two update the counter.
+    """
+
+    WALKING = "walking"
+    """Arm swing + body movement superposed (offset test fired)."""
+
+    STEPPING = "stepping"
+    """Body movement with the arm rigid w.r.t. the body (C > 0 and a
+    fixed quarter-period phase difference, multiple consecutive cycles)."""
+
+    INTERFERENCE = "interference"
+    """A rigid arm/hand activity that must not count as steps."""
+
+
+class ActivityKind(enum.Enum):
+    """Ground-truth label of a simulated activity segment."""
+
+    WALKING = "walking"
+    STEPPING = "stepping"
+    SWINGING = "swinging"
+    EATING = "eating"
+    POKER = "poker"
+    PHOTO = "photo"
+    GAME = "game"
+    MOUSE = "mouse"
+    KEYSTROKE = "keystroke"
+    WATCH_GLANCE = "watch_glance"
+    SPOOFING = "spoofing"
+    IDLE = "idle"
+
+    @property
+    def is_pedestrian(self) -> bool:
+        """True when segments of this kind contribute genuine steps."""
+        return self in (ActivityKind.WALKING, ActivityKind.STEPPING)
+
+
+class Posture(enum.Enum):
+    """Body posture during an interfering activity (Fig. 1 uses both)."""
+
+    STANDING = "standing"
+    SEATED = "seated"
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """A single counted step.
+
+    Attributes:
+        time: Timestamp of the step (seconds from trace start).
+        index: Sample index of the step within the source trace.
+        gait_type: The gait classification of the cycle that produced it.
+        cycle_id: Index of the gait cycle the step belongs to.
+    """
+
+    time: float
+    index: int
+    gait_type: GaitType
+    cycle_id: int
+
+
+@dataclass(frozen=True)
+class StrideEstimate:
+    """Per-step stride estimate produced by a stride estimator.
+
+    Attributes:
+        time: Timestamp of the step (seconds from trace start).
+        length_m: Estimated stride (per-step) length in metres.
+        bounce_m: Estimated body bounce used in the solve, if available.
+        cycle_id: Index of the gait cycle the step belongs to.
+        gait_type: Gait classification of the source cycle.
+    """
+
+    time: float
+    length_m: float
+    bounce_m: Optional[float]
+    cycle_id: int
+    gait_type: GaitType
+
+
+@dataclass(frozen=True)
+class CycleClassification:
+    """Outcome of classifying one gait-cycle candidate.
+
+    Attributes:
+        cycle_id: Index of the candidate in the segmented stream.
+        start_index: First sample index of the cycle (inclusive).
+        end_index: Last sample index of the cycle (exclusive).
+        gait_type: Decision from the Fig.-4 flow.
+        offset: Aggregated critical-point offset (Eq. 1).
+        half_cycle_correlation: Auto-correlation value ``C`` at the
+            half-cycle lag, when it was computed (``None`` when the
+            offset test already fired).
+        phase_difference_ok: Whether the vertical/anterior phase
+            difference matched the fixed quarter-period signature.
+        steps_added: Steps credited to the counter by this cycle.
+    """
+
+    cycle_id: int
+    start_index: int
+    end_index: int
+    gait_type: GaitType
+    offset: float
+    half_cycle_correlation: Optional[float]
+    phase_difference_ok: Optional[bool]
+    steps_added: int
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """Per-user biomechanical profile used by the stride estimator.
+
+    Attributes:
+        arm_length_m: Shoulder-to-wrist distance ``m`` in metres.
+        leg_length_m: Hip-to-ground leg length ``l`` in metres.
+        calibration_k: Stride calibration factor ``k`` of Eq. (2).
+            The pure inverted-pendulum geometry corresponds to ``k = 2``.
+    """
+
+    arm_length_m: float
+    leg_length_m: float
+    calibration_k: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.arm_length_m <= 0:
+            raise ValueError(f"arm_length_m must be positive, got {self.arm_length_m}")
+        if self.leg_length_m <= 0:
+            raise ValueError(f"leg_length_m must be positive, got {self.leg_length_m}")
+        if self.calibration_k <= 0:
+            raise ValueError(f"calibration_k must be positive, got {self.calibration_k}")
+
+
+@dataclass(frozen=True)
+class TrackingResult:
+    """End-to-end output of a pedestrian-tracking pipeline over a trace.
+
+    Attributes:
+        steps: All counted steps, in time order.
+        strides: Per-step stride estimates, in time order.  May be
+            shorter than ``steps`` when some cycles did not admit a
+            stride solve.
+        classifications: Per-cycle decisions, for diagnostics.
+    """
+
+    steps: Tuple[StepEvent, ...]
+    strides: Tuple[StrideEstimate, ...]
+    classifications: Tuple[CycleClassification, ...] = field(default_factory=tuple)
+
+    @property
+    def step_count(self) -> int:
+        """Number of counted steps."""
+        return len(self.steps)
+
+    @property
+    def distance_m(self) -> float:
+        """Total walked distance implied by the stride estimates."""
+        return float(sum(s.length_m for s in self.strides))

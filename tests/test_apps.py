@@ -1,0 +1,118 @@
+"""Unit tests for repro.apps.{deadreckoning,fitness}."""
+
+import numpy as np
+import pytest
+
+from repro.apps.deadreckoning import DeadReckoner, navigate_route
+from repro.apps.fitness import FitnessTracker
+from repro.core.pipeline import PTrack
+from repro.exceptions import ConfigurationError
+from repro.simulation.routes import paper_route, walk_route
+from repro.types import ActivityKind, Posture
+
+
+class TestDeadReckoner:
+    def test_requires_profile(self):
+        with pytest.raises(ConfigurationError):
+            DeadReckoner(PTrack())
+
+    def test_rejects_negative_noise(self, user):
+        with pytest.raises(ConfigurationError):
+            DeadReckoner(PTrack(profile=user.profile), heading_noise_rad=-0.1)
+
+    def test_straight_walk_reckons_forward(self, user, walk_trace):
+        trace, truth = walk_trace
+        reckoner = DeadReckoner(PTrack(profile=user.profile), heading_noise_rad=0.0)
+        positions, result = reckoner.reckon(trace, truth.headings_rad)
+        assert positions.shape[0] == len(result.strides)
+        # Heading 0: the path must advance along +x and stay near y=0.
+        assert positions[-1, 0] == pytest.approx(
+            truth.total_distance_m, rel=0.1
+        )
+        assert abs(positions[-1, 1]) < 2.0
+
+    def test_heading_shape_checked(self, user, walk_trace):
+        reckoner = DeadReckoner(PTrack(profile=user.profile))
+        with pytest.raises(ConfigurationError):
+            reckoner.reckon(walk_trace[0], np.zeros(5))
+
+
+class TestNavigateRoute:
+    @pytest.fixture(scope="class")
+    def navigation(self, user):
+        route = paper_route()
+        rng = np.random.default_rng(11)
+        trace, truth = walk_route(user, route, rng=rng)
+        tracker = PTrack(profile=user.profile)
+        report = navigate_route(tracker, trace, truth, route, rng=rng)
+        return route, truth, report
+
+    def test_tracked_distance_near_route(self, navigation):
+        route, truth, report = navigation
+        assert report.tracked_distance_m == pytest.approx(
+            route.total_length_m, rel=0.1
+        )
+
+    def test_position_errors_bounded(self, navigation):
+        _, _, report = navigation
+        assert report.mean_position_error_m < 10.0
+        assert report.final_error_m < 20.0
+
+    def test_positions_one_per_stride(self, navigation):
+        _, _, report = navigation
+        assert report.positions_m.shape == (report.step_times.size, 2)
+
+
+class TestFitnessTracker:
+    def test_aggregates_mixed_day(self, user):
+        from repro.simulation.scenarios import SessionBuilder
+
+        tracker = FitnessTracker(PTrack(profile=user.profile))
+        rng = np.random.default_rng(21)
+        morning = (
+            SessionBuilder(user, rng=rng).walk(20.0).interfere(
+                ActivityKind.EATING, 30.0, posture=Posture.SEATED
+            ).build()
+        )
+        evening = SessionBuilder(user, rng=rng).step(20.0).build()
+        tracker.add_session(morning.trace)
+        tracker.add_session(evening.trace)
+        report = tracker.report()
+
+        true_steps = morning.true_step_count + evening.true_step_count
+        assert report.total_steps == pytest.approx(true_steps, abs=0.1 * true_steps)
+        assert report.sessions == 2
+        assert report.active_time_s == pytest.approx(
+            morning.trace.duration_s + evening.trace.duration_s
+        )
+        assert report.walking_steps > 0
+        assert report.stepping_steps > 0
+        assert report.distance_m > 0
+        assert 0.3 < report.average_stride_m < 1.2
+
+    def test_interference_only_day_reports_rejections(self, user):
+        from repro.simulation.scenarios import SessionBuilder
+
+        tracker = FitnessTracker(PTrack(profile=user.profile))
+        session = (
+            SessionBuilder(user, rng=np.random.default_rng(22))
+            .interfere(ActivityKind.POKER, 60.0)
+            .build()
+        )
+        tracker.add_session(session.trace)
+        report = tracker.report()
+        assert report.total_steps <= 4
+        assert report.rejected_cycles > 5
+
+    def test_reset(self, user, walk_trace):
+        tracker = FitnessTracker(PTrack(profile=user.profile))
+        tracker.add_session(walk_trace[0])
+        tracker.reset()
+        report = tracker.report()
+        assert report.total_steps == 0
+        assert report.sessions == 0
+
+    def test_empty_report(self, user):
+        report = FitnessTracker(PTrack(profile=user.profile)).report()
+        assert report.total_steps == 0
+        assert report.average_stride_m == 0.0

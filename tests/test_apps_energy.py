@@ -1,0 +1,83 @@
+"""Tests for repro.apps.energy (GPS duty-cycling trade)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.energy import EnergyModel, evaluate_duty_cycle
+from repro.core.pipeline import PTrack
+from repro.exceptions import ConfigurationError
+from repro.simulation.walker import simulate_walk
+
+
+@pytest.fixture(scope="module")
+def straight_walk(user):
+    return simulate_walk(user, 60.0, rng=np.random.default_rng(12))
+
+
+class TestEnergyModel:
+    def test_defaults_valid(self):
+        model = EnergyModel()
+        assert model.gps_fix_j > 0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel(gps_fix_j=0.0)
+        with pytest.raises(ConfigurationError):
+            EnergyModel(imu_w=-1.0)
+
+
+class TestEvaluateDutyCycle:
+    def test_hold_error_grows_with_interval(self, user, straight_walk):
+        trace, truth = straight_walk
+        tracker = PTrack(profile=user.profile)
+        hold_short, _ = evaluate_duty_cycle(
+            tracker, trace, truth, 5.0, rng=np.random.default_rng(1)
+        )
+        hold_long, _ = evaluate_duty_cycle(
+            tracker, trace, truth, 30.0, rng=np.random.default_rng(1)
+        )
+        assert hold_long.mean_error_m > 2 * hold_short.mean_error_m
+
+    def test_dead_reckoning_flattens_error(self, user, straight_walk):
+        trace, truth = straight_walk
+        tracker = PTrack(profile=user.profile)
+        _, dr_short = evaluate_duty_cycle(
+            tracker, trace, truth, 5.0, rng=np.random.default_rng(2)
+        )
+        hold_long, dr_long = evaluate_duty_cycle(
+            tracker, trace, truth, 30.0, rng=np.random.default_rng(2)
+        )
+        assert dr_long.mean_error_m < 0.5 * hold_long.mean_error_m
+        assert dr_long.mean_error_m < dr_short.mean_error_m + 4.0
+
+    def test_energy_accounting(self, user, straight_walk):
+        trace, truth = straight_walk
+        tracker = PTrack(profile=user.profile)
+        model = EnergyModel(gps_fix_j=2.0, imu_w=0.05)
+        hold, dr = evaluate_duty_cycle(
+            tracker, trace, truth, 10.0, energy=model, rng=None
+        )
+        n_fixes = len(np.arange(0.0, trace.duration_s, 10.0))
+        assert hold.energy_j == pytest.approx(n_fixes * 2.0)
+        assert dr.energy_j == pytest.approx(
+            n_fixes * 2.0 + 0.05 * trace.duration_s
+        )
+        assert dr.energy_mw > hold.energy_mw
+
+    def test_gps_noise_bounds_hold_error_floor(self, user, straight_walk):
+        trace, truth = straight_walk
+        tracker = PTrack(profile=user.profile)
+        model = EnergyModel(gps_position_sigma_m=0.0)
+        hold, _ = evaluate_duty_cycle(
+            tracker, trace, truth, 1.0, energy=model, rng=None
+        )
+        # With 1 s perfect fixes the hold error is just intra-second
+        # motion (~ one stride).
+        assert hold.mean_error_m < 1.5
+
+    def test_rejects_bad_interval(self, user, straight_walk):
+        trace, truth = straight_walk
+        with pytest.raises(ConfigurationError):
+            evaluate_duty_cycle(
+                PTrack(profile=user.profile), trace, truth, 0.0
+            )

@@ -1,0 +1,121 @@
+"""Unit tests for repro.baselines.{peak_counter,montage}."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.montage import MontageTracker
+from repro.baselines.peak_counter import PeakStepCounter
+from repro.exceptions import ConfigurationError, SignalError
+from repro.types import UserProfile
+
+
+class TestPeakStepCounter:
+    def test_counts_walking_steps(self, walk_trace):
+        trace, truth = walk_trace
+        counted = PeakStepCounter.gfit().count_steps(trace)
+        assert counted == pytest.approx(truth.step_count, abs=0.1 * truth.step_count)
+
+    def test_counts_interference_too(self, eating_trace):
+        # The design flaw under study: a peak counter ticks on gestures.
+        assert PeakStepCounter.gfit().count_steps(eating_trace) > 10
+
+    def test_counts_spoofer(self, spoof_trace):
+        assert PeakStepCounter.gfit().count_steps(spoof_trace) > 40
+
+    def test_silent_on_idle(self, rng):
+        from repro.simulation.activities import simulate_interference
+        from repro.types import ActivityKind
+
+        trace = simulate_interference(ActivityKind.IDLE, 30.0, rng=rng)
+        assert PeakStepCounter.gfit().count_steps(trace) == 0
+
+    def test_step_times_match_indices(self, walk_trace):
+        trace, _ = walk_trace
+        counter = PeakStepCounter.gfit()
+        times = counter.step_times(trace)
+        indices = counter.step_indices(trace)
+        assert len(times) == len(indices)
+        assert times == sorted(times)
+
+    def test_profiles_differ(self, eating_trace):
+        strict = PeakStepCounter.coprocessor().count_steps(eating_trace)
+        loose = PeakStepCounter.software().count_steps(eating_trace)
+        assert loose >= strict
+
+    def test_vertical_mode(self, walk_trace):
+        trace, truth = walk_trace
+        counter = PeakStepCounter(use_magnitude=False)
+        counted = counter.count_steps(trace)
+        assert counted == pytest.approx(truth.step_count, abs=0.15 * truth.step_count)
+
+    def test_refractory_period_limits_rate(self, walk_trace):
+        trace, _ = walk_trace
+        counter = PeakStepCounter(min_step_interval_s=0.30)
+        indices = counter.step_indices(trace)
+        gaps = np.diff(indices) * trace.dt
+        assert np.all(gaps >= 0.30 - 1e-9)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            PeakStepCounter(cutoff_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            PeakStepCounter(min_step_interval_s=3.0, max_step_interval_s=2.0)
+
+
+class TestMontageTracker:
+    def test_counts_walking(self, walk_trace):
+        trace, truth = walk_trace
+        counted = MontageTracker().count_steps(trace)
+        assert counted == pytest.approx(truth.step_count, abs=0.1 * truth.step_count)
+
+    def test_strides_on_body_accurate(self, user):
+        # Montage's home turf: the device rigid with the body.
+        from repro.simulation.walker import simulate_walk
+
+        trace, truth = simulate_walk(
+            user, 30.0, rng=np.random.default_rng(0), arm_mode="none"
+        )
+        tracker = MontageTracker(profile=user.profile)
+        strides = tracker.estimate_strides(trace)
+        errors = np.abs(np.array([s.length_m for s in strides]) - user.stride_m)
+        assert np.mean(errors) < 0.08
+
+    def test_strides_on_wrist_degrade(self, user, walk_trace):
+        # The paper's point: wrist wear breaks the body-attachment
+        # assumption and Montage's stride error grows.
+        trace, _ = walk_trace
+        tracker = MontageTracker(profile=user.profile)
+        wrist_err = np.mean(
+            np.abs(
+                np.array([s.length_m for s in tracker.estimate_strides(trace)])
+                - user.stride_m
+            )
+        )
+        from repro.simulation.walker import simulate_walk
+
+        body_trace, _ = simulate_walk(
+            user, 30.0, rng=np.random.default_rng(0), arm_mode="none"
+        )
+        body_err = np.mean(
+            np.abs(
+                np.array(
+                    [s.length_m for s in tracker.estimate_strides(body_trace)]
+                )
+                - user.stride_m
+            )
+        )
+        assert wrist_err > 1.5 * body_err
+
+    def test_distance_sums_strides(self, user, walk_trace):
+        tracker = MontageTracker(profile=user.profile)
+        strides = tracker.estimate_strides(walk_trace[0])
+        assert tracker.distance_m(walk_trace[0]) == pytest.approx(
+            sum(s.length_m for s in strides)
+        )
+
+    def test_stride_needs_profile(self, walk_trace):
+        with pytest.raises(SignalError):
+            MontageTracker().estimate_strides(walk_trace[0])
+
+    def test_counting_needs_no_profile(self, walk_trace):
+        assert MontageTracker().count_steps(walk_trace[0]) > 0

@@ -1,0 +1,109 @@
+"""Tests for the from-scratch CART classifier and the SCAR tree backend."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.decision_tree import DecisionTreeClassifier
+from repro.baselines.scar import ScarClassifier
+from repro.exceptions import TrainingError
+
+
+def _blobs(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal([0, 0], 0.4, size=(n, 2))
+    b = rng.normal([4, 4], 0.4, size=(n, 2))
+    c = rng.normal([0, 4], 0.4, size=(n, 2))
+    x = np.vstack([a, b, c])
+    y = ["a"] * n + ["b"] * n + ["c"] * n
+    return x, y
+
+
+class TestDecisionTree:
+    def test_separable_blobs(self):
+        x, y = _blobs()
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.predict_one(np.array([0.0, 0.0])) == "a"
+        assert tree.predict_one(np.array([4.0, 4.0])) == "b"
+        assert tree.predict_one(np.array([0.0, 4.0])) == "c"
+
+    def test_training_accuracy_high(self):
+        x, y = _blobs()
+        tree = DecisionTreeClassifier().fit(x, y)
+        predictions = tree.predict(x)
+        accuracy = np.mean([p == t for p, t in zip(predictions, y)])
+        assert accuracy > 0.95
+
+    def test_axis_aligned_xor_needs_depth(self):
+        # XOR: depth-1 stumps fail, depth>=2 trees solve it.
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=(400, 2))
+        y = ["pos" if (row[0] > 0) == (row[1] > 0) else "neg" for row in x]
+        stump = DecisionTreeClassifier(max_depth=1).fit(x, y)
+        deep = DecisionTreeClassifier(max_depth=4).fit(x, y)
+        stump_acc = np.mean([p == t for p, t in zip(stump.predict(x), y)])
+        deep_acc = np.mean([p == t for p, t in zip(deep.predict(x), y)])
+        assert deep_acc > 0.9
+        assert deep_acc > stump_acc
+
+    def test_depth_limited(self):
+        x, y = _blobs()
+        tree = DecisionTreeClassifier(max_depth=2).fit(x, y)
+        assert tree.depth <= 2
+
+    def test_min_leaf_respected(self):
+        x = np.arange(10.0).reshape(-1, 1)
+        y = ["a"] * 5 + ["b"] * 5
+        tree = DecisionTreeClassifier(min_leaf=5).fit(x, y)
+        assert tree.depth <= 1
+
+    def test_single_class_is_leaf(self):
+        tree = DecisionTreeClassifier().fit(np.zeros((10, 2)), ["x"] * 10)
+        assert tree.depth == 0
+        assert tree.predict_one(np.array([9.0, 9.0])) == "x"
+
+    def test_classes_property(self):
+        x, y = _blobs(n=10)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.classes == ["a", "b", "c"]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(TrainingError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_rejects_bad_data(self):
+        with pytest.raises(TrainingError):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), [])
+        with pytest.raises(TrainingError):
+            DecisionTreeClassifier().fit(np.zeros((3, 2)), ["a"])
+        with pytest.raises(TrainingError):
+            DecisionTreeClassifier(max_depth=0)
+
+    def test_rejects_width_mismatch(self):
+        x, y = _blobs(n=10)
+        tree = DecisionTreeClassifier().fit(x, y)
+        with pytest.raises(TrainingError):
+            tree.predict(np.zeros((1, 5)))
+
+
+class TestScarTreeBackend:
+    def test_tree_backend_counts_and_suppresses(self, user, rng):
+        from repro.baselines.scar import ScarStepCounter
+        from repro.experiments.common import scar_training_set
+        from repro.simulation.activities import simulate_interference
+        from repro.simulation.walker import simulate_walk
+        from repro.types import ActivityKind
+
+        data = scar_training_set(user, rng, duration_s=40.0)
+        counter = ScarStepCounter(ScarClassifier(backend="tree").fit(data))
+        walk, truth = simulate_walk(user, 30.0, rng=np.random.default_rng(1))
+        eat = simulate_interference(
+            ActivityKind.EATING, 45.0, rng=np.random.default_rng(2)
+        )
+        assert counter.count_steps(walk) == pytest.approx(
+            truth.step_count, abs=0.15 * truth.step_count
+        )
+        assert counter.count_steps(eat) <= 5
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(TrainingError):
+            ScarClassifier(backend="forest")

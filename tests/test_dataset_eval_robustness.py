@@ -1,0 +1,88 @@
+"""Tests for dataset evaluation and the robustness sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SignalError
+from repro.experiments import dataset_eval, robustness
+from repro.simulation.scenarios import SessionBuilder
+from repro.types import ActivityKind
+
+
+@pytest.fixture(scope="module")
+def two_sessions(user):
+    rng = np.random.default_rng(5)
+    walk_heavy = SessionBuilder(user, rng=rng).walk(20.0).step(15.0).build()
+    mixed = (
+        SessionBuilder(user, rng=rng)
+        .walk(15.0)
+        .interfere(ActivityKind.EATING, 20.0)
+        .build()
+    )
+    return [("walk_heavy", walk_heavy), ("mixed", mixed)]
+
+
+class TestEvaluateSessions:
+    def test_scores_and_total(self, two_sessions):
+        scores, table = dataset_eval.evaluate_sessions(two_sessions)
+        assert len(scores) == 2
+        for score in scores:
+            assert score.error_rate < 0.1
+        text = table.render()
+        assert "TOTAL" in text
+
+    def test_rejected_cycles_reported(self, two_sessions):
+        scores, _ = dataset_eval.evaluate_sessions(two_sessions)
+        mixed = next(s for s in scores if s.name == "mixed")
+        assert mixed.rejected_cycles >= 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(SignalError):
+            dataset_eval.evaluate_sessions([])
+
+
+class TestEvaluateDirectory:
+    def test_round_trip_directory(self, tmp_path, two_sessions):
+        from repro.sensing.io import save_session
+
+        for name, session in two_sessions:
+            save_session(tmp_path / f"{name}.npz", session)
+        scores, _ = dataset_eval.evaluate_directory(tmp_path)
+        assert {s.name for s in scores} == {"walk_heavy", "mixed"}
+
+    def test_plain_traces_skipped(self, tmp_path, two_sessions, walk_trace):
+        from repro.sensing.io import save_session, save_trace
+
+        save_trace(tmp_path / "plain.npz", walk_trace[0])
+        save_session(tmp_path / "labelled.npz", two_sessions[0][1])
+        scores, _ = dataset_eval.evaluate_directory(tmp_path)
+        assert [s.name for s in scores] == ["labelled"]
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(SignalError):
+            dataset_eval.evaluate_directory(tmp_path)
+
+
+class TestRobustnessSweeps:
+    def test_attitude_error_sweep_small(self):
+        rows, _ = robustness.sweep_attitude_error(
+            errors_rad=(0.0, 0.05), duration_s=25.0
+        )
+        assert len(rows) == 2
+        assert rows[0][1] > 0.9
+
+    def test_arm_lag_sweep_small(self):
+        rows, _ = robustness.sweep_arm_lag(lags=(0.05, 0.08), duration_s=25.0)
+        assert all(acc > 0.85 for _, acc, _ in rows)
+
+    def test_mount_sweep_small(self):
+        rows, _ = robustness.sweep_wrist_mount(
+            mount_pitches_rad=(0.0, 0.3), duration_s=25.0
+        )
+        assert all(acc > 0.85 for _, acc, _ in rows)
+
+    def test_gyro_sweep_small(self):
+        rows, _ = robustness.sweep_gyro_quality(
+            gyro_sigmas=(0.005,), duration_s=25.0
+        )
+        assert rows[0][1] > 0.85

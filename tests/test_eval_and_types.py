@@ -1,0 +1,137 @@
+"""Unit tests for repro.eval.{metrics,reporting} and repro.types."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    cdf_points,
+    count_accuracy,
+    count_error_rate,
+    stride_errors,
+    summarize,
+)
+from repro.eval.reporting import Table, format_table
+from repro.exceptions import SignalError
+from repro.types import (
+    ActivityKind,
+    GaitType,
+    StepEvent,
+    StrideEstimate,
+    TrackingResult,
+    UserProfile,
+)
+
+
+class TestMetrics:
+    def test_accuracy_perfect(self):
+        assert count_accuracy(100, 100) == 1.0
+
+    def test_accuracy_symmetric(self):
+        assert count_accuracy(90, 100) == count_accuracy(110, 100)
+
+    def test_accuracy_floor(self):
+        assert count_accuracy(500, 100) == 0.0
+
+    def test_error_rate(self):
+        assert count_error_rate(102, 100) == pytest.approx(0.02)
+
+    def test_error_rate_rejects_zero_truth(self):
+        with pytest.raises(SignalError):
+            count_error_rate(5, 0)
+
+    def test_stride_errors_prefix_alignment(self):
+        errs = stride_errors([0.7, 0.8, 0.9], [0.7, 0.7])
+        assert errs.shape == (2,)
+        assert errs[1] == pytest.approx(0.1)
+
+    def test_stride_errors_empty(self):
+        assert stride_errors([], [0.7]).size == 0
+
+    def test_cdf_points(self):
+        values, probs = cdf_points([3.0, 1.0, 2.0])
+        assert values.tolist() == [1.0, 2.0, 3.0]
+        assert probs.tolist() == [pytest.approx(1 / 3), pytest.approx(2 / 3), 1.0]
+
+    def test_cdf_empty(self):
+        values, probs = cdf_points([])
+        assert values.size == 0 and probs.size == 0
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == 2.5
+        assert s.median == 2.5
+        assert s.maximum == 4.0
+        assert s.n == 4
+
+    def test_summarize_rejects_empty(self):
+        with pytest.raises(SignalError):
+            summarize([])
+
+    def test_summarize_rejects_nan(self):
+        with pytest.raises(SignalError):
+            summarize([1.0, np.nan])
+
+
+class TestReporting:
+    def test_format_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.123]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "0.123" in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_table_builder(self):
+        t = Table("demo", ["k", "v"]).add_row("a", 1).add_row("b", 2)
+        assert len(t.rows) == 2
+        assert "demo" in t.render()
+
+    def test_table_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            Table("t", ["a"]).add_row(1, 2)
+
+
+class TestTypes:
+    def test_activity_pedestrian_flags(self):
+        assert ActivityKind.WALKING.is_pedestrian
+        assert ActivityKind.STEPPING.is_pedestrian
+        assert not ActivityKind.EATING.is_pedestrian
+        assert not ActivityKind.SPOOFING.is_pedestrian
+
+    def test_user_profile_validation(self):
+        with pytest.raises(ValueError):
+            UserProfile(arm_length_m=0.0, leg_length_m=0.9)
+        with pytest.raises(ValueError):
+            UserProfile(arm_length_m=0.6, leg_length_m=-1.0)
+        with pytest.raises(ValueError):
+            UserProfile(arm_length_m=0.6, leg_length_m=0.9, calibration_k=0.0)
+
+    def test_tracking_result_aggregates(self):
+        steps = tuple(
+            StepEvent(time=float(i), index=i, gait_type=GaitType.WALKING, cycle_id=i // 2)
+            for i in range(4)
+        )
+        strides = tuple(
+            StrideEstimate(
+                time=float(i),
+                length_m=0.7,
+                bounce_m=0.05,
+                cycle_id=i // 2,
+                gait_type=GaitType.WALKING,
+            )
+            for i in range(4)
+        )
+        result = TrackingResult(steps=steps, strides=strides)
+        assert result.step_count == 4
+        assert result.distance_m == pytest.approx(2.8)
+
+    def test_step_event_immutable(self):
+        e = StepEvent(0.0, 0, GaitType.WALKING, 0)
+        with pytest.raises(AttributeError):
+            e.time = 1.0

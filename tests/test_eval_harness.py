@@ -1,0 +1,105 @@
+"""Tests for repro.eval.harness plus gait-variant integration checks."""
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import Replicates, compare_cdfs, format_cdf, repeat
+from repro.exceptions import SignalError
+
+
+class TestReplicates:
+    def test_statistics(self):
+        r = Replicates("x", (1.0, 2.0, 3.0))
+        assert r.mean == 2.0
+        assert r.minimum == 1.0
+        assert r.maximum == 3.0
+        lo, hi = r.confidence_interval()
+        assert lo < 2.0 < hi
+
+    def test_rejects_empty(self):
+        with pytest.raises(SignalError):
+            Replicates("x", ())
+
+
+class TestRepeat:
+    def test_aggregates_across_seeds(self):
+        def measure(seed: int):
+            rng = np.random.default_rng(seed)
+            return {"a": float(rng.normal()), "b": float(seed)}
+
+        result = repeat(measure, seeds=[1, 2, 3])
+        assert set(result) == {"a", "b"}
+        assert result["b"].values == (1.0, 2.0, 3.0)
+
+    def test_deterministic_measurement(self):
+        result = repeat(lambda s: {"v": s * 2.0}, seeds=[5])
+        assert result["v"].mean == 10.0
+
+    def test_rejects_no_seeds(self):
+        with pytest.raises(SignalError):
+            repeat(lambda s: {"v": 0.0}, seeds=[])
+
+    def test_rejects_inconsistent_metrics(self):
+        def measure(seed: int):
+            return {"a": 0.0} if seed == 1 else {"b": 0.0}
+
+        with pytest.raises(SignalError):
+            repeat(measure, seeds=[1, 2])
+
+
+class TestCdfHelpers:
+    def test_format_cdf_monotone(self):
+        text = format_cdf(np.random.default_rng(0).normal(size=500), "err")
+        lines = text.splitlines()[2:]
+        values = [float(line.split()[0]) for line in lines]
+        assert values == sorted(values)
+        assert lines[-1].endswith("1.00")
+
+    def test_format_cdf_rejects_empty(self):
+        with pytest.raises(SignalError):
+            format_cdf([])
+
+    def test_compare_cdfs_orders_by_median(self):
+        ordered = compare_cdfs(
+            {"worse": [10.0, 11.0, 12.0], "better": [1.0, 2.0, 3.0]}
+        )
+        assert ordered[0][0] == "better"
+        assert ordered[0][1][0.5] == pytest.approx(2.0)
+
+    def test_compare_cdfs_rejects_empty_sample(self):
+        with pytest.raises(SignalError):
+            compare_cdfs({"x": []})
+
+
+class TestGaitVariants:
+    """The paper notes walking 'and also its variants like jogging,
+    running' decompose the same way; the counter must follow."""
+
+    @pytest.mark.parametrize(
+        "cadence,stride",
+        [(1.25, 1.05), (1.35, 1.15)],
+        ids=["jog", "brisk-jog"],
+    )
+    def test_jogging_paces_tracked(self, cadence, stride, ptrack_counter):
+        from repro.core.pipeline import PTrack
+        from repro.simulation import SimulatedUser
+        from repro.simulation.walker import simulate_walk
+
+        user = SimulatedUser().with_gait(cadence_hz=cadence, stride_m=stride)
+        trace, truth = simulate_walk(user, 30.0, rng=np.random.default_rng(8))
+        counted = ptrack_counter.count_steps(trace)
+        assert counted == pytest.approx(truth.step_count, abs=3)
+
+        result = PTrack(profile=user.profile).track(trace)
+        assert result.distance_m == pytest.approx(
+            truth.total_distance_m, rel=0.1
+        )
+
+    def test_slow_stroll_tracked(self, ptrack_counter):
+        from repro.simulation import SimulatedUser
+        from repro.simulation.walker import simulate_walk
+
+        user = SimulatedUser().with_gait(cadence_hz=0.8, stride_m=0.52)
+        trace, truth = simulate_walk(user, 30.0, rng=np.random.default_rng(9))
+        counted = ptrack_counter.count_steps(trace)
+        assert counted >= 0.9 * truth.step_count

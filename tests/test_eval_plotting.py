@@ -1,0 +1,68 @@
+"""Tests for repro.eval.plotting (terminal sparklines)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.plotting import histogram, sparkline, timeline
+from repro.exceptions import SignalError
+
+
+class TestSparkline:
+    def test_width_respected(self):
+        assert len(sparkline(np.sin(np.linspace(0, 10, 500)), width=40)) == 40
+
+    def test_short_sample_kept_as_is(self):
+        assert len(sparkline([1.0, 2.0, 3.0], width=60)) == 3
+
+    def test_monotone_ramp_monotone_blocks(self):
+        line = sparkline(np.linspace(0, 1, 30), width=30)
+        assert line[0] <= line[-1]
+        assert line == "".join(sorted(line))
+
+    def test_constant_signal(self):
+        line = sparkline(np.full(20, 5.0), width=20)
+        assert len(set(line)) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(SignalError):
+            sparkline([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(SignalError):
+            sparkline([1.0, np.nan])
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(SignalError):
+            sparkline([1.0], width=0)
+
+
+class TestHistogram:
+    def test_row_per_bin(self):
+        text = histogram(np.random.default_rng(0).normal(size=400), bins=8)
+        assert len(text.splitlines()) == 8
+
+    def test_label_line(self):
+        text = histogram([1.0, 2.0, 3.0], bins=3, label="demo")
+        assert text.splitlines()[0] == "demo"
+
+    def test_counts_sum(self):
+        values = np.random.default_rng(1).normal(size=123)
+        text = histogram(values, bins=5)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()]
+        assert sum(counts) == 123
+
+    def test_rejects_empty(self):
+        with pytest.raises(SignalError):
+            histogram([])
+
+
+class TestTimeline:
+    def test_contains_duration_and_range(self):
+        line = timeline(np.zeros(300), 100.0, label="flat", unit="m/s^2")
+        assert "flat" in line
+        assert "over 3 s" in line
+        assert "m/s^2" in line
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(SignalError):
+            timeline([1.0, 2.0], 0.0)

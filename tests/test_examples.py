@@ -1,0 +1,51 @@
+"""Smoke tests: every shipped example must run and print its story.
+
+Examples are documentation that executes; letting them rot would be
+worse than not having them. Each test imports the example module and
+runs its ``main()`` with output captured.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart": "PTrack quickstart",
+    "interference_robustness": "error rate",
+    "indoor_navigation": "141.5",
+    "self_training": "Self-trained",
+    "fitness_day": "Daily report",
+    "streaming_tracking": "streaming",
+    "raw_device_pipeline": "raw device stream",
+    "gps_duty_cycling": "GPS fix every",
+    "adaptive_threshold": "Adaptive threshold",
+}
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_MARKERS))
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert EXPECTED_MARKERS[name] in out
+    assert len(out.splitlines()) >= 5
+
+
+def test_every_example_has_a_smoke_test():
+    shipped = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert shipped == set(EXPECTED_MARKERS), (
+        "examples and smoke tests out of sync"
+    )

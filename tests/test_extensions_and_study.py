@@ -1,0 +1,152 @@
+"""Tests for the study protocol, extension experiments, the
+lag-corrected bounce primitives and stride imputation."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounce import (
+    body_phase_factors,
+    extract_cycle_moments,
+    solve_bounce_lag_corrected,
+)
+from repro.exceptions import GeometryError
+from repro.experiments import extensions, study
+
+
+class TestLagCorrectedPrimitives:
+    def _forward(self, b, r1, r2, m, g1, g2):
+        h1 = r1 - g1 * b
+        h2 = r2 - g2 * b
+        d = np.sqrt(m**2 - (m - r1) ** 2) + np.sqrt(m**2 - (m - r2) ** 2)
+        return h1, h2, d
+
+    @pytest.mark.parametrize("g", [(1.0, 1.0), (0.8, 0.9), (0.5, 0.6)])
+    def test_round_trip_with_known_factors(self, g):
+        g1, g2 = g
+        m, b = 0.6, 0.06
+        h1, h2, d = self._forward(b, 0.09, 0.12, m, g1, g2)
+        assert solve_bounce_lag_corrected(h1, h2, d, m, g1, g2) == pytest.approx(
+            b, abs=1e-6
+        )
+
+    def test_reduces_to_paper_solve_at_unity(self):
+        from repro.core.bounce import solve_bounce
+
+        m, b = 0.6, 0.05
+        h1, h2, d = self._forward(b, 0.08, 0.1, m, 1.0, 1.0)
+        assert solve_bounce_lag_corrected(
+            h1, h2, d, m, 1.0, 1.0
+        ) == pytest.approx(solve_bounce(h1, h2, d, m), abs=1e-9)
+
+    def test_rejects_nonpositive_factors(self):
+        with pytest.raises(GeometryError):
+            solve_bounce_lag_corrected(0.01, 0.01, 0.3, 0.6, 0.0, 1.0)
+
+    def test_body_phase_factors_aligned_case(self):
+        # Arm moments exactly at heel strike / mid-stance / heel strike
+        # -> full bounce traversed in both halves.
+        from repro.core.bounce import CycleMoments
+
+        moments = CycleMoments(
+            backmost_index=0,
+            vertical_index=25,
+            foremost_index=50,
+            h1_m=0.0,
+            h2_m=0.0,
+            d_m=0.3,
+            d1_m=0.15,
+            d2_m=0.15,
+        )
+        g1, g2 = body_phase_factors(moments, (0, 50))
+        assert g1 == pytest.approx(1.0)
+        assert g2 == pytest.approx(1.0)
+
+    def test_body_phase_factors_lagged_case(self):
+        from repro.core.bounce import CycleMoments
+
+        moments = CycleMoments(
+            backmost_index=5,
+            vertical_index=30,
+            foremost_index=55,
+            h1_m=0.0,
+            h2_m=0.0,
+            d_m=0.3,
+            d1_m=0.15,
+            d2_m=0.15,
+        )
+        g1, g2 = body_phase_factors(moments, (0, 50))
+        assert 0.05 <= g1 < 1.0
+        assert 0.05 <= g2 < 1.0
+
+    def test_body_phase_factors_rejects_bad_peaks(self):
+        from repro.core.bounce import CycleMoments
+
+        moments = CycleMoments(0, 10, 20, 0.0, 0.0, 0.3, 0.15, 0.15)
+        with pytest.raises(GeometryError):
+            body_phase_factors(moments, (10, 10))
+
+
+class TestStrideImputation:
+    def test_distance_covers_all_counted_steps(self, user):
+        """Every counted step carries a stride (solved or imputed)."""
+        from repro.core.pipeline import PTrack
+        from repro.simulation.routes import paper_route, walk_route
+
+        rng = np.random.default_rng(59)
+        trace, _ = walk_route(user, paper_route(), rng=rng)
+        result = PTrack(profile=user.profile).track(trace)
+        assert len(result.strides) >= 0.95 * result.step_count
+
+    def test_imputed_strides_flagged(self, user):
+        from repro.core.pipeline import PTrack
+        from repro.simulation.routes import paper_route, walk_route
+
+        rng = np.random.default_rng(59)
+        trace, _ = walk_route(user, paper_route(), rng=rng)
+        result = PTrack(profile=user.profile).track(trace)
+        imputed = [s for s in result.strides if s.bounce_m is None]
+        solved = [s for s in result.strides if s.bounce_m is not None]
+        assert solved  # the bulk is genuinely solved
+        if imputed:
+            median = float(np.median([s.length_m for s in solved]))
+            for s in imputed:
+                assert s.length_m == pytest.approx(median)
+
+
+class TestStudy:
+    def test_daily_session_structure(self, user, rng):
+        session = study.daily_session(user, rng, scale=0.4)
+        kinds = {s.kind for s in session.segments}
+        assert len(session.segments) >= 8
+        assert session.true_step_count > 50
+        from repro.types import ActivityKind
+
+        assert ActivityKind.WALKING in kinds
+        assert ActivityKind.STEPPING in kinds
+        assert ActivityKind.EATING in kinds
+
+    def test_run_study_small(self):
+        results, table = study.run_study(n_users=1, n_days=1, scale=0.4)
+        by_name = {r.counter: r for r in results}
+        assert set(by_name) == {"gfit", "mtage", "autocorr", "scar", "ptrack"}
+        assert by_name["ptrack"].error_rate < 0.08
+        assert by_name["gfit"].error_rate > by_name["ptrack"].error_rate
+        assert "error rate" in table.render()
+
+
+class TestExtensions:
+    def test_counter_design_space_small(self):
+        counts, _ = extensions.run_counter_design_space(duration_s=45.0)
+        assert counts[("ptrack", "walking")] > 60
+        assert counts[("ptrack", "gait-band spoofer")] <= 3
+        assert counts[("periodicity", "gait-band spoofer")] > 30
+
+    def test_adaptive_delta_helps(self):
+        summary, _ = extensions.run_adaptive_delta(n_sessions=4)
+        fixed_err = abs(summary["fixed"] - summary["true"]) / summary["true"]
+        adaptive_err = abs(summary["adaptive"] - summary["true"]) / summary["true"]
+        assert adaptive_err <= fixed_err
+
+    def test_inertial_navigation_small(self):
+        results, _ = extensions.run_inertial_navigation(seed=30)
+        assert results["inertial_final_m"] < 15.0

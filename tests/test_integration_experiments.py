@@ -1,0 +1,118 @@
+"""Smoke tests of the experiment drivers (tiny workloads).
+
+The benchmarks run the full-size workloads; these tests only verify the
+drivers execute, return well-formed structures and preserve the
+paper-level orderings on reduced inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablations, fig1, fig3, fig6, fig7, fig8, fig9
+
+
+class TestFig1:
+    def test_miscount(self):
+        results, table = fig1.run_miscount(duration_s=45.0)
+        assert len(results) == 16
+        assert all(r.false_steps >= 0 for r in results)
+        assert "counter" in table.render()
+
+    def test_spoof(self):
+        ticks, table = fig1.run_spoof(duration_s=20.0)
+        assert set(ticks) == {"watch", "band", "coprocessor", "software"}
+        assert all(v > 5 for v in ticks.values())
+
+    def test_stride_models(self):
+        errors, table = fig1.run_stride_models(duration_s=40.0)
+        assert set(errors) == {"empirical", "biomechanical", "integral"}
+        # The naive integral must be the worst family (SII's argument).
+        assert np.mean(errors["integral"]) > np.mean(errors["biomechanical"])
+
+
+class TestFig3:
+    def test_offsets_separate(self, config):
+        offsets, table = fig3.run_offsets(duration_s=30.0)
+        assert np.median(offsets["walking"]) > config.offset_threshold
+        assert np.median(offsets["swinging"]) < config.offset_threshold
+        assert np.median(offsets["stepping"]) < config.offset_threshold
+
+
+class TestFig6:
+    def test_overall_accuracy(self):
+        means, table = fig6.run_overall_accuracy(n_users=1, duration_s=30.0)
+        for system in ("gfit", "mtage", "scar", "ptrack"):
+            assert means[(system, "walking")] > 0.85
+            assert means[(system, "stepping")] > 0.85
+        text = table.render()
+        assert "ptrack" in text
+
+    def test_breakdown(self):
+        percents, _ = fig6.run_breakdown(n_users=1, duration_s=30.0)
+        assert percents["walking"]["others"] < 15.0
+        assert percents["stepping"]["others"] < 15.0
+
+
+class TestFig7:
+    def test_interference(self):
+        means, _ = fig7.run_interference(duration_s=45.0, n_trials=1)
+        # PTrack robust; peak counters mis-trigger.
+        for activity in ("eating", "poker", "photo", "game"):
+            assert means[("ptrack", activity)] <= 4
+            assert means[("gfit", activity)] >= 5
+
+    def test_spoofing(self):
+        ticks, _ = fig7.run_spoofing(duration_s=45.0)
+        assert ticks["ptrack"] <= 2
+        assert ticks["gfit"] > 20
+        assert ticks["mtage"] > 20
+
+
+class TestFig8:
+    def test_stride_comparison(self):
+        errors, _ = fig8.run_stride_comparison(n_users=1, duration_s=30.0)
+        assert np.mean(errors["ptrack"]) < np.mean(errors["mtage"])
+        assert np.mean(errors["ptrack"]) < 8.0  # cm
+
+    def test_self_training(self):
+        errors, _ = fig8.run_self_training(n_users=1, duration_s=30.0)
+        assert np.mean(errors["automatic"]) < 9.0
+        assert np.mean(errors["manual"]) < 12.0
+
+
+class TestFig9:
+    def test_navigation(self):
+        summary, report, route, table = fig9.run_navigation()
+        assert summary.route_length_m == pytest.approx(141.5)
+        assert abs(summary.tracked_distance_m - 141.5) < 18.0
+        assert summary.mean_stride_error_cm < 10.0
+        assert report.positions_m.shape[0] > 100
+
+
+class TestAblations:
+    def test_delta_sweep_shape(self):
+        rows, _ = ablations.sweep_delta(deltas=(0.01, 0.0325, 0.08), duration_s=30.0)
+        assert len(rows) == 3
+        # Tiny delta admits interference; huge delta loses walking.
+        assert rows[0][2] >= rows[1][2]  # false steps drop as delta grows
+        assert rows[1][1] > 0.9  # paper default keeps walking accurate
+
+    def test_noise_sweep_runs(self):
+        rows, _ = ablations.sweep_noise(sigmas=(0.0, 0.1), duration_s=30.0)
+        assert len(rows) == 2
+        assert rows[0][1] >= 0.9
+
+    def test_rate_sweep_runs(self):
+        rows, _ = ablations.sweep_sample_rate(rates=(50.0, 100.0), duration_s=30.0)
+        assert all(acc > 0.8 for _, acc in rows)
+
+    def test_consecutive_sweep(self):
+        rows, _ = ablations.sweep_consecutive(values=(1, 3), duration_s=30.0)
+        # Requiring more consecutive confirmations cannot admit more
+        # interference than requiring fewer.
+        assert rows[1][2] <= rows[0][2] + 1e-9
+
+    def test_metric_variant_sweep(self):
+        rows, _ = ablations.sweep_metric_variants(duration_s=30.0)
+        names = [r[0] for r in rows]
+        assert "full" in names

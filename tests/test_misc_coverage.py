@@ -1,0 +1,120 @@
+"""Coverage of remaining corners: CLI subcommands, experiment commons,
+walker internals, public API surface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.common import count_with, make_users, scar_training_set
+from repro.simulation.walker import WalkInternals, simulate_walk
+from repro.types import ActivityKind
+
+
+class TestCliMore:
+    def test_navigate_command(self, capsys):
+        assert cli_main(["navigate", "--seed", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "141.5" in out
+
+    def test_track_with_explicit_profile(self, tmp_path, capsys):
+        from repro.sensing.io import save_trace
+        from repro.simulation import SimulatedUser
+
+        user = SimulatedUser()
+        trace, _ = simulate_walk(user, 15.0, rng=np.random.default_rng(0))
+        path = tmp_path / "walk.npz"
+        save_trace(path, trace)
+        assert (
+            cli_main(["track", str(path), "--arm", "0.6", "--leg", "0.9"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "distance" in out
+
+    def test_track_trace_without_profile(self, tmp_path, capsys):
+        from repro.sensing.io import save_trace
+        from repro.simulation import SimulatedUser
+
+        trace, _ = simulate_walk(
+            SimulatedUser(), 15.0, rng=np.random.default_rng(0)
+        )
+        path = tmp_path / "walk.npz"
+        save_trace(path, trace)
+        assert cli_main(["track", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "distance" not in out  # counter-only mode
+
+
+class TestExperimentCommons:
+    def test_make_users_deterministic(self):
+        assert make_users(2, 7) == make_users(2, 7)
+
+    def test_scar_training_set_contents(self, user, rng):
+        data = scar_training_set(user, rng, duration_s=20.0)
+        kinds = [kind for _, kind in data]
+        assert ActivityKind.WALKING in kinds
+        assert ActivityKind.STEPPING in kinds
+        assert ActivityKind.PHOTO not in kinds  # withheld by protocol
+
+    def test_count_with_rejects_unknown(self, walk_trace):
+        with pytest.raises(ValueError):
+            count_with("magic", walk_trace[0])
+
+    def test_count_with_scar_requires_counter(self, walk_trace):
+        with pytest.raises(ValueError):
+            count_with("scar", walk_trace[0])
+
+
+class TestWalkerInternals:
+    def test_internals_shapes(self, user):
+        trace, _, internals = simulate_walk(
+            user, 10.0, rng=None, return_internals=True
+        )
+        assert isinstance(internals, WalkInternals)
+        n = trace.n_samples
+        assert internals.true_acceleration.shape == (n, 3)
+        assert internals.arm_pitch_rad.shape == (n,)
+        assert internals.phase.shape == (n,)
+
+    def test_pitch_constant_for_rigid(self, user):
+        _, _, internals = simulate_walk(
+            user, 10.0, rng=None, arm_mode="rigid", return_internals=True
+        )
+        assert np.ptp(internals.arm_pitch_rad) < 1e-9
+
+    def test_pitch_oscillates_for_swing(self, user):
+        _, _, internals = simulate_walk(
+            user, 10.0, rng=None, arm_mode="swing", return_internals=True
+        )
+        assert np.ptp(internals.arm_pitch_rad) > 0.3
+
+    def test_phase_monotone(self, user):
+        _, _, internals = simulate_walk(
+            user, 10.0, rng=np.random.default_rng(0), return_internals=True
+        )
+        assert np.all(np.diff(internals.phase) >= 0)
+
+
+class TestPublicAPI:
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_exports_resolve(self):
+        import repro.apps as apps
+        import repro.baselines as baselines
+        import repro.core as core
+        import repro.eval as evaluation
+        import repro.sensing as sensing
+        import repro.signal as signal
+        import repro.simulation as simulation
+
+        for module in (apps, baselines, core, evaluation, sensing, signal, simulation):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, (module, name)
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2

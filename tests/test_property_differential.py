@@ -1,0 +1,104 @@
+"""Differential and round-trip property tests (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import PTrack
+from repro.core.streaming import StreamingPTrack
+from repro.sensing.io import load_session, save_session
+from repro.simulation.profiles import SimulatedUser
+from repro.simulation.scenarios import SessionBuilder
+from repro.simulation.walker import simulate_walk
+from repro.types import ActivityKind, Posture
+
+slow = settings(
+    max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+_user = SimulatedUser()
+_trace, _truth = simulate_walk(_user, 35.0, rng=np.random.default_rng(2024))
+_batch_result = PTrack(profile=_user.profile).track(_trace)
+
+
+@slow
+@given(st.lists(st.integers(min_value=20, max_value=800), min_size=3, max_size=12))
+def test_streaming_equals_batch_for_any_batching(batch_sizes):
+    """The online driver's totals match the batch pipeline no matter
+    how the stream is chopped into append() calls."""
+    streamer = StreamingPTrack(
+        _trace.sample_rate_hz, profile=_user.profile
+    )
+    data = _trace.linear_acceleration
+    position = 0
+    i = 0
+    while position < data.shape[0]:
+        size = batch_sizes[i % len(batch_sizes)]
+        streamer.append(data[position : position + size])
+        position += size
+        i += 1
+    streamer.flush()
+    assert abs(streamer.step_count - _batch_result.step_count) <= 2
+    assert streamer.distance_m == pytest.approx(
+        _batch_result.distance_m, rel=0.1
+    )
+
+
+_SEGMENT_KINDS = st.sampled_from(
+    ["walk", "step", "eating", "poker", "idle"]
+)
+
+
+@slow
+@given(
+    st.lists(_SEGMENT_KINDS, min_size=1, max_size=4),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_session_io_round_trip_any_mix(kinds, seed):
+    """Any mixed session survives save/load exactly (truth included)."""
+    import tempfile
+    import pathlib
+
+    rng = np.random.default_rng(seed)
+    builder = SessionBuilder(_user, rng=rng)
+    for kind in kinds:
+        if kind == "walk":
+            builder.walk(8.0)
+        elif kind == "step":
+            builder.step(8.0)
+        elif kind == "eating":
+            builder.interfere(ActivityKind.EATING, 8.0, posture=Posture.SEATED)
+        elif kind == "poker":
+            builder.interfere(ActivityKind.POKER, 8.0)
+        else:
+            builder.idle(8.0)
+    session = builder.build()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "session.npz"
+        save_session(path, session)
+        loaded = load_session(path)
+
+    assert loaded.true_step_count == session.true_step_count
+    assert loaded.true_distance_m == pytest.approx(session.true_distance_m)
+    assert [s.kind for s in loaded.segments] == [
+        s.kind for s in session.segments
+    ]
+    assert np.allclose(
+        loaded.trace.linear_acceleration, session.trace.linear_acceleration
+    )
+    assert np.allclose(loaded.true_step_times, session.true_step_times)
+
+
+@slow
+@given(st.floats(min_value=25.0, max_value=400.0))
+def test_resample_round_trip_counts(rate):
+    """Counting is rate-invariant through resampling (within the band
+    the rate ablation covers)."""
+    from repro.core.step_counter import PTrackStepCounter
+    from repro.signal.resample import resample_trace
+
+    converted = resample_trace(_trace, float(rate))
+    counted = PTrackStepCounter().count_steps(converted)
+    assert counted == pytest.approx(_truth.step_count, abs=5)

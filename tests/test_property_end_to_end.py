@@ -1,0 +1,92 @@
+"""Property-based end-to-end invariants over the user population.
+
+These sample users from constrained hypothesis strategies and assert
+the system-level invariants that every figure rests on. Examples are
+kept small (short traces, few examples) to bound runtime.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import PTrack
+from repro.core.step_counter import PTrackStepCounter
+from repro.simulation.activities import simulate_interference
+from repro.simulation.profiles import SimulatedUser
+from repro.simulation.walker import simulate_walk
+from repro.types import ActivityKind
+
+users = st.builds(
+    SimulatedUser,
+    arm_length_m=st.floats(min_value=0.5, max_value=0.7),
+    leg_length_m=st.floats(min_value=0.8, max_value=1.0),
+    cadence_hz=st.floats(min_value=0.85, max_value=1.05),
+    stride_m=st.floats(min_value=0.6, max_value=0.85),
+    arm_swing_amplitude_rad=st.floats(min_value=0.34, max_value=0.48),
+    arm_swing_forward_bias_rad=st.floats(min_value=0.06, max_value=0.15),
+    arm_phase_lag=st.floats(min_value=0.04, max_value=0.07),
+)
+
+_counter = PTrackStepCounter()
+
+slow_settings = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@slow_settings
+@given(users, st.integers(min_value=0, max_value=10_000))
+def test_walking_counted_for_any_user(user, seed):
+    trace, truth = simulate_walk(user, 25.0, rng=np.random.default_rng(seed))
+    counted = _counter.count_steps(trace)
+    assert abs(counted - truth.step_count) <= max(3, 0.1 * truth.step_count)
+
+
+@slow_settings
+@given(users, st.integers(min_value=0, max_value=10_000))
+def test_stepping_counted_for_any_user(user, seed):
+    trace, truth = simulate_walk(
+        user, 25.0, rng=np.random.default_rng(seed), arm_mode="rigid"
+    )
+    counted = _counter.count_steps(trace)
+    assert abs(counted - truth.step_count) <= max(4, 0.12 * truth.step_count)
+
+
+@slow_settings
+@given(users, st.integers(min_value=0, max_value=10_000))
+def test_swinging_rejected_for_any_user(user, seed):
+    trace, _ = simulate_walk(
+        user, 25.0, rng=np.random.default_rng(seed), body=False
+    )
+    assert _counter.count_steps(trace) <= 2
+
+
+@slow_settings
+@given(
+    st.sampled_from(
+        [
+            ActivityKind.EATING,
+            ActivityKind.POKER,
+            ActivityKind.GAME,
+            ActivityKind.WATCH_GLANCE,
+        ]
+    ),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_interference_bounded_for_any_seed(kind, seed):
+    trace = simulate_interference(kind, 60.0, rng=np.random.default_rng(seed))
+    assert _counter.count_steps(trace) <= 6
+
+
+@slow_settings
+@given(users, st.integers(min_value=0, max_value=10_000))
+def test_distance_tracks_truth_for_any_user(user, seed):
+    trace, truth = simulate_walk(user, 25.0, rng=np.random.default_rng(seed))
+    result = PTrack(profile=user.profile).track(trace)
+    if truth.total_distance_m > 5:
+        assert result.distance_m == pytest.approx(
+            truth.total_distance_m, rel=0.15
+        )

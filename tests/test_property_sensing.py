@@ -1,0 +1,73 @@
+"""Property-based tests for the sensing substrate and k-NN."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.baselines.knn import KNeighborsClassifier
+from repro.sensing.frames import heading_rotation, rotate_xyz, rotation_from_euler
+from repro.sensing.imu import IMUTrace
+
+payloads = npst.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(min_value=2, max_value=60), st.just(3)),
+    elements=st.floats(min_value=-50, max_value=50, allow_nan=False),
+)
+
+angles = st.floats(min_value=-np.pi, max_value=np.pi)
+
+
+@settings(max_examples=50, deadline=None)
+@given(payloads, st.floats(min_value=1.0, max_value=500.0))
+def test_trace_slicing_preserves_payload(data, rate):
+    trace = IMUTrace(data, rate)
+    mid = trace.n_samples // 2
+    if mid >= 1:
+        first = trace.slice_samples(0, mid)
+        second = trace.slice_samples(mid, trace.n_samples)
+        rejoined = IMUTrace.concatenate([first, second])
+        assert np.allclose(rejoined.linear_acceleration, trace.linear_acceleration)
+
+
+@settings(max_examples=50, deadline=None)
+@given(payloads, angles, angles, angles)
+def test_rotation_preserves_norms(data, roll, pitch, yaw):
+    r = rotation_from_euler(roll, pitch, yaw)
+    out = rotate_xyz(data, r)
+    assert np.allclose(
+        np.linalg.norm(out, axis=1), np.linalg.norm(data, axis=1), atol=1e-8
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(angles)
+def test_heading_rotation_inverse(heading):
+    r = heading_rotation(heading)
+    r_inv = heading_rotation(-heading)
+    assert np.allclose(r @ r_inv, np.eye(3), atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    npst.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(min_value=4, max_value=40), st.integers(2, 6)),
+        elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+    )
+)
+def test_knn_predictions_come_from_training_labels(x):
+    labels = [f"c{i % 3}" for i in range(x.shape[0])]
+    knn = KNeighborsClassifier(k=3).fit(x, labels)
+    predictions = knn.predict(x)
+    assert set(predictions) <= set(labels)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=7))
+def test_knn_k1_memorises_distinct_points(k_unused):
+    rng = np.random.default_rng(k_unused)
+    x = rng.normal(size=(10, 3)) * 10
+    labels = [str(i) for i in range(10)]
+    knn = KNeighborsClassifier(k=1).fit(x, labels)
+    assert knn.predict(x) == labels

@@ -1,0 +1,134 @@
+"""Direct tests for remaining public units: displacement_between, the
+exception hierarchy, the CLI parser, and small extension smokes."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser
+from repro.exceptions import (
+    CalibrationError,
+    ConfigurationError,
+    GeometryError,
+    IntegrationError,
+    ReproError,
+    SignalError,
+    SimulationError,
+    TrainingError,
+)
+from repro.signal.integration import displacement_between
+from repro.types import CycleClassification, GaitType
+
+
+class TestDisplacementBetween:
+    def test_known_oscillation(self):
+        amp, freq = 0.05, 1.0
+        t = np.arange(101) / 100.0  # one full period inclusive
+        omega = 2 * np.pi * freq
+        accel = -amp * omega**2 * np.sin(omega * t)
+        # Peak-to-trough: displacement from t=0.25 (peak) to 0.75 (trough).
+        delta, curve = displacement_between(accel, 0.01, 25, 75)
+        assert delta == pytest.approx(-2 * amp, abs=0.01)
+        assert curve.shape == t.shape
+
+    def test_zero_for_same_index(self):
+        accel = np.sin(np.linspace(0, 2 * np.pi, 100))
+        delta, _ = displacement_between(accel, 0.01, 10, 10)
+        assert delta == 0.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(IntegrationError):
+            displacement_between(np.zeros(50), 0.01, 0, 50)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            SignalError,
+            IntegrationError,
+            CalibrationError,
+            GeometryError,
+            SimulationError,
+            TrainingError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_integration_error_is_signal_error(self):
+        assert issubclass(IntegrationError, SignalError)
+
+
+class TestCliParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        subcommands = set()
+        for action in parser._actions:
+            if hasattr(action, "choices") and action.choices:
+                subcommands |= set(action.choices)
+        assert {"demo", "figures", "navigate", "dataset", "track"} <= subcommands
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestDataclassSurfaces:
+    def test_cycle_classification_fields(self):
+        c = CycleClassification(
+            cycle_id=0,
+            start_index=0,
+            end_index=100,
+            gait_type=GaitType.WALKING,
+            offset=0.05,
+            half_cycle_correlation=None,
+            phase_difference_ok=None,
+            steps_added=2,
+        )
+        assert c.gait_type is GaitType.WALKING
+        assert c.steps_added == 2
+
+    def test_navigation_report_surface(self, user):
+        from repro.apps.deadreckoning import navigate_route
+        from repro.core.pipeline import PTrack
+        from repro.simulation.routes import paper_route, walk_route
+
+        route = paper_route()
+        rng = np.random.default_rng(3)
+        trace, truth = walk_route(user, route, rng=rng)
+        report = navigate_route(
+            PTrack(profile=user.profile), trace, truth, route, rng=rng
+        )
+        assert report.true_distance_m > 100
+        assert report.step_times.size == report.positions_m.shape[0]
+
+    def test_fitness_report_surface(self, user, walk_trace):
+        from repro.apps.fitness import FitnessTracker
+        from repro.core.pipeline import PTrack
+
+        tracker = FitnessTracker(PTrack(profile=user.profile))
+        tracker.add_session(walk_trace[0])
+        report = tracker.report()
+        assert report.total_steps > 0
+        assert report.active_time_s == pytest.approx(walk_trace[0].duration_s)
+
+
+class TestExtensionSmokes:
+    def test_attitude_pipeline_short(self):
+        from repro.experiments.extensions import run_attitude_pipeline
+
+        results, table = run_attitude_pipeline(duration_s=25.0)
+        assert results["oracle_accuracy"] > 0.9
+        assert "attitude" in table.render()
+
+    def test_energy_tradeoff_short(self):
+        from repro.experiments.extensions import run_energy_tradeoff
+
+        results, table = run_energy_tradeoff(fix_intervals_s=(10.0, 40.0))
+        assert results[("dead-reckon", 40.0)]["mean_error_m"] < results[
+            ("hold", 40.0)
+        ]["mean_error_m"]
+        assert "strategy" in table.render()

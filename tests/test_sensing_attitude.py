@@ -1,0 +1,147 @@
+"""Tests for the raw-IMU + attitude-filter substrate ([25])."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PTrack
+from repro.exceptions import ConfigurationError, SignalError
+from repro.sensing.attitude import (
+    ComplementaryFilter,
+    RawIMUTrace,
+    recover_linear_acceleration,
+)
+from repro.sensing.imu import GRAVITY_M_S2
+from repro.simulation.raw import GyroNoiseModel, simulate_walk_raw
+from repro.simulation.walker import simulate_walk
+
+
+def _static_raw(n=500, rate=100.0, tilt=0.0):
+    """A motionless device, optionally tilted about y."""
+    c, s = np.cos(tilt), np.sin(tilt)
+    # world_from_device = Ry(tilt); gravity reaction in device frame:
+    force_device = np.array([-s * GRAVITY_M_S2 * 0 + s * 0, 0.0, 0.0])
+    # specific force = R^T * (0,0,g)
+    r = np.array([[c, 0, s], [0, 1, 0], [-s, 0, c]])
+    f = r.T @ np.array([0.0, 0.0, GRAVITY_M_S2])
+    forces = np.tile(f, (n, 1))
+    rates = np.zeros((n, 3))
+    return RawIMUTrace(forces, rates, rate)
+
+
+class TestRawIMUTrace:
+    def test_properties(self):
+        raw = _static_raw(100)
+        assert raw.n_samples == 100
+        assert raw.dt == pytest.approx(0.01)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(SignalError):
+            RawIMUTrace(np.zeros((10, 3)), np.zeros((9, 3)), 100.0)
+
+    def test_rejects_nan(self):
+        forces = np.zeros((10, 3))
+        forces[0, 0] = np.nan
+        with pytest.raises(SignalError):
+            RawIMUTrace(forces, np.zeros((10, 3)), 100.0)
+
+
+class TestComplementaryFilter:
+    def test_static_level_device(self):
+        raw = _static_raw()
+        rotations = ComplementaryFilter(100.0).estimate(raw)
+        assert np.allclose(rotations[-1], np.eye(3), atol=1e-6)
+
+    @pytest.mark.parametrize("tilt", [0.2, -0.5, 1.0])
+    def test_static_tilted_device_recovers_gravity(self, tilt):
+        raw = _static_raw(tilt=tilt)
+        rotations = ComplementaryFilter(100.0).estimate(raw)
+        # The estimated world-frame force must point straight up.
+        world = rotations[-1] @ raw.specific_force[-1]
+        assert world[2] == pytest.approx(GRAVITY_M_S2, rel=1e-3)
+        assert abs(world[0]) < 0.05
+        assert abs(world[1]) < 0.05
+
+    def test_gyro_bias_corrected_by_accel(self):
+        raw = _static_raw(2000)
+        biased = RawIMUTrace(
+            raw.specific_force,
+            raw.angular_rate + np.array([0.02, 0.0, 0.0]),
+            raw.sample_rate_hz,
+        )
+        rotations = ComplementaryFilter(100.0, tau_s=1.0).estimate(biased)
+        # Without correction the roll would reach 0.02 * 20 s = 0.4 rad;
+        # the filter holds the tilt near level.
+        world = rotations[-1] @ biased.specific_force[-1]
+        assert world[2] == pytest.approx(GRAVITY_M_S2, rel=0.01)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            ComplementaryFilter(0.0)
+        with pytest.raises(ConfigurationError):
+            ComplementaryFilter(100.0, tau_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ComplementaryFilter(100.0, gravity_gate=2.0)
+
+    def test_rate_mismatch_rejected(self):
+        raw = _static_raw(rate=50.0)
+        with pytest.raises(ConfigurationError):
+            ComplementaryFilter(100.0).estimate(raw)
+
+
+class TestRawSynthesis:
+    def test_specific_force_magnitude_near_gravity_when_still(self, user):
+        raw, _, _ = simulate_walk_raw(user, 10.0, rng=None, arm_mode="none")
+        magnitudes = np.linalg.norm(raw.specific_force, axis=1)
+        # Walking modulates around 1 g.
+        assert np.median(magnitudes) == pytest.approx(GRAVITY_M_S2, rel=0.2)
+
+    def test_gyro_sees_arm_swing(self, user):
+        raw, _, _ = simulate_walk_raw(user, 10.0, rng=None, arm_mode="swing")
+        # Pitch rate from the swing: amplitude ~ 2*pi*f*A ~ 2-3 rad/s.
+        assert np.abs(raw.angular_rate[:, 1]).max() > 1.0
+
+    def test_rotations_orthonormal(self, user):
+        _, _, rotations = simulate_walk_raw(user, 5.0, rng=None)
+        sample = rotations[::100]
+        for r in sample:
+            assert np.allclose(r @ r.T, np.eye(3), atol=1e-9)
+
+    def test_deterministic_given_seed(self, user):
+        a, _, _ = simulate_walk_raw(user, 5.0, rng=np.random.default_rng(1))
+        b, _, _ = simulate_walk_raw(user, 5.0, rng=np.random.default_rng(1))
+        assert np.array_equal(a.specific_force, b.specific_force)
+        assert np.array_equal(a.angular_rate, b.angular_rate)
+
+    def test_gyro_noise_model_validation(self):
+        with pytest.raises(ConfigurationError):
+            GyroNoiseModel(white_sigma=-1.0)
+
+
+class TestEndToEndThroughAttitude:
+    def test_noiseless_reconstruction_close(self, user):
+        raw, _, rotations = simulate_walk_raw(user, 20.0, rng=None)
+        recovered = recover_linear_acceleration(raw, initial_rotation=rotations[0])
+        ideal, _ = simulate_walk(user, 20.0, rng=None)
+        err = np.abs(
+            recovered.linear_acceleration - ideal.linear_acceleration
+        )
+        assert np.median(err) < 0.15 * ideal.linear_acceleration.std()
+
+    def test_ptrack_on_recovered_trace(self, user):
+        raw, truth, _ = simulate_walk_raw(
+            user, 40.0, rng=np.random.default_rng(4)
+        )
+        trace = recover_linear_acceleration(raw)
+        result = PTrack(profile=user.profile).track(trace)
+        assert result.step_count == pytest.approx(truth.step_count, abs=3)
+        assert result.distance_m == pytest.approx(
+            truth.total_distance_m, rel=0.1
+        )
+
+    def test_stepping_through_attitude(self, user):
+        raw, truth, _ = simulate_walk_raw(
+            user, 30.0, rng=np.random.default_rng(5), arm_mode="rigid"
+        )
+        trace = recover_linear_acceleration(raw)
+        counted = PTrack().count_steps(trace)
+        assert counted == pytest.approx(truth.step_count, abs=4)

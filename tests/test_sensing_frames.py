@@ -1,0 +1,82 @@
+"""Unit tests for repro.sensing.frames."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sensing.frames import heading_rotation, rotate_xyz, rotation_from_euler
+
+
+class TestHeadingRotation:
+    def test_identity_at_zero(self):
+        assert np.allclose(heading_rotation(0.0), np.eye(3))
+
+    def test_quarter_turn(self):
+        r = heading_rotation(np.pi / 2)
+        assert np.allclose(r @ np.array([1.0, 0, 0]), [0, 1, 0], atol=1e-12)
+
+    def test_preserves_vertical(self):
+        r = heading_rotation(1.234)
+        assert np.allclose(r @ np.array([0, 0, 1.0]), [0, 0, 1.0])
+
+    def test_orthonormal(self):
+        r = heading_rotation(0.7)
+        assert np.allclose(r @ r.T, np.eye(3), atol=1e-12)
+
+
+class TestRotationFromEuler:
+    def test_identity(self):
+        assert np.allclose(rotation_from_euler(0, 0, 0), np.eye(3))
+
+    def test_yaw_only_matches_heading(self):
+        assert np.allclose(rotation_from_euler(0, 0, 0.8), heading_rotation(0.8))
+
+    def test_roll_rotates_about_x(self):
+        r = rotation_from_euler(np.pi / 2, 0, 0)
+        assert np.allclose(r @ np.array([0, 1.0, 0]), [0, 0, 1.0], atol=1e-12)
+
+    def test_pitch_rotates_about_y(self):
+        r = rotation_from_euler(0, np.pi / 2, 0)
+        assert np.allclose(r @ np.array([0, 0, 1.0]), [1.0, 0, 0], atol=1e-12)
+
+    def test_orthonormal_for_random_angles(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            roll, pitch, yaw = rng.uniform(-np.pi, np.pi, 3)
+            r = rotation_from_euler(roll, pitch, yaw)
+            assert np.allclose(r @ r.T, np.eye(3), atol=1e-10)
+            assert np.linalg.det(r) == pytest.approx(1.0)
+
+
+class TestRotateXYZ:
+    def test_single_vector(self):
+        r = heading_rotation(np.pi / 2)
+        assert np.allclose(rotate_xyz(np.array([1.0, 0, 0]), r), [0, 1, 0], atol=1e-12)
+
+    def test_batch(self):
+        r = heading_rotation(np.pi)
+        vs = np.array([[1.0, 0, 0], [0, 2.0, 0]])
+        out = rotate_xyz(vs, r)
+        assert np.allclose(out, [[-1.0, 0, 0], [0, -2.0, 0]], atol=1e-12)
+
+    def test_norm_preserved(self):
+        rng = np.random.default_rng(1)
+        vs = rng.normal(size=(20, 3))
+        r = rotation_from_euler(0.3, -0.2, 1.1)
+        out = rotate_xyz(vs, r)
+        assert np.allclose(
+            np.linalg.norm(out, axis=1), np.linalg.norm(vs, axis=1)
+        )
+
+    def test_rejects_non_orthonormal(self):
+        with pytest.raises(ConfigurationError):
+            rotate_xyz(np.zeros(3), np.ones((3, 3)))
+
+    def test_rejects_bad_shapes(self):
+        r = np.eye(3)
+        with pytest.raises(ConfigurationError):
+            rotate_xyz(np.zeros(2), r)
+        with pytest.raises(ConfigurationError):
+            rotate_xyz(np.zeros((2, 2)), r)
+        with pytest.raises(ConfigurationError):
+            rotate_xyz(np.zeros(3), np.eye(4))

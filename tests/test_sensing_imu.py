@@ -1,0 +1,137 @@
+"""Unit tests for repro.sensing.imu."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SignalError
+from repro.sensing.imu import GRAVITY_M_S2, IMUTrace
+
+
+def _trace(n=100, rate=100.0, start=0.0):
+    rng = np.random.default_rng(0)
+    return IMUTrace(rng.normal(size=(n, 3)), rate, start)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        tr = _trace(200, 100.0)
+        assert tr.n_samples == 200
+        assert tr.dt == pytest.approx(0.01)
+        assert tr.duration_s == pytest.approx(2.0)
+
+    def test_times(self):
+        tr = _trace(3, 10.0, start=1.0)
+        assert np.allclose(tr.times, [1.0, 1.1, 1.2])
+
+    def test_axis_views(self):
+        tr = _trace(10)
+        assert tr.vertical.shape == (10,)
+        assert tr.horizontal.shape == (10, 2)
+        assert np.array_equal(tr.vertical, tr.linear_acceleration[:, 2])
+
+    def test_payload_immutable(self):
+        tr = _trace()
+        with pytest.raises((ValueError, RuntimeError)):
+            tr.linear_acceleration[0, 0] = 5.0
+
+    def test_payload_copied_from_input(self):
+        data = np.zeros((5, 3))
+        tr = IMUTrace(data, 100.0)
+        data[0, 0] = 7.0
+        assert tr.linear_acceleration[0, 0] == 0.0
+
+    def test_gravity_constant(self):
+        assert GRAVITY_M_S2 == pytest.approx(9.80665)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(SignalError):
+            IMUTrace(np.zeros((5, 2)), 100.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(SignalError):
+            IMUTrace(np.zeros((0, 3)), 100.0)
+
+    def test_rejects_nan(self):
+        data = np.zeros((5, 3))
+        data[2, 2] = np.nan
+        with pytest.raises(SignalError):
+            IMUTrace(data, 100.0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(SignalError):
+            IMUTrace(np.zeros((5, 3)), 0.0)
+
+
+class TestSlicing:
+    def test_slice_samples(self):
+        tr = _trace(100, 100.0)
+        sub = tr.slice_samples(10, 20)
+        assert sub.n_samples == 10
+        assert sub.start_time == pytest.approx(0.1)
+        assert np.array_equal(
+            sub.linear_acceleration, tr.linear_acceleration[10:20]
+        )
+
+    def test_slice_samples_bounds(self):
+        tr = _trace(10)
+        with pytest.raises(SignalError):
+            tr.slice_samples(5, 5)
+        with pytest.raises(SignalError):
+            tr.slice_samples(-1, 5)
+        with pytest.raises(SignalError):
+            tr.slice_samples(5, 11)
+
+    def test_slice_time(self):
+        tr = _trace(100, 100.0, start=10.0)
+        sub = tr.slice_time(10.5, 10.7)
+        assert sub.n_samples == 20
+        assert sub.start_time == pytest.approx(10.5)
+
+    def test_slice_time_outside_raises(self):
+        tr = _trace(10, 100.0)
+        with pytest.raises(SignalError):
+            tr.slice_time(5.0, 6.0)
+        with pytest.raises(SignalError):
+            tr.slice_time(0.05, 0.05)
+
+    def test_index_at_time_clamps(self):
+        tr = _trace(10, 100.0)
+        assert tr.index_at_time(-5.0) == 0
+        assert tr.index_at_time(100.0) == 9
+        assert tr.index_at_time(0.05) == 5
+
+
+class TestConcatenate:
+    def test_joins_payloads(self):
+        a, b = _trace(10), _trace(20)
+        joined = IMUTrace.concatenate([a, b])
+        assert joined.n_samples == 30
+        assert np.array_equal(joined.linear_acceleration[:10], a.linear_acceleration)
+
+    def test_keeps_first_start_time(self):
+        a = _trace(10, start=5.0)
+        b = _trace(10, start=99.0)
+        assert IMUTrace.concatenate([a, b]).start_time == 5.0
+
+    def test_rejects_rate_mismatch(self):
+        a = _trace(10, 100.0)
+        b = _trace(10, 50.0)
+        with pytest.raises(SignalError):
+            IMUTrace.concatenate([a, b])
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(SignalError):
+            IMUTrace.concatenate([])
+
+    def test_single_trace(self):
+        a = _trace(7)
+        assert IMUTrace.concatenate([a]).n_samples == 7
+
+
+class TestWithAcceleration:
+    def test_replaces_payload(self):
+        tr = _trace(10)
+        new = tr.with_acceleration(np.ones((4, 3)))
+        assert new.n_samples == 4
+        assert new.sample_rate_hz == tr.sample_rate_hz
+        assert new.start_time == tr.start_time

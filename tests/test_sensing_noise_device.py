@@ -1,0 +1,110 @@
+"""Unit tests for repro.sensing.noise and repro.sensing.device."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sensing.device import WearableDevice
+from repro.sensing.imu import IMUTrace
+from repro.sensing.noise import NoiseModel
+
+
+class TestNoiseModel:
+    def test_ideal_is_identity(self):
+        rng = np.random.default_rng(0)
+        acc = np.random.default_rng(1).normal(size=(50, 3))
+        out = NoiseModel.ideal().apply(acc, rng)
+        assert np.array_equal(out, acc)
+
+    def test_white_noise_level(self):
+        rng = np.random.default_rng(0)
+        model = NoiseModel(white_sigma=0.1, bias_sigma=0.0)
+        out = model.apply(np.zeros((20000, 3)), rng)
+        assert np.std(out) == pytest.approx(0.1, rel=0.05)
+
+    def test_bias_constant_per_trace(self):
+        rng = np.random.default_rng(0)
+        model = NoiseModel(white_sigma=0.0, bias_sigma=0.05)
+        out = model.apply(np.zeros((100, 3)), rng)
+        # Same offset on every sample of an axis.
+        assert np.allclose(out, out[0:1, :])
+        assert not np.allclose(out, 0.0)
+
+    def test_bias_walk_grows(self):
+        rng = np.random.default_rng(0)
+        model = NoiseModel(white_sigma=0.0, bias_sigma=0.0, bias_walk_sigma=0.01)
+        out = model.apply(np.zeros((5000, 3)), rng)
+        assert np.std(out[-100:]) > np.std(out[:100])
+
+    def test_quantization(self):
+        rng = np.random.default_rng(0)
+        model = NoiseModel(white_sigma=0.0, bias_sigma=0.0, quantization_step=0.5)
+        acc = np.full((10, 3), 0.3)
+        out = model.apply(acc, rng)
+        assert np.allclose(out, 0.5)
+
+    def test_does_not_mutate_input(self):
+        rng = np.random.default_rng(0)
+        acc = np.zeros((10, 3))
+        NoiseModel.consumer_wrist().apply(acc, rng)
+        assert np.all(acc == 0.0)
+
+    def test_rejects_negative_params(self):
+        with pytest.raises(ConfigurationError):
+            NoiseModel(white_sigma=-0.1)
+
+    def test_rejects_bad_shape(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            NoiseModel().apply(np.zeros((10, 2)), rng)
+
+
+class TestWearableDevice:
+    def test_ideal_observe_is_exact(self):
+        dev = WearableDevice.ideal()
+        acc = np.random.default_rng(0).normal(size=(100, 3))
+        trace = dev.observe(acc, rng=np.random.default_rng(1))
+        assert np.allclose(trace.linear_acceleration, acc)
+
+    def test_observe_without_rng_is_noiseless(self):
+        dev = WearableDevice()
+        acc = np.ones((50, 3))
+        trace = dev.observe(acc, rng=None)
+        assert np.allclose(trace.linear_acceleration, acc)
+
+    def test_observe_with_rng_adds_noise(self):
+        dev = WearableDevice()
+        acc = np.zeros((500, 3))
+        trace = dev.observe(acc, rng=np.random.default_rng(2))
+        assert np.std(trace.linear_acceleration) > 0.01
+
+    def test_observe_returns_imutrace_with_metadata(self):
+        dev = WearableDevice(sample_rate_hz=50.0)
+        trace = dev.observe(np.zeros((10, 3)), start_time=3.0)
+        assert isinstance(trace, IMUTrace)
+        assert trace.sample_rate_hz == 50.0
+        assert trace.start_time == 3.0
+
+    def test_attitude_error_mixes_axes(self):
+        dev = WearableDevice(
+            noise=NoiseModel.ideal(), attitude_error_rad=0.2
+        )
+        acc = np.zeros((100, 3))
+        acc[:, 2] = 1.0  # pure vertical
+        trace = dev.observe(acc, rng=np.random.default_rng(3))
+        assert np.abs(trace.horizontal).max() > 0.01
+
+    def test_deterministic_given_seed(self):
+        dev = WearableDevice()
+        acc = np.zeros((100, 3))
+        t1 = dev.observe(acc, rng=np.random.default_rng(7))
+        t2 = dev.observe(acc, rng=np.random.default_rng(7))
+        assert np.array_equal(t1.linear_acceleration, t2.linear_acceleration)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            WearableDevice(sample_rate_hz=0.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            WearableDevice().observe(np.zeros((10, 4)))

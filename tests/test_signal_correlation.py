@@ -1,0 +1,130 @@
+"""Unit tests for repro.signal.correlation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SignalError
+from repro.signal.correlation import (
+    autocorrelation,
+    best_lag,
+    half_cycle_correlation,
+    normalized_cross_correlation,
+    phase_difference_fraction,
+)
+
+
+def _cycle(n=100):
+    """One gait-like cycle: anterior acceleration repeating per step."""
+    t = np.linspace(0, 1, n, endpoint=False)
+    return np.sin(2 * np.pi * 2 * t)  # two identical step patterns
+
+
+class TestAutocorrelation:
+    def test_periodic_signal_full_lag(self):
+        x = np.tile(_cycle(50), 4)
+        assert autocorrelation(x, 50) == pytest.approx(1.0, abs=0.01)
+
+    def test_sine_half_period_negative(self):
+        t = np.arange(400) / 100.0
+        x = np.sin(2 * np.pi * 1.0 * t)
+        assert autocorrelation(x, 50) == pytest.approx(-1.0, abs=0.02)
+
+    def test_constant_signal_returns_zero(self):
+        assert autocorrelation(np.ones(50), 10) == 0.0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=300)
+        for lag in (1, 10, 100):
+            assert -1.0 <= autocorrelation(x, lag) <= 1.0
+
+    def test_rejects_bad_lag(self):
+        with pytest.raises(SignalError):
+            autocorrelation(np.arange(10.0), 10)
+        with pytest.raises(SignalError):
+            autocorrelation(np.arange(10.0), 0)
+
+
+class TestHalfCycleCorrelation:
+    def test_stepping_like_cycle_positive(self):
+        # Two steps per cycle -> repetition at the half-cycle lag.
+        assert half_cycle_correlation(_cycle()) > 0.9
+
+    def test_single_sine_cycle_negative(self):
+        # An arm gesture: one back-and-forth per cycle flips sign.
+        t = np.linspace(0, 1, 100, endpoint=False)
+        x = np.sin(2 * np.pi * t)
+        assert half_cycle_correlation(x) < -0.9
+
+    def test_rejects_tiny_cycle(self):
+        with pytest.raises(SignalError):
+            half_cycle_correlation(np.array([1.0, 2.0, 1.0]))
+
+
+class TestNormalizedCrossCorrelation:
+    def test_identical_signals(self):
+        x = _cycle()
+        assert normalized_cross_correlation(x, x, 0) == pytest.approx(1.0)
+
+    def test_shifted_signal_realigns_at_delay(self):
+        # roll(x, 10) delays y by 10 samples; comparing x[t] with
+        # y[t + 10] realigns the signals perfectly.
+        x = np.tile(_cycle(100), 3)
+        y = np.roll(x, 10)
+        assert normalized_cross_correlation(x, y, 10) == pytest.approx(1.0, abs=1e-6)
+        assert normalized_cross_correlation(x, y, -10) < 0.95
+
+    def test_anticorrelated(self):
+        x = _cycle()
+        assert normalized_cross_correlation(x, -x, 0) == pytest.approx(-1.0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(SignalError):
+            normalized_cross_correlation(np.zeros(10), np.zeros(11), 0)
+
+    def test_rejects_excess_lag(self):
+        with pytest.raises(SignalError):
+            normalized_cross_correlation(np.arange(5.0), np.arange(5.0), 10)
+
+
+class TestBestLag:
+    def test_finds_known_shift(self):
+        x = np.tile(_cycle(100), 3)
+        y = np.roll(x, -7)  # y leads x by 7
+        lag = best_lag(x, y, max_lag=20)
+        assert lag in (7, -7) or abs(lag) == 7
+
+    def test_zero_shift(self):
+        x = _cycle(200)
+        assert best_lag(x, x, max_lag=30) == 0
+
+    def test_prefers_smallest_magnitude_on_ties(self):
+        x = np.tile(_cycle(40), 5)  # period 40 -> lags 0 and 40 tie
+        assert best_lag(x, x, max_lag=45) == 0
+
+
+class TestPhaseDifferenceFraction:
+    def test_quarter_period(self):
+        n = 200
+        t = np.arange(n) / n
+        v = np.cos(2 * np.pi * 4 * t)  # per-step period = 50 samples
+        a = np.cos(2 * np.pi * 4 * t + np.pi / 2)
+        frac = phase_difference_fraction(v, a, period_samples=50)
+        assert min(abs(frac - 0.25), abs(frac - 0.75)) < 0.06
+
+    def test_in_phase(self):
+        n = 200
+        t = np.arange(n) / n
+        v = np.cos(2 * np.pi * 4 * t)
+        frac = phase_difference_fraction(v, v, period_samples=50)
+        assert frac == pytest.approx(0.0, abs=0.02)
+
+    def test_output_range(self):
+        rng = np.random.default_rng(1)
+        v, a = rng.normal(size=100), rng.normal(size=100)
+        frac = phase_difference_fraction(v, a)
+        assert 0.0 <= frac < 1.0
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(SignalError):
+            phase_difference_fraction(np.zeros(10), np.zeros(12))

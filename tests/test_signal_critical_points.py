@@ -1,0 +1,93 @@
+"""Unit tests for repro.signal.critical_points."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SignalError
+from repro.signal.critical_points import (
+    CriticalPoint,
+    CriticalPointKind,
+    critical_points,
+    turning_points,
+    zero_crossings,
+)
+
+
+def _sine(n=200, periods=2.0):
+    t = np.linspace(0, periods, n, endpoint=False)
+    return np.sin(2 * np.pi * t)
+
+
+class TestKinds:
+    def test_turning_property(self):
+        assert CriticalPointKind.PEAK.is_turning
+        assert CriticalPointKind.VALLEY.is_turning
+        assert not CriticalPointKind.CROSSING.is_turning
+
+    def test_ordering_by_index(self):
+        a = CriticalPoint(5, CriticalPointKind.PEAK)
+        b = CriticalPoint(3, CriticalPointKind.CROSSING)
+        assert sorted([a, b])[0] is b
+
+
+class TestTurningPoints:
+    def test_sine_has_alternating_extrema(self):
+        pts = turning_points(_sine(), min_prominence=0.5)
+        kinds = [p.kind for p in pts]
+        assert len(pts) == 4  # 2 peaks + 2 valleys over 2 periods
+        for first, second in zip(kinds, kinds[1:]):
+            assert first != second
+
+    def test_time_ordered(self):
+        pts = turning_points(_sine(), min_prominence=0.1)
+        idx = [p.index for p in pts]
+        assert idx == sorted(idx)
+
+    def test_rejects_2d(self):
+        with pytest.raises(SignalError):
+            turning_points(np.zeros((3, 3)))
+
+
+class TestZeroCrossings:
+    def test_sine_crossings(self):
+        pts = zero_crossings(_sine())
+        # 2 periods -> 3 interior crossings after the first arm.
+        assert len(pts) == 3
+
+    def test_hysteresis_suppresses_chatter(self):
+        x = np.concatenate([np.full(10, 1.0), 0.001 * np.array([1, -1, 1, -1, 1.0]), np.full(10, -1.0)])
+        loose = zero_crossings(x, hysteresis=0.0)
+        tight = zero_crossings(x, hysteresis=0.1)
+        assert len(tight) == 1
+        assert len(loose) >= len(tight)
+
+    def test_no_crossing_for_positive_signal(self):
+        assert zero_crossings(np.ones(10) + _sine(10) * 0.1) == []
+
+    def test_rejects_negative_hysteresis(self):
+        with pytest.raises(SignalError):
+            zero_crossings(_sine(), hysteresis=-0.1)
+
+
+class TestCriticalPoints:
+    def test_union_of_kinds(self):
+        pts = critical_points(_sine(), min_prominence=0.5)
+        kinds = {p.kind for p in pts}
+        assert CriticalPointKind.PEAK in kinds
+        assert CriticalPointKind.VALLEY in kinds
+        assert CriticalPointKind.CROSSING in kinds
+
+    def test_duplicate_indices_keep_turning(self):
+        # A signal whose crossing coincides with an extremum index is
+        # unusual; emulate by checking no duplicate indices appear.
+        pts = critical_points(_sine(), min_prominence=0.1)
+        idx = [p.index for p in pts]
+        assert len(idx) == len(set(idx))
+
+    def test_time_ordering(self):
+        pts = critical_points(_sine(400, 3.0), min_prominence=0.2)
+        idx = [p.index for p in pts]
+        assert idx == sorted(idx)
+
+    def test_constant_signal_has_no_points(self):
+        assert critical_points(np.zeros(50)) == []

@@ -1,0 +1,77 @@
+"""Unit tests for repro.signal.features."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SignalError
+from repro.signal.features import FEATURE_NAMES, activity_features
+
+
+def _window(vert_freq=2.0, vert_amp=2.0, horiz_amp=1.0, n=200, rate=100.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) / rate
+    acc = np.column_stack(
+        [
+            horiz_amp * np.sin(2 * np.pi * 1.0 * t),
+            0.1 * rng.normal(size=n),
+            vert_amp * np.sin(2 * np.pi * vert_freq * t),
+        ]
+    )
+    return acc
+
+
+class TestActivityFeatures:
+    def test_length_matches_names(self):
+        f = activity_features(_window(), 100.0)
+        assert f.shape == (len(FEATURE_NAMES),)
+
+    def test_all_finite(self):
+        f = activity_features(_window(), 100.0)
+        assert np.all(np.isfinite(f))
+
+    def test_dominant_frequency_detected(self):
+        f = activity_features(_window(vert_freq=2.0), 100.0)
+        dom = f[FEATURE_NAMES.index("vert_dominant_freq_hz")]
+        assert dom == pytest.approx(2.0, abs=0.6)
+
+    def test_vert_std_scales(self):
+        weak = activity_features(_window(vert_amp=0.5), 100.0)
+        strong = activity_features(_window(vert_amp=4.0), 100.0)
+        i = FEATURE_NAMES.index("vert_std")
+        assert strong[i] > 4 * weak[i]
+
+    def test_constant_window_degenerates_gracefully(self):
+        f = activity_features(np.zeros((64, 3)), 100.0)
+        assert np.all(np.isfinite(f))
+        assert f[FEATURE_NAMES.index("vert_std")] == 0.0
+
+    def test_entropy_higher_for_noise(self):
+        rng = np.random.default_rng(1)
+        noise = rng.normal(size=(256, 3))
+        tone = _window(n=256)
+        i = FEATURE_NAMES.index("vert_spectral_entropy")
+        assert activity_features(noise, 100.0)[i] > activity_features(tone, 100.0)[i]
+
+    def test_zero_crossing_rate_tracks_frequency(self):
+        slow = activity_features(_window(vert_freq=1.0, n=400), 100.0)
+        fast = activity_features(_window(vert_freq=3.0, n=400), 100.0)
+        i = FEATURE_NAMES.index("vert_zero_cross_rate")
+        assert fast[i] > 2 * slow[i]
+
+    def test_rejects_short_window(self):
+        with pytest.raises(SignalError):
+            activity_features(np.zeros((4, 3)), 100.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(SignalError):
+            activity_features(np.zeros((64, 2)), 100.0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(SignalError):
+            activity_features(_window(), 0.0)
+
+    def test_rejects_nan(self):
+        w = _window()
+        w[3, 0] = np.nan
+        with pytest.raises(SignalError):
+            activity_features(w, 100.0)

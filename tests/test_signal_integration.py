@@ -1,0 +1,108 @@
+"""Unit tests for repro.signal.integration (mean-removal technique)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IntegrationError, SignalError
+from repro.signal.integration import (
+    cumulative_trapezoid,
+    double_integrate_mean_removal,
+    integrate_mean_removal,
+    peak_to_peak_displacement,
+)
+
+
+class TestCumulativeTrapezoid:
+    def test_constant_integrand(self):
+        x = np.full(11, 2.0)
+        y = cumulative_trapezoid(x, 0.1)
+        assert y[0] == 0.0
+        assert y[-1] == pytest.approx(2.0)
+
+    def test_linear_integrand(self):
+        t = np.linspace(0, 1, 101)
+        y = cumulative_trapezoid(t, t[1] - t[0])
+        assert y[-1] == pytest.approx(0.5, abs=1e-4)
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(IntegrationError):
+            cumulative_trapezoid(np.array([1.0]), 0.01)
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(IntegrationError):
+            cumulative_trapezoid(np.zeros(5), 0.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(SignalError):
+            cumulative_trapezoid(np.array([0.0, np.nan]), 0.01)
+
+
+class TestIntegrateMeanRemoval:
+    def test_biased_sine_velocity_returns_to_zero(self):
+        # A zero-endpoint-velocity oscillation plus sensor bias: mean
+        # removal must cancel the bias exactly.
+        t = np.arange(200) / 100.0
+        accel = np.sin(2 * np.pi * 1.0 * t) + 0.7  # bias 0.7
+        vel = integrate_mean_removal(accel, 0.01)
+        assert abs(vel[-1]) < 1e-3  # trapezoid discretisation only
+
+    def test_recovers_unbiased_velocity_shape(self):
+        # Use exactly two full periods plus the closing sample so the
+        # true velocity is genuinely zero at both ends.
+        t = np.arange(201) / 100.0
+        accel = np.cos(2 * np.pi * 1.0 * t) * 2 * np.pi  # velocity sin
+        vel = integrate_mean_removal(accel, 0.01)
+        expected = np.sin(2 * np.pi * 1.0 * t)
+        assert np.allclose(vel, expected, atol=0.05)
+
+
+class TestDoubleIntegrateMeanRemoval:
+    def test_periodic_displacement_recovered(self):
+        # z(t) = A sin(wt): its acceleration double-integrates back to
+        # the (detrended) displacement.
+        amplitude, freq = 0.05, 1.0
+        t = np.arange(300) / 100.0
+        omega = 2 * np.pi * freq
+        accel = -amplitude * omega**2 * np.sin(omega * t)
+        disp = double_integrate_mean_removal(accel, 0.01)
+        expected = amplitude * np.sin(omega * t)
+        assert np.allclose(
+            disp - disp.mean(), expected - expected.mean(), atol=0.004
+        )
+
+    def test_bias_does_not_blow_up(self):
+        t = np.arange(300) / 100.0
+        omega = 2 * np.pi
+        accel = -0.05 * omega**2 * np.sin(omega * t) + 0.5
+        disp = double_integrate_mean_removal(accel, 0.01)
+        assert np.max(np.abs(disp)) < 0.1  # naive integral would reach ~2 m
+
+    def test_millimetre_accuracy_on_clean_cycle(self):
+        amplitude, freq = 0.035, 1.9
+        n = int(100 / freq)
+        t = np.arange(n) / 100.0
+        omega = 2 * np.pi * freq
+        accel = -amplitude * omega**2 * np.sin(omega * t)
+        disp = double_integrate_mean_removal(accel, 0.01)
+        p2p = disp.max() - disp.min()
+        assert p2p == pytest.approx(2 * amplitude, abs=0.004)
+
+
+class TestPeakToPeakDisplacement:
+    def test_matches_known_amplitude(self):
+        amplitude, freq = 0.05, 2.0
+        t = np.arange(100) / 100.0  # two full periods
+        omega = 2 * np.pi * freq
+        accel = -amplitude * omega**2 * np.sin(omega * t)
+        p2p = peak_to_peak_displacement(accel, 0.01)
+        assert p2p == pytest.approx(2 * amplitude, abs=0.005)
+
+    def test_zero_signal(self):
+        assert peak_to_peak_displacement(np.zeros(50), 0.01) == 0.0
+
+    def test_scales_linearly_with_amplitude(self):
+        t = np.arange(200) / 100.0
+        omega = 2 * np.pi
+        one = peak_to_peak_displacement(-omega**2 * np.sin(omega * t), 0.01)
+        three = peak_to_peak_displacement(-3 * omega**2 * np.sin(omega * t), 0.01)
+        assert three == pytest.approx(3 * one, rel=1e-6)

@@ -1,0 +1,114 @@
+"""Tests for repro.signal.resample (rate conversion + dropout splits)."""
+
+import numpy as np
+import pytest
+
+from repro.core.step_counter import PTrackStepCounter
+from repro.exceptions import ConfigurationError, SignalError
+from repro.signal.resample import resample_trace, split_on_gaps
+from repro.simulation.walker import simulate_walk
+
+
+class TestResampleTrace:
+    def test_identity_at_same_rate(self, walk_trace):
+        trace = walk_trace[0]
+        assert resample_trace(trace, trace.sample_rate_hz) is trace
+
+    def test_downsample_preserves_low_band(self, walk_trace):
+        trace = walk_trace[0]
+        down = resample_trace(trace, 50.0)
+        assert down.sample_rate_hz == 50.0
+        assert down.duration_s == pytest.approx(trace.duration_s, abs=0.1)
+        # Gait-band energy (the 2 Hz bounce) survives the conversion.
+        assert np.std(down.vertical) == pytest.approx(
+            np.std(trace.vertical), rel=0.15
+        )
+
+    def test_upsample_interpolates(self):
+        t = np.arange(100) / 100.0
+        data = np.column_stack([np.sin(2 * np.pi * t)] * 3)
+        from repro.sensing.imu import IMUTrace
+
+        trace = IMUTrace(data, 100.0)
+        up = resample_trace(trace, 200.0)
+        assert up.sample_rate_hz == 200.0
+        expected = np.sin(2 * np.pi * up.times)
+        assert np.allclose(up.vertical, expected, atol=0.01)
+
+    def test_counting_survives_resampling(self, user):
+        trace, truth = simulate_walk(user, 30.0, rng=np.random.default_rng(6))
+        counter = PTrackStepCounter()
+        for rate in (50.0, 200.0):
+            converted = resample_trace(trace, rate)
+            counted = counter.count_steps(converted)
+            assert counted == pytest.approx(truth.step_count, abs=4), rate
+
+    def test_rejects_bad_rate(self, walk_trace):
+        with pytest.raises(ConfigurationError):
+            resample_trace(walk_trace[0], 0.0)
+
+
+class TestSplitOnGaps:
+    def _stream(self, n=1000, rate=100.0):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(size=(n, 3))
+        timestamps = np.arange(n) / rate
+        return samples, timestamps
+
+    def test_contiguous_stream_single_chunk(self):
+        samples, ts = self._stream()
+        chunks = split_on_gaps(samples, ts, 100.0)
+        assert len(chunks) == 1
+        assert chunks[0].n_samples == 1000
+
+    def test_gap_splits(self):
+        samples, ts = self._stream()
+        ts = ts.copy()
+        ts[500:] += 1.0  # a one-second dropout
+        chunks = split_on_gaps(samples, ts, 100.0)
+        assert len(chunks) == 2
+        assert chunks[0].n_samples == 500
+        assert chunks[1].start_time == pytest.approx(ts[500])
+
+    def test_short_fragments_dropped(self):
+        samples, ts = self._stream(n=400)
+        ts = ts.copy()
+        ts[350:] += 1.0  # leaves a 0.5 s fragment
+        chunks = split_on_gaps(samples, ts, 100.0, min_chunk_s=2.0)
+        assert len(chunks) == 1
+        assert chunks[0].n_samples == 350
+
+    def test_multiple_gaps(self):
+        samples, ts = self._stream(n=900)
+        ts = ts.copy()
+        ts[300:] += 0.5
+        ts[600:] += 0.5
+        chunks = split_on_gaps(samples, ts, 100.0)
+        assert len(chunks) == 3
+
+    def test_tracking_each_chunk(self, user):
+        # A dropout mid-walk: count each side and the total adds up.
+        trace, truth = simulate_walk(user, 30.0, rng=np.random.default_rng(7))
+        ts = trace.times.copy()
+        ts[trace.n_samples // 2 :] += 2.0
+        chunks = split_on_gaps(
+            np.asarray(trace.linear_acceleration), ts, trace.sample_rate_hz
+        )
+        assert len(chunks) == 2
+        counter = PTrackStepCounter()
+        total = sum(counter.count_steps(c) for c in chunks)
+        # Losing the boundary cycle on each side is expected.
+        assert total == pytest.approx(truth.step_count, abs=6)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SignalError):
+            split_on_gaps(np.zeros((10, 2)), np.arange(10.0), 100.0)
+        with pytest.raises(SignalError):
+            split_on_gaps(np.zeros((10, 3)), np.arange(9.0), 100.0)
+        with pytest.raises(SignalError):
+            split_on_gaps(
+                np.zeros((10, 3)), np.arange(10.0)[::-1].astype(float), 100.0
+            )
+
+    def test_empty_stream(self):
+        assert split_on_gaps(np.zeros((0, 3)), np.zeros(0), 100.0) == []

@@ -1,0 +1,153 @@
+"""Unit tests for repro.simulation.{activities,spoofer}."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sensing.device import WearableDevice
+from repro.simulation.activities import InterferenceParams, simulate_interference
+from repro.simulation.spoofer import SpooferParams, simulate_spoofer
+from repro.types import ActivityKind, Posture
+
+
+class TestInterferenceParams:
+    def test_rejects_bad_hold_range(self):
+        with pytest.raises(SimulationError):
+            InterferenceParams(
+                reach_length_m=0.3,
+                elevation_rad=0.5,
+                elevation_jitter_rad=0.1,
+                azimuth_jitter_rad=0.1,
+                curvature_frac=0.05,
+                gesture_duration_s=0.5,
+                hold_s_range=(2.0, 1.0),
+            )
+
+    def test_rejects_bad_curvature(self):
+        with pytest.raises(SimulationError):
+            InterferenceParams(
+                reach_length_m=0.3,
+                elevation_rad=0.5,
+                elevation_jitter_rad=0.1,
+                azimuth_jitter_rad=0.1,
+                curvature_frac=0.9,
+                gesture_duration_s=0.5,
+                hold_s_range=(1.0, 2.0),
+            )
+
+
+class TestSimulateInterference:
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            ActivityKind.EATING,
+            ActivityKind.POKER,
+            ActivityKind.PHOTO,
+            ActivityKind.GAME,
+            ActivityKind.MOUSE,
+            ActivityKind.KEYSTROKE,
+            ActivityKind.IDLE,
+        ],
+    )
+    def test_all_kinds_produce_traces(self, kind, rng):
+        trace = simulate_interference(kind, 20.0, rng=rng)
+        assert trace.n_samples == 2000
+        assert np.all(np.isfinite(trace.linear_acceleration))
+
+    def test_vigorous_kinds_have_energy(self, rng):
+        trace = simulate_interference(ActivityKind.EATING, 60.0, rng=rng)
+        assert np.abs(trace.vertical).max() > 1.0
+
+    def test_micro_kinds_are_quiet(self, rng):
+        mouse = simulate_interference(ActivityKind.MOUSE, 30.0, rng=rng)
+        eating = simulate_interference(ActivityKind.EATING, 30.0, rng=rng)
+        assert np.std(mouse.vertical) < 0.3 * np.std(eating.vertical)
+
+    def test_idle_is_nearly_still(self, rng):
+        trace = simulate_interference(ActivityKind.IDLE, 20.0, rng=rng)
+        assert np.std(trace.vertical) < 0.3
+
+    def test_vigor_scales_amplitude(self):
+        weak = simulate_interference(
+            ActivityKind.EATING, 60.0, rng=np.random.default_rng(0), vigor=0.5
+        )
+        strong = simulate_interference(
+            ActivityKind.EATING, 60.0, rng=np.random.default_rng(0), vigor=2.0
+        )
+        assert np.std(strong.vertical) > 1.5 * np.std(weak.vertical)
+
+    def test_posture_changes_signal(self):
+        standing = simulate_interference(
+            ActivityKind.POKER, 20.0, rng=np.random.default_rng(1), posture=Posture.STANDING
+        )
+        seated = simulate_interference(
+            ActivityKind.POKER, 20.0, rng=np.random.default_rng(1), posture=Posture.SEATED
+        )
+        assert not np.allclose(
+            standing.linear_acceleration, seated.linear_acceleration
+        )
+
+    def test_deterministic_given_seed(self):
+        a = simulate_interference(ActivityKind.GAME, 10.0, rng=np.random.default_rng(9))
+        b = simulate_interference(ActivityKind.GAME, 10.0, rng=np.random.default_rng(9))
+        assert np.array_equal(a.linear_acceleration, b.linear_acceleration)
+
+    def test_rejects_pedestrian_kinds(self, rng):
+        with pytest.raises(SimulationError):
+            simulate_interference(ActivityKind.WALKING, 10.0, rng=rng)
+        with pytest.raises(SimulationError):
+            simulate_interference(ActivityKind.SWINGING, 10.0, rng=rng)
+        with pytest.raises(SimulationError):
+            simulate_interference(ActivityKind.SPOOFING, 10.0, rng=rng)
+
+    def test_rejects_bad_duration(self, rng):
+        with pytest.raises(SimulationError):
+            simulate_interference(ActivityKind.EATING, -1.0, rng=rng)
+
+    def test_rejects_bad_vigor(self, rng):
+        with pytest.raises(SimulationError):
+            simulate_interference(ActivityKind.EATING, 10.0, rng=rng, vigor=0.0)
+
+
+class TestSimulateSpoofer:
+    def test_trace_properties(self, spoof_trace):
+        assert spoof_trace.duration_s == pytest.approx(60.0)
+        assert np.all(np.isfinite(spoof_trace.linear_acceleration))
+
+    def test_periodic_drive_visible(self, spoof_trace):
+        # The drive rate (~0.6 Hz) must dominate the spectrum.
+        v = spoof_trace.vertical - spoof_trace.vertical.mean()
+        spectrum = np.abs(np.fft.rfft(v))
+        freqs = np.fft.rfftfreq(v.size, spoof_trace.dt)
+        dominant = freqs[np.argmax(spectrum)]
+        assert 0.4 < dominant < 1.6
+
+    def test_custom_params(self, rng):
+        params = SpooferParams(rate_hz=1.0, arm_length_m=0.2, swing_rad=0.3)
+        trace = simulate_spoofer(20.0, rng=rng, params=params)
+        assert trace.n_samples == 2000
+
+    def test_rate_drift_changes_signal(self):
+        still = simulate_spoofer(
+            20.0,
+            rng=np.random.default_rng(4),
+            params=SpooferParams(rate_drift=0.0),
+            device=WearableDevice.ideal(),
+        )
+        drifting = simulate_spoofer(
+            20.0,
+            rng=np.random.default_rng(4),
+            params=SpooferParams(rate_drift=0.05),
+            device=WearableDevice.ideal(),
+        )
+        assert not np.allclose(
+            still.linear_acceleration, drifting.linear_acceleration
+        )
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(SimulationError):
+            SpooferParams(rate_hz=0.0)
+        with pytest.raises(SimulationError):
+            SpooferParams(swing_rad=2.0)
+        with pytest.raises(SimulationError):
+            simulate_spoofer(0.0)

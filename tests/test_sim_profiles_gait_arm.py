@@ -1,0 +1,204 @@
+"""Unit tests for repro.simulation.{profiles,gait,arm}."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError, SimulationError
+from repro.simulation.arm import ArmSwingModel
+from repro.simulation.gait import (
+    GaitParameters,
+    body_trajectory,
+    bounce_from_stride,
+    stride_from_bounce,
+)
+from repro.simulation.profiles import SimulatedUser, sample_users
+
+
+class TestBounceStrideGeometry:
+    def test_round_trip(self):
+        leg = 0.9
+        for stride in (0.4, 0.7, 1.0):
+            b = bounce_from_stride(stride, leg)
+            assert stride_from_bounce(b, leg, k=2.0) == pytest.approx(stride)
+
+    def test_known_value(self):
+        # l=0.9, s=0.7: b = 0.9 - sqrt(0.81 - 0.1225)
+        assert bounce_from_stride(0.7, 0.9) == pytest.approx(
+            0.9 - np.sqrt(0.81 - 0.1225)
+        )
+
+    def test_monotone_in_stride(self):
+        bs = [bounce_from_stride(s, 0.9) for s in (0.3, 0.5, 0.7, 0.9)]
+        assert bs == sorted(bs)
+
+    def test_zero_bounce_zero_stride(self):
+        assert stride_from_bounce(0.0, 0.9) == 0.0
+
+    def test_k_scales_linearly(self):
+        assert stride_from_bounce(0.05, 0.9, k=3.0) == pytest.approx(
+            1.5 * stride_from_bounce(0.05, 0.9, k=2.0)
+        )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GeometryError):
+            bounce_from_stride(2.0, 0.9)
+        with pytest.raises(GeometryError):
+            bounce_from_stride(0.0, 0.9)
+        with pytest.raises(GeometryError):
+            stride_from_bounce(1.0, 0.9)
+        with pytest.raises(GeometryError):
+            stride_from_bounce(0.05, 0.9, k=0.0)
+
+
+class TestGaitParameters:
+    def test_derived_quantities(self):
+        p = GaitParameters(cadence_hz=1.0, stride_m=0.7, leg_length_m=0.9)
+        assert p.speed_m_s == pytest.approx(1.4)
+        assert p.bounce_m == pytest.approx(bounce_from_stride(0.7, 0.9))
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(SimulationError):
+            GaitParameters(cadence_hz=1.0, stride_m=2.0, leg_length_m=0.9)
+
+
+class TestBodyTrajectory:
+    def _run(self, n=400, cadence=1.0, bounce=0.07, speed=1.4, dt=0.01):
+        phase = np.arange(n) * cadence * dt
+        return body_trajectory(
+            phase,
+            np.full(n, bounce),
+            np.full(n, speed),
+            np.full(n, 0.15),
+            np.full(n, 0.02),
+            dt,
+        )
+
+    def test_vertical_peak_to_peak_is_bounce(self):
+        _, _, vertical = self._run()
+        assert vertical.max() - vertical.min() == pytest.approx(0.07, abs=1e-6)
+
+    def test_vertical_lowest_at_heel_strikes(self):
+        _, _, vertical = self._run()
+        assert vertical[0] == pytest.approx(-0.035)
+        assert vertical[25] == pytest.approx(0.035, abs=1e-4)  # phase 0.25
+
+    def test_anterior_progresses_at_speed(self):
+        anterior, _, _ = self._run(n=400)
+        assert anterior[-1] == pytest.approx(1.4 * 3.99, rel=0.02)
+
+    def test_lateral_period_is_full_cycle(self):
+        _, lateral, _ = self._run()
+        assert lateral[0] == pytest.approx(0.0, abs=1e-9)
+        assert lateral[25] > 0  # quarter cycle: swing to one side
+        assert lateral[75] < 0  # three quarters: other side
+
+    def test_rejects_decreasing_phase(self):
+        with pytest.raises(SimulationError):
+            body_trajectory(
+                np.array([0.0, -0.1]),
+                np.zeros(2),
+                np.zeros(2),
+                np.zeros(2),
+                np.zeros(2),
+                0.01,
+            )
+
+
+class TestArmSwingModel:
+    def _arm(self, **kw):
+        defaults = dict(
+            arm_length_m=0.6,
+            amplitude_rad=0.45,
+            forward_bias_rad=0.12,
+            elbow_lag_s=0.0,
+        )
+        defaults.update(kw)
+        return ArmSwingModel(**defaults)
+
+    def test_angle_extremes(self):
+        arm = self._arm()
+        phase = np.array([0.0, 0.5])
+        theta = arm.angle(phase)
+        assert theta[0] == pytest.approx(0.12 - 0.45)  # backmost
+        assert theta[1] == pytest.approx(0.12 + 0.45)  # foremost
+
+    def test_wrist_offset_geometry(self):
+        arm = self._arm()
+        offsets = arm.wrist_offset(np.array([0.0, 0.25, 0.5]), 0.01)
+        # Norm equals the arm length at every phase (rigid pendulum).
+        assert np.allclose(np.linalg.norm(offsets, axis=1), 0.6)
+        # Lateral always zero (sagittal swing).
+        assert np.allclose(offsets[:, 1], 0.0)
+
+    def test_half_cycle_geometry_consistent(self):
+        arm = self._arm()
+        r1, d1, r2, d2 = arm.true_half_cycle_geometry()
+        m = 0.6
+        assert d1 == pytest.approx(np.sqrt(m**2 - (m - r1) ** 2))
+        assert d2 == pytest.approx(np.sqrt(m**2 - (m - r2) ** 2))
+        assert r2 > r1  # forward bias makes the front half larger
+
+    def test_elbow_lag_shifts_vertical_only(self):
+        phase = np.arange(300) / 100.0
+        fast = self._arm().wrist_offset(phase, 0.01)
+        lagged = self._arm(elbow_lag_s=0.05).wrist_offset(phase, 0.01)
+        assert np.allclose(fast[:, 0], lagged[:, 0])
+        assert not np.allclose(fast[10:, 2], lagged[10:, 2])
+
+    def test_rejects_bias_above_amplitude(self):
+        with pytest.raises(SimulationError):
+            self._arm(forward_bias_rad=0.5)
+
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(SimulationError):
+            self._arm(amplitude_rad=2.0)
+
+
+class TestSimulatedUser:
+    def test_profile_carries_anthropometrics(self):
+        u = SimulatedUser()
+        p = u.profile
+        assert p.arm_length_m == u.arm_length_m
+        assert p.leg_length_m == u.leg_length_m
+        assert p.calibration_k == 2.0
+
+    def test_measured_profile_close_to_truth(self):
+        u = SimulatedUser()
+        p = u.measured_profile(np.random.default_rng(0), measurement_sigma_m=0.02)
+        assert abs(p.arm_length_m - u.arm_length_m) < 0.1
+        assert abs(p.leg_length_m - u.leg_length_m) < 0.1
+
+    def test_with_gait(self):
+        u = SimulatedUser().with_gait(cadence_hz=1.1, stride_m=0.8)
+        assert u.cadence_hz == 1.1
+        assert u.stride_m == 0.8
+
+    def test_rejects_invalid_stride(self):
+        with pytest.raises(SimulationError):
+            SimulatedUser(stride_m=5.0)
+
+    def test_rejects_bad_phase_lag(self):
+        with pytest.raises(SimulationError):
+            SimulatedUser(arm_phase_lag=0.5)
+
+
+class TestSampleUsers:
+    def test_count_and_uniqueness(self):
+        users = sample_users(10, np.random.default_rng(0))
+        assert len(users) == 10
+        assert len({u.name for u in users}) == 10
+
+    def test_plausible_ranges(self):
+        for u in sample_users(30, np.random.default_rng(1)):
+            assert 0.4 < u.arm_length_m < 0.8
+            assert 0.7 < u.leg_length_m < 1.1
+            assert 0.0 < u.stride_m < 2 * u.leg_length_m
+
+    def test_deterministic_for_seed(self):
+        a = sample_users(3, np.random.default_rng(5))
+        b = sample_users(3, np.random.default_rng(5))
+        assert a == b
+
+    def test_rejects_zero(self):
+        with pytest.raises(SimulationError):
+            sample_users(0, np.random.default_rng(0))

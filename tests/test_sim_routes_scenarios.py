@@ -1,0 +1,158 @@
+"""Unit tests for repro.simulation.{routes,scenarios}."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.profiles import SimulatedUser
+from repro.simulation.routes import FloorMap, Route, paper_route, walk_route
+from repro.simulation.scenarios import SessionBuilder
+from repro.types import ActivityKind, Posture
+
+
+class TestRouteGeometry:
+    def test_paper_route_length(self):
+        assert paper_route().total_length_m == pytest.approx(141.5)
+
+    def test_paper_route_markers(self):
+        assert paper_route().markers == ("A", "B", "C", "D", "E", "F", "G")
+
+    def test_leg_lengths_sum(self):
+        r = paper_route()
+        assert r.leg_lengths_m.sum() == pytest.approx(r.total_length_m)
+
+    def test_headings_in_range(self):
+        r = paper_route()
+        assert np.all(np.abs(r.leg_headings_rad) <= np.pi)
+
+    def test_corridor_crossing_encoded(self):
+        # Legs B->C and C->D each cover 4 m of lateral (y) travel.
+        r = paper_route()
+        vecs = r.leg_vectors
+        assert abs(vecs[1][1]) == pytest.approx(4.0)
+        assert abs(vecs[2][1]) == pytest.approx(4.0)
+
+    def test_rejects_single_waypoint(self):
+        floor = FloorMap(10.0, 10.0)
+        with pytest.raises(SimulationError):
+            Route(np.zeros((1, 2)), ("A",), floor)
+
+    def test_rejects_marker_mismatch(self):
+        floor = FloorMap(10.0, 10.0)
+        with pytest.raises(SimulationError):
+            Route(np.zeros((2, 2)), ("A",), floor)
+
+    def test_rejects_bad_floor(self):
+        with pytest.raises(SimulationError):
+            FloorMap(0.0, 10.0)
+
+
+class TestWalkRoute:
+    @pytest.fixture(scope="class")
+    def walked(self):
+        user = SimulatedUser()
+        route = paper_route()
+        trace, truth = walk_route(user, route, rng=np.random.default_rng(0))
+        return user, route, trace, truth
+
+    def test_walked_distance_near_route_length(self, walked):
+        _, route, _, truth = walked
+        assert truth.total_distance_m == pytest.approx(
+            route.total_length_m, rel=0.1
+        )
+
+    def test_path_visits_waypoints(self, walked):
+        _, route, _, truth = walked
+        for waypoint in route.waypoints:
+            d = np.linalg.norm(truth.body_positions_m[:, :2] - waypoint, axis=1)
+            assert d.min() < 2.5
+
+    def test_trace_continuous(self, walked):
+        _, _, trace, truth = walked
+        assert trace.n_samples == truth.body_positions_m.shape[0]
+        assert np.all(np.isfinite(trace.linear_acceleration))
+
+    def test_step_times_monotonic(self, walked):
+        _, _, _, truth = walked
+        assert np.all(np.diff(truth.step_times) > 0)
+
+
+class TestSessionBuilder:
+    def test_mixed_session_truth(self, user):
+        session = (
+            SessionBuilder(user, rng=np.random.default_rng(1))
+            .walk(15.0)
+            .interfere(ActivityKind.EATING, 20.0, posture=Posture.SEATED)
+            .step(15.0)
+            .build()
+        )
+        assert len(session.segments) == 3
+        kinds = [s.kind for s in session.segments]
+        assert kinds == [
+            ActivityKind.WALKING,
+            ActivityKind.EATING,
+            ActivityKind.STEPPING,
+        ]
+        assert session.true_step_count > 40
+        assert session.segments[1].true_step_count == 0
+
+    def test_segments_cover_trace(self, user):
+        session = (
+            SessionBuilder(user, rng=np.random.default_rng(2))
+            .walk(10.0)
+            .idle(5.0)
+            .build()
+        )
+        assert session.segments[0].start_time == 0.0
+        assert session.segments[-1].end_time == pytest.approx(
+            session.trace.duration_s
+        )
+        for a, b in zip(session.segments, session.segments[1:]):
+            assert a.end_time == pytest.approx(b.start_time)
+
+    def test_segment_lookup(self, user):
+        session = (
+            SessionBuilder(user, rng=np.random.default_rng(3))
+            .walk(10.0)
+            .spoof(10.0)
+            .build()
+        )
+        assert session.segment_at(5.0).kind is ActivityKind.WALKING
+        assert session.segment_at(15.0).kind is ActivityKind.SPOOFING
+        assert session.segment_at(99.0) is None
+
+    def test_segments_of_kind(self, user):
+        session = (
+            SessionBuilder(user, rng=np.random.default_rng(4))
+            .walk(8.0)
+            .walk(8.0)
+            .swing(8.0)
+            .build()
+        )
+        assert len(session.segments_of_kind(ActivityKind.WALKING)) == 2
+        assert len(session.segments_of_kind(ActivityKind.SWINGING)) == 1
+
+    def test_true_step_times_sorted(self, user):
+        session = (
+            SessionBuilder(user, rng=np.random.default_rng(5))
+            .walk(10.0)
+            .step(10.0)
+            .build()
+        )
+        times = session.true_step_times
+        assert np.all(np.diff(times) > 0)
+
+    def test_empty_build_rejected(self, user):
+        with pytest.raises(SimulationError):
+            SessionBuilder(user).build()
+
+    def test_distance_accumulates(self, user):
+        session = (
+            SessionBuilder(user, rng=np.random.default_rng(6))
+            .walk(10.0)
+            .walk(10.0)
+            .build()
+        )
+        assert session.true_distance_m == pytest.approx(
+            sum(s.true_distance_m for s in session.segments)
+        )

@@ -1,0 +1,104 @@
+"""Unit tests for repro.simulation.walker."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sensing.device import WearableDevice
+from repro.simulation.profiles import SimulatedUser
+from repro.simulation.walker import simulate_walk
+
+
+class TestSimulateWalk:
+    def test_trace_shape_and_rate(self, user):
+        trace, _ = simulate_walk(user, 10.0, sample_rate_hz=50.0,
+                                 device=WearableDevice.ideal(50.0))
+        assert trace.sample_rate_hz == 50.0
+        assert trace.n_samples == 500
+
+    def test_step_count_matches_cadence(self, user):
+        _, truth = simulate_walk(user, 30.0, rng=None)
+        expected = 30.0 * user.cadence_hz * 2
+        assert truth.step_count == pytest.approx(expected, abs=2)
+
+    def test_distance_matches_stride(self, user):
+        _, truth = simulate_walk(user, 30.0, rng=None)
+        assert truth.total_distance_m == pytest.approx(
+            truth.step_count * user.stride_m, rel=0.05
+        )
+
+    def test_step_times_increasing(self, walk_trace):
+        _, truth = walk_trace
+        assert np.all(np.diff(truth.step_times) > 0)
+
+    def test_stride_truth_aligned_with_steps(self, walk_trace):
+        _, truth = walk_trace
+        assert truth.stride_lengths_m.shape == truth.step_times.shape
+        assert truth.bounce_m.shape == truth.step_times.shape
+
+    def test_heading_rotates_path(self, user):
+        _, truth = simulate_walk(user, 10.0, rng=None, heading_rad=np.pi / 2)
+        end = truth.body_positions_m[-1, :2] - truth.body_positions_m[0, :2]
+        # Walking north: y displacement dominates.
+        assert abs(end[1]) > 5 * abs(end[0])
+
+    def test_heading_array_accepted(self, user):
+        n = 1000
+        headings = np.linspace(0, np.pi / 2, n)
+        trace, truth = simulate_walk(user, 10.0, rng=None, heading_rad=headings)
+        assert truth.headings_rad.shape == (n,)
+
+    def test_rigid_mode_has_weaker_horizontal(self, user):
+        swing, _ = simulate_walk(user, 20.0, rng=None, arm_mode="swing")
+        rigid, _ = simulate_walk(user, 20.0, rng=None, arm_mode="rigid")
+        assert np.std(rigid.horizontal) < 0.7 * np.std(swing.horizontal)
+
+    def test_swinging_only_no_steps(self, user):
+        _, truth = simulate_walk(user, 15.0, rng=None, body=False)
+        assert truth.step_count == 0
+        assert truth.total_distance_m == 0.0
+
+    def test_noise_changes_trace(self, user):
+        clean, _ = simulate_walk(user, 5.0, rng=None)
+        noisy, _ = simulate_walk(user, 5.0, rng=np.random.default_rng(0))
+        assert not np.allclose(
+            clean.linear_acceleration, noisy.linear_acceleration
+        )
+
+    def test_deterministic_for_seed(self, user):
+        a, ta = simulate_walk(user, 5.0, rng=np.random.default_rng(3))
+        b, tb = simulate_walk(user, 5.0, rng=np.random.default_rng(3))
+        assert np.array_equal(a.linear_acceleration, b.linear_acceleration)
+        assert np.array_equal(ta.step_times, tb.step_times)
+
+    def test_start_time_propagates(self, user):
+        trace, truth = simulate_walk(user, 5.0, rng=None, start_time=100.0)
+        assert trace.start_time == 100.0
+        assert truth.step_times[0] >= 100.0
+
+    def test_vertical_acceleration_realistic_scale(self, walk_trace):
+        trace, _ = walk_trace
+        std = np.std(trace.vertical)
+        assert 0.5 < std < 6.0  # human-gait band, not silly
+
+    def test_rejects_bad_mode(self, user):
+        with pytest.raises(SimulationError):
+            simulate_walk(user, 5.0, arm_mode="jazz")
+
+    def test_rejects_body_false_with_rigid(self, user):
+        with pytest.raises(SimulationError):
+            simulate_walk(user, 5.0, arm_mode="rigid", body=False)
+
+    def test_rejects_nonpositive_duration(self, user):
+        with pytest.raises(SimulationError):
+            simulate_walk(user, 0.0)
+
+    def test_rejects_wrong_heading_shape(self, user):
+        with pytest.raises(SimulationError):
+            simulate_walk(user, 5.0, heading_rad=np.zeros(3))
+
+    def test_rejects_rate_mismatch_with_device(self, user):
+        with pytest.raises(SimulationError):
+            simulate_walk(
+                user, 5.0, sample_rate_hz=100.0, device=WearableDevice.ideal(50.0)
+            )
