@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Run the tracked performance benchmarks and write the JSON scoreboard.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py                 # full suite
+    PYTHONPATH=src python scripts/bench.py --check         # seconds-long smoke
+    PYTHONPATH=src python scripts/bench.py --output BENCH_PR1.json
+
+The scoreboard (``BENCH_PR1.json`` by default) records kernel
+scalar-vs-vectorised speedups, trace-cache cold/warm behaviour, and the
+macro replicate-study timings (serial vs runtime cold vs runtime warm).
+See ``docs/performance.md`` for how to read and regenerate it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import bench_runtime  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="smoke mode: tiny workloads, finishes in seconds",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_PR1.json",
+        help="where to write the JSON scoreboard",
+    )
+    parser.add_argument("--seeds", type=int, default=6, help="macro replicates")
+    parser.add_argument("--users", type=int, default=2, help="users per replicate")
+    parser.add_argument(
+        "--duration", type=float, default=30.0, help="walk seconds per trace"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the runtime passes (0 = all cores)",
+    )
+    args = parser.parse_args(argv)
+
+    results = bench_runtime.run_all(
+        n_seeds=args.seeds,
+        n_users=args.users,
+        duration_s=args.duration,
+        workers=args.workers,
+        check=args.check,
+    )
+    args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    kernels = results["kernels"]
+    macro = results["macro"]
+    print(f"wrote {args.output}")
+    for name, k in kernels.items():
+        print(f"  kernel {name}: {k['speedup']:.1f}x")
+    print(
+        f"  macro: serial {macro['serial_s']:.2f}s, "
+        f"cold {macro['runtime_cold_s']:.2f}s "
+        f"({macro['speedup_cold']:.2f}x), "
+        f"warm {macro['runtime_warm_s']:.4f}s "
+        f"({macro['speedup_warm']:.1f}x), "
+        f"identical={macro['identical_results']}"
+    )
+    if not macro["identical_results"]:
+        print("ERROR: runtime results differ from the serial baseline")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

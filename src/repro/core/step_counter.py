@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.core.config import PTrackConfig
 from repro.core.offset import cycle_offset
-from repro.core.stepping import has_fixed_phase_difference, stepping_correlation
+from repro.core.stepping import batch_stepping_tests
 from repro.exceptions import SignalError
 from repro.sensing.imu import IMUTrace
 from repro.signal.filters import butter_lowpass
@@ -113,15 +113,51 @@ class PTrackStepCounter:
             pending.clear()
             streak = 0
 
-        for cycle_id, segment in enumerate(cycles):
+        # ------------------------------------------------------------------
+        # Batch stage: every per-cycle quantity the decision flow reads
+        # is a pure function of that cycle's samples, so compute them
+        # for all candidates up front — the offsets for cycles passing
+        # the vertical-motion gate, and the stepping admission tests
+        # for the subset the offset keeps in play. Only the streak
+        # state machine below is sequential.
+        # ------------------------------------------------------------------
+        v_segs: List[np.ndarray] = []
+        a_segs: List[np.ndarray] = []
+        for segment in cycles:
             v_seg = segment.slice(vertical)
             a_seg = segment.slice(anterior_full)
             # Per-cycle anterior refinement: project this cycle's
             # horizontal samples onto their own dominant direction so a
             # turning walker does not smear the projection.
-            a_seg = self._refine_anterior(trace, segment, a_seg)
+            v_segs.append(v_seg)
+            a_segs.append(self._refine_anterior(trace, segment, a_seg))
 
-            if float(np.std(v_seg - v_seg.mean())) < cfg.min_vertical_std:
+        motion_ok = [
+            float(np.std(v_seg - v_seg.mean())) >= cfg.min_vertical_std
+            for v_seg in v_segs
+        ]
+        offsets = [
+            cycle_offset(v_segs[i], a_segs[i], cfg) if motion_ok[i] else 0.0
+            for i in range(len(cycles))
+        ]
+        stepping_candidates = [
+            i
+            for i in range(len(cycles))
+            if motion_ok[i] and offsets[i] <= cfg.offset_threshold
+        ]
+        stepping_values = dict(
+            zip(
+                stepping_candidates,
+                batch_stepping_tests(
+                    [v_segs[i] for i in stepping_candidates],
+                    [a_segs[i] for i in stepping_candidates],
+                    cfg,
+                ),
+            )
+        )
+
+        for cycle_id, segment in enumerate(cycles):
+            if not motion_ok[cycle_id]:
                 # Residual micro-motion (tremor, postural sway): the
                 # paper's candidate stage already rejects activities
                 # "without significant vertical motions".
@@ -129,7 +165,7 @@ class PTrackStepCounter:
                 flush_pending_as_interference()
                 continue
 
-            offset = cycle_offset(v_seg, a_seg, cfg)
+            offset = offsets[cycle_id]
 
             if offset > cfg.offset_threshold:
                 # Walking: superposed arm + body sources.
@@ -149,18 +185,13 @@ class PTrackStepCounter:
                 )
                 continue
 
-            # Candidate stepping: run the admission tests.  The user
-            # steps twice per cycle, so the per-step repetition must
-            # appear on *both* projected axes — a mechanical shaker
-            # whose vertical axis carries strong cycle-period content
-            # fails the vertical half-cycle test even when its
-            # horizontal axis happens to repeat.
-            try:
-                corr = stepping_correlation(a_seg)
-                corr_v = stepping_correlation(v_seg)
-                phase_ok, _ = has_fixed_phase_difference(v_seg, a_seg, cfg)
-            except SignalError:
-                corr, corr_v, phase_ok = 0.0, 0.0, False
+            # Candidate stepping: read the precomputed admission tests.
+            # The user steps twice per cycle, so the per-step
+            # repetition must appear on *both* projected axes — a
+            # mechanical shaker whose vertical axis carries strong
+            # cycle-period content fails the vertical half-cycle test
+            # even when its horizontal axis happens to repeat.
+            corr, corr_v, phase_ok = stepping_values[cycle_id]
 
             if (
                 corr > cfg.min_half_cycle_correlation

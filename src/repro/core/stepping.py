@@ -20,15 +20,24 @@ cycles (3 in the paper, crediting 6 steps at once — Fig. 4).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import PTrackConfig
 from repro.exceptions import SignalError
-from repro.signal.correlation import half_cycle_correlation, phase_difference_fraction
+from repro.signal.correlation import (
+    batch_half_cycle_correlation,
+    batch_phase_difference_fraction,
+    half_cycle_correlation,
+    phase_difference_fraction,
+)
 
-__all__ = ["stepping_correlation", "has_fixed_phase_difference"]
+__all__ = [
+    "stepping_correlation",
+    "has_fixed_phase_difference",
+    "batch_stepping_tests",
+]
 
 
 def stepping_correlation(anterior: np.ndarray) -> float:
@@ -84,3 +93,54 @@ def has_fixed_phase_difference(
         or _circular_distance(frac, (target + 0.5) % 1.0) <= tol
     )
     return matches, frac
+
+
+def _phase_matches(frac: float, cfg: PTrackConfig) -> bool:
+    """The quarter-period acceptance test on a measured phase fraction."""
+    target = cfg.phase_difference_target
+    tol = cfg.phase_difference_tolerance
+    for centre in (target, (target + 0.5) % 1.0):
+        d = abs(frac - centre) % 1.0
+        if min(d, 1.0 - d) <= tol:
+            return True
+    return False
+
+
+def batch_stepping_tests(
+    verticals: Sequence[np.ndarray],
+    anteriors: Sequence[np.ndarray],
+    config: Optional[PTrackConfig] = None,
+) -> List[Tuple[float, float, bool]]:
+    """Both stepping admission tests over many candidate cycles at once.
+
+    Evaluates the half-cycle auto-correlation on each axis
+    (length-grouped batch) and the quarter-period phase signature
+    (vectorised lag search) for every cycle. A cycle that the per-cycle
+    path would reject with a :class:`SignalError` (too short, silent
+    axis) reads ``(0.0, 0.0, False)`` — the same values the decision
+    flow records for a failed admission.
+
+    Args:
+        verticals: Vertical-axis cycle arrays.
+        anteriors: Anterior-axis cycle arrays (aligned with
+            ``verticals``).
+        config: PTrack configuration (phase target and tolerance).
+
+    Returns:
+        One ``(anterior_C, vertical_C, phase_ok)`` triple per cycle.
+    """
+    cfg = config if config is not None else PTrackConfig()
+    if len(verticals) != len(anteriors):
+        raise SignalError(
+            f"axis count mismatch: {len(verticals)} vs {len(anteriors)}"
+        )
+    corr_a = batch_half_cycle_correlation(anteriors)
+    corr_v = batch_half_cycle_correlation(verticals)
+    fracs = batch_phase_difference_fraction(list(zip(verticals, anteriors)))
+    results: List[Tuple[float, float, bool]] = []
+    for c_a, c_v, frac in zip(corr_a, corr_v, fracs):
+        if not np.isfinite(frac):
+            results.append((0.0, 0.0, False))
+        else:
+            results.append((float(c_a), float(c_v), _phase_matches(float(frac), cfg)))
+    return results

@@ -83,7 +83,14 @@ class StreamingPTrack:
             if profile is not None
             else None
         )
-        self._buffer = np.empty((0, 3))
+        # Rolling buffer: a pre-allocated capacity array with an active
+        # prefix of ``self._size`` rows. Appends copy into the spare
+        # tail (doubling capacity when full) and trims copy the kept
+        # suffix down in place, so per-sample cost stays amortised O(1)
+        # instead of the O(total history) of re-concatenating on every
+        # append.
+        self._data = np.empty((max(256, self._max_buffer // 8), 3))
+        self._size = 0
         self._buffer_start_time = 0.0
         self._consumed_index = 0  # absolute index of the buffer start
         self._credited_until = 0  # absolute sample index already settled
@@ -130,7 +137,16 @@ class StreamingPTrack:
             return [], []
         if not np.all(np.isfinite(arr)):
             raise SignalError("samples contain non-finite values")
-        self._buffer = np.vstack([self._buffer, arr])
+        needed = self._size + arr.shape[0]
+        if needed > self._data.shape[0]:
+            capacity = self._data.shape[0]
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty((capacity, 3))
+            grown[: self._size] = self._data[: self._size]
+            self._data = grown
+        self._data[self._size : needed] = arr
+        self._size = needed
         return self._drain(settle_margin=int(self._settle * self._rate))
 
     def flush(self) -> Tuple[List[StepEvent], List[StrideEstimate]]:
@@ -144,11 +160,11 @@ class StreamingPTrack:
         self,
         settle_margin: int,
     ) -> Tuple[List[StepEvent], List[StrideEstimate]]:
-        n = self._buffer.shape[0]
+        n = self._size
         if n < 16:
             return [], []
         trace = IMUTrace(
-            self._buffer,
+            self._data[:n],
             self._rate,
             start_time=self._consumed_index / self._rate,
         )
@@ -194,10 +210,15 @@ class StreamingPTrack:
         # window of context for the segmenter.
         keep_from = max(0, settled_end - settle_margin)
         keep_from = min(keep_from, max(0, self._credited_until - self._consumed_index))
-        if self._buffer.shape[0] > self._max_buffer:
-            overflow = self._buffer.shape[0] - self._max_buffer
+        if n > self._max_buffer:
+            overflow = n - self._max_buffer
             keep_from = max(keep_from, overflow)
         if keep_from > 0:
-            self._buffer = self._buffer[keep_from:]
+            kept = n - keep_from
+            # In-place tail copy: the regions overlap left-to-right, so
+            # a single bounded copy keeps the active prefix compact
+            # without allocating a fresh buffer.
+            self._data[:kept] = self._data[keep_from:n].copy()
+            self._size = kept
             self._consumed_index += keep_from
         return new_steps, new_strides

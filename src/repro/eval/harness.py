@@ -10,12 +10,13 @@ Figs. 1(d) and 8 as CDFs).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.eval.metrics import cdf_points
 from repro.exceptions import SignalError
+from repro.runtime import TraceCache, content_key, parallel_map
 
 __all__ = ["Replicates", "repeat", "format_cdf", "compare_cdfs"]
 
@@ -65,26 +66,67 @@ class Replicates:
 def repeat(
     measure: Callable[[int], Dict[str, float]],
     seeds: Sequence[int],
+    workers: Optional[int] = None,
+    cache: Optional[TraceCache] = None,
+    cache_key: Optional[str] = None,
 ) -> Dict[str, Replicates]:
     """Run a seeded measurement across seeds and aggregate per metric.
 
+    The measurement must be a pure function of its seed: replicates may
+    then be computed in any order (worker processes) or not at all
+    (cache hits) without changing the aggregate. Cache lookups happen in
+    the parent so worker processes only ever run real misses.
+
     Args:
         measure: Callable mapping a seed to a dict of scalar metrics;
-            every replicate must produce the same metric names.
+            every replicate must produce the same metric names. Must be
+            picklable (module-level) when ``workers`` enables processes.
         seeds: Seeds to run (one replicate each).
+        workers: Worker processes for the replicate misses; ``None``
+            reads ``REPRO_WORKERS`` (default serial), ``0`` means all
+            cores.
+        cache: Optional replicate cache; per-seed metric dicts are
+            memoized under ``(cache_key, seed)``.
+        cache_key: Content key identifying the measurement (include
+            everything the metrics depend on besides the seed).
+            Required when ``cache`` is given.
 
     Returns:
         Mapping from metric name to its :class:`Replicates`.
 
     Raises:
-        SignalError: On empty seeds or inconsistent metric names.
+        SignalError: On empty seeds, inconsistent metric names, or a
+            cache without a cache key.
     """
     if not seeds:
         raise SignalError("need at least one seed")
+    if cache is not None and cache_key is None:
+        raise SignalError("cache_key is required when a cache is given")
+    seed_list = [int(seed) for seed in seeds]
+
+    results: Dict[int, Dict[str, float]] = {}
+    missing: List[int] = []
+    if cache is not None:
+        keys = [content_key("repeat", cache_key, seed) for seed in seed_list]
+        for pos, key in enumerate(keys):
+            hit = cache.get(key)
+            if hit is None:
+                missing.append(pos)
+            else:
+                results[pos] = hit
+    else:
+        missing = list(range(len(seed_list)))
+
+    fresh = parallel_map(measure, [seed_list[pos] for pos in missing], workers=workers)
+    for pos, metrics in zip(missing, fresh):
+        results[pos] = {name: float(value) for name, value in metrics.items()}
+        if cache is not None:
+            cache.put(keys[pos], results[pos])
+
     collected: Dict[str, List[float]] = {}
     names: set = set()
-    for i, seed in enumerate(seeds):
-        metrics = measure(int(seed))
+    for i, seed in enumerate(seed_list):
+        metrics = results[i]
         if i == 0:
             names = set(metrics)
             for name in names:

@@ -11,6 +11,7 @@ from repro.baselines.peak_counter import PeakStepCounter
 from repro.baselines.scar import ScarClassifier, ScarStepCounter
 from repro.core.config import PTrackConfig
 from repro.core.step_counter import PTrackStepCounter
+from repro.runtime import parallel_map
 from repro.sensing.imu import IMUTrace
 from repro.simulation.activities import simulate_interference
 from repro.simulation.profiles import SimulatedUser, sample_users
@@ -22,6 +23,7 @@ __all__ = [
     "train_scar",
     "scar_training_set",
     "count_with",
+    "count_sweep",
 ]
 
 #: Activities SCAR is trained on in Fig. 7 (photo deliberately absent).
@@ -100,3 +102,48 @@ def count_with(
     if name == "ptrack":
         return PTrackStepCounter(config).count_steps(trace)
     raise ValueError(f"unknown system under test {name!r}")
+
+
+def _count_task(
+    item: Tuple[str, IMUTrace, Optional[ScarStepCounter], Optional[PTrackConfig]],
+) -> int:
+    """Module-level :func:`count_with` task (picklable for workers)."""
+    name, trace, scar, config = item
+    return count_with(name, trace, scar=scar, config=config)
+
+
+def count_sweep(
+    names: Sequence[str],
+    traces: Sequence[IMUTrace],
+    scar: Optional[ScarStepCounter] = None,
+    config: Optional[PTrackConfig] = None,
+    workers: Optional[int] = None,
+) -> Dict[str, List[int]]:
+    """Count every trace with every named system, optionally in parallel.
+
+    The full ``names x traces`` grid is flattened into one task list so
+    a worker pool stays busy even when the systems have very different
+    per-trace costs.
+
+    Args:
+        names: Systems under test (see :func:`count_with`).
+        traces: Traces to count on.
+        scar: Fitted SCAR counter, if ``"scar"`` is among ``names``.
+        config: PTrack configuration override.
+        workers: Worker processes; ``None`` reads ``REPRO_WORKERS``
+            (default serial), ``0`` means all cores.
+
+    Returns:
+        Mapping from system name to its per-trace counts, in trace
+        order.
+    """
+    tasks = [
+        (name, trace, scar if name == "scar" else None, config)
+        for name in names
+        for trace in traces
+    ]
+    counts = parallel_map(_count_task, tasks, workers=workers)
+    out: Dict[str, List[int]] = {}
+    for i, name in enumerate(names):
+        out[name] = list(counts[i * len(traces) : (i + 1) * len(traces)])
+    return out

@@ -12,7 +12,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from repro.baselines.stride_models import (
 )
 from repro.eval.metrics import stride_errors, summarize
 from repro.eval.reporting import Table
+from repro.runtime import derive_rng, parallel_map
 from repro.simulation.activities import simulate_interference
 from repro.simulation.profiles import SimulatedUser
 from repro.simulation.spoofer import simulate_spoofer
@@ -49,16 +50,7 @@ class MiscountResult:
     duration_s: float
 
 
-def run_miscount(
-    duration_s: float = 120.0,
-    seed: int = 17,
-) -> Tuple[List[MiscountResult], Table]:
-    """Fig. 1(a)+(b): false steps of commercial-style counters.
-
-    Returns:
-        Tuple of (all results, rendered table).
-    """
-    rng = np.random.default_rng(seed)
+def _miscount_plan() -> List[Tuple[Dict[str, PeakStepCounter], ActivityKind]]:
     wearable_counters = {
         "watch": PeakStepCounter.gfit(),
         "band": PeakStepCounter(cutoff_hz=3.0, min_prominence=0.7),
@@ -67,29 +59,64 @@ def run_miscount(
         "coprocessor": PeakStepCounter.coprocessor(),
         "software": PeakStepCounter.software(),
     }
-    plan = [
+    return [
         (wearable_counters, ActivityKind.EATING),
         (wearable_counters, ActivityKind.POKER),
         (phone_counters, ActivityKind.PHOTO),
         (phone_counters, ActivityKind.GAME),
     ]
+
+
+def _miscount_task(
+    item: Tuple[int, int, float, int],
+) -> List[MiscountResult]:
+    """One (activity, posture) cell of Fig. 1(a)+(b)."""
+    plan_idx, posture_idx, duration_s, seed = item
+    counters, activity = _miscount_plan()[plan_idx]
+    posture = (Posture.STANDING, Posture.SEATED)[posture_idx]
+    rng = derive_rng(seed, plan_idx, posture_idx)
+    trace = simulate_interference(activity, duration_s, rng=rng, posture=posture)
+    return [
+        MiscountResult(name, activity, posture, counter.count_steps(trace), duration_s)
+        for name, counter in counters.items()
+    ]
+
+
+def run_miscount(
+    duration_s: float = 120.0,
+    seed: int = 17,
+    workers: Optional[int] = None,
+) -> Tuple[List[MiscountResult], Table]:
+    """Fig. 1(a)+(b): false steps of commercial-style counters.
+
+    Each (activity, posture) cell simulates from a generator derived
+    from ``(seed, activity, posture)``, so the grid parallelises
+    without changing any count.
+
+    Returns:
+        Tuple of (all results, rendered table).
+    """
+    plan = _miscount_plan()
+    postures = (Posture.STANDING, Posture.SEATED)
+    cells = parallel_map(
+        _miscount_task,
+        [
+            (plan_idx, posture_idx, duration_s, seed)
+            for plan_idx in range(len(plan))
+            for posture_idx in range(len(postures))
+        ],
+        workers=workers,
+    )
     results: List[MiscountResult] = []
     table = Table(
         "Fig. 1(a)+(b): false steps in %.0f s (paper: wearables 40-80, phones 27-56 per 2 min)"
         % duration_s,
         ["counter", "activity", "posture", "false steps"],
     )
-    for counters, activity in plan:
-        for posture in (Posture.STANDING, Posture.SEATED):
-            trace = simulate_interference(
-                activity, duration_s, rng=rng, posture=posture
-            )
-            for name, counter in counters.items():
-                count = counter.count_steps(trace)
-                results.append(
-                    MiscountResult(name, activity, posture, count, duration_s)
-                )
-                table.add_row(name, activity.value, posture.value, count)
+    for cell in cells:
+        for r in cell:
+            results.append(r)
+            table.add_row(r.counter, r.activity.value, r.posture.value, r.false_steps)
     return results, table
 
 

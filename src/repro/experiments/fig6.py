@@ -12,7 +12,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -20,6 +20,7 @@ from repro.core.step_counter import PTrackStepCounter
 from repro.eval.metrics import count_accuracy
 from repro.eval.reporting import Table
 from repro.experiments.common import count_with, make_users, train_scar
+from repro.runtime import derive_rng, parallel_map
 from repro.sensing.imu import IMUTrace
 from repro.simulation.profiles import SimulatedUser
 from repro.simulation.scenarios import SessionBuilder
@@ -72,30 +73,76 @@ def _category_sessions(
     }
 
 
+_SYSTEMS = ("gfit", "mtage", "scar", "ptrack")
+
+
+def _accuracy_user_task(
+    item: Tuple[int, SimulatedUser, float, int],
+) -> Dict[Tuple[str, str], float]:
+    """One user's Fig. 6(a) accuracies (module-level for workers)."""
+    user_idx, user, duration_s, seed = item
+    rng = derive_rng(seed + 1, user_idx)
+    scar = train_scar(user, rng)
+    sessions = _category_sessions(user, rng, duration_s)
+    return {
+        (system, category): count_accuracy(
+            count_with(system, trace, scar=scar), true_steps
+        )
+        for category, (trace, true_steps) in sessions.items()
+        for system in _SYSTEMS
+    }
+
+
+def _breakdown_user_task(
+    item: Tuple[int, SimulatedUser, float, int],
+) -> Dict[str, Dict[str, int]]:
+    """One user's Fig. 6(b) per-category gait-type counts."""
+    user_idx, user, duration_s, seed = item
+    rng = derive_rng(seed + 1, user_idx)
+    counter = PTrackStepCounter()
+    counts: Dict[str, Dict[str, int]] = {
+        c: {"walking": 0, "stepping": 0, "others": 0}
+        for c in ("walking", "stepping", "mixed")
+    }
+    for category, (trace, _) in _category_sessions(user, rng, duration_s).items():
+        _, classifications = counter.process(trace)
+        for cls in classifications:
+            if cls.gait_type is GaitType.WALKING:
+                counts[category]["walking"] += 1
+            elif cls.gait_type is GaitType.STEPPING:
+                counts[category]["stepping"] += 1
+            else:
+                counts[category]["others"] += 1
+    return counts
+
+
 def run_overall_accuracy(
     n_users: int = 3,
     duration_s: float = 60.0,
     seed: int = 31,
+    workers: Optional[int] = None,
 ) -> Tuple[Dict[Tuple[str, str], float], Table]:
     """Fig. 6(a): accuracy of all four systems per gait category.
+
+    Each user's sessions draw from a generator derived from
+    ``(seed + 1, user index)``, so results are independent of execution
+    order and identical for every worker count.
 
     Returns:
         Tuple of (mean accuracy per (system, category), table with
         paper values alongside).
     """
     users = make_users(n_users, seed)
-    rng = np.random.default_rng(seed + 1)
-    systems = ("gfit", "mtage", "scar", "ptrack")
+    systems = _SYSTEMS
+    per_user = parallel_map(
+        _accuracy_user_task,
+        [(i, user, duration_s, seed) for i, user in enumerate(users)],
+        workers=workers,
+    )
     sums: Dict[Tuple[str, str], List[float]] = {}
-    for user in users:
-        scar = train_scar(user, rng)
-        sessions = _category_sessions(user, rng, duration_s)
-        for category, (trace, true_steps) in sessions.items():
-            for system in systems:
-                counted = count_with(system, trace, scar=scar)
-                sums.setdefault((system, category), []).append(
-                    count_accuracy(counted, true_steps)
-                )
+    for user_result in per_user:
+        for key, accuracy in user_result.items():
+            sums.setdefault(key, []).append(accuracy)
     means = {key: float(np.mean(vals)) for key, vals in sums.items()}
     table = Table(
         "Fig. 6(a): step-count accuracy (mean over %d users)" % n_users,
@@ -116,6 +163,7 @@ def run_breakdown(
     n_users: int = 3,
     duration_s: float = 60.0,
     seed: int = 37,
+    workers: Optional[int] = None,
 ) -> Tuple[Dict[str, Dict[str, float]], Table]:
     """Fig. 6(b): PTrack's gait-type classification breakdown.
 
@@ -124,22 +172,19 @@ def run_breakdown(
         fraction of candidate cycles classified as interference.
     """
     users = make_users(n_users, seed)
-    rng = np.random.default_rng(seed + 1)
-    counter = PTrackStepCounter()
+    per_user = parallel_map(
+        _breakdown_user_task,
+        [(i, user, duration_s, seed) for i, user in enumerate(users)],
+        workers=workers,
+    )
     counts: Dict[str, Dict[str, int]] = {
         c: {"walking": 0, "stepping": 0, "others": 0}
         for c in ("walking", "stepping", "mixed")
     }
-    for user in users:
-        for category, (trace, _) in _category_sessions(user, rng, duration_s).items():
-            _, classifications = counter.process(trace)
-            for cls in classifications:
-                if cls.gait_type is GaitType.WALKING:
-                    counts[category]["walking"] += 1
-                elif cls.gait_type is GaitType.STEPPING:
-                    counts[category]["stepping"] += 1
-                else:
-                    counts[category]["others"] += 1
+    for user_counts in per_user:
+        for category, c in user_counts.items():
+            for kind, value in c.items():
+                counts[category][kind] += value
     percents: Dict[str, Dict[str, float]] = {}
     for category, c in counts.items():
         total = max(1, sum(c.values()))

@@ -10,7 +10,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -20,6 +20,7 @@ from repro.core.selftrain import CalibrationWalk, SelfTrainer
 from repro.eval.metrics import stride_errors, summarize
 from repro.eval.reporting import Table
 from repro.experiments.common import make_users
+from repro.runtime import derive_rng, parallel_map
 from repro.sensing.imu import IMUTrace
 from repro.simulation.profiles import SimulatedUser
 from repro.simulation.walker import simulate_walk
@@ -73,10 +74,57 @@ def _calibration_walks(
     return walks
 
 
+def _stride_user_task(
+    item: Tuple[int, SimulatedUser, float, int],
+) -> Dict[str, List[float]]:
+    """One user's Fig. 8(a) errors (module-level for workers)."""
+    user_idx, user, duration_s, seed = item
+    rng = derive_rng(seed + 1, user_idx)
+    ptrack = PTrack(profile=user.profile)
+    mtage = MontageTracker(profile=user.profile)
+    errors: Dict[str, List[float]] = {"ptrack": [], "mtage": []}
+    for trace, true_strides in _test_walks(user, rng, duration_s):
+        result = ptrack.track(trace)
+        errors["ptrack"].extend(
+            stride_errors([s.length_m for s in result.strides], true_strides) * 100.0
+        )
+        errors["mtage"].extend(
+            stride_errors(
+                [s.length_m for s in mtage.estimate_strides(trace)], true_strides
+            )
+            * 100.0
+        )
+    return errors
+
+
+def _selftrain_user_task(
+    item: Tuple[int, SimulatedUser, float, int, float],
+) -> Dict[str, List[float]]:
+    """One user's Fig. 8(b) errors (module-level for workers)."""
+    user_idx, user, duration_s, seed, manual_sigma_m = item
+    rng = derive_rng(seed + 1, user_idx)
+    profile_auto = SelfTrainer().train(_calibration_walks(user, rng))
+    profile_manual = user.measured_profile(rng, measurement_sigma_m=manual_sigma_m)
+    trackers = {
+        "automatic": PTrack(profile=profile_auto),
+        "manual": PTrack(profile=profile_manual),
+    }
+    errors: Dict[str, List[float]] = {"automatic": [], "manual": []}
+    for trace, true_strides in _test_walks(user, rng, duration_s):
+        for mode, tracker in trackers.items():
+            result = tracker.track(trace)
+            errors[mode].extend(
+                stride_errors([s.length_m for s in result.strides], true_strides)
+                * 100.0
+            )
+    return errors
+
+
 def run_stride_comparison(
     n_users: int = 3,
     duration_s: float = 45.0,
     seed: int = 47,
+    workers: Optional[int] = None,
 ) -> Tuple[Dict[str, np.ndarray], Table]:
     """Fig. 8(a): per-step stride errors, PTrack vs Montage on wrists.
 
@@ -84,23 +132,15 @@ def run_stride_comparison(
         Tuple of (per-system error arrays in cm, table).
     """
     users = make_users(n_users, seed)
-    rng = np.random.default_rng(seed + 1)
+    per_user = parallel_map(
+        _stride_user_task,
+        [(i, user, duration_s, seed) for i, user in enumerate(users)],
+        workers=workers,
+    )
     errors: Dict[str, List[float]] = {"ptrack": [], "mtage": []}
-    for user in users:
-        ptrack = PTrack(profile=user.profile)
-        mtage = MontageTracker(profile=user.profile)
-        for trace, true_strides in _test_walks(user, rng, duration_s):
-            result = ptrack.track(trace)
-            errors["ptrack"].extend(
-                stride_errors([s.length_m for s in result.strides], true_strides)
-                * 100.0
-            )
-            errors["mtage"].extend(
-                stride_errors(
-                    [s.length_m for s in mtage.estimate_strides(trace)], true_strides
-                )
-                * 100.0
-            )
+    for user_errors in per_user:
+        for name, errs in user_errors.items():
+            errors[name].extend(errs)
     arrays = {k: np.asarray(v) for k, v in errors.items()}
     table = Table(
         "Fig. 8(a): per-step stride error (cm); paper: PTrack ~5, Montage much worse",
@@ -117,6 +157,7 @@ def run_self_training(
     duration_s: float = 45.0,
     seed: int = 53,
     manual_sigma_m: float = 0.035,
+    workers: Optional[int] = None,
 ) -> Tuple[Dict[str, np.ndarray], Table]:
     """Fig. 8(b): self-trained vs manually measured profiles.
 
@@ -128,24 +169,15 @@ def run_self_training(
         Tuple of (per-mode error arrays in cm, table).
     """
     users = make_users(n_users, seed)
-    rng = np.random.default_rng(seed + 1)
+    per_user = parallel_map(
+        _selftrain_user_task,
+        [(i, user, duration_s, seed, manual_sigma_m) for i, user in enumerate(users)],
+        workers=workers,
+    )
     errors: Dict[str, List[float]] = {"automatic": [], "manual": []}
-    for user in users:
-        profile_auto = SelfTrainer().train(_calibration_walks(user, rng))
-        profile_manual = user.measured_profile(rng, measurement_sigma_m=manual_sigma_m)
-        trackers = {
-            "automatic": PTrack(profile=profile_auto),
-            "manual": PTrack(profile=profile_manual),
-        }
-        for trace, true_strides in _test_walks(user, rng, duration_s):
-            for mode, tracker in trackers.items():
-                result = tracker.track(trace)
-                errors[mode].extend(
-                    stride_errors(
-                        [s.length_m for s in result.strides], true_strides
-                    )
-                    * 100.0
-                )
+    for user_errors in per_user:
+        for mode, errs in user_errors.items():
+            errors[mode].extend(errs)
     arrays = {k: np.asarray(v) for k, v in errors.items()}
     table = Table(
         "Fig. 8(b): stride error (cm), automatic vs manual profiles "

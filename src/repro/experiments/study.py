@@ -15,7 +15,7 @@ on the aggregate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.core.step_counter import PTrackStepCounter
 from repro.eval.metrics import count_error_rate
 from repro.eval.reporting import Table
 from repro.experiments.common import make_users, train_scar
+from repro.runtime import derive_rng, parallel_map
 from repro.simulation.scenarios import LabeledSession, SessionBuilder
 from repro.simulation.profiles import SimulatedUser
 from repro.types import ActivityKind, Posture
@@ -99,25 +100,17 @@ def daily_session(
     return builder.build()
 
 
-def run_study(
-    n_users: int = 3,
-    n_days: int = 3,
-    seed: int = 83,
-    scale: float = 0.6,
-) -> Tuple[List[StudyResult], Table]:
-    """Score every counter over a multi-user, multi-day study.
-
-    Args:
-        n_users: Population size.
-        n_days: Sessions per user.
-        seed: Reproducibility seed.
-        scale: Session-duration multiplier.
+def _study_user_task(
+    item: Tuple[int, SimulatedUser, int, int, float],
+) -> Tuple[Dict[str, int], int]:
+    """One user's full study block (module-level for workers).
 
     Returns:
-        Tuple of (per-counter results, rendered table).
+        Tuple of (steps counted per system, true steps).
     """
-    users = make_users(n_users, seed)
-    rng = np.random.default_rng(seed + 1)
+    user_idx, user, n_days, seed, scale = item
+    rng = derive_rng(seed + 1, user_idx)
+    scar = train_scar(user, rng, duration_s=45.0)
     counters = {
         "gfit": PeakStepCounter.gfit().count_steps,
         "mtage": MontageTracker().count_steps,
@@ -126,16 +119,54 @@ def run_study(
     }
     counted: Dict[str, int] = {name: 0 for name in counters}
     counted["scar"] = 0
-    total_true = 0
+    true_steps = 0
+    for _ in range(n_days):
+        session = daily_session(user, rng, scale=scale)
+        true_steps += session.true_step_count
+        for name, count in counters.items():
+            counted[name] += count(session.trace)
+        counted["scar"] += scar.count_steps(session.trace)
+    return counted, true_steps
 
-    for user in users:
-        scar = train_scar(user, rng, duration_s=45.0)
-        for _ in range(n_days):
-            session = daily_session(user, rng, scale=scale)
-            total_true += session.true_step_count
-            for name, count in counters.items():
-                counted[name] += count(session.trace)
-            counted["scar"] += scar.count_steps(session.trace)
+
+def run_study(
+    n_users: int = 3,
+    n_days: int = 3,
+    seed: int = 83,
+    scale: float = 0.6,
+    workers: Optional[int] = None,
+) -> Tuple[List[StudyResult], Table]:
+    """Score every counter over a multi-user, multi-day study.
+
+    Each user's sessions draw from a generator derived from
+    ``(seed + 1, user index)``, so the per-user blocks parallelise
+    without changing the aggregate.
+
+    Args:
+        n_users: Population size.
+        n_days: Sessions per user.
+        seed: Reproducibility seed.
+        scale: Session-duration multiplier.
+        workers: Worker processes; ``None`` reads ``REPRO_WORKERS``
+            (default serial), ``0`` means all cores.
+
+    Returns:
+        Tuple of (per-counter results, rendered table).
+    """
+    users = make_users(n_users, seed)
+    per_user = parallel_map(
+        _study_user_task,
+        [(i, user, n_days, seed, scale) for i, user in enumerate(users)],
+        workers=workers,
+    )
+    counted: Dict[str, int] = {
+        name: 0 for name in ("gfit", "mtage", "autocorr", "ptrack", "scar")
+    }
+    total_true = 0
+    for user_counts, user_true in per_user:
+        total_true += user_true
+        for name, value in user_counts.items():
+            counted[name] += value
 
     results = [
         StudyResult(

@@ -1,0 +1,41 @@
+"""Parallel/cached experiment runtime.
+
+The runtime layer turns the experiment drivers from single-threaded
+loops into fan-out studies:
+
+* :mod:`repro.runtime.parallel` — an ordered process-pool map with
+  deterministic per-task seeding (serial and parallel runs produce
+  identical results);
+* :mod:`repro.runtime.cache` — a content-keyed trace cache (in-memory
+  LRU + optional on-disk store) so repeated experiments stop
+  re-simulating identical walks.
+
+See ``docs/performance.md`` for the workflow, worker-count resolution
+and cache invalidation rules.
+"""
+
+from repro.runtime.cache import (
+    CACHE_SCHEMA,
+    TraceCache,
+    content_key,
+    get_default_cache,
+    set_default_cache,
+    simulate_interference_cached,
+    simulate_spoofer_cached,
+    simulate_walk_cached,
+)
+from repro.runtime.parallel import derive_rng, parallel_map, resolve_workers
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "TraceCache",
+    "content_key",
+    "get_default_cache",
+    "set_default_cache",
+    "simulate_interference_cached",
+    "simulate_spoofer_cached",
+    "simulate_walk_cached",
+    "derive_rng",
+    "parallel_map",
+    "resolve_workers",
+]

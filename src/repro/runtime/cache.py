@@ -1,0 +1,422 @@
+"""Content-keyed trace cache: in-memory LRU plus optional disk store.
+
+Replicate studies re-simulate the same walks constantly — a threshold
+sweep evaluates three configurations on identical (user, seed) traces,
+and regenerating a figure repeats every simulation of the previous run.
+The simulator is deterministic given its seed, so a simulated trace is
+fully determined by its *content key*: the user profile, scenario
+parameters, duration and seed. This module caches those results.
+
+Two layers:
+
+* an in-memory LRU (``max_items`` entries) for intra-run reuse;
+* an optional on-disk pickle store (``directory``) surviving across
+  processes and runs — point ``REPRO_CACHE_DIR`` at a directory to give
+  the default cache a disk layer.
+
+Keys are SHA-256 digests of the ``repr`` of every keyed argument, so
+any parameter change (a different stride, one more second of duration,
+another seed) misses cleanly. Invalidation is therefore automatic for
+parameter changes; after *code* changes to the simulator, clear the
+cache directory (or bump :data:`CACHE_SCHEMA`).
+
+Cached objects are returned by reference and must be treated as
+read-only; :class:`repro.sensing.imu.IMUTrace` already freezes its
+payload buffer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Callable, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.sensing.imu import IMUTrace
+from repro.simulation.activities import simulate_interference
+from repro.simulation.profiles import SimulatedUser
+from repro.simulation.spoofer import simulate_spoofer
+from repro.simulation.walker import WalkGroundTruth, simulate_walk
+from repro.types import ActivityKind, Posture
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "TraceCache",
+    "content_key",
+    "get_default_cache",
+    "set_default_cache",
+    "simulate_walk_cached",
+    "simulate_interference_cached",
+    "simulate_spoofer_cached",
+]
+
+#: Bump when the simulator's output changes for identical parameters.
+CACHE_SCHEMA = "ptrack-cache-v1"
+
+#: Environment variable naming the default cache's disk directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_MISSING = object()
+
+
+def content_key(*parts: Any) -> str:
+    """A stable digest of the ``repr`` of every part.
+
+    Frozen dataclasses (users, configs), numbers, strings, enums and
+    tuples thereof all have deterministic reprs; that is the contract
+    callers must keep. The schema version is folded in so stale disk
+    entries die with the format.
+
+    Args:
+        parts: The values that determine the cached content.
+
+    Returns:
+        A hex SHA-256 digest.
+    """
+    payload = "\x1f".join([CACHE_SCHEMA, *[repr(p) for p in parts]])
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class TraceCache:
+    """In-memory LRU with an optional on-disk pickle layer.
+
+    Args:
+        max_items: In-memory entry cap; least-recently-used entries are
+            evicted first (the disk layer, when present, keeps them).
+        directory: Optional disk-store directory; created on demand.
+    """
+
+    def __init__(
+        self,
+        max_items: int = 128,
+        directory: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if max_items < 1:
+            raise ConfigurationError(f"max_items must be >= 1, got {max_items}")
+        self._max_items = max_items
+        self._dir = Path(directory) if directory is not None else None
+        self._items: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        """Lookups served from memory or disk."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that had to compute."""
+        return self._misses
+
+    @property
+    def directory(self) -> Optional[Path]:
+        """The disk-store directory, if any."""
+        return self._dir
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._items:
+                return True
+        return self._disk_path(key) is not None and self._disk_path(key).exists()
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def get(self, key: str, default: Any = None, count: bool = True) -> Any:
+        """The cached value for ``key``, or ``default``.
+
+        Args:
+            key: Content key (see :func:`content_key`).
+            default: Returned on a miss.
+            count: Whether the lookup updates the hit/miss counters
+                (pass ``False`` for peeks that never compute).
+
+        Returns:
+            The cached value or ``default``.
+        """
+        value = self._lookup(key, count=count)
+        return default if value is _MISSING else value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` in memory (and on disk)."""
+        with self._lock:
+            self._items[key] = value
+            self._items.move_to_end(key)
+            while len(self._items) > self._max_items:
+                self._items.popitem(last=False)
+        self._disk_write(key, value)
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        """The cached value for ``key``, computing and storing on miss.
+
+        Args:
+            key: Content key (see :func:`content_key`).
+            compute: Zero-argument callable producing the value.
+
+        Returns:
+            The cached or freshly computed value.
+        """
+        value = self._lookup(key, count=True)
+        if value is not _MISSING:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every in-memory entry and reset the hit/miss counters.
+
+        Disk entries are left in place; delete the directory to purge
+        them (e.g. after simulator code changes).
+        """
+        with self._lock:
+            self._items.clear()
+            self._hits = 0
+            self._misses = 0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _lookup(self, key: str, count: bool) -> Any:
+        with self._lock:
+            if key in self._items:
+                self._items.move_to_end(key)
+                if count:
+                    self._hits += 1
+                return self._items[key]
+        value = self._disk_read(key)
+        if value is not _MISSING:
+            with self._lock:
+                self._items[key] = value
+                self._items.move_to_end(key)
+                while len(self._items) > self._max_items:
+                    self._items.popitem(last=False)
+                if count:
+                    self._hits += 1
+            return value
+        if count:
+            with self._lock:
+                self._misses += 1
+        return _MISSING
+
+    def _disk_path(self, key: str) -> Optional[Path]:
+        return None if self._dir is None else self._dir / f"{key}.pkl"
+
+    def _disk_read(self, key: str) -> Any:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return _MISSING
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return _MISSING  # a torn or stale entry reads as a miss
+
+    def _disk_write(self, key: str, value: Any) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)  # atomic under concurrent writers
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:
+            pass  # a read-only or full disk degrades to memory-only
+
+
+_default_cache: Optional[TraceCache] = None
+_default_lock = threading.Lock()
+
+
+def get_default_cache() -> TraceCache:
+    """The process-wide default cache (lazily constructed).
+
+    Honours ``REPRO_CACHE_DIR`` for the disk layer at first use.
+    """
+    global _default_cache
+    with _default_lock:
+        if _default_cache is None:
+            directory = os.environ.get(CACHE_DIR_ENV, "").strip() or None
+            _default_cache = TraceCache(directory=directory)
+        return _default_cache
+
+
+def set_default_cache(cache: Optional[TraceCache]) -> None:
+    """Replace the process-wide default cache (``None`` resets it)."""
+    global _default_cache
+    with _default_lock:
+        _default_cache = cache
+
+
+# ----------------------------------------------------------------------
+# Cached simulator entry points
+# ----------------------------------------------------------------------
+def _seed_rng(seed: Optional[int]) -> Optional[np.random.Generator]:
+    return None if seed is None else np.random.default_rng(int(seed))
+
+
+def simulate_walk_cached(
+    user: SimulatedUser,
+    duration_s: float,
+    seed: Optional[int] = None,
+    cache: Optional[TraceCache] = None,
+    sample_rate_hz: float = 100.0,
+    arm_mode: str = "swing",
+    body: bool = True,
+    heading_rad: float = 0.0,
+    cadence_jitter: float = 0.03,
+    stride_jitter: float = 0.03,
+    start_time: float = 0.0,
+) -> Tuple[IMUTrace, WalkGroundTruth]:
+    """Cache-aware :func:`repro.simulation.walker.simulate_walk`.
+
+    Unlike the raw simulator, randomness comes from an integer ``seed``
+    (``None`` = the deterministic noiseless path) so the trace is a
+    pure function of its arguments and can be content-keyed. Only the
+    cacheable parameter subset is exposed: custom devices, per-sample
+    heading arrays and internals have identity-dependent state and must
+    go through the raw simulator.
+
+    Args:
+        user: The simulated user (part of the key).
+        duration_s: Trace duration in seconds.
+        seed: Integer seed for gait jitter and sensor noise.
+        cache: Cache to use; ``None`` uses :func:`get_default_cache`.
+        sample_rate_hz: Device sampling rate.
+        arm_mode: ``"swing"``, ``"rigid"`` or ``"none"``.
+        body: ``False`` for the standing arm-swinging motion.
+        heading_rad: Scalar heading.
+        cadence_jitter: Relative std-dev of per-cycle cadence draws.
+        stride_jitter: Relative std-dev of per-cycle stride draws.
+        start_time: Timestamp of the first sample.
+
+    Returns:
+        Tuple ``(trace, ground_truth)``; treat both as read-only.
+    """
+    store = cache if cache is not None else get_default_cache()
+    key = content_key(
+        "walk",
+        user,
+        float(duration_s),
+        int(seed) if seed is not None else None,
+        float(sample_rate_hz),
+        arm_mode,
+        bool(body),
+        float(heading_rad),
+        float(cadence_jitter),
+        float(stride_jitter),
+        float(start_time),
+    )
+    return store.get_or_compute(
+        key,
+        lambda: simulate_walk(
+            user,
+            duration_s,
+            sample_rate_hz=sample_rate_hz,
+            rng=_seed_rng(seed),
+            arm_mode=arm_mode,
+            body=body,
+            heading_rad=heading_rad,
+            cadence_jitter=cadence_jitter,
+            stride_jitter=stride_jitter,
+            start_time=start_time,
+        ),
+    )
+
+
+def simulate_interference_cached(
+    kind: ActivityKind,
+    duration_s: float,
+    seed: Optional[int] = None,
+    cache: Optional[TraceCache] = None,
+    sample_rate_hz: float = 100.0,
+    posture: Posture = Posture.STANDING,
+    vigor: float = 1.0,
+    start_time: float = 0.0,
+) -> IMUTrace:
+    """Cache-aware :func:`repro.simulation.activities.simulate_interference`.
+
+    Args:
+        kind: The interfering activity.
+        duration_s: Trace duration in seconds.
+        seed: Integer seed for gesture timing and sensor noise.
+        cache: Cache to use; ``None`` uses :func:`get_default_cache`.
+        sample_rate_hz: Device sampling rate.
+        posture: Standing or seated.
+        vigor: Gesture reach scale.
+        start_time: Timestamp of the first sample.
+
+    Returns:
+        The observed trace; treat as read-only.
+    """
+    store = cache if cache is not None else get_default_cache()
+    key = content_key(
+        "interference",
+        kind,
+        float(duration_s),
+        int(seed) if seed is not None else None,
+        float(sample_rate_hz),
+        posture,
+        float(vigor),
+        float(start_time),
+    )
+    return store.get_or_compute(
+        key,
+        lambda: simulate_interference(
+            kind,
+            duration_s,
+            sample_rate_hz=sample_rate_hz,
+            rng=_seed_rng(seed),
+            posture=posture,
+            vigor=vigor,
+            start_time=start_time,
+        ),
+    )
+
+
+def simulate_spoofer_cached(
+    duration_s: float,
+    seed: Optional[int] = None,
+    cache: Optional[TraceCache] = None,
+    sample_rate_hz: float = 100.0,
+    start_time: float = 0.0,
+) -> IMUTrace:
+    """Cache-aware :func:`repro.simulation.spoofer.simulate_spoofer`."""
+    store = cache if cache is not None else get_default_cache()
+    key = content_key(
+        "spoofer",
+        float(duration_s),
+        int(seed) if seed is not None else None,
+        float(sample_rate_hz),
+        float(start_time),
+    )
+    return store.get_or_compute(
+        key,
+        lambda: simulate_spoofer(
+            duration_s,
+            sample_rate_hz=sample_rate_hz,
+            rng=_seed_rng(seed),
+            start_time=start_time,
+        ),
+    )

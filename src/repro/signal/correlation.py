@@ -15,7 +15,7 @@ Two PTrack tests live on these primitives (SIII-B1):
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -24,9 +24,11 @@ from repro.exceptions import SignalError
 __all__ = [
     "autocorrelation",
     "half_cycle_correlation",
+    "batch_half_cycle_correlation",
     "normalized_cross_correlation",
     "best_lag",
     "phase_difference_fraction",
+    "batch_phase_difference_fraction",
 ]
 
 
@@ -82,6 +84,51 @@ def half_cycle_correlation(anterior: np.ndarray) -> float:
     return autocorrelation(arr, arr.size // 2)
 
 
+def batch_half_cycle_correlation(
+    segments: Sequence[np.ndarray],
+) -> np.ndarray:
+    """``C`` of many candidate cycles, evaluated in length-grouped batches.
+
+    The step counter classifies every candidate cycle of a trace;
+    evaluating their half-cycle correlations one call at a time costs a
+    Python round-trip per cycle. Here cycles of equal length are
+    stacked into a matrix and their lagged Pearson correlations
+    computed row-wise in one shot, which is where real traces
+    concentrate (the segmenter cuts near-constant cycle lengths within
+    a gait bout).
+
+    Degenerate cycles — fewer than 4 samples, or zero variance in a
+    lag window — score 0.0 instead of raising, mirroring how the
+    decision flow treats a failed half-cycle test.
+
+    Args:
+        segments: 1-D cycle arrays (lengths may differ).
+
+    Returns:
+        Array of ``C`` values aligned with ``segments``.
+    """
+    out = np.zeros(len(segments))
+    by_length: dict = {}
+    arrays: List[np.ndarray] = []
+    for i, seg in enumerate(segments):
+        arr = np.asarray(seg, dtype=float)
+        arrays.append(arr)
+        if arr.ndim == 1 and arr.size >= 4 and np.all(np.isfinite(arr)):
+            by_length.setdefault(arr.size, []).append(i)
+    for size, indices in by_length.items():
+        lag = size // 2
+        mat = np.stack([arrays[i] for i in indices])
+        a, b = mat[:, :-lag], mat[:, lag:]
+        a_c = a - a.mean(axis=1, keepdims=True)
+        b_c = b - b.mean(axis=1, keepdims=True)
+        denom = a.std(axis=1) * b.std(axis=1)
+        cov = (a_c * b_c).mean(axis=1)
+        vals = np.zeros(len(indices))
+        np.divide(cov, denom, out=vals, where=denom > 0.0)
+        out[indices] = vals
+    return out
+
+
 def normalized_cross_correlation(x: np.ndarray, y: np.ndarray, lag: int) -> float:
     """Pearson correlation between ``x`` and ``y`` shifted by ``lag``.
 
@@ -108,8 +155,77 @@ def normalized_cross_correlation(x: np.ndarray, y: np.ndarray, lag: int) -> floa
     return float(np.mean((aa - aa.mean()) * (bb - bb.mean())) / (sa * sb))
 
 
+def _sliding_pearson(
+    a: np.ndarray,
+    b: np.ndarray,
+    lags: Sequence[int],
+    return_conditioning: bool = False,
+):
+    """Pearson correlation of ``(x, y shifted by lag)`` for many lags at once.
+
+    Evaluates :func:`normalized_cross_correlation` for every lag with a
+    single batch of array operations instead of one Python call per
+    lag. Each lag's overlap window is laid out as a masked row of an
+    ``(n_lags, n)`` matrix and the two-pass mean/std/covariance formula
+    runs row-wise, reproducing the per-lag computation to within
+    floating-point summation order (≈1e-15 relative).
+
+    Args:
+        a: Reference signal, validated 1-D.
+        b: Shifted signal of the same length.
+        lags: Lags with ``|lag| < len(a) - 1``.
+        return_conditioning: Also return whether every window carries
+            enough variance for the values to be numerically meaningful.
+
+    Returns:
+        Array of correlation values, one per lag (degenerate
+        zero-variance windows read 0.0); with ``return_conditioning``,
+        a ``(values, well_conditioned)`` tuple.
+    """
+    n = a.size
+    lag_arr = np.asarray(list(lags), dtype=np.int64)[:, None]  # (L, 1)
+    j = np.arange(n)[None, :]  # (1, n)
+    m = n - np.abs(lag_arr)  # overlap length per lag, (L, 1)
+    valid = j < m
+    a_idx = np.where(lag_arr >= 0, j, j - lag_arr)
+    b_idx = np.where(lag_arr >= 0, j + lag_arr, j)
+    aa = np.where(valid, a[np.clip(a_idx, 0, n - 1)], 0.0)
+    bb = np.where(valid, b[np.clip(b_idx, 0, n - 1)], 0.0)
+    mf = m.astype(float)
+    aa_c = np.where(valid, aa - aa.sum(axis=1, keepdims=True) / mf, 0.0)
+    bb_c = np.where(valid, bb - bb.sum(axis=1, keepdims=True) / mf, 0.0)
+    var_a = np.einsum("ij,ij->i", aa_c, aa_c) / mf[:, 0]
+    var_b = np.einsum("ij,ij->i", bb_c, bb_c) / mf[:, 0]
+    cov = np.einsum("ij,ij->i", aa_c, bb_c) / mf[:, 0]
+    denom = np.sqrt(var_a) * np.sqrt(var_b)
+    out = np.zeros(lag_arr.shape[0])
+    np.divide(cov, denom, out=out, where=denom > 0.0)
+    if return_conditioning:
+        # A window whose standard deviation sits below ~1e-6 of the
+        # signal amplitude turns the Pearson quotient into an amplifier
+        # of summation-order rounding: different (equally valid)
+        # formulas then disagree by O(1). Callers needing scalar-exact
+        # selection fall back to the reference on such inputs.
+        scale_a = float(np.abs(a).max())
+        scale_b = float(np.abs(b).max())
+        well_conditioned = (
+            scale_a > 0.0
+            and scale_b > 0.0
+            and bool(np.all(np.sqrt(var_a) > 1e-6 * scale_a))
+            and bool(np.all(np.sqrt(var_b) > 1e-6 * scale_b))
+        )
+        return out, well_conditioned
+    return out
+
+
 def best_lag(x: np.ndarray, y: np.ndarray, max_lag: int) -> int:
     """Lag in ``[-max_lag, max_lag]`` maximising the cross-correlation.
+
+    The correlation values for all candidate lags are computed in one
+    vectorised batch (:func:`_sliding_pearson`); the selection then
+    walks them in the scalar reference's order (ascending ``|lag|``)
+    with the same 1e-12 improvement hysteresis, preserving its
+    tie-breaking. ``_best_lag_scalar`` keeps the per-lag reference.
 
     Args:
         x: Reference signal.
@@ -118,6 +234,35 @@ def best_lag(x: np.ndarray, y: np.ndarray, max_lag: int) -> int:
 
     Returns:
         The maximising lag (ties resolve to the smallest magnitude).
+    """
+    a = _validate(x, "x")
+    b = _validate(y, "y")
+    if a.size != b.size:
+        raise SignalError(f"length mismatch: {a.size} vs {b.size}")
+    max_lag = min(max_lag, a.size - 2)
+    if max_lag < 0:
+        raise SignalError("signals too short for any lag search")
+    lags = sorted(range(-max_lag, max_lag + 1), key=abs)
+    vals, well_conditioned = _sliding_pearson(a, b, lags, return_conditioning=True)
+    if not well_conditioned:
+        # Near-constant windows make the Pearson values numerically
+        # meaningless; reproduce the reference bit-for-bit instead.
+        return _best_lag_scalar(a, b, max_lag)
+    best = 0
+    best_val = -np.inf
+    for lag, val in zip(lags, vals):
+        if val > best_val + 1e-12:
+            best_val = float(val)
+            best = lag
+    return best
+
+
+def _best_lag_scalar(x: np.ndarray, y: np.ndarray, max_lag: int) -> int:
+    """Per-lag reference implementation of :func:`best_lag`.
+
+    Kept as the behavioural specification for the vectorised search
+    (property-tested equivalent) and as the baseline timed by
+    ``scripts/bench.py``.
     """
     a = _validate(x, "x")
     b = _validate(y, "y")
@@ -168,3 +313,36 @@ def phase_difference_fraction(
         raise SignalError(f"period_samples must be >= 2, got {period}")
     lag = best_lag(v, a, max_lag=period)
     return float(lag % period) / float(period)
+
+
+def batch_phase_difference_fraction(
+    pairs: Sequence[tuple],
+) -> np.ndarray:
+    """Phase fractions for many ``(vertical, anterior)`` cycle pairs.
+
+    Each pair's lag search runs on the vectorised
+    :func:`_sliding_pearson` kernel; degenerate pairs (shorter than 4
+    samples, mismatched lengths, non-finite values) read ``nan``
+    instead of raising, so the caller can batch a whole trace's cycles
+    without pre-filtering.
+
+    Args:
+        pairs: Tuples of equal-length 1-D cycle axes.
+
+    Returns:
+        Array of phase fractions in ``[0, 1)`` (``nan`` for degenerate
+        pairs), aligned with ``pairs``.
+    """
+    out = np.full(len(pairs), np.nan)
+    for i, (vertical, anterior) in enumerate(pairs):
+        v = np.asarray(vertical, dtype=float)
+        a = np.asarray(anterior, dtype=float)
+        if (
+            v.ndim != 1
+            or v.shape != a.shape
+            or v.size < 4
+            or not (np.all(np.isfinite(v)) and np.all(np.isfinite(a)))
+        ):
+            continue
+        out[i] = phase_difference_fraction(v, a)
+    return out

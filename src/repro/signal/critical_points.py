@@ -102,6 +102,14 @@ def zero_crossings(x: np.ndarray, hysteresis: float = 0.0) -> List[CriticalPoint
     ``±hysteresis`` on each side before another crossing can register,
     suppressing chatter when the signal hovers near zero.
 
+    Hysteresis is a state machine over the *armed* samples only (those
+    beyond ``±hysteresis``): samples inside the dead band never change
+    the armed sign, so the crossings are exactly the sign changes of
+    the armed subsequence — which is what the vectorised form below
+    computes. ``_zero_crossings_scalar`` keeps the stateful reference
+    implementation; the two are asserted identical by the property
+    suite.
+
     Args:
         x: 1-D signal segment.
         hysteresis: Minimum excursion required between crossings.
@@ -109,11 +117,41 @@ def zero_crossings(x: np.ndarray, hysteresis: float = 0.0) -> List[CriticalPoint
     Returns:
         Time-ordered list of CROSSING points.
     """
+    arr = _validate_crossing_args(x, hysteresis)
+    if arr.size < 2:
+        return []
+    signs = np.zeros(arr.size, dtype=np.int8)
+    signs[arr > hysteresis] = 1
+    signs[arr < -hysteresis] = -1
+    armed = np.flatnonzero(signs)
+    if armed.size < 2:
+        return []
+    armed_signs = signs[armed]
+    flips = np.flatnonzero(armed_signs[1:] != armed_signs[:-1]) + 1
+    return [
+        CriticalPoint(int(i), CriticalPointKind.CROSSING) for i in armed[flips]
+    ]
+
+
+def _validate_crossing_args(x: np.ndarray, hysteresis: float) -> np.ndarray:
     arr = np.asarray(x, dtype=float)
     if arr.ndim != 1:
         raise SignalError(f"signal must be 1-D, got shape {arr.shape}")
     if hysteresis < 0:
         raise SignalError(f"hysteresis must be >= 0, got {hysteresis}")
+    return arr
+
+
+def _zero_crossings_scalar(
+    x: np.ndarray, hysteresis: float = 0.0
+) -> List[CriticalPoint]:
+    """Per-sample reference implementation of :func:`zero_crossings`.
+
+    Kept as the behavioural specification for the vectorised kernel
+    (property-tested bit-identical) and as the baseline timed by
+    ``scripts/bench.py``.
+    """
+    arr = _validate_crossing_args(x, hysteresis)
     points: List[CriticalPoint] = []
     if arr.size < 2:
         return points

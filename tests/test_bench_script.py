@@ -1,0 +1,69 @@
+"""Smoke tests for the tracked benchmark harness (scripts/bench.py)."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def check_results(tmp_path_factory):
+    """One --check run shared by every assertion in this module."""
+    out = tmp_path_factory.mktemp("bench") / "bench.json"
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "bench.py"), "--check",
+         "--output", str(out)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    return json.loads(out.read_text())
+
+
+def test_check_mode_reports_all_sections(check_results):
+    assert check_results["check_mode"] is True
+    assert set(check_results) >= {
+        "schema",
+        "platform",
+        "parallel",
+        "kernels",
+        "trace_cache",
+        "macro",
+    }
+
+
+def test_kernel_sections_complete(check_results):
+    kernels = check_results["kernels"]
+    assert set(kernels) == {"zero_crossings", "offset_matching", "best_lag"}
+    for section in kernels.values():
+        assert section["scalar_s"] > 0 and section["vectorized_s"] > 0
+        assert section["speedup"] == pytest.approx(
+            section["scalar_s"] / section["vectorized_s"]
+        )
+
+
+def test_macro_results_identical_across_modes(check_results):
+    macro = check_results["macro"]
+    assert macro["identical_results"] is True
+    assert macro["cache_misses"] == macro["n_seeds"]
+    assert macro["cache_hits"] == macro["n_seeds"]
+
+
+def test_parallel_pool_roundtrip(check_results):
+    assert check_results["parallel"]["pool_roundtrip_ok"] is True
+    assert check_results["parallel"]["available_workers"] >= 1
+
+
+def test_checked_in_scoreboard_is_current_schema():
+    scoreboard = json.loads((REPO_ROOT / "BENCH_PR1.json").read_text())
+    assert scoreboard["schema"] == "ptrack-bench-v1"
+    macro = scoreboard["macro"]
+    assert macro["identical_results"] is True
+    # The acceptance headline: the warm (memoized) study re-run beats
+    # the seed-style serial loop by well over 3x.
+    assert macro["speedup_warm"] >= 3.0

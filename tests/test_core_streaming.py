@@ -113,6 +113,31 @@ class TestStreamingBehaviour:
         trace, truth = simulate_walk(user, 60.0, rng=np.random.default_rng(7))
         for i in range(0, trace.n_samples, 100):
             streamer.append(trace.linear_acceleration[i : i + 100])
-        assert streamer._buffer.shape[0] <= 12.0 * 100
+        assert streamer._size <= 12.0 * 100
         streamer.flush()
         assert streamer.step_count == pytest.approx(truth.step_count, abs=4)
+
+    def test_long_stream_capacity_stays_bounded(self, user):
+        # The rolling buffer must amortise growth: streaming minutes of
+        # data through small batches may double the capacity array a few
+        # times but never lets it track the total history length.
+        streamer = StreamingPTrack(100.0, max_buffer_s=15.0)
+        trace, _ = simulate_walk(user, 120.0, rng=np.random.default_rng(11))
+        for i in range(0, trace.n_samples, 50):
+            streamer.append(trace.linear_acceleration[i : i + 50])
+        assert streamer._data.shape[0] <= 4 * streamer._max_buffer
+        assert streamer._size <= streamer._max_buffer
+
+    def test_long_stream_matches_batch_results(self, user):
+        # Trims and in-place tail copies must not perturb the counted
+        # steps or credited distance relative to the batch pipeline.
+        trace, truth = simulate_walk(user, 120.0, rng=np.random.default_rng(12))
+        expected = PTrack(profile=user.profile).track(trace)
+
+        streamer = StreamingPTrack(100.0, profile=user.profile, max_buffer_s=15.0)
+        for i in range(0, trace.n_samples, 128):
+            streamer.append(trace.linear_acceleration[i : i + 128])
+        streamer.flush()
+        assert abs(streamer.step_count - expected.step_count) <= 4
+        assert streamer.step_count == pytest.approx(truth.step_count, abs=6)
+        assert streamer.distance_m == pytest.approx(expected.distance_m, rel=0.08)

@@ -5,8 +5,25 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as npst
 
-from repro.signal.correlation import autocorrelation, normalized_cross_correlation
-from repro.signal.critical_points import critical_points, zero_crossings
+from repro.core.config import PTrackConfig
+from repro.core.offset import (
+    _offset_from_points_scalar,
+    critical_points_for_offset,
+    offset_from_points,
+)
+from repro.signal.correlation import (
+    _best_lag_scalar,
+    autocorrelation,
+    batch_half_cycle_correlation,
+    best_lag,
+    half_cycle_correlation,
+    normalized_cross_correlation,
+)
+from repro.signal.critical_points import (
+    _zero_crossings_scalar,
+    critical_points,
+    zero_crossings,
+)
 from repro.signal.filters import detrend_mean, moving_average
 from repro.signal.integration import (
     cumulative_trapezoid,
@@ -117,3 +134,47 @@ def test_hysteresis_monotone(x, hyst):
     loose = zero_crossings(centred, hysteresis=0.0)
     tight = zero_crossings(centred, hysteresis=hyst)
     assert len(tight) <= len(loose)
+
+
+# ----------------------------------------------------------------------
+# Vectorised kernels vs their retained scalar references
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(finite_signals, st.floats(min_value=0.0, max_value=2.0))
+def test_zero_crossings_matches_scalar_reference(x, hyst):
+    centred = x - x.mean()
+    assert zero_crossings(centred, hyst) == _zero_crossings_scalar(centred, hyst)
+
+
+@settings(max_examples=100, deadline=None)
+@given(finite_signals, finite_signals)
+def test_offset_matching_matches_scalar_reference(v, a):
+    n = min(v.size, a.size)
+    v, a = v[:n] - v[:n].mean(), a[:n] - a[:n].mean()
+    cfg = PTrackConfig()
+    v_pts = [p for p in critical_points_for_offset(v, cfg) if p.kind.is_turning]
+    a_pts = critical_points_for_offset(a, cfg)
+    fast = offset_from_points(v_pts, a_pts, n, cfg)
+    slow = _offset_from_points_scalar(v_pts, a_pts, n, cfg)
+    assert abs(fast - slow) <= 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(finite_signals, finite_signals, st.integers(min_value=1, max_value=40))
+def test_best_lag_matches_scalar_reference(x, y, max_lag):
+    n = min(x.size, y.size)
+    x, y = x[:n], y[:n]
+    assert best_lag(x, y, max_lag) == _best_lag_scalar(x, y, max_lag)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(finite_signals, min_size=1, max_size=6))
+def test_batch_half_cycle_matches_per_cycle(segments):
+    batch = batch_half_cycle_correlation(segments)
+    assert len(batch) == len(segments)
+    for seg, got in zip(segments, batch):
+        arr = np.asarray(seg, dtype=float)
+        if arr.size >= 4 and arr.std() > 0:
+            assert abs(got - half_cycle_correlation(arr)) <= 1e-9
+        else:
+            assert got == 0.0

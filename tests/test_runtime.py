@@ -1,0 +1,348 @@
+"""Tests for the repro.runtime subsystem (parallel map + trace cache)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import repeat
+from repro.exceptions import ConfigurationError, SignalError
+from repro.experiments.common import count_sweep, count_with, make_users
+from repro.runtime import (
+    TraceCache,
+    content_key,
+    derive_rng,
+    parallel_map,
+    resolve_workers,
+    simulate_interference_cached,
+    simulate_walk_cached,
+)
+from repro.runtime.parallel import WORKERS_ENV
+from repro.simulation.activities import simulate_interference
+from repro.simulation.profiles import SimulatedUser
+from repro.simulation.walker import simulate_walk
+from repro.types import ActivityKind
+
+
+def _square(x):
+    """Module-level task so worker processes can pickle it."""
+    return x * x
+
+
+def _measure(seed):
+    """Module-level replicate measurement for repeat() tests."""
+    rng = derive_rng(seed)
+    return {"a": float(rng.uniform()), "b": float(seed)}
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == 1
+
+    def test_env_variable_honoured(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers() == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers(2) == 2
+
+    def test_zero_means_all_cores(self):
+        assert resolve_workers(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(-1)
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ConfigurationError):
+            resolve_workers()
+
+
+class TestParallelMap:
+    def test_serial_matches_comprehension(self):
+        items = list(range(10))
+        assert parallel_map(_square, items) == [x * x for x in items]
+
+    def test_parallel_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, workers=2) == [x * x for x in items]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], workers=2) == []
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(_square, [7], workers=4) == [49]
+
+    def test_chunksize_does_not_change_results(self):
+        items = list(range(16))
+        assert parallel_map(_square, items, workers=2, chunksize=4) == [
+            x * x for x in items
+        ]
+
+
+class TestDeriveRng:
+    def test_deterministic(self):
+        a = derive_rng(5, 1, 2).uniform(size=4)
+        b = derive_rng(5, 1, 2).uniform(size=4)
+        assert np.array_equal(a, b)
+
+    def test_coordinates_decorrelate(self):
+        a = derive_rng(5, 0).uniform(size=4)
+        b = derive_rng(5, 1).uniform(size=4)
+        assert not np.array_equal(a, b)
+
+    def test_order_independent_of_drawing(self):
+        # Deriving per task (not threading one generator) makes task
+        # streams independent of execution order.
+        first_then_second = [derive_rng(9, i).uniform() for i in (0, 1)]
+        second_then_first = [derive_rng(9, i).uniform() for i in (1, 0)]
+        assert first_then_second == list(reversed(second_then_first))
+
+
+class TestContentKey:
+    def test_stable(self):
+        assert content_key("walk", 1.0, "swing") == content_key("walk", 1.0, "swing")
+
+    def test_distinct_parts_distinct_keys(self):
+        assert content_key("walk", 1) != content_key("walk", 2)
+        assert content_key("walk") != content_key("interference")
+
+    def test_user_profiles_keyed_by_content(self):
+        u1 = SimulatedUser()
+        u2 = SimulatedUser()
+        assert content_key(u1) == content_key(u2)
+        shorter = u1.with_gait(stride_m=u1.stride_m * 0.9)
+        assert content_key(u1) != content_key(shorter)
+
+
+class TestTraceCache:
+    def test_put_get_roundtrip(self):
+        cache = TraceCache()
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert "k" in cache and len(cache) == 1
+
+    def test_miss_returns_default(self):
+        cache = TraceCache()
+        assert cache.get("absent", "fallback") == "fallback"
+
+    def test_hit_miss_counters(self):
+        cache = TraceCache()
+        cache.get("k")
+        cache.put("k", 1)
+        cache.get("k")
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_uncounted_peek(self):
+        cache = TraceCache()
+        cache.get("k", count=False)
+        assert cache.misses == 0
+
+    def test_lru_eviction(self):
+        cache = TraceCache(max_items=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_get_or_compute(self):
+        cache = TraceCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_compute("k", compute) == "value"
+        assert cache.get_or_compute("k", compute) == "value"
+        assert len(calls) == 1
+
+    def test_clear_resets_memory_and_counters(self):
+        cache = TraceCache()
+        cache.put("k", 1)
+        cache.get("k")
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            TraceCache(max_items=0)
+
+    def test_disk_layer_survives_new_instance(self, tmp_path):
+        first = TraceCache(directory=tmp_path)
+        first.put("k", {"x": 1.5})
+        second = TraceCache(directory=tmp_path)
+        assert second.get("k") == {"x": 1.5}
+        assert second.hits == 1
+
+    def test_torn_disk_entry_reads_as_miss(self, tmp_path):
+        cache = TraceCache(directory=tmp_path)
+        (tmp_path / "bad.pkl").write_bytes(b"\x80\x04 torn")
+        assert cache.get("bad", "default") == "default"
+
+    def test_disk_eviction_recovers_from_disk(self, tmp_path):
+        cache = TraceCache(max_items=1, directory=tmp_path)
+        cache.put("a", 1)
+        cache.put("b", 2)  # evicts a from memory, not from disk
+        assert cache.get("a") == 1
+
+
+class TestCachedSimulators:
+    def test_walk_matches_direct_simulation(self):
+        user = SimulatedUser()
+        cache = TraceCache()
+        trace, truth = simulate_walk_cached(user, 10.0, seed=3, cache=cache)
+        direct_trace, direct_truth = simulate_walk(
+            user, 10.0, rng=np.random.default_rng(3)
+        )
+        assert np.array_equal(
+            trace.linear_acceleration, direct_trace.linear_acceleration
+        )
+        assert truth.step_count == direct_truth.step_count
+
+    def test_second_call_is_cached(self):
+        user = SimulatedUser()
+        cache = TraceCache()
+        first = simulate_walk_cached(user, 8.0, seed=1, cache=cache)
+        second = simulate_walk_cached(user, 8.0, seed=1, cache=cache)
+        assert first[0] is second[0]
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_different_seeds_miss(self):
+        user = SimulatedUser()
+        cache = TraceCache()
+        a, _ = simulate_walk_cached(user, 8.0, seed=1, cache=cache)
+        b, _ = simulate_walk_cached(user, 8.0, seed=2, cache=cache)
+        assert not np.array_equal(a.linear_acceleration, b.linear_acceleration)
+
+    def test_interference_matches_direct(self):
+        cache = TraceCache()
+        cached = simulate_interference_cached(
+            ActivityKind.EATING, 10.0, seed=5, cache=cache
+        )
+        direct = simulate_interference(
+            ActivityKind.EATING, 10.0, rng=np.random.default_rng(5)
+        )
+        assert np.array_equal(
+            cached.linear_acceleration, direct.linear_acceleration
+        )
+
+    def test_cached_traces_pickle(self):
+        # Disk layer + cross-process transport both need this.
+        user = SimulatedUser()
+        trace, truth = simulate_walk_cached(user, 6.0, seed=9, cache=TraceCache())
+        restored_trace, restored_truth = pickle.loads(
+            pickle.dumps((trace, truth))
+        )
+        assert np.array_equal(
+            trace.linear_acceleration, restored_trace.linear_acceleration
+        )
+        assert restored_truth.step_count == truth.step_count
+
+
+class TestRepeatRuntime:
+    def test_serial_and_parallel_identical(self):
+        serial = repeat(_measure, [4, 5, 6])
+        parallel = repeat(_measure, [4, 5, 6], workers=2)
+        assert serial.keys() == parallel.keys()
+        for name in serial:
+            assert serial[name].values == parallel[name].values
+
+    def test_cache_memoizes_replicates(self):
+        cache = TraceCache()
+        key = content_key("measure", 1)
+        first = repeat(_measure, [1, 2], cache=cache, cache_key=key)
+        second = repeat(_measure, [1, 2], cache=cache, cache_key=key)
+        assert first["a"].values == second["a"].values
+        assert cache.hits == 2 and cache.misses == 2
+
+    def test_cache_extends_to_new_seeds_only(self):
+        cache = TraceCache()
+        key = content_key("measure", 2)
+        repeat(_measure, [1, 2], cache=cache, cache_key=key)
+        extended = repeat(_measure, [1, 2, 3], cache=cache, cache_key=key)
+        assert len(extended["a"].values) == 3
+        assert cache.hits == 2 and cache.misses == 3
+
+    def test_different_cache_keys_do_not_collide(self):
+        cache = TraceCache()
+        repeat(_measure, [1], cache=cache, cache_key=content_key("m", 1))
+        repeat(_measure, [1], cache=cache, cache_key=content_key("m", 2))
+        assert cache.misses == 2
+
+    def test_cache_requires_key(self):
+        with pytest.raises(SignalError):
+            repeat(_measure, [1], cache=TraceCache())
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(SignalError):
+            repeat(_measure, [])
+
+
+class TestCountSweep:
+    def test_matches_count_with(self):
+        user = make_users(1, 3)[0]
+        trace, _ = simulate_walk(user, 15.0, rng=np.random.default_rng(3))
+        sweep = count_sweep(["gfit", "ptrack"], [trace])
+        assert sweep["gfit"] == [count_with("gfit", trace)]
+        assert sweep["ptrack"] == [count_with("ptrack", trace)]
+
+    def test_serial_and_parallel_identical(self):
+        user = make_users(1, 4)[0]
+        traces = [
+            simulate_walk(user, 12.0, rng=np.random.default_rng(s))[0]
+            for s in (1, 2)
+        ]
+        serial = count_sweep(["gfit", "mtage", "ptrack"], traces)
+        parallel = count_sweep(["gfit", "mtage", "ptrack"], traces, workers=2)
+        assert serial == parallel
+
+
+class TestDriversSerialParallelIdentity:
+    """The figure drivers must be invariant to the worker count."""
+
+    def test_fig1_miscount(self):
+        from repro.experiments.fig1 import run_miscount
+
+        serial, _ = run_miscount(duration_s=20.0)
+        parallel, _ = run_miscount(duration_s=20.0, workers=2)
+        assert serial == parallel
+
+    def test_fig7_interference(self):
+        from repro.experiments.fig7 import run_interference
+
+        serial, _ = run_interference(duration_s=15.0, n_trials=1)
+        parallel, _ = run_interference(duration_s=15.0, n_trials=1, workers=2)
+        assert serial == parallel
+
+    @pytest.mark.slow
+    def test_fig6_overall_accuracy(self):
+        from repro.experiments.fig6 import run_overall_accuracy
+
+        serial, _ = run_overall_accuracy(n_users=2, duration_s=30.0)
+        parallel, _ = run_overall_accuracy(n_users=2, duration_s=30.0, workers=2)
+        assert serial == parallel
+
+    @pytest.mark.slow
+    def test_fig8_stride_comparison(self):
+        from repro.experiments.fig8 import run_stride_comparison
+
+        serial, _ = run_stride_comparison(n_users=2, duration_s=30.0)
+        parallel, _ = run_stride_comparison(n_users=2, duration_s=30.0, workers=2)
+        assert serial.keys() == parallel.keys()
+        for name in serial:
+            assert np.array_equal(serial[name], parallel[name])
+
+    @pytest.mark.slow
+    def test_study(self):
+        from repro.experiments.study import run_study
+
+        serial, _ = run_study(n_users=2, n_days=1, scale=0.3)
+        parallel, _ = run_study(n_users=2, n_days=1, scale=0.3, workers=2)
+        assert [(r.counter, r.counted, r.true) for r in serial] == [
+            (r.counter, r.counted, r.true) for r in parallel
+        ]
