@@ -3,14 +3,23 @@
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench.py                 # full suite
-    PYTHONPATH=src python scripts/bench.py --check         # seconds-long smoke
-    PYTHONPATH=src python scripts/bench.py --output BENCH_PR1.json
+    PYTHONPATH=src python scripts/bench.py                   # all suites
+    PYTHONPATH=src python scripts/bench.py --check           # seconds-long smoke
+    PYTHONPATH=src python scripts/bench.py --suite serving \
+        --output BENCH_PR3.json
 
-The scoreboard (``BENCH_PR1.json`` by default) records kernel
-scalar-vs-vectorised speedups, trace-cache cold/warm behaviour, and the
-macro replicate-study timings (serial vs runtime cold vs runtime warm).
-See ``docs/performance.md`` for how to read and regenerate it.
+Suites:
+
+* ``runtime`` — kernel scalar-vs-vectorised speedups, trace-cache
+  cold/warm behaviour, and the macro replicate-study timings
+  (the PR-1 scoreboard, ``BENCH_PR1.json``).
+* ``serving`` — incremental streaming vs the reprocessing baseline,
+  the amortised-append cost curve, and SessionPool fleet scaling
+  (the PR-3 scoreboard, ``BENCH_PR3.json``).
+
+Every scoreboard is stamped with the schema version and the git
+revision it was measured at, so checked-in numbers are traceable to
+the exact tree that produced them. See ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import subprocess
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -25,6 +35,79 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import bench_runtime  # noqa: E402
+import bench_serving  # noqa: E402
+
+BENCH_SCHEMA = "ptrack-bench-v2"
+
+
+def git_revision() -> str:
+    """The current commit hash, or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    rev = out.stdout.strip()
+    dirty = subprocess.run(
+        ["git", "-C", str(REPO_ROOT), "status", "--porcelain"],
+        capture_output=True,
+        text=True,
+        timeout=10,
+    )
+    if dirty.returncode == 0 and dirty.stdout.strip():
+        rev += "-dirty"
+    return rev
+
+
+def _print_runtime(results) -> bool:
+    kernels = results["kernels"]
+    macro = results["macro"]
+    for name, k in kernels.items():
+        print(f"  kernel {name}: {k['speedup']:.1f}x")
+    print(
+        f"  macro: serial {macro['serial_s']:.2f}s, "
+        f"cold {macro['runtime_cold_s']:.2f}s "
+        f"({macro['speedup_cold']:.2f}x), "
+        f"warm {macro['runtime_warm_s']:.4f}s "
+        f"({macro['speedup_warm']:.1f}x), "
+        f"identical={macro['identical_results']}"
+    )
+    if not macro["identical_results"]:
+        print("ERROR: runtime results differ from the serial baseline")
+        return False
+    return True
+
+
+def _print_serving(serving) -> bool:
+    single = serving["single_session"]
+    print(
+        f"  single session ({single['duration_s']:.0f}s trace): "
+        f"{single['headline_speedup']:.1f}x over reprocessing at "
+        f"{single['headline_cadence_s']:.1f}s cadence"
+    )
+    amort = serving["amortized_append"]
+    print(
+        f"  amortised append: wall spread {amort['wall_spread']:.2f}x "
+        f"across cadences, work counters invariant: "
+        f"{amort['work_counters_cadence_invariant']}"
+    )
+    fleet = serving["fleet_scaling"]
+    for row in fleet["scaling"]:
+        print(
+            f"  fleet {row['sessions']:>4} sessions: "
+            f"{row['samples_per_s']:,.0f} samples/s, "
+            f"{row['real_time_factor']:.0f}x real time"
+        )
+    if not fleet["identity_serial_pooled_sharded"]:
+        print("ERROR: pooled/sharded serving diverged from serial sessions")
+        return False
+    return True
 
 
 def main(argv=None) -> int:
@@ -35,10 +118,18 @@ def main(argv=None) -> int:
         help="smoke mode: tiny workloads, finishes in seconds",
     )
     parser.add_argument(
+        "--suite",
+        choices=("runtime", "serving", "all"),
+        default="all",
+        help="which benchmark suites to run",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
-        default=REPO_ROOT / "BENCH_PR1.json",
-        help="where to write the JSON scoreboard",
+        default=None,
+        help="where to write the JSON scoreboard (default: "
+        "BENCH_PR3.json for the serving/all suites, BENCH_PR1.json "
+        "for --suite runtime)",
     )
     parser.add_argument("--seeds", type=int, default=6, help="macro replicates")
     parser.add_argument("--users", type=int, default=2, help="users per replicate")
@@ -52,33 +143,37 @@ def main(argv=None) -> int:
         help="worker processes for the runtime passes (0 = all cores)",
     )
     args = parser.parse_args(argv)
+    output = args.output
+    if output is None:
+        output = REPO_ROOT / (
+            "BENCH_PR1.json" if args.suite == "runtime" else "BENCH_PR3.json"
+        )
 
-    results = bench_runtime.run_all(
-        n_seeds=args.seeds,
-        n_users=args.users,
-        duration_s=args.duration,
-        workers=args.workers,
-        check=args.check,
-    )
-    args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    ok = True
+    results = {"schema": BENCH_SCHEMA, "git_revision": git_revision()}
+    if args.suite in ("runtime", "all"):
+        runtime = bench_runtime.run_all(
+            n_seeds=args.seeds,
+            n_users=args.users,
+            duration_s=args.duration,
+            workers=args.workers,
+            check=args.check,
+        )
+        # The runtime sections stay top-level for scoreboard-schema
+        # compatibility with the PR-1 consumers.
+        runtime["schema"] = BENCH_SCHEMA
+        results.update(runtime)
+    if args.suite in ("serving", "all"):
+        results["check_mode"] = args.check
+        results["serving"] = bench_serving.run_serving(check=args.check)
 
-    kernels = results["kernels"]
-    macro = results["macro"]
-    print(f"wrote {args.output}")
-    for name, k in kernels.items():
-        print(f"  kernel {name}: {k['speedup']:.1f}x")
-    print(
-        f"  macro: serial {macro['serial_s']:.2f}s, "
-        f"cold {macro['runtime_cold_s']:.2f}s "
-        f"({macro['speedup_cold']:.2f}x), "
-        f"warm {macro['runtime_warm_s']:.4f}s "
-        f"({macro['speedup_warm']:.1f}x), "
-        f"identical={macro['identical_results']}"
-    )
-    if not macro["identical_results"]:
-        print("ERROR: runtime results differ from the serial baseline")
-        return 1
-    return 0
+    output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output} (rev {results['git_revision']})")
+    if args.suite in ("runtime", "all"):
+        ok = _print_runtime(results) and ok
+    if args.suite in ("serving", "all"):
+        ok = _print_serving(results["serving"]) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

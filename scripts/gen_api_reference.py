@@ -16,6 +16,8 @@ MODULES = [
     "repro.sensing",
     "repro.simulation",
     "repro.core",
+    "repro.runtime",
+    "repro.serving",
     "repro.baselines",
     "repro.apps",
     "repro.eval",

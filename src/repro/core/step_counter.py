@@ -18,6 +18,7 @@ Pipeline per trace:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -32,7 +33,179 @@ from repro.signal.projection import anterior_direction, project_horizontal
 from repro.signal.segmentation import Segment, segment_gait_cycles
 from repro.types import CycleClassification, GaitType, StepEvent
 
-__all__ = ["PTrackStepCounter"]
+__all__ = [
+    "CycleCandidate",
+    "ResolvedCycle",
+    "Fig4Streak",
+    "PTrackStepCounter",
+]
+
+
+@dataclass
+class CycleCandidate:
+    """One segmented gait-cycle candidate entering the Fig.-4 flow.
+
+    The per-cycle measurements (vertical-motion gate, offset, stepping
+    admission tests) are pure functions of the cycle's samples; this
+    record carries them into the sequential streak machine, which is
+    the only stateful part of the decision flow.
+
+    Attributes:
+        cycle_id: Identifier of the cycle (trace-local for the batch
+            counter, globally monotone for the streaming core).
+        start: First sample index of the cycle.
+        end: One past the last sample index.
+        peaks: Step-peak indices inside the cycle.
+        motion_ok: Whether the cycle clears the vertical-motion gate.
+        offset: The critical-point offset (Eq. 1); 0.0 when gated out.
+        corr: Anterior half-cycle auto-correlation ``C``.
+        corr_v: Vertical half-cycle auto-correlation.
+        phase_ok: Whether the quarter-period phase signature held.
+    """
+
+    cycle_id: int
+    start: int
+    end: int
+    peaks: Tuple[int, ...]
+    motion_ok: bool
+    offset: float
+    corr: float = 0.0
+    corr_v: float = 0.0
+    phase_ok: bool = False
+
+
+@dataclass(frozen=True)
+class ResolvedCycle:
+    """A candidate the streak machine has finished deciding.
+
+    Attributes:
+        candidate: The candidate that was resolved.
+        gait_type: The final gait-type decision.
+        offset: Offset value to record in diagnostics (the decision
+            flow records 0.0 for motion-gated cycles).
+        correlation: ``C`` value to record (``None`` for walking, whose
+            decision never ran the stepping tests).
+        phase_ok: Phase-test flag to record (``None`` for walking).
+    """
+
+    candidate: CycleCandidate
+    gait_type: GaitType
+    offset: float
+    correlation: Optional[float]
+    phase_ok: Optional[bool]
+
+    @property
+    def credited(self) -> bool:
+        """Whether the cycle's step peaks are counted."""
+        return self.gait_type is not GaitType.INTERFERENCE
+
+
+class Fig4Streak:
+    """The sequential consecutive-confirmation machine of Fig. 4.
+
+    Everything upstream of this machine (segmentation, the offset
+    metric, the stepping admission tests) is a pure per-cycle function;
+    the streak is the single piece of cross-cycle state in the decision
+    flow. Extracting it lets the batch counter and the incremental
+    streaming core share one implementation — the streaming core keeps
+    an instance alive across ``append`` calls so cycles are classified
+    exactly once.
+
+    Feed candidates in time order with :meth:`feed`; each call returns
+    the candidates whose decisions became final (a walking cycle
+    resolves immediately, stepping cycles resolve in groups once the
+    streak confirms, failures flush the pending buffer as
+    interference). :meth:`flush` force-resolves the trailing pending
+    cycles at end of stream.
+    """
+
+    def __init__(self, config: Optional[PTrackConfig] = None) -> None:
+        self._cfg = config if config is not None else PTrackConfig()
+        self._streak = 0
+        # Pending stepping cycles, each with the (offset, corr, phase)
+        # triple the decision flow will record on resolution.
+        self._pending: List[Tuple[CycleCandidate, float, float, bool]] = []
+
+    @property
+    def pending_count(self) -> int:
+        """Cycles buffered awaiting streak confirmation."""
+        return len(self._pending)
+
+    @property
+    def streak(self) -> int:
+        """Current consecutive-confirmation count."""
+        return self._streak
+
+    def reset(self) -> None:
+        """Drop all streak state (start of a fresh stream)."""
+        self._streak = 0
+        self._pending.clear()
+
+    def _flush_interference(self) -> List[ResolvedCycle]:
+        resolved = [
+            ResolvedCycle(cand, GaitType.INTERFERENCE, off, corr, phase)
+            for cand, off, corr, phase in self._pending
+        ]
+        self._pending.clear()
+        self._streak = 0
+        return resolved
+
+    def feed(self, cand: CycleCandidate) -> List[ResolvedCycle]:
+        """Advance the machine by one candidate cycle.
+
+        Args:
+            cand: The next candidate in time order, with its per-cycle
+                measurements filled in.
+
+        Returns:
+            Candidates whose decisions became final, in resolution
+            order (matching the batch decision flow).
+        """
+        cfg = self._cfg
+        if not cand.motion_ok:
+            # Residual micro-motion (tremor, postural sway): the
+            # paper's candidate stage already rejects activities
+            # "without significant vertical motions".
+            self._pending.append((cand, 0.0, 0.0, False))
+            return self._flush_interference()
+
+        if cand.offset > cfg.offset_threshold:
+            # Walking: superposed arm + body sources.
+            resolved = self._flush_interference()
+            resolved.append(
+                ResolvedCycle(cand, GaitType.WALKING, cand.offset, None, None)
+            )
+            return resolved
+
+        if (
+            cand.corr > cfg.min_half_cycle_correlation
+            and cand.corr_v > cfg.min_half_cycle_correlation
+            and cand.phase_ok
+        ):
+            self._streak += 1
+            self._pending.append((cand, cand.offset, cand.corr, True))
+            if self._streak >= cfg.stepping_consecutive:
+                # Confirmation reached: credit every buffered cycle
+                # (the paper's "+6" event is exactly 3 cycles x 2).
+                resolved = [
+                    ResolvedCycle(c, GaitType.STEPPING, off, corr, phase)
+                    for c, off, corr, phase in self._pending
+                ]
+                self._pending.clear()
+                # Streak stays "confirmed": subsequent cycles credit
+                # immediately until a test fails.
+                self._streak = cfg.stepping_consecutive
+                return resolved
+            return []
+
+        self._pending.append(
+            (cand, cand.offset, cand.corr, bool(cand.phase_ok))
+        )
+        return self._flush_interference()
+
+    def flush(self) -> List[ResolvedCycle]:
+        """End of stream: the pending buffer resolves as interference."""
+        return self._flush_interference()
 
 
 class PTrackStepCounter:
@@ -78,40 +251,6 @@ class PTrackStepCounter:
 
         steps: List[StepEvent] = []
         classifications: List[CycleClassification] = []
-        pending: List[Tuple[Segment, int, float, float, bool]] = []
-        streak = 0
-
-        def credit(segment: Segment, cycle_id: int, gait: GaitType) -> int:
-            added = 0
-            for peak in segment.peak_indices:
-                steps.append(
-                    StepEvent(
-                        time=trace.start_time + peak * dt,
-                        index=int(peak),
-                        gait_type=gait,
-                        cycle_id=cycle_id,
-                    )
-                )
-                added += 1
-            return added
-
-        def flush_pending_as_interference() -> None:
-            nonlocal streak
-            for seg, cid, off, corr, phase_ok in pending:
-                classifications.append(
-                    CycleClassification(
-                        cycle_id=cid,
-                        start_index=seg.start,
-                        end_index=seg.end,
-                        gait_type=GaitType.INTERFERENCE,
-                        offset=off,
-                        half_cycle_correlation=corr,
-                        phase_difference_ok=phase_ok,
-                        steps_added=0,
-                    )
-                )
-            pending.clear()
-            streak = 0
 
         # ------------------------------------------------------------------
         # Batch stage: every per-cycle quantity the decision flow reads
@@ -156,76 +295,62 @@ class PTrackStepCounter:
             )
         )
 
+        # The sequential part — the Fig.-4 consecutive-confirmation
+        # streak — runs in the shared machine. The user steps twice per
+        # cycle, so the per-step repetition must appear on *both*
+        # projected axes — a mechanical shaker whose vertical axis
+        # carries strong cycle-period content fails the vertical
+        # half-cycle test even when its horizontal axis happens to
+        # repeat (the corr/corr_v pair carries both tests).
+        machine = Fig4Streak(cfg)
+        resolved: List[ResolvedCycle] = []
         for cycle_id, segment in enumerate(cycles):
-            if not motion_ok[cycle_id]:
-                # Residual micro-motion (tremor, postural sway): the
-                # paper's candidate stage already rejects activities
-                # "without significant vertical motions".
-                pending.append((segment, cycle_id, 0.0, 0.0, False))
-                flush_pending_as_interference()
-                continue
-
-            offset = offsets[cycle_id]
-
-            if offset > cfg.offset_threshold:
-                # Walking: superposed arm + body sources.
-                flush_pending_as_interference()
-                added = credit(segment, cycle_id, GaitType.WALKING)
-                classifications.append(
-                    CycleClassification(
+            corr, corr_v, phase_ok = stepping_values.get(
+                cycle_id, (0.0, 0.0, False)
+            )
+            resolved.extend(
+                machine.feed(
+                    CycleCandidate(
                         cycle_id=cycle_id,
-                        start_index=segment.start,
-                        end_index=segment.end,
-                        gait_type=GaitType.WALKING,
-                        offset=offset,
-                        half_cycle_correlation=None,
-                        phase_difference_ok=None,
-                        steps_added=added,
+                        start=segment.start,
+                        end=segment.end,
+                        peaks=tuple(int(p) for p in segment.peak_indices),
+                        motion_ok=motion_ok[cycle_id],
+                        offset=offsets[cycle_id],
+                        corr=corr,
+                        corr_v=corr_v,
+                        phase_ok=bool(phase_ok),
                     )
                 )
-                continue
+            )
+        resolved.extend(machine.flush())
 
-            # Candidate stepping: read the precomputed admission tests.
-            # The user steps twice per cycle, so the per-step
-            # repetition must appear on *both* projected axes — a
-            # mechanical shaker whose vertical axis carries strong
-            # cycle-period content fails the vertical half-cycle test
-            # even when its horizontal axis happens to repeat.
-            corr, corr_v, phase_ok = stepping_values[cycle_id]
-
-            if (
-                corr > cfg.min_half_cycle_correlation
-                and corr_v > cfg.min_half_cycle_correlation
-                and phase_ok
-            ):
-                streak += 1
-                pending.append((segment, cycle_id, offset, corr, True))
-                if streak >= cfg.stepping_consecutive:
-                    # Confirmation reached: credit every buffered cycle
-                    # (the paper's "+6" event is exactly 3 cycles x 2).
-                    for seg, cid, off, c_val, p_ok in pending:
-                        added = credit(seg, cid, GaitType.STEPPING)
-                        classifications.append(
-                            CycleClassification(
-                                cycle_id=cid,
-                                start_index=seg.start,
-                                end_index=seg.end,
-                                gait_type=GaitType.STEPPING,
-                                offset=off,
-                                half_cycle_correlation=c_val,
-                                phase_difference_ok=p_ok,
-                                steps_added=added,
-                            )
+        for res in resolved:
+            cand = res.candidate
+            added = 0
+            if res.credited:
+                for peak in cand.peaks:
+                    steps.append(
+                        StepEvent(
+                            time=trace.start_time + peak * dt,
+                            index=int(peak),
+                            gait_type=res.gait_type,
+                            cycle_id=cand.cycle_id,
                         )
-                    pending.clear()
-                    # Streak stays "confirmed": subsequent cycles credit
-                    # immediately until a test fails.
-                    streak = cfg.stepping_consecutive
-            else:
-                pending.append((segment, cycle_id, offset, corr, bool(phase_ok)))
-                flush_pending_as_interference()
-
-        flush_pending_as_interference()
+                    )
+                    added += 1
+            classifications.append(
+                CycleClassification(
+                    cycle_id=cand.cycle_id,
+                    start_index=cand.start,
+                    end_index=cand.end,
+                    gait_type=res.gait_type,
+                    offset=res.offset,
+                    half_cycle_correlation=res.correlation,
+                    phase_difference_ok=res.phase_ok,
+                    steps_added=added,
+                )
+            )
         classifications.sort(key=lambda c: c.cycle_id)
         steps.sort(key=lambda s: s.time)
         return steps, classifications

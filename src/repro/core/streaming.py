@@ -2,32 +2,147 @@
 
 A watch does not hand the app a finished trace; samples arrive in small
 batches and steps must be credited with bounded latency.
-:class:`StreamingPTrack` wraps the batch pipeline in an incremental
-driver: samples are appended to a rolling buffer, the candidate
-segmenter runs over the unprocessed region, and only *settled* cycles —
-those that end far enough from the buffer head that no future sample
-can change their boundaries — are classified and credited.
+:class:`StreamingPTrack` is an *incremental* driver for the batch
+pipeline: every stage that the batch path runs over a whole trace —
+low-pass filtering, candidate segmentation, the offset and stepping
+admission tests, the Fig.-4 consecutive-confirmation streak, the
+per-cycle bounce solve — is cached across ``append`` calls, and only
+the unsettled tail of the stream is ever (re)computed:
 
-The stepping test's consecutive-confirmation state (Fig. 4) spans
-cycles, so it lives here across `append` calls; results are therefore
-identical to the batch pipeline on the same data (verified by tests)
-except for the trailing unsettled region.
+* **Filtering** is finalised in fixed hop-sized blocks, each computed
+  with a fixed amount of left/right context, so a sample is filtered a
+  bounded number of times no matter how the stream is chopped into
+  ``append`` calls.
+* **Segmentation** runs over a bounded window starting at the end of
+  the last consumed cycle (the *anchor*); settled cycles — those
+  ending far enough from the head that no future sample can change
+  their boundaries — are classified exactly once and never revisited.
+* **Classification state** (the Fig.-4 streak and its pending buffer)
+  lives in a persistent :class:`~repro.core.step_counter.Fig4Streak`,
+  shared with the batch counter, so decisions match the batch flow.
+
+Work is performed only when the head crosses fixed *hop* boundaries,
+which makes results independent of how the stream is chunked (one
+giant append and 60 000 single-sample appends produce bit-identical
+credits) and makes the amortised per-sample cost O(1).
+
+:class:`ReprocessingStreamingPTrack` keeps the previous implementation
+— re-running the whole batch pipeline over the rolling buffer on every
+append — as the behavioural reference for equivalence tests and the
+baseline for the serving benchmarks.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import PTrackConfig
-from repro.core.step_counter import PTrackStepCounter
+from repro.core.offset import cycle_offset
+from repro.core.step_counter import (
+    CycleCandidate,
+    Fig4Streak,
+    PTrackStepCounter,
+)
+from repro.core.stepping import batch_stepping_tests
 from repro.core.stride import PTrackStrideEstimator
 from repro.exceptions import ConfigurationError, SignalError
 from repro.sensing.imu import IMUTrace
+from repro.signal.filters import butter_lowpass
+from repro.signal.projection import anterior_direction, project_horizontal
+from repro.signal.segmentation import segment_gait_cycles
 from repro.types import StepEvent, StrideEstimate, UserProfile
 
-__all__ = ["StreamingPTrack"]
+__all__ = [
+    "StreamingOpStats",
+    "StagedCycle",
+    "StreamingPTrack",
+    "ReprocessingStreamingPTrack",
+]
+
+
+@dataclass
+class StreamingOpStats:
+    """Operation counters proving the amortised-O(1) append claim.
+
+    Every counter is cumulative over the stream's lifetime; the
+    regression tests assert that each stays linear in ``samples_in``
+    with small constants (the pre-PR driver re-filtered and
+    re-classified the whole rolling buffer on every append, making
+    ``samples_filtered`` proportional to ``appends x buffer`` instead).
+
+    Attributes:
+        samples_in: Samples accepted by ``append``.
+        appends: ``append`` calls made.
+        passes: Hop-boundary processing passes executed.
+        samples_filtered: Samples pushed through the low-pass filter
+            (including the fixed per-block context).
+        segmentation_samples: Samples scanned by the candidate
+            segmenter across all passes.
+        cycles_staged: Candidate cycles staged for classification
+            (each cycle is classified exactly once).
+        offset_evaluations: Critical-point offset computations.
+        stepping_tests: Stepping admission-test evaluations.
+    """
+
+    samples_in: int = 0
+    appends: int = 0
+    passes: int = 0
+    samples_filtered: int = 0
+    segmentation_samples: int = 0
+    cycles_staged: int = 0
+    offset_evaluations: int = 0
+    stepping_tests: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (for reports and JSON)."""
+        return {
+            "samples_in": self.samples_in,
+            "appends": self.appends,
+            "passes": self.passes,
+            "samples_filtered": self.samples_filtered,
+            "segmentation_samples": self.segmentation_samples,
+            "cycles_staged": self.cycles_staged,
+            "offset_evaluations": self.offset_evaluations,
+            "stepping_tests": self.stepping_tests,
+        }
+
+
+@dataclass
+class StagedCycle:
+    """A settled candidate cycle awaiting its stepping-test results.
+
+    Produced by :meth:`StreamingPTrack.collect`; the cheap per-cycle
+    measurements (motion gate, offset) are already filled in, while the
+    stepping admission tests — the batchable hot kernel — may be
+    evaluated by the session itself or, for fleet serving, stacked
+    across many sessions into one
+    :func:`repro.core.stepping.batch_stepping_tests` call by a
+    :class:`repro.serving.SessionPool`.
+
+    Attributes:
+        candidate: The Fig.-4 candidate (absolute sample indices).
+        v_seg: Filtered vertical acceleration of the cycle (copy).
+        a_seg: Per-cycle refined anterior acceleration (copy); zeros
+            when the projection was degenerate.
+        h_seg: Filtered horizontal acceleration, shape (n, 2) (copy).
+        needs_stepping: Whether the admission tests must be evaluated
+            (the cycle passed the motion gate and the offset kept it
+            in play).
+        anterior_ok: Whether the anterior projection succeeded; a
+            degenerate projection must be re-derived (and re-fail) in
+            the stride solve exactly as the batch estimator does.
+    """
+
+    candidate: CycleCandidate
+    v_seg: np.ndarray
+    a_seg: np.ndarray
+    h_seg: np.ndarray
+    needs_stepping: bool
+    anterior_ok: bool = True
 
 
 class StreamingPTrack:
@@ -36,10 +151,17 @@ class StreamingPTrack:
     Example::
 
         streamer = StreamingPTrack(sample_rate_hz=100.0, profile=profile)
-        for batch in sensor_batches:          # (n, 3) arrays
+        for batch in sensor_batches:          # (n, 3) float64 arrays
             steps, strides = streamer.append(batch)
             ...
         steps, strides = streamer.flush()     # settle the tail
+
+    Appends are amortised O(1) per sample: each sample is filtered,
+    segmented and classified a bounded number of times regardless of
+    how many ``append`` calls the stream is split into, and credited
+    cycles are never revisited. Results are identical across chunkings
+    and match the batch pipeline on the same data up to the settle
+    horizon (verified by tests).
 
     Args:
         sample_rate_hz: Sampling rate of the incoming stream.
@@ -77,26 +199,580 @@ class StreamingPTrack:
         self._profile = profile
         self._settle = settle_s
         self._max_buffer = int(max_buffer_s * sample_rate_hz)
+        self._settle_margin = int(settle_s * sample_rate_hz)
+        # Processing happens only when the head crosses hop boundaries:
+        # per-sample cost is amortised over the hop, and the boundary
+        # positions (absolute sample indices) are what make results
+        # chunking-invariant.
+        self._hop = max(16, self._settle_margin // 2)
+        # Filter context per finalised block. filtfilt edge transients
+        # decay within well under a second at gait-band cutoffs; the
+        # margin keeps the settle horizon behind the filter frontier.
+        self._pad = max(24, min(int(round(sample_rate_hz)),
+                                self._settle_margin - self._hop))
+        self._estimator = (
+            PTrackStrideEstimator(profile, self._config)
+            if profile is not None
+            else None
+        )
+        self._data = np.empty((max(256, self._max_buffer // 8), 3))
+        self._filt = np.empty_like(self._data)
+        self._machine = Fig4Streak(self._config)
+        self._recent_strides: deque = deque(maxlen=32)
+        self._stats = StreamingOpStats()
+        self._reset_positions()
+
+    def _reset_positions(self) -> None:
+        """Zero all stream positions (construction and :meth:`reset`)."""
+        self._size = 0
+        self._buf_start = 0  # absolute index of buffer row 0
+        self._filt_final = 0  # filtered rows [buf_start, here) are final
+        self._next_boundary = self._hop  # next processing pass position
+        self._credited_until = 0  # absolute index after last credited step
+        self._last_peak = -1  # absolute index of last consumed step peak
+        self._cycle_counter = 0
+        self._seg_store: Dict[
+            int, Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]
+        ] = {}
+        self._total_steps = 0
+        self._total_distance = 0.0
+        self._trim_boundary: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def step_count(self) -> int:
+        """Steps credited so far."""
+        return self._total_steps
+
+    @property
+    def distance_m(self) -> float:
+        """Distance credited so far (0 without a profile)."""
+        return self._total_distance
+
+    @property
+    def latency_s(self) -> float:
+        """Crediting latency from the settle window."""
+        return self._settle
+
+    @property
+    def credit_hop_s(self) -> float:
+        """Extra worst-case latency from the hop-boundary batching."""
+        return self._hop / self._rate
+
+    @property
+    def op_stats(self) -> StreamingOpStats:
+        """A snapshot of the cumulative operation counters."""
+        return replace(self._stats)
+
+    @property
+    def profile(self) -> Optional[UserProfile]:
+        """The active user profile (``None`` for counter-only use)."""
+        return self._profile
+
+    def reset(self) -> None:
+        """Rewind to an empty stream without reallocating buffers.
+
+        A serving fleet reuses session objects across users/segments;
+        ``reset`` drops every piece of stream state (positions, streak,
+        totals, operation counters) while keeping the two preallocated
+        rolling buffers, so no allocation churn occurs on reassignment.
+        """
+        self._machine.reset()
+        self._recent_strides.clear()
+        self._stats = StreamingOpStats()
+        self._reset_positions()
+
+    def append(
+        self,
+        samples: np.ndarray,
+    ) -> Tuple[List[StepEvent], List[StrideEstimate]]:
+        """Feed a batch of samples; return newly settled steps/strides.
+
+        Args:
+            samples: Array of shape (n, 3), float64, world-frame linear
+                acceleration at the stream's sampling rate.
+
+        Returns:
+            Tuple of (new step events, new stride estimates), both in
+            absolute stream time.
+
+        Raises:
+            SignalError: On a shape or dtype that would force a silent
+                conversion copy on every call, or non-finite values.
+        """
+        self.ingest(samples)
+        steps: List[StepEvent] = []
+        strides: List[StrideEstimate] = []
+        while True:
+            staged = self.collect()
+            if staged is None:
+                break
+            st, sr = self.resolve(staged, self.stepping_values(staged))
+            steps.extend(st)
+            strides.extend(sr)
+        return steps, strides
+
+    def flush(self) -> Tuple[List[StepEvent], List[StrideEstimate]]:
+        """Settle everything remaining in the buffer (end of stream)."""
+        head = self._buf_start + self._size
+        if head == 0:
+            return [], []
+        steps: List[StepEvent] = []
+        strides: List[StrideEstimate] = []
+        while True:
+            staged = self.collect()
+            if staged is None:
+                break
+            st, sr = self.resolve(staged, self.stepping_values(staged))
+            steps.extend(st)
+            strides.extend(sr)
+        # Finalise the filter through the head and classify the tail
+        # with a zero settle horizon.
+        self._finalize_filter_to(head)
+        staged = self._pass(head, settle_margin=0)
+        self._next_boundary = head + self._hop
+        self._trim_boundary = head
+        st, sr = self.resolve(staged, self.stepping_values(staged))
+        steps.extend(st)
+        strides.extend(sr)
+        # Trailing pending cycles can never confirm: interference.
+        for res in self._machine.flush():
+            self._seg_store.pop(res.candidate.cycle_id, None)
+        return steps, strides
+
+    # ------------------------------------------------------------------
+    # Split-phase API (used by repro.serving.SessionPool)
+    # ------------------------------------------------------------------
+    def ingest(self, samples: np.ndarray) -> int:
+        """Buffer a batch without processing it; return samples taken.
+
+        Validation is strict: the rolling buffer is float64, and any
+        dtype that is not float64 — or anything that is not already a
+        numpy array — would be silently converted (copied) on *every*
+        append, a per-call tax that is invisible until it dominates a
+        serving profile. Such inputs raise :class:`SignalError` with
+        the one-line fix instead.
+        """
+        if not isinstance(samples, np.ndarray):
+            raise SignalError(
+                "samples must be a numpy array of shape (n, 3); got "
+                f"{type(samples).__name__} (convert once upstream with "
+                "np.asarray(samples, dtype=np.float64))"
+            )
+        if samples.ndim != 2 or samples.shape[1] != 3:
+            raise SignalError(
+                f"samples must have shape (n, 3), got {samples.shape}"
+            )
+        if samples.dtype != np.float64:
+            raise SignalError(
+                f"samples dtype {samples.dtype} forces a silent conversion "
+                "copy on every append; convert once upstream with "
+                "samples.astype(np.float64)"
+            )
+        n = samples.shape[0]
+        if n == 0:
+            return 0
+        if not np.all(np.isfinite(samples)):
+            raise SignalError("samples contain non-finite values")
+        needed = self._size + n
+        if needed > self._data.shape[0]:
+            capacity = self._data.shape[0]
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty((capacity, 3))
+            grown[: self._size] = self._data[: self._size]
+            self._data = grown
+            grown_f = np.empty((capacity, 3))
+            grown_f[: self._size] = self._filt[: self._size]
+            self._filt = grown_f
+        self._data[self._size : needed] = samples
+        self._size = needed
+        self._stats.samples_in += n
+        self._stats.appends += 1
+        return n
+
+    def collect(self) -> Optional[List[StagedCycle]]:
+        """Run ONE due processing pass; return its settled cycles.
+
+        Returns ``None`` when the head has not crossed the next hop
+        boundary (nothing to do); otherwise a (possibly empty) list of
+        newly staged cycles whose results MUST be fed back through
+        :meth:`resolve` before the next ``collect`` — resolution and
+        the post-resolve trim are part of the boundary's pass, and
+        every stage is keyed to the absolute boundary index so that
+        per-boundary state (and therefore every credit) is identical
+        no matter how the stream was chunked into appends. Callers
+        loop: ``append`` drains all due boundaries for one session; a
+        :class:`repro.serving.SessionPool` drains them in fleet-wide
+        lockstep rounds to batch the stepping kernels.
+        """
+        head = self._buf_start + self._size
+        if self._next_boundary > head:
+            return None
+        boundary = self._next_boundary
+        staged = self._pass(boundary, self._settle_margin)
+        self._next_boundary = boundary + self._hop
+        self._trim_boundary = boundary
+        return staged
+
+    def stepping_values(
+        self,
+        staged: Sequence[StagedCycle],
+    ) -> List[Optional[Tuple[float, float, bool]]]:
+        """Stepping admission tests for the staged cycles that need them.
+
+        One length-grouped batch call; a :class:`SessionPool` replaces
+        this per-session call with a single fleet-wide batch.
+        """
+        indices = [i for i, s in enumerate(staged) if s.needs_stepping]
+        out: List[Optional[Tuple[float, float, bool]]] = [None] * len(staged)
+        if indices:
+            triples = batch_stepping_tests(
+                [staged[i].v_seg for i in indices],
+                [staged[i].a_seg for i in indices],
+                self._config,
+            )
+            for i, triple in zip(indices, triples):
+                out[i] = triple
+        return out
+
+    def resolve(
+        self,
+        staged: Sequence[StagedCycle],
+        stepping: Sequence[Optional[Tuple[float, float, bool]]],
+    ) -> Tuple[List[StepEvent], List[StrideEstimate]]:
+        """Feed staged cycles through the Fig.-4 streak; credit results.
+
+        Args:
+            staged: Cycles from :meth:`collect`, in time order.
+            stepping: Per-cycle admission-test triples aligned with
+                ``staged`` (``None`` where ``needs_stepping`` is
+                false), from :meth:`stepping_values` or a pool batch.
+
+        Returns:
+            Newly credited (steps, strides) in absolute stream time.
+        """
+        steps: List[StepEvent] = []
+        strides: List[StrideEstimate] = []
+        for cycle, triple in zip(staged, stepping):
+            cand = cycle.candidate
+            if triple is not None:
+                cand.corr, cand.corr_v, cand.phase_ok = (
+                    float(triple[0]),
+                    float(triple[1]),
+                    bool(triple[2]),
+                )
+                self._stats.stepping_tests += 1
+            self._seg_store[cand.cycle_id] = (
+                cycle.v_seg,
+                cycle.h_seg,
+                cycle.a_seg if cycle.anterior_ok else None,
+            )
+            for res in self._machine.feed(cand):
+                segs = self._seg_store.pop(res.candidate.cycle_id, None)
+                if not res.credited:
+                    continue
+                self._credit(res.candidate, res.gait_type, segs,
+                             steps, strides)
+        self._total_steps += len(steps)
+        self._total_distance += float(sum(s.length_m for s in strides))
+        if steps:
+            self._credited_until = max(
+                self._credited_until, steps[-1].index + 1
+            )
+        if self._trim_boundary is not None:
+            boundary = self._trim_boundary
+            self._trim_boundary = None
+            self._trim(boundary)
+        return steps, strides
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _credit(
+        self,
+        cand: CycleCandidate,
+        gait,
+        segs: Optional[Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]],
+        steps: List[StepEvent],
+        strides: List[StrideEstimate],
+    ) -> None:
+        """Emit one credited cycle's step events and stride estimates."""
+        dt = 1.0 / self._rate
+        for peak in cand.peaks:
+            steps.append(
+                StepEvent(
+                    time=peak * dt,
+                    index=int(peak),
+                    gait_type=gait,
+                    cycle_id=cand.cycle_id,
+                )
+            )
+        if self._estimator is None or segs is None or not cand.peaks:
+            return
+        v_seg, h_seg, a_seg = segs
+        solved = self._estimator.cycle_stride(v_seg, h_seg, dt, gait, a_seg)
+        if solved is not None:
+            stride, bounce = solved
+            self._recent_strides.append(stride)
+        elif self._recent_strides:
+            # A credited cycle whose geometry did not admit a solve
+            # still moved the user; impute with the recent median as
+            # the batch estimator does with the walk median.
+            stride = float(np.median(self._recent_strides))
+            bounce = None
+        else:
+            return
+        n_seg = cand.end - cand.start
+        per_cycle = self._config.steps_per_cycle
+        fracs = [(k + 0.5) / per_cycle for k in range(per_cycle)]
+        # A cycle whose earlier peaks were already consumed by a
+        # previous (overlapping) cycle contributes only as many strides
+        # as it contributes new steps — the latest positions.
+        for frac in fracs[-len(cand.peaks):]:
+            strides.append(
+                StrideEstimate(
+                    time=(cand.start + frac * n_seg) * dt,
+                    length_m=stride,
+                    bounce_m=bounce,
+                    cycle_id=cand.cycle_id,
+                    gait_type=gait,
+                )
+            )
+
+    def _advance_filter(self, limit_abs: int) -> None:
+        """Finalise hop-sized filter blocks up to ``limit_abs``.
+
+        Each block is filtered with exactly ``pad`` samples of context
+        on both sides (where the stream provides them), so a block's
+        final values depend only on its absolute position — never on
+        append chunking — and every sample is filtered a bounded
+        number of times.
+        """
+        while self._filt_final + self._hop + self._pad <= limit_abs:
+            lo = max(self._buf_start, self._filt_final - self._pad)
+            hi = self._filt_final + self._hop + self._pad
+            block = butter_lowpass(
+                self._data[lo - self._buf_start : hi - self._buf_start],
+                self._config.lowpass_cutoff_hz,
+                self._rate,
+                self._config.lowpass_order,
+            )
+            out_lo = self._filt_final - lo
+            self._filt[
+                self._filt_final - self._buf_start
+                : self._filt_final + self._hop - self._buf_start
+            ] = block[out_lo : out_lo + self._hop]
+            self._filt_final += self._hop
+            self._stats.samples_filtered += hi - lo
+
+    def _finalize_filter_to(self, head: int) -> None:
+        """Flush-path filter finalisation (no right context remains)."""
+        if head <= self._filt_final:
+            return
+        lo = max(self._buf_start, self._filt_final - self._pad)
+        block = butter_lowpass(
+            self._data[lo - self._buf_start : head - self._buf_start],
+            self._config.lowpass_cutoff_hz,
+            self._rate,
+            self._config.lowpass_order,
+        )
+        self._filt[
+            self._filt_final - self._buf_start : head - self._buf_start
+        ] = block[self._filt_final - lo :]
+        self._stats.samples_filtered += head - lo
+        self._filt_final = head
+
+    def _pass(self, boundary: int, settle_margin: int) -> List[StagedCycle]:
+        """One processing pass at an absolute hop boundary.
+
+        Segmentation runs over the whole retained filtered buffer (the
+        window the batch segmenter would see, minus what :meth:`_trim`
+        has provably retired), so peak prominences and the peak-pairing
+        parity match the batch pipeline. Already-consumed cycles are
+        skipped through the ``_last_peak`` watermark; only cycles whose
+        end has settled — i.e. no future sample can move their
+        boundaries — are staged, exactly once.
+        """
+        self._stats.passes += 1
+        self._advance_filter(boundary)
+        settled_end = min(boundary - settle_margin, self._filt_final)
+        window = self._filt_final - self._buf_start
+        if window < 8 or settled_end <= self._buf_start:
+            return []
+        cfg = self._config
+        vertical = self._filt[:window, 2]
+        self._stats.segmentation_samples += window
+        cycles = segment_gait_cycles(
+            vertical,
+            self._rate,
+            min_step_rate_hz=cfg.min_step_rate_hz,
+            max_step_rate_hz=cfg.max_step_rate_hz,
+            min_prominence=cfg.min_peak_prominence,
+        )
+        staged: List[StagedCycle] = []
+        for seg in cycles:
+            abs_start = self._buf_start + seg.start
+            abs_end = self._buf_start + seg.end
+            if abs_end > settled_end:
+                continue
+            # A cycle whose peaks were all consumed in an earlier pass
+            # re-appears every pass until the buffer trims it; a
+            # re-pairing after a trim may also splice an old peak with
+            # a fresh one (hybrid cycle) — only the fresh peaks count.
+            new_peaks = tuple(
+                self._buf_start + int(p)
+                for p in seg.peak_indices
+                if self._buf_start + int(p) > self._last_peak
+            )
+            if not new_peaks:
+                continue
+            self._last_peak = max(self._last_peak, new_peaks[-1])
+            staged.append(self._stage(abs_start, abs_end, new_peaks))
+        return staged
+
+    def _stage(
+        self,
+        abs_start: int,
+        abs_end: int,
+        peaks: Tuple[int, ...],
+    ) -> StagedCycle:
+        """Copy a settled cycle out of the buffer and measure it."""
+        cfg = self._config
+        lo = abs_start - self._buf_start
+        hi = abs_end - self._buf_start
+        v_seg = self._filt[lo:hi, 2].copy()
+        h_seg = self._filt[lo:hi, :2].copy()
+        anterior_ok = True
+        try:
+            # Per-cycle anterior refinement: project this cycle's
+            # horizontal samples onto their own dominant direction so a
+            # turning walker does not smear the projection.
+            direction = anterior_direction(h_seg)
+            a_seg = project_horizontal(h_seg, direction)
+        except SignalError:
+            a_seg = np.zeros_like(v_seg)
+            anterior_ok = False
+        motion_ok = float(np.std(v_seg - v_seg.mean())) >= cfg.min_vertical_std
+        if motion_ok:
+            offset = cycle_offset(v_seg, a_seg, cfg)
+            self._stats.offset_evaluations += 1
+        else:
+            offset = 0.0
+        cand = CycleCandidate(
+            cycle_id=self._cycle_counter,
+            start=abs_start,
+            end=abs_end,
+            peaks=peaks,
+            motion_ok=motion_ok,
+            offset=offset,
+        )
+        self._cycle_counter += 1
+        self._stats.cycles_staged += 1
+        return StagedCycle(
+            candidate=cand,
+            v_seg=v_seg,
+            a_seg=a_seg,
+            h_seg=h_seg,
+            needs_stepping=motion_ok and offset <= cfg.offset_threshold,
+            anterior_ok=anterior_ok,
+        )
+
+    def _trim(self, boundary: int) -> None:
+        """Drop buffer rows no stage can read again (bounded memory).
+
+        The segmenter wants the longest window we can afford (global
+        context matches the batch reference), so trimming is
+        conservative: stay behind the credited frontier and two settle
+        windows of context, and keep the filter's pad of raw history.
+        The hard ``max_buffer`` cap always wins, bounding memory for
+        streams that never credit.
+
+        Every term is keyed to the *boundary* whose pass was just
+        resolved — never to the raw head, which depends on append
+        chunking. That keeps the retained window at each future pass a
+        pure function of the boundary index, which is what makes
+        credits chunking-invariant bit for bit (the head trails the
+        last boundary by less than one hop, so the memory bound holds
+        with ``boundary + hop``).
+        """
+        keep_abs = min(
+            boundary - 2 * self._settle_margin,
+            self._credited_until,
+            self._filt_final - self._pad,
+        )
+        keep_abs = max(keep_abs, boundary + self._hop - self._max_buffer)
+        keep_abs = max(keep_abs, self._buf_start)
+        keep_from = keep_abs - self._buf_start
+        if keep_from <= 0:
+            return
+        kept = self._size - keep_from
+        # In-place tail copies: the regions overlap left-to-right, so a
+        # single bounded copy keeps the active prefix compact without
+        # allocating fresh buffers.
+        self._data[:kept] = self._data[keep_from : self._size].copy()
+        self._filt[:kept] = self._filt[keep_from : self._size].copy()
+        self._size = kept
+        self._buf_start = keep_abs
+
+
+class ReprocessingStreamingPTrack:
+    """The pre-incremental online driver (kept as a reference).
+
+    Re-runs the entire batch pipeline — filtering, segmentation,
+    offset/stepping tests, stride extraction — over the whole rolling
+    buffer on every ``append``, making per-sample cost O(buffer). It is
+    retained as the behavioural reference the incremental
+    :class:`StreamingPTrack` is tested against and as the baseline the
+    serving benchmarks (``benchmarks/bench_serving.py``) measure the
+    incremental core's speedup over.
+
+    Args:
+        sample_rate_hz: Sampling rate of the incoming stream.
+        profile: Optional user profile; without it only steps are
+            produced.
+        config: PTrack configuration.
+        settle_s: Settle horizon before a cycle is classified.
+        max_buffer_s: Rolling buffer length.
+    """
+
+    def __init__(
+        self,
+        sample_rate_hz: float,
+        profile: Optional[UserProfile] = None,
+        config: Optional[PTrackConfig] = None,
+        settle_s: float = 2.5,
+        max_buffer_s: float = 30.0,
+    ) -> None:
+        if sample_rate_hz <= 0:
+            raise ConfigurationError("sample_rate_hz must be positive")
+        self._config = config if config is not None else PTrackConfig()
+        min_cycle_s = 2.0 / self._config.min_step_rate_hz
+        if settle_s < min_cycle_s:
+            raise ConfigurationError(
+                f"settle_s must cover one maximal gait cycle "
+                f"({min_cycle_s:.1f} s), got {settle_s}"
+            )
+        if max_buffer_s < 4 * settle_s:
+            raise ConfigurationError("max_buffer_s must be >= 4 * settle_s")
+        self._rate = sample_rate_hz
+        self._profile = profile
+        self._settle = settle_s
+        self._max_buffer = int(max_buffer_s * sample_rate_hz)
         self._counter = PTrackStepCounter(self._config)
         self._estimator = (
             PTrackStrideEstimator(profile, self._config)
             if profile is not None
             else None
         )
-        # Rolling buffer: a pre-allocated capacity array with an active
-        # prefix of ``self._size`` rows. Appends copy into the spare
-        # tail (doubling capacity when full) and trims copy the kept
-        # suffix down in place, so per-sample cost stays amortised O(1)
-        # instead of the O(total history) of re-concatenating on every
-        # append.
         self._data = np.empty((max(256, self._max_buffer // 8), 3))
         self._size = 0
-        self._buffer_start_time = 0.0
         self._consumed_index = 0  # absolute index of the buffer start
         self._credited_until = 0  # absolute sample index already settled
         self._total_steps = 0
         self._total_distance = 0.0
-        self._pending_streak_reset = True
 
     # ------------------------------------------------------------------
     # Public API
@@ -120,16 +796,7 @@ class StreamingPTrack:
         self,
         samples: np.ndarray,
     ) -> Tuple[List[StepEvent], List[StrideEstimate]]:
-        """Feed a batch of samples; return newly settled steps/strides.
-
-        Args:
-            samples: Array of shape (n, 3), world-frame linear
-                acceleration at the stream's sampling rate.
-
-        Returns:
-            Tuple of (new step events, new stride estimates), both in
-            absolute stream time.
-        """
+        """Feed a batch of samples; return newly settled steps/strides."""
         arr = np.asarray(samples, dtype=float)
         if arr.ndim != 2 or arr.shape[1] != 3:
             raise SignalError(f"samples must have shape (n, 3), got {arr.shape}")

@@ -14,7 +14,7 @@ factor (2 for the pure inverted-pendulum geometry).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -103,15 +103,15 @@ class PTrackStrideEstimator:
                 continue
             v_seg = vertical[cls.start_index : cls.end_index]
             h_seg = horizontal[cls.start_index : cls.end_index]
-            bounce = self._cycle_bounce(v_seg, h_seg, dt, cls.gait_type)
-            if bounce is None:
+            solved = self.cycle_stride(v_seg, h_seg, dt, cls.gait_type)
+            if solved is None:
                 # A confirmed cycle whose geometry did not admit a
                 # solve (turn transitions, leg boundaries) still moved
                 # the user; it is imputed with the walk's median stride
                 # below rather than silently dropping distance.
                 pending_imputation.append(cls)
                 continue
-            stride = stride_from_bounce_model(bounce, self._profile)
+            stride, bounce = solved
             recent_strides.append(stride)
             self._emit(estimates, trace, cls, stride, bounce)
 
@@ -121,6 +121,47 @@ class PTrackStrideEstimator:
                 self._emit(estimates, trace, cls, imputed, None)
         estimates.sort(key=lambda e: e.time)
         return estimates
+
+    def cycle_stride(
+        self,
+        v_seg: np.ndarray,
+        h_seg: np.ndarray,
+        dt: float,
+        gait: GaitType,
+        a_seg: Optional[np.ndarray] = None,
+    ) -> Optional[Tuple[float, float]]:
+        """Stride of one confirmed cycle from pre-filtered segments.
+
+        The per-cycle half of :meth:`estimate`, exposed so the
+        incremental streaming core (which maintains its own filtered
+        rolling buffer) can price each credited cycle exactly once
+        instead of re-running the estimator over its whole buffer.
+
+        Args:
+            v_seg: Low-pass-filtered vertical acceleration of the cycle.
+            h_seg: Filtered horizontal acceleration, shape (n, 2).
+            dt: Sample interval in seconds.
+            gait: The cycle's confirmed gait type.
+            a_seg: Optionally, the cycle's already-projected anterior
+                acceleration (exactly ``project_horizontal(h_seg,
+                anterior_direction(h_seg))``); passing it skips a
+                redundant eigen-decomposition when the caller computed
+                the projection for the gait tests already.
+
+        Returns:
+            ``(stride_m, bounce_m)``, or ``None`` when the cycle's
+            geometry does not admit a bounce solve.
+        """
+        bounce = self._cycle_bounce(
+            np.asarray(v_seg, dtype=float),
+            np.asarray(h_seg, dtype=float),
+            dt,
+            gait,
+            a_seg,
+        )
+        if bounce is None:
+            return None
+        return stride_from_bounce_model(bounce, self._profile), bounce
 
     def _emit(
         self,
@@ -154,6 +195,7 @@ class PTrackStrideEstimator:
         h_seg: np.ndarray,
         dt: float,
         gait: GaitType,
+        a_seg: Optional[np.ndarray] = None,
     ) -> Optional[float]:
         """Bounce of one cycle, or ``None`` when no solve exists."""
         if gait is GaitType.STEPPING:
@@ -162,8 +204,9 @@ class PTrackStrideEstimator:
             except SignalError:
                 return None
         try:
-            direction = anterior_direction(h_seg)
-            a_seg = project_horizontal(h_seg, direction)
+            if a_seg is None:
+                direction = anterior_direction(h_seg)
+                a_seg = project_horizontal(h_seg, direction)
             moments = extract_cycle_moments(v_seg, a_seg, dt)
             return solve_bounce(
                 moments.h1_m,

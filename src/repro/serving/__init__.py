@@ -1,0 +1,27 @@
+"""Multi-session serving for high-throughput deployments.
+
+The incremental streaming core (:class:`repro.core.StreamingPTrack`)
+makes one session cheap; this package makes *many* sessions cheap
+together:
+
+* :class:`SessionPool` — N independent sessions behind one vectorized
+  ingest call, batching the per-cycle stepping kernels fleet-wide.
+* :func:`serve_fleet` — shard a fleet of sessions across worker
+  processes via :func:`repro.runtime.parallel_map`, with a guaranteed
+  shard-layout-independent result.
+* :func:`synthesize_workload` — deterministic per-session walks keyed
+  by ``derive_rng(seed, i)`` for benchmarks and equivalence tests.
+"""
+
+from repro.serving.fleet import FleetReport, SessionReport, serve_fleet
+from repro.serving.pool import SessionPool
+from repro.serving.workload import SessionWorkload, synthesize_workload
+
+__all__ = [
+    "FleetReport",
+    "SessionPool",
+    "SessionReport",
+    "SessionWorkload",
+    "serve_fleet",
+    "synthesize_workload",
+]

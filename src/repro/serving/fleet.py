@@ -1,0 +1,207 @@
+"""Fleet serving: shard a pool of sessions across processes.
+
+:func:`serve_fleet` drives N finished traces through N streaming
+sessions at a fixed upload cadence. Sessions are partitioned into
+contiguous shards, each shard is served by its own
+:class:`~repro.serving.pool.SessionPool` inside a worker process
+(via :func:`repro.runtime.parallel_map`), and the per-session results
+are reassembled in fleet order.
+
+Because every session's pipeline state is independent and the pooled
+stepping batch is composition-independent, the shard layout — one
+process, many processes, any shard size — cannot change any session's
+credited steps or strides; the serving tests assert this identity
+against serially-driven :class:`StreamingPTrack` instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import PTrackConfig
+from repro.exceptions import ConfigurationError
+from repro.runtime import parallel_map, resolve_workers
+from repro.serving.pool import SessionPool
+from repro.types import StepEvent, StrideEstimate, UserProfile
+
+__all__ = ["SessionReport", "FleetReport", "serve_fleet"]
+
+
+@dataclass(frozen=True)
+class SessionReport:
+    """Outcome of serving one session end to end."""
+
+    session_index: int
+    steps: Tuple[StepEvent, ...]
+    strides: Tuple[StrideEstimate, ...]
+
+    @property
+    def step_count(self) -> int:
+        """Steps credited to the session."""
+        return len(self.steps)
+
+    @property
+    def distance_m(self) -> float:
+        """Distance credited to the session."""
+        return float(sum(s.length_m for s in self.strides))
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Outcome of serving a whole fleet."""
+
+    sessions: Tuple[SessionReport, ...]
+    n_samples: int
+
+    @property
+    def total_steps(self) -> int:
+        """Steps credited across the fleet."""
+        return sum(s.step_count for s in self.sessions)
+
+    @property
+    def total_distance_m(self) -> float:
+        """Distance credited across the fleet."""
+        return float(sum(s.distance_m for s in self.sessions))
+
+
+def _serve_shard(
+    shard: Tuple[
+        List[int],
+        List[np.ndarray],
+        List[Optional[UserProfile]],
+        float,
+        Optional[PTrackConfig],
+        float,
+        float,
+        int,
+    ],
+) -> List[SessionReport]:
+    """Serve one shard of sessions through a pool (worker entry point).
+
+    Module-level so it pickles for :func:`parallel_map`; the payload
+    carries everything a worker needs to rebuild its shard's pool.
+    """
+    (
+        indices,
+        traces,
+        profiles,
+        sample_rate_hz,
+        config,
+        settle_s,
+        max_buffer_s,
+        batch_samples,
+    ) = shard
+    pool = SessionPool(
+        sample_rate_hz,
+        config=config,
+        settle_s=settle_s,
+        max_buffer_s=max_buffer_s,
+    )
+    sids = pool.add_sessions(profiles)
+    steps: List[List[StepEvent]] = [[] for _ in sids]
+    strides: List[List[StrideEstimate]] = [[] for _ in sids]
+
+    # Time-aligned serving: at each upload tick, every session whose
+    # trace still has samples contributes one batch to the pooled call.
+    longest = max((t.shape[0] for t in traces), default=0)
+    for offset in range(0, longest, batch_samples):
+        live = [k for k, t in enumerate(traces) if offset < t.shape[0]]
+        results = pool.append(
+            [sids[k] for k in live],
+            [traces[k][offset : offset + batch_samples] for k in live],
+        )
+        for k, (new_steps, new_strides) in zip(live, results):
+            steps[k].extend(new_steps)
+            strides[k].extend(new_strides)
+    for k, (new_steps, new_strides) in enumerate(pool.flush(sids)):
+        steps[k].extend(new_steps)
+        strides[k].extend(new_strides)
+
+    return [
+        SessionReport(
+            session_index=indices[k],
+            steps=tuple(steps[k]),
+            strides=tuple(strides[k]),
+        )
+        for k in range(len(sids))
+    ]
+
+
+def serve_fleet(
+    traces: Sequence[np.ndarray],
+    sample_rate_hz: float,
+    profiles: Optional[Sequence[Optional[UserProfile]]] = None,
+    config: Optional[PTrackConfig] = None,
+    batch_samples: int = 50,
+    settle_s: float = 2.5,
+    max_buffer_s: float = 30.0,
+    workers: Optional[int] = None,
+    sessions_per_shard: Optional[int] = None,
+) -> FleetReport:
+    """Serve one trace per session through a sharded session fleet.
+
+    Args:
+        traces: One (n_i, 3) float64 array per session.
+        sample_rate_hz: Sampling rate shared by the fleet.
+        profiles: Optional per-session user profiles (enables stride
+            estimation); ``None`` serves step counting only.
+        config: Shared PTrack configuration.
+        batch_samples: Upload cadence in samples — how many samples
+            each device ships per ingest tick (50 at 100 Hz models the
+            0.5 s BLE upload interval of a wearable deployment).
+        settle_s: Settle horizon for every session.
+        max_buffer_s: Rolling-buffer bound for every session.
+        workers: Worker processes, resolved like
+            :func:`repro.runtime.resolve_workers`; 1 serves in-process.
+        sessions_per_shard: Shard granularity; default spreads the
+            fleet evenly over the resolved workers.
+
+    Returns:
+        A :class:`FleetReport` with per-session results in fleet order.
+
+    Raises:
+        ConfigurationError: On mismatched lengths or a bad cadence.
+    """
+    n = len(traces)
+    if profiles is None:
+        profiles = [None] * n
+    if len(profiles) != n:
+        raise ConfigurationError(
+            f"{n} traces but {len(profiles)} profiles"
+        )
+    if batch_samples < 1:
+        raise ConfigurationError(
+            f"batch_samples must be >= 1, got {batch_samples}"
+        )
+    if n == 0:
+        return FleetReport(sessions=(), n_samples=0)
+
+    n_workers = resolve_workers(workers)
+    if sessions_per_shard is None:
+        sessions_per_shard = max(1, -(-n // n_workers))
+    elif sessions_per_shard < 1:
+        raise ConfigurationError(
+            f"sessions_per_shard must be >= 1, got {sessions_per_shard}"
+        )
+    shards = [
+        (
+            list(range(lo, min(lo + sessions_per_shard, n))),
+            [np.asarray(t) for t in traces[lo : lo + sessions_per_shard]],
+            list(profiles[lo : lo + sessions_per_shard]),
+            sample_rate_hz,
+            config,
+            settle_s,
+            max_buffer_s,
+            batch_samples,
+        )
+        for lo in range(0, n, sessions_per_shard)
+    ]
+    reports = parallel_map(_serve_shard, shards, workers=n_workers)
+    sessions = tuple(r for shard_reports in reports for r in shard_reports)
+    return FleetReport(
+        sessions=sessions,
+        n_samples=int(sum(t.shape[0] for t in traces)),
+    )

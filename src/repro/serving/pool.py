@@ -1,0 +1,258 @@
+"""Multi-session serving: many streams behind one vectorized API.
+
+A production tracker does not serve one wrist — it serves a fleet.
+:class:`SessionPool` manages N independent
+:class:`~repro.core.streaming.StreamingPTrack` sessions and exposes a
+single batched ingest call, ``pool.append(session_ids, batches)``.
+
+The pool exploits the split-phase session API: every session first
+buffers its batch and *collects* the cycles that settled
+(:meth:`StreamingPTrack.ingest` / :meth:`~StreamingPTrack.collect`),
+then the stepping admission tests of **all** sessions' cycles are
+evaluated in one :func:`repro.core.stepping.batch_stepping_tests`
+call, and finally each session *resolves* its own cycles against the
+shared results. The batch kernels are row-wise and length-grouped, so
+the pooled evaluation is bit-identical to per-session calls — the
+equivalence the serving tests assert (serial == pooled == sharded).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import PTrackConfig
+from repro.core.stepping import batch_stepping_tests
+from repro.core.streaming import StagedCycle, StreamingPTrack
+from repro.exceptions import ConfigurationError
+from repro.types import StepEvent, StrideEstimate, UserProfile
+
+__all__ = ["SessionPool"]
+
+
+class SessionPool:
+    """A pool of independent streaming sessions with batched ingest.
+
+    Example::
+
+        pool = SessionPool(sample_rate_hz=100.0)
+        alice = pool.add_session(profile=alice_profile)
+        bob = pool.add_session(profile=bob_profile)
+        results = pool.append([alice, bob], [alice_batch, bob_batch])
+        steps, strides = results[0]            # alice's new credits
+
+    All sessions share one configuration and sampling rate (one
+    deployment = one device class); per-user state — profile, buffers,
+    classification streak, totals — is fully independent per session.
+
+    Args:
+        sample_rate_hz: Sampling rate shared by every session.
+        config: PTrack configuration shared by every session.
+        settle_s: Settle horizon passed to every session.
+        max_buffer_s: Rolling-buffer bound passed to every session.
+    """
+
+    def __init__(
+        self,
+        sample_rate_hz: float,
+        config: Optional[PTrackConfig] = None,
+        settle_s: float = 2.5,
+        max_buffer_s: float = 30.0,
+    ) -> None:
+        self._rate = sample_rate_hz
+        self._config = config if config is not None else PTrackConfig()
+        self._settle = settle_s
+        self._max_buffer_s = max_buffer_s
+        self._sessions: Dict[int, StreamingPTrack] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Session management
+    # ------------------------------------------------------------------
+    @property
+    def n_sessions(self) -> int:
+        """Number of live sessions."""
+        return len(self._sessions)
+
+    @property
+    def session_ids(self) -> List[int]:
+        """Ids of all live sessions, in creation order."""
+        return list(self._sessions.keys())
+
+    def add_session(self, profile: Optional[UserProfile] = None) -> int:
+        """Create one session; return its id."""
+        sid = self._next_id
+        self._next_id += 1
+        self._sessions[sid] = StreamingPTrack(
+            self._rate,
+            profile=profile,
+            config=self._config,
+            settle_s=self._settle,
+            max_buffer_s=self._max_buffer_s,
+        )
+        return sid
+
+    def add_sessions(
+        self, profiles: Sequence[Optional[UserProfile]]
+    ) -> List[int]:
+        """Create one session per profile; return their ids."""
+        return [self.add_session(p) for p in profiles]
+
+    def session(self, session_id: int) -> StreamingPTrack:
+        """The underlying session object (read-oriented introspection)."""
+        return self._session(session_id)
+
+    def reset_session(
+        self, session_id: int, profile: Optional[UserProfile] = None
+    ) -> None:
+        """Rewind a session for reuse; optionally swap the profile.
+
+        Reassigning a slot to a new user keeps the session's
+        preallocated buffers (:meth:`StreamingPTrack.reset`); a profile
+        swap rebuilds only the stride estimator.
+        """
+        sess = self._session(session_id)
+        if profile is not None and profile is not sess.profile:
+            self._sessions[session_id] = StreamingPTrack(
+                self._rate,
+                profile=profile,
+                config=self._config,
+                settle_s=self._settle,
+                max_buffer_s=self._max_buffer_s,
+            )
+        else:
+            sess.reset()
+
+    # ------------------------------------------------------------------
+    # Batched ingest
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        session_ids: Sequence[int],
+        batches: Sequence[np.ndarray],
+    ) -> List[Tuple[List[StepEvent], List[StrideEstimate]]]:
+        """Feed one batch to each named session; credit settled cycles.
+
+        Args:
+            session_ids: Target sessions (need not cover the pool; a
+                session may also appear only when its device uploaded).
+            batches: Sample arrays of shape (n_i, 3), float64, aligned
+                with ``session_ids``.
+
+        Returns:
+            Per-session ``(steps, strides)`` tuples aligned with
+            ``session_ids`` — exactly what each session's own
+            ``append`` would have returned.
+
+        Raises:
+            ConfigurationError: On unknown ids or length mismatch.
+            SignalError: On a batch with a bad shape or dtype.
+        """
+        if len(session_ids) != len(batches):
+            raise ConfigurationError(
+                f"{len(session_ids)} session ids but {len(batches)} batches"
+            )
+        sessions = [self._session(sid) for sid in session_ids]
+        for sess, batch in zip(sessions, batches):
+            sess.ingest(batch)
+        out: List[Tuple[List[StepEvent], List[StrideEstimate]]] = [
+            ([], []) for _ in sessions
+        ]
+        # Drain due hop boundaries in fleet-wide lockstep rounds: each
+        # round advances every session by at most one boundary, batches
+        # all their staged cycles through one stepping call, and
+        # resolves before the next round — the same collect → resolve
+        # cadence each session's own ``append`` follows, so per-session
+        # results are bit-identical to solo operation.
+        active = list(range(len(sessions)))
+        while active:
+            round_staged: List[Tuple[int, List[StagedCycle]]] = []
+            still_active: List[int] = []
+            for k in active:
+                staged = sessions[k].collect()
+                if staged is None:
+                    continue
+                round_staged.append((k, staged))
+                still_active.append(k)
+            if not round_staged:
+                break
+            values = self._pooled_stepping(
+                [staged for _, staged in round_staged]
+            )
+            for (k, staged), vals in zip(round_staged, values):
+                steps, strides = sessions[k].resolve(staged, vals)
+                out[k][0].extend(steps)
+                out[k][1].extend(strides)
+            active = still_active
+        return out
+
+    def flush(
+        self, session_ids: Optional[Sequence[int]] = None
+    ) -> List[Tuple[List[StepEvent], List[StrideEstimate]]]:
+        """Settle the remaining tail of the named (default all) sessions."""
+        ids = self.session_ids if session_ids is None else list(session_ids)
+        return [self._session(sid).flush() for sid in ids]
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def step_count(self, session_id: int) -> int:
+        """Steps credited to one session."""
+        return self._session(session_id).step_count
+
+    def distance_m(self, session_id: int) -> float:
+        """Distance credited to one session."""
+        return self._session(session_id).distance_m
+
+    @property
+    def total_steps(self) -> int:
+        """Steps credited across the whole pool."""
+        return sum(s.step_count for s in self._sessions.values())
+
+    @property
+    def total_distance_m(self) -> float:
+        """Distance credited across the whole pool."""
+        return float(sum(s.distance_m for s in self._sessions.values()))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _session(self, session_id: int) -> StreamingPTrack:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown session id {session_id!r}"
+            ) from None
+
+    def _pooled_stepping(
+        self,
+        staged_lists: Sequence[List[StagedCycle]],
+    ) -> List[List[Optional[Tuple[float, float, bool]]]]:
+        """One fleet-wide admission-test batch for all sessions' cycles.
+
+        The stepping kernels are evaluated row-wise over length-grouped
+        stacks, so stacking cycles from many sessions into one call
+        returns exactly the values each session would compute alone —
+        while paying the Python/numpy dispatch overhead once per
+        ``append`` instead of once per session.
+        """
+        flat: List[Tuple[int, int, StagedCycle]] = [
+            (si, ci, cyc)
+            for si, staged in enumerate(staged_lists)
+            for ci, cyc in enumerate(staged)
+            if cyc.needs_stepping
+        ]
+        values: List[List[Optional[Tuple[float, float, bool]]]] = [
+            [None] * len(staged) for staged in staged_lists
+        ]
+        if flat:
+            triples = batch_stepping_tests(
+                [cyc.v_seg for _, _, cyc in flat],
+                [cyc.a_seg for _, _, cyc in flat],
+                self._config,
+            )
+            for (si, ci, _), triple in zip(flat, triples):
+                values[si][ci] = triple
+        return values

@@ -43,6 +43,20 @@ def _validate(x: np.ndarray, name: str) -> np.ndarray:
     return arr
 
 
+def _degenerate(window_std: float, window: np.ndarray) -> bool:
+    """Whether a correlation window carries no real variance.
+
+    An exact ``std == 0.0`` check misses constant signals whose mean
+    picks up a rounding residue (pairwise summation can be off by one
+    ulp for some constants and window lengths); the residue then
+    correlates with itself at 1.0. Variance below ``1e-12`` of the
+    window's amplitude is indistinguishable from that rounding noise,
+    so such windows carry no periodicity evidence and score 0.0.
+    """
+    scale = float(np.abs(window).max()) if window.size else 0.0
+    return window_std <= 1e-12 * scale
+
+
 def autocorrelation(x: np.ndarray, lag: int) -> float:
     """Normalised auto-correlation of ``x`` at one lag.
 
@@ -63,7 +77,7 @@ def autocorrelation(x: np.ndarray, lag: int) -> float:
         raise SignalError(f"lag must be in (0, {arr.size}), got {lag}")
     a, b = arr[:-lag], arr[lag:]
     sa, sb = a.std(), b.std()
-    if sa == 0.0 or sb == 0.0:
+    if _degenerate(sa, a) or _degenerate(sb, b):
         return 0.0
     return float(np.mean((a - a.mean()) * (b - b.mean())) / (sa * sb))
 
@@ -121,10 +135,16 @@ def batch_half_cycle_correlation(
         a, b = mat[:, :-lag], mat[:, lag:]
         a_c = a - a.mean(axis=1, keepdims=True)
         b_c = b - b.mean(axis=1, keepdims=True)
-        denom = a.std(axis=1) * b.std(axis=1)
+        sa, sb = a.std(axis=1), b.std(axis=1)
+        # Same relative-scale degeneracy rule as the scalar path (see
+        # _degenerate), applied row-wise so the two stay equivalent.
+        ok = (sa > 1e-12 * np.abs(a).max(axis=1)) & (
+            sb > 1e-12 * np.abs(b).max(axis=1)
+        )
+        denom = sa * sb
         cov = (a_c * b_c).mean(axis=1)
         vals = np.zeros(len(indices))
-        np.divide(cov, denom, out=vals, where=denom > 0.0)
+        np.divide(cov, denom, out=vals, where=ok & (denom > 0.0))
         out[indices] = vals
     return out
 
@@ -150,7 +170,7 @@ def normalized_cross_correlation(x: np.ndarray, y: np.ndarray, lag: int) -> floa
     else:
         aa, bb = a[-lag:], b[: n + lag]
     sa, sb = aa.std(), bb.std()
-    if sa == 0.0 or sb == 0.0:
+    if _degenerate(sa, aa) or _degenerate(sb, bb):
         return 0.0
     return float(np.mean((aa - aa.mean()) * (bb - bb.mean())) / (sa * sb))
 

@@ -4,25 +4,30 @@ Peak detection over the (filtered) vertical acceleration is the
 canonical step-counting primitive used by GFit-style pedometers,
 Montage [6] and — as the *candidate generator* only — by PTrack itself.
 
-The implementation is self-contained (no ``scipy.signal.find_peaks``)
-so its semantics are fully specified here: a peak is a strict local
-maximum that clears a prominence floor and a minimum spacing to the
-previously accepted peak.
+The semantics are fully specified by the pure-Python reference
+implementations in this module: a peak is a strict local maximum
+(plateaus resolve to their centre) that clears a prominence floor and
+a minimum spacing to the previously accepted peak. The hot paths
+dispatch to the C kernels in :mod:`scipy.signal`, which implement the
+same definitions; the differential tests assert bit-identical results
+against the references.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
+from scipy import signal as sp_signal
 
 from repro.exceptions import ConfigurationError, SignalError
 
 __all__ = ["detect_peaks", "detect_valleys", "peak_prominences"]
 
 
-def _local_maxima(x: np.ndarray) -> np.ndarray:
-    """Indices of strict local maxima, resolving flat tops to their centre."""
+def _local_maxima_reference(x: np.ndarray) -> np.ndarray:
+    """Pure-Python specification of :func:`_local_maxima` (kept for tests)."""
     n = x.size
     if n < 3:
         return np.empty(0, dtype=int)
@@ -42,20 +47,20 @@ def _local_maxima(x: np.ndarray) -> np.ndarray:
     return np.asarray(maxima, dtype=int)
 
 
-def peak_prominences(x: np.ndarray, peaks: np.ndarray) -> np.ndarray:
-    """Topographic prominence of each peak.
+def _local_maxima(x: np.ndarray) -> np.ndarray:
+    """Indices of strict local maxima, resolving flat tops to their centre.
 
-    The prominence of a peak is its height above the higher of the two
-    deepest valleys separating it from taller terrain on either side —
-    the standard definition, computed directly.
-
-    Args:
-        x: 1-D signal.
-        peaks: Indices of local maxima within ``x``.
-
-    Returns:
-        Array of prominences aligned with ``peaks``.
+    ``scipy.signal.find_peaks`` without conditions returns exactly the
+    plateau-centre local maxima of the reference implementation, via a
+    C scan instead of a Python loop.
     """
+    if x.size < 3:
+        return np.empty(0, dtype=int)
+    return sp_signal.find_peaks(x)[0]
+
+
+def _peak_prominences_reference(x: np.ndarray, peaks: np.ndarray) -> np.ndarray:
+    """Pure-Python specification of :func:`peak_prominences` (kept for tests)."""
     arr = np.asarray(x, dtype=float)
     out = np.empty(len(peaks), dtype=float)
     for k, p in enumerate(peaks):
@@ -74,6 +79,33 @@ def peak_prominences(x: np.ndarray, peaks: np.ndarray) -> np.ndarray:
             i += 1
         out[k] = height - max(left_min, right_min)
     return out
+
+
+def peak_prominences(x: np.ndarray, peaks: np.ndarray) -> np.ndarray:
+    """Topographic prominence of each peak.
+
+    The prominence of a peak is its height above the higher of the two
+    deepest valleys separating it from taller terrain on either side —
+    the standard definition. The scipy C kernel performs the same
+    bounded left/right scans as the reference implementation and
+    produces bit-identical values.
+
+    Args:
+        x: 1-D signal.
+        peaks: Indices of local maxima within ``x``.
+
+    Returns:
+        Array of prominences aligned with ``peaks``.
+    """
+    arr = np.asarray(x, dtype=float)
+    idx = np.asarray(peaks, dtype=np.intp)
+    if idx.size == 0:
+        return np.empty(0, dtype=float)
+    with warnings.catch_warnings():
+        # scipy warns (and returns 0) for indices that are not local
+        # maxima; the reference implementation returns 0 silently.
+        warnings.simplefilter("ignore")
+        return sp_signal.peak_prominences(arr, idx)[0]
 
 
 def detect_peaks(

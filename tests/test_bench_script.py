@@ -67,3 +67,45 @@ def test_checked_in_scoreboard_is_current_schema():
     # The acceptance headline: the warm (memoized) study re-run beats
     # the seed-style serial loop by well over 3x.
     assert macro["speedup_warm"] >= 3.0
+
+
+def test_revision_and_schema_stamped(check_results):
+    assert check_results["schema"] == "ptrack-bench-v2"
+    rev = check_results["git_revision"]
+    assert rev == "unknown" or len(rev.split("-")[0]) == 40
+
+
+def test_serving_sections_complete(check_results):
+    serving = check_results["serving"]
+    assert set(serving) == {
+        "single_session",
+        "amortized_append",
+        "fleet_scaling",
+    }
+    single = serving["single_session"]
+    assert single["headline_speedup"] > 0
+    assert all(r["speedup"] > 0 for r in single["cadences"])
+    amort = serving["amortized_append"]
+    assert amort["work_counters_cadence_invariant"] is True
+    fleet = serving["fleet_scaling"]
+    assert fleet["identity_serial_pooled_sharded"] is True
+    assert all(r["samples_per_s"] > 0 for r in fleet["scaling"])
+
+
+def test_pr3_scoreboard_meets_acceptance():
+    scoreboard = json.loads((REPO_ROOT / "BENCH_PR3.json").read_text())
+    assert scoreboard["schema"] == "ptrack-bench-v2"
+    serving = scoreboard["serving"]
+    # Acceptance headline: >= 5x single-session streaming throughput
+    # over the pre-PR reprocessing driver on a 10-minute trace.
+    single = serving["single_session"]
+    assert single["duration_s"] >= 600.0
+    assert single["headline_speedup"] >= 5.0
+    # Near-flat amortised per-append cost across an 8x cadence sweep.
+    amort = serving["amortized_append"]
+    assert amort["work_counters_cadence_invariant"] is True
+    assert amort["wall_spread"] <= 2.5
+    # Fleet scaling reaches 1000 sessions with identity asserted.
+    fleet = serving["fleet_scaling"]
+    assert fleet["max_sessions"] >= 1000
+    assert fleet["identity_serial_pooled_sharded"] is True

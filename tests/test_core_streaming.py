@@ -2,9 +2,11 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.pipeline import PTrack
-from repro.core.streaming import StreamingPTrack
+from repro.core.streaming import ReprocessingStreamingPTrack, StreamingPTrack
 from repro.exceptions import ConfigurationError, SignalError
 from repro.simulation.walker import simulate_walk
 
@@ -128,6 +130,39 @@ class TestStreamingBehaviour:
         assert streamer._data.shape[0] <= 4 * streamer._max_buffer
         assert streamer._size <= streamer._max_buffer
 
+    def test_rejects_non_float64(self):
+        # Anything but float64 would force a silent conversion copy on
+        # every append; the contract is to fail loudly instead.
+        streamer = StreamingPTrack(100.0)
+        with pytest.raises(SignalError, match="float64"):
+            streamer.append(np.zeros((10, 3), dtype=np.float32))
+
+    def test_rejects_non_array(self):
+        streamer = StreamingPTrack(100.0)
+        with pytest.raises(SignalError, match="asarray"):
+            streamer.append([[0.0, 0.0, 9.8]])
+
+    def test_reset_replays_identically_without_reallocating(self, user):
+        trace, _ = simulate_walk(user, 20.0, rng=np.random.default_rng(21))
+        streamer = StreamingPTrack(100.0, profile=user.profile)
+        data = trace.linear_acceleration
+        for i in range(0, data.shape[0], 70):
+            streamer.append(data[i : i + 70])
+        streamer.flush()
+        first_steps = streamer.step_count
+        first_dist = streamer.distance_m
+        buf, filt = streamer._data, streamer._filt
+
+        streamer.reset()
+        assert streamer.step_count == 0 and streamer.distance_m == 0.0
+        assert streamer.op_stats.samples_in == 0
+        assert streamer._data is buf and streamer._filt is filt
+        for i in range(0, data.shape[0], 70):
+            streamer.append(data[i : i + 70])
+        streamer.flush()
+        assert streamer.step_count == first_steps
+        assert streamer.distance_m == first_dist
+
     def test_long_stream_matches_batch_results(self, user):
         # Trims and in-place tail copies must not perturb the counted
         # steps or credited distance relative to the batch pipeline.
@@ -141,3 +176,131 @@ class TestStreamingBehaviour:
         assert abs(streamer.step_count - expected.step_count) <= 4
         assert streamer.step_count == pytest.approx(truth.step_count, abs=6)
         assert streamer.distance_m == pytest.approx(expected.distance_m, rel=0.08)
+
+
+def _stream(streamer, data, chunks):
+    """Drive ``data`` through ``streamer`` in the given chunk sizes."""
+    steps, strides = [], []
+    pos = 0
+    for size in chunks:
+        st, sr = streamer.append(data[pos : pos + size])
+        steps.extend(st)
+        strides.extend(sr)
+        pos += size
+    if pos < data.shape[0]:
+        st, sr = streamer.append(data[pos:])
+        steps.extend(st)
+        strides.extend(sr)
+    st, sr = streamer.flush()
+    steps.extend(st)
+    strides.extend(sr)
+    return steps, strides
+
+
+class TestChunkInvariance:
+    """Credited output is a pure function of the sample stream.
+
+    The incremental core only does work at absolute hop boundaries, so
+    how the stream is sliced into append calls — sample by sample,
+    uneven bursts, or one giant chunk — must not change a single
+    credited step or stride.
+    """
+
+    @pytest.fixture(scope="class")
+    def stream_case(self, user):
+        trace, _ = simulate_walk(user, 20.0, rng=np.random.default_rng(31))
+        data = np.ascontiguousarray(trace.linear_acceleration)
+
+        def run(chunks):
+            streamer = StreamingPTrack(100.0, profile=user.profile)
+            steps, strides = _stream(streamer, data, chunks)
+            return (
+                [(e.index, e.time) for e in steps],
+                [(e.time, e.length_m) for e in strides],
+            )
+
+        reference = run([data.shape[0]])  # one giant chunk
+        assert len(reference[0]) > 20
+        return data, run, reference
+
+    def test_single_sample_appends(self, stream_case):
+        data, run, reference = stream_case
+        assert run([1] * data.shape[0]) == reference
+
+    @pytest.mark.parametrize("batch", [7, 33, 100, 256, 1999])
+    def test_fixed_batches(self, stream_case, batch):
+        data, run, reference = stream_case
+        n = data.shape[0]
+        assert run([batch] * (n // batch)) == reference
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=500), max_size=60))
+    def test_arbitrary_chunkings(self, stream_case, chunks):
+        data, run, reference = stream_case
+        assert run(chunks) == reference
+
+
+class TestBoundedPerAppendWork:
+    """Regression guard for the amortised-O(1) append claim."""
+
+    def test_work_counters_linear_in_input(self, user):
+        trace, _ = simulate_walk(user, 60.0, rng=np.random.default_rng(41))
+        data = trace.linear_acceleration
+        streamer = StreamingPTrack(100.0, profile=user.profile)
+        for i in range(0, data.shape[0], 50):
+            streamer.append(data[i : i + 50])
+        ops = streamer.op_stats
+        assert ops.samples_in == data.shape[0]
+        # Filtering touches each sample once plus bounded block context.
+        assert ops.samples_filtered <= 4 * ops.samples_in
+        # Segmentation rescans a bounded retained window per pass.
+        assert ops.segmentation_samples <= 8 * ops.samples_in
+        # Every staged cycle is classified exactly once.
+        assert ops.offset_evaluations <= ops.cycles_staged
+        assert ops.stepping_tests <= ops.cycles_staged
+
+    def test_work_independent_of_append_cadence(self, user):
+        # The defining O(1) property: slicing the same stream into 8x
+        # more append calls must not change how much signal work is
+        # done (the pre-PR driver's work scaled with the drain count).
+        trace, _ = simulate_walk(user, 40.0, rng=np.random.default_rng(42))
+        data = trace.linear_acceleration
+        ops = {}
+        for batch in (25, 200):
+            streamer = StreamingPTrack(100.0, profile=user.profile)
+            for i in range(0, data.shape[0], batch):
+                streamer.append(data[i : i + batch])
+            ops[batch] = streamer.op_stats
+        assert ops[25].samples_filtered == ops[200].samples_filtered
+        assert ops[25].segmentation_samples == ops[200].segmentation_samples
+        assert ops[25].cycles_staged == ops[200].cycles_staged
+        assert ops[25].appends == 8 * ops[200].appends
+
+    def test_op_stats_snapshot_is_a_copy(self):
+        streamer = StreamingPTrack(100.0)
+        snap = streamer.op_stats
+        streamer.append(np.zeros((300, 3)))
+        assert snap.samples_in == 0
+        assert streamer.op_stats.samples_in == 300
+        assert set(snap.as_dict()) == {
+            "samples_in", "appends", "passes", "samples_filtered",
+            "segmentation_samples", "cycles_staged",
+            "offset_evaluations", "stepping_tests",
+        }
+
+
+class TestReprocessingReference:
+    """The pre-PR rolling-buffer driver stays as the behaviour oracle."""
+
+    def test_incremental_matches_reprocessing(self, user):
+        trace, _ = simulate_walk(user, 40.0, rng=np.random.default_rng(51))
+        data = trace.linear_acceleration
+        fast = StreamingPTrack(100.0, profile=user.profile)
+        slow = ReprocessingStreamingPTrack(100.0, profile=user.profile)
+        for i in range(0, data.shape[0], 100):
+            fast.append(data[i : i + 100])
+            slow.append(data[i : i + 100])
+        fast.flush()
+        slow.flush()
+        assert abs(fast.step_count - slow.step_count) <= 2
+        assert fast.distance_m == pytest.approx(slow.distance_m, rel=0.05)

@@ -20,6 +20,7 @@ EXPECTED_MARKERS = {
     "self_training": "Self-trained",
     "fitness_day": "Daily report",
     "streaming_tracking": "streaming",
+    "fleet_serving": "real time",
     "raw_device_pipeline": "raw device stream",
     "gps_duty_cycling": "GPS fix every",
     "adaptive_threshold": "Adaptive threshold",

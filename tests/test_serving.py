@@ -1,0 +1,235 @@
+"""Tests for repro.serving: pool identity, sharding, workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import StreamingPTrack
+from repro.exceptions import ConfigurationError
+from repro.serving import (
+    SessionPool,
+    serve_fleet,
+    synthesize_workload,
+)
+
+
+def _serve_serially(workloads, batch=50):
+    """Reference: each session driven by its own StreamingPTrack."""
+    results = []
+    for w in workloads:
+        sess = StreamingPTrack(100.0, profile=w.profile)
+        steps, strides = [], []
+        for off in range(0, w.samples.shape[0], batch):
+            st, sr = sess.append(w.samples[off : off + batch])
+            steps.extend(st)
+            strides.extend(sr)
+        st, sr = sess.flush()
+        steps.extend(st)
+        strides.extend(sr)
+        results.append((steps, strides))
+    return results
+
+
+def _serve_pooled(workloads, batch=50):
+    """Same sessions behind one SessionPool ingest call per tick."""
+    pool = SessionPool(100.0)
+    sids = pool.add_sessions([w.profile for w in workloads])
+    results = [([], []) for _ in sids]
+    longest = max(w.samples.shape[0] for w in workloads)
+    for off in range(0, longest, batch):
+        live = [k for k, w in enumerate(workloads) if off < w.samples.shape[0]]
+        out = pool.append(
+            [sids[k] for k in live],
+            [workloads[k].samples[off : off + batch] for k in live],
+        )
+        for k, (st, sr) in zip(live, out):
+            results[k][0].extend(st)
+            results[k][1].extend(sr)
+    for k, (st, sr) in enumerate(pool.flush(sids)):
+        results[k][0].extend(st)
+        results[k][1].extend(sr)
+    return results
+
+
+def _signature(steps, strides):
+    """Exact identity key of one session's credited output."""
+    return (
+        [(e.index, e.time) for e in steps],
+        [(e.time, e.length_m) for e in strides],
+    )
+
+
+@pytest.fixture(scope="module")
+def small_fleet():
+    return synthesize_workload(4, 25.0, seed=11)
+
+
+class TestSessionPool:
+    def test_pooled_identical_to_serial(self, small_fleet):
+        serial = _serve_serially(small_fleet)
+        pooled = _serve_pooled(small_fleet)
+        for (s_steps, s_strides), (p_steps, p_strides) in zip(serial, pooled):
+            assert _signature(s_steps, s_strides) == _signature(
+                p_steps, p_strides
+            )
+        assert all(len(s) > 0 for s, _ in serial)
+
+    def test_partial_fleet_appends(self, small_fleet):
+        # A session that only uploads on some ticks must behave exactly
+        # like a solo session fed the same batches.
+        w = small_fleet[0]
+        pool = SessionPool(100.0)
+        busy = pool.add_session(w.profile)
+        idle = pool.add_session()
+        solo = StreamingPTrack(100.0, profile=w.profile)
+        steps_pool, steps_solo = [], []
+        for off in range(0, w.samples.shape[0], 100):
+            batch = w.samples[off : off + 100]
+            (st_p, _), = pool.append([busy], [batch])
+            st_s, _ = solo.append(batch)
+            steps_pool.extend(st_p)
+            steps_solo.extend(st_s)
+        assert [e.index for e in steps_pool] == [e.index for e in steps_solo]
+        assert pool.step_count(idle) == 0
+        assert pool.step_count(busy) == pool.total_steps
+
+    def test_totals_aggregate_sessions(self, small_fleet):
+        pool = SessionPool(100.0)
+        sids = pool.add_sessions([w.profile for w in small_fleet])
+        for sid, w in zip(sids, small_fleet):
+            pool.append([sid], [w.samples])
+        pool.flush()
+        assert pool.total_steps == sum(pool.step_count(s) for s in sids)
+        assert pool.total_distance_m == pytest.approx(
+            sum(pool.distance_m(s) for s in sids)
+        )
+        assert pool.n_sessions == len(sids)
+        assert pool.session_ids == sids
+
+    def test_reset_session_reuses_buffers(self, small_fleet):
+        w = small_fleet[1]
+        pool = SessionPool(100.0)
+        sid = pool.add_session(w.profile)
+        pool.append([sid], [w.samples])
+        pool.flush([sid])
+        first = pool.step_count(sid)
+        buf = pool.session(sid)._data
+        pool.reset_session(sid)
+        assert pool.step_count(sid) == 0
+        assert pool.session(sid)._data is buf
+        pool.append([sid], [w.samples])
+        pool.flush([sid])
+        assert pool.step_count(sid) == first
+
+    def test_rejects_mismatched_lengths(self):
+        pool = SessionPool(100.0)
+        sid = pool.add_session()
+        with pytest.raises(ConfigurationError):
+            pool.append([sid], [np.zeros((10, 3)), np.zeros((10, 3))])
+
+    def test_rejects_unknown_session(self):
+        pool = SessionPool(100.0)
+        with pytest.raises(ConfigurationError):
+            pool.append([99], [np.zeros((10, 3))])
+
+
+class TestServeFleet:
+    def test_sharded_identical_to_serial(self, small_fleet):
+        serial = _serve_serially(small_fleet)
+        report = serve_fleet(
+            [w.samples for w in small_fleet],
+            100.0,
+            profiles=[w.profile for w in small_fleet],
+            workers=2,
+            sessions_per_shard=2,
+        )
+        assert len(report.sessions) == len(small_fleet)
+        for k, (steps, strides) in enumerate(serial):
+            sess = report.sessions[k]
+            assert sess.session_index == k
+            assert _signature(steps, strides) == _signature(
+                list(sess.steps), list(sess.strides)
+            )
+
+    def test_shard_layout_cannot_change_results(self, small_fleet):
+        traces = [w.samples for w in small_fleet]
+        profiles = [w.profile for w in small_fleet]
+        per_one = serve_fleet(
+            traces, 100.0, profiles=profiles, workers=1, sessions_per_shard=1
+        )
+        one_shard = serve_fleet(
+            traces, 100.0, profiles=profiles, workers=1,
+            sessions_per_shard=len(small_fleet),
+        )
+        for a, b in zip(per_one.sessions, one_shard.sessions):
+            assert _signature(list(a.steps), list(a.strides)) == _signature(
+                list(b.steps), list(b.strides)
+            )
+        assert per_one.total_steps == one_shard.total_steps
+
+    def test_report_aggregates(self, small_fleet):
+        report = serve_fleet(
+            [w.samples for w in small_fleet],
+            100.0,
+            profiles=[w.profile for w in small_fleet],
+            workers=1,
+        )
+        assert report.n_samples == sum(
+            w.samples.shape[0] for w in small_fleet
+        )
+        assert report.total_steps == sum(
+            s.step_count for s in report.sessions
+        )
+        assert report.total_distance_m == pytest.approx(
+            sum(s.distance_m for s in report.sessions)
+        )
+        # Steps land near the simulator's ground truth fleet-wide.
+        truth = sum(w.true_steps for w in small_fleet)
+        assert report.total_steps == pytest.approx(truth, abs=2 * len(small_fleet))
+
+    def test_empty_fleet(self):
+        report = serve_fleet([], 100.0)
+        assert report.sessions == () and report.n_samples == 0
+        assert report.total_steps == 0 and report.total_distance_m == 0.0
+
+    def test_rejects_bad_arguments(self, small_fleet):
+        traces = [w.samples for w in small_fleet]
+        with pytest.raises(ConfigurationError):
+            serve_fleet(traces, 100.0, profiles=[None])
+        with pytest.raises(ConfigurationError):
+            serve_fleet(traces, 100.0, batch_samples=0)
+        with pytest.raises(ConfigurationError):
+            serve_fleet(traces, 100.0, sessions_per_shard=0)
+
+
+class TestWorkloadSynthesis:
+    def test_deterministic(self):
+        a = synthesize_workload(3, 12.0, seed=5)
+        b = synthesize_workload(3, 12.0, seed=5)
+        for wa, wb in zip(a, b):
+            assert np.array_equal(wa.samples, wb.samples)
+            assert wa.true_steps == wb.true_steps
+
+    def test_session_is_function_of_seed_and_index(self):
+        # Session i's walk must not depend on the fleet size, so that
+        # scaling benchmarks grow the fleet without perturbing the
+        # sessions already in it.
+        small = synthesize_workload(2, 12.0, seed=5)
+        large = synthesize_workload(5, 12.0, seed=5)
+        for ws, wl in zip(small, large):
+            assert np.array_equal(ws.samples, wl.samples)
+
+    def test_seed_changes_workload(self):
+        a = synthesize_workload(2, 12.0, seed=5)
+        b = synthesize_workload(2, 12.0, seed=6)
+        assert not np.array_equal(a[0].samples, b[0].samples)
+
+    def test_samples_ready_for_ingest(self):
+        (w,) = synthesize_workload(1, 12.0, seed=0)
+        assert w.samples.dtype == np.float64
+        assert w.samples.ndim == 2 and w.samples.shape[1] == 3
+        assert w.true_steps > 0 and w.true_distance_m > 0.0
+        # Directly ingestible: no dtype/shape conversion needed.
+        sess = StreamingPTrack(100.0, profile=w.profile)
+        sess.append(w.samples)
+        sess.flush()
+        assert sess.step_count > 0
