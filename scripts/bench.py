@@ -16,6 +16,10 @@ Suites:
 * ``serving`` — incremental streaming vs the reprocessing baseline,
   the amortised-append cost curve, and SessionPool fleet scaling
   (the PR-3 scoreboard, ``BENCH_PR3.json``).
+* ``faulted-serving`` — degraded-mode ingest overhead on clean traces
+  (tracked <5% budget, bit-identical credits) and self-healing fleet
+  throughput over fault-injected workloads (the PR-4 scoreboard,
+  ``BENCH_PR4.json``).
 
 Every scoreboard is stamped with the schema version and the git
 revision it was measured at, so checked-in numbers are traceable to
@@ -34,6 +38,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+import bench_faults  # noqa: E402
 import bench_runtime  # noqa: E402
 import bench_serving  # noqa: E402
 
@@ -110,6 +115,32 @@ def _print_serving(serving) -> bool:
     return True
 
 
+def _print_faults(faults) -> bool:
+    clean = faults["clean_overhead"]
+    print(
+        f"  clean-trace overhead ({clean['duration_s']:.0f}s trace): "
+        f"{100 * clean['overhead_frac']:+.1f}% "
+        f"(budget {100 * clean['overhead_budget']:.0f}%), "
+        f"identical credits: {clean['identical_credits']}"
+    )
+    fleet = faults["faulted_fleet"]
+    print(
+        f"  faulted fleet ({fleet['n_sessions']} sessions): "
+        f"{fleet['samples_per_s']:,.0f} samples/s, "
+        f"{fleet['samples_repaired']} repaired, "
+        f"{fleet['samples_rejected']} rejected, "
+        f"{fleet['gaps_reset']} gap resets, status={fleet['status']}"
+    )
+    ok = True
+    if not clean["overhead_ok"]:
+        print("ERROR: degraded-mode ingest exceeds the clean-trace budget")
+        ok = False
+    if fleet["n_failed"]:
+        print("ERROR: faulted fleet lost sessions on injectable faults")
+        ok = False
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -119,7 +150,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("runtime", "serving", "all"),
+        choices=("runtime", "serving", "faulted-serving", "all"),
         default="all",
         help="which benchmark suites to run",
     )
@@ -128,8 +159,9 @@ def main(argv=None) -> int:
         type=pathlib.Path,
         default=None,
         help="where to write the JSON scoreboard (default: "
-        "BENCH_PR3.json for the serving/all suites, BENCH_PR1.json "
-        "for --suite runtime)",
+        "BENCH_PR1.json for --suite runtime, BENCH_PR3.json for "
+        "--suite serving, BENCH_PR4.json for --suite faulted-serving, "
+        "BENCH_PR4.json for all)",
     )
     parser.add_argument("--seeds", type=int, default=6, help="macro replicates")
     parser.add_argument("--users", type=int, default=2, help="users per replicate")
@@ -145,9 +177,13 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     output = args.output
     if output is None:
-        output = REPO_ROOT / (
-            "BENCH_PR1.json" if args.suite == "runtime" else "BENCH_PR3.json"
-        )
+        default_outputs = {
+            "runtime": "BENCH_PR1.json",
+            "serving": "BENCH_PR3.json",
+            "faulted-serving": "BENCH_PR4.json",
+            "all": "BENCH_PR4.json",
+        }
+        output = REPO_ROOT / default_outputs[args.suite]
 
     ok = True
     results = {"schema": BENCH_SCHEMA, "git_revision": git_revision()}
@@ -166,6 +202,9 @@ def main(argv=None) -> int:
     if args.suite in ("serving", "all"):
         results["check_mode"] = args.check
         results["serving"] = bench_serving.run_serving(check=args.check)
+    if args.suite in ("faulted-serving", "all"):
+        results["check_mode"] = args.check
+        results["faults"] = bench_faults.run_faults(check=args.check)
 
     output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output} (rev {results['git_revision']})")
@@ -173,6 +212,8 @@ def main(argv=None) -> int:
         ok = _print_runtime(results) and ok
     if args.suite in ("serving", "all"):
         ok = _print_serving(results["serving"]) and ok
+    if args.suite in ("faulted-serving", "all"):
+        ok = _print_faults(results["faults"]) and ok
     return 0 if ok else 1
 
 

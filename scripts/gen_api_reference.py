@@ -17,6 +17,7 @@ MODULES = [
     "repro.simulation",
     "repro.core",
     "repro.runtime",
+    "repro.faults",
     "repro.serving",
     "repro.baselines",
     "repro.apps",
@@ -31,7 +32,11 @@ def main() -> None:
     out.write(
         "Auto-generated from the live package (first docstring line per\n"
         "public symbol). Regenerate with "
-        "`python scripts/gen_api_reference.py`.\n"
+        "`python scripts/gen_api_reference.py`.\n\n"
+        "Narrative guides: [performance.md](performance.md) for the\n"
+        "runtime/serving layers, [robustness.md](robustness.md) for\n"
+        "`repro.faults`, degraded-mode ingest, and self-healing\n"
+        "serving.\n"
     )
     for modname in MODULES:
         mod = importlib.import_module(modname)

@@ -50,6 +50,7 @@ from repro.core.step_counter import (
 from repro.core.stepping import batch_stepping_tests
 from repro.core.stride import PTrackStrideEstimator
 from repro.exceptions import ConfigurationError, SignalError
+from repro.faults.policy import FaultPolicy
 from repro.sensing.imu import IMUTrace
 from repro.signal.filters import butter_lowpass
 from repro.signal.projection import anterior_direction, project_horizontal
@@ -86,6 +87,13 @@ class StreamingOpStats:
             (each cycle is classified exactly once).
         offset_evaluations: Critical-point offset computations.
         stepping_tests: Stepping admission-test evaluations.
+        samples_repaired: Invalid samples bridged by degraded-mode
+            repair (bounded interpolation under a
+            :class:`repro.faults.FaultPolicy`).
+        samples_rejected: Invalid samples quarantined and dropped
+            (part of an unrecoverable gap or a trailing defect).
+        gaps_reset: Unrecoverable gaps that forced a segmentation
+            reset instead of fusing disjoint signal.
     """
 
     samples_in: int = 0
@@ -96,6 +104,9 @@ class StreamingOpStats:
     cycles_staged: int = 0
     offset_evaluations: int = 0
     stepping_tests: int = 0
+    samples_repaired: int = 0
+    samples_rejected: int = 0
+    gaps_reset: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dict (for reports and JSON)."""
@@ -108,6 +119,9 @@ class StreamingOpStats:
             "cycles_staged": self.cycles_staged,
             "offset_evaluations": self.offset_evaluations,
             "stepping_tests": self.stepping_tests,
+            "samples_repaired": self.samples_repaired,
+            "samples_rejected": self.samples_rejected,
+            "gaps_reset": self.gaps_reset,
         }
 
 
@@ -174,6 +188,14 @@ class StreamingPTrack:
             settled boundaries. Default: 2.5 s (latency of crediting).
         max_buffer_s: Rolling buffer length; processed samples older
             than this are dropped.
+        fault_policy: ``None`` (default) keeps strict ingest — any
+            non-finite batch raises. A :class:`repro.faults.FaultPolicy`
+            switches ingest into degraded mode: invalid samples
+            (non-finite or saturated) are quarantined, short defects
+            repaired, unrecoverable gaps reset segmentation, and the
+            ``samples_repaired`` / ``samples_rejected`` / ``gaps_reset``
+            counters in :attr:`op_stats` record it all. On a clean
+            stream both modes credit bit-identical results.
     """
 
     def __init__(
@@ -183,6 +205,7 @@ class StreamingPTrack:
         config: Optional[PTrackConfig] = None,
         settle_s: float = 2.5,
         max_buffer_s: float = 30.0,
+        fault_policy: Optional[FaultPolicy] = None,
     ) -> None:
         if sample_rate_hz <= 0:
             raise ConfigurationError("sample_rate_hz must be positive")
@@ -215,6 +238,19 @@ class StreamingPTrack:
             if profile is not None
             else None
         )
+        self._policy = fault_policy
+        self._max_repair = (
+            int(round(fault_policy.max_repair_s * sample_rate_hz))
+            if fault_policy is not None
+            else 0
+        )
+        # Cached as a plain float: the degraded fast path compares
+        # against it on every append.
+        self._sat_limit = (
+            float(fault_policy.saturation_limit)
+            if fault_policy is not None
+            else 0.0
+        )
         self._data = np.empty((max(256, self._max_buffer // 8), 3))
         self._filt = np.empty_like(self._data)
         self._machine = Fig4Streak(self._config)
@@ -237,6 +273,16 @@ class StreamingPTrack:
         self._total_steps = 0
         self._total_distance = 0.0
         self._trim_boundary: Optional[int] = None
+        # Degraded-mode (FaultPolicy) stream state: the last valid
+        # sample seen, how many invalid samples are pending a repair
+        # decision, whether the stream is inside an unrecoverable gap,
+        # and credits settled by a gap reset awaiting delivery.
+        self._last_good: Optional[np.ndarray] = None
+        self._pending_invalid = 0
+        self._in_gap = False
+        self._pending_credits: Optional[
+            Tuple[List[StepEvent], List[StrideEstimate]]
+        ] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -300,11 +346,11 @@ class StreamingPTrack:
 
         Raises:
             SignalError: On a shape or dtype that would force a silent
-                conversion copy on every call, or non-finite values.
+                conversion copy on every call, or — in strict mode
+                (no fault policy) — non-finite values.
         """
         self.ingest(samples)
-        steps: List[StepEvent] = []
-        strides: List[StrideEstimate] = []
+        steps, strides = self.take_pending_credits()
         while True:
             staged = self.collect()
             if staged is None:
@@ -316,11 +362,16 @@ class StreamingPTrack:
 
     def flush(self) -> Tuple[List[StepEvent], List[StrideEstimate]]:
         """Settle everything remaining in the buffer (end of stream)."""
+        if self._pending_invalid:
+            # A trailing defect has no right-hand good sample to
+            # repair against; it can only be quarantined.
+            self._stats.samples_rejected += self._pending_invalid
+            self._pending_invalid = 0
+        self._in_gap = False
+        steps, strides = self.take_pending_credits()
         head = self._buf_start + self._size
         if head == 0:
-            return [], []
-        steps: List[StepEvent] = []
-        strides: List[StrideEstimate] = []
+            return steps, strides
         while True:
             staged = self.collect()
             if staged is None:
@@ -354,6 +405,16 @@ class StreamingPTrack:
         append, a per-call tax that is invisible until it dominates a
         serving profile. Such inputs raise :class:`SignalError` with
         the one-line fix instead.
+
+        Without a fault policy, non-finite values also raise. With one
+        (degraded mode), invalid samples — non-finite or saturated —
+        are quarantined instead: a run no longer than the policy's
+        repair bound is bridged by interpolation once the next good
+        sample arrives, while a longer run is an unrecoverable gap
+        (samples rejected, segmentation state reset, credits settled
+        so far delivered through :meth:`take_pending_credits`). All
+        repair/reset decisions depend only on the sample sequence, so
+        degraded streams stay chunking-invariant.
         """
         if not isinstance(samples, np.ndarray):
             raise SignalError(
@@ -374,24 +435,33 @@ class StreamingPTrack:
         n = samples.shape[0]
         if n == 0:
             return 0
-        if not np.all(np.isfinite(samples)):
-            raise SignalError("samples contain non-finite values")
-        needed = self._size + n
-        if needed > self._data.shape[0]:
-            capacity = self._data.shape[0]
-            while capacity < needed:
-                capacity *= 2
-            grown = np.empty((capacity, 3))
-            grown[: self._size] = self._data[: self._size]
-            self._data = grown
-            grown_f = np.empty((capacity, 3))
-            grown_f[: self._size] = self._filt[: self._size]
-            self._filt = grown_f
-        self._data[self._size : needed] = samples
-        self._size = needed
         self._stats.samples_in += n
         self._stats.appends += 1
+        if self._policy is None:
+            if not np.all(np.isfinite(samples)):
+                raise SignalError("samples contain non-finite values")
+            self._write(samples)
+            return n
+        self._ingest_degraded(samples)
         return n
+
+    def take_pending_credits(
+        self,
+    ) -> Tuple[List[StepEvent], List[StrideEstimate]]:
+        """Credits settled by a degraded-mode gap reset, delivered once.
+
+        An unrecoverable gap settles the pre-gap tail *during*
+        :meth:`ingest`, which cannot return events itself; they are
+        parked here and handed to the next caller — ``append`` and
+        ``flush`` drain this automatically, and a
+        :class:`repro.serving.SessionPool` drains it right after each
+        pooled ingest.
+        """
+        if self._pending_credits is None:
+            return [], []
+        steps, strides = self._pending_credits
+        self._pending_credits = None
+        return steps, strides
 
     def collect(self) -> Optional[List[StagedCycle]]:
         """Run ONE due processing pass; return its settled cycles.
@@ -491,6 +561,128 @@ class StreamingPTrack:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _write(self, block: np.ndarray) -> None:
+        """Append validated rows to the rolling buffer (grow as needed)."""
+        needed = self._size + block.shape[0]
+        if needed > self._data.shape[0]:
+            capacity = self._data.shape[0]
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty((capacity, 3))
+            grown[: self._size] = self._data[: self._size]
+            self._data = grown
+            grown_f = np.empty((capacity, 3))
+            grown_f[: self._size] = self._filt[: self._size]
+            self._filt = grown_f
+        self._data[self._size : needed] = block
+        self._size = needed
+
+    def _ingest_degraded(self, samples: np.ndarray) -> None:
+        """Quarantine/repair/reset ingest under the fault policy.
+
+        The batch is split into maximal runs of valid and invalid
+        samples and each run is fed through a tiny state machine
+        (``_last_good`` / ``_pending_invalid`` / ``_in_gap``) whose
+        transitions depend only on the sample sequence — never on how
+        the stream was chunked into appends — which preserves the
+        chunking-invariance guarantee in degraded mode.
+        """
+        # Fast path: one fused reduction decides the whole batch.
+        # abs().max() propagates NaN and maps inf to inf, and NaN <
+        # limit is False, so "peak under the rail" certifies every
+        # sample finite AND unsaturated in a single pass — keeping
+        # clean-trace overhead within the tracked benchmark budget.
+        if not self._in_gap and self._pending_invalid == 0:
+            if float(np.abs(samples).max()) < self._sat_limit:
+                self._write(samples)
+                self._last_good = samples[-1].copy()
+                return
+        valid = np.isfinite(samples).all(axis=1)
+        peak = np.abs(samples).max(axis=1)
+        ok = valid & (peak < self._sat_limit)
+        if bool(ok.all()) and not self._in_gap and self._pending_invalid == 0:
+            self._write(samples)
+            self._last_good = samples[-1].copy()
+            return
+        bounds = np.flatnonzero(np.diff(ok.view(np.int8))) + 1
+        edges = [0, *bounds.tolist(), samples.shape[0]]
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            if ok[lo]:
+                self._take_good(samples[lo:hi])
+            else:
+                self._take_invalid(hi - lo)
+
+    def _take_good(self, block: np.ndarray) -> None:
+        """Accept a run of valid samples, repairing any pending defect."""
+        self._in_gap = False
+        if self._pending_invalid:
+            k = self._pending_invalid
+            self._pending_invalid = 0
+            first = block[0]
+            if self._last_good is None:
+                # Defect at stream (or post-gap) start: backfill with
+                # the first good sample — there is nothing to the left.
+                fill = np.tile(first, (k, 1))
+            elif self._policy.repair == "hold":
+                fill = np.tile(self._last_good, (k, 1))
+            else:
+                w = (np.arange(1, k + 1) / (k + 1))[:, None]
+                fill = self._last_good * (1.0 - w) + first * w
+            self._write(fill)
+            self._stats.samples_repaired += k
+        self._write(block)
+        self._last_good = block[-1].copy()
+
+    def _take_invalid(self, count: int) -> None:
+        """Quarantine a run of invalid samples; declare gaps when due."""
+        if self._in_gap:
+            # Inside an already-declared gap every further invalid
+            # sample is part of the same outage.
+            self._stats.samples_rejected += count
+            self._advance_past_gap(count)
+            return
+        self._pending_invalid += count
+        if self._pending_invalid > self._max_repair:
+            rejected = self._pending_invalid
+            self._pending_invalid = 0
+            self._stats.samples_rejected += rejected
+            self._stats.gaps_reset += 1
+            self._gap_reset(rejected)
+            self._in_gap = True
+
+    def _gap_reset(self, skipped: int) -> None:
+        """Restart the stream across an unrecoverable gap.
+
+        The pre-gap tail is settled (a zero-horizon flush) and its
+        credits parked for :meth:`take_pending_credits`; then every
+        piece of segmentation state restarts at the first post-gap
+        index so disjoint signal is never fused into phantom cycles.
+        Totals, counters and the user's stride history survive — the
+        same person is still wearing the watch after the outage.
+        """
+        steps, strides = self.flush()
+        if steps or strides:
+            self._pending_credits = (steps, strides)
+        new_start = self._buf_start + self._size + skipped
+        self._machine.reset()
+        self._seg_store.clear()
+        self._size = 0
+        self._buf_start = new_start
+        self._filt_final = new_start
+        self._next_boundary = new_start + self._hop
+        self._credited_until = new_start
+        self._last_peak = max(self._last_peak, new_start - 1)
+        self._trim_boundary = None
+        self._last_good = None
+
+    def _advance_past_gap(self, count: int) -> None:
+        """Shift the (empty) stream start past ``count`` gap samples."""
+        self._buf_start += count
+        self._filt_final = self._buf_start
+        self._next_boundary = self._buf_start + self._hop
+        self._credited_until = self._buf_start
+        self._last_peak = max(self._last_peak, self._buf_start - 1)
+
     def _credit(
         self,
         cand: CycleCandidate,

@@ -17,7 +17,7 @@ interactive use and ``pytest benchmarks/ --benchmark-only``.
 | ``ablations`` | delta sweep, noise sweep, sampling-rate sweep, design knobs |
 | ``study`` | the month-long mixed-activity protocol (headline error rate) |
 | ``extensions`` | counter design space, adaptive delta, inertial navigation, attitude + energy |
-| ``robustness`` | attitude-error / mount / arm-lag / gyro-quality sweeps |
+| ``robustness`` | attitude-error / mount / arm-lag / gyro-quality / dropout / clipping sweeps |
 | ``dataset_eval`` | scoring PTrack over saved labelled datasets |
 """
 

@@ -15,9 +15,11 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.core.pipeline import PTrack
+from repro.core.streaming import StreamingPTrack
 from repro.eval.metrics import count_accuracy
 from repro.eval.reporting import Table
 from repro.experiments.common import make_users
+from repro.faults import FaultPolicy, SampleDropout, Saturation, inject_faults
 from repro.sensing.attitude import recover_linear_acceleration
 from repro.sensing.device import WearableDevice
 from repro.sensing.noise import NoiseModel
@@ -29,6 +31,8 @@ __all__ = [
     "sweep_wrist_mount",
     "sweep_arm_lag",
     "sweep_gyro_quality",
+    "sweep_dropout",
+    "sweep_clipping",
 ]
 
 
@@ -149,6 +153,120 @@ def sweep_gyro_quality(
     table = Table(
         "Robustness: gyro white noise (rad/s), raw device path",
         ["gyro sigma", "step accuracy", "stride error (cm)"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    return rows, table
+
+
+def _score_degraded(
+    user, samples: np.ndarray, truth, policy: FaultPolicy
+) -> Tuple[float, float, "StreamingPTrack"]:
+    """Serve one faulted trace through degraded-mode streaming ingest."""
+    sess = StreamingPTrack(100.0, profile=user.profile, fault_policy=policy)
+    steps, strides = sess.append(samples)
+    tail_steps, tail_strides = sess.flush()
+    steps.extend(tail_steps)
+    strides.extend(tail_strides)
+    accuracy = count_accuracy(len(steps), truth.step_count)
+    lengths = np.array([s.length_m for s in strides])
+    stride_err = (
+        100.0 * float(np.mean(np.abs(lengths - user.stride_m)))
+        if lengths.size
+        else float("nan")
+    )
+    return accuracy, stride_err, sess
+
+
+def sweep_dropout(
+    dropout_probs: Sequence[float] = (0.0, 0.02, 0.05, 0.1, 0.2),
+    duration_s: float = 40.0,
+    seed: int = 211,
+) -> Tuple[List[Tuple[float, float, float, int, int]], Table]:
+    """Step accuracy vs per-sample dropout probability.
+
+    Samples are dropped i.i.d. (radio loss, sensor skips) by
+    :class:`repro.faults.SampleDropout` and the trace is served through
+    a degraded-mode :class:`StreamingPTrack`, so this measures the
+    whole repair path: isolated holes are interpolated, runs longer
+    than the policy's repair horizon reset segmentation.
+    """
+    user = make_users(1, seed)[0]
+    trace, truth = simulate_walk(
+        user, duration_s, rng=np.random.default_rng(seed)
+    )
+    policy = FaultPolicy()
+    rows: List[Tuple[float, float, float, int, int]] = []
+    for i, prob in enumerate(dropout_probs):
+        faulted = inject_faults(
+            trace.linear_acceleration, [SampleDropout(prob)], seed=seed, index=i
+        )
+        accuracy, stride_err, sess = _score_degraded(
+            user, faulted, truth, policy
+        )
+        ops = sess.op_stats
+        rows.append(
+            (prob, accuracy, stride_err, ops.samples_repaired, ops.gaps_reset)
+        )
+    table = Table(
+        "Robustness: sample dropout probability, degraded ingest",
+        [
+            "dropout prob",
+            "step accuracy",
+            "stride error (cm)",
+            "repaired",
+            "gap resets",
+        ],
+    )
+    for row in rows:
+        table.add_row(*row)
+    return rows, table
+
+
+def sweep_clipping(
+    limits_ms2: Sequence[float] = (40.0, 25.0, 15.0, 10.0, 6.0),
+    duration_s: float = 40.0,
+    seed: int = 223,
+) -> Tuple[List[Tuple[float, float, float, int, int]], Table]:
+    """Step accuracy vs accelerometer clipping severity.
+
+    A cheap accelerometer saturates at its rail; lower limits clip more
+    of the bounce waveform. The serving policy is told the same rail
+    (``saturation_limit``), so clipped samples are quarantined and
+    repaired rather than fed to segmentation as flat-topped cycles.
+    """
+    user = make_users(1, seed)[0]
+    trace, truth = simulate_walk(
+        user, duration_s, rng=np.random.default_rng(seed)
+    )
+    rows: List[Tuple[float, float, float, int, int]] = []
+    for i, limit in enumerate(limits_ms2):
+        faulted = inject_faults(
+            trace.linear_acceleration, [Saturation(limit=limit)], seed=seed, index=i
+        )
+        policy = FaultPolicy(saturation_limit=limit)
+        accuracy, stride_err, sess = _score_degraded(
+            user, faulted, truth, policy
+        )
+        ops = sess.op_stats
+        rows.append(
+            (
+                limit,
+                accuracy,
+                stride_err,
+                ops.samples_repaired,
+                ops.gaps_reset,
+            )
+        )
+    table = Table(
+        "Robustness: accelerometer rail (m/s^2), degraded ingest",
+        [
+            "clip limit",
+            "step accuracy",
+            "stride error (cm)",
+            "repaired",
+            "gap resets",
+        ],
     )
     for row in rows:
         table.add_row(*row)

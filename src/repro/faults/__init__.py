@@ -1,0 +1,51 @@
+"""Fault model for real-world wearable deployments.
+
+PTrack's pitch is *applicability* — tracking that survives the messy
+reality of a wrist in the world. This package supplies the two halves
+of that story for the serving stack:
+
+* :mod:`repro.faults.injectors` — composable, ``derive_rng``-seeded
+  fault injectors (sample dropout, upload outages, NaN bursts,
+  saturation/clipping, clock jitter, duplicated and out-of-order
+  batches) that corrupt any trace or upload stream deterministically
+  under ``(seed, index)``;
+* :mod:`repro.faults.policy` — the :class:`FaultPolicy` that switches
+  :class:`repro.core.StreamingPTrack` into degraded-mode ingest:
+  quarantine invalid samples, repair short defects, reset segmentation
+  across unrecoverable gaps, and count it all in ``op_stats``.
+
+See ``docs/robustness.md`` for the fault model and the degraded-mode
+semantics end to end.
+"""
+
+from repro.faults.injectors import (
+    DuplicateBatches,
+    FaultInjector,
+    NaNBurst,
+    Outage,
+    OutOfOrderBatches,
+    RateJitter,
+    SampleDropout,
+    Saturation,
+    faulted_stream,
+    inject_batch_faults,
+    inject_faults,
+    split_batches,
+)
+from repro.faults.policy import FaultPolicy
+
+__all__ = [
+    "DuplicateBatches",
+    "FaultInjector",
+    "FaultPolicy",
+    "NaNBurst",
+    "Outage",
+    "OutOfOrderBatches",
+    "RateJitter",
+    "SampleDropout",
+    "Saturation",
+    "faulted_stream",
+    "inject_batch_faults",
+    "inject_faults",
+    "split_batches",
+]

@@ -1,0 +1,403 @@
+"""Composable, deterministically seeded fault injectors.
+
+Real wrists are not lab rigs: BLE uploads drop whole spans of samples,
+IMUs clip at their full-scale range, firmware hiccups produce NaN
+bursts, retransmissions duplicate or reorder upload batches, and cheap
+oscillators jitter the sampling clock. Each defect is modelled by one
+small injector; a list of injectors composes into a fault scenario.
+
+Determinism is the organising rule, inherited from
+:func:`repro.runtime.parallel.derive_rng`: every injector draws from a
+generator derived from ``(seed, index, position)``, so the faulted
+trace of session ``index`` is a pure function of the fault scenario
+and ``(seed, index)`` — identical whether the sweep runs serially, in
+a process pool, or is re-run next week (the property tests assert
+this).
+
+Two fault surfaces:
+
+* **trace faults** (``apply_trace``) corrupt the sample array itself —
+  dropout, outages, NaN bursts, saturation, clock jitter. Missing
+  samples are marked with NaN rows; the degraded-mode ingest of
+  :class:`repro.core.StreamingPTrack` quarantines and repairs them
+  under a :class:`repro.faults.FaultPolicy`.
+* **batch faults** (``apply_batches``) corrupt the upload stream —
+  duplicated and out-of-order batches — after the trace is split into
+  device uploads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.parallel import derive_rng
+
+__all__ = [
+    "FaultInjector",
+    "SampleDropout",
+    "Outage",
+    "NaNBurst",
+    "Saturation",
+    "RateJitter",
+    "DuplicateBatches",
+    "OutOfOrderBatches",
+    "inject_faults",
+    "inject_batch_faults",
+    "split_batches",
+    "faulted_stream",
+]
+
+#: Seeding domain separating fault streams from workload streams that
+#: share the same ``(seed, index)`` coordinates.
+_FAULT_DOMAIN = 0xFA17
+
+
+class FaultInjector:
+    """Base injector: identity on both fault surfaces.
+
+    Subclasses override :meth:`apply_trace` (sample-level defects) or
+    :meth:`apply_batches` (upload-stream defects); each receives a
+    dedicated generator and must be a pure function of its inputs —
+    never mutate the caller's arrays.
+    """
+
+    def apply_trace(
+        self,
+        samples: np.ndarray,
+        rng: np.random.Generator,
+        sample_rate_hz: float,
+    ) -> np.ndarray:
+        """Return a faulted copy of a (n, 3) trace (default: identity)."""
+        return samples
+
+    def apply_batches(
+        self,
+        batches: List[np.ndarray],
+        rng: np.random.Generator,
+    ) -> List[np.ndarray]:
+        """Return a faulted upload sequence (default: identity)."""
+        return batches
+
+
+def _check_prob(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(
+            f"{name} must be a probability in [0, 1], got {value!r}"
+        )
+
+
+def _check_span(name: str, lo: float, hi: float) -> None:
+    if lo < 0 or hi < lo:
+        raise ConfigurationError(
+            f"{name} must satisfy 0 <= min <= max, got ({lo!r}, {hi!r})"
+        )
+
+
+@dataclass(frozen=True)
+class SampleDropout(FaultInjector):
+    """Independent per-sample dropout: each row is lost with ``prob``.
+
+    Lost rows become NaN markers (all three axes), the wire format the
+    degraded-mode ingest quarantines. Scattered single-sample losses
+    are the cheap-BLE steady state; they are almost always repairable.
+    """
+
+    prob: float = 0.05
+
+    def __post_init__(self) -> None:
+        _check_prob("prob", self.prob)
+
+    def apply_trace(
+        self,
+        samples: np.ndarray,
+        rng: np.random.Generator,
+        sample_rate_hz: float,
+    ) -> np.ndarray:
+        out = samples.copy()
+        lost = rng.random(out.shape[0]) < self.prob
+        out[lost] = np.nan
+        return out
+
+
+@dataclass(frozen=True)
+class Outage(FaultInjector):
+    """Contiguous upload outages: whole spans of samples lost.
+
+    ``rate_per_min`` outages (Poisson) of uniform length between
+    ``min_gap_s`` and ``max_gap_s`` are cut from the trace as NaN
+    runs. Outages longer than the repair bound exercise the gap-reset
+    path: segmentation state must not fuse the signal across them.
+    """
+
+    rate_per_min: float = 1.0
+    min_gap_s: float = 0.5
+    max_gap_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_min < 0:
+            raise ConfigurationError(
+                f"rate_per_min must be >= 0, got {self.rate_per_min!r}"
+            )
+        _check_span("gap span", self.min_gap_s, self.max_gap_s)
+
+    def apply_trace(
+        self,
+        samples: np.ndarray,
+        rng: np.random.Generator,
+        sample_rate_hz: float,
+    ) -> np.ndarray:
+        n = samples.shape[0]
+        out = samples.copy()
+        duration_min = n / sample_rate_hz / 60.0
+        n_gaps = int(rng.poisson(self.rate_per_min * duration_min))
+        lo = max(1, int(round(self.min_gap_s * sample_rate_hz)))
+        hi = max(lo, int(round(self.max_gap_s * sample_rate_hz)))
+        for _ in range(n_gaps):
+            length = int(rng.integers(lo, hi + 1))
+            start = int(rng.integers(0, max(1, n - length + 1)))
+            out[start : start + length] = np.nan
+        return out
+
+
+@dataclass(frozen=True)
+class NaNBurst(FaultInjector):
+    """Short NaN bursts on a random axis subset (firmware glitches).
+
+    Unlike dropout, a burst may corrupt a single axis while the others
+    read fine — the degraded ingest must still quarantine the whole
+    sample (a gait cycle with one fabricated axis is worse than a
+    repaired one).
+    """
+
+    rate_per_min: float = 2.0
+    min_burst_s: float = 0.02
+    max_burst_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.rate_per_min < 0:
+            raise ConfigurationError(
+                f"rate_per_min must be >= 0, got {self.rate_per_min!r}"
+            )
+        _check_span("burst span", self.min_burst_s, self.max_burst_s)
+
+    def apply_trace(
+        self,
+        samples: np.ndarray,
+        rng: np.random.Generator,
+        sample_rate_hz: float,
+    ) -> np.ndarray:
+        n = samples.shape[0]
+        out = samples.copy()
+        duration_min = n / sample_rate_hz / 60.0
+        n_bursts = int(rng.poisson(self.rate_per_min * duration_min))
+        lo = max(1, int(round(self.min_burst_s * sample_rate_hz)))
+        hi = max(lo, int(round(self.max_burst_s * sample_rate_hz)))
+        for _ in range(n_bursts):
+            length = int(rng.integers(lo, hi + 1))
+            start = int(rng.integers(0, max(1, n - length + 1)))
+            axes = rng.random(3) < 0.5
+            if not axes.any():
+                axes[int(rng.integers(0, 3))] = True
+            out[start : start + length, axes] = np.nan
+        return out
+
+
+@dataclass(frozen=True)
+class Saturation(FaultInjector):
+    """Full-scale clipping: readings are hard-limited to ``±limit``.
+
+    Severity is the limit itself (m/s^2): the lower it is, the more of
+    the gait waveform is flattened. Clipped readings sit exactly at the
+    rail, which is how a :class:`~repro.faults.FaultPolicy` with
+    ``saturation_limit <= limit`` recognises and quarantines them.
+    """
+
+    limit: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.limit <= 0:
+            raise ConfigurationError(
+                f"limit must be positive (m/s^2), got {self.limit!r}"
+            )
+
+    def apply_trace(
+        self,
+        samples: np.ndarray,
+        rng: np.random.Generator,
+        sample_rate_hz: float,
+    ) -> np.ndarray:
+        return np.clip(samples, -self.limit, self.limit)
+
+
+@dataclass(frozen=True)
+class RateJitter(FaultInjector):
+    """Sampling-clock jitter: intervals vary by a ``sigma`` fraction.
+
+    The device stamps samples as uniform while the oscillator actually
+    drifted, so the reconstructed uniform stream carries a warped
+    waveform. Modelled by resampling the trace at jittered instants;
+    the output keeps the nominal length and rate.
+    """
+
+    sigma: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sigma < 0.5:
+            raise ConfigurationError(
+                f"sigma must be in [0, 0.5) (interval fraction), got "
+                f"{self.sigma!r}"
+            )
+
+    def apply_trace(
+        self,
+        samples: np.ndarray,
+        rng: np.random.Generator,
+        sample_rate_hz: float,
+    ) -> np.ndarray:
+        n = samples.shape[0]
+        if n < 2 or self.sigma == 0.0:
+            return samples.copy()
+        intervals = 1.0 + self.sigma * rng.standard_normal(n - 1)
+        np.clip(intervals, 0.25, 4.0, out=intervals)
+        t = np.concatenate(([0.0], np.cumsum(intervals)))
+        t *= (n - 1) / t[-1]  # keep the nominal span: pure jitter
+        grid = np.arange(n, dtype=np.float64)
+        out = np.empty_like(samples)
+        for axis in range(samples.shape[1]):
+            out[:, axis] = np.interp(grid, t, samples[:, axis])
+        return out
+
+
+@dataclass(frozen=True)
+class DuplicateBatches(FaultInjector):
+    """Upload retransmission: each batch is delivered twice with ``prob``."""
+
+    prob: float = 0.05
+
+    def __post_init__(self) -> None:
+        _check_prob("prob", self.prob)
+
+    def apply_batches(
+        self,
+        batches: List[np.ndarray],
+        rng: np.random.Generator,
+    ) -> List[np.ndarray]:
+        out: List[np.ndarray] = []
+        for batch in batches:
+            out.append(batch)
+            if rng.random() < self.prob:
+                out.append(batch.copy())
+        return out
+
+
+@dataclass(frozen=True)
+class OutOfOrderBatches(FaultInjector):
+    """Reordered uploads: adjacent batches swap with ``prob``."""
+
+    prob: float = 0.05
+
+    def __post_init__(self) -> None:
+        _check_prob("prob", self.prob)
+
+    def apply_batches(
+        self,
+        batches: List[np.ndarray],
+        rng: np.random.Generator,
+    ) -> List[np.ndarray]:
+        out: List[np.ndarray] = []
+        i = 0
+        while i < len(batches):
+            if i + 1 < len(batches) and rng.random() < self.prob:
+                out.append(batches[i + 1])
+                out.append(batches[i])
+                i += 2
+            else:
+                out.append(batches[i])
+                i += 1
+        return out
+
+
+def inject_faults(
+    samples: np.ndarray,
+    injectors: Sequence[FaultInjector],
+    seed: int,
+    index: int = 0,
+    sample_rate_hz: float = 100.0,
+) -> np.ndarray:
+    """Apply the trace-fault surface of each injector, in order.
+
+    Injector ``k`` draws from ``derive_rng(seed, index, domain, k)``,
+    so the result is a pure function of ``(injectors, seed, index)``
+    — independent of execution order across sessions or processes.
+
+    Args:
+        samples: Clean (n, 3) trace (never mutated).
+        injectors: Fault scenario, applied left to right.
+        seed: Sweep-level fault seed.
+        index: Session/trial coordinate within the sweep.
+        sample_rate_hz: Rate used to convert physical fault durations.
+
+    Returns:
+        The faulted trace (a new array; NaN rows mark lost samples).
+    """
+    out = np.asarray(samples, dtype=np.float64)
+    for k, injector in enumerate(injectors):
+        rng = derive_rng(seed, index, _FAULT_DOMAIN, k)
+        out = injector.apply_trace(out, rng, sample_rate_hz)
+    return out if out is not samples else out.copy()
+
+
+def inject_batch_faults(
+    batches: Sequence[np.ndarray],
+    injectors: Sequence[FaultInjector],
+    seed: int,
+    index: int = 0,
+) -> List[np.ndarray]:
+    """Apply the batch-fault surface of each injector, in order.
+
+    Seeding matches :func:`inject_faults` (injector ``k`` gets the
+    same derived generator in either phase; each injector draws in
+    exactly one phase, so composing both functions over one injector
+    list stays deterministic).
+    """
+    out = list(batches)
+    for k, injector in enumerate(injectors):
+        rng = derive_rng(seed, index, _FAULT_DOMAIN, k)
+        out = injector.apply_batches(out, rng)
+    return out
+
+
+def split_batches(samples: np.ndarray, batch_samples: int) -> List[np.ndarray]:
+    """Split a trace into device-upload batches of ``batch_samples``."""
+    if batch_samples < 1:
+        raise ConfigurationError(
+            f"batch_samples must be >= 1, got {batch_samples}"
+        )
+    return [
+        samples[lo : lo + batch_samples]
+        for lo in range(0, samples.shape[0], batch_samples)
+    ]
+
+
+def faulted_stream(
+    samples: np.ndarray,
+    injectors: Sequence[FaultInjector],
+    seed: int,
+    index: int = 0,
+    sample_rate_hz: float = 100.0,
+    batch_samples: int = 50,
+) -> List[np.ndarray]:
+    """The full wire simulation: trace faults, upload split, batch faults.
+
+    Returns the upload sequence a degraded-mode session would actually
+    receive from session ``index``'s device under this fault scenario.
+    """
+    faulted = inject_faults(
+        samples, injectors, seed, index, sample_rate_hz=sample_rate_hz
+    )
+    batches = split_batches(faulted, batch_samples)
+    return inject_batch_faults(batches, injectors, seed, index)

@@ -1,0 +1,72 @@
+"""Degraded-mode repair policy for fault-tolerant ingest.
+
+A :class:`FaultPolicy` is what turns strict ingest (reject any
+defective batch) into *degraded-mode* ingest: it declares which samples
+count as invalid (non-finite values, saturated/clipped readings) and
+how much signal the stream is allowed to fabricate to bridge a short
+defect before giving up and resetting segmentation state across the
+gap. The policy is deliberately tiny and immutable — repair behaviour
+must be a pure function of (policy, sample sequence) so that degraded
+streams keep the chunking-invariance guarantee of the streaming core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["FaultPolicy"]
+
+#: Repair strategies for short defects.
+_REPAIR_MODES = ("linear", "hold")
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How a streaming session treats defective samples.
+
+    Samples are *invalid* when any axis is non-finite (NaN/inf upload
+    artefacts, dropped-sample markers) or at/above the saturation
+    limit (a clipped IMU reading carries no usable waveform). A run of
+    invalid samples no longer than ``max_repair_s`` is repaired —
+    bridged with bounded interpolation between the surrounding good
+    samples — while a longer run is an unrecoverable gap: the session
+    settles what it can, resets its segmentation state, and resumes
+    fresh after the gap instead of fusing disjoint signal into
+    phantom gait cycles.
+
+    Attributes:
+        max_repair_s: Longest defect (seconds) that may be repaired.
+            At most a fraction of one gait cycle; fabricating more
+            signal than that invents steps. 0 disables repair (every
+            defect is a gap).
+        saturation_limit: Absolute acceleration (m/s^2) at or above
+            which a reading is treated as clipped. Default 78.0
+            (~8 g), the full-scale range of a consumer wrist IMU.
+        repair: ``"linear"`` interpolates between the good samples
+            bounding the defect; ``"hold"`` repeats the last good
+            sample (first good sample for a defect at stream start).
+    """
+
+    max_repair_s: float = 0.25
+    saturation_limit: float = 78.0
+    repair: str = "linear"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.max_repair_s <= 2.0:
+            raise ConfigurationError(
+                f"max_repair_s must be in [0, 2] seconds, got "
+                f"{self.max_repair_s!r} (repairing more than a gait "
+                "cycle fabricates steps)"
+            )
+        if self.saturation_limit <= 0.0:
+            raise ConfigurationError(
+                f"saturation_limit must be positive (m/s^2), got "
+                f"{self.saturation_limit!r}"
+            )
+        if self.repair not in _REPAIR_MODES:
+            raise ConfigurationError(
+                f"repair must be one of {_REPAIR_MODES}, got "
+                f"{self.repair!r}"
+            )

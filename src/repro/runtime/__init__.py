@@ -24,9 +24,16 @@ from repro.runtime.cache import (
     simulate_spoofer_cached,
     simulate_walk_cached,
 )
-from repro.runtime.parallel import derive_rng, parallel_map, resolve_workers
+from repro.runtime.parallel import (
+    TaskOutcome,
+    derive_rng,
+    parallel_map,
+    parallel_map_outcomes,
+    resolve_workers,
+)
 
 __all__ = [
+    "TaskOutcome",
     "CACHE_SCHEMA",
     "TraceCache",
     "content_key",
@@ -37,5 +44,6 @@ __all__ = [
     "simulate_walk_cached",
     "derive_rng",
     "parallel_map",
+    "parallel_map_outcomes",
     "resolve_workers",
 ]

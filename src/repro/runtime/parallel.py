@@ -21,14 +21,23 @@ Worker-count resolution (``resolve_workers``):
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+import time
+from concurrent.futures import ProcessPoolExecutor, TimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["resolve_workers", "parallel_map", "derive_rng"]
+__all__ = [
+    "resolve_workers",
+    "parallel_map",
+    "parallel_map_outcomes",
+    "TaskOutcome",
+    "derive_rng",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -100,6 +109,103 @@ def parallel_map(
         return [fn(item) for item in items]
     with ProcessPoolExecutor(max_workers=min(n_workers, len(items))) as pool:
         return list(pool.map(fn, items, chunksize=max(1, chunksize)))
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Result or failure of one task in :func:`parallel_map_outcomes`.
+
+    Attributes:
+        ok: Whether the task returned normally.
+        value: The task's return value (``None`` on failure).
+        error: ``"ExcType: message"`` on failure (empty on success);
+            a worker lost mid-task reads ``BrokenProcessPool`` and a
+            deadline overrun reads ``TimeoutError``.
+    """
+
+    ok: bool
+    value: Any = None
+    error: str = ""
+
+
+def parallel_map_outcomes(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+) -> List[TaskOutcome]:
+    """Map ``fn`` over ``items``, containing per-task failures.
+
+    The fault-tolerant sibling of :func:`parallel_map`: instead of one
+    raising task poisoning the whole map, every task yields a
+    :class:`TaskOutcome` in input order and the caller decides what to
+    retry. A worker process dying mid-task (OOM-killed, segfault) is
+    reported on its task as ``BrokenProcessPool`` — and, because a
+    broken pool cannot run anything else, on the remaining unfinished
+    tasks too; re-submitting those failures runs them in a fresh pool.
+
+    Args:
+        fn: The task function (picklable for ``workers > 1``).
+        items: Task inputs, one per task.
+        workers: Worker-count request (see :func:`resolve_workers`).
+        timeout_s: Wall-clock budget for the *whole map*, enforced
+            only with ``workers > 1`` (a serial map cannot interrupt a
+            running task); tasks not finished by the deadline fail
+            with ``TimeoutError`` and their workers are abandoned, not
+            joined.
+
+    Returns:
+        One :class:`TaskOutcome` per item, in input order.
+
+    Unlike :func:`parallel_map`, a single-item map with ``workers > 1``
+    still runs in a subprocess: callers ask for outcomes because they
+    want crash containment, which an in-process shortcut cannot give.
+    """
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1 or not items:
+        outcomes: List[TaskOutcome] = []
+        for item in items:
+            try:
+                outcomes.append(TaskOutcome(ok=True, value=fn(item)))
+            except Exception as exc:  # noqa: BLE001 — containment point
+                outcomes.append(
+                    TaskOutcome(
+                        ok=False, error=f"{type(exc).__name__}: {exc}"
+                    )
+                )
+        return outcomes
+    pool = ProcessPoolExecutor(max_workers=min(n_workers, len(items)))
+    deadline = None if timeout_s is None else time.monotonic() + timeout_s
+    timed_out = False
+    try:
+        futures = [pool.submit(fn, item) for item in items]
+        outcomes = []
+        for fut in futures:
+            remaining: Optional[float] = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            try:
+                outcomes.append(TaskOutcome(ok=True, value=fut.result(remaining)))
+            except TimeoutError:
+                fut.cancel()
+                timed_out = True
+                outcomes.append(
+                    TaskOutcome(
+                        ok=False,
+                        error=f"TimeoutError: shard exceeded {timeout_s} s",
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 — containment point
+                outcomes.append(
+                    TaskOutcome(
+                        ok=False, error=f"{type(exc).__name__}: {exc}"
+                    )
+                )
+                if isinstance(exc, BrokenProcessPool):
+                    timed_out = True  # pool unusable: don't join it
+        return outcomes
+    finally:
+        pool.shutdown(wait=not timed_out, cancel_futures=True)
 
 
 def derive_rng(seed: int, *coordinates: int) -> np.random.Generator:

@@ -1,42 +1,78 @@
-"""Fleet serving: shard a pool of sessions across processes.
+"""Fleet serving: shard a pool of sessions across processes, and heal.
 
 :func:`serve_fleet` drives N finished traces through N streaming
 sessions at a fixed upload cadence. Sessions are partitioned into
 contiguous shards, each shard is served by its own
-:class:`~repro.serving.pool.SessionPool` inside a worker process
-(via :func:`repro.runtime.parallel_map`), and the per-session results
-are reassembled in fleet order.
+:class:`~repro.serving.pool.SessionPool` inside a worker process, and
+the per-session results are reassembled in fleet order.
 
 Because every session's pipeline state is independent and the pooled
 stepping batch is composition-independent, the shard layout — one
 process, many processes, any shard size — cannot change any session's
 credited steps or strides; the serving tests assert this identity
 against serially-driven :class:`StreamingPTrack` instances.
+
+Fault tolerance is layered on three levels:
+
+* **caller's process** — traces are validated eagerly before anything
+  is sharded, so malformed input fails as a
+  :class:`~repro.exceptions.ConfigurationError` here rather than a
+  pickled traceback from a worker;
+* **inside a shard** — the pool isolates per-session exceptions: a
+  poisoned session is reported with ``status="failed"`` and its error
+  while its shard-mates keep serving;
+* **across shards** — a shard that dies wholesale (worker killed,
+  timeout, crash during pool construction) is retried by *bisection*:
+  split in half and re-served until the poison is cornered in a
+  single-session shard, which is then reported failed. The healthy
+  majority of the fleet always completes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import PTrackConfig
 from repro.exceptions import ConfigurationError
-from repro.runtime import parallel_map, resolve_workers
+from repro.faults.policy import FaultPolicy
+from repro.runtime import parallel_map_outcomes, resolve_workers
 from repro.serving.pool import SessionPool
 from repro.types import StepEvent, StrideEstimate, UserProfile
 
 __all__ = ["SessionReport", "FleetReport", "serve_fleet"]
 
+#: Attempts a single-session shard gets before it is declared failed.
+#: Two, because a shard's first failure can be collateral damage from
+#: a sibling shard breaking the shared process pool.
+_MAX_SHARD_ATTEMPTS = 2
+
 
 @dataclass(frozen=True)
 class SessionReport:
-    """Outcome of serving one session end to end."""
+    """Outcome of serving one session end to end.
+
+    Attributes:
+        session_index: Position of the session in the fleet.
+        steps: Credited step events (possibly partial when failed).
+        strides: Credited stride estimates.
+        status: ``"ok"`` or ``"failed"``.
+        error: Recorded ``"ExcType: message"`` when failed.
+        samples_repaired: Degraded-mode repairs in this session.
+        samples_rejected: Samples quarantined and dropped.
+        gaps_reset: Unrecoverable gaps that reset segmentation.
+    """
 
     session_index: int
     steps: Tuple[StepEvent, ...]
     strides: Tuple[StrideEstimate, ...]
+    status: str = "ok"
+    error: Optional[str] = None
+    samples_repaired: int = 0
+    samples_rejected: int = 0
+    gaps_reset: int = 0
 
     @property
     def step_count(self) -> int:
@@ -51,10 +87,28 @@ class SessionReport:
 
 @dataclass(frozen=True)
 class FleetReport:
-    """Outcome of serving a whole fleet."""
+    """Outcome of serving a whole fleet.
+
+    Attributes:
+        sessions: Per-session reports in fleet order.
+        n_samples: Samples across all input traces.
+        shard_retries: Bisection rounds spent healing failed shards
+            (0 on a clean run).
+    """
 
     sessions: Tuple[SessionReport, ...]
     n_samples: int
+    shard_retries: int = 0
+
+    @property
+    def status(self) -> str:
+        """``"ok"``, or ``"degraded"`` when any session failed."""
+        return "ok" if self.n_failed == 0 else "degraded"
+
+    @property
+    def n_failed(self) -> int:
+        """Sessions that ended in ``status="failed"``."""
+        return sum(1 for s in self.sessions if s.status != "ok")
 
     @property
     def total_steps(self) -> int:
@@ -66,23 +120,44 @@ class FleetReport:
         """Distance credited across the fleet."""
         return float(sum(s.distance_m for s in self.sessions))
 
+    @property
+    def samples_repaired(self) -> int:
+        """Degraded-mode repairs across the fleet."""
+        return sum(s.samples_repaired for s in self.sessions)
 
-def _serve_shard(
-    shard: Tuple[
-        List[int],
-        List[np.ndarray],
-        List[Optional[UserProfile]],
-        float,
-        Optional[PTrackConfig],
-        float,
-        float,
-        int,
-    ],
-) -> List[SessionReport]:
+    @property
+    def samples_rejected(self) -> int:
+        """Quarantined samples across the fleet."""
+        return sum(s.samples_rejected for s in self.sessions)
+
+    @property
+    def gaps_reset(self) -> int:
+        """Segmentation gap resets across the fleet."""
+        return sum(s.gaps_reset for s in self.sessions)
+
+
+#: Worker payload: everything needed to rebuild one shard's pool.
+_Shard = Tuple[
+    List[int],
+    List[np.ndarray],
+    List[Optional[UserProfile]],
+    float,
+    Optional[PTrackConfig],
+    float,
+    float,
+    int,
+    Optional[FaultPolicy],
+]
+
+
+def _serve_shard(shard: _Shard) -> List[SessionReport]:
     """Serve one shard of sessions through a pool (worker entry point).
 
-    Module-level so it pickles for :func:`parallel_map`; the payload
+    Module-level so it pickles for the process map; the payload
     carries everything a worker needs to rebuild its shard's pool.
+    Per-session failures are contained by the pool and surfaced as
+    ``status="failed"`` reports; only shard-level disasters (worker
+    death, timeout) escape to the bisection layer above.
     """
     (
         indices,
@@ -93,12 +168,14 @@ def _serve_shard(
         settle_s,
         max_buffer_s,
         batch_samples,
+        fault_policy,
     ) = shard
     pool = SessionPool(
         sample_rate_hz,
         config=config,
         settle_s=settle_s,
         max_buffer_s=max_buffer_s,
+        fault_policy=fault_policy,
     )
     sids = pool.add_sessions(profiles)
     steps: List[List[StepEvent]] = [[] for _ in sids]
@@ -120,14 +197,75 @@ def _serve_shard(
         steps[k].extend(new_steps)
         strides[k].extend(new_strides)
 
-    return [
-        SessionReport(
-            session_index=indices[k],
-            steps=tuple(steps[k]),
-            strides=tuple(strides[k]),
+    errors = pool.failed_sessions
+    reports = []
+    for k, sid in enumerate(sids):
+        ops = pool.session(sid).op_stats
+        reports.append(
+            SessionReport(
+                session_index=indices[k],
+                steps=tuple(steps[k]),
+                strides=tuple(strides[k]),
+                status="failed" if sid in errors else "ok",
+                error=errors.get(sid),
+                samples_repaired=ops.samples_repaired,
+                samples_rejected=ops.samples_rejected,
+                gaps_reset=ops.gaps_reset,
+            )
         )
-        for k in range(len(sids))
+    return reports
+
+
+def _split_shard(shard: _Shard) -> List[_Shard]:
+    """Bisect a failed shard into two halves (for healing retries)."""
+    indices, traces, profiles = shard[0], shard[1], shard[2]
+    rest = shard[3:]
+    mid = len(indices) // 2
+    return [
+        (indices[:mid], traces[:mid], profiles[:mid], *rest),
+        (indices[mid:], traces[mid:], profiles[mid:], *rest),
     ]
+
+
+def _validate_traces(
+    traces: Sequence[np.ndarray],
+    fault_policy: Optional[FaultPolicy],
+) -> List[np.ndarray]:
+    """Validate and normalise all traces in the caller's process.
+
+    Shape, dtype and (in strict mode) finiteness problems surface here
+    as :class:`ConfigurationError` naming the offending trace — not as
+    a pickled :class:`SignalError` traceback out of a worker shard.
+    """
+    validated: List[np.ndarray] = []
+    for i, trace in enumerate(traces):
+        try:
+            arr = np.asarray(trace)
+        except Exception as exc:  # ragged nests, exotic objects
+            raise ConfigurationError(
+                f"trace {i} is not array-like: {exc}"
+            ) from None
+        if arr.ndim != 2 or arr.shape[1] != 3:
+            raise ConfigurationError(
+                f"trace {i} must have shape (n, 3), got {arr.shape}"
+            )
+        if not (
+            np.issubdtype(arr.dtype, np.floating)
+            or np.issubdtype(arr.dtype, np.integer)
+            or np.issubdtype(arr.dtype, np.bool_)
+        ):
+            raise ConfigurationError(
+                f"trace {i} dtype {arr.dtype} is not float-convertible"
+            )
+        arr = np.ascontiguousarray(arr, dtype=np.float64)
+        if fault_policy is None and not np.all(np.isfinite(arr)):
+            raise ConfigurationError(
+                f"trace {i} contains non-finite values; pass "
+                "fault_policy=FaultPolicy(...) to serve faulted traces "
+                "in degraded mode"
+            )
+        validated.append(arr)
+    return validated
 
 
 def serve_fleet(
@@ -140,11 +278,13 @@ def serve_fleet(
     max_buffer_s: float = 30.0,
     workers: Optional[int] = None,
     sessions_per_shard: Optional[int] = None,
+    fault_policy: Optional[FaultPolicy] = None,
+    shard_timeout_s: Optional[float] = None,
 ) -> FleetReport:
-    """Serve one trace per session through a sharded session fleet.
+    """Serve one trace per session through a self-healing session fleet.
 
     Args:
-        traces: One (n_i, 3) float64 array per session.
+        traces: One (n, 3) float-convertible array per session.
         sample_rate_hz: Sampling rate shared by the fleet.
         profiles: Optional per-session user profiles (enables stride
             estimation); ``None`` serves step counting only.
@@ -158,12 +298,20 @@ def serve_fleet(
             :func:`repro.runtime.resolve_workers`; 1 serves in-process.
         sessions_per_shard: Shard granularity; default spreads the
             fleet evenly over the resolved workers.
+        fault_policy: Degraded-mode ingest policy for every session;
+            required to serve traces with non-finite samples.
+        shard_timeout_s: Wall-clock budget per healing round; a shard
+            not finished in time is treated as failed and bisected.
+            Enforced only with ``workers > 1``.
 
     Returns:
-        A :class:`FleetReport` with per-session results in fleet order.
+        A :class:`FleetReport` with per-session results in fleet
+        order; sessions lost to poison report ``status="failed"``
+        instead of raising.
 
     Raises:
-        ConfigurationError: On mismatched lengths or a bad cadence.
+        ConfigurationError: On malformed traces, mismatched lengths,
+            or a bad cadence — always from the caller's process.
     """
     n = len(traces)
     if profiles is None:
@@ -178,6 +326,7 @@ def serve_fleet(
         )
     if n == 0:
         return FleetReport(sessions=(), n_samples=0)
+    validated = _validate_traces(traces, fault_policy)
 
     n_workers = resolve_workers(workers)
     if sessions_per_shard is None:
@@ -186,22 +335,79 @@ def serve_fleet(
         raise ConfigurationError(
             f"sessions_per_shard must be >= 1, got {sessions_per_shard}"
         )
-    shards = [
+    shards: List[_Shard] = [
         (
             list(range(lo, min(lo + sessions_per_shard, n))),
-            [np.asarray(t) for t in traces[lo : lo + sessions_per_shard]],
+            validated[lo : lo + sessions_per_shard],
             list(profiles[lo : lo + sessions_per_shard]),
             sample_rate_hz,
             config,
             settle_s,
             max_buffer_s,
             batch_samples,
+            fault_policy,
         )
         for lo in range(0, n, sessions_per_shard)
     ]
-    reports = parallel_map(_serve_shard, shards, workers=n_workers)
-    sessions = tuple(r for shard_reports in reports for r in shard_reports)
+
+    # Healing loop: serve every pending shard; bisect the failures.
+    # Each round runs in a fresh pool, so a worker lost to a crash in
+    # round k cannot poison round k+1 — which also means a shard that
+    # failed only as *collateral* of a pool break (a sibling's worker
+    # died and took the whole pool down) deserves a clean retry before
+    # being written off. Every shard therefore gets two attempts at
+    # single-session size; multi-session failures are bisected.
+    # Terminates because splits strictly shrink shards and attempts
+    # are bounded.
+    results: Dict[int, SessionReport] = {}
+    retries = 0
+    pending: List[Tuple[_Shard, int]] = [(shard, 0) for shard in shards]
+    while pending:
+        if n_workers > 1 and any(attempts for _, attempts in pending):
+            # Retry round: one pool per shard, so a culprit that kills
+            # its worker cannot break the pool under its innocent
+            # collateral siblings a second time.
+            outcomes = []
+            for shard, _ in pending:
+                outcomes.extend(
+                    parallel_map_outcomes(
+                        _serve_shard,
+                        [shard],
+                        workers=n_workers,
+                        timeout_s=shard_timeout_s,
+                    )
+                )
+        else:
+            outcomes = parallel_map_outcomes(
+                _serve_shard,
+                [shard for shard, _ in pending],
+                workers=n_workers,
+                timeout_s=shard_timeout_s,
+            )
+        next_round: List[Tuple[_Shard, int]] = []
+        for (shard, attempts), outcome in zip(pending, outcomes):
+            if outcome.ok:
+                for report in outcome.value:
+                    results[report.session_index] = report
+            elif len(shard[0]) > 1:
+                next_round.extend((s, 0) for s in _split_shard(shard))
+                retries += 1
+            elif attempts + 1 < _MAX_SHARD_ATTEMPTS:
+                next_round.append((shard, attempts + 1))
+                retries += 1
+            else:
+                index = shard[0][0]
+                results[index] = SessionReport(
+                    session_index=index,
+                    steps=(),
+                    strides=(),
+                    status="failed",
+                    error=outcome.error,
+                )
+        pending = next_round
+
     return FleetReport(
-        sessions=sessions,
-        n_samples=int(sum(t.shape[0] for t in traces)),
+        sessions=tuple(results[i] for i in range(n)),
+        n_samples=int(sum(t.shape[0] for t in validated)),
+        shard_retries=retries,
     )

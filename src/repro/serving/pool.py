@@ -18,6 +18,7 @@ equivalence the serving tests assert (serial == pooled == sharded).
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -26,6 +27,7 @@ from repro.core.config import PTrackConfig
 from repro.core.stepping import batch_stepping_tests
 from repro.core.streaming import StagedCycle, StreamingPTrack
 from repro.exceptions import ConfigurationError
+from repro.faults.policy import FaultPolicy
 from repro.types import StepEvent, StrideEstimate, UserProfile
 
 __all__ = ["SessionPool"]
@@ -46,11 +48,24 @@ class SessionPool:
     deployment = one device class); per-user state — profile, buffers,
     classification streak, totals — is fully independent per session.
 
+    The pool is *self-healing*: with ``isolate_failures`` (the
+    default) an exception inside one session poisons only that
+    session — it is marked failed with its error recorded under
+    :attr:`failed_sessions` and skipped from then on, while the rest
+    of the pool keeps serving. :meth:`revive_session` puts a failed
+    slot back into rotation.
+
     Args:
         sample_rate_hz: Sampling rate shared by every session.
         config: PTrack configuration shared by every session.
         settle_s: Settle horizon passed to every session.
         max_buffer_s: Rolling-buffer bound passed to every session.
+        fault_policy: Degraded-mode ingest policy passed to every
+            session (see :class:`repro.faults.FaultPolicy`); ``None``
+            keeps strict ingest.
+        isolate_failures: Contain per-session exceptions (default).
+            ``False`` restores fail-fast: the first session error
+            propagates to the caller.
     """
 
     def __init__(
@@ -59,12 +74,17 @@ class SessionPool:
         config: Optional[PTrackConfig] = None,
         settle_s: float = 2.5,
         max_buffer_s: float = 30.0,
+        fault_policy: Optional[FaultPolicy] = None,
+        isolate_failures: bool = True,
     ) -> None:
         self._rate = sample_rate_hz
         self._config = config if config is not None else PTrackConfig()
         self._settle = settle_s
         self._max_buffer_s = max_buffer_s
+        self._fault_policy = fault_policy
+        self._isolate = isolate_failures
         self._sessions: Dict[int, StreamingPTrack] = {}
+        self._errors: Dict[int, str] = {}
         self._next_id = 0
 
     # ------------------------------------------------------------------
@@ -90,6 +110,7 @@ class SessionPool:
             config=self._config,
             settle_s=self._settle,
             max_buffer_s=self._max_buffer_s,
+            fault_policy=self._fault_policy,
         )
         return sid
 
@@ -120,9 +141,37 @@ class SessionPool:
                 config=self._config,
                 settle_s=self._settle,
                 max_buffer_s=self._max_buffer_s,
+                fault_policy=self._fault_policy,
             )
         else:
             sess.reset()
+
+    # ------------------------------------------------------------------
+    # Failure isolation
+    # ------------------------------------------------------------------
+    @property
+    def failed_sessions(self) -> Dict[int, str]:
+        """Recorded error per failed session id (a copy)."""
+        return dict(self._errors)
+
+    def session_status(self, session_id: int) -> str:
+        """``"ok"`` or ``"failed"`` for one live session."""
+        self._session(session_id)
+        return "failed" if session_id in self._errors else "ok"
+
+    def revive_session(
+        self, session_id: int, profile: Optional[UserProfile] = None
+    ) -> None:
+        """Clear a session's failure record and rewind it for reuse."""
+        self._session(session_id)
+        self._errors.pop(session_id, None)
+        self.reset_session(session_id, profile)
+
+    def _mark_failed(self, session_id: int, exc: BaseException) -> None:
+        """Record a poisoned session, or propagate when not isolating."""
+        if not self._isolate:
+            raise
+        self._errors[session_id] = f"{type(exc).__name__}: {exc}"
 
     # ------------------------------------------------------------------
     # Batched ingest
@@ -143,56 +192,111 @@ class SessionPool:
         Returns:
             Per-session ``(steps, strides)`` tuples aligned with
             ``session_ids`` — exactly what each session's own
-            ``append`` would have returned.
+            ``append`` would have returned. A failed session yields
+            empty credits (see :attr:`failed_sessions`).
 
         Raises:
-            ConfigurationError: On unknown ids or length mismatch.
-            SignalError: On a batch with a bad shape or dtype.
+            ConfigurationError: On unknown ids, duplicate ids, or a
+                ``session_ids``/``batches`` length mismatch — all
+                caller mistakes, raised before any session is touched.
+            SignalError: On a batch with a bad shape or dtype, when
+                ``isolate_failures`` is off.
         """
         if len(session_ids) != len(batches):
             raise ConfigurationError(
-                f"{len(session_ids)} session ids but {len(batches)} batches"
+                f"got {len(session_ids)} session ids but {len(batches)} "
+                "batches; append() pairs them positionally — pass "
+                "exactly one batch per session id"
             )
-        sessions = [self._session(sid) for sid in session_ids]
-        for sess, batch in zip(sessions, batches):
-            sess.ingest(batch)
+        unknown = [s for s in session_ids if s not in self._sessions]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown session id(s) {sorted(set(unknown))!r}; the "
+                f"pool has {self.n_sessions} live session(s) — ids come "
+                "from add_session()/add_sessions() and are not recycled"
+            )
+        duplicates = sorted(
+            s for s, c in Counter(session_ids).items() if c > 1
+        )
+        if duplicates:
+            raise ConfigurationError(
+                f"duplicate session id(s) {duplicates!r} in one append "
+                "call; a session takes at most one batch per call — "
+                "concatenate the batches upstream or split the call"
+            )
+        sessions = [self._sessions[sid] for sid in session_ids]
         out: List[Tuple[List[StepEvent], List[StrideEstimate]]] = [
             ([], []) for _ in sessions
         ]
+        active: List[int] = []
+        for k, (sid, sess, batch) in enumerate(
+            zip(session_ids, sessions, batches)
+        ):
+            if sid in self._errors:
+                continue
+            try:
+                sess.ingest(batch)
+                steps, strides = sess.take_pending_credits()
+            except Exception as exc:  # noqa: BLE001 — isolation boundary
+                self._mark_failed(sid, exc)
+                continue
+            out[k][0].extend(steps)
+            out[k][1].extend(strides)
+            active.append(k)
         # Drain due hop boundaries in fleet-wide lockstep rounds: each
         # round advances every session by at most one boundary, batches
         # all their staged cycles through one stepping call, and
         # resolves before the next round — the same collect → resolve
         # cadence each session's own ``append`` follows, so per-session
         # results are bit-identical to solo operation.
-        active = list(range(len(sessions)))
         while active:
             round_staged: List[Tuple[int, List[StagedCycle]]] = []
-            still_active: List[int] = []
             for k in active:
-                staged = sessions[k].collect()
+                try:
+                    staged = sessions[k].collect()
+                except Exception as exc:  # noqa: BLE001
+                    self._mark_failed(session_ids[k], exc)
+                    continue
                 if staged is None:
                     continue
                 round_staged.append((k, staged))
-                still_active.append(k)
             if not round_staged:
                 break
             values = self._pooled_stepping(
                 [staged for _, staged in round_staged]
             )
+            active = []
             for (k, staged), vals in zip(round_staged, values):
-                steps, strides = sessions[k].resolve(staged, vals)
+                try:
+                    steps, strides = sessions[k].resolve(staged, vals)
+                except Exception as exc:  # noqa: BLE001
+                    self._mark_failed(session_ids[k], exc)
+                    continue
                 out[k][0].extend(steps)
                 out[k][1].extend(strides)
-            active = still_active
+                active.append(k)
         return out
 
     def flush(
         self, session_ids: Optional[Sequence[int]] = None
     ) -> List[Tuple[List[StepEvent], List[StrideEstimate]]]:
-        """Settle the remaining tail of the named (default all) sessions."""
+        """Settle the remaining tail of the named (default all) sessions.
+
+        Failed sessions yield empty credits instead of raising.
+        """
         ids = self.session_ids if session_ids is None else list(session_ids)
-        return [self._session(sid).flush() for sid in ids]
+        out: List[Tuple[List[StepEvent], List[StrideEstimate]]] = []
+        for sid in ids:
+            sess = self._session(sid)
+            if sid in self._errors:
+                out.append(([], []))
+                continue
+            try:
+                out.append(sess.flush())
+            except Exception as exc:  # noqa: BLE001
+                self._mark_failed(sid, exc)
+                out.append(([], []))
+        return out
 
     # ------------------------------------------------------------------
     # Aggregates

@@ -286,6 +286,7 @@ class TestBoundedPerAppendWork:
             "samples_in", "appends", "passes", "samples_filtered",
             "segmentation_samples", "cycles_staged",
             "offset_evaluations", "stepping_tests",
+            "samples_repaired", "samples_rejected", "gaps_reset",
         }
 
 

@@ -1,0 +1,304 @@
+"""Tests for repro.faults: injector determinism, policy, degraded ingest."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.streaming import StreamingPTrack
+from repro.exceptions import ConfigurationError
+from repro.faults import (
+    DuplicateBatches,
+    FaultPolicy,
+    NaNBurst,
+    Outage,
+    OutOfOrderBatches,
+    RateJitter,
+    SampleDropout,
+    Saturation,
+    faulted_stream,
+    inject_batch_faults,
+    inject_faults,
+    split_batches,
+)
+from repro.simulation.walker import simulate_walk
+
+
+def _trace(user, duration_s=20.0, seed=7):
+    trace, _ = simulate_walk(
+        user, duration_s, rng=np.random.default_rng(seed)
+    )
+    return trace.linear_acceleration
+
+
+_ALL_TRACE_INJECTORS = [
+    SampleDropout(prob=0.05),
+    Outage(rate_per_min=3.0, min_gap_s=0.3, max_gap_s=1.0),
+    NaNBurst(rate_per_min=4.0),
+    Saturation(limit=15.0),
+    RateJitter(sigma=0.05),
+]
+
+
+class TestInjectorValidation:
+    def test_dropout_rejects_bad_prob(self):
+        with pytest.raises(ConfigurationError):
+            SampleDropout(prob=1.5)
+
+    def test_outage_rejects_inverted_span(self):
+        with pytest.raises(ConfigurationError):
+            Outage(min_gap_s=2.0, max_gap_s=0.5)
+
+    def test_saturation_rejects_nonpositive_limit(self):
+        with pytest.raises(ConfigurationError):
+            Saturation(limit=0.0)
+
+    def test_policy_rejects_bad_repair_mode(self):
+        with pytest.raises(ConfigurationError):
+            FaultPolicy(repair="extrapolate")
+
+    def test_policy_rejects_long_repair_horizon(self):
+        with pytest.raises(ConfigurationError):
+            FaultPolicy(max_repair_s=10.0)
+
+
+class TestInjectorBehaviour:
+    def test_dropout_marks_rows_nan(self, user):
+        data = _trace(user)
+        out = inject_faults(data, [SampleDropout(prob=0.1)], seed=1)
+        bad = ~np.isfinite(out).all(axis=1)
+        assert 0 < bad.sum() < data.shape[0]
+        # Surviving rows are untouched.
+        assert np.array_equal(out[~bad], data[~bad])
+
+    def test_saturation_clips_at_rail(self, user):
+        data = _trace(user)
+        out = inject_faults(data, [Saturation(limit=5.0)], seed=1)
+        assert np.abs(out).max() <= 5.0
+        assert np.abs(data).max() > 5.0
+
+    def test_outage_leaves_contiguous_gaps(self, user):
+        data = _trace(user, duration_s=30.0)
+        out = inject_faults(
+            data,
+            [Outage(rate_per_min=6.0, min_gap_s=0.5, max_gap_s=1.0)],
+            seed=3,
+        )
+        bad = ~np.isfinite(out).all(axis=1)
+        assert bad.sum() >= 50  # at least one 0.5 s gap at 100 Hz
+
+    def test_zero_prob_injectors_are_identity(self, user):
+        data = _trace(user)
+        out = inject_faults(data, [SampleDropout(prob=0.0)], seed=5)
+        assert np.array_equal(out, data)
+
+    def test_batch_faults_preserve_sample_multiset(self, user):
+        data = _trace(user)
+        batches = split_batches(data, 50)
+        out = inject_batch_faults(
+            batches, [OutOfOrderBatches(prob=0.5)], seed=9
+        )
+        assert len(out) == len(batches)
+        assert np.array_equal(
+            np.sort(np.concatenate(out), axis=0),
+            np.sort(data, axis=0),
+        )
+
+    def test_duplicate_batches_grow_the_stream(self, user):
+        data = _trace(user)
+        batches = split_batches(data, 50)
+        out = inject_batch_faults(
+            batches, [DuplicateBatches(prob=0.3)], seed=9
+        )
+        assert len(out) > len(batches)
+
+
+class TestInjectorDeterminism:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        index=st.integers(min_value=0, max_value=500),
+    )
+    def test_trace_injection_deterministic_under_seed_index(
+        self, seed, index
+    ):
+        rng = np.random.default_rng(1234)
+        data = rng.normal(size=(400, 3))
+        a = inject_faults(data, _ALL_TRACE_INJECTORS, seed=seed, index=index)
+        b = inject_faults(data, _ALL_TRACE_INJECTORS, seed=seed, index=index)
+        assert np.array_equal(a, b, equal_nan=True)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_different_index_different_stream(self, seed):
+        rng = np.random.default_rng(99)
+        data = rng.normal(size=(600, 3))
+        a = inject_faults(data, [SampleDropout(prob=0.2)], seed=seed, index=0)
+        b = inject_faults(data, [SampleDropout(prob=0.2)], seed=seed, index=1)
+        assert not np.array_equal(a, b, equal_nan=True)
+
+    def test_batch_injection_deterministic(self, user):
+        data = _trace(user)
+        injectors = [DuplicateBatches(prob=0.2), OutOfOrderBatches(prob=0.2)]
+        a = faulted_stream(data, injectors, seed=21, index=3)
+        b = faulted_stream(data, injectors, seed=21, index=3)
+        assert len(a) == len(b)
+        assert all(np.array_equal(x, y, equal_nan=True) for x, y in zip(a, b))
+
+
+class TestDegradedIngest:
+    def test_clean_trace_identical_with_policy(self, user):
+        data = _trace(user, duration_s=30.0)
+        strict = StreamingPTrack(100.0, profile=user.profile)
+        degraded = StreamingPTrack(
+            100.0, profile=user.profile, fault_policy=FaultPolicy()
+        )
+        credited = {}
+        for name, sess in (("strict", strict), ("degraded", degraded)):
+            events = []
+            for i in range(0, data.shape[0], 50):
+                steps, _ = sess.append(data[i : i + 50])
+                events.extend(steps)
+            steps, _ = sess.flush()
+            events.extend(steps)
+            credited[name] = [(e.index, e.time) for e in events]
+        assert credited["strict"] == credited["degraded"]
+        ops = degraded.op_stats
+        assert ops.samples_repaired == 0
+        assert ops.samples_rejected == 0
+        assert ops.gaps_reset == 0
+
+    def test_strict_session_rejects_nan(self):
+        sess = StreamingPTrack(100.0)
+        bad = np.zeros((30, 3))
+        bad[10] = np.nan
+        with pytest.raises(Exception):
+            sess.append(bad)
+
+    def test_short_defects_are_repaired(self, user):
+        data = _trace(user, duration_s=30.0)
+        faulted = inject_faults(
+            data, [SampleDropout(prob=0.05)], seed=31
+        )
+        sess = StreamingPTrack(
+            100.0, profile=user.profile, fault_policy=FaultPolicy()
+        )
+        sess.append(faulted)
+        sess.flush()
+        ops = sess.op_stats
+        assert ops.samples_repaired > 0
+        assert ops.gaps_reset == 0
+        # Repairs keep tracking close to the clean trace.
+        clean = StreamingPTrack(100.0, profile=user.profile)
+        clean.append(data)
+        clean.flush()
+        assert abs(sess.step_count - clean.step_count) <= 3
+
+    def test_long_gap_resets_segmentation(self, user):
+        data = _trace(user, duration_s=30.0)
+        faulted = data.copy()
+        faulted[1000:1300] = np.nan  # a 3 s outage >> max_repair_s
+        sess = StreamingPTrack(
+            100.0, profile=user.profile, fault_policy=FaultPolicy()
+        )
+        sess.append(faulted)
+        sess.flush()
+        ops = sess.op_stats
+        assert ops.gaps_reset == 1
+        assert ops.samples_rejected == 300
+        assert sess.step_count > 0
+
+    def test_trailing_gap_rejected_on_flush(self, user):
+        data = _trace(user, duration_s=20.0)
+        faulted = data.copy()
+        faulted[-10:] = np.nan
+        sess = StreamingPTrack(
+            100.0, profile=user.profile, fault_policy=FaultPolicy()
+        )
+        sess.append(faulted)
+        sess.flush()
+        assert sess.op_stats.samples_rejected == 10
+
+    def test_hold_repair_mode(self, user):
+        data = _trace(user, duration_s=20.0)
+        faulted = inject_faults(data, [SampleDropout(prob=0.05)], seed=41)
+        sess = StreamingPTrack(
+            100.0,
+            profile=user.profile,
+            fault_policy=FaultPolicy(repair="hold"),
+        )
+        sess.append(faulted)
+        sess.flush()
+        assert sess.op_stats.samples_repaired > 0
+        assert sess.step_count > 0
+
+    def test_saturated_samples_quarantined(self, user):
+        data = _trace(user, duration_s=20.0)
+        faulted = inject_faults(data, [Saturation(limit=8.0)], seed=43)
+        sess = StreamingPTrack(
+            100.0,
+            profile=user.profile,
+            fault_policy=FaultPolicy(saturation_limit=8.0),
+        )
+        sess.append(faulted)
+        sess.flush()
+        ops = sess.op_stats
+        assert ops.samples_repaired + ops.samples_rejected > 0
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        chunks=st.lists(
+            st.integers(min_value=1, max_value=400),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_repaired_stream_chunk_invariant(self, chunks):
+        # A faulted stream must credit identical steps (and identical
+        # health counters) no matter how its samples are chunked into
+        # append calls — the PR-3 invariance, extended to repairs.
+        rng = np.random.default_rng(77)
+        t = np.arange(3000) / 100.0
+        data = np.stack(
+            [
+                2.0 * np.sin(2 * np.pi * 1.8 * t),
+                0.3 * rng.normal(size=t.size),
+                9.0 * np.cos(2 * np.pi * 1.8 * t),
+            ],
+            axis=1,
+        )
+        faulted = inject_faults(
+            data,
+            [
+                SampleDropout(prob=0.05),
+                Outage(rate_per_min=8.0, min_gap_s=0.3, max_gap_s=0.8),
+            ],
+            seed=55,
+        )
+
+        def run(batches):
+            sess = StreamingPTrack(100.0, fault_policy=FaultPolicy())
+            events = []
+            for b in batches:
+                steps, _ = sess.append(b)
+                events.extend(steps)
+            steps, _ = sess.flush()
+            events.extend(steps)
+            ops = sess.op_stats
+            return (
+                [(e.index, e.time) for e in events],
+                ops.samples_repaired,
+                ops.samples_rejected,
+                ops.gaps_reset,
+            )
+
+        reference = run([faulted])
+        cuts, pos = [], 0
+        for c in chunks:
+            if pos >= faulted.shape[0]:
+                break
+            cuts.append(faulted[pos : pos + c])
+            pos += c
+        if pos < faulted.shape[0]:
+            cuts.append(faulted[pos:])
+        assert run(cuts) == reference
