@@ -1,0 +1,177 @@
+"""Tracked telemetry benchmarks: instrumentation overhead + merging.
+
+Two sections, written into the ``telemetry`` block of the JSON
+scoreboard (``BENCH_PR5.json``):
+
+* **instrumented_overhead** — the cost of observability: the same
+  clean trace served with the telemetry gate closed and with a live
+  registry attached. The instrumented path must stay bit-identical
+  (telemetry observes, never steers) and within the tracked overhead
+  budget (<5%), so instrumentation can be left on in production
+  rather than sampled per deployment.
+* **fleet_merge** — :func:`serve_fleet` with per-shard registries
+  merged across process boundaries: the merged counter totals must be
+  identical whether the fleet runs in one shard or many, serial or
+  parallel — the telemetry analogue of the serial == pooled == sharded
+  serving identity.
+
+Every timed configuration asserts result integrity first; a benchmark
+that silently diverges from the reference is reporting noise.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.streaming import StreamingPTrack
+from repro.serving import serve_fleet, synthesize_workload
+from repro.telemetry import MetricsRegistry
+
+SAMPLE_RATE_HZ = 100.0
+HEADLINE_CADENCE = 50  # samples per append: the 0.5 s upload interval
+
+#: Tracked budget: instrumented streaming on a clean trace must cost
+#: less than this fraction over the uninstrumented path.
+TELEMETRY_OVERHEAD_BUDGET = 0.05
+
+
+def _serve(
+    profile, data: np.ndarray, registry: Optional[MetricsRegistry]
+) -> Tuple[list, StreamingPTrack]:
+    """Drive one session at the headline cadence; return its credits."""
+    sess = StreamingPTrack(
+        SAMPLE_RATE_HZ, profile=profile, telemetry=registry
+    )
+    steps: List[Any] = []
+    for i in range(0, data.shape[0], HEADLINE_CADENCE):
+        new_steps, _ = sess.append(data[i : i + HEADLINE_CADENCE])
+        steps.extend(new_steps)
+    new_steps, _ = sess.flush()
+    steps.extend(new_steps)
+    return steps, sess
+
+
+def _time_once(profile, data: np.ndarray, instrumented: bool) -> float:
+    registry = MetricsRegistry() if instrumented else None
+    t0 = time.perf_counter()
+    _serve(profile, data, registry)
+    return time.perf_counter() - t0
+
+
+def bench_instrumented_overhead(
+    duration_s: float = 300.0,
+    repeats: int = 5,
+    seed: int = 4,
+) -> Dict[str, Any]:
+    """Gate closed vs live registry on a clean trace: identity + cost."""
+    (workload,) = synthesize_workload(1, duration_s, seed=seed)
+    data = workload.samples
+
+    plain_steps, _ = _serve(workload.profile, data, None)
+    registry = MetricsRegistry()
+    instr_steps, instr_sess = _serve(workload.profile, data, registry)
+    # Bit-identical credits: telemetry observes, never steers.
+    assert [(e.index, e.time) for e in plain_steps] == [
+        (e.index, e.time) for e in instr_steps
+    ]
+    # And the registry totals agree with the session's own ledger.
+    snap = registry.snapshot()
+    assert snap["counters"]["ptrack_steps_credited_total"] == len(instr_steps)
+    assert (
+        snap["counters"]["ptrack_samples_in_total"]
+        == instr_sess.op_stats.samples_in
+    )
+
+    # Interleave the two configurations so slow drift (thermal, other
+    # processes) hits both sides equally; min-of-N rejects the noise.
+    plain_times: List[float] = []
+    instr_times: List[float] = []
+    for _ in range(repeats):
+        plain_times.append(_time_once(workload.profile, data, False))
+        instr_times.append(_time_once(workload.profile, data, True))
+    plain_s = min(plain_times)
+    instr_s = min(instr_times)
+    overhead = instr_s / plain_s - 1.0
+    return {
+        "duration_s": duration_s,
+        "n_samples": int(data.shape[0]),
+        "repeats": repeats,
+        "plain_s": plain_s,
+        "instrumented_s": instr_s,
+        "overhead_frac": overhead,
+        "overhead_budget": TELEMETRY_OVERHEAD_BUDGET,
+        "overhead_ok": overhead < TELEMETRY_OVERHEAD_BUDGET,
+        "identical_credits": True,
+    }
+
+
+def bench_fleet_merge(
+    n_sessions: int = 12,
+    duration_s: float = 30.0,
+    seed: int = 6,
+) -> Dict[str, Any]:
+    """Merged fleet counters are shard- and worker-invariant."""
+    workloads = synthesize_workload(n_sessions, duration_s, seed=seed)
+    traces = [w.samples for w in workloads]
+    profiles = [w.profile for w in workloads]
+
+    def run(shard_size: Optional[int], workers: int):
+        t0 = time.perf_counter()
+        report = serve_fleet(
+            traces,
+            SAMPLE_RATE_HZ,
+            profiles=profiles,
+            batch_samples=HEADLINE_CADENCE,
+            sessions_per_shard=shard_size,
+            workers=workers,
+            telemetry=True,
+        )
+        return report, time.perf_counter() - t0
+
+    single, single_s = run(None, 1)
+    sharded, sharded_s = run(3, 1)
+    parallel, parallel_s = run(3, 2)
+    assert single.telemetry is not None
+    n_counters = len(single.telemetry["counters"])
+    counters = dict(single.telemetry["counters"])
+    # Credited metres accumulate in shard-dependent order; the float
+    # counter agrees to tolerance, every integer counter bitwise.
+    dist = counters.pop("ptrack_distance_m_total")
+    for other in (sharded, parallel):
+        others = dict(other.telemetry["counters"])
+        assert abs(others.pop("ptrack_distance_m_total") - dist) <= (
+            1e-9 * max(1.0, abs(dist))
+        )
+        assert others == counters
+    # The merged ledger agrees with the report's own aggregates.
+    assert counters["ptrack_steps_credited_total"] == single.total_steps
+    return {
+        "n_sessions": n_sessions,
+        "duration_s": duration_s,
+        "single_shard_s": single_s,
+        "sharded_s": sharded_s,
+        "parallel_s": parallel_s,
+        "merged_counters": n_counters,
+        "total_steps": int(counters["ptrack_steps_credited_total"]),
+        "counters_invariant": True,
+    }
+
+
+def run_telemetry(check: bool = False) -> Dict[str, Any]:
+    """The full telemetry section of the scoreboard."""
+    if check:
+        return {
+            "instrumented_overhead": bench_instrumented_overhead(
+                duration_s=60.0, repeats=7
+            ),
+            "fleet_merge": bench_fleet_merge(
+                n_sessions=4, duration_s=15.0
+            ),
+        }
+    return {
+        "instrumented_overhead": bench_instrumented_overhead(),
+        "fleet_merge": bench_fleet_merge(),
+    }

@@ -11,8 +11,10 @@ them three ways and shows the results are identical:
 3. **Sharded** — :func:`repro.serving.serve_fleet` partitions the
    fleet across worker processes via ``repro.runtime.parallel_map``.
 
-It then scales the pool to ~1000 users at a 0.5 s upload cadence and
-reports throughput against real time.
+It then scales the pool to ~1000 users at a 0.5 s upload cadence,
+reports throughput against real time, and prints the fleet health
+summary from the merged telemetry registry (every shard's counters
+travel home with its results and merge into one ledger).
 
 Run:  python examples/fleet_serving.py
 """
@@ -20,6 +22,7 @@ Run:  python examples/fleet_serving.py
 import time
 
 from repro.core import StreamingPTrack
+from repro.eval.reporting import fleet_health_table
 from repro.serving import SessionPool, serve_fleet, synthesize_workload
 
 RATE_HZ = 100.0
@@ -81,6 +84,7 @@ def main() -> None:
         RATE_HZ,
         profiles=[w.profile for w in fleet],
         batch_samples=CADENCE,
+        telemetry=True,
     )
     wall = time.perf_counter() - t0
     truth = sum(w.true_steps for w in fleet)
@@ -94,6 +98,11 @@ def main() -> None:
         f"(ground truth {truth}), "
         f"{report.total_distance_m:,.0f} m walked"
     )
+
+    # The merged registry is the fleet's health ledger: per-shard
+    # counters travel home with the shard results and sum exactly.
+    print()
+    print(fleet_health_table(report.telemetry).render())
 
 
 if __name__ == "__main__":

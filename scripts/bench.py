@@ -20,6 +20,10 @@ Suites:
   (tracked <5% budget, bit-identical credits) and self-healing fleet
   throughput over fault-injected workloads (the PR-4 scoreboard,
   ``BENCH_PR4.json``).
+* ``telemetry`` — instrumentation overhead on the clean streaming
+  path (tracked <5% budget, bit-identical credits) and shard/worker
+  invariance of the merged fleet registry (the PR-5 scoreboard,
+  ``BENCH_PR5.json``).
 
 Every scoreboard is stamped with the schema version and the git
 revision it was measured at, so checked-in numbers are traceable to
@@ -41,6 +45,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 import bench_faults  # noqa: E402
 import bench_runtime  # noqa: E402
 import bench_serving  # noqa: E402
+import bench_telemetry  # noqa: E402
 
 BENCH_SCHEMA = "ptrack-bench-v2"
 
@@ -141,6 +146,31 @@ def _print_faults(faults) -> bool:
     return ok
 
 
+def _print_telemetry(telemetry) -> bool:
+    overhead = telemetry["instrumented_overhead"]
+    print(
+        f"  instrumented overhead ({overhead['duration_s']:.0f}s trace): "
+        f"{100 * overhead['overhead_frac']:+.1f}% "
+        f"(budget {100 * overhead['overhead_budget']:.0f}%), "
+        f"identical credits: {overhead['identical_credits']}"
+    )
+    merge = telemetry["fleet_merge"]
+    print(
+        f"  fleet merge ({merge['n_sessions']} sessions): "
+        f"{merge['merged_counters']} counters, "
+        f"{merge['total_steps']} steps, "
+        f"shard/worker invariant: {merge['counters_invariant']}"
+    )
+    ok = True
+    if not overhead["overhead_ok"]:
+        print("ERROR: telemetry instrumentation exceeds the overhead budget")
+        ok = False
+    if not merge["counters_invariant"]:
+        print("ERROR: merged fleet counters depend on sharding")
+        ok = False
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -150,7 +180,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("runtime", "serving", "faulted-serving", "all"),
+        choices=("runtime", "serving", "faulted-serving", "telemetry", "all"),
         default="all",
         help="which benchmark suites to run",
     )
@@ -161,7 +191,7 @@ def main(argv=None) -> int:
         help="where to write the JSON scoreboard (default: "
         "BENCH_PR1.json for --suite runtime, BENCH_PR3.json for "
         "--suite serving, BENCH_PR4.json for --suite faulted-serving, "
-        "BENCH_PR4.json for all)",
+        "BENCH_PR5.json for --suite telemetry and for all)",
     )
     parser.add_argument("--seeds", type=int, default=6, help="macro replicates")
     parser.add_argument("--users", type=int, default=2, help="users per replicate")
@@ -181,7 +211,8 @@ def main(argv=None) -> int:
             "runtime": "BENCH_PR1.json",
             "serving": "BENCH_PR3.json",
             "faulted-serving": "BENCH_PR4.json",
-            "all": "BENCH_PR4.json",
+            "telemetry": "BENCH_PR5.json",
+            "all": "BENCH_PR5.json",
         }
         output = REPO_ROOT / default_outputs[args.suite]
 
@@ -205,6 +236,9 @@ def main(argv=None) -> int:
     if args.suite in ("faulted-serving", "all"):
         results["check_mode"] = args.check
         results["faults"] = bench_faults.run_faults(check=args.check)
+    if args.suite in ("telemetry", "all"):
+        results["check_mode"] = args.check
+        results["telemetry"] = bench_telemetry.run_telemetry(check=args.check)
 
     output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output} (rev {results['git_revision']})")
@@ -214,6 +248,8 @@ def main(argv=None) -> int:
         ok = _print_serving(results["serving"]) and ok
     if args.suite in ("faulted-serving", "all"):
         ok = _print_faults(results["faults"]) and ok
+    if args.suite in ("telemetry", "all"):
+        ok = _print_telemetry(results["telemetry"]) and ok
     return 0 if ok else 1
 
 

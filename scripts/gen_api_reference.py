@@ -19,6 +19,7 @@ MODULES = [
     "repro.runtime",
     "repro.faults",
     "repro.serving",
+    "repro.telemetry",
     "repro.baselines",
     "repro.apps",
     "repro.eval",
@@ -36,7 +37,8 @@ def main() -> None:
         "Narrative guides: [performance.md](performance.md) for the\n"
         "runtime/serving layers, [robustness.md](robustness.md) for\n"
         "`repro.faults`, degraded-mode ingest, and self-healing\n"
-        "serving.\n"
+        "serving, [observability.md](observability.md) for\n"
+        "`repro.telemetry` metrics, tracing, and exporters.\n"
     )
     for modname in MODULES:
         mod = importlib.import_module(modname)

@@ -10,6 +10,9 @@ Commands:
                   ``.npz`` files for offline experimentation.
 * ``track``     — run PTrack over a saved trace/session file.
 * ``evaluate``  — score PTrack over a directory of saved sessions.
+* ``telemetry`` — serve a synthetic fleet with telemetry enabled and
+                  print the merged fleet health ledger (table, JSON,
+                  or Prometheus text).
 """
 
 from __future__ import annotations
@@ -161,6 +164,35 @@ def _cmd_track(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.eval.reporting import fleet_health_table
+    from repro.serving.fleet import serve_fleet
+    from repro.serving.workload import synthesize_workload
+    from repro.telemetry import to_json, to_prometheus
+
+    sessions = synthesize_workload(
+        n_sessions=args.sessions,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    report = serve_fleet(
+        [s.samples for s in sessions],
+        100.0,
+        profiles=[s.profile for s in sessions],
+        workers=args.workers,
+        telemetry=True,
+    )
+    snapshot = report.telemetry
+    assert snapshot is not None  # telemetry=True always returns one
+    if args.format == "json":
+        print(to_json(snapshot))
+    elif args.format == "prometheus":
+        print(to_prometheus(snapshot), end="")
+    else:
+        print(fleet_health_table(snapshot).render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -205,6 +237,21 @@ def build_parser() -> argparse.ArgumentParser:
     track.add_argument("--plot", action="store_true",
                        help="print terminal sparklines of the trace")
     track.set_defaults(func=_cmd_track)
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="serve a synthetic fleet and print the merged health ledger",
+    )
+    telemetry.add_argument("--sessions", type=int, default=4)
+    telemetry.add_argument("--duration", type=float, default=30.0)
+    telemetry.add_argument("--seed", type=int, default=0)
+    telemetry.add_argument("--workers", type=int, default=None)
+    telemetry.add_argument(
+        "--format",
+        choices=("table", "json", "prometheus"),
+        default="table",
+    )
+    telemetry.set_defaults(func=_cmd_telemetry)
     return parser
 
 

@@ -34,6 +34,7 @@ baseline for the serving benchmarks.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -55,6 +56,7 @@ from repro.sensing.imu import IMUTrace
 from repro.signal.filters import butter_lowpass
 from repro.signal.projection import anterior_direction, project_horizontal
 from repro.signal.segmentation import segment_gait_cycles
+from repro.telemetry.registry import MetricsRegistry, get_registry
 from repro.types import StepEvent, StrideEstimate, UserProfile
 
 __all__ = [
@@ -196,6 +198,14 @@ class StreamingPTrack:
             ``samples_repaired`` / ``samples_rejected`` / ``gaps_reset``
             counters in :attr:`op_stats` record it all. On a clean
             stream both modes credit bit-identical results.
+        telemetry: Metrics registry receiving this session's
+            instrumentation (append-latency histogram, credited
+            steps/strides, and every :class:`StreamingOpStats` counter
+            as a ``ptrack_*_total`` series). ``None`` falls back to
+            the process gate (:func:`repro.telemetry.get_registry`) at
+            construction time; with the gate closed the session runs
+            uninstrumented and the data path is untouched
+            (bit-identical credits, zero added work per append).
     """
 
     def __init__(
@@ -206,6 +216,7 @@ class StreamingPTrack:
         settle_s: float = 2.5,
         max_buffer_s: float = 30.0,
         fault_policy: Optional[FaultPolicy] = None,
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         if sample_rate_hz <= 0:
             raise ConfigurationError("sample_rate_hz must be positive")
@@ -256,6 +267,20 @@ class StreamingPTrack:
         self._machine = Fig4Streak(self._config)
         self._recent_strides: deque = deque(maxlen=32)
         self._stats = StreamingOpStats()
+        self._telemetry = (
+            telemetry if telemetry is not None else get_registry()
+        )
+        if self._telemetry is not None:
+            reg = self._telemetry
+            self._m_append_s = reg.histogram("ptrack_append_seconds")
+            self._m_steps = reg.counter("ptrack_steps_credited_total")
+            self._m_strides = reg.counter("ptrack_strides_credited_total")
+            self._m_distance = reg.counter("ptrack_distance_m_total")
+            self._m_ops = {
+                field: reg.counter(f"ptrack_{field}_total")
+                for field in StreamingOpStats().as_dict()
+            }
+            self._published: Dict[str, int] = {}
         self._reset_positions()
 
     def _reset_positions(self) -> None:
@@ -327,6 +352,13 @@ class StreamingPTrack:
         """
         self._machine.reset()
         self._recent_strides.clear()
+        if self._telemetry is not None:
+            # Flush unpublished op-stat deltas before the ledger is
+            # wiped: the registry's totals stay monotonic across
+            # session reuse while the delta baseline restarts with
+            # the stream.
+            self._publish_ops()
+            self._published = {}
         self._stats = StreamingOpStats()
         self._reset_positions()
 
@@ -349,6 +381,7 @@ class StreamingPTrack:
                 conversion copy on every call, or — in strict mode
                 (no fault policy) — non-finite values.
         """
+        t0 = time.perf_counter() if self._telemetry is not None else 0.0
         self.ingest(samples)
         steps, strides = self.take_pending_credits()
         while True:
@@ -358,6 +391,8 @@ class StreamingPTrack:
             st, sr = self.resolve(staged, self.stepping_values(staged))
             steps.extend(st)
             strides.extend(sr)
+        if self._telemetry is not None:
+            self._m_append_s.observe(time.perf_counter() - t0)
         return steps, strides
 
     def flush(self) -> Tuple[List[StepEvent], List[StrideEstimate]]:
@@ -371,6 +406,8 @@ class StreamingPTrack:
         steps, strides = self.take_pending_credits()
         head = self._buf_start + self._size
         if head == 0:
+            if self._telemetry is not None:
+                self._publish_ops()
             return steps, strides
         while True:
             staged = self.collect()
@@ -391,6 +428,8 @@ class StreamingPTrack:
         # Trailing pending cycles can never confirm: interference.
         for res in self._machine.flush():
             self._seg_store.pop(res.candidate.cycle_id, None)
+        if self._telemetry is not None:
+            self._publish_ops()
         return steps, strides
 
     # ------------------------------------------------------------------
@@ -556,11 +595,41 @@ class StreamingPTrack:
             boundary = self._trim_boundary
             self._trim_boundary = None
             self._trim(boundary)
+        if self._telemetry is not None:
+            if steps:
+                self._m_steps.inc(len(steps))
+            if strides:
+                self._m_strides.inc(len(strides))
+                self._m_distance.inc(
+                    float(sum(s.length_m for s in strides))
+                )
+            self._publish_ops()
         return steps, strides
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _publish_ops(self) -> None:
+        """Sync op-stat deltas into the telemetry counters.
+
+        Counters mirror :class:`StreamingOpStats` exactly (one
+        ``ptrack_<field>_total`` per field), published as deltas so
+        the registry totals stay monotonic across :meth:`reset` and
+        session reuse. Publishing happens at credit boundaries —
+        ``resolve``, ``flush``, and ``reset`` — which every driver
+        (solo ``append``, pooled split-phase, sharded fleet) flows
+        through, so fleet counter totals are identical across serving
+        modes; between boundaries the registry may lag ``op_stats``
+        by at most one settle horizon.
+        """
+        current = self._stats.as_dict()
+        published = self._published
+        for field, value in current.items():
+            delta = value - published.get(field, 0)
+            if delta:
+                self._m_ops[field].inc(delta)
+        self._published = current
+
     def _write(self, block: np.ndarray) -> None:
         """Append validated rows to the rolling buffer (grow as needed)."""
         needed = self._size + block.shape[0]

@@ -1,15 +1,17 @@
 """Plain-text tabular reporting for experiment drivers.
 
 Every benchmark prints a paper-vs-measured table through these helpers
-so the regenerated rows are directly comparable to the figures.
+so the regenerated rows are directly comparable to the figures, and
+:func:`fleet_health_table` renders a telemetry snapshot (see
+:mod:`repro.telemetry`) as the same kind of aligned table.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Union
+from typing import Any, Dict, List, Sequence, Union
 
-__all__ = ["Table", "format_table"]
+__all__ = ["Table", "format_table", "fleet_health_table"]
 
 Cell = Union[str, int, float]
 
@@ -90,3 +92,67 @@ class Table:
         """Print the table (benchmarks call this)."""
         print()
         print(self.render())
+
+
+def _snapshot_quantile(hist: Dict[str, Any], q: float) -> float:
+    """Approximate quantile from a snapshot histogram's bucket counts.
+
+    Linear interpolation inside the bucket holding the q-th
+    observation; the open +Inf bucket reports its lower edge (the last
+    finite boundary), which understates but never invents latency.
+    """
+    buckets = list(hist["buckets"])
+    counts = list(hist["counts"])
+    total = int(hist["count"])
+    if total == 0:
+        return 0.0
+    rank = q * total
+    seen = 0.0
+    for i, c in enumerate(counts):
+        if seen + c >= rank and c > 0:
+            lo = buckets[i - 1] if i > 0 else 0.0
+            if i >= len(buckets):  # the open +Inf bucket
+                return float(buckets[-1]) if buckets else lo
+            frac = (rank - seen) / c
+            return float(lo + (buckets[i] - lo) * frac)
+        seen += c
+    return float(buckets[-1]) if buckets else 0.0
+
+
+def fleet_health_table(
+    snapshot: Dict[str, Any], title: str = "fleet health"
+) -> Table:
+    """Render a telemetry snapshot as an aligned health table.
+
+    One row per metric, sorted by name within kind (counters, then
+    gauges, then histograms). Histogram rows report the observation
+    count as the value and approximate p50/p95 plus the mean in the
+    detail column.
+
+    Args:
+        snapshot: A :meth:`repro.telemetry.MetricsRegistry.snapshot`
+            dict (or a merge of several).
+        title: Table title.
+
+    Returns:
+        A :class:`Table` ready to ``render()`` or ``show()``.
+    """
+    table = Table(title=title, headers=["metric", "kind", "value", "detail"])
+    for name in sorted(snapshot.get("counters", {})):
+        table.add_row(name, "counter", snapshot["counters"][name], "")
+    for name in sorted(snapshot.get("gauges", {})):
+        table.add_row(name, "gauge", snapshot["gauges"][name], "")
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        count = int(hist["count"])
+        if count:
+            mean = hist["sum"] / count
+            detail = (
+                f"p50={_snapshot_quantile(hist, 0.5):.6f} "
+                f"p95={_snapshot_quantile(hist, 0.95):.6f} "
+                f"mean={mean:.6f}"
+            )
+        else:
+            detail = "no observations"
+        table.add_row(name, "histogram", count, detail)
+    return table

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.sensing.imu import IMUTrace
+from repro.telemetry.registry import MetricsRegistry, get_registry
 from repro.simulation.activities import simulate_interference
 from repro.simulation.profiles import SimulatedUser
 from repro.simulation.spoofer import simulate_spoofer
@@ -91,12 +92,19 @@ class TraceCache:
         max_items: In-memory entry cap; least-recently-used entries are
             evicted first (the disk layer, when present, keeps them).
         directory: Optional disk-store directory; created on demand.
+        telemetry: Metrics registry receiving hit/miss/eviction
+            counters (``runtime_cache_*_total``). ``None`` checks the
+            process gate on every lookup instead — the default cache
+            is built lazily at first use, usually before
+            ``telemetry.enable()`` runs, so a use-time fallback is
+            what lets it report at all.
     """
 
     def __init__(
         self,
         max_items: int = 128,
         directory: Optional[Union[str, Path]] = None,
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_items < 1:
             raise ConfigurationError(f"max_items must be >= 1, got {max_items}")
@@ -106,6 +114,12 @@ class TraceCache:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
+        self._telemetry = telemetry
+
+    def _registry(self) -> Optional[MetricsRegistry]:
+        """The explicit registry, or the process gate's (may be None)."""
+        return self._telemetry if self._telemetry is not None else get_registry()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -119,6 +133,11 @@ class TraceCache:
     def misses(self) -> int:
         """Lookups that had to compute."""
         return self._misses
+
+    @property
+    def evictions(self) -> int:
+        """In-memory entries dropped by the LRU cap."""
+        return self._evictions
 
     @property
     def directory(self) -> Optional[Path]:
@@ -154,11 +173,18 @@ class TraceCache:
 
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` under ``key`` in memory (and on disk)."""
+        evicted = 0
         with self._lock:
             self._items[key] = value
             self._items.move_to_end(key)
             while len(self._items) > self._max_items:
                 self._items.popitem(last=False)
+                evicted += 1
+            self._evictions += evicted
+        if evicted:
+            reg = self._registry()
+            if reg is not None:
+                reg.counter("runtime_cache_evictions_total").inc(evicted)
         self._disk_write(key, value)
 
     def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
@@ -182,12 +208,15 @@ class TraceCache:
         """Drop every in-memory entry and reset the hit/miss counters.
 
         Disk entries are left in place; delete the directory to purge
-        them (e.g. after simulator code changes).
+        them (e.g. after simulator code changes). The telemetry
+        counters, if any, stay monotonic — ``clear`` resets the
+        cache's own introspection, not the process's health ledger.
         """
         with self._lock:
             self._items.clear()
             self._hits = 0
             self._misses = 0
+            self._evictions = 0
 
     # ------------------------------------------------------------------
     # Internals
@@ -198,21 +227,36 @@ class TraceCache:
                 self._items.move_to_end(key)
                 if count:
                     self._hits += 1
+                    self._count_telemetry("runtime_cache_hits_total")
                 return self._items[key]
         value = self._disk_read(key)
         if value is not _MISSING:
+            evicted = 0
             with self._lock:
                 self._items[key] = value
                 self._items.move_to_end(key)
                 while len(self._items) > self._max_items:
                     self._items.popitem(last=False)
+                    evicted += 1
+                self._evictions += evicted
                 if count:
                     self._hits += 1
+                    self._count_telemetry("runtime_cache_hits_total")
+            if evicted:
+                reg = self._registry()
+                if reg is not None:
+                    reg.counter("runtime_cache_evictions_total").inc(evicted)
             return value
         if count:
             with self._lock:
                 self._misses += 1
+                self._count_telemetry("runtime_cache_misses_total")
         return _MISSING
+
+    def _count_telemetry(self, name: str) -> None:
+        reg = self._registry()
+        if reg is not None:
+            reg.counter(name).inc()
 
     def _disk_path(self, key: str) -> Optional[Path]:
         return None if self._dir is None else self._dir / f"{key}.pkl"

@@ -30,6 +30,24 @@ from typing import Any, Callable, List, Optional, Sequence, TypeVar
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.telemetry.registry import get_registry
+
+#: Bucket layout for task/map wall times (seconds): wider than the
+#: latency default because experiment fan-outs run for minutes.
+_DURATION_BUCKETS_S = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    300.0,
+)
 
 __all__ = [
     "resolve_workers",
@@ -105,10 +123,44 @@ def parallel_map(
         parallel.
     """
     n_workers = resolve_workers(workers)
+    reg = get_registry()
+    t0 = time.perf_counter() if reg is not None else 0.0
     if n_workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        if reg is None:
+            return [fn(item) for item in items]
+        h_task = reg.histogram(
+            "runtime_parallel_task_seconds", buckets=_DURATION_BUCKETS_S
+        )
+        results: List[R] = []
+        for item in items:
+            t_task = time.perf_counter()
+            results.append(fn(item))
+            h_task.observe(time.perf_counter() - t_task)
+        _record_map(reg, len(items), t0)
+        return results
     with ProcessPoolExecutor(max_workers=min(n_workers, len(items))) as pool:
-        return list(pool.map(fn, items, chunksize=max(1, chunksize)))
+        if reg is None:
+            return list(pool.map(fn, items, chunksize=max(1, chunksize)))
+        h_task = reg.histogram(
+            "runtime_parallel_task_seconds", buckets=_DURATION_BUCKETS_S
+        )
+        results = []
+        for result in pool.map(fn, items, chunksize=max(1, chunksize)):
+            # Turnaround since map start: per-task compute time is not
+            # observable from the parent without extra IPC.
+            h_task.observe(time.perf_counter() - t0)
+            results.append(result)
+        _record_map(reg, len(items), t0)
+        return results
+
+
+def _record_map(reg, n_tasks: int, t0: float) -> None:
+    """Record map-level telemetry (one map, its task count, wall time)."""
+    reg.counter("runtime_parallel_maps_total").inc()
+    reg.counter("runtime_parallel_tasks_total").inc(n_tasks)
+    reg.histogram(
+        "runtime_parallel_map_seconds", buckets=_DURATION_BUCKETS_S
+    ).observe(time.perf_counter() - t0)
 
 
 @dataclass(frozen=True)
@@ -162,9 +214,19 @@ def parallel_map_outcomes(
     want crash containment, which an in-process shortcut cannot give.
     """
     n_workers = resolve_workers(workers)
+    reg = get_registry()
+    t0 = time.perf_counter() if reg is not None else 0.0
+    h_task = (
+        reg.histogram(
+            "runtime_parallel_task_seconds", buckets=_DURATION_BUCKETS_S
+        )
+        if reg is not None
+        else None
+    )
     if n_workers <= 1 or not items:
         outcomes: List[TaskOutcome] = []
         for item in items:
+            t_task = time.perf_counter() if reg is not None else 0.0
             try:
                 outcomes.append(TaskOutcome(ok=True, value=fn(item)))
             except Exception as exc:  # noqa: BLE001 — containment point
@@ -173,6 +235,10 @@ def parallel_map_outcomes(
                         ok=False, error=f"{type(exc).__name__}: {exc}"
                     )
                 )
+            if h_task is not None:
+                h_task.observe(time.perf_counter() - t_task)
+        if reg is not None:
+            _record_outcomes(reg, outcomes, t0)
         return outcomes
     pool = ProcessPoolExecutor(max_workers=min(n_workers, len(items)))
     deadline = None if timeout_s is None else time.monotonic() + timeout_s
@@ -203,9 +269,23 @@ def parallel_map_outcomes(
                 )
                 if isinstance(exc, BrokenProcessPool):
                     timed_out = True  # pool unusable: don't join it
+            if h_task is not None:
+                # Turnaround since map start: compute time stays in the
+                # worker process.
+                h_task.observe(time.perf_counter() - t0)
+        if reg is not None:
+            _record_outcomes(reg, outcomes, t0)
         return outcomes
     finally:
         pool.shutdown(wait=not timed_out, cancel_futures=True)
+
+
+def _record_outcomes(reg, outcomes: List[TaskOutcome], t0: float) -> None:
+    """Record map-level telemetry plus the per-map failure count."""
+    _record_map(reg, len(outcomes), t0)
+    failed = sum(1 for o in outcomes if not o.ok)
+    if failed:
+        reg.counter("runtime_parallel_task_failures_total").inc(failed)
 
 
 def derive_rng(seed: int, *coordinates: int) -> np.random.Generator:

@@ -31,7 +31,7 @@ Fault tolerance is layered on three levels:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,6 +40,8 @@ from repro.exceptions import ConfigurationError
 from repro.faults.policy import FaultPolicy
 from repro.runtime import parallel_map_outcomes, resolve_workers
 from repro.serving.pool import SessionPool
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.tracing import trace_span
 from repro.types import StepEvent, StrideEstimate, UserProfile
 
 __all__ = ["SessionReport", "FleetReport", "serve_fleet"]
@@ -94,11 +96,19 @@ class FleetReport:
         n_samples: Samples across all input traces.
         shard_retries: Bisection rounds spent healing failed shards
             (0 on a clean run).
+        telemetry: The fleet-wide metrics snapshot — per-shard
+            registries merged across the process boundary, plus the
+            fleet-level series (``serving_fleet_*``) — when
+            ``serve_fleet(..., telemetry=True)``; ``None`` otherwise.
+            Render it with :func:`repro.telemetry.to_json` /
+            :func:`~repro.telemetry.to_prometheus` or
+            :func:`repro.eval.reporting.fleet_health_table`.
     """
 
     sessions: Tuple[SessionReport, ...]
     n_samples: int
     shard_retries: int = 0
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def status(self) -> str:
@@ -147,10 +157,13 @@ _Shard = Tuple[
     float,
     int,
     Optional[FaultPolicy],
+    bool,
 ]
 
 
-def _serve_shard(shard: _Shard) -> List[SessionReport]:
+def _serve_shard(
+    shard: _Shard,
+) -> Tuple[List[SessionReport], Optional[Dict[str, Any]]]:
     """Serve one shard of sessions through a pool (worker entry point).
 
     Module-level so it pickles for the process map; the payload
@@ -158,6 +171,11 @@ def _serve_shard(shard: _Shard) -> List[SessionReport]:
     Per-session failures are contained by the pool and surfaced as
     ``status="failed"`` reports; only shard-level disasters (worker
     death, timeout) escape to the bisection layer above.
+
+    With telemetry requested, the worker builds a fresh registry for
+    its pool and ships the picklable snapshot home next to the
+    reports; the caller merges snapshots across shards, which is how
+    the fleet registry crosses process boundaries via ``parallel_map``.
     """
     (
         indices,
@@ -169,13 +187,16 @@ def _serve_shard(shard: _Shard) -> List[SessionReport]:
         max_buffer_s,
         batch_samples,
         fault_policy,
+        telemetry,
     ) = shard
+    registry = MetricsRegistry() if telemetry else None
     pool = SessionPool(
         sample_rate_hz,
         config=config,
         settle_s=settle_s,
         max_buffer_s=max_buffer_s,
         fault_policy=fault_policy,
+        telemetry=registry,
     )
     sids = pool.add_sessions(profiles)
     steps: List[List[StepEvent]] = [[] for _ in sids]
@@ -213,7 +234,7 @@ def _serve_shard(shard: _Shard) -> List[SessionReport]:
                 gaps_reset=ops.gaps_reset,
             )
         )
-    return reports
+    return reports, (registry.snapshot() if registry is not None else None)
 
 
 def _split_shard(shard: _Shard) -> List[_Shard]:
@@ -280,6 +301,7 @@ def serve_fleet(
     sessions_per_shard: Optional[int] = None,
     fault_policy: Optional[FaultPolicy] = None,
     shard_timeout_s: Optional[float] = None,
+    telemetry: bool = False,
 ) -> FleetReport:
     """Serve one trace per session through a self-healing session fleet.
 
@@ -303,6 +325,14 @@ def serve_fleet(
         shard_timeout_s: Wall-clock budget per healing round; a shard
             not finished in time is treated as failed and bisected.
             Enforced only with ``workers > 1``.
+        telemetry: Collect a fleet-wide metrics snapshot: every shard
+            serves under its own in-worker registry, snapshots travel
+            home with the shard results, and the merge (additive
+            counters/histograms, max gauges) plus the fleet-level
+            ``serving_fleet_*`` series land on
+            :attr:`FleetReport.telemetry`. Counter totals are
+            deterministic and shard-layout-invariant on clean runs;
+            latency histograms are wall-clock and are not.
 
     Returns:
         A :class:`FleetReport` with per-session results in fleet
@@ -325,8 +355,10 @@ def serve_fleet(
             f"batch_samples must be >= 1, got {batch_samples}"
         )
     if n == 0:
-        return FleetReport(sessions=(), n_samples=0)
-    validated = _validate_traces(traces, fault_policy)
+        snap = MetricsRegistry().snapshot() if telemetry else None
+        return FleetReport(sessions=(), n_samples=0, telemetry=snap)
+    with trace_span("serve_fleet.validate"):
+        validated = _validate_traces(traces, fault_policy)
 
     n_workers = resolve_workers(workers)
     if sessions_per_shard is None:
@@ -346,6 +378,7 @@ def serve_fleet(
             max_buffer_s,
             batch_samples,
             fault_policy,
+            telemetry,
         )
         for lo in range(0, n, sessions_per_shard)
     ]
@@ -360,35 +393,40 @@ def serve_fleet(
     # Terminates because splits strictly shrink shards and attempts
     # are bounded.
     results: Dict[int, SessionReport] = {}
+    snapshots: List[Dict[str, Any]] = []
     retries = 0
     pending: List[Tuple[_Shard, int]] = [(shard, 0) for shard in shards]
     while pending:
-        if n_workers > 1 and any(attempts for _, attempts in pending):
-            # Retry round: one pool per shard, so a culprit that kills
-            # its worker cannot break the pool under its innocent
-            # collateral siblings a second time.
-            outcomes = []
-            for shard, _ in pending:
-                outcomes.extend(
-                    parallel_map_outcomes(
-                        _serve_shard,
-                        [shard],
-                        workers=n_workers,
-                        timeout_s=shard_timeout_s,
+        with trace_span("serve_fleet.healing_round"):
+            if n_workers > 1 and any(attempts for _, attempts in pending):
+                # Retry round: one pool per shard, so a culprit that
+                # kills its worker cannot break the pool under its
+                # innocent collateral siblings a second time.
+                outcomes = []
+                for shard, _ in pending:
+                    outcomes.extend(
+                        parallel_map_outcomes(
+                            _serve_shard,
+                            [shard],
+                            workers=n_workers,
+                            timeout_s=shard_timeout_s,
+                        )
                     )
+            else:
+                outcomes = parallel_map_outcomes(
+                    _serve_shard,
+                    [shard for shard, _ in pending],
+                    workers=n_workers,
+                    timeout_s=shard_timeout_s,
                 )
-        else:
-            outcomes = parallel_map_outcomes(
-                _serve_shard,
-                [shard for shard, _ in pending],
-                workers=n_workers,
-                timeout_s=shard_timeout_s,
-            )
         next_round: List[Tuple[_Shard, int]] = []
         for (shard, attempts), outcome in zip(pending, outcomes):
             if outcome.ok:
-                for report in outcome.value:
+                reports, snapshot = outcome.value
+                for report in reports:
                     results[report.session_index] = report
+                if snapshot is not None:
+                    snapshots.append(snapshot)
             elif len(shard[0]) > 1:
                 next_round.extend((s, 0) for s in _split_shard(shard))
                 retries += 1
@@ -406,8 +444,24 @@ def serve_fleet(
                 )
         pending = next_round
 
+    sessions = tuple(results[i] for i in range(n))
+    merged: Optional[Dict[str, Any]] = None
+    if telemetry:
+        fleet_reg = MetricsRegistry()
+        for snapshot in snapshots:
+            fleet_reg.merge(snapshot)
+        # Fleet-level series the shards cannot see: the healing layer's
+        # own activity and the terminal per-session outcomes.
+        fleet_reg.gauge("serving_fleet_sessions").set(n)
+        fleet_reg.counter("serving_fleet_shard_retries_total").inc(retries)
+        fleet_reg.counter("serving_fleet_sessions_failed_total").inc(
+            sum(1 for s in sessions if s.status != "ok")
+        )
+        merged = fleet_reg.snapshot()
+
     return FleetReport(
-        sessions=tuple(results[i] for i in range(n)),
+        sessions=sessions,
         n_samples=int(sum(t.shape[0] for t in validated)),
         shard_retries=retries,
+        telemetry=merged,
     )

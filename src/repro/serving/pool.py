@@ -18,6 +18,7 @@ equivalence the serving tests assert (serial == pooled == sharded).
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -28,6 +29,7 @@ from repro.core.stepping import batch_stepping_tests
 from repro.core.streaming import StagedCycle, StreamingPTrack
 from repro.exceptions import ConfigurationError
 from repro.faults.policy import FaultPolicy
+from repro.telemetry.registry import MetricsRegistry, get_registry
 from repro.types import StepEvent, StrideEstimate, UserProfile
 
 __all__ = ["SessionPool"]
@@ -66,6 +68,13 @@ class SessionPool:
         isolate_failures: Contain per-session exceptions (default).
             ``False`` restores fail-fast: the first session error
             propagates to the caller.
+        telemetry: Metrics registry shared by the pool and every
+            session it creates; pool-level instruments (round latency,
+            failed/revived sessions, live-session gauge) land next to
+            the sessions' ``ptrack_*`` series, so the registry is the
+            shard's complete health ledger. ``None`` falls back to the
+            process gate at construction time (closed gate = fully
+            uninstrumented).
     """
 
     def __init__(
@@ -76,6 +85,7 @@ class SessionPool:
         max_buffer_s: float = 30.0,
         fault_policy: Optional[FaultPolicy] = None,
         isolate_failures: bool = True,
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         self._rate = sample_rate_hz
         self._config = config if config is not None else PTrackConfig()
@@ -86,6 +96,16 @@ class SessionPool:
         self._sessions: Dict[int, StreamingPTrack] = {}
         self._errors: Dict[int, str] = {}
         self._next_id = 0
+        self._telemetry = (
+            telemetry if telemetry is not None else get_registry()
+        )
+        if self._telemetry is not None:
+            reg = self._telemetry
+            self._m_round_s = reg.histogram("serving_pool_round_seconds")
+            self._m_appends = reg.counter("serving_pool_appends_total")
+            self._m_failed = reg.counter("serving_sessions_failed_total")
+            self._m_revived = reg.counter("serving_sessions_revived_total")
+            self._m_live = reg.gauge("serving_pool_sessions")
 
     # ------------------------------------------------------------------
     # Session management
@@ -111,7 +131,10 @@ class SessionPool:
             settle_s=self._settle,
             max_buffer_s=self._max_buffer_s,
             fault_policy=self._fault_policy,
+            telemetry=self._telemetry,
         )
+        if self._telemetry is not None:
+            self._m_live.set(len(self._sessions))
         return sid
 
     def add_sessions(
@@ -142,6 +165,7 @@ class SessionPool:
                 settle_s=self._settle,
                 max_buffer_s=self._max_buffer_s,
                 fault_policy=self._fault_policy,
+                telemetry=self._telemetry,
             )
         else:
             sess.reset()
@@ -164,11 +188,15 @@ class SessionPool:
     ) -> None:
         """Clear a session's failure record and rewind it for reuse."""
         self._session(session_id)
+        if session_id in self._errors and self._telemetry is not None:
+            self._m_revived.inc()
         self._errors.pop(session_id, None)
         self.reset_session(session_id, profile)
 
     def _mark_failed(self, session_id: int, exc: BaseException) -> None:
         """Record a poisoned session, or propagate when not isolating."""
+        if self._telemetry is not None:
+            self._m_failed.inc()
         if not self._isolate:
             raise
         self._errors[session_id] = f"{type(exc).__name__}: {exc}"
@@ -202,6 +230,7 @@ class SessionPool:
             SignalError: On a batch with a bad shape or dtype, when
                 ``isolate_failures`` is off.
         """
+        t0 = time.perf_counter() if self._telemetry is not None else 0.0
         if len(session_ids) != len(batches):
             raise ConfigurationError(
                 f"got {len(session_ids)} session ids but {len(batches)} "
@@ -275,6 +304,11 @@ class SessionPool:
                 out[k][0].extend(steps)
                 out[k][1].extend(strides)
                 active.append(k)
+        if self._telemetry is not None:
+            # Count per-session batch appends (not rounds) so the total
+            # is invariant to how the fleet is sharded across pools.
+            self._m_appends.inc(len(session_ids))
+            self._m_round_s.observe(time.perf_counter() - t0)
         return out
 
     def flush(

@@ -1,0 +1,65 @@
+"""Telemetry for the streaming + fleet-serving stack.
+
+Long-horizon wearable deployments live or die on continuous
+per-subject visibility — signal quality, detection statistics, repair
+activity — across heterogeneous populations. This package gives the
+PTrack serving stack that instrumented, queryable view:
+
+* :mod:`repro.telemetry.registry` — a process-local
+  :class:`MetricsRegistry` (counters, gauges, fixed-bucket
+  histograms) with picklable snapshots and cross-process merging;
+* :mod:`repro.telemetry.tracing` — :class:`trace_span` monotonic
+  spans with parent/child nesting in a bounded ring buffer;
+* :mod:`repro.telemetry.export` — JSON and Prometheus text-format
+  exporters over the one snapshot schema.
+
+Instrumented layers (``StreamingPTrack``, ``SessionPool``,
+``serve_fleet``, ``TraceCache``, ``parallel_map``) take an explicit
+``telemetry=`` registry or fall back to the process gate
+(:func:`enable` / :func:`disable`); with the gate closed every
+instrumented path reduces to one ``is not None`` check and clean-trace
+streaming stays bit-identical to the uninstrumented build. See
+``docs/observability.md`` for the metric catalog and overhead numbers.
+"""
+
+from repro.telemetry.export import from_json, to_json, to_prometheus
+from repro.telemetry.registry import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    SNAPSHOT_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable,
+    enable,
+    get_registry,
+    merge_snapshots,
+)
+from repro.telemetry.tracing import (
+    SpanBuffer,
+    SpanRecord,
+    get_span_buffer,
+    set_span_capacity,
+    trace_span,
+)
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanBuffer",
+    "SpanRecord",
+    "disable",
+    "enable",
+    "from_json",
+    "get_registry",
+    "get_span_buffer",
+    "merge_snapshots",
+    "set_span_capacity",
+    "to_json",
+    "to_prometheus",
+    "trace_span",
+]

@@ -1,0 +1,95 @@
+"""Snapshot exporters: JSON and Prometheus text exposition format.
+
+A snapshot (:meth:`repro.telemetry.MetricsRegistry.snapshot`) is the
+single source of truth; both exporters are pure functions of it, so
+anything a dashboard can scrape is also exactly what the JSON artifact
+records. The round-trip tests pin the snapshot key set — an exporter
+schema cannot drift without a test telling on it.
+
+Prometheus rendering follows the text exposition format: counters get
+a ``_total`` suffix, histograms emit cumulative ``_bucket{le=...}``
+series plus ``_sum`` and ``_count``, and every metric carries its
+``# TYPE`` line. Metric names are validated rather than rewritten —
+instrumented code owns its names and a silent rewrite would detach
+dashboards from the source.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["to_json", "from_json", "to_prometheus"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def to_json(snapshot: Dict[str, Any], indent: int = 2) -> str:
+    """Render a snapshot as deterministic (sorted-key) JSON."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def from_json(text: str) -> Dict[str, Any]:
+    """Parse a snapshot back from :func:`to_json` output."""
+    snapshot = json.loads(text)
+    if not isinstance(snapshot, dict) or "schema" not in snapshot:
+        raise ConfigurationError(
+            "not a telemetry snapshot: missing 'schema' key"
+        )
+    return snapshot
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ConfigurationError(
+            f"metric name {name!r} is not a valid Prometheus name"
+        )
+    return name
+
+
+def _fmt(value: Any) -> str:
+    """Prometheus sample value formatting (integers stay integral)."""
+    f = float(value)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def to_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Args:
+        snapshot: A :meth:`MetricsRegistry.snapshot` dict (possibly
+            merged across shards).
+
+    Returns:
+        The exposition text, one ``# TYPE`` block per metric, ending
+        with a newline.
+    """
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        base = _check_name(name)
+        if not base.endswith("_total"):
+            base += "_total"
+        lines.append(f"# TYPE {base} counter")
+        lines.append(f"{base} {_fmt(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        _check_name(name)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(value)}")
+    for name, spec in snapshot.get("histograms", {}).items():
+        _check_name(name)
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for upper, count in zip(spec["buckets"], spec["counts"]):
+            cumulative += int(count)
+            lines.append(
+                f'{name}_bucket{{le="{_fmt(upper)}"}} {cumulative}'
+            )
+        lines.append(f'{name}_bucket{{le="+Inf"}} {int(spec["count"])}')
+        lines.append(f"{name}_sum {_fmt(spec['sum'])}")
+        lines.append(f"{name}_count {int(spec['count'])}")
+    return "\n".join(lines) + "\n"

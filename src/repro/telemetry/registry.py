@@ -1,0 +1,401 @@
+"""Process-local metrics: counters, gauges, histograms, one registry.
+
+The serving stack runs millions of appends per minute; the only
+instrumentation it can afford is the kind that costs a dict lookup and
+an integer add when enabled — and *nothing* when disabled. This module
+provides that primitive layer:
+
+* :class:`Counter` — a monotonically increasing total (steps credited,
+  samples repaired, cache hits). Float increments are allowed so
+  additive quantities like distance can ride the same rail.
+* :class:`Gauge` — a point-in-time level (sessions live in a pool).
+* :class:`Histogram` — a fixed-bucket-layout distribution (append
+  latency). Bucket layouts are frozen at creation so histograms from
+  different processes merge bucket-for-bucket.
+* :class:`MetricsRegistry` — the named collection of all three, with a
+  picklable :meth:`~MetricsRegistry.snapshot` and a
+  :meth:`~MetricsRegistry.merge` that folds shard snapshots from other
+  processes into a fleet-wide view.
+
+Determinism contract: counters and gauges derived from the pipeline's
+operation counters are pure functions of the input streams, so fleet
+snapshots merged across any shard layout agree total-for-total; only
+wall-clock histograms (latencies) vary run to run. The telemetry
+determinism tests assert exactly this split.
+
+The module-level gate (:func:`enable` / :func:`disable` /
+:func:`get_registry`) is how instrumented layers find the registry
+without threading it through every call: components take an explicit
+``telemetry=`` argument, and ``None`` falls back to the gate. With the
+gate closed the instrumented code paths reduce to a single ``is not
+None`` check — the <5% overhead budget in the tracked telemetry
+benchmark is measured with the gate *open*.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "enable",
+    "disable",
+    "get_registry",
+]
+
+#: Stamped into every snapshot so exporters can detect drift.
+SNAPSHOT_SCHEMA = "ptrack-telemetry-v1"
+
+#: Default histogram layout for sub-second latencies (seconds). The
+#: top finite bucket is 2.5 s; anything slower lands in +Inf.
+DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing total.
+
+    Counters only go up; resetting is done by building a fresh
+    registry (a serving process restarts with clean totals).
+    """
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: Number = 0
+
+    @property
+    def value(self) -> Number:
+        """The current total."""
+        return self._value
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self._value += amount
+
+
+class Gauge:
+    """A point-in-time level that can move both ways."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: float = 0.0
+
+    @property
+    def value(self) -> float:
+        """The current level."""
+        return self._value
+
+    def set(self, value: Number) -> None:
+        """Set the level."""
+        self._value = float(value)
+
+    def inc(self, amount: Number = 1) -> None:
+        """Move the level up by ``amount``."""
+        self._value += float(amount)
+
+    def dec(self, amount: Number = 1) -> None:
+        """Move the level down by ``amount``."""
+        self._value -= float(amount)
+
+
+class Histogram:
+    """A fixed-bucket distribution (cumulative on export).
+
+    Args:
+        name: Metric name.
+        buckets: Strictly increasing finite upper bounds; an implicit
+            ``+Inf`` bucket is always appended. The layout is frozen at
+            creation — histograms only merge with an identical layout.
+    """
+
+    __slots__ = ("name", "_uppers", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> None:
+        uppers = [float(b) for b in buckets]
+        if not uppers or any(
+            b2 <= b1 for b1, b2 in zip(uppers, uppers[1:])
+        ):
+            raise ConfigurationError(
+                f"histogram {name!r} buckets must be non-empty and "
+                f"strictly increasing, got {list(buckets)!r}"
+            )
+        self.name = name
+        self._uppers = uppers
+        self._counts = [0] * (len(uppers) + 1)  # + the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    @property
+    def buckets(self) -> List[float]:
+        """The finite upper bounds (a copy)."""
+        return list(self._uppers)
+
+    @property
+    def count(self) -> int:
+        """Observations recorded."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        v = float(value)
+        self._counts[bisect.bisect_left(self._uppers, v)] += 1
+        self._sum += v
+        self._count += 1
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the bucket layout.
+
+        Returns the upper bound of the bucket holding the ``q``-th
+        observation (the top finite bound for the +Inf bucket), or
+        ``0.0`` when empty — good enough for health summaries, not for
+        SLO math.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        running = 0
+        for upper, count in zip(self._uppers, self._counts):
+            running += count
+            if running >= rank:
+                return upper
+        return self._uppers[-1]
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    Instruments are created on first use and looked up by name after
+    that; asking for an existing name with a different instrument kind
+    (or a different histogram layout) raises — silent aliasing is how
+    dashboards end up lying.
+
+    The registry itself is thread-safe for instrument *creation*;
+    individual updates are plain attribute arithmetic, matching the
+    single-writer-per-process model of the serving stack (each worker
+    process owns its registry and snapshots are merged after the fact).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Instrument factories
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        inst = self._counters.get(name)
+        if inst is not None:
+            return inst
+        with self._lock:
+            self._check_free(name, "counter")
+            return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        inst = self._gauges.get(name)
+        if inst is not None:
+            return inst
+        with self._lock:
+            self._check_free(name, "gauge")
+            return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        """Get or create the histogram ``name`` with a fixed layout."""
+        inst = self._histograms.get(name)
+        if inst is not None:
+            if inst.buckets != [float(b) for b in buckets]:
+                raise ConfigurationError(
+                    f"histogram {name!r} already exists with a different "
+                    "bucket layout"
+                )
+            return inst
+        with self._lock:
+            self._check_free(name, "histogram")
+            return self._histograms.setdefault(
+                name, Histogram(name, buckets)
+            )
+
+    def _check_free(self, name: str, kind: str) -> None:
+        owners = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a "
+                    f"{other_kind}; cannot re-register as a {kind}"
+                )
+
+    # ------------------------------------------------------------------
+    # Snapshots and merging
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A picklable, JSON-serialisable copy of every instrument.
+
+        The shape is the exporter contract (see
+        ``docs/observability.md``); the round-trip tests pin the key
+        set so it cannot drift silently.
+        """
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "buckets": h.buckets,
+                    "counts": list(h._counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold one snapshot (e.g. from a worker shard) into this registry.
+
+        Merge semantics: counters and histograms are additive across
+        processes; gauges keep the *maximum* level seen (a fleet's
+        "sessions live" is the high-water mark across shards, and max
+        is the only order-independent choice that is also idempotent
+        for equal shards).
+
+        Raises:
+            ConfigurationError: On a schema mismatch or a histogram
+                bucket-layout conflict.
+        """
+        schema = snapshot.get("schema")
+        if schema != SNAPSHOT_SCHEMA:
+            raise ConfigurationError(
+                f"cannot merge snapshot with schema {schema!r} "
+                f"(expected {SNAPSHOT_SCHEMA!r})"
+            )
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            gauge.set(max(gauge.value, float(value)))
+        for name, spec in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, spec["buckets"])
+            if hist.buckets != [float(b) for b in spec["buckets"]]:
+                raise ConfigurationError(
+                    f"histogram {name!r} bucket layouts differ; "
+                    "snapshots only merge with identical layouts"
+                )
+            for i, c in enumerate(spec["counts"]):
+                hist._counts[i] += int(c)
+            hist._sum += float(spec["sum"])
+            hist._count += int(spec["count"])
+
+
+def merge_snapshots(
+    snapshots: Sequence[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Merge shard snapshots into one fleet snapshot.
+
+    Args:
+        snapshots: Snapshot dicts from :meth:`MetricsRegistry.snapshot`
+            (typically one per worker shard, shipped across the process
+            boundary by ``parallel_map``).
+
+    Returns:
+        The merged snapshot (an empty registry's snapshot when the
+        sequence is empty).
+    """
+    merged = MetricsRegistry()
+    for snap in snapshots:
+        merged.merge(snap)
+    return merged.snapshot()
+
+
+# ----------------------------------------------------------------------
+# The process-wide gate
+# ----------------------------------------------------------------------
+_global_registry: Optional[MetricsRegistry] = None
+_global_lock = threading.Lock()
+
+
+def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Open the telemetry gate; return the active registry.
+
+    Args:
+        registry: The registry to install; ``None`` creates a fresh one.
+
+    Components constructed *after* this call (sessions, pools, caches)
+    pick the registry up automatically unless given an explicit
+    ``telemetry=`` argument.
+    """
+    global _global_registry
+    with _global_lock:
+        _global_registry = registry if registry is not None else MetricsRegistry()
+        return _global_registry
+
+
+def disable() -> None:
+    """Close the telemetry gate (instrumented paths become no-ops)."""
+    global _global_registry
+    with _global_lock:
+        _global_registry = None
+
+
+def get_registry() -> Optional[MetricsRegistry]:
+    """The active registry, or ``None`` while the gate is closed."""
+    return _global_registry

@@ -92,6 +92,33 @@ def test_serving_sections_complete(check_results):
     assert all(r["samples_per_s"] > 0 for r in fleet["scaling"])
 
 
+def test_telemetry_sections_complete(check_results):
+    telemetry = check_results["telemetry"]
+    assert set(telemetry) == {"instrumented_overhead", "fleet_merge"}
+    overhead = telemetry["instrumented_overhead"]
+    assert overhead["identical_credits"] is True
+    assert overhead["plain_s"] > 0 and overhead["instrumented_s"] > 0
+    merge = telemetry["fleet_merge"]
+    assert merge["counters_invariant"] is True
+    assert merge["total_steps"] > 0
+
+
+def test_pr5_scoreboard_meets_acceptance():
+    scoreboard = json.loads((REPO_ROOT / "BENCH_PR5.json").read_text())
+    assert scoreboard["schema"] == "ptrack-bench-v2"
+    telemetry = scoreboard["telemetry"]
+    # Acceptance headline: telemetry on the clean streaming path stays
+    # under the 5% budget with bit-identical credits, and the merged
+    # fleet counters are shard/worker invariant.
+    overhead = telemetry["instrumented_overhead"]
+    assert overhead["duration_s"] >= 300.0
+    assert overhead["identical_credits"] is True
+    assert overhead["overhead_ok"] is True
+    assert overhead["overhead_frac"] < 0.05
+    merge = telemetry["fleet_merge"]
+    assert merge["counters_invariant"] is True
+
+
 def test_pr3_scoreboard_meets_acceptance():
     scoreboard = json.loads((REPO_ROOT / "BENCH_PR3.json").read_text())
     assert scoreboard["schema"] == "ptrack-bench-v2"

@@ -1,0 +1,86 @@
+"""Pin the known slow-cadence distance underestimate (ROADMAP item).
+
+Hypothesis (``test_distance_tracks_truth_for_any_user``) surfaced a
+user at the slow edge of the cadence strategy (``cadence_hz =
+1.046875``, walk seed 292) whose tracked distance lands ~15.3% under
+ground truth — just past the property's 15% tolerance.
+
+Decomposing the error on this exact example:
+
+* **step undercount, -11.5%** — 46 of 52 true steps are credited.
+  The pipeline's cycle admission rejects 3 of the 26 detected gait
+  cycles for this trace, and the confirmation-streak warmup (the
+  paper's Fig. 4 protocol) withholds credit for the first cycles of
+  the walk; both losses grow near the slow-cadence strategy boundary,
+  where cycle periods drift toward the segmentation window edge.
+* **stride-length bias, -4.2%** — the credited steps' mean stride is
+  only mildly under truth, well inside the per-step stride accuracy
+  the paper reports (~5 cm on ~0.75 m strides).
+
+So the dominant cause is *step admission near the cadence boundary*,
+not the stride model. "Fixing" it by loosening admission would trade
+this tail case against the interference-rejection specificity that
+Figs. 6-7 rest on — the paper's own design accepts conservative
+admission. The case is therefore **pinned, not fixed**: this test
+fails if the underestimate silently worsens (admission regression) or
+silently vanishes (which would mean admission behaviour changed and
+the Fig. 6-7 specificity benches need re-reading).
+
+Tolerances: the trace and pipeline are deterministic given the seed,
+but scipy filter numerics may vary in the last ulp across platforms,
+so step counts are pinned exactly and ratios get narrow bands.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PTrack
+from repro.simulation.profiles import SimulatedUser
+from repro.simulation.walker import simulate_walk
+
+PINNED_USER = dict(
+    arm_length_m=0.5,
+    leg_length_m=1.0,
+    cadence_hz=1.046875,
+    stride_m=0.75,
+    arm_swing_amplitude_rad=0.4375,
+    arm_swing_forward_bias_rad=0.125,
+    arm_phase_lag=0.06640625,
+)
+PINNED_SEED = 292
+
+
+@pytest.fixture(scope="module")
+def pinned_run():
+    user = SimulatedUser(**PINNED_USER)
+    trace, truth = simulate_walk(
+        user, 25.0, rng=np.random.default_rng(PINNED_SEED)
+    )
+    result = PTrack(profile=user.profile).track(trace)
+    return truth, result
+
+
+def test_distance_underestimate_is_pinned(pinned_run):
+    truth, result = pinned_run
+    error = result.distance_m / truth.total_distance_m - 1.0
+    # ~-15.3% on the tree that pinned it; a narrow band on both sides
+    # so the case can neither worsen nor silently vanish.
+    assert -0.18 <= error <= -0.12
+
+
+def test_step_undercount_dominates(pinned_run):
+    truth, result = pinned_run
+    assert truth.step_count == 52
+    assert result.step_count == 46
+    step_error = result.step_count / truth.step_count - 1.0
+    assert step_error == pytest.approx(-0.1154, abs=0.002)
+
+
+def test_stride_bias_is_secondary(pinned_run):
+    truth, result = pinned_run
+    mean_est = result.distance_m / result.step_count
+    mean_true = truth.total_distance_m / truth.step_count
+    stride_bias = mean_est / mean_true - 1.0
+    # The stride model is mildly low here but NOT the dominant cause;
+    # if this band breaks, the stride estimator changed behaviour.
+    assert -0.07 <= stride_bias <= -0.02
