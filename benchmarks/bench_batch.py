@@ -1,0 +1,309 @@
+"""Tracked fleet-batched serving benchmarks (the PR-6 scoreboard).
+
+Four sections, written into the ``fleet_batch`` block of
+``BENCH_PR6.json``:
+
+* **identity** — the serving equivalence oracle, asserted *before any
+  timing*: per-session credits (step index/time/gait and bitwise
+  stride times/lengths) must satisfy
+  ``serial == pooled == sharded == batched`` on the same workload.
+  A fleet driver that diverges from the reference is benchmarking
+  noise, so every other section refuses to run until this passes.
+* **batched_vs_lockstep** — the headline: amortized steady-state
+  ingest cost (µs/sample) of :class:`repro.serving.BatchedSessionPool`
+  against the lockstep :class:`repro.serving.SessionPool` on the same
+  1000-session workload, best of several interleaved replicates. The
+  tracked target is a >= 5x reduction.
+* **occupancy** — batched-pool throughput swept across fleet sizes
+  (10 / 100 / 1000 / 10000 sessions): µs/sample, samples/s and the
+  real-time factor as round occupancy grows.
+* **backends** — per-backend status on a small fleet: the default
+  NumPy backend must be bit-identical, ``float32`` must stay within
+  the documented tolerance (credited step totals), and backends whose
+  dependency is missing (``numba`` without the package) must skip
+  cleanly rather than fail.
+
+Timing methodology: sessions are created and the final ``flush()``
+runs *outside* the timed window — both drivers share the identical
+scalar flush path, so including it would only blur the steady-state
+ingest cost the batched round restructures.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.streaming import StreamingPTrack
+from repro.exceptions import ConfigurationError
+from repro.runtime.backends import available_backends, get_backend
+from repro.serving import (
+    BatchedSessionPool,
+    SessionPool,
+    serve_fleet,
+    synthesize_workload,
+)
+
+SAMPLE_RATE_HZ = 100.0
+#: Samples per append in every timed loop — a 2.56 s upload burst, the
+#: batch size the fleet drivers are provisioned for.
+BATCH_SAMPLES = 256
+TARGET_SPEEDUP = 5.0
+
+
+def _credit_signature(steps, strides) -> Tuple[tuple, tuple]:
+    """A bitwise-comparable signature of one session's credits."""
+    return (
+        tuple((s.index, s.time, s.gait_type.name) for s in steps),
+        tuple((s.time, s.length_m) for s in strides),
+    )
+
+
+def _run_serial(workloads) -> List[Tuple[tuple, tuple]]:
+    out = []
+    for w in workloads:
+        sess = StreamingPTrack(SAMPLE_RATE_HZ, profile=w.profile)
+        steps: list = []
+        strides: list = []
+        for i in range(0, w.samples.shape[0], BATCH_SAMPLES):
+            s, r = sess.append(w.samples[i : i + BATCH_SAMPLES])
+            steps.extend(s)
+            strides.extend(r)
+        s, r = sess.flush()
+        steps.extend(s)
+        strides.extend(r)
+        out.append(_credit_signature(steps, strides))
+    return out
+
+
+def _run_pool(pool_cls, workloads, **kwargs) -> List[Tuple[tuple, tuple]]:
+    pool = pool_cls(SAMPLE_RATE_HZ, **kwargs)
+    sids = pool.add_sessions([w.profile for w in workloads])
+    acc: List[Tuple[list, list]] = [([], []) for _ in sids]
+    n = max(w.samples.shape[0] for w in workloads)
+    for i in range(0, n, BATCH_SAMPLES):
+        out = pool.append(
+            sids, [w.samples[i : i + BATCH_SAMPLES] for w in workloads]
+        )
+        for k, (s, r) in enumerate(out):
+            acc[k][0].extend(s)
+            acc[k][1].extend(r)
+    for k, (s, r) in enumerate(pool.flush(sids)):
+        acc[k][0].extend(s)
+        acc[k][1].extend(r)
+    return [_credit_signature(s, r) for s, r in acc]
+
+
+def assert_batched_identity(
+    n_sessions: int = 6,
+    duration_s: float = 20.0,
+    seed: int = 11,
+) -> Dict[str, Any]:
+    """The crediting oracle: serial == pooled == sharded == batched."""
+    workloads = synthesize_workload(n_sessions, duration_s, seed=seed)
+    serial = _run_serial(workloads)
+    pooled = _run_pool(SessionPool, workloads)
+    batched = _run_pool(BatchedSessionPool, workloads)
+    report = serve_fleet(
+        [w.samples for w in workloads],
+        SAMPLE_RATE_HZ,
+        profiles=[w.profile for w in workloads],
+        batch_samples=BATCH_SAMPLES,
+        workers=1,
+        sessions_per_shard=2,
+    )
+    sharded = [
+        _credit_signature(s.steps, s.strides) for s in report.sessions
+    ]
+    assert serial == pooled, "lockstep pool diverged from serial sessions"
+    assert serial == sharded, "sharded fleet diverged from serial sessions"
+    assert serial == batched, "batched pool diverged from serial sessions"
+    return {
+        "oracle": "serial == pooled == sharded == batched",
+        "n_sessions": n_sessions,
+        "duration_s": duration_s,
+        "compared_steps": sum(len(s[0]) for s in serial),
+        "compared_strides": sum(len(s[1]) for s in serial),
+        "ok": True,
+    }
+
+
+def _timed_ingest(pool, workloads, sids) -> Tuple[float, int]:
+    """Steady-state append loop; returns (wall seconds, samples fed)."""
+    total = 0
+    n = max(w.samples.shape[0] for w in workloads)
+    t0 = time.perf_counter()
+    for i in range(0, n, BATCH_SAMPLES):
+        batches = [w.samples[i : i + BATCH_SAMPLES] for w in workloads]
+        total += sum(b.shape[0] for b in batches)
+        pool.append(sids, batches)
+    wall = time.perf_counter() - t0
+    return wall, total
+
+
+def bench_batched_vs_lockstep(
+    n_sessions: int = 1000,
+    duration_s: float = 30.0,
+    reps: int = 3,
+    seed: int = 12,
+) -> Dict[str, Any]:
+    """Headline: amortized µs/sample, batched vs lockstep, same fleet."""
+    workloads = synthesize_workload(n_sessions, duration_s, seed=seed)
+    rows: List[Dict[str, Any]] = []
+    best: Dict[str, float] = {}
+    steps: Dict[str, int] = {}
+    for rep in range(reps):
+        # Interleaved replicates so machine drift hits both drivers.
+        for name, cls in (("batched", BatchedSessionPool), ("lockstep", SessionPool)):
+            pool = cls(SAMPLE_RATE_HZ)
+            sids = pool.add_sessions([w.profile for w in workloads])
+            wall, total = _timed_ingest(pool, workloads, sids)
+            pool.flush(sids)
+            us = 1e6 * wall / total
+            rows.append(
+                {
+                    "driver": name,
+                    "rep": rep,
+                    "wall_s": wall,
+                    "us_per_sample": us,
+                    "samples_per_s": total / wall,
+                }
+            )
+            best[name] = min(best.get(name, float("inf")), us)
+            steps[name] = pool.total_steps
+    assert steps["batched"] == steps["lockstep"]
+    speedup = best["lockstep"] / best["batched"]
+    return {
+        "n_sessions": n_sessions,
+        "duration_s": duration_s,
+        "batch_samples": BATCH_SAMPLES,
+        "reps": reps,
+        "rows": rows,
+        "batched_us_per_sample": best["batched"],
+        "lockstep_us_per_sample": best["lockstep"],
+        "speedup": speedup,
+        "target_speedup": TARGET_SPEEDUP,
+        "speedup_ok": bool(speedup >= TARGET_SPEEDUP),
+        "total_steps": steps["batched"],
+    }
+
+
+def bench_occupancy(
+    session_counts: Sequence[int] = (10, 100, 1000, 10000),
+    durations_s: Optional[Dict[int, float]] = None,
+    seed: int = 13,
+) -> Dict[str, Any]:
+    """Batched-pool throughput as round occupancy grows."""
+    if durations_s is None:
+        # Bigger fleets get shorter traces: the sweep measures
+        # occupancy scaling, not wall-clock endurance.
+        durations_s = {10: 120.0, 100: 60.0, 1000: 30.0, 10000: 6.0}
+    rows: List[Dict[str, Any]] = []
+    for count in session_counts:
+        duration = durations_s.get(count, 30.0)
+        workloads = synthesize_workload(count, duration, seed=seed)
+        pool = BatchedSessionPool(SAMPLE_RATE_HZ)
+        sids = pool.add_sessions([w.profile for w in workloads])
+        wall, total = _timed_ingest(pool, workloads, sids)
+        pool.flush(sids)
+        truth = sum(w.true_steps for w in workloads)
+        assert abs(pool.total_steps - truth) <= 6 * count
+        rows.append(
+            {
+                "sessions": count,
+                "duration_s": duration,
+                "wall_s": wall,
+                "us_per_sample": 1e6 * wall / total,
+                "samples_per_s": total / wall,
+                "real_time_factor": count * duration / wall,
+                "total_steps": pool.total_steps,
+                "true_steps": truth,
+            }
+        )
+    return {"rows": rows}
+
+
+def bench_backends(
+    n_sessions: int = 6,
+    duration_s: float = 20.0,
+    seed: int = 14,
+) -> Dict[str, Any]:
+    """Per-backend status: bit-identical, tolerance-bounded, or skipped."""
+    workloads = synthesize_workload(n_sessions, duration_s, seed=seed)
+    reference = _run_pool(BatchedSessionPool, workloads, backend="numpy")
+    ref_steps = sum(len(s[0]) for s in reference)
+    serial = _run_serial(workloads)
+    rows: List[Dict[str, Any]] = []
+    for name, (available, detail) in sorted(available_backends().items()):
+        if not available:
+            rows.append(
+                {"backend": name, "status": "skipped", "detail": detail}
+            )
+            continue
+        try:
+            backend = get_backend(name)
+        except ConfigurationError as exc:
+            rows.append(
+                {"backend": name, "status": "skipped", "detail": str(exc)}
+            )
+            continue
+        credits = (
+            reference
+            if name == "numpy"
+            else _run_pool(BatchedSessionPool, workloads, backend=name)
+        )
+        if backend.bit_identical:
+            assert credits == serial, f"backend {name} broke bit-identity"
+            rows.append(
+                {
+                    "backend": name,
+                    "status": "bit_identical",
+                    "detail": detail,
+                    "steps": ref_steps,
+                }
+            )
+        else:
+            got = sum(len(s[0]) for s in credits)
+            tol = max(2, int(round(0.02 * ref_steps)))
+            assert abs(got - ref_steps) <= tol, (
+                f"backend {name}: {got} steps vs {ref_steps} reference "
+                f"(tolerance {tol})"
+            )
+            rows.append(
+                {
+                    "backend": name,
+                    "status": "tolerance_ok",
+                    "detail": detail,
+                    "steps": got,
+                    "reference_steps": ref_steps,
+                    "step_tolerance": tol,
+                }
+            )
+    return {"rows": rows}
+
+
+def run_fleet_batch(check: bool = False) -> Dict[str, Any]:
+    """The full fleet-batch suite; ``check`` shrinks every workload."""
+    if check:
+        identity = assert_batched_identity(n_sessions=4, duration_s=12.0)
+        headline = bench_batched_vs_lockstep(
+            n_sessions=32, duration_s=8.0, reps=1
+        )
+        occupancy = bench_occupancy(
+            session_counts=(4, 16), durations_s={4: 8.0, 16: 8.0}
+        )
+        backends = bench_backends(n_sessions=3, duration_s=12.0)
+    else:
+        identity = assert_batched_identity()
+        headline = bench_batched_vs_lockstep()
+        occupancy = bench_occupancy()
+        backends = bench_backends()
+    return {
+        "check_mode": check,
+        "identity": identity,
+        "batched_vs_lockstep": headline,
+        "occupancy": occupancy,
+        "backends": backends,
+    }

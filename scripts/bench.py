@@ -24,6 +24,11 @@ Suites:
   path (tracked <5% budget, bit-identical credits) and shard/worker
   invariance of the merged fleet registry (the PR-5 scoreboard,
   ``BENCH_PR5.json``).
+* ``fleet_batch`` — the fleet-batched pool against the lockstep pool
+  (tracked >= 5x amortized µs/sample reduction at 1000 sessions),
+  the occupancy sweep, and per-backend equivalence status — all gated
+  on the ``serial == pooled == sharded == batched`` crediting oracle
+  (the PR-6 scoreboard, ``BENCH_PR6.json``).
 
 Every scoreboard is stamped with the schema version and the git
 revision it was measured at, so checked-in numbers are traceable to
@@ -42,6 +47,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+import bench_batch  # noqa: E402
 import bench_faults  # noqa: E402
 import bench_runtime  # noqa: E402
 import bench_serving  # noqa: E402
@@ -171,6 +177,40 @@ def _print_telemetry(telemetry) -> bool:
     return ok
 
 
+def _print_fleet_batch(fleet_batch) -> bool:
+    identity = fleet_batch["identity"]
+    print(
+        f"  crediting oracle ({identity['n_sessions']} sessions, "
+        f"{identity['compared_steps']} steps): {identity['oracle']}: "
+        f"{identity['ok']}"
+    )
+    headline = fleet_batch["batched_vs_lockstep"]
+    print(
+        f"  batched vs lockstep ({headline['n_sessions']} sessions): "
+        f"{headline['batched_us_per_sample']:.2f} vs "
+        f"{headline['lockstep_us_per_sample']:.2f} us/sample "
+        f"({headline['speedup']:.2f}x, target "
+        f"{headline['target_speedup']:.1f}x)"
+    )
+    for row in fleet_batch["occupancy"]["rows"]:
+        print(
+            f"  occupancy {row['sessions']:>5} sessions: "
+            f"{row['us_per_sample']:.2f} us/sample, "
+            f"{row['samples_per_s']:,.0f} samples/s, "
+            f"{row['real_time_factor']:.0f}x real time"
+        )
+    for row in fleet_batch["backends"]["rows"]:
+        print(f"  backend {row['backend']}: {row['status']} ({row['detail']})")
+    ok = True
+    if not identity["ok"]:
+        print("ERROR: batched serving diverged from the crediting oracle")
+        ok = False
+    if not fleet_batch["check_mode"] and not headline["speedup_ok"]:
+        print("ERROR: batched fleet driver missed the tracked 5x target")
+        ok = False
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -180,7 +220,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("runtime", "serving", "faulted-serving", "telemetry", "all"),
+        choices=(
+            "runtime",
+            "serving",
+            "faulted-serving",
+            "telemetry",
+            "fleet-batch",
+            "all",
+        ),
         default="all",
         help="which benchmark suites to run",
     )
@@ -191,7 +238,8 @@ def main(argv=None) -> int:
         help="where to write the JSON scoreboard (default: "
         "BENCH_PR1.json for --suite runtime, BENCH_PR3.json for "
         "--suite serving, BENCH_PR4.json for --suite faulted-serving, "
-        "BENCH_PR5.json for --suite telemetry and for all)",
+        "BENCH_PR5.json for --suite telemetry, BENCH_PR6.json for "
+        "--suite fleet-batch and for all)",
     )
     parser.add_argument("--seeds", type=int, default=6, help="macro replicates")
     parser.add_argument("--users", type=int, default=2, help="users per replicate")
@@ -212,7 +260,8 @@ def main(argv=None) -> int:
             "serving": "BENCH_PR3.json",
             "faulted-serving": "BENCH_PR4.json",
             "telemetry": "BENCH_PR5.json",
-            "all": "BENCH_PR5.json",
+            "fleet-batch": "BENCH_PR6.json",
+            "all": "BENCH_PR6.json",
         }
         output = REPO_ROOT / default_outputs[args.suite]
 
@@ -239,6 +288,9 @@ def main(argv=None) -> int:
     if args.suite in ("telemetry", "all"):
         results["check_mode"] = args.check
         results["telemetry"] = bench_telemetry.run_telemetry(check=args.check)
+    if args.suite in ("fleet-batch", "all"):
+        results["check_mode"] = args.check
+        results["fleet_batch"] = bench_batch.run_fleet_batch(check=args.check)
 
     output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output} (rev {results['git_revision']})")
@@ -250,6 +302,8 @@ def main(argv=None) -> int:
         ok = _print_faults(results["faults"]) and ok
     if args.suite in ("telemetry", "all"):
         ok = _print_telemetry(results["telemetry"]) and ok
+    if args.suite in ("fleet-batch", "all"):
+        ok = _print_fleet_batch(results["fleet_batch"]) and ok
     return 0 if ok else 1
 
 

@@ -17,8 +17,10 @@ MODULES = [
     "repro.simulation",
     "repro.core",
     "repro.runtime",
+    "repro.runtime.backends",
     "repro.faults",
     "repro.serving",
+    "repro.serving.batch",
     "repro.telemetry",
     "repro.baselines",
     "repro.apps",

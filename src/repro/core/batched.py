@@ -1,0 +1,438 @@
+"""Fleet-batched cycle measurements: many cycles per kernel dispatch.
+
+Per staged cycle the scalar streaming core runs an eigen-decomposition,
+two critical-point extractions and (when credited) three mean-removal
+integrations — each a handful of tiny NumPy calls whose dispatch
+overhead dwarfs the arithmetic at gait-cycle lengths (~100 samples).
+This module evaluates the same measurements for *all* cycles staged in
+one serving round at once: cycles are grouped by length, stacked into
+``(cycles, samples)`` (or ``(cycles, samples, 2)``) blocks, and every
+reduction/integration runs across the stack.
+
+Every batched expression is the row-wise form of the scalar one —
+``rows.mean(axis=1)`` for ``arr.mean()``, stacked ``eigh`` for the 2x2
+eigensolve, row-wise ``cumsum`` for the trapezoid integral — forms
+NumPy evaluates with the same summation order and the same C kernels,
+so the results are **bit-identical** to the per-cycle reference (the
+serving equivalence suite asserts credit-for-credit identity). The few
+genuinely serial pieces — the Brent bounce solve, the greedy spacing —
+stay scalar per cycle, on row views of the shared stacks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.bounce import solve_bounce
+from repro.core.config import PTrackConfig
+from repro.core.stride import stride_from_bounce_model
+from repro.exceptions import GeometryError, SignalError
+from repro.runtime.backends import ComputeBackend, get_backend
+from repro.signal.batched import batched_crossing_indices, multi_window_extrema
+from repro.types import GaitType, UserProfile
+
+__all__ = [
+    "StageMeasurement",
+    "batched_stage_measurements",
+    "batched_cycle_solutions",
+]
+
+#: ``(a_seg, anterior_ok, motion_ok, offset)`` — the measured half of
+#: one staged cycle, mirroring what ``StreamingPTrack._stage`` computes
+#: before it builds the candidate. An ``Exception`` instance takes the
+#: tuple's place when the scalar path would have raised for that cycle
+#: (degenerate lengths); callers decide the isolation policy.
+StageMeasurement = Union[
+    Tuple[np.ndarray, bool, bool, float],
+    Exception,
+]
+
+
+def _rows_cumtrapz(rows: np.ndarray, dt: float) -> np.ndarray:
+    """Row-wise :func:`repro.signal.integration.cumulative_trapezoid`."""
+    out = np.empty_like(rows)
+    out[:, 0] = 0.0
+    np.cumsum((rows[:, 1:] + rows[:, :-1]) * (dt / 2.0), axis=1, out=out[:, 1:])
+    return out
+
+
+def _rows_integrate_mean_removal(rows: np.ndarray, dt: float) -> np.ndarray:
+    """Row-wise :func:`repro.signal.integration.integrate_mean_removal`."""
+    n = rows.shape[1]
+    trapezoid_mean = (rows.sum(axis=1) - 0.5 * (rows[:, 0] + rows[:, -1])) / (n - 1)
+    return _rows_cumtrapz(rows - trapezoid_mean[:, None], dt)
+
+
+def _rows_double_integrate(rows: np.ndarray, dt: float) -> np.ndarray:
+    """Row-wise :func:`repro.signal.integration.double_integrate_mean_removal`."""
+    velocity = _rows_integrate_mean_removal(rows, dt)
+    return _rows_cumtrapz(velocity - velocity.mean(axis=1)[:, None], dt)
+
+
+def _batched_anterior(
+    stack_h: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Anterior projections of a ``(cycles, samples, 2)`` stack.
+
+    The stacked form of ``project_horizontal(h, anterior_direction(h))``
+    including the reference's *double* normalisation (the direction is
+    normalised once on return from the eigensolve and once again at
+    projection entry — both must be replicated for bit-identity).
+
+    Returns:
+        ``(projections, ok)`` — the ``(cycles, samples)`` anterior
+        accelerations and a boolean mask of cycles whose direction fit
+        succeeded; failed rows (degenerate scatter, the cases where the
+        scalar path raises ``SignalError``) carry zeros.
+    """
+    g, n, _ = stack_h.shape
+    proj = np.zeros((g, n))
+    if n < 3:
+        return proj, np.zeros(g, dtype=bool)
+    centred = stack_h - stack_h.mean(axis=1)[:, None, :]
+    scatter = centred.transpose(0, 2, 1) @ centred
+    ok = np.isfinite(scatter).all(axis=(1, 2))
+    # allclose(scatter, 0) with b == 0 reduces to |x| <= atol everywhere.
+    ok &= ~(np.abs(scatter) <= 1e-8).all(axis=(1, 2))
+    live = np.flatnonzero(ok)
+    if live.size == 0:
+        return proj, ok
+    eigvals, eigvecs = np.linalg.eigh(scatter[live])
+    sel = np.argmax(eigvals, axis=1)
+    dirs = eigvecs[np.arange(live.size), :, sel]
+    flip = np.where(np.abs(dirs[:, 0]) > 1e-12, dirs[:, 0] < 0, dirs[:, 1] < 0)
+    dirs[flip] = -dirs[flip]
+    for row in range(live.size):
+        # Normalise per row through the same 1-D np.linalg.norm call
+        # chain as the reference (anterior_direction normalises once,
+        # project_horizontal again): the 1-D norm goes through BLAS
+        # dot, whose FMA contraction an axis-wise norm does not
+        # reproduce bitwise.
+        d = dirs[row] / np.linalg.norm(dirs[row])
+        dirs[row] = d / np.linalg.norm(d)
+    proj[live] = (stack_h[live] @ dirs[:, :, None])[:, :, 0]
+    return proj, ok
+
+
+def batched_stage_measurements(
+    v_segs: Sequence[np.ndarray],
+    h_segs: Sequence[np.ndarray],
+    config: PTrackConfig,
+    backend: Optional[ComputeBackend] = None,
+) -> List[StageMeasurement]:
+    """Measure every staged cycle of a serving round in stacked kernels.
+
+    For each cycle ``i`` this computes exactly what the scalar
+    ``StreamingPTrack._stage`` computes from ``(v_segs[i], h_segs[i])``:
+    the anterior projection (or zeros when the direction fit fails),
+    the motion gate, and — for moving cycles — the Eq. (1)
+    critical-point offset.
+
+    Args:
+        v_segs: Per-cycle vertical acceleration segments.
+        h_segs: Per-cycle horizontal segments, each ``(n, 2)``.
+        config: PTrack configuration.
+        backend: Compute backend for the extrema kernels.
+
+    Returns:
+        One :data:`StageMeasurement` per cycle, input order.
+    """
+    be = backend if backend is not None else get_backend()
+    count = len(v_segs)
+    results: List[StageMeasurement] = [None] * count  # type: ignore[list-item]
+    if count == 0:
+        return results
+
+    by_length: dict = {}
+    for i, v in enumerate(v_segs):
+        by_length.setdefault(v.size, []).append(i)
+
+    a_segs: List[np.ndarray] = [None] * count  # type: ignore[list-item]
+    anterior_ok = np.zeros(count, dtype=bool)
+    motion_ok = np.zeros(count, dtype=bool)
+    v_std = np.zeros(count)
+    a_std = np.zeros(count)
+    centred_v: List[np.ndarray] = [None] * count  # type: ignore[list-item]
+    centred_a: dict = {}
+
+    # Pass 1, per length group: stack, centre, scatter, vertical gate.
+    # Everything length-independent (the 2x2 eigensolves, direction
+    # fixing) is deferred to one global pass — cycle lengths vary a
+    # lot in practice, so length groups are small and per-group kernel
+    # dispatch would dominate.
+    groups: List[Tuple[int, List[int], slice, np.ndarray]] = []
+    scatters = np.empty((count, 2, 2))
+    ok_flat = np.zeros(count, dtype=bool)
+    pos = 0
+    for n, idxs in by_length.items():
+        g = len(idxs)
+        sl = slice(pos, pos + g)
+        pos += g
+        stack_v = np.stack([v_segs[i] for i in idxs])
+        stack_h = np.stack([h_segs[i] for i in idxs])
+        vc = stack_v - stack_v.mean(axis=1)[:, None]
+        stds = vc.std(axis=1)
+        if n >= 3:
+            centred = stack_h - stack_h.mean(axis=1)[:, None, :]
+            sc = np.matmul(centred.transpose(0, 2, 1), centred)
+            scatters[sl] = sc
+            # allclose(scatter, 0) with b == 0 reduces to |x| <= atol.
+            ok_flat[sl] = np.isfinite(sc).all(axis=(1, 2)) & ~(
+                (np.abs(sc) <= 1e-8).all(axis=(1, 2))
+            )
+        groups.append((n, idxs, sl, stack_h))
+        ii = np.asarray(idxs, dtype=np.intp)
+        v_std[ii] = stds
+        motion_ok[ii] = stds >= config.min_vertical_std
+        for i, vc_row in zip(idxs, vc):
+            centred_v[i] = vc_row
+
+    # Pass 2, global: one eigensolve + direction fix for every cycle.
+    dirs_flat = np.zeros((count, 2))
+    live = np.flatnonzero(ok_flat)
+    if live.size:
+        eigvals, eigvecs = np.linalg.eigh(scatters[live])
+        sel = np.argmax(eigvals, axis=1)
+        dirs = eigvecs[np.arange(live.size), :, sel]
+        flip = np.where(
+            np.abs(dirs[:, 0]) > 1e-12, dirs[:, 0] < 0, dirs[:, 1] < 0
+        )
+        dirs[flip] = -dirs[flip]
+        for row in range(live.size):
+            # Normalise per row through the same BLAS-dot norm the
+            # reference uses (anterior_direction once, then
+            # project_horizontal again); sqrt(d.dot(d)) is exactly the
+            # 1-D np.linalg.norm fast path, minus the wrapper.
+            d = dirs[row] / np.sqrt(dirs[row].dot(dirs[row]))
+            dirs[row] = d / np.sqrt(d.dot(d))
+        dirs_flat[live] = dirs
+
+    # Pass 3, per length group: projection + anterior centring/gate.
+    for n, idxs, sl, stack_h in groups:
+        proj = np.zeros((len(idxs), n))
+        rows = np.flatnonzero(ok_flat[sl])
+        if rows.size:
+            proj[rows] = np.matmul(
+                stack_h[rows], dirs_flat[sl][rows][:, :, None]
+            )[:, :, 0]
+        ii = np.asarray(idxs, dtype=np.intp)
+        anterior_ok[ii] = ok_flat[sl]
+        for i, proj_row in zip(idxs, proj):
+            a_segs[i] = proj_row
+        if n >= 4:
+            pc = proj - proj.mean(axis=1)[:, None]
+            astds = pc.std(axis=1)
+            a_std[ii] = astds
+            for i, s, pc_row in zip(idxs, astds, pc):
+                if s > 0.0:
+                    centred_a[i] = pc_row
+
+    # Offsets for moving cycles only (the scalar path skips the rest).
+    need = [i for i in range(count) if motion_ok[i]]
+    offsets = np.zeros(count)
+    short = [i for i in need if v_segs[i].size < 4]
+    for i in short:
+        # The scalar path raises out of critical_points_for_offset here;
+        # surface the same failure per cycle instead of per round.
+        results[i] = SignalError(
+            f"cycle axis must be 1-D with >= 4 samples, got ({v_segs[i].size},)"
+        )
+    need = [i for i in need if v_segs[i].size >= 4]
+    if need:
+        relaxed_prom = (
+            config.matching_prominence_factor * config.critical_point_prominence
+        )
+        relaxed_hyst = config.matching_prominence_factor * config.crossing_hysteresis
+        # Per cycle, up to two extrema windows: the centred vertical axis
+        # (full prominence) and the centred anterior axis (relaxed).
+        # A zero-variance axis yields no critical points in the scalar
+        # path, so it is simply not packed.
+        windows: List[np.ndarray] = []
+        proms: List[float] = []
+        dists: List[int] = []
+        slots: List[Tuple[int, str]] = []
+        for i in need:
+            n = v_segs[i].size
+            min_dist = max(1, n // 16)
+            if v_std[i] > 0.0:
+                windows.append(centred_v[i])
+                proms.append(config.critical_point_prominence)
+                dists.append(min_dist)
+                slots.append((i, "v"))
+            if a_std[i] > 0.0:
+                windows.append(centred_a[i])
+                proms.append(relaxed_prom)
+                dists.append(min_dist)
+                slots.append((i, "a"))
+        peaks_per = multi_window_extrema(windows, proms, dists, be)
+        valleys_per = multi_window_extrema(windows, proms, dists, be, negate=True)
+        v_turn: dict = {}
+        a_turn: dict = {}
+        for (i, axis), pk, vl in zip(slots, peaks_per, valleys_per):
+            turning = np.sort(np.concatenate([pk, vl])) if pk.size or vl.size else pk
+            (v_turn if axis == "v" else a_turn)[i] = turning
+        a_order = [i for (i, axis) in slots if axis == "a"]
+        cross_per = batched_crossing_indices(
+            [centred_a[i] for i in a_order], relaxed_hyst
+        )
+        cross_by_i = dict(zip(a_order, cross_per))
+        # Eq. (1) for every eligible cycle in one pass. Each cycle's
+        # (integer) point indices are lifted by a per-cycle base B*c
+        # with B > any cycle length, making the concatenation globally
+        # sorted with disjoint per-cycle ranges: one sort, one
+        # searchsorted and a handful of elementwise ops replace the
+        # per-cycle loop. All lifted values are exact integers in
+        # float64, and every difference pairs same-cycle values, so the
+        # bases cancel exactly — results are bit-identical to the
+        # scalar tail. Only the final weighted sum stays per cycle
+        # (pairwise summation must see exactly the scalar operand
+        # order).
+        pre = [
+            i
+            for i in need
+            if i in a_turn and v_turn.get(i) is not None and v_turn[i].size
+        ]
+        if pre:
+            bstep = float(1 + max(v_segs[i].size for i in pre))
+            base = np.arange(len(pre)) * bstep
+            at_arrs = [a_turn[i] for i in pre]
+            cr_arrs = [cross_by_i[i] for i in pre]
+            at_counts = np.asarray([a.size for a in at_arrs], dtype=np.intp)
+            cr_counts = np.asarray([c.size for c in cr_arrs], dtype=np.intp)
+            at_g = np.concatenate(at_arrs) + np.repeat(base, at_counts)
+            cr_g = np.concatenate(cr_arrs) + np.repeat(base, cr_counts)
+            if cr_g.size and at_g.size:
+                # Sorted-membership filter (== per-cycle ~np.isin):
+                # lifted values collide only within their own cycle.
+                posm = np.minimum(at_g.searchsorted(cr_g), at_g.size - 1)
+                cr_g = cr_g[at_g[posm] != cr_g]
+            a_all = np.sort(np.concatenate([at_g, cr_g]))
+            a_starts = a_all.searchsorted(base)
+            a_counts = a_all.searchsorted(base + bstep) - a_starts
+            vt_arrs = [v_turn[i] for i in pre]
+            vt_counts = np.asarray([v.size for v in vt_arrs], dtype=np.intp)
+            v_g = np.concatenate(vt_arrs) + np.repeat(base, vt_counts)
+            cid = np.repeat(np.arange(len(pre)), vt_counts)
+            n_per = np.asarray([float(v_segs[i].size) for i in pre])
+            pos = a_all.searchsorted(v_g)
+            lo_b = a_starts[cid]
+            hi_b = (a_starts + a_counts)[cid] - 1
+            left = a_all[np.minimum(np.maximum(pos - 1, lo_b), hi_b)]
+            right = a_all[np.minimum(pos, hi_b)]
+            mismatch = np.minimum(np.abs(v_g - left), np.abs(right - v_g))
+            np.minimum(
+                mismatch,
+                (config.max_normalized_offset * n_per)[cid],
+                out=mismatch,
+            )
+            # np.diff(vertical_idx, prepend=0.0) per cycle: a global
+            # shifted difference, with each cycle's first element reset
+            # to its (base-free) local value.
+            v_starts = np.zeros(len(pre), dtype=np.intp)
+            np.cumsum(vt_counts[:-1], out=v_starts[1:])
+            dv = np.empty_like(v_g)
+            dv[0] = v_g[0]
+            np.subtract(v_g[1:], v_g[:-1], out=dv[1:])
+            dv[v_starts] = v_g[v_starts] - base
+            n_v = n_per[cid]
+            weights = np.minimum(dv / n_v, config.max_point_weight)
+            wm = weights * mismatch / n_v
+            for c, i in enumerate(pre):
+                if a_counts[c] < 2:
+                    continue
+                lo = int(v_starts[c])
+                offsets[i] = float(np.sum(wm[lo : lo + int(vt_counts[c])]))
+
+    for i in range(count):
+        if results[i] is None:
+            results[i] = (
+                a_segs[i] if anterior_ok[i] else np.zeros_like(v_segs[i]),
+                bool(anterior_ok[i]),
+                bool(motion_ok[i]),
+                float(offsets[i]),
+            )
+    return results
+
+
+def batched_cycle_solutions(
+    items: Sequence[
+        Tuple[np.ndarray, np.ndarray, Optional[np.ndarray], GaitType, UserProfile]
+    ],
+    dt: float,
+) -> List[Optional[Tuple[float, float]]]:
+    """Per-cycle ``(stride_m, bounce_m)`` solves in stacked integrations.
+
+    The batched form of
+    :meth:`repro.core.stride.PTrackStrideEstimator.cycle_stride` over
+    every cycle credited in one serving round. The mean-removal
+    integrations — the bulk of the arithmetic — run row-wise over
+    length-grouped stacks; moment location and the Brent root solve
+    stay scalar per cycle on row views, exactly as the reference
+    evaluates them.
+
+    Args:
+        items: Per credited cycle: vertical segment, horizontal segment,
+            anterior segment (``None`` when the direction fit failed at
+            staging — those cycles yield ``None``, as the scalar
+            re-derivation would fail identically), gait type, and the
+            owning session's user profile.
+        dt: Shared sample period in seconds.
+
+    Returns:
+        Per cycle, ``(stride_m, bounce_m)`` or ``None`` when the
+        geometry admits no solve.
+    """
+    count = len(items)
+    results: List[Optional[Tuple[float, float]]] = [None] * count
+    stepping_by_length: dict = {}
+    walking_by_length: dict = {}
+    for i, (v_seg, _h_seg, a_seg, gait, _profile) in enumerate(items):
+        if gait is GaitType.STEPPING:
+            if v_seg.size >= 2:
+                stepping_by_length.setdefault(v_seg.size, []).append(i)
+        elif a_seg is not None and v_seg.size >= 16:
+            walking_by_length.setdefault(v_seg.size, []).append(i)
+
+    for n, idxs in stepping_by_length.items():
+        stack_v = np.stack([items[i][0] for i in idxs])
+        disp = _rows_double_integrate(stack_v, dt)
+        bounces = disp.max(axis=1) - disp.min(axis=1)
+        for row, i in enumerate(idxs):
+            bounce = float(bounces[row])
+            profile = items[i][4]
+            results[i] = (stride_from_bounce_model(bounce, profile), bounce)
+
+    for n, idxs in walking_by_length.items():
+        stack_v = np.stack([items[i][0] for i in idxs])
+        stack_a = np.stack([items[i][2] for i in idxs])
+        disp_a = _rows_double_integrate(stack_a, dt)
+        disp_v = _rows_double_integrate(stack_v, dt)
+        vel_a = _rows_integrate_mean_removal(stack_a, dt)
+        lows = np.argmin(disp_a, axis=1)
+        highs = np.argmax(disp_a, axis=1)
+        for row, i in enumerate(idxs):
+            i_lo, i_hi = int(lows[row]), int(highs[row])
+            backmost, foremost = (i_lo, i_hi) if i_lo < i_hi else (i_hi, i_lo)
+            if foremost - backmost < n // 4:
+                continue
+            span = foremost - backmost
+            margin = max(1, span // 8)
+            speed = np.abs(vel_a[row, backmost : foremost + 1])
+            ii_rel = margin + int(np.argmax(speed[margin : span + 1 - margin]))
+            if speed[ii_rel] <= 0:
+                continue
+            vertical_idx = backmost + ii_rel
+            d_total = float(abs(disp_a[row, foremost] - disp_a[row, backmost]))
+            if d_total < 0.01:
+                continue
+            h1 = float(disp_v[row, backmost] - disp_v[row, vertical_idx])
+            h2 = float(disp_v[row, foremost] - disp_v[row, vertical_idx])
+            profile = items[i][4]
+            try:
+                bounce = solve_bounce(h1, h2, d_total, profile.arm_length_m)
+            except GeometryError:
+                continue
+            results[i] = (stride_from_bounce_model(bounce, profile), bounce)
+    return results

@@ -342,6 +342,16 @@ class StreamingPTrack:
         """The active user profile (``None`` for counter-only use)."""
         return self._profile
 
+    @property
+    def config(self) -> PTrackConfig:
+        """The active pipeline configuration."""
+        return self._config
+
+    @property
+    def sample_rate_hz(self) -> float:
+        """The stream's sampling rate."""
+        return self._rate
+
     def reset(self) -> None:
         """Rewind to an empty stream without reallocating buffers.
 
@@ -517,13 +527,11 @@ class StreamingPTrack:
         :class:`repro.serving.SessionPool` drains them in fleet-wide
         lockstep rounds to batch the stepping kernels.
         """
-        head = self._buf_start + self._size
-        if self._next_boundary > head:
+        boundary = self.peek_boundary()
+        if boundary is None:
             return None
-        boundary = self._next_boundary
         staged = self._pass(boundary, self._settle_margin)
-        self._next_boundary = boundary + self._hop
-        self._trim_boundary = boundary
+        self.finish_collect(boundary)
         return staged
 
     def stepping_values(
@@ -563,8 +571,196 @@ class StreamingPTrack:
         Returns:
             Newly credited (steps, strides) in absolute stream time.
         """
-        steps: List[StepEvent] = []
-        strides: List[StrideEstimate] = []
+        credited = self.classify(staged, stepping)
+        return self.credit_resolved(credited, self.stride_solutions(credited))
+
+    # ------------------------------------------------------------------
+    # Fleet-batching seams (used by repro.serving.batch)
+    #
+    # Each method is one phase of what collect/resolve do for a single
+    # session, exposed so a BatchedSessionPool can run the phase's
+    # numeric kernel across a whole fleet between the per-session state
+    # transitions. Every op-stat bump lives inside the phase that does
+    # the work, so the counters stay driver-invariant; and the solo
+    # paths (_advance_filter/_pass/resolve) are themselves built from
+    # these seams, so there is exactly one implementation of each phase.
+    # ------------------------------------------------------------------
+    def peek_boundary(self) -> Optional[int]:
+        """The next due hop boundary, or ``None`` when the head has not
+        crossed it. Pure query: no state changes."""
+        boundary = self._next_boundary
+        if boundary > self._buf_start + self._size:
+            return None
+        return boundary
+
+    def finish_collect(self, boundary: int) -> None:
+        """Close a pass at ``boundary``: schedule the next boundary and
+        arm the post-resolve trim (the bookkeeping tail of
+        :meth:`collect`)."""
+        self._next_boundary = boundary + self._hop
+        self._trim_boundary = boundary
+
+    def filter_plan(self, limit_abs: int) -> List[Tuple[int, int, int]]:
+        """Pending filter blocks up to ``limit_abs``; no state changes.
+
+        Each entry ``(lo, hi, final)`` is one hop-sized finalisation:
+        filter raw rows ``[lo, hi)`` and keep the output rows starting
+        at absolute index ``final`` (exactly what
+        :meth:`apply_filtered_block` consumes). A batched pool collects
+        the plans of every due session, stacks equal-length raw blocks
+        column-wise and runs one backend filter call per length group.
+        """
+        plan: List[Tuple[int, int, int]] = []
+        final = self._filt_final
+        while final + self._hop + self._pad <= limit_abs:
+            lo = max(self._buf_start, final - self._pad)
+            plan.append((lo, final + self._hop + self._pad, final))
+            final += self._hop
+        return plan
+
+    def raw_block(self, lo: int, hi: int) -> np.ndarray:
+        """Raw buffer rows ``[lo, hi)`` by absolute index (a view)."""
+        return self._data[lo - self._buf_start : hi - self._buf_start]
+
+    def apply_filtered_block(
+        self, lo: int, hi: int, final: int, block: np.ndarray
+    ) -> None:
+        """Commit one filtered block from a :meth:`filter_plan` entry.
+
+        ``block`` is the filtered ``raw_block(lo, hi)``; the hop-sized
+        slice starting at ``final`` becomes final filtered output.
+        Blocks must be applied in plan order.
+        """
+        out_lo = final - lo
+        self._filt[
+            final - self._buf_start : final + self._hop - self._buf_start
+        ] = block[out_lo : out_lo + self._hop]
+        self._filt_final = final + self._hop
+        self._stats.samples_filtered += hi - lo
+
+    def begin_pass(
+        self, boundary: int, settle_margin: Optional[int] = None
+    ) -> Optional[Tuple[np.ndarray, int]]:
+        """Open a pass at ``boundary``: finalise filtering, expose the
+        segmentation window.
+
+        Returns ``(vertical_window, settled_end)`` — the filtered
+        vertical-axis view the segmenter scans and the absolute index
+        before which cycles are settled — or ``None`` when the retained
+        window is too small to segment (the pass still counts; callers
+        proceed straight to an empty resolve so the boundary's trim
+        runs).
+        """
+        margin = self._settle_margin if settle_margin is None else settle_margin
+        self._stats.passes += 1
+        self._advance_filter(boundary)
+        settled_end = min(boundary - margin, self._filt_final)
+        window = self._filt_final - self._buf_start
+        if window < 8 or settled_end <= self._buf_start:
+            return None
+        self._stats.segmentation_samples += window
+        return self._filt[:window, 2], settled_end
+
+    def admit_cycles(
+        self,
+        settled_end: int,
+        segments: Sequence,
+    ) -> List[Tuple[int, int, Tuple[int, ...]]]:
+        """Filter segmented cycles to the newly settled, unconsumed ones.
+
+        Args:
+            settled_end: From :meth:`begin_pass`.
+            segments: Window-relative cycles from the segmenter.
+
+        Returns:
+            Per admitted cycle ``(abs_start, abs_end, new_peaks)``,
+            with peaks absolute and already recorded against the
+            consumed-peak watermark.
+        """
+        admitted: List[Tuple[int, int, Tuple[int, ...]]] = []
+        for seg in segments:
+            abs_start = self._buf_start + seg.start
+            abs_end = self._buf_start + seg.end
+            if abs_end > settled_end:
+                continue
+            # A cycle whose peaks were all consumed in an earlier pass
+            # re-appears every pass until the buffer trims it; a
+            # re-pairing after a trim may also splice an old peak with
+            # a fresh one (hybrid cycle) — only the fresh peaks count.
+            new_peaks = tuple(
+                self._buf_start + int(p)
+                for p in seg.peak_indices
+                if self._buf_start + int(p) > self._last_peak
+            )
+            if not new_peaks:
+                continue
+            self._last_peak = max(self._last_peak, new_peaks[-1])
+            admitted.append((abs_start, abs_end, new_peaks))
+        return admitted
+
+    def cycle_segments(
+        self, abs_start: int, abs_end: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Copy one admitted cycle's ``(v_seg, h_seg)`` out of the buffer."""
+        lo = abs_start - self._buf_start
+        hi = abs_end - self._buf_start
+        return self._filt[lo:hi, 2].copy(), self._filt[lo:hi, :2].copy()
+
+    def make_staged(
+        self,
+        abs_start: int,
+        abs_end: int,
+        peaks: Tuple[int, ...],
+        v_seg: np.ndarray,
+        h_seg: np.ndarray,
+        a_seg: np.ndarray,
+        anterior_ok: bool,
+        motion_ok: bool,
+        offset: float,
+    ) -> StagedCycle:
+        """Build the staged cycle from externally computed measurements.
+
+        The state half of ``_stage``: assigns the cycle id and bumps
+        the staging counters, leaving the measurements (anterior
+        projection, motion gate, offset) to the caller — the solo path
+        computes them per cycle, a batched pool stacks them fleet-wide
+        through :func:`repro.core.batched.batched_stage_measurements`.
+        """
+        if motion_ok:
+            self._stats.offset_evaluations += 1
+        cand = CycleCandidate(
+            cycle_id=self._cycle_counter,
+            start=abs_start,
+            end=abs_end,
+            peaks=peaks,
+            motion_ok=motion_ok,
+            offset=offset,
+        )
+        self._cycle_counter += 1
+        self._stats.cycles_staged += 1
+        return StagedCycle(
+            candidate=cand,
+            v_seg=v_seg,
+            a_seg=a_seg,
+            h_seg=h_seg,
+            needs_stepping=motion_ok and offset <= self._config.offset_threshold,
+            anterior_ok=anterior_ok,
+        )
+
+    def classify(
+        self,
+        staged: Sequence[StagedCycle],
+        stepping: Sequence[Optional[Tuple[float, float, bool]]],
+    ) -> List[Tuple[CycleCandidate, object, Optional[Tuple]]]:
+        """Feed staged cycles through the Fig.-4 streak.
+
+        The state half of :meth:`resolve`: applies the stepping-test
+        results, advances the confirmation streak, and returns the
+        cycles it credited as ``(candidate, gait_type, segments)``
+        triples (``segments`` is the stored ``(v_seg, h_seg, a_seg)``
+        or ``None`` when already retired).
+        """
+        credited: List[Tuple[CycleCandidate, object, Optional[Tuple]]] = []
         for cycle, triple in zip(staged, stepping):
             cand = cycle.candidate
             if triple is not None:
@@ -583,8 +779,68 @@ class StreamingPTrack:
                 segs = self._seg_store.pop(res.candidate.cycle_id, None)
                 if not res.credited:
                     continue
-                self._credit(res.candidate, res.gait_type, segs,
-                             steps, strides)
+                credited.append((res.candidate, res.gait_type, segs))
+        return credited
+
+    def stride_solve_items(
+        self,
+        credited: Sequence[Tuple[CycleCandidate, object, Optional[Tuple]]],
+    ) -> Tuple[List[int], List[Tuple]]:
+        """Which credited cycles need a stride solve, and their inputs.
+
+        Returns ``(indices, items)`` where each item is
+        ``(v_seg, h_seg, a_seg, gait_type, profile)`` — the argument
+        tuple of :func:`repro.core.batched.batched_cycle_solutions`.
+        Cycles absent from ``indices`` never consult a solution (no
+        estimator, retired segments, or no new peaks).
+        """
+        indices: List[int] = []
+        items: List[Tuple] = []
+        if self._estimator is None:
+            return indices, items
+        for i, (cand, gait, segs) in enumerate(credited):
+            if segs is None or not cand.peaks:
+                continue
+            v_seg, h_seg, a_seg = segs
+            indices.append(i)
+            items.append((v_seg, h_seg, a_seg, gait, self._profile))
+        return indices, items
+
+    def stride_solutions(
+        self,
+        credited: Sequence[Tuple[CycleCandidate, object, Optional[Tuple]]],
+    ) -> List[Optional[Tuple[float, float]]]:
+        """Per-cycle ``(stride, bounce)`` solves for credited cycles.
+
+        The solo path: one scalar estimator call per cycle needing a
+        solve. A batched pool computes the same values fleet-wide with
+        :func:`repro.core.batched.batched_cycle_solutions` over the
+        :meth:`stride_solve_items` of every session in the round.
+        """
+        solutions: List[Optional[Tuple[float, float]]] = [None] * len(credited)
+        indices, items = self.stride_solve_items(credited)
+        dt = 1.0 / self._rate
+        for i, (v_seg, h_seg, a_seg, gait, _profile) in zip(indices, items):
+            solutions[i] = self._estimator.cycle_stride(
+                v_seg, h_seg, dt, gait, a_seg
+            )
+        return solutions
+
+    def credit_resolved(
+        self,
+        credited: Sequence[Tuple[CycleCandidate, object, Optional[Tuple]]],
+        solutions: Sequence[Optional[Tuple[float, float]]],
+    ) -> Tuple[List[StepEvent], List[StrideEstimate]]:
+        """Emit credits for classified cycles; close the pass.
+
+        The crediting tail of :meth:`resolve`: step/stride emission
+        (with the sequential median-imputation fallback), totals, the
+        credited-frontier advance, the boundary trim, and telemetry.
+        """
+        steps: List[StepEvent] = []
+        strides: List[StrideEstimate] = []
+        for (cand, gait, segs), solved in zip(credited, solutions):
+            self._credit(cand, gait, segs, solved, steps, strides)
         self._total_steps += len(steps)
         self._total_distance += float(sum(s.length_m for s in strides))
         if steps:
@@ -757,10 +1013,18 @@ class StreamingPTrack:
         cand: CycleCandidate,
         gait,
         segs: Optional[Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]],
+        solved: Optional[Tuple[float, float]],
         steps: List[StepEvent],
         strides: List[StrideEstimate],
     ) -> None:
-        """Emit one credited cycle's step events and stride estimates."""
+        """Emit one credited cycle's step events and stride estimates.
+
+        ``solved`` is the cycle's pre-computed ``(stride, bounce)`` from
+        :meth:`stride_solutions` (or a fleet batch); it is consulted
+        only when the cycle qualifies for a solve, and the median
+        imputation below stays sequential so a failed solve sees
+        exactly the strides credited before it in this round.
+        """
         dt = 1.0 / self._rate
         for peak in cand.peaks:
             steps.append(
@@ -773,8 +1037,6 @@ class StreamingPTrack:
             )
         if self._estimator is None or segs is None or not cand.peaks:
             return
-        v_seg, h_seg, a_seg = segs
-        solved = self._estimator.cycle_stride(v_seg, h_seg, dt, gait, a_seg)
         if solved is not None:
             stride, bounce = solved
             self._recent_strides.append(stride)
@@ -812,22 +1074,14 @@ class StreamingPTrack:
         append chunking — and every sample is filtered a bounded
         number of times.
         """
-        while self._filt_final + self._hop + self._pad <= limit_abs:
-            lo = max(self._buf_start, self._filt_final - self._pad)
-            hi = self._filt_final + self._hop + self._pad
+        for lo, hi, final in self.filter_plan(limit_abs):
             block = butter_lowpass(
-                self._data[lo - self._buf_start : hi - self._buf_start],
+                self.raw_block(lo, hi),
                 self._config.lowpass_cutoff_hz,
                 self._rate,
                 self._config.lowpass_order,
             )
-            out_lo = self._filt_final - lo
-            self._filt[
-                self._filt_final - self._buf_start
-                : self._filt_final + self._hop - self._buf_start
-            ] = block[out_lo : out_lo + self._hop]
-            self._filt_final += self._hop
-            self._stats.samples_filtered += hi - lo
+            self.apply_filtered_block(lo, hi, final, block)
 
     def _finalize_filter_to(self, head: int) -> None:
         """Flush-path filter finalisation (no right context remains)."""
@@ -857,15 +1111,11 @@ class StreamingPTrack:
         end has settled — i.e. no future sample can move their
         boundaries — are staged, exactly once.
         """
-        self._stats.passes += 1
-        self._advance_filter(boundary)
-        settled_end = min(boundary - settle_margin, self._filt_final)
-        window = self._filt_final - self._buf_start
-        if window < 8 or settled_end <= self._buf_start:
+        opened = self.begin_pass(boundary, settle_margin)
+        if opened is None:
             return []
+        vertical, settled_end = opened
         cfg = self._config
-        vertical = self._filt[:window, 2]
-        self._stats.segmentation_samples += window
         cycles = segment_gait_cycles(
             vertical,
             self._rate,
@@ -873,26 +1123,12 @@ class StreamingPTrack:
             max_step_rate_hz=cfg.max_step_rate_hz,
             min_prominence=cfg.min_peak_prominence,
         )
-        staged: List[StagedCycle] = []
-        for seg in cycles:
-            abs_start = self._buf_start + seg.start
-            abs_end = self._buf_start + seg.end
-            if abs_end > settled_end:
-                continue
-            # A cycle whose peaks were all consumed in an earlier pass
-            # re-appears every pass until the buffer trims it; a
-            # re-pairing after a trim may also splice an old peak with
-            # a fresh one (hybrid cycle) — only the fresh peaks count.
-            new_peaks = tuple(
-                self._buf_start + int(p)
-                for p in seg.peak_indices
-                if self._buf_start + int(p) > self._last_peak
+        return [
+            self._stage(abs_start, abs_end, peaks)
+            for abs_start, abs_end, peaks in self.admit_cycles(
+                settled_end, cycles
             )
-            if not new_peaks:
-                continue
-            self._last_peak = max(self._last_peak, new_peaks[-1])
-            staged.append(self._stage(abs_start, abs_end, new_peaks))
-        return staged
+        ]
 
     def _stage(
         self,
@@ -902,10 +1138,7 @@ class StreamingPTrack:
     ) -> StagedCycle:
         """Copy a settled cycle out of the buffer and measure it."""
         cfg = self._config
-        lo = abs_start - self._buf_start
-        hi = abs_end - self._buf_start
-        v_seg = self._filt[lo:hi, 2].copy()
-        h_seg = self._filt[lo:hi, :2].copy()
+        v_seg, h_seg = self.cycle_segments(abs_start, abs_end)
         anterior_ok = True
         try:
             # Per-cycle anterior refinement: project this cycle's
@@ -917,28 +1150,10 @@ class StreamingPTrack:
             a_seg = np.zeros_like(v_seg)
             anterior_ok = False
         motion_ok = float(np.std(v_seg - v_seg.mean())) >= cfg.min_vertical_std
-        if motion_ok:
-            offset = cycle_offset(v_seg, a_seg, cfg)
-            self._stats.offset_evaluations += 1
-        else:
-            offset = 0.0
-        cand = CycleCandidate(
-            cycle_id=self._cycle_counter,
-            start=abs_start,
-            end=abs_end,
-            peaks=peaks,
-            motion_ok=motion_ok,
-            offset=offset,
-        )
-        self._cycle_counter += 1
-        self._stats.cycles_staged += 1
-        return StagedCycle(
-            candidate=cand,
-            v_seg=v_seg,
-            a_seg=a_seg,
-            h_seg=h_seg,
-            needs_stepping=motion_ok and offset <= cfg.offset_threshold,
-            anterior_ok=anterior_ok,
+        offset = cycle_offset(v_seg, a_seg, cfg) if motion_ok else 0.0
+        return self.make_staged(
+            abs_start, abs_end, peaks,
+            v_seg, h_seg, a_seg, anterior_ok, motion_ok, offset,
         )
 
     def _trim(self, boundary: int) -> None:

@@ -14,6 +14,7 @@ factor (2 for the pure inverted-pendulum geometry).
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -41,8 +42,15 @@ def stride_from_bounce_model(bounce_m: float, profile: UserProfile) -> float:
         Stride length in metres.
     """
     leg = profile.leg_length_m
-    b = float(np.clip(bounce_m, 0.0, leg))
-    return profile.calibration_k * float(np.sqrt(leg**2 - (leg - b) ** 2))
+    # Scalar clip + sqrt without the numpy dispatch overhead — this
+    # runs once per credited cycle fleet-wide. math.sqrt and np.sqrt
+    # are both correctly rounded, so the result is bit-identical.
+    b = float(bounce_m)
+    if b < 0.0:
+        b = 0.0
+    elif b > leg:
+        b = leg
+    return profile.calibration_k * math.sqrt(leg**2 - (leg - b) ** 2)
 
 
 class PTrackStrideEstimator:

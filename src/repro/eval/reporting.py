@@ -101,9 +101,9 @@ def _snapshot_quantile(hist: Dict[str, Any], q: float) -> float:
     observation; the open +Inf bucket reports its lower edge (the last
     finite boundary), which understates but never invents latency.
     """
-    buckets = list(hist["buckets"])
-    counts = list(hist["counts"])
-    total = int(hist["count"])
+    buckets = list(hist.get("buckets") or ())
+    counts = list(hist.get("counts") or ())
+    total = int(hist.get("count", 0))
     if total == 0:
         return 0.0
     rank = q * total
@@ -129,6 +129,13 @@ def fleet_health_table(
     count as the value and approximate p50/p95 plus the mean in the
     detail column.
 
+    Snapshots from different drivers carry different series mixes (the
+    batched pool emits ``serving_batch_*`` where the lockstep pool
+    emits per-session series), so a merged or hand-assembled snapshot
+    may list a histogram name whose series data is absent (``None``)
+    or partial (no bucket layout). Such rows render as ``absent`` /
+    count-only instead of raising.
+
     Args:
         snapshot: A :meth:`repro.telemetry.MetricsRegistry.snapshot`
             dict (or a merge of several).
@@ -142,17 +149,23 @@ def fleet_health_table(
         table.add_row(name, "counter", snapshot["counters"][name], "")
     for name in sorted(snapshot.get("gauges", {})):
         table.add_row(name, "gauge", snapshot["gauges"][name], "")
-    for name in sorted(snapshot.get("histograms", {})):
+    for name in sorted(snapshot.get("histograms") or {}):
         hist = snapshot["histograms"][name]
-        count = int(hist["count"])
-        if count:
-            mean = hist["sum"] / count
+        if hist is None:
+            table.add_row(name, "histogram", 0, "absent")
+            continue
+        count = int(hist.get("count", 0))
+        if not count:
+            detail = "no observations"
+        elif not hist.get("buckets"):
+            # Series shipped without a bucket layout: the count and
+            # mean are still well defined, the quantiles are not.
+            detail = f"mean={hist.get('sum', 0.0) / count:.6f}"
+        else:
             detail = (
                 f"p50={_snapshot_quantile(hist, 0.5):.6f} "
                 f"p95={_snapshot_quantile(hist, 0.95):.6f} "
-                f"mean={mean:.6f}"
+                f"mean={hist.get('sum', 0.0) / count:.6f}"
             )
-        else:
-            detail = "no observations"
         table.add_row(name, "histogram", count, detail)
     return table

@@ -10,10 +10,23 @@ loops into fan-out studies:
   LRU + optional on-disk store) so repeated experiments stop
   re-simulating identical walks.
 
-See ``docs/performance.md`` for the workflow, worker-count resolution
-and cache invalidation rules.
+* :mod:`repro.runtime.backends` — the pluggable compute-backend seam
+  behind the fleet-batched serving kernels (NumPy float64 baseline,
+  optional float32 and Numba variants selected via ``PTRACK_BACKEND``).
+
+See ``docs/performance.md`` for the workflow, worker-count resolution,
+backend selection and cache invalidation rules.
 """
 
+from repro.runtime.backends import (
+    BACKEND_ENV_VAR,
+    ComputeBackend,
+    Float32Backend,
+    NumbaBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+)
 from repro.runtime.cache import (
     CACHE_SCHEMA,
     TraceCache,
@@ -33,6 +46,13 @@ from repro.runtime.parallel import (
 )
 
 __all__ = [
+    "BACKEND_ENV_VAR",
+    "ComputeBackend",
+    "Float32Backend",
+    "NumbaBackend",
+    "NumpyBackend",
+    "available_backends",
+    "get_backend",
     "TaskOutcome",
     "CACHE_SCHEMA",
     "TraceCache",

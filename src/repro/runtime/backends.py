@@ -1,0 +1,329 @@
+"""Pluggable compute backends for the fleet-batched hot kernels.
+
+The fleet-batched serving path (:mod:`repro.serving.batch`) funnels all
+of its per-round numeric heavy lifting through three kernels — 2-D
+block low-pass filtering, local-maxima scanning and peak-prominence
+measurement — so swapping the arithmetic substrate is a matter of
+swapping one object. This module is that seam:
+
+* :class:`NumpyBackend` — the float64 baseline, always available. It
+  delegates to the exact same scipy kernels the scalar pipeline uses,
+  so batched results are **bit-identical** to the per-session reference
+  (the property the serving equivalence suite asserts).
+* :class:`Float32Backend` — casts kernel inputs to float32 before
+  dispatching to the same scipy kernels and returns float64. Cheaper on
+  memory bandwidth; results are *tolerance-bounded*, not identical
+  (see the per-kernel tolerance table below).
+* :class:`NumbaBackend` — JIT-compiles the pure-Python reference scans
+  from :mod:`repro.signal.peaks` with ``numba.njit``. Available only
+  when ``numba`` is installed (feature-detected; selecting it without
+  the package raises a clear error and the test suite skips cleanly).
+  The reference scans are bit-identical to the scipy kernels (asserted
+  by the signal differential tests), so this backend is bit-identical
+  too; its filtering delegates to the float64 scipy path.
+
+Selection: :func:`get_backend` resolves, in order, an explicit argument,
+the ``PTRACK_BACKEND`` environment variable, then the ``"numpy"``
+default.
+
+Per-kernel tolerance policy (documented contract, pinned by
+``tests/test_backends.py``):
+
+====================  ==========  ==============================
+kernel                numpy/numba  float32
+====================  ==========  ==============================
+``lowpass_block``     exact       rtol 1e-4, atol 1e-4 (m/s^2)
+``local_maxima``      exact       index set may differ at ties
+``peak_prominences``  exact       rtol 1e-3, atol 1e-3 (m/s^2)
+====================  ==========  ==============================
+
+Only the default NumPy backend carries the bit-identity guarantee the
+``serial == pooled == sharded == batched`` crediting oracle relies on;
+the alternates are for throughput experiments where tolerance-bounded
+credits are acceptable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.exceptions import ConfigurationError
+from repro.signal.filters import butter_lowpass
+from repro.signal.peaks import peak_prominences as _peak_prominences_scipy
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "ComputeBackend",
+    "NumpyBackend",
+    "Float32Backend",
+    "NumbaBackend",
+    "available_backends",
+    "get_backend",
+]
+
+#: Environment variable consulted by :func:`get_backend`.
+BACKEND_ENV_VAR = "PTRACK_BACKEND"
+
+
+class ComputeBackend:
+    """The kernel interface the fleet-batched serving path computes on.
+
+    Attributes:
+        name: Registry name of the backend.
+        bit_identical: Whether every kernel reproduces the float64
+            scalar reference bit for bit. Only backends with this flag
+            may back the crediting-identity oracle.
+    """
+
+    name: str = "abstract"
+    bit_identical: bool = False
+
+    def lowpass_block(
+        self,
+        block: np.ndarray,
+        cutoff_hz: float,
+        sample_rate_hz: float,
+        order: int,
+    ) -> np.ndarray:
+        """Zero-phase low-pass of a 2-D block along axis 0 (float64 out)."""
+        raise NotImplementedError
+
+    def local_maxima(self, x: np.ndarray) -> np.ndarray:
+        """Strict local maxima (plateau centres) of a 1-D float64 signal."""
+        raise NotImplementedError
+
+    def peak_prominences(self, x: np.ndarray, peaks: np.ndarray) -> np.ndarray:
+        """Topographic prominences of ``peaks`` within ``x`` (float64 out)."""
+        raise NotImplementedError
+
+
+class NumpyBackend(ComputeBackend):
+    """Float64 baseline: the exact kernels the scalar pipeline uses."""
+
+    name = "numpy"
+    bit_identical = True
+
+    def lowpass_block(
+        self,
+        block: np.ndarray,
+        cutoff_hz: float,
+        sample_rate_hz: float,
+        order: int,
+    ) -> np.ndarray:
+        return butter_lowpass(block, cutoff_hz, sample_rate_hz, order)
+
+    def local_maxima(self, x: np.ndarray) -> np.ndarray:
+        if x.size < 3:
+            return np.empty(0, dtype=np.intp)
+        return sp_signal.find_peaks(x)[0]
+
+    def peak_prominences(self, x: np.ndarray, peaks: np.ndarray) -> np.ndarray:
+        return _peak_prominences_scipy(x, peaks)
+
+
+class Float32Backend(NumpyBackend):
+    """Single-precision variant: same kernels on float32 inputs.
+
+    Outputs are returned as float64 so downstream maths is unchanged;
+    the precision loss happens once at kernel entry. See the module
+    tolerance table for the bounds the equivalence tests enforce.
+    """
+
+    name = "float32"
+    bit_identical = False
+
+    def lowpass_block(
+        self,
+        block: np.ndarray,
+        cutoff_hz: float,
+        sample_rate_hz: float,
+        order: int,
+    ) -> np.ndarray:
+        out = butter_lowpass(
+            np.asarray(block, dtype=np.float32),
+            cutoff_hz,
+            sample_rate_hz,
+            order,
+        )
+        return np.asarray(out, dtype=np.float64)
+
+    def local_maxima(self, x: np.ndarray) -> np.ndarray:
+        return super().local_maxima(np.asarray(x, dtype=np.float32))
+
+    def peak_prominences(self, x: np.ndarray, peaks: np.ndarray) -> np.ndarray:
+        out = super().peak_prominences(np.asarray(x, dtype=np.float32), peaks)
+        return np.asarray(out, dtype=np.float64)
+
+
+def _numba_module():
+    """Import numba, or ``None`` when it is not installed."""
+    try:
+        import numba  # noqa: PLC0415 — feature detection by import
+    except ImportError:
+        return None
+    return numba
+
+
+class NumbaBackend(ComputeBackend):
+    """JIT-compiled reference scans (requires the ``numba`` package).
+
+    The compiled kernels are the pure-Python specifications from
+    :mod:`repro.signal.peaks` (``_local_maxima_reference`` /
+    ``_peak_prominences_reference``), which the differential tests pin
+    bit-identical to the scipy kernels — so this backend is bit-identical
+    as well, while avoiding scipy's per-call argument marshalling on
+    the scan kernels. Filtering delegates to the float64 scipy path
+    (IIR filtering is already a C hot loop; jitting it buys nothing).
+    """
+
+    name = "numba"
+    bit_identical = True
+
+    def __init__(self) -> None:
+        numba = _numba_module()
+        if numba is None:
+            raise ConfigurationError(
+                "the 'numba' backend requires the numba package "
+                "(pip install 'repro-ptrack[backends]'); it is not "
+                "installed in this environment"
+            )
+        self._numpy = NumpyBackend()
+        self._local_maxima_jit = numba.njit(cache=False)(_local_maxima_loop)
+        self._prominences_jit = numba.njit(cache=False)(_prominences_loop)
+        # Warm the compiler on tiny inputs so first-round serving
+        # latency does not absorb the JIT cost.
+        self._local_maxima_jit(np.asarray([0.0, 1.0, 0.0]))
+        self._prominences_jit(
+            np.asarray([0.0, 1.0, 0.0]), np.asarray([1], dtype=np.intp)
+        )
+
+    def lowpass_block(
+        self,
+        block: np.ndarray,
+        cutoff_hz: float,
+        sample_rate_hz: float,
+        order: int,
+    ) -> np.ndarray:
+        return self._numpy.lowpass_block(
+            block, cutoff_hz, sample_rate_hz, order
+        )
+
+    def local_maxima(self, x: np.ndarray) -> np.ndarray:
+        if x.size < 3:
+            return np.empty(0, dtype=np.intp)
+        return self._local_maxima_jit(np.ascontiguousarray(x))
+
+    def peak_prominences(self, x: np.ndarray, peaks: np.ndarray) -> np.ndarray:
+        idx = np.asarray(peaks, dtype=np.intp)
+        if idx.size == 0:
+            return np.empty(0, dtype=np.float64)
+        return self._prominences_jit(np.ascontiguousarray(x), idx)
+
+
+def _local_maxima_loop(x: np.ndarray) -> np.ndarray:
+    """Plateau-centre local maxima (njit-compilable reference scan)."""
+    n = x.size
+    out = np.empty(n // 2 + 1, dtype=np.intp)
+    m = 0
+    i = 1
+    while i < n - 1:
+        if x[i] > x[i - 1]:
+            j = i
+            while j < n - 1 and x[j + 1] == x[j]:
+                j += 1
+            if j < n - 1 and x[j + 1] < x[j]:
+                out[m] = (i + j) // 2
+                m += 1
+            i = j + 1
+        else:
+            i += 1
+    return out[:m].copy()
+
+
+def _prominences_loop(x: np.ndarray, peaks: np.ndarray) -> np.ndarray:
+    """Bounded left/right prominence scans (njit-compilable reference)."""
+    out = np.empty(peaks.size, dtype=np.float64)
+    n = x.size
+    for k in range(peaks.size):
+        p = peaks[k]
+        height = x[p]
+        left_min = height
+        i = p - 1
+        while i >= 0 and x[i] <= height:
+            if x[i] < left_min:
+                left_min = x[i]
+            i -= 1
+        right_min = height
+        i = p + 1
+        while i < n and x[i] <= height:
+            if x[i] < right_min:
+                right_min = x[i]
+            i += 1
+        wall = left_min if left_min > right_min else right_min
+        out[k] = height - wall
+    return out
+
+
+_FACTORIES: Dict[str, Callable[[], ComputeBackend]] = {
+    "numpy": NumpyBackend,
+    "float32": Float32Backend,
+    "numba": NumbaBackend,
+}
+
+
+def available_backends() -> Dict[str, Tuple[bool, str]]:
+    """Availability of every registered backend.
+
+    Returns:
+        Mapping of backend name to ``(available, detail)``; the detail
+        string says why an unavailable backend cannot be constructed.
+    """
+    out: Dict[str, Tuple[bool, str]] = {
+        "numpy": (True, "float64 baseline (always available)"),
+        "float32": (True, "single-precision variant (always available)"),
+    }
+    if _numba_module() is None:
+        out["numba"] = (False, "numba package not installed")
+    else:
+        out["numba"] = (True, "numba JIT kernels")
+    return out
+
+
+def get_backend(
+    backend: Optional[Union[str, ComputeBackend]] = None,
+) -> ComputeBackend:
+    """Resolve a compute backend.
+
+    Args:
+        backend: A :class:`ComputeBackend` instance (returned as is), a
+            registry name, or ``None`` to consult the
+            ``PTRACK_BACKEND`` environment variable and fall back to
+            ``"numpy"``.
+
+    Returns:
+        A constructed backend.
+
+    Raises:
+        ConfigurationError: On an unknown name, or a known backend
+            whose dependency is missing (e.g. ``numba`` without the
+            package installed).
+    """
+    if isinstance(backend, ComputeBackend):
+        return backend
+    name = backend
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR, "").strip() or "numpy"
+    name = name.lower()
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        known: List[str] = sorted(_FACTORIES)
+        raise ConfigurationError(
+            f"unknown compute backend {name!r}; known backends: {known} "
+            f"(selected via the {BACKEND_ENV_VAR} environment variable "
+            "or an explicit backend= argument)"
+        )
+    return factory()

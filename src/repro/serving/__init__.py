@@ -6,6 +6,11 @@ together:
 
 * :class:`SessionPool` — N independent sessions behind one vectorized
   ingest call, batching the per-cycle stepping kernels fleet-wide.
+* :class:`BatchedSessionPool` — the fleet-batched pool: every round's
+  filter / segmentation / measurement / stride kernels run once for
+  the whole fleet on a pluggable compute backend
+  (:mod:`repro.runtime.backends`), bit-identical to the lockstep pool
+  on the default NumPy backend.
 * :func:`serve_fleet` — shard a fleet of sessions across worker
   processes via :func:`repro.runtime.parallel_map`, with a guaranteed
   shard-layout-independent result.
@@ -13,11 +18,14 @@ together:
   by ``derive_rng(seed, i)`` for benchmarks and equivalence tests.
 """
 
+from repro.serving.batch import BatchedSessionPool, FleetBatchBuffer
 from repro.serving.fleet import FleetReport, SessionReport, serve_fleet
 from repro.serving.pool import SessionPool
 from repro.serving.workload import SessionWorkload, synthesize_workload
 
 __all__ = [
+    "BatchedSessionPool",
+    "FleetBatchBuffer",
     "FleetReport",
     "SessionPool",
     "SessionReport",

@@ -1,0 +1,473 @@
+"""Fleet-batched serving: the fleet, not the session, is the kernel unit.
+
+:class:`~repro.serving.pool.SessionPool` already batches the stepping
+admission tests fleet-wide, but every other stage — filtering,
+segmentation, cycle measurement, stride solving — still runs once per
+session per round, paying the full Python/scipy dispatch overhead N
+times. :class:`BatchedSessionPool` restructures the round so each stage
+runs **once for the whole fleet**:
+
+1. the pending filter blocks of every due session are column-stacked by
+   length and low-passed in one backend call per length group;
+2. every session's segmentation window is packed into one concatenated
+   signal and scanned by a single peak/valley kernel dispatch
+   (:func:`repro.signal.batched.batched_segment_windows`);
+3. all admitted cycles are measured in length-grouped stacks
+   (:func:`repro.core.batched.batched_stage_measurements`);
+4. the stepping tests run in the same fleet-wide batch the lockstep
+   pool uses;
+5. all credited cycles' stride integrations run in length-grouped
+   stacks (:func:`repro.core.batched.batched_cycle_solutions`).
+
+Per-session *state* transitions (boundary bookkeeping, cycle admission,
+streak classification, crediting, trimming) still run session by
+session through the seams :class:`~repro.core.streaming.StreamingPTrack`
+exposes — the numeric kernels between them are what gets batched. With
+the default NumPy backend every batched kernel is bit-identical to its
+scalar reference, so credits satisfy the serving equivalence oracle
+``serial == pooled == sharded == batched``; alternate backends (see
+:mod:`repro.runtime.backends`) trade that for throughput under a
+documented tolerance policy.
+
+Failure isolation matches the lockstep pool: an exception attributable
+to one session marks only that session failed and the round continues
+without it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.batched import (
+    batched_cycle_solutions,
+    batched_stage_measurements,
+)
+from repro.core.config import PTrackConfig
+from repro.core.streaming import StagedCycle
+from repro.faults.policy import FaultPolicy
+from repro.runtime.backends import ComputeBackend, get_backend
+from repro.serving.pool import SessionPool
+from repro.signal.batched import batched_segment_windows
+from repro.telemetry.registry import MetricsRegistry
+from repro.types import StepEvent, StrideEstimate
+
+__all__ = ["FleetBatchBuffer", "BatchedSessionPool"]
+
+
+class FleetBatchBuffer:
+    """Grow-on-demand keyed scratch arrays for fleet-batched rounds.
+
+    The batched round repeatedly needs large transient buffers (the
+    packed segmentation signal, the column-stacked filter blocks) whose
+    sizes vary round to round. Allocating them fresh each round churns
+    the allocator at exactly the call rate batching is meant to
+    amortise; this buffer hands out views over per-key backing arrays
+    that only ever grow.
+
+    Views are only valid until the same key is requested again —
+    callers copy anything they need to keep, which the serving round
+    does anyway (filtered output is committed into session buffers,
+    packed signals are consumed within the kernel call).
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[str, np.ndarray] = {}
+
+    def request(
+        self,
+        key: str,
+        shape: Union[int, Tuple[int, ...]],
+        dtype: type = np.float64,
+    ) -> np.ndarray:
+        """A view of ``shape`` over the (possibly grown) buffer ``key``.
+
+        Contents are uninitialised — callers overwrite before reading.
+        """
+        if isinstance(shape, int):
+            shape = (shape,)
+        total = 1
+        for dim in shape:
+            total *= int(dim)
+        buf = self._store.get(key)
+        if buf is None or buf.size < total or buf.dtype != np.dtype(dtype):
+            buf = np.empty(total, dtype=dtype)
+            self._store[key] = buf
+        return buf[:total].reshape(shape)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently retained across all keys."""
+        return sum(buf.nbytes for buf in self._store.values())
+
+    def clear(self) -> None:
+        """Release every retained buffer."""
+        self._store.clear()
+
+
+class BatchedSessionPool(SessionPool):
+    """A session pool whose ingest rounds run fleet-batched kernels.
+
+    Drop-in replacement for :class:`SessionPool` — same constructor,
+    same ``append``/``flush``/failure-isolation contract, and (with the
+    default NumPy backend) bit-identical per-session credits and
+    op-stats. What changes is *how* each round computes: one kernel
+    dispatch per stage per round instead of per session.
+
+    Args:
+        backend: Compute backend for the batched kernels — a
+            :class:`~repro.runtime.backends.ComputeBackend`, a registry
+            name (``"numpy"``, ``"float32"``, ``"numba"``), or ``None``
+            to consult ``PTRACK_BACKEND`` and default to NumPy. Only
+            bit-identical backends preserve the crediting-equivalence
+            oracle; see :mod:`repro.runtime.backends` for the
+            per-kernel tolerance policy of the alternates.
+
+    All other arguments are inherited from :class:`SessionPool`.
+    """
+
+    ROUND_SECONDS_METRIC = "serving_batch_round_seconds"
+    APPENDS_METRIC = "serving_batch_appends_total"
+    SESSIONS_GAUGE_METRIC = "serving_batch_sessions"
+
+    def __init__(
+        self,
+        sample_rate_hz: float,
+        config: Optional[PTrackConfig] = None,
+        settle_s: float = 2.5,
+        max_buffer_s: float = 30.0,
+        fault_policy: Optional[FaultPolicy] = None,
+        isolate_failures: bool = True,
+        telemetry: Optional[MetricsRegistry] = None,
+        backend: Optional[Union[str, ComputeBackend]] = None,
+    ) -> None:
+        super().__init__(
+            sample_rate_hz,
+            config=config,
+            settle_s=settle_s,
+            max_buffer_s=max_buffer_s,
+            fault_policy=fault_policy,
+            isolate_failures=isolate_failures,
+            telemetry=telemetry,
+        )
+        self._backend = get_backend(backend)
+        self._buffers = FleetBatchBuffer()
+        if self._telemetry is not None:
+            reg = self._telemetry
+            self._m_rounds = reg.counter("serving_batch_rounds_total")
+            self._m_occupancy = reg.gauge("serving_batch_occupancy")
+
+    @property
+    def backend(self) -> ComputeBackend:
+        """The compute backend the batched kernels dispatch to."""
+        return self._backend
+
+    # ------------------------------------------------------------------
+    # Batched ingest
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        session_ids: Sequence[int],
+        batches: Sequence[np.ndarray],
+    ) -> List[Tuple[List[StepEvent], List[StrideEstimate]]]:
+        """Feed one batch to each named session; credit settled cycles.
+
+        Same contract as :meth:`SessionPool.append`; each drain round
+        runs the fleet-batched kernels instead of per-session calls.
+        """
+        t0 = time.perf_counter() if self._telemetry is not None else 0.0
+        self._validate_append(session_ids, batches)
+        sessions = [self._sessions[sid] for sid in session_ids]
+        out: List[Tuple[List[StepEvent], List[StrideEstimate]]] = [
+            ([], []) for _ in sessions
+        ]
+        active: List[int] = []
+        for k, (sid, sess, batch) in enumerate(
+            zip(session_ids, sessions, batches)
+        ):
+            if sid in self._errors:
+                continue
+            try:
+                sess.ingest(batch)
+                steps, strides = sess.take_pending_credits()
+            except Exception as exc:  # noqa: BLE001 — isolation boundary
+                self._mark_failed(sid, exc)
+                continue
+            out[k][0].extend(steps)
+            out[k][1].extend(strides)
+            active.append(k)
+        while active:
+            active = self._batched_round(session_ids, sessions, active, out)
+        if self._telemetry is not None:
+            self._m_appends.inc(len(session_ids))
+            self._m_round_s.observe(time.perf_counter() - t0)
+        return out
+
+    # ------------------------------------------------------------------
+    # One fleet round
+    # ------------------------------------------------------------------
+    def _batched_round(
+        self,
+        session_ids: Sequence[int],
+        sessions: Sequence,
+        active: List[int],
+        out: List[Tuple[List[StepEvent], List[StrideEstimate]]],
+    ) -> List[int]:
+        """Advance every due session by one hop boundary, batched.
+
+        Returns the positions still active for the next round. A
+        session that raises (or whose batched kernel surfaces its
+        exception in place) is marked failed and dropped mid-round —
+        the per-session state it mutated up to that point matches what
+        the scalar path would have mutated before raising.
+        """
+        # Bookkeeping is kept in lists indexed by the session's position
+        # in the due order (``d``) rather than dicts keyed by pool
+        # position — at fleet scale the per-session dict churn is
+        # measurable against the batched kernels.
+        due_ks: List[int] = []
+        due_sess: List = []
+        boundaries: List[int] = []
+        for k in active:
+            boundary = sessions[k].peek_boundary()
+            if boundary is not None:
+                due_ks.append(k)
+                due_sess.append(sessions[k])
+                boundaries.append(boundary)
+        n_due = len(due_ks)
+        if not n_due:
+            return []
+        if self._telemetry is not None:
+            self._m_rounds.inc()
+            self._m_occupancy.set(n_due)
+        alive = [True] * n_due
+
+        def fail(d: int, exc: BaseException) -> None:
+            self._mark_failed(session_ids[due_ks[d]], exc)
+            alive[d] = False
+
+        cfg = self._config
+        be = self._backend
+        rate = self._rate
+
+        # -- Stage 1: fleet filter -------------------------------------
+        # Gather every due session's pending filter blocks, low-pass
+        # equal-length blocks in one column-stacked backend call per
+        # length group, then commit per session in plan order (the
+        # order apply_filtered_block requires).
+        plans: List[List[Tuple[int, int, int]]] = []
+        groups: Dict[int, List[Tuple[int, int, int, int]]] = {}
+        for d in range(n_due):
+            plan = due_sess[d].filter_plan(boundaries[d])
+            plans.append(plan)
+            for j, (lo, hi, _final) in enumerate(plan):
+                groups.setdefault(hi - lo, []).append((d, j, lo, hi))
+        blocks: List[List[Union[np.ndarray, Exception, None]]] = [
+            [None] * len(plan) for plan in plans
+        ]
+        for length, entries in groups.items():
+            if len(entries) == 1:
+                d, j, lo, hi = entries[0]
+                try:
+                    blocks[d][j] = be.lowpass_block(
+                        due_sess[d].raw_block(lo, hi),
+                        cfg.lowpass_cutoff_hz,
+                        rate,
+                        cfg.lowpass_order,
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    blocks[d][j] = exc
+                continue
+            stack = self._buffers.request(
+                f"filter:{length}", (length, 3 * len(entries))
+            )
+            for col, (d, _j, lo, hi) in enumerate(entries):
+                np.copyto(
+                    stack[:, 3 * col : 3 * col + 3],
+                    due_sess[d].raw_block(lo, hi),
+                )
+            try:
+                filtered = be.lowpass_block(
+                    stack, cfg.lowpass_cutoff_hz, rate, cfg.lowpass_order
+                )
+            except Exception:  # noqa: BLE001 — retry solo to find the owner
+                for d, j, lo, hi in entries:
+                    try:
+                        blocks[d][j] = be.lowpass_block(
+                            due_sess[d].raw_block(lo, hi),
+                            cfg.lowpass_cutoff_hz,
+                            rate,
+                            cfg.lowpass_order,
+                        )
+                    except Exception as exc:  # noqa: BLE001
+                        blocks[d][j] = exc
+            else:
+                for col, (d, j, _lo, _hi) in enumerate(entries):
+                    blocks[d][j] = filtered[:, 3 * col : 3 * col + 3]
+        for d in range(n_due):
+            sess = due_sess[d]
+            for j, (lo, hi, final) in enumerate(plans[d]):
+                block = blocks[d][j]
+                if isinstance(block, Exception):
+                    fail(d, block)
+                    break
+                sess.apply_filtered_block(lo, hi, final, block)
+
+        # -- Stage 2: fleet segmentation -------------------------------
+        opened: List[Optional[Tuple[np.ndarray, int]]] = [None] * n_due
+        seg_ds: List[int] = []
+        windows: List[np.ndarray] = []
+        for d in range(n_due):
+            if not alive[d]:
+                continue
+            try:
+                win = due_sess[d].begin_pass(boundaries[d])
+            except Exception as exc:  # noqa: BLE001
+                fail(d, exc)
+                continue
+            opened[d] = win
+            if win is not None:
+                seg_ds.append(d)
+                windows.append(win[0])
+        seg_results: List = []
+        if windows:
+            scratch = self._buffers.request(
+                "segment_pack", sum(w.size for w in windows) + len(windows)
+            )
+            seg_results = batched_segment_windows(
+                windows,
+                rate,
+                min_step_rate_hz=cfg.min_step_rate_hz,
+                max_step_rate_hz=cfg.max_step_rate_hz,
+                min_prominence=cfg.min_peak_prominence,
+                backend=be,
+                scratch=scratch,
+            )
+
+        # -- Stage 3: admit + measure all cycles fleet-wide ------------
+        admitted_by_d: List = [None] * n_due
+        cycle_pairs: List = [None] * n_due
+        flat_v: List[np.ndarray] = []
+        flat_h: List[np.ndarray] = []
+        flat_start: List[int] = [0] * n_due
+        for d, segments in zip(seg_ds, seg_results):
+            if isinstance(segments, Exception):
+                fail(d, segments)
+                continue
+            sess = due_sess[d]
+            settled_end = opened[d][1]
+            try:
+                admitted = sess.admit_cycles(settled_end, segments)
+                pairs = [
+                    sess.cycle_segments(abs_start, abs_end)
+                    for abs_start, abs_end, _peaks in admitted
+                ]
+            except Exception as exc:  # noqa: BLE001
+                fail(d, exc)
+                continue
+            admitted_by_d[d] = admitted
+            cycle_pairs[d] = pairs
+            flat_start[d] = len(flat_v)
+            for v_seg, h_seg in pairs:
+                flat_v.append(v_seg)
+                flat_h.append(h_seg)
+        measurements = (
+            batched_stage_measurements(flat_v, flat_h, cfg, be)
+            if flat_v
+            else []
+        )
+
+        # -- Stage 4: stage per session, in cycle order ----------------
+        staged_by_d: List[Optional[List[StagedCycle]]] = [None] * n_due
+        for d in range(n_due):
+            if not alive[d]:
+                continue
+            if opened[d] is None or admitted_by_d[d] is None:
+                if opened[d] is None:
+                    # No segmentable window: the boundary still closes
+                    # and its trim still runs, via an empty resolve.
+                    staged_by_d[d] = []
+                continue
+            sess = due_sess[d]
+            lo = flat_start[d]
+            staged: List[StagedCycle] = []
+            broken = False
+            for (abs_start, abs_end, peaks), (v_seg, h_seg), m in zip(
+                admitted_by_d[d],
+                cycle_pairs[d],
+                measurements[lo : lo + len(admitted_by_d[d])],
+            ):
+                if isinstance(m, Exception):
+                    # The scalar path raises out of _stage here, after
+                    # having staged this session's earlier cycles.
+                    fail(d, m)
+                    broken = True
+                    break
+                a_seg, anterior_ok, motion_ok, offset = m
+                staged.append(
+                    sess.make_staged(
+                        abs_start, abs_end, peaks,
+                        v_seg, h_seg, a_seg, anterior_ok, motion_ok, offset,
+                    )
+                )
+            if broken:
+                continue
+            staged_by_d[d] = staged
+        for d in range(n_due):
+            if staged_by_d[d] is not None:
+                due_sess[d].finish_collect(boundaries[d])
+
+        # -- Stage 5: fleet stepping tests -----------------------------
+        resolve_ds = [d for d in range(n_due) if staged_by_d[d] is not None]
+        values = self._pooled_stepping([staged_by_d[d] for d in resolve_ds])
+
+        # -- Stage 6: classify, solve strides fleet-wide, credit -------
+        credited_by_d: List = [None] * n_due
+        solve_idx: List = [None] * n_due
+        solve_start: List[int] = [0] * n_due
+        all_items: List[Tuple] = []
+        for d, vals in zip(resolve_ds, values):
+            sess = due_sess[d]
+            try:
+                credited = sess.classify(staged_by_d[d], vals)
+                indices, items = sess.stride_solve_items(credited)
+            except Exception as exc:  # noqa: BLE001
+                fail(d, exc)
+                continue
+            credited_by_d[d] = credited
+            solve_idx[d] = indices
+            solve_start[d] = len(all_items)
+            all_items.extend(items)
+        flat_solutions = (
+            batched_cycle_solutions(all_items, 1.0 / rate)
+            if all_items
+            else []
+        )
+        next_active: List[int] = []
+        for d in resolve_ds:
+            if not alive[d]:
+                continue
+            credited = credited_by_d[d]
+            indices = solve_idx[d]
+            lo = solve_start[d]
+            solutions: List[Optional[Tuple[float, float]]] = [None] * len(
+                credited
+            )
+            for i, solved in zip(
+                indices, flat_solutions[lo : lo + len(indices)]
+            ):
+                solutions[i] = solved
+            try:
+                steps, strides = due_sess[d].credit_resolved(
+                    credited, solutions
+                )
+            except Exception as exc:  # noqa: BLE001
+                fail(d, exc)
+                continue
+            k = due_ks[d]
+            out[k][0].extend(steps)
+            out[k][1].extend(strides)
+            next_active.append(k)
+        return next_active

@@ -77,6 +77,13 @@ class SessionPool:
             uninstrumented).
     """
 
+    #: Instrument names, overridable per driver so a subclass (e.g. the
+    #: fleet-batched pool) publishes its own ``serving_*`` series while
+    #: the failure/revival counters stay shared fleet-wide.
+    ROUND_SECONDS_METRIC = "serving_pool_round_seconds"
+    APPENDS_METRIC = "serving_pool_appends_total"
+    SESSIONS_GAUGE_METRIC = "serving_pool_sessions"
+
     def __init__(
         self,
         sample_rate_hz: float,
@@ -101,11 +108,11 @@ class SessionPool:
         )
         if self._telemetry is not None:
             reg = self._telemetry
-            self._m_round_s = reg.histogram("serving_pool_round_seconds")
-            self._m_appends = reg.counter("serving_pool_appends_total")
+            self._m_round_s = reg.histogram(self.ROUND_SECONDS_METRIC)
+            self._m_appends = reg.counter(self.APPENDS_METRIC)
             self._m_failed = reg.counter("serving_sessions_failed_total")
             self._m_revived = reg.counter("serving_sessions_revived_total")
-            self._m_live = reg.gauge("serving_pool_sessions")
+            self._m_live = reg.gauge(self.SESSIONS_GAUGE_METRIC)
 
     # ------------------------------------------------------------------
     # Session management
@@ -231,28 +238,7 @@ class SessionPool:
                 ``isolate_failures`` is off.
         """
         t0 = time.perf_counter() if self._telemetry is not None else 0.0
-        if len(session_ids) != len(batches):
-            raise ConfigurationError(
-                f"got {len(session_ids)} session ids but {len(batches)} "
-                "batches; append() pairs them positionally — pass "
-                "exactly one batch per session id"
-            )
-        unknown = [s for s in session_ids if s not in self._sessions]
-        if unknown:
-            raise ConfigurationError(
-                f"unknown session id(s) {sorted(set(unknown))!r}; the "
-                f"pool has {self.n_sessions} live session(s) — ids come "
-                "from add_session()/add_sessions() and are not recycled"
-            )
-        duplicates = sorted(
-            s for s, c in Counter(session_ids).items() if c > 1
-        )
-        if duplicates:
-            raise ConfigurationError(
-                f"duplicate session id(s) {duplicates!r} in one append "
-                "call; a session takes at most one batch per call — "
-                "concatenate the batches upstream or split the call"
-            )
+        self._validate_append(session_ids, batches)
         sessions = [self._sessions[sid] for sid in session_ids]
         out: List[Tuple[List[StepEvent], List[StrideEstimate]]] = [
             ([], []) for _ in sessions
@@ -363,6 +349,35 @@ class SessionPool:
             raise ConfigurationError(
                 f"unknown session id {session_id!r}"
             ) from None
+
+    def _validate_append(
+        self,
+        session_ids: Sequence[int],
+        batches: Sequence[np.ndarray],
+    ) -> None:
+        """Reject caller mistakes before any session is touched."""
+        if len(session_ids) != len(batches):
+            raise ConfigurationError(
+                f"got {len(session_ids)} session ids but {len(batches)} "
+                "batches; append() pairs them positionally — pass "
+                "exactly one batch per session id"
+            )
+        unknown = [s for s in session_ids if s not in self._sessions]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown session id(s) {sorted(set(unknown))!r}; the "
+                f"pool has {self.n_sessions} live session(s) — ids come "
+                "from add_session()/add_sessions() and are not recycled"
+            )
+        duplicates = sorted(
+            s for s, c in Counter(session_ids).items() if c > 1
+        )
+        if duplicates:
+            raise ConfigurationError(
+                f"duplicate session id(s) {duplicates!r} in one append "
+                "call; a session takes at most one batch per call — "
+                "concatenate the batches upstream or split the call"
+            )
 
     def _pooled_stepping(
         self,

@@ -154,14 +154,34 @@ def detect_peaks(
     candidates, proms = candidates[keep], proms[keep]
     if candidates.size == 0 or min_distance == 1:
         return candidates
+    return _enforce_min_distance(candidates, proms, min_distance, arr.size)
 
-    # Greedy spacing enforcement: visit candidates from most to least
-    # prominent, accept those not within min_distance of an accepted one.
+
+def _enforce_min_distance(
+    candidates: np.ndarray,
+    proms: np.ndarray,
+    min_distance: int,
+    size: int,
+) -> np.ndarray:
+    """Greedy spacing enforcement shared by the scalar and batched paths.
+
+    Visit candidates from most to least prominent (stable order, so
+    equal prominences resolve left to right) and accept those not
+    within ``min_distance`` of an already accepted peak. The occupancy
+    array makes each acceptance check O(min_distance) instead of
+    O(accepted); the accepted set is identical to the quadratic scan
+    because acceptance depends only on the previously accepted indices.
+    """
     order = np.argsort(-proms, kind="stable")
+    taken = np.zeros(size, dtype=bool)
     accepted: list[int] = []
     for idx in candidates[order]:
-        if all(abs(int(idx) - a) >= min_distance for a in accepted):
-            accepted.append(int(idx))
+        i = int(idx)
+        lo = max(0, i - min_distance + 1)
+        if taken[lo : i + min_distance].any():
+            continue
+        taken[i] = True
+        accepted.append(i)
     return np.asarray(sorted(accepted), dtype=int)
 
 

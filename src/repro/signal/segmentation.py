@@ -10,6 +10,7 @@ of the mean-removal integration used later by the stride estimator.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
@@ -135,19 +136,41 @@ def segment_gait_cycles(
     if peaks.size < 2:
         return []
     valleys = detect_valleys(v, min_prominence=min_prominence * 0.5, min_distance=min_gap)
+    return _pair_cycles(v.size, peaks, valleys, min_gap, max_gap)
 
+
+def _pair_cycles(
+    n: int,
+    peaks: np.ndarray,
+    valleys: np.ndarray,
+    min_gap: int,
+    max_gap: int,
+) -> List[Segment]:
+    """Pair consecutive step peaks into cycle segments.
+
+    The pairing walk of :func:`segment_gait_cycles`, shared with the
+    fleet-batched segmenter (:mod:`repro.signal.batched`) so both paths
+    make bit-identical pairing decisions from the same peak/valley sets.
+    """
     cycles: List[Segment] = []
+    # Pure-integer walk over Python lists: the valleys are sorted, so
+    # the nearest-valley lookups are bisections rather than boolean
+    # masks — this runs once per window fleet-wide and the array form
+    # was a measurable share of the serving profile.
+    plist = peaks.tolist()
+    vlist = valleys.tolist()
+    nv = len(vlist)
     i = 0
-    while i + 1 < peaks.size:
-        p1, p2 = int(peaks[i]), int(peaks[i + 1])
+    while i + 1 < len(plist):
+        p1, p2 = plist[i], plist[i + 1]
         if p2 - p1 > max_gap:
             # Gap too long to be two consecutive steps; slide forward.
             i += 1
             continue
-        left = valleys[valleys < p1]
-        right = valleys[valleys > p2]
-        start = int(left[-1]) if left.size else max(0, p1 - min_gap)
-        end = int(right[0]) + 1 if right.size else min(v.size, p2 + min_gap + 1)
+        li = bisect.bisect_left(vlist, p1)
+        ri = bisect.bisect_right(vlist, p2)
+        start = vlist[li - 1] if li else max(0, p1 - min_gap)
+        end = vlist[ri] + 1 if ri < nv else min(n, p2 + min_gap + 1)
         if end - start >= 4:
             cycles.append(Segment(start, end, (p1, p2)))
         i += 2

@@ -136,3 +136,55 @@ def test_pr3_scoreboard_meets_acceptance():
     fleet = serving["fleet_scaling"]
     assert fleet["max_sessions"] >= 1000
     assert fleet["identity_serial_pooled_sharded"] is True
+
+
+def test_fleet_batch_sections_complete(check_results):
+    fleet_batch = check_results["fleet_batch"]
+    assert set(fleet_batch) == {
+        "check_mode",
+        "identity",
+        "batched_vs_lockstep",
+        "occupancy",
+        "backends",
+    }
+    assert fleet_batch["identity"]["ok"] is True
+    headline = fleet_batch["batched_vs_lockstep"]
+    assert headline["batched_us_per_sample"] > 0
+    assert headline["lockstep_us_per_sample"] > 0
+    assert all(r["samples_per_s"] > 0 for r in fleet_batch["occupancy"]["rows"])
+    statuses = {r["backend"]: r["status"] for r in fleet_batch["backends"]["rows"]}
+    assert statuses["numpy"] == "bit_identical"
+    assert statuses["float32"] in ("tolerance_ok", "bit_identical")
+    assert statuses["numba"] in ("bit_identical", "skipped")
+
+
+def test_pr6_scoreboard_meets_acceptance():
+    scoreboard = json.loads((REPO_ROOT / "BENCH_PR6.json").read_text())
+    assert scoreboard["schema"] == "ptrack-bench-v2"
+    fleet_batch = scoreboard["fleet_batch"]
+    # Acceptance headline: the batched fleet driver cuts amortised
+    # ingest cost >= 5x vs the lockstep pool at 1000 sessions, with the
+    # serial == pooled == sharded == batched crediting oracle intact.
+    assert fleet_batch["identity"]["ok"] is True
+    headline = fleet_batch["batched_vs_lockstep"]
+    assert headline["n_sessions"] >= 1000
+    assert headline["speedup"] >= 5.0
+    assert headline["speedup_ok"] is True
+    # The occupancy sweep reaches 10000 concurrent sessions.
+    assert max(r["sessions"] for r in fleet_batch["occupancy"]["rows"]) >= 10000
+    # The default backend is bit-identical; absent deps skip cleanly.
+    statuses = {r["backend"]: r["status"] for r in fleet_batch["backends"]["rows"]}
+    assert statuses["numpy"] == "bit_identical"
+    assert statuses["numba"] in ("bit_identical", "skipped")
+
+
+def test_cli_bench_verb_wiring():
+    # The installed-package entry point: `repro bench` forwards to the
+    # scripts/bench.py driver (exercised directly by the fixture above).
+    from repro import cli
+
+    parser = cli.build_parser()
+    args = parser.parse_args(["bench", "--suite", "fleet-batch", "--check"])
+    assert args.func is cli._cmd_bench
+    assert args.suite == "fleet-batch"
+    assert args.check is True

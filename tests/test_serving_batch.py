@@ -1,0 +1,449 @@
+"""Tests for the fleet-batched serving path.
+
+Three layers:
+
+* kernel differentials — every batched signal/measurement kernel
+  against its scalar reference, bit for bit, on ragged inputs
+  (hypothesis-driven where the input space is wide);
+* pool equivalence — :class:`BatchedSessionPool` against serial
+  sessions and the lockstep pool: credits, op-stats, chunk invariance,
+  sessions joining/leaving mid-stream, failed-session exclusion;
+* scratch-buffer mechanics — :class:`FleetBatchBuffer` growth/reuse.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batched import (
+    batched_cycle_solutions,
+    batched_stage_measurements,
+)
+from repro.core.config import PTrackConfig
+from repro.core.offset import cycle_offset
+from repro.core.streaming import StreamingPTrack
+from repro.core.stride import PTrackStrideEstimator
+from repro.exceptions import SignalError
+from repro.runtime.backends import get_backend
+from repro.serving import (
+    BatchedSessionPool,
+    FleetBatchBuffer,
+    SessionPool,
+    synthesize_workload,
+)
+from repro.signal.batched import (
+    batched_crossing_indices,
+    batched_segment_windows,
+    crossing_indices,
+    multi_window_extrema,
+    pack_windows,
+)
+from repro.signal.peaks import detect_peaks, detect_valleys
+from repro.signal.projection import anterior_direction, project_horizontal
+from repro.signal.segmentation import segment_gait_cycles
+from repro.types import GaitType, UserProfile
+
+RATE = 100.0
+
+
+def _walky(n, seed, freq=1.8, noise=0.25):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) / RATE
+    return np.sin(2 * np.pi * freq * t) + noise * rng.standard_normal(n)
+
+
+# ----------------------------------------------------------------------
+# Kernel differentials
+# ----------------------------------------------------------------------
+
+ragged_windows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=160),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ragged_windows, st.floats(0.05, 1.0), st.integers(1, 12))
+def test_multi_window_extrema_matches_scalar(specs, prom, dist):
+    windows = [_walky(n, seed) for n, seed in specs]
+    for negate, scalar in ((False, detect_peaks), (True, detect_valleys)):
+        got = multi_window_extrema(windows, prom, dist, negate=negate)
+        assert len(got) == len(windows)
+        for w, g in zip(windows, got):
+            np.testing.assert_array_equal(
+                g, scalar(w, min_prominence=prom, min_distance=dist)
+            )
+
+
+def test_multi_window_extrema_per_window_params():
+    windows = [_walky(120, 3), _walky(80, 4), _walky(50, 5)]
+    proms = [0.2, 0.5, 0.9]
+    dists = [1, 5, 9]
+    got = multi_window_extrema(windows, proms, dists)
+    for w, p, d, g in zip(windows, proms, dists, got):
+        np.testing.assert_array_equal(
+            g, detect_peaks(w, min_prominence=p, min_distance=d)
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(ragged_windows, st.floats(0.01, 0.8))
+def test_batched_crossing_indices_matches_scalar(specs, hyst):
+    windows = [_walky(n, seed, noise=0.4) for n, seed in specs]
+    got = batched_crossing_indices(windows, hyst)
+    assert len(got) == len(windows)
+    for w, g in zip(windows, got):
+        np.testing.assert_array_equal(g, crossing_indices(w, hyst))
+
+
+@settings(max_examples=25, deadline=None)
+@given(ragged_windows)
+def test_batched_segment_windows_matches_scalar(specs):
+    windows = [_walky(max(n, 0), seed) for n, seed in specs]
+    got = batched_segment_windows(windows, RATE)
+    for w, g in zip(windows, got):
+        assert g == segment_gait_cycles(w, RATE)
+
+
+def test_batched_segment_windows_poisoned_window_in_place():
+    good = _walky(200, 7)
+    bad = good.copy()
+    bad[50] = np.nan
+    results = batched_segment_windows([good, bad, good], RATE)
+    assert results[0] == segment_gait_cycles(good, RATE) == results[2]
+    assert isinstance(results[1], SignalError)
+
+
+def test_pack_windows_separators_and_negation():
+    windows = [_walky(9, 0), np.empty(0), _walky(4, 1)]
+    concat, starts, lens = pack_windows(windows)
+    assert concat.size == sum(w.size for w in windows) + len(windows)
+    for s, n, w in zip(starts, lens, windows):
+        np.testing.assert_array_equal(concat[s : s + n], w)
+        assert concat[s + n] == np.inf
+    neg, starts2, _ = pack_windows(windows, negate=True, fill=0.0)
+    np.testing.assert_array_equal(starts, starts2)
+    for s, n, w in zip(starts2, lens, windows):
+        np.testing.assert_array_equal(neg[s : s + n], -w)
+        assert neg[s + n] == 0.0
+
+
+def _scalar_stage(v_seg, h_seg, cfg):
+    """The measurement half of StreamingPTrack._stage, verbatim."""
+    anterior_ok = True
+    try:
+        direction = anterior_direction(h_seg)
+        a_seg = project_horizontal(h_seg, direction)
+    except SignalError:
+        a_seg = np.zeros_like(v_seg)
+        anterior_ok = False
+    motion_ok = float(np.std(v_seg - v_seg.mean())) >= cfg.min_vertical_std
+    offset = cycle_offset(v_seg, a_seg, cfg) if motion_ok else 0.0
+    return a_seg, anterior_ok, motion_ok, offset
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=4, max_value=140),
+            st.integers(min_value=0, max_value=10_000),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_batched_stage_measurements_matches_scalar(specs):
+    cfg = PTrackConfig()
+    v_segs = [_walky(n, seed) for n, seed in specs]
+    h_segs = [
+        np.column_stack([_walky(n, seed + 1), _walky(n, seed + 2, freq=0.9)])
+        for n, seed in specs
+    ]
+    got = batched_stage_measurements(v_segs, h_segs, cfg)
+    assert len(got) == len(specs)
+    for v, h, m in zip(v_segs, h_segs, got):
+        a_ref, ant_ref, mot_ref, off_ref = _scalar_stage(v, h, cfg)
+        a_seg, anterior_ok, motion_ok, offset = m
+        assert anterior_ok == ant_ref
+        assert motion_ok == mot_ref
+        assert offset == off_ref  # bitwise
+        np.testing.assert_array_equal(a_seg, a_ref)
+
+
+def test_batched_stage_measurements_short_moving_cycle_errors_in_place():
+    cfg = PTrackConfig()
+    # 3-sample cycle with enough variance to pass the motion gate: the
+    # scalar path raises out of the offset extraction.
+    v = np.asarray([0.0, 5.0, -5.0])
+    h = np.column_stack([v, v * 0.5])
+    ok_v = _walky(80, 1)
+    ok_h = np.column_stack([_walky(80, 2), _walky(80, 3)])
+    got = batched_stage_measurements([ok_v, v], [ok_h, h], cfg)
+    assert isinstance(got[1], SignalError)
+    a_ref, ant_ref, mot_ref, off_ref = _scalar_stage(ok_v, ok_h, cfg)
+    assert got[0][1] == ant_ref and got[0][2] == mot_ref
+    assert got[0][3] == off_ref
+
+
+@pytest.mark.parametrize("gait", [GaitType.STEPPING, GaitType.WALKING])
+def test_batched_cycle_solutions_matches_scalar(gait):
+    profile = UserProfile(arm_length_m=0.7, leg_length_m=0.9, calibration_k=2.0)
+    estimator = PTrackStrideEstimator(profile)
+    dt = 1.0 / RATE
+    items = []
+    for seed in range(6):
+        n = 60 + 7 * seed
+        v = _walky(n, seed)
+        h = np.column_stack([_walky(n, seed + 50), _walky(n, seed + 90)])
+        a = _walky(n, seed + 130)
+        items.append((v, h, a, gait, profile))
+    got = batched_cycle_solutions(items, dt)
+    for (v, h, a, g, _p), solved in zip(items, got):
+        assert solved == estimator.cycle_stride(v, h, dt, g, a)
+
+
+def test_batched_cycle_solutions_skips_unsolvable():
+    profile = UserProfile(arm_length_m=0.7, leg_length_m=0.9, calibration_k=2.0)
+    v = _walky(8, 0)  # too short for a WALKING solve
+    h = np.column_stack([v, v])
+    got = batched_cycle_solutions(
+        [(v, h, None, GaitType.WALKING, profile)], 1.0 / RATE
+    )
+    assert got == [None]
+
+
+# ----------------------------------------------------------------------
+# Pool equivalence
+# ----------------------------------------------------------------------
+
+
+def _serve_serially(workloads, batch):
+    results = []
+    for w in workloads:
+        sess = StreamingPTrack(RATE, profile=w.profile)
+        steps, strides = [], []
+        for off in range(0, w.samples.shape[0], batch):
+            st_, sr = sess.append(w.samples[off : off + batch])
+            steps.extend(st_)
+            strides.extend(sr)
+        st_, sr = sess.flush()
+        steps.extend(st_)
+        strides.extend(sr)
+        results.append((steps, strides, sess.op_stats.as_dict()))
+    return results
+
+
+def _serve_batched(workloads, batch, pool_cls=BatchedSessionPool, **kw):
+    pool = pool_cls(RATE, **kw)
+    sids = pool.add_sessions([w.profile for w in workloads])
+    results = [([], []) for _ in sids]
+    longest = max(w.samples.shape[0] for w in workloads)
+    for off in range(0, longest, batch):
+        live = [k for k, w in enumerate(workloads) if off < w.samples.shape[0]]
+        out = pool.append(
+            [sids[k] for k in live],
+            [workloads[k].samples[off : off + batch] for k in live],
+        )
+        for k, (st_, sr) in zip(live, out):
+            results[k][0].extend(st_)
+            results[k][1].extend(sr)
+    for k, (st_, sr) in enumerate(pool.flush(sids)):
+        results[k][0].extend(st_)
+        results[k][1].extend(sr)
+    return [
+        (steps, strides, pool.session(sids[k]).op_stats.as_dict())
+        for k, (steps, strides) in enumerate(results)
+    ], pool
+
+
+def _assert_credits_identical(got, ref):
+    assert len(got) == len(ref)
+    for (s1, r1, o1), (s2, r2, o2) in zip(got, ref):
+        assert [(e.index, e.time, e.gait_type) for e in s1] == [
+            (e.index, e.time, e.gait_type) for e in s2
+        ]
+        assert [(e.time, e.length_m, e.bounce_m) for e in r1] == [
+            (e.time, e.length_m, e.bounce_m) for e in r2
+        ]
+        assert o1 == o2
+
+
+def test_batched_pool_bit_identical_to_serial_and_lockstep():
+    workloads = synthesize_workload(6, 16.0, seed=21)
+    serial = _serve_serially(workloads, batch=64)
+    batched, _ = _serve_batched(workloads, batch=64)
+    lockstep, _ = _serve_batched(workloads, batch=64, pool_cls=SessionPool)
+    _assert_credits_identical(batched, serial)
+    _assert_credits_identical(lockstep, serial)
+
+
+def test_batched_pool_ragged_session_lengths():
+    # Sessions leave mid-stream: shorter traces stop receiving batches
+    # while the rest keep going.
+    import dataclasses
+
+    workloads = [
+        dataclasses.replace(w, samples=w.samples[: (k + 2) * 300])
+        for k, w in enumerate(synthesize_workload(5, 20.0, seed=22))
+    ]
+    serial = _serve_serially(workloads, batch=96)
+    batched, _ = _serve_batched(workloads, batch=96)
+    _assert_credits_identical(batched, serial)
+
+
+def test_batched_pool_session_joins_mid_round():
+    workloads = synthesize_workload(3, 14.0, seed=23)
+    late = workloads[2]
+    pool = BatchedSessionPool(RATE)
+    sids = pool.add_sessions([w.profile for w in workloads[:2]])
+    acc = {sid: ([], []) for sid in sids}
+    batch = 128
+    n = workloads[0].samples.shape[0]
+    late_sid = None
+    for off in range(0, n, batch):
+        ids = list(sids)
+        data = [w.samples[off : off + batch] for w in workloads[:2]]
+        if off >= 512:
+            if late_sid is None:
+                (late_sid,) = pool.add_sessions([late.profile])
+                acc[late_sid] = ([], [])
+            ids.append(late_sid)
+            data.append(late.samples[off - 512 : off - 512 + batch])
+        for sid, (st_, sr) in zip(ids, pool.append(ids, data)):
+            acc[sid][0].extend(st_)
+            acc[sid][1].extend(sr)
+    for sid, (st_, sr) in zip(
+        list(sids) + [late_sid], pool.flush(list(sids) + [late_sid])
+    ):
+        acc[sid][0].extend(st_)
+        acc[sid][1].extend(sr)
+    # Serial references: the two originals see the full trace, the
+    # late joiner sees its suffix-aligned stream.
+    refs = _serve_serially(workloads[:2], batch=batch)
+    for sid, (steps, strides, _ops) in zip(sids, refs):
+        assert [e.index for e in acc[sid][0]] == [e.index for e in steps]
+        assert [e.length_m for e in acc[sid][1]] == [
+            e.length_m for e in strides
+        ]
+    sess = StreamingPTrack(RATE, profile=late.profile)
+    ref_steps, ref_strides = [], []
+    for off in range(0, n - 512, batch):
+        st_, sr = sess.append(late.samples[off : off + batch])
+        ref_steps.extend(st_)
+        ref_strides.extend(sr)
+    st_, sr = sess.flush()
+    ref_steps.extend(st_)
+    ref_strides.extend(sr)
+    assert [e.index for e in acc[late_sid][0]] == [e.index for e in ref_steps]
+    assert [e.length_m for e in acc[late_sid][1]] == [
+        e.length_m for e in ref_strides
+    ]
+
+
+def test_batched_pool_failed_session_excluded_from_pack():
+    workloads = synthesize_workload(4, 12.0, seed=24)
+    pool = BatchedSessionPool(RATE)
+    sids = pool.add_sessions([w.profile for w in workloads])
+    batch = 128
+    # Poison session 1 on the second append with a wrong-dtype batch.
+    out = pool.append(sids, [w.samples[:batch] for w in workloads])
+    assert all(isinstance(o, tuple) for o in out)
+    bad = workloads[1].samples[batch : 2 * batch].astype(np.float32)
+    data = [w.samples[batch : 2 * batch] for w in workloads]
+    data[1] = bad
+    pool.append(sids, data)
+    assert sids[1] in pool.failed_sessions
+    # The survivors keep crediting bit-identically to serial sessions.
+    acc = {sid: ([], []) for sid in sids}
+    n = workloads[0].samples.shape[0]
+    for off in range(2 * batch, n, batch):
+        out = pool.append(sids, [w.samples[off : off + batch] for w in workloads])
+        for sid, (st_, sr) in zip(sids, out):
+            acc[sid][0].extend(st_)
+            acc[sid][1].extend(sr)
+    for sid, (st_, sr) in zip(sids, pool.flush(sids)):
+        acc[sid][0].extend(st_)
+        acc[sid][1].extend(sr)
+    assert acc[sids[1]] == ([], [])
+    serial = _serve_serially(
+        [w for k, w in enumerate(workloads) if k != 1], batch=batch
+    )
+    for (steps, strides, _), sid in zip(serial, [sids[0], sids[2], sids[3]]):
+        # Credits delivered before the poisoning are not in acc; match
+        # on the suffix the serial trace credits after that point.
+        got = [e.index for e in acc[sid][0]]
+        ref = [e.index for e in steps]
+        assert got == ref[len(ref) - len(got) :]
+
+
+def test_batched_pool_chunk_invariant_credits():
+    workloads = synthesize_workload(4, 15.0, seed=25)
+    a, _ = _serve_batched(workloads, batch=64)
+    b, _ = _serve_batched(workloads, batch=512)
+    for (s1, r1, _o1), (s2, r2, _o2) in zip(a, b):
+        assert [(e.index, e.time) for e in s1] == [(e.index, e.time) for e in s2]
+        assert [(e.time, e.length_m) for e in r1] == [
+            (e.time, e.length_m) for e in r2
+        ]
+
+
+def test_batched_pool_float32_backend_close_totals():
+    workloads = synthesize_workload(5, 15.0, seed=26)
+    ref, _ = _serve_batched(workloads, batch=128)
+    f32, pool = _serve_batched(workloads, batch=128, backend="float32")
+    assert pool.backend.name == "float32"
+    tot_ref = sum(len(s) for s, _, _ in ref)
+    tot_f32 = sum(len(s) for s, _, _ in f32)
+    assert abs(tot_f32 - tot_ref) <= max(2, round(0.02 * tot_ref))
+
+
+def test_batched_pool_backend_instance_passthrough():
+    be = get_backend("numpy")
+    pool = BatchedSessionPool(RATE, backend=be)
+    assert pool.backend is be
+
+
+def test_batched_pool_telemetry_instruments():
+    from repro.telemetry.registry import MetricsRegistry
+
+    reg = MetricsRegistry()
+    workloads = synthesize_workload(3, 10.0, seed=27)
+    pool = BatchedSessionPool(RATE, telemetry=reg)
+    sids = pool.add_sessions([w.profile for w in workloads])
+    for off in range(0, workloads[0].samples.shape[0], 256):
+        pool.append(sids, [w.samples[off : off + 256] for w in workloads])
+    pool.flush(sids)
+    snap = reg.snapshot()
+    assert snap["counters"]["serving_batch_appends_total"] > 0
+    assert snap["counters"]["serving_batch_rounds_total"] > 0
+    assert snap["gauges"]["serving_batch_occupancy"] >= 1
+    assert snap["gauges"]["serving_batch_sessions"] == 3
+    assert snap["histograms"]["serving_batch_round_seconds"]["count"] > 0
+
+
+# ----------------------------------------------------------------------
+# FleetBatchBuffer
+# ----------------------------------------------------------------------
+
+
+def test_fleet_batch_buffer_growth_and_reuse():
+    buf = FleetBatchBuffer()
+    a = buf.request("x", 16)
+    assert a.shape == (16,) and a.dtype == np.float64
+    b = buf.request("x", 8)
+    assert b.base is a.base or b.base is a  # same backing storage
+    c = buf.request("x", (4, 8))
+    assert c.shape == (4, 8)
+    big = buf.request("x", 1024)
+    assert big.size == 1024
+    assert buf.nbytes >= 1024 * 8
+    d = buf.request("ints", 10, dtype=np.intp)
+    assert d.dtype == np.intp
+    buf.clear()
+    assert buf.nbytes == 0

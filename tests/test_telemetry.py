@@ -572,6 +572,28 @@ class TestReportingAndCli:
         text = fleet_health_table(reg.snapshot()).render()
         assert "no observations" in text
 
+    def test_fleet_health_table_absent_histogram_series(self):
+        # Drivers emit different series mixes (the batched pool emits
+        # serving_batch_* where the lockstep pool does not), so merged
+        # or hand-assembled snapshots can list a histogram whose series
+        # data is absent or partial; the table must render regardless.
+        snapshot = {
+            "schema": SNAPSHOT_SCHEMA,
+            "counters": {"serving_batch_rounds_total": 4},
+            "gauges": {},
+            "histograms": {
+                "serving_batch_round_seconds": None,
+                "serving_pool_round_seconds": {"count": 3, "sum": 0.6},
+            },
+        }
+        text = fleet_health_table(snapshot).render()
+        assert "serving_batch_round_seconds" in text and "absent" in text
+        assert "mean=0.200000" in text
+
+    def test_fleet_health_table_missing_sections(self):
+        text = fleet_health_table({"schema": SNAPSHOT_SCHEMA}).render()
+        assert "metric" in text  # headers render even with no series
+
     @pytest.mark.parametrize("fmt", ["table", "json", "prometheus"])
     def test_cli_telemetry_verb(self, fmt, capsys):
         from repro.cli import main
