@@ -29,6 +29,12 @@ Suites:
   the occupancy sweep, and per-backend equivalence status — all gated
   on the ``serial == pooled == sharded == batched`` crediting oracle
   (the PR-6 scoreboard, ``BENCH_PR6.json``).
+* ``ragged-ingest`` — the async ingest gateway under seeded ragged
+  arrival schedules: sustained samples/s with the lockstep pool as
+  the synchronized-arrival baseline (tracked <= 2x overhead), and the
+  deterministic-shedding row under a mailbox flood — gated on the
+  ``serial replay == gateway`` crediting oracle (the PR-7 scoreboard,
+  ``BENCH_PR7.json``).
 
 Every scoreboard is stamped with the schema version and the git
 revision it was measured at, so checked-in numbers are traceable to
@@ -49,6 +55,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import bench_batch  # noqa: E402
 import bench_faults  # noqa: E402
+import bench_gateway  # noqa: E402
 import bench_runtime  # noqa: E402
 import bench_serving  # noqa: E402
 import bench_telemetry  # noqa: E402
@@ -211,6 +218,45 @@ def _print_fleet_batch(fleet_batch) -> bool:
     return ok
 
 
+def _print_ragged_ingest(ragged) -> bool:
+    identity = ragged["identity"]
+    print(
+        f"  crediting oracle ({identity['n_sessions']} sessions, "
+        f"{identity['n_events']} uploads over {identity['n_ticks']} "
+        f"ticks, skew {identity['max_seq_skew']}): {identity['oracle']}: "
+        f"{identity['ok']}"
+    )
+    headline = ragged["ragged_vs_lockstep"]
+    print(
+        f"  ragged vs lockstep ({headline['n_sessions']} sessions): "
+        f"gateway {headline['gateway_samples_per_s']:,.0f} samples/s "
+        f"({headline['gateway_us_per_sample']:.2f} us/sample) vs "
+        f"lockstep {headline['lockstep_samples_per_s']:,.0f} samples/s "
+        f"({headline['overhead_x']:.2f}x overhead, target <= "
+        f"{headline['target_overhead_x']:.1f}x)"
+    )
+    shed = ragged["shedding"]
+    print(
+        f"  shedding ({shed['n_sessions']} sessions, "
+        f"{shed['capacity_s']:.0f}s mailboxes under flood): "
+        f"{100 * shed['shed_fraction']:.1f}% shed "
+        f"({shed['shed_samples']}/{shed['offered_samples']} samples), "
+        f"exact accounting: {shed['accounting_exact']}, "
+        f"deterministic: {shed['deterministic']}"
+    )
+    ok = True
+    if not identity["ok"]:
+        print("ERROR: gateway diverged from the serial-replay oracle")
+        ok = False
+    if not ragged["check_mode"] and not headline["overhead_ok"]:
+        print("ERROR: gateway overhead exceeded the tracked 2x bound")
+        ok = False
+    if not shed["accounting_exact"] or not shed["deterministic"]:
+        print("ERROR: shed accounting is not exactly-once deterministic")
+        ok = False
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -226,6 +272,7 @@ def main(argv=None) -> int:
             "faulted-serving",
             "telemetry",
             "fleet-batch",
+            "ragged-ingest",
             "all",
         ),
         default="all",
@@ -239,7 +286,8 @@ def main(argv=None) -> int:
         "BENCH_PR1.json for --suite runtime, BENCH_PR3.json for "
         "--suite serving, BENCH_PR4.json for --suite faulted-serving, "
         "BENCH_PR5.json for --suite telemetry, BENCH_PR6.json for "
-        "--suite fleet-batch and for all)",
+        "--suite fleet-batch, BENCH_PR7.json for --suite ragged-ingest "
+        "and for all)",
     )
     parser.add_argument("--seeds", type=int, default=6, help="macro replicates")
     parser.add_argument("--users", type=int, default=2, help="users per replicate")
@@ -261,7 +309,8 @@ def main(argv=None) -> int:
             "faulted-serving": "BENCH_PR4.json",
             "telemetry": "BENCH_PR5.json",
             "fleet-batch": "BENCH_PR6.json",
-            "all": "BENCH_PR6.json",
+            "ragged-ingest": "BENCH_PR7.json",
+            "all": "BENCH_PR7.json",
         }
         output = REPO_ROOT / default_outputs[args.suite]
 
@@ -291,6 +340,11 @@ def main(argv=None) -> int:
     if args.suite in ("fleet-batch", "all"):
         results["check_mode"] = args.check
         results["fleet_batch"] = bench_batch.run_fleet_batch(check=args.check)
+    if args.suite in ("ragged-ingest", "all"):
+        results["check_mode"] = args.check
+        results["ragged_ingest"] = bench_gateway.run_ragged_ingest(
+            check=args.check
+        )
 
     output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output} (rev {results['git_revision']})")
@@ -304,6 +358,8 @@ def main(argv=None) -> int:
         ok = _print_telemetry(results["telemetry"]) and ok
     if args.suite in ("fleet-batch", "all"):
         ok = _print_fleet_batch(results["fleet_batch"]) and ok
+    if args.suite in ("ragged-ingest", "all"):
+        ok = _print_ragged_ingest(results["ragged_ingest"]) and ok
     return 0 if ok else 1
 
 

@@ -18,9 +18,11 @@ MODULES = [
     "repro.core",
     "repro.runtime",
     "repro.runtime.backends",
+    "repro.runtime.clock",
     "repro.faults",
     "repro.serving",
     "repro.serving.batch",
+    "repro.serving.gateway",
     "repro.telemetry",
     "repro.baselines",
     "repro.apps",

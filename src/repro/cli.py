@@ -303,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
             "faulted-serving",
             "telemetry",
             "fleet-batch",
+            "ragged-ingest",
             "all",
         ),
         default="all",

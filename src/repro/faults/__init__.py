@@ -7,8 +7,9 @@ of that story for the serving stack:
 * :mod:`repro.faults.injectors` — composable, ``derive_rng``-seeded
   fault injectors (sample dropout, upload outages, NaN bursts,
   saturation/clipping, clock jitter, duplicated and out-of-order
-  batches) that corrupt any trace or upload stream deterministically
-  under ``(seed, index)``;
+  batches, stalled producers, mailbox floods) that corrupt any trace,
+  upload stream, or arrival schedule deterministically under
+  ``(seed, index)``;
 * :mod:`repro.faults.policy` — the :class:`FaultPolicy` that switches
   :class:`repro.core.StreamingPTrack` into degraded-mode ingest:
   quarantine invalid samples, repair short defects, reset segmentation
@@ -21,15 +22,18 @@ semantics end to end.
 from repro.faults.injectors import (
     DuplicateBatches,
     FaultInjector,
+    MailboxFlood,
     NaNBurst,
     Outage,
     OutOfOrderBatches,
     RateJitter,
     SampleDropout,
     Saturation,
+    StalledProducer,
     faulted_stream,
     inject_batch_faults,
     inject_faults,
+    inject_schedule_faults,
     split_batches,
 )
 from repro.faults.policy import FaultPolicy
@@ -38,14 +42,17 @@ __all__ = [
     "DuplicateBatches",
     "FaultInjector",
     "FaultPolicy",
+    "MailboxFlood",
     "NaNBurst",
     "Outage",
     "OutOfOrderBatches",
     "RateJitter",
     "SampleDropout",
     "Saturation",
+    "StalledProducer",
     "faulted_stream",
     "inject_batch_faults",
     "inject_faults",
+    "inject_schedule_faults",
     "split_batches",
 ]

@@ -14,7 +14,7 @@ and ``(seed, index)`` — identical whether the sweep runs serially, in
 a process pool, or is re-run next week (the property tests assert
 this).
 
-Two fault surfaces:
+Three fault surfaces:
 
 * **trace faults** (``apply_trace``) corrupt the sample array itself —
   dropout, outages, NaN bursts, saturation, clock jitter. Missing
@@ -24,12 +24,21 @@ Two fault surfaces:
 * **batch faults** (``apply_batches``) corrupt the upload stream —
   duplicated and out-of-order batches — after the trace is split into
   device uploads.
+* **schedule faults** (``apply_schedule``) corrupt upload *timing* —
+  stalled producers that release their backlog in one pile-up
+  (:class:`StalledProducer`), and floods that pull future uploads
+  forward into one tick (:class:`MailboxFlood`). They move arrival
+  events between scheduler ticks without ever touching sample values,
+  which is exactly the traffic the ingest gateway's bounded mailboxes
+  and load-shedding must absorb
+  (:func:`inject_schedule_faults` rebuilds a faulted
+  :class:`~repro.serving.workload.ArrivalSchedule`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -45,8 +54,11 @@ __all__ = [
     "RateJitter",
     "DuplicateBatches",
     "OutOfOrderBatches",
+    "StalledProducer",
+    "MailboxFlood",
     "inject_faults",
     "inject_batch_faults",
+    "inject_schedule_faults",
     "split_batches",
     "faulted_stream",
 ]
@@ -81,6 +93,21 @@ class FaultInjector:
     ) -> List[np.ndarray]:
         """Return a faulted upload sequence (default: identity)."""
         return batches
+
+    def apply_schedule(
+        self,
+        events: List[Tuple[int, object]],
+        rng: np.random.Generator,
+    ) -> List[Tuple[int, object]]:
+        """Return a re-timed ``(tick, event)`` list for one session.
+
+        The events are one session's arrivals in arrival order
+        (non-decreasing ticks); implementations may move events
+        between ticks but must never drop, duplicate, or alter them —
+        timing faults lose data only when a bounded mailbox downstream
+        decides to shed (default: identity).
+        """
+        return events
 
 
 def _check_prob(name: str, value: float) -> None:
@@ -319,6 +346,144 @@ class OutOfOrderBatches(FaultInjector):
                 out.append(batches[i])
                 i += 1
         return out
+
+
+@dataclass(frozen=True)
+class StalledProducer(FaultInjector):
+    """A producer that freezes, then releases its backlog in one pile-up.
+
+    With ``stall_prob`` per upload tick, the device stops transmitting:
+    every event it would have sent during the next ``stall_ticks``
+    scheduler ticks is held and then delivered *all at once* when the
+    stall clears. Later events are unaffected (they were scheduled
+    after the recovery anyway). The pile-up is the canonical
+    mailbox-pressure pattern: a burst of ``stall_ticks`` worth of
+    signal hits a queue sized for steady arrival.
+    """
+
+    stall_prob: float = 0.1
+    stall_ticks: int = 5
+
+    def __post_init__(self) -> None:
+        _check_prob("stall_prob", self.stall_prob)
+        if self.stall_ticks < 1:
+            raise ConfigurationError(
+                f"stall_ticks must be >= 1, got {self.stall_ticks}"
+            )
+
+    def apply_schedule(
+        self,
+        events: List[Tuple[int, object]],
+        rng: np.random.Generator,
+    ) -> List[Tuple[int, object]]:
+        out: List[Tuple[int, object]] = []
+        release = -1  # end of the current stall window, if any
+        last_tick = None
+        for tick, event in events:
+            if tick != last_tick and tick > release:
+                # A fresh upload tick outside any stall: roll the dice.
+                last_tick = tick
+                if rng.random() < self.stall_prob:
+                    release = tick + self.stall_ticks
+            out.append((max(tick, release) if tick <= release else tick,
+                        event))
+        return out
+
+
+@dataclass(frozen=True)
+class MailboxFlood(FaultInjector):
+    """A device that uploads its near-future backlog in one flood.
+
+    With ``flood_prob`` per upload tick, every event the session had
+    scheduled within the next ``flood_span`` ticks arrives *now*,
+    in one tick — the retry-storm/catch-up-sync pattern that overflows
+    bounded mailboxes and exercises deterministic load shedding.
+    """
+
+    flood_prob: float = 0.1
+    flood_span: int = 10
+
+    def __post_init__(self) -> None:
+        _check_prob("flood_prob", self.flood_prob)
+        if self.flood_span < 1:
+            raise ConfigurationError(
+                f"flood_span must be >= 1, got {self.flood_span}"
+            )
+
+    def apply_schedule(
+        self,
+        events: List[Tuple[int, object]],
+        rng: np.random.Generator,
+    ) -> List[Tuple[int, object]]:
+        out: List[Tuple[int, object]] = []
+        flood_until = -1  # events originally in (flood_at, flood_until]
+        flood_at = -1  # ...arrive at this tick instead
+        last_tick = None
+        for tick, event in events:
+            if tick != last_tick and tick > flood_until:
+                last_tick = tick
+                if rng.random() < self.flood_prob:
+                    flood_at = tick
+                    flood_until = tick + self.flood_span
+            out.append(
+                (flood_at if flood_at <= tick <= flood_until else tick,
+                 event)
+            )
+        return out
+
+
+def inject_schedule_faults(
+    schedule,
+    injectors: Sequence[FaultInjector],
+    seed: int,
+):
+    """Apply the schedule-fault surface of each injector, in order.
+
+    Session ``i``'s timing is perturbed with
+    ``derive_rng(seed, i, domain, k)`` for injector ``k`` — the same
+    pure-function-of-``(seed, index)`` contract as the other two
+    surfaces, so a faulted schedule is reproducible across processes
+    and runs. Events are only ever *re-timed*: the returned schedule
+    delivers exactly the same batches, so any credit difference
+    downstream is attributable to the gateway's own backpressure
+    decisions, never to the injector.
+
+    Args:
+        schedule: An :class:`repro.serving.workload.ArrivalSchedule`.
+        injectors: Fault scenario, applied left to right.
+        seed: Sweep-level fault seed.
+
+    Returns:
+        A new ``ArrivalSchedule`` with re-timed events (``max_seq_skew``
+        recomputed for the new arrival order).
+    """
+    from repro.serving.workload import ArrivalSchedule
+
+    per_session: dict = {}
+    for tick, tick_events in enumerate(schedule.events):
+        for event in tick_events:
+            per_session.setdefault(event.session, []).append((tick, event))
+    ticks: dict = {}
+    max_seq_skew = 0
+    for i in sorted(per_session):
+        events = per_session[i]
+        for k, injector in enumerate(injectors):
+            rng = derive_rng(seed, i, _FAULT_DOMAIN, k)
+            events = injector.apply_schedule(events, rng)
+        events = sorted(events, key=lambda te: (te[0], te[1].seq))
+        frontier = 0
+        for tick, event in events:
+            max_seq_skew = max(max_seq_skew, event.seq - frontier)
+            frontier = max(frontier, event.seq + 1)
+            ticks.setdefault(tick, []).append(event)
+    n_ticks = max(ticks) + 1 if ticks else 0
+    return ArrivalSchedule(
+        n_sessions=schedule.n_sessions,
+        batch_samples=schedule.batch_samples,
+        events=tuple(tuple(ticks.get(t, ())) for t in range(n_ticks)),
+        disconnected=schedule.disconnected,
+        max_seq_skew=max_seq_skew,
+    )
 
 
 def inject_faults(

@@ -14,6 +14,11 @@ loops into fan-out studies:
   behind the fleet-batched serving kernels (NumPy float64 baseline,
   optional float32 and Numba variants selected via ``PTRACK_BACKEND``).
 
+* :mod:`repro.runtime.clock` — the clock seam for event-driven
+  components (:class:`SystemClock` in production,
+  :class:`ManualClock` in tests, so schedulers are testable without
+  wall-clock sleeps).
+
 See ``docs/performance.md`` for the workflow, worker-count resolution,
 backend selection and cache invalidation rules.
 """
@@ -27,6 +32,7 @@ from repro.runtime.backends import (
     available_backends,
     get_backend,
 )
+from repro.runtime.clock import Clock, ManualClock, SystemClock
 from repro.runtime.cache import (
     CACHE_SCHEMA,
     TraceCache,
@@ -47,10 +53,13 @@ from repro.runtime.parallel import (
 
 __all__ = [
     "BACKEND_ENV_VAR",
+    "Clock",
     "ComputeBackend",
     "Float32Backend",
+    "ManualClock",
     "NumbaBackend",
     "NumpyBackend",
+    "SystemClock",
     "available_backends",
     "get_backend",
     "TaskOutcome",

@@ -1,0 +1,102 @@
+"""The clock seam: virtualisable time for event-driven serving.
+
+The async ingest gateway (:mod:`repro.serving.gateway`) is an
+event-driven component: it stamps tick latencies, ages mailboxes, and
+paces its scheduler. Testing such a component against the wall clock
+means sleeps and flaky latency assertions, so every time read goes
+through a :class:`Clock` instead:
+
+* :class:`SystemClock` — the production clock: a monotonic wall-time
+  reading and a real ``sleep``.
+* :class:`ManualClock` — the test clock: time is a number the test
+  advances explicitly, ``sleep`` advances it instantly, and an
+  optional auto-step makes successive readings distinct without any
+  real waiting.
+
+The crediting math of the serving stack never consults the clock —
+credits are a pure function of the sample streams — so swapping clocks
+can only change *telemetry* (latency histograms, stall ages), never
+results. The gateway tests pin exactly that split.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Clock", "SystemClock", "ManualClock"]
+
+
+class Clock:
+    """Monotonic-time source: ``now()`` seconds and a ``sleep``.
+
+    The base class defines the contract; use :class:`SystemClock` in
+    production and :class:`ManualClock` in tests.
+    """
+
+    def now(self) -> float:
+        """Current monotonic time in seconds."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or simulate blocking) for ``seconds``."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The production clock: :func:`time.monotonic` + :func:`time.sleep`."""
+
+    def now(self) -> float:
+        """Current monotonic wall time in seconds."""
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        """Really sleep for ``seconds`` (must be >= 0)."""
+        if seconds < 0:
+            raise ConfigurationError(
+                f"cannot sleep a negative duration ({seconds!r} s)"
+            )
+        time.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """A deterministic clock driven by the test, not the scheduler.
+
+    Args:
+        start: Initial reading in seconds.
+        auto_step: Amount added to the reading *after* every ``now()``
+            call. A small non-zero step makes latency spans strictly
+            positive and fully reproducible without any sleeping;
+            the default 0.0 freezes time entirely.
+    """
+
+    def __init__(self, start: float = 0.0, auto_step: float = 0.0) -> None:
+        if auto_step < 0:
+            raise ConfigurationError(
+                f"auto_step must be >= 0, got {auto_step!r}"
+            )
+        self._now = float(start)
+        self._auto_step = float(auto_step)
+
+    def now(self) -> float:
+        """The current simulated time (then auto-advance, if set)."""
+        current = self._now
+        self._now += self._auto_step
+        return current
+
+    def sleep(self, seconds: float) -> None:
+        """Advance simulated time by ``seconds`` instantly."""
+        if seconds < 0:
+            raise ConfigurationError(
+                f"cannot sleep a negative duration ({seconds!r} s)"
+            )
+        self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Move simulated time forward by ``seconds``."""
+        if seconds < 0:
+            raise ConfigurationError(
+                f"cannot advance time backwards ({seconds!r} s)"
+            )
+        self._now += seconds

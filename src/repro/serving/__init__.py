@@ -11,25 +11,53 @@ together:
   the whole fleet on a pluggable compute backend
   (:mod:`repro.runtime.backends`), bit-identical to the lockstep pool
   on the default NumPy backend.
+* :class:`IngestGateway` — the async ingest front end: per-session
+  bounded mailboxes absorb ragged arrivals (bursts, stalls, bounded
+  reordering, join/leave), a coalescing scheduler feeds whatever has
+  arrived to a backing pool in one vectorized round per tick, and
+  backpressure sheds overload with exact drop accounting — credits
+  stay bit-identical to serial replay of the delivered streams.
 * :func:`serve_fleet` — shard a fleet of sessions across worker
   processes via :func:`repro.runtime.parallel_map`, with a guaranteed
   shard-layout-independent result.
-* :func:`synthesize_workload` — deterministic per-session walks keyed
+* :func:`synthesize_workload` / :func:`synthesize_arrival_schedule` —
+  deterministic per-session walks and ragged arrival processes keyed
   by ``derive_rng(seed, i)`` for benchmarks and equivalence tests.
 """
 
 from repro.serving.batch import BatchedSessionPool, FleetBatchBuffer
 from repro.serving.fleet import FleetReport, SessionReport, serve_fleet
+from repro.serving.gateway import (
+    GatewayStats,
+    IngestGateway,
+    OfferResult,
+    SessionMailbox,
+    serve_schedule,
+)
 from repro.serving.pool import SessionPool
-from repro.serving.workload import SessionWorkload, synthesize_workload
+from repro.serving.workload import (
+    ArrivalEvent,
+    ArrivalSchedule,
+    SessionWorkload,
+    synthesize_arrival_schedule,
+    synthesize_workload,
+)
 
 __all__ = [
+    "ArrivalEvent",
+    "ArrivalSchedule",
     "BatchedSessionPool",
     "FleetBatchBuffer",
     "FleetReport",
+    "GatewayStats",
+    "IngestGateway",
+    "OfferResult",
+    "SessionMailbox",
     "SessionPool",
     "SessionReport",
     "SessionWorkload",
     "serve_fleet",
+    "serve_schedule",
+    "synthesize_arrival_schedule",
     "synthesize_workload",
 ]

@@ -6,20 +6,41 @@ shard layouts requires that session ``i`` always receives the *same*
 trace no matter how the fleet is partitioned across workers, so every
 session derives its own random stream from the fleet seed and its
 index via :func:`repro.runtime.derive_rng`.
+
+Two layers share this module:
+
+* *what* each session uploads — :func:`synthesize_workload`, one
+  simulated walk per session;
+* *when* it arrives — :func:`synthesize_arrival_schedule`, a seeded
+  ragged arrival process (bursts, quiet periods, staggered joins,
+  disconnects, bounded reordering) over those uploads, so the gateway
+  benchmarks and the arrival-order fuzzing tests exercise the same
+  traffic model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.runtime import derive_rng
 from repro.simulation import SimulatedUser, sample_users, simulate_walk
 from repro.types import UserProfile
 
-__all__ = ["SessionWorkload", "synthesize_workload"]
+__all__ = [
+    "SessionWorkload",
+    "synthesize_workload",
+    "ArrivalEvent",
+    "ArrivalSchedule",
+    "synthesize_arrival_schedule",
+]
+
+#: Seeding domain separating arrival processes from the walk streams
+#: that share the same ``(seed, index)`` coordinates.
+_ARRIVAL_DOMAIN = 0xA881
 
 
 @dataclass(frozen=True)
@@ -80,3 +101,229 @@ def synthesize_workload(
             )
         )
     return workloads
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """One upload arriving at the gateway: *which* batch of *whose* trace.
+
+    Events carry index ranges rather than arrays so a schedule is tiny,
+    picklable, and reusable across workloads of the same lengths.
+
+    Attributes:
+        session: Workload/session index the batch belongs to.
+        seq: The producer's per-session sequence number (``seq`` k is
+            the k-th ``batch_samples``-sized slice of the trace).
+        start: First sample index of the batch in the session's trace.
+        stop: One past the last sample index.
+    """
+
+    session: int
+    seq: int
+    start: int
+    stop: int
+
+    @property
+    def n_samples(self) -> int:
+        """Samples carried by this upload."""
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """A ragged arrival process: per-tick upload events for a fleet.
+
+    Attributes:
+        n_sessions: Sessions the schedule addresses (indices
+            ``0..n_sessions-1``).
+        batch_samples: Upload granularity the events were sliced at.
+        events: One tuple of :class:`ArrivalEvent` per tick, in arrival
+            order within the tick.
+        disconnected: Session indices whose device disconnected before
+            uploading its whole trace (the tail never arrives).
+        max_seq_skew: Largest distance any event arrives ahead of its
+            session's in-order frontier — a mailbox with
+            ``reorder_window >= max_seq_skew`` delivers every event.
+    """
+
+    n_sessions: int
+    batch_samples: int
+    events: Tuple[Tuple[ArrivalEvent, ...], ...]
+    disconnected: Tuple[int, ...]
+    max_seq_skew: int
+
+    @property
+    def n_ticks(self) -> int:
+        """Number of scheduler ticks the process spans."""
+        return len(self.events)
+
+    @property
+    def n_events(self) -> int:
+        """Total uploads across all ticks."""
+        return sum(len(tick) for tick in self.events)
+
+    @property
+    def n_samples(self) -> int:
+        """Total samples delivered across all uploads."""
+        return sum(ev.n_samples for tick in self.events for ev in tick)
+
+    def delivered_slices(self) -> Dict[int, List[Tuple[int, int]]]:
+        """Per-session ``(start, stop)`` slices in sequence order.
+
+        This is the serial-replay oracle's input: the exact sample
+        stream each session receives once its mailbox restores
+        sequence order.
+        """
+        per_session: Dict[int, List[ArrivalEvent]] = {}
+        for tick in self.events:
+            for ev in tick:
+                per_session.setdefault(ev.session, []).append(ev)
+        return {
+            session: [
+                (ev.start, ev.stop)
+                for ev in sorted(events, key=lambda e: e.seq)
+            ]
+            for session, events in sorted(per_session.items())
+        }
+
+
+def synthesize_arrival_schedule(
+    n_samples: Sequence[int],
+    seed: int = 0,
+    batch_samples: int = 256,
+    burst_batches: Tuple[int, int] = (1, 3),
+    quiet_ticks: Tuple[int, int] = (0, 2),
+    disconnect_prob: float = 0.0,
+    reorder_prob: float = 0.0,
+    join_spread_ticks: int = 0,
+) -> ArrivalSchedule:
+    """Synthesize a seeded ragged arrival process for a fleet.
+
+    Each session's traffic is a pure function of ``(seed, i)`` and the
+    parameters — independent of fleet size and of every other session —
+    via ``derive_rng(seed, i, domain)``, the same contract
+    :func:`synthesize_workload` keeps for the traces themselves.
+
+    The per-session arrival model: the device joins at a tick drawn
+    from ``[0, join_spread_ticks]``, then alternates upload events and
+    quiet periods. Each event uploads a *burst* of consecutive batches
+    (size uniform in ``burst_batches``), then sleeps a quiet period
+    (ticks uniform in ``quiet_ticks``, plus the one tick the upload
+    took). Before each event the device may *disconnect* with
+    ``disconnect_prob`` — its remaining samples never arrive. With
+    ``reorder_prob`` > 0, an uploaded batch may be delayed to the
+    session's next event tick, arriving *after* batches with higher
+    sequence numbers (transport reordering); the schedule's
+    ``max_seq_skew`` reports the worst skew actually generated so
+    callers can size mailbox reorder windows to deliver everything.
+
+    Args:
+        n_samples: Per-session trace lengths (e.g. ``[w.samples.shape[0]
+            for w in workloads]``).
+        seed: Fleet-level schedule seed.
+        batch_samples: Samples per upload batch (the device's transfer
+            unit).
+        burst_batches: Inclusive ``(min, max)`` batches per upload
+            event.
+        quiet_ticks: Inclusive ``(min, max)`` extra quiet ticks between
+            a session's upload events.
+        disconnect_prob: Per-event probability the device drops off for
+            good.
+        reorder_prob: Per-batch probability the upload is delayed past
+            its successors (bounded transport reordering).
+        join_spread_ticks: Sessions join uniformly in
+            ``[0, join_spread_ticks]`` instead of all at tick 0.
+
+    Returns:
+        An :class:`ArrivalSchedule` covering every tick until the last
+        session finishes (or disconnects).
+    """
+    if batch_samples < 1:
+        raise ConfigurationError(
+            f"batch_samples must be >= 1, got {batch_samples}"
+        )
+    if not (1 <= burst_batches[0] <= burst_batches[1]):
+        raise ConfigurationError(
+            f"burst_batches must satisfy 1 <= min <= max, got "
+            f"{burst_batches!r}"
+        )
+    if not (0 <= quiet_ticks[0] <= quiet_ticks[1]):
+        raise ConfigurationError(
+            f"quiet_ticks must satisfy 0 <= min <= max, got {quiet_ticks!r}"
+        )
+    if not 0.0 <= disconnect_prob <= 1.0:
+        raise ConfigurationError(
+            f"disconnect_prob must be in [0, 1], got {disconnect_prob!r}"
+        )
+    if not 0.0 <= reorder_prob <= 1.0:
+        raise ConfigurationError(
+            f"reorder_prob must be in [0, 1], got {reorder_prob!r}"
+        )
+    if join_spread_ticks < 0:
+        raise ConfigurationError(
+            f"join_spread_ticks must be >= 0, got {join_spread_ticks}"
+        )
+
+    ticks: Dict[int, List[ArrivalEvent]] = {}
+    disconnected: List[int] = []
+    max_seq_skew = 0
+    for i, total in enumerate(n_samples):
+        rng = derive_rng(seed, i, _ARRIVAL_DOMAIN)
+        tick = (
+            int(rng.integers(0, join_spread_ticks + 1))
+            if join_spread_ticks
+            else 0
+        )
+        batches = [
+            ArrivalEvent(i, k, lo, min(lo + batch_samples, int(total)))
+            for k, lo in enumerate(range(0, int(total), batch_samples))
+        ]
+        pos = 0
+        delayed: List[ArrivalEvent] = []
+        frontier = 0  # highest seq already emitted for this session
+        while pos < len(batches) or delayed:
+            if pos < len(batches) and rng.random() < disconnect_prob:
+                disconnected.append(i)
+                pos = len(batches)
+                if not delayed:
+                    break
+            burst = int(
+                rng.integers(burst_batches[0], burst_batches[1] + 1)
+            )
+            emitted: List[ArrivalEvent] = []
+            # Stragglers from the previous event arrive first this tick
+            # — after newer seqs already arrived last tick, which is
+            # exactly the reordering the mailbox must absorb.
+            emitted.extend(delayed)
+            delayed = []
+            for ev in batches[pos : pos + burst]:
+                if (
+                    reorder_prob
+                    and pos + burst < len(batches)
+                    and rng.random() < reorder_prob
+                ):
+                    delayed.append(ev)
+                else:
+                    emitted.append(ev)
+            pos = min(pos + burst, len(batches))
+            for ev in emitted:
+                skew = ev.seq - frontier
+                if skew > max_seq_skew:
+                    max_seq_skew = skew
+                frontier = max(frontier, ev.seq + 1)
+            if emitted:
+                ticks.setdefault(tick, []).extend(emitted)
+            tick += 1 + int(
+                rng.integers(quiet_ticks[0], quiet_ticks[1] + 1)
+            )
+    n_ticks = max(ticks) + 1 if ticks else 0
+    events = tuple(
+        tuple(ticks.get(t, ())) for t in range(n_ticks)
+    )
+    return ArrivalSchedule(
+        n_sessions=len(n_samples),
+        batch_samples=batch_samples,
+        events=events,
+        disconnected=tuple(sorted(set(disconnected))),
+        max_seq_skew=max_seq_skew,
+    )

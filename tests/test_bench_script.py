@@ -178,6 +178,49 @@ def test_pr6_scoreboard_meets_acceptance():
     assert statuses["numba"] in ("bit_identical", "skipped")
 
 
+def test_ragged_ingest_sections_complete(check_results):
+    ragged = check_results["ragged_ingest"]
+    assert set(ragged) == {
+        "check_mode",
+        "identity",
+        "ragged_vs_lockstep",
+        "shedding",
+    }
+    assert ragged["identity"]["ok"] is True
+    headline = ragged["ragged_vs_lockstep"]
+    assert headline["gateway_us_per_sample"] > 0
+    assert headline["lockstep_us_per_sample"] > 0
+    assert headline["gateway_samples_per_s"] > 0
+    shed = ragged["shedding"]
+    assert shed["accounting_exact"] is True
+    assert shed["deterministic"] is True
+    assert (
+        shed["accepted_samples"] + shed["shed_samples"]
+        == shed["offered_samples"]
+    )
+
+
+def test_pr7_scoreboard_meets_acceptance():
+    scoreboard = json.loads((REPO_ROOT / "BENCH_PR7.json").read_text())
+    assert scoreboard["schema"] == "ptrack-bench-v2"
+    ragged = scoreboard["ragged_ingest"]
+    # Acceptance headline: gateway credits survive the serial-replay
+    # oracle on a ragged schedule, sustained samples/s is recorded with
+    # the lockstep pool as baseline and stays within the tracked 2x
+    # overhead bound, and shedding is exactly-once deterministic.
+    assert ragged["identity"]["ok"] is True
+    headline = ragged["ragged_vs_lockstep"]
+    assert headline["n_sessions"] >= 100
+    assert headline["gateway_samples_per_s"] > 0
+    assert headline["lockstep_samples_per_s"] > 0
+    assert headline["overhead_ok"] is True
+    assert headline["overhead_x"] <= headline["target_overhead_x"]
+    shed = ragged["shedding"]
+    assert shed["shed_samples"] > 0
+    assert shed["accounting_exact"] is True
+    assert shed["deterministic"] is True
+
+
 def test_cli_bench_verb_wiring():
     # The installed-package entry point: `repro bench` forwards to the
     # scripts/bench.py driver (exercised directly by the fixture above).
@@ -188,3 +231,5 @@ def test_cli_bench_verb_wiring():
     assert args.func is cli._cmd_bench
     assert args.suite == "fleet-batch"
     assert args.check is True
+    args = parser.parse_args(["bench", "--suite", "ragged-ingest", "--check"])
+    assert args.suite == "ragged-ingest"

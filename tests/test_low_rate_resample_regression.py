@@ -1,0 +1,124 @@
+"""Pin the known low-rate resample step undercount (ROADMAP item).
+
+Hypothesis (``test_resample_round_trip_counts``) surfaced sampling
+rates near the bottom of the ablation band (25-30 Hz) where counting
+the canonical 35 s walk (seed 2024, 66 true steps) through
+``resample_trace`` undercounts by more than the property's original
++/-5 band: 60 steps at 26.4765625 Hz, and 56 at the band's worst rate,
+27.6875 Hz.
+
+Decomposing the error at the pinned rates:
+
+* **Segmentation is not the cause.** Every rate in the band detects
+  all 33 gait cycles; nothing is lost at the front end.
+* **Cycle admission is.** The paper's walking test (Eq. 1) admits a
+  cycle when its critical-point offset exceeds delta = 0.0325. At
+  ~26-28 Hz a gait cycle spans only ~20 samples, and the resampled
+  critical points land up to half a sample period off their true
+  positions — enough to erode a few genuinely-walking cycles' offsets
+  to ~0.031, just *below* delta. Those cycles fall through to the
+  stepping tests, where a walking arm swing fails both checks
+  (half-cycle correlation ~ -0.7 against the +0.5 stepping threshold,
+  and the phase test), so they resolve as *interference* and credit
+  nothing; the Fig. 4 confirmation streak then withholds the
+  neighbouring credit too.
+
+A sub-sample interpolation "fix" in the resampler or the offset
+measurement would perturb critical-point offsets at **every** rate and
+break the bit-identity oracles the serving stack rests on (streaming ==
+batch, serial == pooled == batched == gateway), trading a 2-generation
+boundary artefact for a re-validation of every golden test. The paper's
+own ablation (Fig. 10) reports degraded accuracy below 30 Hz; the
+behaviour is therefore **pinned, not fixed**: this test fails if the
+undercount silently worsens (resampler or admission regression) or
+silently vanishes (admission behaviour changed; re-read the
+interference-specificity benches before trusting it).
+
+The trace and the resampler are deterministic given the seed, so the
+counts are pinned exactly; the offsets get a narrow band because scipy
+filter numerics may vary in the last ulp across platforms.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PTrackConfig
+from repro.core.step_counter import PTrackStepCounter
+from repro.signal.resample import resample_trace
+from repro.simulation.profiles import SimulatedUser
+from repro.simulation.walker import simulate_walk
+from repro.types import GaitType
+
+PINNED_SEED = 2024
+PINNED_RATE = 26.4765625  # first rate hypothesis shrank to (60 steps)
+WORST_RATE = 27.6875  # band minimum from a dense 25-60 Hz sweep (56)
+
+
+@pytest.fixture(scope="module")
+def walk():
+    user = SimulatedUser()
+    trace, truth = simulate_walk(
+        user, 35.0, rng=np.random.default_rng(PINNED_SEED)
+    )
+    return trace, truth
+
+
+def _process(trace, rate):
+    converted = resample_trace(trace, rate)
+    return PTrackStepCounter().process(converted)
+
+
+def test_truth_is_the_expected_walk(walk):
+    _, truth = walk
+    assert truth.step_count == 66
+
+
+def test_undercount_is_pinned_exactly(walk):
+    trace, _ = walk
+    events, _ = _process(trace, PINNED_RATE)
+    assert len(events) == 60
+    events, _ = _process(trace, WORST_RATE)
+    assert len(events) == 56
+
+
+def test_segmentation_survives_low_rates(walk):
+    """All 33 cycles are detected at every pinned rate — the loss is
+    in admission, not segmentation."""
+    trace, _ = walk
+    for rate in (PINNED_RATE, WORST_RATE, 30.0):
+        _, resolved = _process(trace, rate)
+        assert len(resolved) == 33
+
+
+def test_rejections_sit_just_under_the_offset_threshold(walk):
+    """The rejected cycles are quantisation casualties: their offsets
+    land in a narrow band immediately below delta, and the stepping
+    fallback rejects them (anti-phase arm swing)."""
+    trace, _ = walk
+    delta = PTrackConfig().offset_threshold
+    _, resolved = _process(trace, PINNED_RATE)
+    rejected = [
+        r for r in resolved if r.gait_type is GaitType.INTERFERENCE
+    ]
+    assert len(rejected) == 3
+    for r in rejected:
+        assert 0.9 * delta < r.offset < delta
+        assert r.half_cycle_correlation < 0.0  # walking, not stepping
+        assert r.steps_added == 0
+
+
+def test_thirty_hz_recovers_fully(walk):
+    """The paper's own ablation floor: at 30 Hz counting is exact."""
+    trace, truth = walk
+    events, resolved = _process(trace, 30.0)
+    assert len(events) == truth.step_count
+    assert all(r.gait_type is GaitType.WALKING for r in resolved)
+
+
+def test_band_floor_holds_across_low_rates(walk):
+    """Regression bound: nowhere in the degraded 25-30 Hz band does
+    the undercount drop below the pinned worst case."""
+    trace, truth = walk
+    for rate in (25.0, 25.5, 26.0, 27.0, 28.0, 29.0, 29.5):
+        events, _ = _process(trace, rate)
+        assert 56 <= len(events) <= truth.step_count
