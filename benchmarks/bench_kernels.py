@@ -1,0 +1,463 @@
+"""Tracked backend-kernel benchmarks (the PR-8 scoreboard).
+
+Five sections, written into the ``fleet_kernels`` block of
+``BENCH_PR8.json``:
+
+* **identity** — asserted *before any timing*: (a) the serving
+  crediting oracle ``serial == pooled == sharded == batched`` on the
+  packed round (reused from the PR-6 suite), and (b) a differential
+  sweep of the batched bounce solver
+  (:func:`repro.core.bounce.solve_bounce_block`) against the scalar
+  :func:`~repro.core.bounce.solve_bounce` on randomized physical
+  geometries — every converged row must be float64 **bit-identical**
+  to scipy's ``brentq`` result, and every geometry the scalar path
+  rejects must come back ``valid=False``.
+* **headline** — amortized steady-state ingest cost (µs/sample) of the
+  batched pool at 1000 sessions on the NumPy backend, measured against
+  the *tracked PR-6 batched baseline* read from ``BENCH_PR6.json``.
+  The tracked targets: >= 1.5x improvement over that baseline and an
+  absolute cost <= 1.2 µs/sample.
+* **small_fleet** — the 10-session row: the packed round (default)
+  against the scalar-round escape hatch (``small_fleet_cutoff``), plus
+  the improvement over the PR-6 10-session occupancy row. This is the
+  measurement behind ``BatchedSessionPool.SMALL_FLEET_CUTOFF = 0``:
+  with the backend-wide kernels the packed round wins even at tiny
+  occupancy.
+* **backends** — per-backend µs/sample on a medium fleet: NumPy
+  (bit-identical reference), float32 (tolerance-bounded credit totals),
+  and a clean skip for backends whose dependency is absent (numba
+  without the package).
+* **bounce_kernel** — the solver microbenchmark: one
+  ``solve_bounce_block`` call against the equivalent scalar loop at a
+  fleet-scale row count.
+
+In full runs the suite additionally records ``check_reference`` — the
+check-scale headline measured on the same machine — so CI smoke runs
+(``--check``) can gate on a *ratio* (batched-vs-lockstep speedup at
+check scale) instead of absolute µs, which would be runner-dependent:
+check mode fails when the current speedup drops below 80% of the
+tracked one (a >20% regression).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from bench_batch import (
+    BATCH_SAMPLES,
+    SAMPLE_RATE_HZ,
+    _timed_ingest,
+    assert_batched_identity,
+)
+from repro.core.bounce import GeometryError, solve_bounce, solve_bounce_block
+from repro.exceptions import ConfigurationError
+from repro.runtime.backends import available_backends, get_backend
+from repro.serving import BatchedSessionPool, SessionPool, synthesize_workload
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Tracked targets for the 1000-session NumPy headline.
+TARGET_IMPROVEMENT = 1.5
+TARGET_US_PER_SAMPLE = 1.2
+#: Check-mode regression gate: fail below this fraction of the tracked
+#: check-scale speedup.
+CHECK_REGRESSION_FLOOR = 0.8
+
+#: PR-6 fallbacks, used only when ``BENCH_PR6.json`` is unreadable
+#: (the tracked file is the source of truth).
+_PR6_BATCHED_US_FALLBACK = 1.967118483333555
+_PR6_OCCUPANCY_10_US_FALLBACK = 5.197
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+
+
+def load_pr6_baseline() -> Dict[str, Any]:
+    """The tracked PR-6 batched numbers this suite improves on."""
+    path = REPO_ROOT / "BENCH_PR6.json"
+    try:
+        fleet = json.loads(path.read_text())["fleet_batch"]
+        headline_us = float(
+            fleet["batched_vs_lockstep"]["batched_us_per_sample"]
+        )
+        ten = next(
+            r for r in fleet["occupancy"]["rows"] if r["sessions"] == 10
+        )
+        return {
+            "source": str(path.name),
+            "batched_us_per_sample": headline_us,
+            "occupancy_10_us_per_sample": float(ten["us_per_sample"]),
+        }
+    except (OSError, KeyError, ValueError, StopIteration):
+        return {
+            "source": "fallback-constants",
+            "batched_us_per_sample": _PR6_BATCHED_US_FALLBACK,
+            "occupancy_10_us_per_sample": _PR6_OCCUPANCY_10_US_FALLBACK,
+        }
+
+
+def load_tracked_check_reference() -> Optional[Dict[str, Any]]:
+    """``check_reference`` from the tracked PR-8 scoreboard, if any."""
+    path = REPO_ROOT / "BENCH_PR8.json"
+    try:
+        ref = json.loads(path.read_text())["fleet_kernels"]["check_reference"]
+        float(ref["speedup"])  # shape check
+        return ref
+    except (OSError, KeyError, TypeError, ValueError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# Identity
+# ----------------------------------------------------------------------
+
+
+def _random_bounce_rows(
+    n: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Randomized bounce geometries spanning the physical input range.
+
+    Mixes the nominal walking envelope with degenerate rows (oversized
+    travel, non-positive arms) that the scalar solver rejects, so the
+    differential covers both outcomes.
+    """
+    h1 = rng.uniform(-0.15, 0.25, n)
+    h2 = rng.uniform(-0.15, 0.25, n)
+    d = rng.uniform(0.0, 0.9, n)
+    m = rng.uniform(0.4, 0.95, n)
+    k = max(1, n // 20)
+    bad = rng.choice(n, size=k, replace=False)
+    d[bad] = rng.uniform(1.5, 3.0, k)  # travel beyond any reachable arc
+    zero = rng.choice(n, size=k, replace=False)
+    m[zero] = 0.0  # non-positive arm
+    return h1, h2, d, m
+
+
+def assert_bounce_differential(
+    n_rows: int = 50_000, seed: int = 81
+) -> Dict[str, Any]:
+    """Block solver vs scalar brentq: bit-identity on every row."""
+    rng = np.random.default_rng(seed)
+    h1, h2, d, m = _random_bounce_rows(n_rows, rng)
+    bounce, valid = solve_bounce_block(h1, h2, d, m)
+    n_valid = 0
+    n_rejected = 0
+    for r in range(n_rows):
+        try:
+            ref = solve_bounce(
+                float(h1[r]), float(h2[r]), float(d[r]), float(m[r])
+            )
+        except GeometryError:
+            assert not valid[r], (
+                f"row {r}: scalar raised GeometryError but block solver "
+                f"returned valid bounce {bounce[r]!r}"
+            )
+            n_rejected += 1
+            continue
+        assert valid[r], f"row {r}: scalar solved but block marked invalid"
+        assert bounce[r] == ref, (
+            f"row {r}: block {bounce[r]!r} != scalar {ref!r} "
+            f"(inputs h1={h1[r]!r} h2={h2[r]!r} d={d[r]!r} m={m[r]!r})"
+        )
+        n_valid += 1
+    return {
+        "oracle": "solve_bounce_block == solve_bounce (bitwise)",
+        "rows": n_rows,
+        "solved_rows": n_valid,
+        "rejected_rows": n_rejected,
+        "ok": True,
+    }
+
+
+# ----------------------------------------------------------------------
+# Timing helpers
+# ----------------------------------------------------------------------
+
+
+def _best_pool_us(
+    workloads, reps: int, pool_cls=BatchedSessionPool, **pool_kw
+) -> float:
+    """Best-of-``reps`` steady-state µs/sample, fresh pool per rep."""
+    best = float("inf")
+    for _rep in range(reps):
+        pool = pool_cls(SAMPLE_RATE_HZ, **pool_kw)
+        sids = pool.add_sessions([w.profile for w in workloads])
+        wall, total = _timed_ingest(pool, workloads, sids)
+        pool.flush(sids)
+        best = min(best, 1e6 * wall / total)
+    return best
+
+
+def _warmup(workloads) -> None:
+    """Untimed pass priming filter design, ufunc loops, backend JIT."""
+    warm = workloads[: max(1, len(workloads) // 16)]
+    pool = BatchedSessionPool(SAMPLE_RATE_HZ)
+    sids = pool.add_sessions([w.profile for w in warm])
+    _timed_ingest(pool, warm, sids)
+    pool.flush(sids)
+
+
+# ----------------------------------------------------------------------
+# Sections
+# ----------------------------------------------------------------------
+
+
+def bench_headline(
+    n_sessions: int = 1000,
+    duration_s: float = 30.0,
+    reps: int = 3,
+    seed: int = 82,
+    baseline: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """1000-session NumPy µs/sample vs the tracked PR-6 batched row."""
+    if baseline is None:
+        baseline = load_pr6_baseline()
+    workloads = synthesize_workload(n_sessions, duration_s, seed=seed)
+    _warmup(workloads)
+    us = _best_pool_us(workloads, reps)
+    base_us = baseline["batched_us_per_sample"]
+    improvement = base_us / us
+    return {
+        "n_sessions": n_sessions,
+        "duration_s": duration_s,
+        "batch_samples": BATCH_SAMPLES,
+        "reps": reps,
+        "backend": "numpy",
+        "us_per_sample": us,
+        "baseline_us_per_sample": base_us,
+        "baseline_source": baseline["source"],
+        "improvement_x": improvement,
+        "target_improvement_x": TARGET_IMPROVEMENT,
+        "target_us_per_sample": TARGET_US_PER_SAMPLE,
+        "improvement_ok": bool(improvement >= TARGET_IMPROVEMENT),
+        "absolute_ok": bool(us <= TARGET_US_PER_SAMPLE),
+    }
+
+
+def bench_small_fleet(
+    n_sessions: int = 10,
+    duration_s: float = 60.0,
+    reps: int = 3,
+    seed: int = 83,
+    baseline: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The 10-session row: packed round vs the scalar escape hatch."""
+    if baseline is None:
+        baseline = load_pr6_baseline()
+    workloads = synthesize_workload(n_sessions, duration_s, seed=seed)
+    _warmup(workloads)
+    packed_us = _best_pool_us(workloads, reps, small_fleet_cutoff=0)
+    scalar_us = _best_pool_us(
+        workloads, reps, small_fleet_cutoff=10**9
+    )
+    base_us = baseline["occupancy_10_us_per_sample"]
+    return {
+        "n_sessions": n_sessions,
+        "duration_s": duration_s,
+        "reps": reps,
+        "packed_us_per_sample": packed_us,
+        "scalar_round_us_per_sample": scalar_us,
+        "packed_beats_scalar": bool(packed_us <= scalar_us),
+        "baseline_us_per_sample": base_us,
+        "baseline_source": baseline["source"],
+        "improvement_x": base_us / packed_us,
+        "default_small_fleet_cutoff": BatchedSessionPool.SMALL_FLEET_CUTOFF,
+    }
+
+
+def bench_backend_rows(
+    n_sessions: int = 200,
+    duration_s: float = 10.0,
+    reps: int = 2,
+    seed: int = 84,
+) -> Dict[str, Any]:
+    """Per-backend µs/sample rows on one medium fleet."""
+    workloads = synthesize_workload(n_sessions, duration_s, seed=seed)
+    _warmup(workloads)
+    rows: List[Dict[str, Any]] = []
+    ref_steps: Optional[int] = None
+    # NumPy first: it is the bit-identical reference the tolerance
+    # backends' credit totals are checked against.
+    ordered = sorted(
+        available_backends().items(), key=lambda kv: (kv[0] != "numpy", kv[0])
+    )
+    for name, (available, detail) in ordered:
+        if not available:
+            rows.append(
+                {"backend": name, "status": "skipped", "detail": detail}
+            )
+            continue
+        try:
+            backend = get_backend(name)
+        except ConfigurationError as exc:
+            rows.append(
+                {"backend": name, "status": "skipped", "detail": str(exc)}
+            )
+            continue
+        best = float("inf")
+        steps = 0
+        for _rep in range(reps):
+            pool = BatchedSessionPool(SAMPLE_RATE_HZ, backend=backend)
+            sids = pool.add_sessions([w.profile for w in workloads])
+            wall, total = _timed_ingest(pool, workloads, sids)
+            pool.flush(sids)
+            best = min(best, 1e6 * wall / total)
+            steps = pool.total_steps
+        row = {
+            "backend": name,
+            "status": "bit_identical"
+            if backend.bit_identical
+            else "tolerance",
+            "detail": detail,
+            "us_per_sample": best,
+            "total_steps": steps,
+        }
+        if backend.bit_identical:
+            if ref_steps is None:
+                ref_steps = steps
+            assert steps == ref_steps, (
+                f"backend {name}: {steps} steps vs bit-identical "
+                f"reference {ref_steps}"
+            )
+        elif ref_steps is not None:
+            tol = max(2, int(round(0.02 * ref_steps)))
+            assert abs(steps - ref_steps) <= tol, (
+                f"backend {name}: {steps} steps vs {ref_steps} reference "
+                f"(tolerance {tol})"
+            )
+        rows.append(row)
+    return {"n_sessions": n_sessions, "duration_s": duration_s, "rows": rows}
+
+
+def bench_bounce_kernel(
+    n_rows: int = 4096, reps: int = 5, seed: int = 85
+) -> Dict[str, Any]:
+    """One block solve vs the equivalent scalar loop, same rows."""
+    rng = np.random.default_rng(seed)
+    h1, h2, d, m = _random_bounce_rows(n_rows, rng)
+
+    def scalar_loop() -> int:
+        solved = 0
+        for r in range(n_rows):
+            try:
+                solve_bounce(
+                    float(h1[r]), float(h2[r]), float(d[r]), float(m[r])
+                )
+                solved += 1
+            except GeometryError:
+                pass
+        return solved
+
+    solve_bounce_block(h1, h2, d, m)  # warmup
+    block_s = min(
+        _timeit(lambda: solve_bounce_block(h1, h2, d, m))
+        for _ in range(reps)
+    )
+    scalar_s = min(_timeit(scalar_loop) for _ in range(reps))
+    return {
+        "rows": n_rows,
+        "reps": reps,
+        "block_us_per_row": 1e6 * block_s / n_rows,
+        "scalar_us_per_row": 1e6 * scalar_s / n_rows,
+        "speedup": scalar_s / block_s,
+    }
+
+
+def _timeit(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def measure_check_reference(seed: int = 86) -> Dict[str, Any]:
+    """The check-scale batched-vs-lockstep speedup (the CI gate ratio)."""
+    workloads = synthesize_workload(32, 8.0, seed=seed)
+    _warmup(workloads)
+    batched_us = _best_pool_us(workloads, reps=2)
+    lockstep_us = _best_pool_us(workloads, reps=2, pool_cls=SessionPool)
+    return {
+        "n_sessions": 32,
+        "duration_s": 8.0,
+        "batched_us_per_sample": batched_us,
+        "lockstep_us_per_sample": lockstep_us,
+        "speedup": lockstep_us / batched_us,
+    }
+
+
+# ----------------------------------------------------------------------
+# Suite driver
+# ----------------------------------------------------------------------
+
+
+def run_fleet_kernels(check: bool = False) -> Dict[str, Any]:
+    """The full PR-8 kernel suite; ``check`` shrinks every workload.
+
+    Check mode additionally gates on the tracked ``check_reference``:
+    the current check-scale batched-vs-lockstep speedup must stay above
+    :data:`CHECK_REGRESSION_FLOOR` of the recorded one.
+    """
+    baseline = load_pr6_baseline()
+    if check:
+        identity = assert_batched_identity(n_sessions=4, duration_s=12.0)
+        differential = assert_bounce_differential(n_rows=2_000)
+        reference = measure_check_reference()
+        headline = bench_headline(
+            n_sessions=32, duration_s=8.0, reps=1, baseline=baseline
+        )
+        small_fleet = bench_small_fleet(
+            n_sessions=4, duration_s=8.0, reps=1, baseline=baseline
+        )
+        backends = bench_backend_rows(n_sessions=8, duration_s=8.0, reps=1)
+        bounce_kernel = bench_bounce_kernel(n_rows=512, reps=2)
+        tracked = load_tracked_check_reference()
+        if tracked is None:
+            regression = {
+                "status": "no_tracked_reference",
+                "regression_ok": True,
+            }
+        else:
+            floor = CHECK_REGRESSION_FLOOR * float(tracked["speedup"])
+            regression = {
+                "status": "compared",
+                "tracked_speedup": float(tracked["speedup"]),
+                "current_speedup": reference["speedup"],
+                "floor_speedup": floor,
+                "regression_ok": bool(reference["speedup"] >= floor),
+            }
+        result: Dict[str, Any] = {
+            "check_mode": True,
+            "identity": identity,
+            "bounce_differential": differential,
+            "headline": headline,
+            "small_fleet": small_fleet,
+            "backends": backends,
+            "bounce_kernel": bounce_kernel,
+            "check_reference": reference,
+            "regression": regression,
+        }
+        return result
+    identity = assert_batched_identity()
+    differential = assert_bounce_differential()
+    headline = bench_headline(baseline=baseline)
+    small_fleet = bench_small_fleet(baseline=baseline)
+    backends = bench_backend_rows()
+    bounce_kernel = bench_bounce_kernel()
+    reference = measure_check_reference()
+    return {
+        "check_mode": False,
+        "identity": identity,
+        "bounce_differential": differential,
+        "headline": headline,
+        "small_fleet": small_fleet,
+        "backends": backends,
+        "bounce_kernel": bounce_kernel,
+        "check_reference": reference,
+        "regression": {"status": "full_run", "regression_ok": True},
+    }

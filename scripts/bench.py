@@ -35,6 +35,13 @@ Suites:
   deterministic-shedding row under a mailbox flood — gated on the
   ``serial replay == gateway`` crediting oracle (the PR-7 scoreboard,
   ``BENCH_PR7.json``).
+* ``fleet-kernels`` — the backend-wide kernel seam: 1000-session
+  batched µs/sample against the tracked PR-6 batched baseline
+  (tracked >= 1.5x improvement, <= 1.2 µs/sample), the 10-session
+  small-fleet row, per-backend rows, and the batched bounce solver —
+  gated on the crediting oracle *and* a bitwise
+  ``solve_bounce_block == solve_bounce`` differential sweep (the PR-8
+  scoreboard, ``BENCH_PR8.json``).
 
 Every scoreboard is stamped with the schema version and the git
 revision it was measured at, so checked-in numbers are traceable to
@@ -56,6 +63,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 import bench_batch  # noqa: E402
 import bench_faults  # noqa: E402
 import bench_gateway  # noqa: E402
+import bench_kernels  # noqa: E402
 import bench_runtime  # noqa: E402
 import bench_serving  # noqa: E402
 import bench_telemetry  # noqa: E402
@@ -218,6 +226,76 @@ def _print_fleet_batch(fleet_batch) -> bool:
     return ok
 
 
+def _print_fleet_kernels(fleet_kernels) -> bool:
+    identity = fleet_kernels["identity"]
+    print(
+        f"  crediting oracle ({identity['n_sessions']} sessions, "
+        f"{identity['compared_steps']} steps): {identity['oracle']}: "
+        f"{identity['ok']}"
+    )
+    diff = fleet_kernels["bounce_differential"]
+    print(
+        f"  bounce differential ({diff['rows']} rows, "
+        f"{diff['solved_rows']} solved / {diff['rejected_rows']} "
+        f"rejected): {diff['oracle']}: {diff['ok']}"
+    )
+    headline = fleet_kernels["headline"]
+    print(
+        f"  headline ({headline['n_sessions']} sessions, "
+        f"{headline['backend']}): {headline['us_per_sample']:.3f} "
+        f"us/sample vs tracked {headline['baseline_us_per_sample']:.3f} "
+        f"({headline['improvement_x']:.2f}x, target "
+        f"{headline['target_improvement_x']:.1f}x, abs target "
+        f"{headline['target_us_per_sample']:.1f})"
+    )
+    small = fleet_kernels["small_fleet"]
+    print(
+        f"  small fleet ({small['n_sessions']} sessions): packed "
+        f"{small['packed_us_per_sample']:.3f} vs scalar round "
+        f"{small['scalar_round_us_per_sample']:.3f} us/sample "
+        f"({small['improvement_x']:.2f}x over tracked "
+        f"{small['baseline_us_per_sample']:.3f})"
+    )
+    for row in fleet_kernels["backends"]["rows"]:
+        if row["status"] == "skipped":
+            print(f"  backend {row['backend']}: skipped ({row['detail']})")
+        else:
+            print(
+                f"  backend {row['backend']}: {row['status']}, "
+                f"{row['us_per_sample']:.3f} us/sample"
+            )
+    kernel = fleet_kernels["bounce_kernel"]
+    print(
+        f"  bounce kernel ({kernel['rows']} rows): block "
+        f"{kernel['block_us_per_row']:.3f} vs scalar "
+        f"{kernel['scalar_us_per_row']:.3f} us/row "
+        f"({kernel['speedup']:.1f}x)"
+    )
+    regression = fleet_kernels["regression"]
+    print(
+        f"  regression gate: {regression['status']} "
+        f"(ok={regression['regression_ok']})"
+    )
+    ok = True
+    if not identity["ok"] or not diff["ok"]:
+        print("ERROR: kernel suite failed its identity oracles")
+        ok = False
+    if not fleet_kernels["check_mode"]:
+        if not headline["improvement_ok"] or not headline["absolute_ok"]:
+            print(
+                "ERROR: kernel headline missed the tracked 1.5x / "
+                "1.2 us/sample targets"
+            )
+            ok = False
+    elif not regression["regression_ok"]:
+        print(
+            "ERROR: check-scale batched speedup regressed >20% below "
+            "the tracked reference"
+        )
+        ok = False
+    return ok
+
+
 def _print_ragged_ingest(ragged) -> bool:
     identity = ragged["identity"]
     print(
@@ -273,6 +351,7 @@ def main(argv=None) -> int:
             "telemetry",
             "fleet-batch",
             "ragged-ingest",
+            "fleet-kernels",
             "all",
         ),
         default="all",
@@ -286,8 +365,8 @@ def main(argv=None) -> int:
         "BENCH_PR1.json for --suite runtime, BENCH_PR3.json for "
         "--suite serving, BENCH_PR4.json for --suite faulted-serving, "
         "BENCH_PR5.json for --suite telemetry, BENCH_PR6.json for "
-        "--suite fleet-batch, BENCH_PR7.json for --suite ragged-ingest "
-        "and for all)",
+        "--suite fleet-batch, BENCH_PR7.json for --suite ragged-ingest, "
+        "BENCH_PR8.json for --suite fleet-kernels and for all)",
     )
     parser.add_argument("--seeds", type=int, default=6, help="macro replicates")
     parser.add_argument("--users", type=int, default=2, help="users per replicate")
@@ -310,7 +389,8 @@ def main(argv=None) -> int:
             "telemetry": "BENCH_PR5.json",
             "fleet-batch": "BENCH_PR6.json",
             "ragged-ingest": "BENCH_PR7.json",
-            "all": "BENCH_PR7.json",
+            "fleet-kernels": "BENCH_PR8.json",
+            "all": "BENCH_PR8.json",
         }
         output = REPO_ROOT / default_outputs[args.suite]
 
@@ -345,6 +425,11 @@ def main(argv=None) -> int:
         results["ragged_ingest"] = bench_gateway.run_ragged_ingest(
             check=args.check
         )
+    if args.suite in ("fleet-kernels", "all"):
+        results["check_mode"] = args.check
+        results["fleet_kernels"] = bench_kernels.run_fleet_kernels(
+            check=args.check
+        )
 
     output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output} (rev {results['git_revision']})")
@@ -360,6 +445,8 @@ def main(argv=None) -> int:
         ok = _print_fleet_batch(results["fleet_batch"]) and ok
     if args.suite in ("ragged-ingest", "all"):
         ok = _print_ragged_ingest(results["ragged_ingest"]) and ok
+    if args.suite in ("fleet-kernels", "all"):
+        ok = _print_fleet_kernels(results["fleet_kernels"]) and ok
     return 0 if ok else 1
 
 

@@ -18,6 +18,7 @@ MODULES = [
     "repro.core",
     "repro.runtime",
     "repro.runtime.backends",
+    "repro.runtime.buffers",
     "repro.runtime.clock",
     "repro.faults",
     "repro.serving",

@@ -304,6 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
             "telemetry",
             "fleet-batch",
             "ragged-ingest",
+            "fleet-kernels",
             "all",
         ),
         default="all",

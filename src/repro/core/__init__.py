@@ -21,6 +21,7 @@ from repro.core.bounce import (
     direct_bounce,
     extract_cycle_moments,
     solve_bounce,
+    solve_bounce_block,
 )
 from repro.core.adaptive import AdaptiveDelta, AdaptiveDeltaCounter, otsu_threshold
 from repro.core.config import PTrackConfig
@@ -34,7 +35,11 @@ from repro.core.streaming import (
     StreamingPTrack,
 )
 from repro.core.stepping import has_fixed_phase_difference, stepping_correlation
-from repro.core.stride import PTrackStrideEstimator, stride_from_bounce_model
+from repro.core.stride import (
+    PTrackStrideEstimator,
+    stride_from_bounce_model,
+    stride_rows_from_bounce,
+)
 
 __all__ = [
     "AdaptiveDelta",
@@ -56,8 +61,10 @@ __all__ = [
     "StreamingPTrack",
     "otsu_threshold",
     "solve_bounce",
+    "solve_bounce_block",
     "stepping_correlation",
     "stride_from_bounce_model",
+    "stride_rows_from_bounce",
     "train_arm_length",
     "train_leg_length",
 ]

@@ -27,15 +27,22 @@ import numpy as np
 
 from repro.core.bounce import solve_bounce
 from repro.core.config import PTrackConfig
-from repro.core.stride import stride_from_bounce_model
+from repro.core.stride import stride_rows_from_bounce
 from repro.exceptions import GeometryError, SignalError
-from repro.runtime.backends import ComputeBackend, get_backend
-from repro.signal.batched import batched_crossing_indices, multi_window_extrema
+from repro.runtime.backends import (
+    ComputeBackend,
+    _rows_cumtrapz,
+    _rows_integrate_mean_removal,
+    get_backend,
+)
+from repro.runtime.buffers import FleetBatchBuffer
+from repro.signal.batched import batched_crossing_indices, multi_window_extrema_pair
 from repro.types import GaitType, UserProfile
 
 __all__ = [
     "StageMeasurement",
     "batched_stage_measurements",
+    "stage_measurements_impl",
     "batched_cycle_solutions",
 ]
 
@@ -50,70 +57,20 @@ StageMeasurement = Union[
 ]
 
 
-def _rows_cumtrapz(rows: np.ndarray, dt: float) -> np.ndarray:
-    """Row-wise :func:`repro.signal.integration.cumulative_trapezoid`."""
-    out = np.empty_like(rows)
-    out[:, 0] = 0.0
-    np.cumsum((rows[:, 1:] + rows[:, :-1]) * (dt / 2.0), axis=1, out=out[:, 1:])
-    return out
-
-
-def _rows_integrate_mean_removal(rows: np.ndarray, dt: float) -> np.ndarray:
-    """Row-wise :func:`repro.signal.integration.integrate_mean_removal`."""
-    n = rows.shape[1]
-    trapezoid_mean = (rows.sum(axis=1) - 0.5 * (rows[:, 0] + rows[:, -1])) / (n - 1)
-    return _rows_cumtrapz(rows - trapezoid_mean[:, None], dt)
-
-
-def _rows_double_integrate(rows: np.ndarray, dt: float) -> np.ndarray:
-    """Row-wise :func:`repro.signal.integration.double_integrate_mean_removal`."""
-    velocity = _rows_integrate_mean_removal(rows, dt)
-    return _rows_cumtrapz(velocity - velocity.mean(axis=1)[:, None], dt)
-
-
-def _batched_anterior(
-    stack_h: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Anterior projections of a ``(cycles, samples, 2)`` stack.
-
-    The stacked form of ``project_horizontal(h, anterior_direction(h))``
-    including the reference's *double* normalisation (the direction is
-    normalised once on return from the eigensolve and once again at
-    projection entry — both must be replicated for bit-identity).
-
-    Returns:
-        ``(projections, ok)`` — the ``(cycles, samples)`` anterior
-        accelerations and a boolean mask of cycles whose direction fit
-        succeeded; failed rows (degenerate scatter, the cases where the
-        scalar path raises ``SignalError``) carry zeros.
-    """
-    g, n, _ = stack_h.shape
-    proj = np.zeros((g, n))
-    if n < 3:
-        return proj, np.zeros(g, dtype=bool)
-    centred = stack_h - stack_h.mean(axis=1)[:, None, :]
-    scatter = centred.transpose(0, 2, 1) @ centred
-    ok = np.isfinite(scatter).all(axis=(1, 2))
-    # allclose(scatter, 0) with b == 0 reduces to |x| <= atol everywhere.
-    ok &= ~(np.abs(scatter) <= 1e-8).all(axis=(1, 2))
-    live = np.flatnonzero(ok)
-    if live.size == 0:
-        return proj, ok
-    eigvals, eigvecs = np.linalg.eigh(scatter[live])
-    sel = np.argmax(eigvals, axis=1)
-    dirs = eigvecs[np.arange(live.size), :, sel]
-    flip = np.where(np.abs(dirs[:, 0]) > 1e-12, dirs[:, 0] < 0, dirs[:, 1] < 0)
-    dirs[flip] = -dirs[flip]
-    for row in range(live.size):
-        # Normalise per row through the same 1-D np.linalg.norm call
-        # chain as the reference (anterior_direction normalises once,
-        # project_horizontal again): the 1-D norm goes through BLAS
-        # dot, whose FMA contraction an axis-wise norm does not
-        # reproduce bitwise.
-        d = dirs[row] / np.linalg.norm(dirs[row])
-        dirs[row] = d / np.linalg.norm(d)
-    proj[live] = (stack_h[live] @ dirs[:, :, None])[:, :, 0]
-    return proj, ok
+def _stack_rows(
+    arrs: Sequence[np.ndarray],
+    buffers: Optional[FleetBatchBuffer],
+    key: str,
+) -> np.ndarray:
+    """``np.stack`` into reusable scratch when a buffer pool is given."""
+    if len(arrs) == 1:
+        # Singleton groups dominate small rounds (ragged cycle lengths
+        # rarely collide); a 1-row "stack" is a read-only view, no copy.
+        return arrs[0][None]
+    if buffers is None:
+        return np.stack(arrs)
+    out = buffers.request(key, (len(arrs),) + arrs[0].shape)
+    return np.stack(arrs, out=out)
 
 
 def batched_stage_measurements(
@@ -121,25 +78,46 @@ def batched_stage_measurements(
     h_segs: Sequence[np.ndarray],
     config: PTrackConfig,
     backend: Optional[ComputeBackend] = None,
+    buffers: Optional[FleetBatchBuffer] = None,
 ) -> List[StageMeasurement]:
     """Measure every staged cycle of a serving round in stacked kernels.
+
+    Thin dispatcher: the measurement stage lives behind
+    :meth:`repro.runtime.backends.ComputeBackend.measurement_block`,
+    whose default implementation is :func:`stage_measurements_impl`
+    below — backends may quantize inputs (float32) or fuse sub-kernels
+    (numba) without callers changing.
+
+    Args:
+        v_segs: Per-cycle vertical acceleration segments.
+        h_segs: Per-cycle horizontal segments, each ``(n, 2)``.
+        config: PTrack configuration.
+        backend: Compute backend; ``None`` resolves the default.
+        buffers: Optional scratch pool for the per-length stacks and
+            the packed extrema signals.
+
+    Returns:
+        One :data:`StageMeasurement` per cycle, input order.
+    """
+    be = backend if backend is not None else get_backend()
+    return be.measurement_block(v_segs, h_segs, config, buffers)
+
+
+def stage_measurements_impl(
+    v_segs: Sequence[np.ndarray],
+    h_segs: Sequence[np.ndarray],
+    config: PTrackConfig,
+    be: ComputeBackend,
+    buffers: Optional[FleetBatchBuffer] = None,
+) -> List[StageMeasurement]:
+    """The stacked float64 measurement stage (backend default impl).
 
     For each cycle ``i`` this computes exactly what the scalar
     ``StreamingPTrack._stage`` computes from ``(v_segs[i], h_segs[i])``:
     the anterior projection (or zeros when the direction fit fails),
     the motion gate, and — for moving cycles — the Eq. (1)
     critical-point offset.
-
-    Args:
-        v_segs: Per-cycle vertical acceleration segments.
-        h_segs: Per-cycle horizontal segments, each ``(n, 2)``.
-        config: PTrack configuration.
-        backend: Compute backend for the extrema kernels.
-
-    Returns:
-        One :data:`StageMeasurement` per cycle, input order.
     """
-    be = backend if backend is not None else get_backend()
     count = len(v_segs)
     results: List[StageMeasurement] = [None] * count  # type: ignore[list-item]
     if count == 0:
@@ -170,8 +148,8 @@ def batched_stage_measurements(
         g = len(idxs)
         sl = slice(pos, pos + g)
         pos += g
-        stack_v = np.stack([v_segs[i] for i in idxs])
-        stack_h = np.stack([h_segs[i] for i in idxs])
+        stack_v = _stack_rows([v_segs[i] for i in idxs], buffers, f"meas_v:{n}")
+        stack_h = _stack_rows([h_segs[i] for i in idxs], buffers, f"meas_h:{n}")
         vc = stack_v - stack_v.mean(axis=1)[:, None]
         stds = vc.std(axis=1)
         if n >= 3:
@@ -266,13 +244,45 @@ def batched_stage_measurements(
                 proms.append(relaxed_prom)
                 dists.append(min_dist)
                 slots.append((i, "a"))
-        peaks_per = multi_window_extrema(windows, proms, dists, be)
-        valleys_per = multi_window_extrema(windows, proms, dists, be, negate=True)
+        scratch = (
+            buffers.request(
+                "meas_pack", sum(w.size for w in windows) + len(windows)
+            )
+            if buffers is not None and windows
+            else None
+        )
+        peaks_per, valleys_per = multi_window_extrema_pair(
+            windows, proms, proms, dists, be, scratch=scratch
+        )
         v_turn: dict = {}
         a_turn: dict = {}
-        for (i, axis), pk, vl in zip(slots, peaks_per, valleys_per):
-            turning = np.sort(np.concatenate([pk, vl])) if pk.size or vl.size else pk
-            (v_turn if axis == "v" else a_turn)[i] = turning
+        # Per-slot ``sort(concat(pk, vl))`` merges, globalised with the
+        # same integer base lift as the Eq. (1) tail below: every
+        # slot's (integer) indices are lifted by a per-slot base with
+        # disjoint ranges, one global sort replaces thousands of tiny
+        # ones, and ``lifted - base`` recovers the exact local indices
+        # — integer arithmetic, so per-slot results are bit-identical.
+        if slots:
+            pk_counts = np.asarray([p.size for p in peaks_per], dtype=np.intp)
+            vl_counts = np.asarray([v.size for v in valleys_per], dtype=np.intp)
+            slot_sizes = pk_counts + vl_counts
+            sstep = 1 + max(v_segs[i].size for i, _axis in slots)
+            sbase = np.arange(len(slots), dtype=np.intp) * sstep
+            lifted = np.concatenate(
+                [
+                    np.concatenate(peaks_per) + np.repeat(sbase, pk_counts),
+                    np.concatenate(valleys_per) + np.repeat(sbase, vl_counts),
+                ]
+            )
+            lifted.sort()
+            np.subtract(
+                lifted, np.repeat(sbase, slot_sizes), out=lifted
+            )
+            slot_starts = np.zeros(len(slots) + 1, dtype=np.intp)
+            np.cumsum(slot_sizes, out=slot_starts[1:])
+            for s, (i, axis) in enumerate(slots):
+                turning = lifted[slot_starts[s] : slot_starts[s + 1]]
+                (v_turn if axis == "v" else a_turn)[i] = turning
         a_order = [i for (i, axis) in slots if axis == "a"]
         cross_per = batched_crossing_indices(
             [centred_a[i] for i in a_order], relaxed_hyst
@@ -339,11 +349,14 @@ def batched_stage_measurements(
             n_v = n_per[cid]
             weights = np.minimum(dv / n_v, config.max_point_weight)
             wm = weights * mismatch / n_v
+            ac_l = a_counts.tolist()
+            vs_l = v_starts.tolist()
+            vc_l = vt_counts.tolist()
             for c, i in enumerate(pre):
-                if a_counts[c] < 2:
+                if ac_l[c] < 2:
                     continue
-                lo = int(v_starts[c])
-                offsets[i] = float(np.sum(wm[lo : lo + int(vt_counts[c])]))
+                lo = vs_l[c]
+                offsets[i] = float(wm[lo : lo + vc_l[c]].sum())
 
     for i in range(count):
         if results[i] is None:
@@ -361,16 +374,32 @@ def batched_cycle_solutions(
         Tuple[np.ndarray, np.ndarray, Optional[np.ndarray], GaitType, UserProfile]
     ],
     dt: float,
+    backend: Optional[ComputeBackend] = None,
+    buffers: Optional[FleetBatchBuffer] = None,
 ) -> List[Optional[Tuple[float, float]]]:
-    """Per-cycle ``(stride_m, bounce_m)`` solves in stacked integrations.
+    """Per-cycle ``(stride_m, bounce_m)`` solves in stacked kernels.
 
     The batched form of
     :meth:`repro.core.stride.PTrackStrideEstimator.cycle_stride` over
-    every cycle credited in one serving round. The mean-removal
-    integrations — the bulk of the arithmetic — run row-wise over
-    length-grouped stacks; moment location and the Brent root solve
-    stay scalar per cycle on row views, exactly as the reference
-    evaluates them.
+    every cycle credited in one serving round. Three fusions keep the
+    per-cycle Python floor out of the hot path:
+
+    * per length group, the walking anterior rows, walking vertical
+      rows and stepping vertical rows share **one**
+      :meth:`~repro.runtime.backends.ComputeBackend.integrate_block`
+      call (the double integral's inner velocity is reused instead of
+      recomputed, and row-wise kernels are independent across rows, so
+      mixing populations in one stack changes nothing);
+    * the walking key-moment location (arm extremes, anterior-speed
+      peak, the skip gates) runs as masked row-wise reductions instead
+      of a per-cycle Python loop;
+    * all surviving bounce geometries across **all** length groups pool
+      into a single
+      :meth:`~repro.runtime.backends.ComputeBackend.bounce_solve_block`
+      call, with a scalar :func:`~repro.core.bounce.solve_bounce`
+      fallback for any row the block solver does not fully resolve —
+      so credits are bit-identical to the per-cycle reference on
+      bit-identical backends.
 
     Args:
         items: Per credited cycle: vertical segment, horizontal segment,
@@ -379,11 +408,14 @@ def batched_cycle_solutions(
             re-derivation would fail identically), gait type, and the
             owning session's user profile.
         dt: Shared sample period in seconds.
+        backend: Compute backend; ``None`` resolves the default.
+        buffers: Optional scratch pool for the per-length stacks.
 
     Returns:
         Per cycle, ``(stride_m, bounce_m)`` or ``None`` when the
         geometry admits no solve.
     """
+    be = backend if backend is not None else get_backend()
     count = len(items)
     results: List[Optional[Tuple[float, float]]] = [None] * count
     stepping_by_length: dict = {}
@@ -395,44 +427,96 @@ def batched_cycle_solutions(
         elif a_seg is not None and v_seg.size >= 16:
             walking_by_length.setdefault(v_seg.size, []).append(i)
 
-    for n, idxs in stepping_by_length.items():
-        stack_v = np.stack([items[i][0] for i in idxs])
-        disp = _rows_double_integrate(stack_v, dt)
-        bounces = disp.max(axis=1) - disp.min(axis=1)
-        for row, i in enumerate(idxs):
-            bounce = float(bounces[row])
-            profile = items[i][4]
-            results[i] = (stride_from_bounce_model(bounce, profile), bounce)
+    # Pooled bounce-solve inputs across every length group.
+    sol_idx: List[int] = []
+    sol_h1: List[np.ndarray] = []
+    sol_h2: List[np.ndarray] = []
+    sol_d: List[np.ndarray] = []
 
-    for n, idxs in walking_by_length.items():
-        stack_v = np.stack([items[i][0] for i in idxs])
-        stack_a = np.stack([items[i][2] for i in idxs])
-        disp_a = _rows_double_integrate(stack_a, dt)
-        disp_v = _rows_double_integrate(stack_v, dt)
-        vel_a = _rows_integrate_mean_removal(stack_a, dt)
-        lows = np.argmin(disp_a, axis=1)
-        highs = np.argmax(disp_a, axis=1)
-        for row, i in enumerate(idxs):
-            i_lo, i_hi = int(lows[row]), int(highs[row])
-            backmost, foremost = (i_lo, i_hi) if i_lo < i_hi else (i_hi, i_lo)
-            if foremost - backmost < n // 4:
-                continue
+    lengths = sorted(set(stepping_by_length) | set(walking_by_length))
+    for n in lengths:
+        w_idxs = walking_by_length.get(n, [])
+        s_idxs = stepping_by_length.get(n, [])
+        nw = len(w_idxs)
+        rows = (
+            [items[i][2] for i in w_idxs]
+            + [items[i][0] for i in w_idxs]
+            + [items[i][0] for i in s_idxs]
+        )
+        stack = _stack_rows(rows, buffers, f"solve_stack:{n}")
+        vel, disp = be.integrate_block(stack, dt)
+
+        if s_idxs:
+            disp_s = disp[2 * nw :]
+            bounces = disp_s.max(axis=1) - disp_s.min(axis=1)
+            legs = np.asarray([items[i][4].leg_length_m for i in s_idxs])
+            ks = np.asarray([items[i][4].calibration_k for i in s_idxs])
+            strides = stride_rows_from_bounce(bounces, legs, ks)
+            for row, i in enumerate(s_idxs):
+                results[i] = (float(strides[row]), float(bounces[row]))
+
+        if nw:
+            disp_a = disp[:nw]
+            disp_v = disp[nw : 2 * nw]
+            vel_a = vel[:nw]
+            lows = np.argmin(disp_a, axis=1)
+            highs = np.argmax(disp_a, axis=1)
+            backmost = np.minimum(lows, highs)
+            foremost = np.maximum(lows, highs)
             span = foremost - backmost
-            margin = max(1, span // 8)
-            speed = np.abs(vel_a[row, backmost : foremost + 1])
-            ii_rel = margin + int(np.argmax(speed[margin : span + 1 - margin]))
-            if speed[ii_rel] <= 0:
-                continue
-            vertical_idx = backmost + ii_rel
-            d_total = float(abs(disp_a[row, foremost] - disp_a[row, backmost]))
-            if d_total < 0.01:
-                continue
-            h1 = float(disp_v[row, backmost] - disp_v[row, vertical_idx])
-            h2 = float(disp_v[row, foremost] - disp_v[row, vertical_idx])
-            profile = items[i][4]
+            ok = span >= n // 4
+            margin = np.maximum(1, span // 8)
+            # First max of |vel_a| within [backmost+margin, foremost-margin]
+            # per row — the masked form of the scalar slice argmax (the
+            # -inf fill preserves first-max tie-breaking, and the window
+            # is never empty: margin <= span // 2 by construction).
+            cols = np.arange(n)
+            speed = np.abs(vel_a)
+            masked = np.where(
+                (cols >= (backmost + margin)[:, None])
+                & (cols <= (foremost - margin)[:, None]),
+                speed,
+                -np.inf,
+            )
+            vidx = np.argmax(masked, axis=1)
+            take = np.arange(nw)
+            ok &= masked[take, vidx] > 0.0
+            d_total = np.abs(disp_a[take, foremost] - disp_a[take, backmost])
+            # Scalar gate is `if d_total < 0.01: continue`; keep the
+            # negated form so non-finite rows follow the scalar branch.
+            ok &= ~(d_total < 0.01)
+            sel = np.flatnonzero(ok)
+            if sel.size:
+                h1 = disp_v[sel, backmost[sel]] - disp_v[sel, vidx[sel]]
+                h2 = disp_v[sel, foremost[sel]] - disp_v[sel, vidx[sel]]
+                sol_idx.extend(w_idxs[s] for s in sel)
+                sol_h1.append(h1)
+                sol_h2.append(h2)
+                sol_d.append(d_total[sel])
+
+    if sol_idx:
+        h1_all = np.concatenate(sol_h1)
+        h2_all = np.concatenate(sol_h2)
+        d_all = np.concatenate(sol_d)
+        arms = np.asarray([items[i][4].arm_length_m for i in sol_idx])
+        bounce, valid = be.bounce_solve_block(h1_all, h2_all, d_all, arms)
+        for r in np.flatnonzero(~valid):
+            # The block solver leaves a row unresolved when the scalar
+            # path would raise (or, theoretically, on iteration
+            # exhaustion): re-run it scalar so error semantics — and
+            # any brentq non-convergence behaviour — stay exact.
             try:
-                bounce = solve_bounce(h1, h2, d_total, profile.arm_length_m)
+                bounce[r] = solve_bounce(
+                    float(h1_all[r]), float(h2_all[r]),
+                    float(d_all[r]), float(arms[r]),
+                )
+                valid[r] = True
             except GeometryError:
-                continue
-            results[i] = (stride_from_bounce_model(bounce, profile), bounce)
+                pass
+        legs = np.asarray([items[i][4].leg_length_m for i in sol_idx])
+        ks = np.asarray([items[i][4].calibration_k for i in sol_idx])
+        strides = stride_rows_from_bounce(bounce, legs, ks)
+        for r, i in enumerate(sol_idx):
+            if valid[r]:
+                results[i] = (float(strides[r]), float(bounce[r]))
     return results

@@ -52,6 +52,7 @@ __all__ = [
     "direct_bounce",
     "extract_cycle_moments",
     "solve_bounce",
+    "solve_bounce_block",
     "solve_bounce_lag_corrected",
 ]
 
@@ -179,13 +180,40 @@ def _anterior_travel(b: float, h1: float, h2: float, m: float) -> float:
 
     Evaluated thousands of times per second inside the Brent solve;
     ``math.sqrt`` skips the numpy scalar dispatch and is bit-identical
-    (both sqrts are correctly rounded).
+    (both sqrts are correctly rounded).  The squares are spelled as
+    explicit products, not ``**2``: CPython routes ``float ** 2``
+    through C ``pow``, which differs from ``x * x`` in the last ulp for
+    a fraction of inputs, while every vectorized counterpart
+    (:func:`_anterior_travel_rows`, the numba rows loop) necessarily
+    multiplies — the product form is what keeps scalar and block
+    solvers bit-identical.
     """
     r1 = h1 + b
     r2 = h2 + b
-    t1 = m**2 - (m - r1) ** 2
-    t2 = m**2 - (m - r2) ** 2
+    u1 = m - r1
+    u2 = m - r2
+    t1 = m * m - u1 * u1
+    t2 = m * m - u2 * u2
     return math.sqrt(max(t1, 0.0)) + math.sqrt(max(t2, 0.0))
+
+
+def _anterior_travel_rows(
+    b: np.ndarray, h1: np.ndarray, h2: np.ndarray, m: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`_anterior_travel` — same operation order.
+
+    ``np.maximum(t, 0.0)`` and Python ``max(t, 0.0)`` pick different
+    zero *signs* for ``t == -0.0`` but the same value, and ``np.sqrt``
+    matches ``math.sqrt`` bitwise (both correctly rounded), so rows
+    here equal the scalar evaluation bit-for-bit.
+    """
+    r1 = h1 + b
+    r2 = h2 + b
+    u1 = m - r1
+    u2 = m - r2
+    t1 = m * m - u1 * u1
+    t2 = m * m - u2 * u2
+    return np.sqrt(np.maximum(t1, 0.0)) + np.sqrt(np.maximum(t2, 0.0))
 
 
 def solve_bounce(
@@ -243,6 +271,205 @@ def solve_bounce(
 
 def _anterior_travel_root(b: float, h1: float, h2: float, m: float, d: float) -> float:
     return _anterior_travel(b, h1, h2, m) - d
+
+
+# scipy.optimize.brentq defaults, frozen here because the block solver
+# reimplements the C loop and must converge to the *same* iterate.
+_BRENT_XTOL = 2e-12
+_BRENT_RTOL = 4.0 * float(np.finfo(float).eps)
+_BRENT_MAXITER = 100
+
+# Below this many rows the numpy lockstep loop's fixed dispatch cost
+# (~40 array ops per Brent iteration) exceeds N scalar brentq calls;
+# fall back to the scalar solver (the results are bit-identical either
+# way, this is purely a perf knob — measured crossover ≈ 64 rows).
+_BLOCK_SCALAR_CUTOFF = 64
+
+
+def _brent_rows(
+    xpre: np.ndarray,
+    xcur: np.ndarray,
+    fpre: np.ndarray,
+    fcur: np.ndarray,
+    h1: np.ndarray,
+    h2: np.ndarray,
+    m: np.ndarray,
+    d: np.ndarray,
+    maxiter: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lockstep port of scipy's ``brentq`` C loop over many brackets.
+
+    Every row carries the full Zeroin state (``xpre/xcur/xblk``,
+    ``fpre/fcur/fblk``, ``spre/scur``) and each numpy operation below
+    mirrors one statement of ``scipy/optimize/Zeros/brentq.c`` in the
+    same order, so converged rows reproduce the scalar iterate
+    bit-for-bit (all steps are elementwise; there are no reductions to
+    reassociate).  Rows are compacted out of the working set as they
+    converge, keeping the per-iteration cost proportional to the rows
+    still live.
+
+    Callers must pre-clip: every row needs ``fpre < 0 < fcur``.
+
+    Returns ``(root, converged)``; non-converged rows (``maxiter``
+    exhausted — does not happen for Eq. (5)'s monotone travel function
+    within the physical bracket, but the fallback keeps the oracle
+    honest) hold NaN.
+    """
+    n = xcur.size
+    root = np.full(n, np.nan)
+    converged = np.zeros(n, dtype=bool)
+    idx = np.arange(n)
+
+    xblk = np.zeros(n)
+    fblk = np.zeros(n)
+    spre = np.zeros(n)
+    scur = np.zeros(n)
+
+    for _ in range(maxiter):
+        rebracket = (fpre != 0.0) & (fcur != 0.0) & ((fpre < 0.0) != (fcur < 0.0))
+        xblk = np.where(rebracket, xpre, xblk)
+        fblk = np.where(rebracket, fpre, fblk)
+        width = xcur - xpre
+        spre = np.where(rebracket, width, spre)
+        scur = np.where(rebracket, width, scur)
+
+        swap = np.abs(fblk) < np.abs(fcur)
+        xpre, xcur, xblk = (
+            np.where(swap, xcur, xpre),
+            np.where(swap, xblk, xcur),
+            np.where(swap, xcur, xblk),
+        )
+        fpre, fcur, fblk = (
+            np.where(swap, fcur, fpre),
+            np.where(swap, fblk, fcur),
+            np.where(swap, fcur, fblk),
+        )
+
+        delta = (_BRENT_XTOL + _BRENT_RTOL * np.abs(xcur)) / 2.0
+        sbis = (xblk - xcur) / 2.0
+        done = (fcur == 0.0) | (np.abs(sbis) < delta)
+        if done.any():
+            root[idx[done]] = xcur[done]
+            converged[idx[done]] = True
+            keep = ~done
+            if not keep.any():
+                return root, converged
+            idx = idx[keep]
+            xpre, xcur, xblk = xpre[keep], xcur[keep], xblk[keep]
+            fpre, fcur, fblk = fpre[keep], fcur[keep], fblk[keep]
+            spre, scur = spre[keep], scur[keep]
+            delta, sbis = delta[keep], sbis[keep]
+            h1, h2, m, d = h1[keep], h2[keep], m[keep], d[keep]
+
+        try_interp = (np.abs(spre) > delta) & (np.abs(fcur) < np.abs(fpre))
+        # The masked-out rows divide by zero / produce NaN here; they
+        # take the bisection branch below regardless (NaN compares
+        # False), exactly as the C code never evaluates stry for them.
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            stry_secant = -fcur * (xcur - xpre) / (fcur - fpre)
+            dpre = (fpre - fcur) / (xpre - xcur)
+            dblk = (fblk - fcur) / (xblk - xcur)
+            stry_quad = (
+                -fcur * (fblk * dblk - fpre * dpre) / (dblk * dpre * (fblk - fpre))
+            )
+            stry = np.where(xpre == xblk, stry_secant, stry_quad)
+            accept = try_interp & (
+                2.0 * np.abs(stry) < np.minimum(np.abs(spre), 3.0 * np.abs(sbis) - delta)
+            )
+        spre = np.where(accept, scur, sbis)
+        scur = np.where(accept, stry, sbis)
+
+        xpre = xcur
+        fpre = fcur
+        xcur = xcur + np.where(
+            np.abs(scur) > delta, scur, np.where(sbis > 0.0, delta, -delta)
+        )
+        fcur = _anterior_travel_rows(xcur, h1, h2, m) - d
+
+    return root, converged
+
+
+def solve_bounce_block(
+    h1: np.ndarray,
+    h2: np.ndarray,
+    d: np.ndarray,
+    arm_length_m: np.ndarray,
+    max_bounce_m: float = 0.30,
+    maxiter: int = _BRENT_MAXITER,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`solve_bounce` over N cycles at once.
+
+    One lockstep safeguarded solve (:func:`_brent_rows`) replaces N
+    independent ``optimize.brentq`` calls.  For every row where
+    ``valid`` is True the returned bounce is **bit-identical** to the
+    scalar :func:`solve_bounce` on the same inputs (bracket build,
+    endpoint clips, and every Brent iterate replicate the scalar
+    control flow exactly; see ``tests/test_batched_kernels.py`` for
+    the differential suite).  Rows where the scalar solver would raise
+    :class:`~repro.exceptions.GeometryError`, or where the lockstep
+    loop exhausts ``maxiter``, come back ``valid=False`` with NaN —
+    callers re-run those rows through the scalar path so errors keep
+    their exact scalar semantics.
+
+    Args:
+        h1: Signed device descents (i) -> (ii), metres, shape ``(n,)``.
+        h2: Signed device ascents (ii) -> (iii), metres, shape ``(n,)``.
+        d: Anterior arm travels (i) -> (iii), metres, shape ``(n,)``.
+        arm_length_m: Arm length per row (scalar broadcasts).
+        max_bounce_m: Physical upper bound of the search bracket.
+        maxiter: Brent iteration cap (scipy's default 100).
+
+    Returns:
+        ``(bounce, valid)`` — float64 roots (NaN where invalid) and a
+        boolean mask of rows the block solver fully resolved.
+    """
+    h1 = np.ascontiguousarray(h1, dtype=float)
+    h2 = np.ascontiguousarray(h2, dtype=float)
+    d = np.ascontiguousarray(d, dtype=float)
+    n = d.size
+    m = np.broadcast_to(np.asarray(arm_length_m, dtype=float), (n,))
+
+    bounce = np.full(n, np.nan)
+    valid = np.zeros(n, dtype=bool)
+    if n == 0:
+        return bounce, valid
+    if n <= _BLOCK_SCALAR_CUTOFF:
+        for i in range(n):
+            try:
+                bounce[i] = solve_bounce(
+                    float(h1[i]), float(h2[i]), float(d[i]), float(m[i]),
+                    max_bounce_m=max_bounce_m,
+                )
+                valid[i] = True
+            except GeometryError:
+                pass
+        return bounce, valid
+
+    # Scalar guard clauses, vectorized: m <= 0, d < 0, d > 2m, and the
+    # empty bracket all raise GeometryError in solve_bounce.
+    lo = np.maximum(np.maximum(0.0, -h1), -h2) + 1e-9
+    hi = np.minimum(np.minimum(max_bounce_m, m - h1), m - h2) - 1e-9
+    bad = (m <= 0.0) | (d < 0.0) | (d > 2.0 * m) | (hi <= lo)
+
+    f_lo = _anterior_travel_rows(lo, h1, h2, m) - d
+    f_hi = _anterior_travel_rows(hi, h1, h2, m) - d
+    clip_lo = ~bad & (f_lo >= 0.0)
+    clip_hi = ~bad & ~clip_lo & (f_hi <= 0.0)
+    bounce[clip_lo] = lo[clip_lo]
+    bounce[clip_hi] = hi[clip_hi]
+    valid[clip_lo | clip_hi] = True
+
+    solve = ~(bad | clip_lo | clip_hi)
+    if solve.any():
+        s = np.flatnonzero(solve)
+        roots, conv = _brent_rows(
+            lo[s], hi[s], f_lo[s], f_hi[s],
+            h1[s], h2[s], np.ascontiguousarray(m[s]), d[s],
+            maxiter,
+        )
+        bounce[s] = roots
+        valid[s] = conv
+    return bounce, valid
 
 
 def solve_bounce_lag_corrected(

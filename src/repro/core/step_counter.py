@@ -100,6 +100,25 @@ class ResolvedCycle:
         return self.gait_type is not GaitType.INTERFERENCE
 
 
+def _resolved(
+    cand: CycleCandidate,
+    gait: GaitType,
+    offset: float,
+    correlation: Optional[float],
+    phase_ok: Optional[bool],
+) -> ResolvedCycle:
+    """Field-for-field :class:`ResolvedCycle` without the frozen
+    constructor — the streak machine emits one per cycle fleet-wide."""
+    res = object.__new__(ResolvedCycle)
+    _set = object.__setattr__
+    _set(res, "candidate", cand)
+    _set(res, "gait_type", gait)
+    _set(res, "offset", offset)
+    _set(res, "correlation", correlation)
+    _set(res, "phase_ok", phase_ok)
+    return res
+
+
 class Fig4Streak:
     """The sequential consecutive-confirmation machine of Fig. 4.
 
@@ -143,7 +162,7 @@ class Fig4Streak:
 
     def _flush_interference(self) -> List[ResolvedCycle]:
         resolved = [
-            ResolvedCycle(cand, GaitType.INTERFERENCE, off, corr, phase)
+            _resolved(cand, GaitType.INTERFERENCE, off, corr, phase)
             for cand, off, corr, phase in self._pending
         ]
         self._pending.clear()
@@ -173,7 +192,7 @@ class Fig4Streak:
             # Walking: superposed arm + body sources.
             resolved = self._flush_interference()
             resolved.append(
-                ResolvedCycle(cand, GaitType.WALKING, cand.offset, None, None)
+                _resolved(cand, GaitType.WALKING, cand.offset, None, None)
             )
             return resolved
 
@@ -188,7 +207,7 @@ class Fig4Streak:
                 # Confirmation reached: credit every buffered cycle
                 # (the paper's "+6" event is exactly 3 cycles x 2).
                 resolved = [
-                    ResolvedCycle(c, GaitType.STEPPING, off, corr, phase)
+                    _resolved(c, GaitType.STEPPING, off, corr, phase)
                     for c, off, corr, phase in self._pending
                 ]
                 self._pending.clear()

@@ -266,6 +266,7 @@ class StreamingPTrack:
         self._filt = np.empty_like(self._data)
         self._machine = Fig4Streak(self._config)
         self._recent_strides: deque = deque(maxlen=32)
+        self._stride_fracs: List[float] = []
         self._stats = StreamingOpStats()
         self._telemetry = (
             telemetry if telemetry is not None else get_registry()
@@ -487,7 +488,7 @@ class StreamingPTrack:
         self._stats.samples_in += n
         self._stats.appends += 1
         if self._policy is None:
-            if not np.all(np.isfinite(samples)):
+            if not np.isfinite(samples).all():
                 raise SignalError("samples contain non-finite values")
             self._write(samples)
             return n
@@ -728,24 +729,31 @@ class StreamingPTrack:
         """
         if motion_ok:
             self._stats.offset_evaluations += 1
-        cand = CycleCandidate(
-            cycle_id=self._cycle_counter,
-            start=abs_start,
-            end=abs_end,
-            peaks=peaks,
-            motion_ok=motion_ok,
-            offset=offset,
-        )
+        # Built via __new__ + attribute sets: one candidate and one
+        # staged record per admitted cycle fleet-wide, and the
+        # dataclass constructors are ~2x the cost of plain sets.
+        cand = object.__new__(CycleCandidate)
+        cand.cycle_id = self._cycle_counter
+        cand.start = abs_start
+        cand.end = abs_end
+        cand.peaks = peaks
+        cand.motion_ok = motion_ok
+        cand.offset = offset
+        cand.corr = 0.0
+        cand.corr_v = 0.0
+        cand.phase_ok = False
         self._cycle_counter += 1
         self._stats.cycles_staged += 1
-        return StagedCycle(
-            candidate=cand,
-            v_seg=v_seg,
-            a_seg=a_seg,
-            h_seg=h_seg,
-            needs_stepping=motion_ok and offset <= self._config.offset_threshold,
-            anterior_ok=anterior_ok,
+        staged = object.__new__(StagedCycle)
+        staged.candidate = cand
+        staged.v_seg = v_seg
+        staged.a_seg = a_seg
+        staged.h_seg = h_seg
+        staged.needs_stepping = (
+            motion_ok and offset <= self._config.offset_threshold
         )
+        staged.anterior_ok = anterior_ok
+        return staged
 
     def classify(
         self,
@@ -842,7 +850,8 @@ class StreamingPTrack:
         for (cand, gait, segs), solved in zip(credited, solutions):
             self._credit(cand, gait, segs, solved, steps, strides)
         self._total_steps += len(steps)
-        self._total_distance += float(sum(s.length_m for s in strides))
+        distance = float(sum(s.length_m for s in strides))
+        self._total_distance += distance
         if steps:
             self._credited_until = max(
                 self._credited_until, steps[-1].index + 1
@@ -856,9 +865,7 @@ class StreamingPTrack:
                 self._m_steps.inc(len(steps))
             if strides:
                 self._m_strides.inc(len(strides))
-                self._m_distance.inc(
-                    float(sum(s.length_m for s in strides))
-                )
+                self._m_distance.inc(distance)
             self._publish_ops()
         return steps, strides
 
@@ -1026,15 +1033,19 @@ class StreamingPTrack:
         exactly the strides credited before it in this round.
         """
         dt = 1.0 / self._rate
+        # Step/stride records are built via __new__/__setattr__: the
+        # frozen-dataclass constructor costs ~2x per instance and this
+        # loop emits a few records per credited cycle fleet-wide. The
+        # instances are field-for-field what the constructor builds.
+        _new = object.__new__
+        _set = object.__setattr__
         for peak in cand.peaks:
-            steps.append(
-                StepEvent(
-                    time=peak * dt,
-                    index=int(peak),
-                    gait_type=gait,
-                    cycle_id=cand.cycle_id,
-                )
-            )
+            ev = _new(StepEvent)
+            _set(ev, "time", peak * dt)
+            _set(ev, "index", int(peak))
+            _set(ev, "gait_type", gait)
+            _set(ev, "cycle_id", cand.cycle_id)
+            steps.append(ev)
         if self._estimator is None or segs is None or not cand.peaks:
             return
         if solved is not None:
@@ -1050,20 +1061,21 @@ class StreamingPTrack:
             return
         n_seg = cand.end - cand.start
         per_cycle = self._config.steps_per_cycle
-        fracs = [(k + 0.5) / per_cycle for k in range(per_cycle)]
+        fracs = self._stride_fracs
+        if len(fracs) != per_cycle:
+            fracs = [(k + 0.5) / per_cycle for k in range(per_cycle)]
+            self._stride_fracs = fracs
         # A cycle whose earlier peaks were already consumed by a
         # previous (overlapping) cycle contributes only as many strides
         # as it contributes new steps — the latest positions.
         for frac in fracs[-len(cand.peaks):]:
-            strides.append(
-                StrideEstimate(
-                    time=(cand.start + frac * n_seg) * dt,
-                    length_m=stride,
-                    bounce_m=bounce,
-                    cycle_id=cand.cycle_id,
-                    gait_type=gait,
-                )
-            )
+            est = _new(StrideEstimate)
+            _set(est, "time", (cand.start + frac * n_seg) * dt)
+            _set(est, "length_m", stride)
+            _set(est, "bounce_m", bounce)
+            _set(est, "cycle_id", cand.cycle_id)
+            _set(est, "gait_type", gait)
+            strides.append(est)
 
     def _advance_filter(self, limit_abs: int) -> None:
         """Finalise hop-sized filter blocks up to ``limit_abs``.

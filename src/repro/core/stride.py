@@ -27,7 +27,11 @@ from repro.signal.filters import butter_lowpass
 from repro.signal.projection import anterior_direction, project_horizontal
 from repro.types import CycleClassification, GaitType, StrideEstimate, UserProfile
 
-__all__ = ["stride_from_bounce_model", "PTrackStrideEstimator"]
+__all__ = [
+    "stride_from_bounce_model",
+    "stride_rows_from_bounce",
+    "PTrackStrideEstimator",
+]
 
 
 def stride_from_bounce_model(bounce_m: float, profile: UserProfile) -> float:
@@ -44,13 +48,40 @@ def stride_from_bounce_model(bounce_m: float, profile: UserProfile) -> float:
     leg = profile.leg_length_m
     # Scalar clip + sqrt without the numpy dispatch overhead — this
     # runs once per credited cycle fleet-wide. math.sqrt and np.sqrt
-    # are both correctly rounded, so the result is bit-identical.
+    # are both correctly rounded, so the result is bit-identical. The
+    # squares are explicit products, not ``**2``: CPython's float pow
+    # differs from ``x * x`` in the last ulp for some inputs, and the
+    # batched row-wise form (:func:`stride_rows_from_bounce`)
+    # necessarily multiplies.
     b = float(bounce_m)
     if b < 0.0:
         b = 0.0
     elif b > leg:
         b = leg
-    return profile.calibration_k * math.sqrt(leg**2 - (leg - b) ** 2)
+    u = leg - b
+    return profile.calibration_k * math.sqrt(leg * leg - u * u)
+
+
+def stride_rows_from_bounce(
+    bounce_m: np.ndarray, leg_m: np.ndarray, calibration_k: np.ndarray
+) -> np.ndarray:
+    """Row-wise :func:`stride_from_bounce_model` over many cycles.
+
+    Every operation is the elementwise form of the scalar model (same
+    clip semantics, correctly rounded sqrt, explicit products), so each
+    row is bit-identical to the scalar call on the same inputs.
+
+    Args:
+        bounce_m: Estimated bounces, shape ``(n,)``.
+        leg_m: Leg length per row.
+        calibration_k: Calibration factor per row.
+
+    Returns:
+        Stride lengths in metres, float64.
+    """
+    b = np.where(bounce_m < 0.0, 0.0, np.where(bounce_m > leg_m, leg_m, bounce_m))
+    u = leg_m - b
+    return calibration_k * np.sqrt(leg_m * leg_m - u * u)
 
 
 class PTrackStrideEstimator:

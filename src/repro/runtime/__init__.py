@@ -14,6 +14,9 @@ loops into fan-out studies:
   behind the fleet-batched serving kernels (NumPy float64 baseline,
   optional float32 and Numba variants selected via ``PTRACK_BACKEND``).
 
+* :mod:`repro.runtime.buffers` — grow-on-demand keyed scratch arrays
+  shared by the batched kernel layers and the fleet serving round.
+
 * :mod:`repro.runtime.clock` — the clock seam for event-driven
   components (:class:`SystemClock` in production,
   :class:`ManualClock` in tests, so schedulers are testable without
@@ -32,6 +35,7 @@ from repro.runtime.backends import (
     available_backends,
     get_backend,
 )
+from repro.runtime.buffers import FleetBatchBuffer
 from repro.runtime.clock import Clock, ManualClock, SystemClock
 from repro.runtime.cache import (
     CACHE_SCHEMA,
@@ -55,6 +59,7 @@ __all__ = [
     "BACKEND_ENV_VAR",
     "Clock",
     "ComputeBackend",
+    "FleetBatchBuffer",
     "Float32Backend",
     "ManualClock",
     "NumbaBackend",

@@ -1,52 +1,78 @@
 """Pluggable compute backends for the fleet-batched hot kernels.
 
-The fleet-batched serving path (:mod:`repro.serving.batch`) funnels all
-of its per-round numeric heavy lifting through three kernels — 2-D
-block low-pass filtering, local-maxima scanning and peak-prominence
-measurement — so swapping the arithmetic substrate is a matter of
+The fleet-batched serving path (:mod:`repro.serving.batch`) funnels
+**every** per-round numeric stage through this seam — 2-D block
+low-pass filtering, fused extrema scanning, row-stacked mean-removal
+integration, the full cycle-measurement stage, and the batched bounce
+root solve — so swapping the arithmetic substrate is a matter of
 swapping one object. This module is that seam:
 
 * :class:`NumpyBackend` — the float64 baseline, always available. It
-  delegates to the exact same scipy kernels the scalar pipeline uses,
-  so batched results are **bit-identical** to the per-session reference
-  (the property the serving equivalence suite asserts).
+  delegates to the exact same scipy/NumPy kernels the scalar pipeline
+  uses, so batched results are **bit-identical** to the per-session
+  reference (the property the serving equivalence suite asserts).
 * :class:`Float32Backend` — casts kernel inputs to float32 before
-  dispatching to the same scipy kernels and returns float64. Cheaper on
+  dispatching to the same kernels and returns float64. Cheaper on
   memory bandwidth; results are *tolerance-bounded*, not identical
   (see the per-kernel tolerance table below).
-* :class:`NumbaBackend` — JIT-compiles the pure-Python reference scans
-  from :mod:`repro.signal.peaks` with ``numba.njit``. Available only
-  when ``numba`` is installed (feature-detected; selecting it without
-  the package raises a clear error and the test suite skips cleanly).
-  The reference scans are bit-identical to the scipy kernels (asserted
-  by the signal differential tests), so this backend is bit-identical
-  too; its filtering delegates to the float64 scipy path.
+* :class:`NumbaBackend` — genuinely fused ``numba.njit`` kernels:
+  a single-pass local-maxima **and** prominence scan over the packed
+  multi-window signal (:func:`_extrema_fused_loop`), and a per-row
+  compiled Brent bounce solver (:func:`_bounce_rows_loop`) that walks
+  the same Zeroin state machine as scipy's ``brentq`` without any
+  Python callback. Available only when ``numba`` is installed
+  (feature-detected; selecting it without the package raises a clear
+  error and the test suite skips cleanly). The loop bodies are
+  pure-Python specifications pinned bit-identical to the scipy
+  references by differential tests, so this backend is bit-identical
+  too; filtering and the row-stacked integrations delegate to the
+  float64 NumPy path (IIR filtering is already a C hot loop, and
+  NumPy's pairwise summation order cannot be reproduced by a
+  sequential compiled loop).
 
 Selection: :func:`get_backend` resolves, in order, an explicit argument,
 the ``PTRACK_BACKEND`` environment variable, then the ``"numpy"``
 default.
 
 Per-kernel tolerance policy (documented contract, pinned by
-``tests/test_backends.py``):
+``tests/test_backends.py`` and ``tests/test_batched_kernels.py``):
 
-====================  ==========  ==============================
-kernel                numpy/numba  float32
-====================  ==========  ==============================
-``lowpass_block``     exact       rtol 1e-4, atol 1e-4 (m/s^2)
-``local_maxima``      exact       index set may differ at ties
-``peak_prominences``  exact       rtol 1e-3, atol 1e-3 (m/s^2)
-====================  ==========  ==============================
+=====================  ===========  =================================
+kernel                 numpy/numba  float32
+=====================  ===========  =================================
+``lowpass_block``      exact        rtol 1e-4, atol 1e-4 (m/s^2)
+``local_maxima``       exact        index set may differ at ties
+``peak_prominences``   exact        rtol 1e-3, atol 1e-3 (m/s^2)
+``extrema_block``      exact        index set may differ at ties;
+                                    prominences rtol/atol 1e-3
+``integrate_block``    exact        rtol 1e-3, atol 1e-4 (m/s, m)
+``measurement_block``  exact        offsets rtol 1e-2, atol 1e-4;
+                                    boolean gates may flip at their
+                                    thresholds
+``bounce_solve_block`` exact        rtol 1e-3, atol 1e-4 (m) on
+                                    converged rows; validity mask may
+                                    differ at bracket boundaries
+=====================  ===========  =================================
 
-Only the default NumPy backend carries the bit-identity guarantee the
-``serial == pooled == sharded == batched`` crediting oracle relies on;
-the alternates are for throughput experiments where tolerance-bounded
-credits are acceptable.
+"Exact" means bit-identical to the float64 scalar reference
+(``solve_bounce``, the per-cycle measurement path, the scipy scans).
+For ``bounce_solve_block`` the contract is per row: every row the
+block solver reports ``valid`` is bit-identical to ``solve_bounce``;
+rows it cannot resolve (scalar would raise ``GeometryError``, or the
+lockstep loop exhausted its iteration budget) are re-run by callers
+through the scalar path, so credits never depend on the batch shape.
+
+Only backends whose :attr:`~ComputeBackend.bit_identical` flag is set
+carry the bit-identity guarantee the
+``serial == pooled == sharded == batched == gateway`` crediting oracle
+relies on; the alternates are for throughput experiments where
+tolerance-bounded credits are acceptable.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import signal as sp_signal
@@ -54,6 +80,10 @@ from scipy import signal as sp_signal
 from repro.exceptions import ConfigurationError
 from repro.signal.filters import butter_lowpass
 from repro.signal.peaks import peak_prominences as _peak_prominences_scipy
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle broken at runtime
+    from repro.core.config import PTrackConfig
+    from repro.runtime.buffers import FleetBatchBuffer
 
 __all__ = [
     "BACKEND_ENV_VAR",
@@ -100,6 +130,111 @@ class ComputeBackend:
         """Topographic prominences of ``peaks`` within ``x`` (float64 out)."""
         raise NotImplementedError
 
+    def extrema_block(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Fused maxima + prominence scan over a packed signal.
+
+        Returns ``(candidates, prominences)`` for every *finite* local
+        maximum of ``x``. On a :func:`repro.signal.batched.pack_windows`
+        signal the non-finite samples are exactly the ``+inf``
+        separators, so dropping non-finite peaks is the packed
+        equivalent of the per-window interior filter — one call
+        replaces the maxima scan, the interior mask, and the
+        prominence scan.
+
+        The default implementation composes :meth:`local_maxima` and
+        :meth:`peak_prominences`, so any backend implementing the
+        narrow kernels gets the fused one for free; backends with a
+        genuinely single-pass scan (numba) override it.
+        """
+        candidates = np.asarray(self.local_maxima(x), dtype=np.intp)
+        if candidates.size:
+            candidates = candidates[np.isfinite(x[candidates])]
+        if candidates.size == 0:
+            return candidates, np.empty(0)
+        proms = np.asarray(self.peak_prominences(x, candidates), dtype=float)
+        return candidates, proms
+
+    def integrate_block(
+        self, rows: np.ndarray, dt: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Row-wise mean-removal single **and** double integration.
+
+        For a ``(cycles, samples)`` stack of accelerations this returns
+        ``(velocity, displacement)`` — the row-wise forms of
+        :func:`repro.signal.integration.integrate_mean_removal` and
+        :func:`repro.signal.integration.double_integrate_mean_removal`.
+        The double integral's inner velocity *is* the returned velocity,
+        so callers needing both (the walking-cycle moment extraction)
+        pay one fused dispatch instead of recomputing it.
+
+        The default float64 implementation is bit-identical to the
+        scalar reference: every reduction is the same NumPy pairwise
+        sum over the same operand order.
+        """
+        velocity = _rows_integrate_mean_removal(rows, dt)
+        displacement = _rows_cumtrapz(
+            velocity - velocity.mean(axis=1)[:, None], dt
+        )
+        return velocity, displacement
+
+    def measurement_block(
+        self,
+        v_segs: Sequence[np.ndarray],
+        h_segs: Sequence[np.ndarray],
+        config: "PTrackConfig",
+        buffers: Optional["FleetBatchBuffer"] = None,
+    ) -> list:
+        """Measure all staged cycles of a round (projection/gate/offset).
+
+        The full measurement stage behind one dispatch: anterior
+        projection, motion gate and Eq. (1) critical-point offsets for
+        every staged cycle, exactly what the scalar
+        ``StreamingPTrack._stage`` computes per cycle. Returns one
+        :data:`repro.core.batched.StageMeasurement` per cycle.
+
+        The default implementation runs the stacked float64 reference
+        (:mod:`repro.core.batched`) with ``self`` supplying the extrema
+        sub-kernels, so a backend that overrides only the narrow scans
+        still shapes the whole stage.
+        """
+        from repro.core.batched import stage_measurements_impl
+
+        return stage_measurements_impl(v_segs, h_segs, config, self, buffers)
+
+    def bounce_solve_block(
+        self,
+        h1: np.ndarray,
+        h2: np.ndarray,
+        d: np.ndarray,
+        arm_length_m: np.ndarray,
+        max_bounce_m: float = 0.30,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched Eq. (3)-(5) bounce roots; ``(bounce, valid)``.
+
+        One vectorized safeguarded solve replaces N scalar ``brentq``
+        calls. Rows flagged ``valid`` are bit-identical to
+        :func:`repro.core.bounce.solve_bounce`; callers re-run the rest
+        through the scalar path (see the module tolerance policy).
+        """
+        from repro.core.bounce import solve_bounce_block
+
+        return solve_bounce_block(h1, h2, d, arm_length_m, max_bounce_m)
+
+
+def _rows_cumtrapz(rows: np.ndarray, dt: float) -> np.ndarray:
+    """Row-wise :func:`repro.signal.integration.cumulative_trapezoid`."""
+    out = np.empty_like(rows)
+    out[:, 0] = 0.0
+    np.cumsum((rows[:, 1:] + rows[:, :-1]) * (dt / 2.0), axis=1, out=out[:, 1:])
+    return out
+
+
+def _rows_integrate_mean_removal(rows: np.ndarray, dt: float) -> np.ndarray:
+    """Row-wise :func:`repro.signal.integration.integrate_mean_removal`."""
+    n = rows.shape[1]
+    trapezoid_mean = (rows.sum(axis=1) - 0.5 * (rows[:, 0] + rows[:, -1])) / (n - 1)
+    return _rows_cumtrapz(rows - trapezoid_mean[:, None], dt)
+
 
 class NumpyBackend(ComputeBackend):
     """Float64 baseline: the exact kernels the scalar pipeline uses."""
@@ -114,7 +249,11 @@ class NumpyBackend(ComputeBackend):
         sample_rate_hz: float,
         order: int,
     ) -> np.ndarray:
-        return butter_lowpass(block, cutoff_hz, sample_rate_hz, order)
+        # The fleet round copies hop-sized slices straight out of the
+        # result, so skip the final contiguous copy of the whole block.
+        return butter_lowpass(
+            block, cutoff_hz, sample_rate_hz, order, contiguous=False
+        )
 
     def local_maxima(self, x: np.ndarray) -> np.ndarray:
         if x.size < 3:
@@ -148,6 +287,7 @@ class Float32Backend(NumpyBackend):
             cutoff_hz,
             sample_rate_hz,
             order,
+            contiguous=False,
         )
         return np.asarray(out, dtype=np.float64)
 
@@ -157,6 +297,49 @@ class Float32Backend(NumpyBackend):
     def peak_prominences(self, x: np.ndarray, peaks: np.ndarray) -> np.ndarray:
         out = super().peak_prominences(np.asarray(x, dtype=np.float32), peaks)
         return np.asarray(out, dtype=np.float64)
+
+    def integrate_block(
+        self, rows: np.ndarray, dt: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        vel, disp = super().integrate_block(
+            np.asarray(rows, dtype=np.float32), dt
+        )
+        return (
+            np.asarray(vel, dtype=np.float64),
+            np.asarray(disp, dtype=np.float64),
+        )
+
+    def measurement_block(
+        self,
+        v_segs: Sequence[np.ndarray],
+        h_segs: Sequence[np.ndarray],
+        config: "PTrackConfig",
+        buffers: Optional["FleetBatchBuffer"] = None,
+    ) -> list:
+        # Quantize once at kernel entry; the stage itself then runs the
+        # float64 reference (with this backend's float32 scans inside).
+        v32 = [np.asarray(np.asarray(v, dtype=np.float32), dtype=np.float64)
+               for v in v_segs]
+        h32 = [np.asarray(np.asarray(h, dtype=np.float32), dtype=np.float64)
+               for h in h_segs]
+        return super().measurement_block(v32, h32, config, buffers)
+
+    def bounce_solve_block(
+        self,
+        h1: np.ndarray,
+        h2: np.ndarray,
+        d: np.ndarray,
+        arm_length_m: np.ndarray,
+        max_bounce_m: float = 0.30,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        def q(x: np.ndarray) -> np.ndarray:
+            return np.asarray(
+                np.asarray(x, dtype=np.float32), dtype=np.float64
+            )
+
+        return super().bounce_solve_block(
+            q(h1), q(h2), q(d), q(arm_length_m), max_bounce_m
+        )
 
 
 def _numba_module():
@@ -194,11 +377,19 @@ class NumbaBackend(ComputeBackend):
         self._numpy = NumpyBackend()
         self._local_maxima_jit = numba.njit(cache=False)(_local_maxima_loop)
         self._prominences_jit = numba.njit(cache=False)(_prominences_loop)
+        self._extrema_jit = numba.njit(cache=False)(_extrema_fused_loop)
+        self._bounce_rows_jit = numba.njit(cache=False)(_bounce_rows_loop)
         # Warm the compiler on tiny inputs so first-round serving
         # latency does not absorb the JIT cost.
         self._local_maxima_jit(np.asarray([0.0, 1.0, 0.0]))
         self._prominences_jit(
             np.asarray([0.0, 1.0, 0.0]), np.asarray([1], dtype=np.intp)
+        )
+        self._extrema_jit(np.asarray([0.0, 1.0, 0.0]))
+        self._bounce_rows_jit(
+            np.asarray([0.01]), np.asarray([0.01]), np.asarray([0.3]),
+            np.asarray([0.7]), 0.30, 2e-12, 4.0 * float(np.finfo(float).eps),
+            100, np.empty(1), np.empty(1, dtype=np.bool_),
         )
 
     def lowpass_block(
@@ -222,6 +413,41 @@ class NumbaBackend(ComputeBackend):
         if idx.size == 0:
             return np.empty(0, dtype=np.float64)
         return self._prominences_jit(np.ascontiguousarray(x), idx)
+
+    def extrema_block(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        if x.size < 3:
+            return np.empty(0, dtype=np.intp), np.empty(0)
+        return self._extrema_jit(np.ascontiguousarray(x))
+
+    def bounce_solve_block(
+        self,
+        h1: np.ndarray,
+        h2: np.ndarray,
+        d: np.ndarray,
+        arm_length_m: np.ndarray,
+        max_bounce_m: float = 0.30,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        from repro.core.bounce import (
+            _BRENT_MAXITER,
+            _BRENT_RTOL,
+            _BRENT_XTOL,
+        )
+
+        d64 = np.ascontiguousarray(d, dtype=np.float64)
+        n = d64.size
+        m = np.ascontiguousarray(
+            np.broadcast_to(np.asarray(arm_length_m, dtype=np.float64), (n,))
+        )
+        bounce = np.empty(n)
+        valid = np.empty(n, dtype=np.bool_)
+        self._bounce_rows_jit(
+            np.ascontiguousarray(h1, dtype=np.float64),
+            np.ascontiguousarray(h2, dtype=np.float64),
+            d64, m, float(max_bounce_m),
+            _BRENT_XTOL, _BRENT_RTOL, _BRENT_MAXITER,
+            bounce, valid,
+        )
+        return bounce, valid
 
 
 def _local_maxima_loop(x: np.ndarray) -> np.ndarray:
@@ -266,6 +492,197 @@ def _prominences_loop(x: np.ndarray, peaks: np.ndarray) -> np.ndarray:
         wall = left_min if left_min > right_min else right_min
         out[k] = height - wall
     return out
+
+
+def _extrema_fused_loop(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """One-pass maxima + prominence scan, finite peaks only.
+
+    The fused (njit-compilable) form of
+    ``ComputeBackend.extrema_block``: a single traversal locates every
+    plateau-centre maximum and measures its prominence in place,
+    skipping non-finite peaks (the ``+inf`` window separators of
+    :func:`repro.signal.batched.pack_windows`). Equivalent to
+    ``_local_maxima_loop`` + interior filter + ``_prominences_loop``,
+    without re-walking the signal per primitive.
+    """
+    n = x.size
+    cand = np.empty(n // 2 + 1, dtype=np.intp)
+    proms = np.empty(n // 2 + 1, dtype=np.float64)
+    m = 0
+    i = 1
+    while i < n - 1:
+        if x[i] > x[i - 1]:
+            j = i
+            while j < n - 1 and x[j + 1] == x[j]:
+                j += 1
+            if j < n - 1 and x[j + 1] < x[j]:
+                p = (i + j) // 2
+                height = x[p]
+                if np.isfinite(height):
+                    left_min = height
+                    k = p - 1
+                    while k >= 0 and x[k] <= height:
+                        if x[k] < left_min:
+                            left_min = x[k]
+                        k -= 1
+                    right_min = height
+                    k = p + 1
+                    while k < n and x[k] <= height:
+                        if x[k] < right_min:
+                            right_min = x[k]
+                        k += 1
+                    wall = left_min if left_min > right_min else right_min
+                    cand[m] = p
+                    proms[m] = height - wall
+                    m += 1
+            i = j + 1
+        else:
+            i += 1
+    return cand[:m].copy(), proms[:m].copy()
+
+
+def _bounce_rows_loop(
+    h1: np.ndarray,
+    h2: np.ndarray,
+    d: np.ndarray,
+    arm: np.ndarray,
+    max_bounce_m: float,
+    xtol: float,
+    rtol: float,
+    maxiter: int,
+    out_bounce: np.ndarray,
+    out_valid: np.ndarray,
+) -> None:
+    """Per-row scalar Brent bounce solves (njit-compilable).
+
+    The compiled-loop form of
+    :func:`repro.core.bounce.solve_bounce_block`: per row it replays
+    ``solve_bounce``'s guard clauses, bracket build and endpoint clips,
+    then walks the exact Zeroin state machine of scipy's ``brentq`` C
+    implementation — every float operation in scalar program order, so
+    results are bit-identical to the scalar solver. Rows whose
+    geometry the scalar path rejects (or that exhaust ``maxiter``)
+    come out NaN with ``out_valid`` False.
+    """
+    for r in range(d.size):
+        out_bounce[r] = np.nan
+        out_valid[r] = False
+        m = arm[r]
+        dd = d[r]
+        a1 = h1[r]
+        a2 = h2[r]
+        if m <= 0.0 or dd < 0.0 or dd > 2.0 * m:
+            continue
+        lo = 0.0
+        if -a1 > lo:
+            lo = -a1
+        if -a2 > lo:
+            lo = -a2
+        lo = lo + 1e-9
+        hi = max_bounce_m
+        if m - a1 < hi:
+            hi = m - a1
+        if m - a2 < hi:
+            hi = m - a2
+        hi = hi - 1e-9
+        if hi <= lo:
+            continue
+
+        # Anterior travel at a trial bounce, inlined at each call site
+        # (numba-safe: no closure capture inside the row loop). The
+        # arithmetic is exactly _anterior_travel's: explicit products,
+        # clamped operands, correctly rounded sqrt.
+        u1 = m - (a1 + lo)
+        u2 = m - (a2 + lo)
+        t1 = m * m - u1 * u1
+        t2 = m * m - u2 * u2
+        if t1 < 0.0:
+            t1 = 0.0
+        if t2 < 0.0:
+            t2 = 0.0
+        f_lo = np.sqrt(t1) + np.sqrt(t2) - dd
+        u1 = m - (a1 + hi)
+        u2 = m - (a2 + hi)
+        t1 = m * m - u1 * u1
+        t2 = m * m - u2 * u2
+        if t1 < 0.0:
+            t1 = 0.0
+        if t2 < 0.0:
+            t2 = 0.0
+        f_hi = np.sqrt(t1) + np.sqrt(t2) - dd
+        if f_lo >= 0.0:
+            out_bounce[r] = lo
+            out_valid[r] = True
+            continue
+        if f_hi <= 0.0:
+            out_bounce[r] = hi
+            out_valid[r] = True
+            continue
+
+        xpre = lo
+        xcur = hi
+        fpre = f_lo
+        fcur = f_hi
+        xblk = 0.0
+        fblk = 0.0
+        spre = 0.0
+        scur = 0.0
+        for _ in range(maxiter):
+            if fpre != 0.0 and fcur != 0.0 and ((fpre < 0.0) != (fcur < 0.0)):
+                xblk = xpre
+                fblk = fpre
+                spre = xcur - xpre
+                scur = spre
+            if abs(fblk) < abs(fcur):
+                xpre = xcur
+                xcur = xblk
+                xblk = xpre
+                fpre = fcur
+                fcur = fblk
+                fblk = fpre
+            delta = (xtol + rtol * abs(xcur)) / 2.0
+            sbis = (xblk - xcur) / 2.0
+            if fcur == 0.0 or abs(sbis) < delta:
+                out_bounce[r] = xcur
+                out_valid[r] = True
+                break
+            if abs(spre) > delta and abs(fcur) < abs(fpre):
+                if xpre == xblk:
+                    stry = -fcur * (xcur - xpre) / (fcur - fpre)
+                else:
+                    dpre = (fpre - fcur) / (xpre - xcur)
+                    dblk = (fblk - fcur) / (xblk - xcur)
+                    stry = (
+                        -fcur
+                        * (fblk * dblk - fpre * dpre)
+                        / (dblk * dpre * (fblk - fpre))
+                    )
+                if 2.0 * abs(stry) < min(abs(spre), 3.0 * abs(sbis) - delta):
+                    spre = scur
+                    scur = stry
+                else:
+                    spre = sbis
+                    scur = sbis
+            else:
+                spre = sbis
+                scur = sbis
+            xpre = xcur
+            fpre = fcur
+            if abs(scur) > delta:
+                xcur = xcur + scur
+            elif sbis > 0.0:
+                xcur = xcur + delta
+            else:
+                xcur = xcur - delta
+            u1 = m - (a1 + xcur)
+            u2 = m - (a2 + xcur)
+            t1 = m * m - u1 * u1
+            t2 = m * m - u2 * u2
+            if t1 < 0.0:
+                t1 = 0.0
+            if t2 < 0.0:
+                t2 = 0.0
+            fcur = np.sqrt(t1) + np.sqrt(t2) - dd
 
 
 _FACTORIES: Dict[str, Callable[[], ComputeBackend]] = {

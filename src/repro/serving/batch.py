@@ -49,62 +49,16 @@ from repro.core.config import PTrackConfig
 from repro.core.streaming import StagedCycle
 from repro.faults.policy import FaultPolicy
 from repro.runtime.backends import ComputeBackend, get_backend
+from repro.runtime.buffers import FleetBatchBuffer
 from repro.serving.pool import SessionPool
 from repro.signal.batched import batched_segment_windows
 from repro.telemetry.registry import MetricsRegistry
 from repro.types import StepEvent, StrideEstimate
 
+# FleetBatchBuffer historically lived here; it moved to
+# repro.runtime.buffers so the kernel layers can accept scratch without
+# importing the serving layer. Re-exported for compatibility.
 __all__ = ["FleetBatchBuffer", "BatchedSessionPool"]
-
-
-class FleetBatchBuffer:
-    """Grow-on-demand keyed scratch arrays for fleet-batched rounds.
-
-    The batched round repeatedly needs large transient buffers (the
-    packed segmentation signal, the column-stacked filter blocks) whose
-    sizes vary round to round. Allocating them fresh each round churns
-    the allocator at exactly the call rate batching is meant to
-    amortise; this buffer hands out views over per-key backing arrays
-    that only ever grow.
-
-    Views are only valid until the same key is requested again —
-    callers copy anything they need to keep, which the serving round
-    does anyway (filtered output is committed into session buffers,
-    packed signals are consumed within the kernel call).
-    """
-
-    def __init__(self) -> None:
-        self._store: Dict[str, np.ndarray] = {}
-
-    def request(
-        self,
-        key: str,
-        shape: Union[int, Tuple[int, ...]],
-        dtype: type = np.float64,
-    ) -> np.ndarray:
-        """A view of ``shape`` over the (possibly grown) buffer ``key``.
-
-        Contents are uninitialised — callers overwrite before reading.
-        """
-        if isinstance(shape, int):
-            shape = (shape,)
-        total = 1
-        for dim in shape:
-            total *= int(dim)
-        buf = self._store.get(key)
-        if buf is None or buf.size < total or buf.dtype != np.dtype(dtype):
-            buf = np.empty(total, dtype=dtype)
-            self._store[key] = buf
-        return buf[:total].reshape(shape)
-
-    @property
-    def nbytes(self) -> int:
-        """Total bytes currently retained across all keys."""
-        return sum(buf.nbytes for buf in self._store.values())
-
-    def clear(self) -> None:
-        """Release every retained buffer."""
-        self._store.clear()
 
 
 class BatchedSessionPool(SessionPool):
@@ -124,6 +78,18 @@ class BatchedSessionPool(SessionPool):
             bit-identical backends preserve the crediting-equivalence
             oracle; see :mod:`repro.runtime.backends` for the
             per-kernel tolerance policy of the alternates.
+        small_fleet_cutoff: Rounds with at most this many due sessions
+            skip the fleet packing/stacking machinery and run the
+            lockstep scalar round instead. Only taken on bit-identical
+            backends (the scalar round *is* the reference, so credits
+            are unchanged by construction); ``0`` disables the fast
+            path. ``None`` uses :attr:`SMALL_FLEET_CUTOFF` — currently
+            ``0``: with the backend-wide kernels the packed round beats
+            the scalar round at every measured occupancy (1–10 due
+            sessions; see the ``small_fleet`` section of
+            ``BENCH_PR8.json``), so the scalar path is an escape hatch
+            for deployments whose profile says otherwise, not a
+            default.
 
     All other arguments are inherited from :class:`SessionPool`.
     """
@@ -131,6 +97,14 @@ class BatchedSessionPool(SessionPool):
     ROUND_SECONDS_METRIC = "serving_batch_round_seconds"
     APPENDS_METRIC = "serving_batch_appends_total"
     SESSIONS_GAUGE_METRIC = "serving_batch_sessions"
+
+    #: Default ``small_fleet_cutoff``. 0 = packed rounds at every
+    #: occupancy: measured on the tracked workload, the packed round
+    #: wins even at one due session once measurement/integration/bounce
+    #: all dispatch through backend kernels (BENCH_PR8 ``small_fleet``
+    #: rows), so delegating small rounds to the scalar path would be a
+    #: pessimisation, not a fast path.
+    SMALL_FLEET_CUTOFF = 0
 
     def __init__(
         self,
@@ -142,6 +116,7 @@ class BatchedSessionPool(SessionPool):
         isolate_failures: bool = True,
         telemetry: Optional[MetricsRegistry] = None,
         backend: Optional[Union[str, ComputeBackend]] = None,
+        small_fleet_cutoff: Optional[int] = None,
     ) -> None:
         super().__init__(
             sample_rate_hz,
@@ -154,6 +129,11 @@ class BatchedSessionPool(SessionPool):
         )
         self._backend = get_backend(backend)
         self._buffers = FleetBatchBuffer()
+        self._small_fleet_cutoff = (
+            self.SMALL_FLEET_CUTOFF
+            if small_fleet_cutoff is None
+            else small_fleet_cutoff
+        )
         if self._telemetry is not None:
             reg = self._telemetry
             self._m_rounds = reg.counter("serving_batch_rounds_total")
@@ -242,6 +222,15 @@ class BatchedSessionPool(SessionPool):
         if self._telemetry is not None:
             self._m_rounds.inc()
             self._m_occupancy.set(n_due)
+        if n_due <= self._small_fleet_cutoff and self._backend.bit_identical:
+            # Small-fleet escape hatch: delegate tiny rounds to the
+            # lockstep scalar round. It IS the batched round's
+            # bit-identity reference, so taking it changes nothing but
+            # latency. Tolerance backends (float32) must not take it —
+            # they would silently compute in float64. Off by default
+            # (see SMALL_FLEET_CUTOFF): the packed round measures
+            # faster at every occupancy on the tracked workload.
+            return self._scalar_round(session_ids, sessions, due_ks, out)
         alive = [True] * n_due
 
         def fail(d: int, exc: BaseException) -> None:
@@ -374,7 +363,9 @@ class BatchedSessionPool(SessionPool):
                 flat_v.append(v_seg)
                 flat_h.append(h_seg)
         measurements = (
-            batched_stage_measurements(flat_v, flat_h, cfg, be)
+            batched_stage_measurements(
+                flat_v, flat_h, cfg, be, buffers=self._buffers
+            )
             if flat_v
             else []
         )
@@ -441,7 +432,9 @@ class BatchedSessionPool(SessionPool):
             solve_start[d] = len(all_items)
             all_items.extend(items)
         flat_solutions = (
-            batched_cycle_solutions(all_items, 1.0 / rate)
+            batched_cycle_solutions(
+                all_items, 1.0 / rate, backend=be, buffers=self._buffers
+            )
             if all_items
             else []
         )
@@ -467,6 +460,49 @@ class BatchedSessionPool(SessionPool):
                 fail(d, exc)
                 continue
             k = due_ks[d]
+            out[k][0].extend(steps)
+            out[k][1].extend(strides)
+            next_active.append(k)
+        return next_active
+
+    # ------------------------------------------------------------------
+    # Small-fleet fast path
+    # ------------------------------------------------------------------
+    def _scalar_round(
+        self,
+        session_ids: Sequence[int],
+        sessions: Sequence,
+        due_ks: Sequence[int],
+        out: List[Tuple[List[StepEvent], List[StrideEstimate]]],
+    ) -> List[int]:
+        """One lockstep round over the due sessions, no fleet packing.
+
+        Exactly the round body of :meth:`SessionPool.append` — per-due
+        session ``collect()``, one pooled stepping batch, per-session
+        ``resolve()`` — with the same failure isolation. Bit-identical
+        to the packed round because it *is* the reference path the
+        packed round is differentially pinned against.
+        """
+        round_staged: List[Tuple[int, List[StagedCycle]]] = []
+        for k in due_ks:
+            try:
+                staged = sessions[k].collect()
+            except Exception as exc:  # noqa: BLE001 — isolation boundary
+                self._mark_failed(session_ids[k], exc)
+                continue
+            if staged is None:
+                continue
+            round_staged.append((k, staged))
+        if not round_staged:
+            return []
+        values = self._pooled_stepping([staged for _, staged in round_staged])
+        next_active: List[int] = []
+        for (k, staged), vals in zip(round_staged, values):
+            try:
+                steps, strides = sessions[k].resolve(staged, vals)
+            except Exception as exc:  # noqa: BLE001
+                self._mark_failed(session_ids[k], exc)
+                continue
             out[k][0].extend(steps)
             out[k][1].extend(strides)
             next_active.append(k)

@@ -28,7 +28,7 @@ and :func:`repro.signal.segmentation.segment_gait_cycles`.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -40,6 +40,7 @@ from repro.signal.segmentation import Segment, _pair_cycles
 __all__ = [
     "pack_windows",
     "multi_window_extrema",
+    "multi_window_extrema_pair",
     "batched_segment_windows",
     "crossing_indices",
     "batched_crossing_indices",
@@ -145,6 +146,64 @@ def multi_window_extrema(
     """
     be = backend if backend is not None else get_backend()
     concat, starts, lens = pack_windows(windows, negate=negate, out=scratch)
+    return _extrema_from_packed(
+        be, concat, starts, lens, min_prominences, min_distances
+    )
+
+
+def multi_window_extrema_pair(
+    windows: Windows,
+    peak_prominences: Union[float, Sequence[float]],
+    valley_prominences: Union[float, Sequence[float]],
+    min_distances: Union[int, Sequence[int]],
+    backend: Optional[ComputeBackend] = None,
+    scratch: Optional[np.ndarray] = None,
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Peaks *and* valleys of the same windows from one packing.
+
+    Semantically the ``multi_window_extrema(...)`` /
+    ``multi_window_extrema(..., negate=True)`` pair, but the windows
+    are packed once: the valley pass negates the packed signal in
+    place and restores the ``+inf`` separators, which is bitwise
+    identical to packing the negated windows (float64 negation is
+    exact), then reuses the same buffer.
+
+    Args:
+        windows: Windows to scan (sequence of 1-D arrays or 2-D rows).
+        peak_prominences: Peak-prominence floor, scalar or per window.
+        valley_prominences: Valley-prominence floor, scalar or per
+            window.
+        min_distances: Spacing gate, scalar or one per window.
+        backend: Compute backend; ``None`` resolves the default.
+        scratch: Optional packing scratch (see :func:`pack_windows`).
+
+    Returns:
+        Tuple ``(peaks_per, valleys_per)`` of per-window sorted
+        window-local index arrays.
+    """
+    be = backend if backend is not None else get_backend()
+    concat, starts, lens = pack_windows(windows, out=scratch)
+    peaks_per = _extrema_from_packed(
+        be, concat, starts, lens, peak_prominences, min_distances
+    )
+    if lens.size:
+        np.negative(concat, out=concat)
+        concat[starts + lens] = np.inf
+    valleys_per = _extrema_from_packed(
+        be, concat, starts, lens, valley_prominences, min_distances
+    )
+    return peaks_per, valleys_per
+
+
+def _extrema_from_packed(
+    be: ComputeBackend,
+    concat: np.ndarray,
+    starts: np.ndarray,
+    lens: np.ndarray,
+    min_prominences: Union[float, Sequence[float]],
+    min_distances: Union[int, Sequence[int]],
+) -> List[np.ndarray]:
+    """Shared post-packing half of the multi-window extrema scans."""
     n_windows = lens.size
     empty = np.empty(0, dtype=int)
     results: List[np.ndarray] = [empty] * n_windows
@@ -156,18 +215,19 @@ def multi_window_extrema(
     distances = np.broadcast_to(
         np.asarray(min_distances, dtype=np.intp), (n_windows,)
     )
-    candidates = np.asarray(be.local_maxima(concat), dtype=np.intp)
+    # One fused kernel call replaces the local_maxima + prominence
+    # pair. extrema_block drops non-finite candidates, which here is
+    # exactly the old interior filter: the separators are the only
+    # non-finite samples in the packed signal (callers validate window
+    # samples finite), and every separator index is a window's
+    # one-past-the-end position.
+    candidates, proms = be.extrema_block(concat)
+    candidates = np.asarray(candidates, dtype=np.intp)
     if candidates.size == 0:
         return results
     win_ids = np.searchsorted(starts, candidates, side="right") - 1
     local = candidates - starts[win_ids]
-    interior = local < lens[win_ids]
-    candidates = candidates[interior]
-    if candidates.size == 0:
-        return results
-    win_ids = win_ids[interior]
-    local = local[interior]
-    proms = np.asarray(be.peak_prominences(concat, candidates), dtype=float)
+    proms = np.asarray(proms, dtype=float)
     keep = proms >= proms_floor[win_ids]
     win_ids, local, proms = win_ids[keep], local[keep], proms[keep]
     m = win_ids.size
@@ -191,8 +251,9 @@ def multi_window_extrema(
         crowded = set(win_ids[1:][tight].tolist())
     else:
         crowded = set()
+    bl = bounds.tolist()
     for w in range(n_windows):
-        lo, hi = int(bounds[w]), int(bounds[w + 1])
+        lo, hi = bl[w], bl[w + 1]
         if lo == hi:
             continue
         cand = local[lo:hi]
@@ -263,22 +324,19 @@ def batched_segment_windows(
             )
         elif w.size == 0:
             results[i] = []
-        elif not np.all(np.isfinite(w)):
+        elif not np.isfinite(w).all():
             results[i] = SignalError("vertical contains non-finite values")
         else:
             live.append(i)
     if not live:
         return results
     live_windows = [windows[i] for i in live]
-    peaks_per = multi_window_extrema(
-        live_windows, min_prominence, min_gap, backend, scratch=scratch
-    )
-    valleys_per = multi_window_extrema(
+    peaks_per, valleys_per = multi_window_extrema_pair(
         live_windows,
+        min_prominence,
         min_prominence * 0.5,
         min_gap,
         backend,
-        negate=True,
         scratch=scratch,
     )
     for i, peaks, valleys in zip(live, peaks_per, valleys_per):

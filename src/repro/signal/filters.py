@@ -68,7 +68,10 @@ def _sosfiltfilt_setup(
 
 
 def _sosfiltfilt_cached(
-    arr: np.ndarray, order: int, normalized_cutoff: float
+    arr: np.ndarray,
+    order: int,
+    normalized_cutoff: float,
+    contiguous: bool = True,
 ) -> np.ndarray:
     """``sosfiltfilt(sos, arr, axis=0)`` with the setup cost memoized.
 
@@ -90,7 +93,8 @@ def _sosfiltfilt_cached(
     )
     y, _ = sp_signal.sosfilt(sos, ext, axis=0, zi=zi * ext[0:1])
     y, _ = sp_signal.sosfilt(sos, y[::-1], axis=0, zi=zi * y[-1:])
-    return np.ascontiguousarray(y[::-1][edge:-edge])
+    out = y[::-1][edge:-edge]
+    return np.ascontiguousarray(out) if contiguous else out
 
 
 def butter_lowpass(
@@ -98,6 +102,7 @@ def butter_lowpass(
     cutoff_hz: float,
     sample_rate_hz: float,
     order: int = 4,
+    contiguous: bool = True,
 ) -> np.ndarray:
     """Zero-phase Butterworth low-pass filter.
 
@@ -112,6 +117,10 @@ def butter_lowpass(
             below the Nyquist frequency.
         sample_rate_hz: Sampling rate of ``x`` in Hz.
         order: Filter order (of the underlying one-pass design).
+        contiguous: When ``False``, the result may be a (bitwise
+            identical) non-contiguous view into filter scratch —
+            for hot callers that immediately copy slices out and
+            would otherwise pay a redundant full-block copy.
 
     Returns:
         The filtered signal, same shape as ``x``.
@@ -144,7 +153,7 @@ def butter_lowpass(
         return np.column_stack(
             [moving_average(arr[:, j], width) for j in range(arr.shape[1])]
         )
-    return _sosfiltfilt_cached(arr, order, cutoff_hz / nyquist)
+    return _sosfiltfilt_cached(arr, order, cutoff_hz / nyquist, contiguous)
 
 
 def moving_average(x: np.ndarray, width: int) -> np.ndarray:

@@ -156,7 +156,12 @@ def _pair_cycles(
     # Pure-integer walk over Python lists: the valleys are sorted, so
     # the nearest-valley lookups are bisections rather than boolean
     # masks — this runs once per window fleet-wide and the array form
-    # was a measurable share of the serving profile.
+    # was a measurable share of the serving profile. Segments are
+    # built via __new__/__setattr__ — the walk already guarantees
+    # 0 <= start < end, so the validating constructor (which pays the
+    # frozen-dataclass __init__ on every cycle fleet-wide) is skipped.
+    seg_new = object.__new__
+    seg_set = object.__setattr__
     plist = peaks.tolist()
     vlist = valleys.tolist()
     nv = len(vlist)
@@ -172,7 +177,11 @@ def _pair_cycles(
         start = vlist[li - 1] if li else max(0, p1 - min_gap)
         end = vlist[ri] + 1 if ri < nv else min(n, p2 + min_gap + 1)
         if end - start >= 4:
-            cycles.append(Segment(start, end, (p1, p2)))
+            seg = seg_new(Segment)
+            seg_set(seg, "start", start)
+            seg_set(seg, "end", end)
+            seg_set(seg, "peak_indices", (p1, p2))
+            cycles.append(seg)
         i += 2
     return cycles
 

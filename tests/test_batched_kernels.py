@@ -1,0 +1,336 @@
+"""Tests for the PR-8 backend-wide kernels.
+
+Three layers:
+
+* **solver differential** — :func:`repro.core.bounce.solve_bounce_block`
+  against the scalar :func:`~repro.core.bounce.solve_bounce` on
+  hypothesis-randomized physical geometries: converged rows must be
+  float64 bit-identical to scipy's ``brentq``, rejected geometries must
+  come back ``valid=False``, and a starved iteration budget must
+  surface as ``valid=False`` (the callers' scalar-fallback contract)
+  rather than a wrong root.
+* **backend parity** — ``extrema_block`` / ``integrate_block`` /
+  ``measurement_block`` / ``bounce_solve_block`` across the registry:
+  bit-identity on numpy (and numba when installed), documented
+  tolerances on float32.
+* **loop specifications** — the njit-compilable loop bodies
+  (:func:`repro.runtime.backends._extrema_fused_loop`,
+  :func:`repro.runtime.backends._bounce_rows_loop`) exercised
+  un-jitted against their scipy/scalar references, so the numba
+  backend's kernels are pinned even where the package is absent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounce import (
+    _BLOCK_SCALAR_CUTOFF,
+    GeometryError,
+    solve_bounce,
+    solve_bounce_block,
+)
+from repro.core.config import PTrackConfig
+from repro.core.stride import stride_from_bounce_model, stride_rows_from_bounce
+from repro.runtime.backends import (
+    _bounce_rows_loop,
+    _extrema_fused_loop,
+    available_backends,
+    get_backend,
+)
+from repro.signal.batched import pack_windows
+from repro.types import UserProfile
+
+NUMBA_AVAILABLE = available_backends()["numba"][0]
+
+PARITY_BACKENDS = ["numpy", "float32"] + (["numba"] if NUMBA_AVAILABLE else [])
+
+
+def _walky(n, seed, freq=1.8, noise=0.25):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) / 100.0
+    return np.sin(2 * np.pi * freq * t) + noise * rng.standard_normal(n)
+
+
+def _random_geometries(n, seed, degenerate=True):
+    """Random bounce rows spanning (and exceeding) the physical range."""
+    rng = np.random.default_rng(seed)
+    h1 = rng.uniform(-0.15, 0.25, n)
+    h2 = rng.uniform(-0.15, 0.25, n)
+    d = rng.uniform(0.0, 0.9, n)
+    m = rng.uniform(0.4, 0.95, n)
+    if degenerate and n >= 10:
+        k = n // 10
+        bad = rng.choice(n, size=k, replace=False)
+        d[bad] = rng.uniform(1.5, 3.0, k)
+        zero = rng.choice(n, size=k, replace=False)
+        m[zero] = 0.0
+    return h1, h2, d, m
+
+
+def _assert_block_matches_scalar(h1, h2, d, m, bounce, valid):
+    for r in range(d.size):
+        try:
+            ref = solve_bounce(
+                float(h1[r]), float(h2[r]), float(d[r]), float(m[r])
+            )
+        except GeometryError:
+            assert not valid[r]
+            continue
+        assert valid[r]
+        assert bounce[r] == ref  # bitwise
+
+
+# ----------------------------------------------------------------------
+# Solver differential
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_solve_bounce_block_bit_identical_vectorized_path(seed):
+    # > _BLOCK_SCALAR_CUTOFFF rows, so the lockstep Brent runs, not the
+    # small-batch scalar loop.
+    n = 2 * _BLOCK_SCALAR_CUTOFF
+    h1, h2, d, m = _random_geometries(n, seed)
+    bounce, valid = solve_bounce_block(h1, h2, d, m)
+    _assert_block_matches_scalar(h1, h2, d, m, bounce, valid)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 16))
+def test_solve_bounce_block_bit_identical_scalar_path(seed, n):
+    # <= cutoff rows take the scalar loop; same contract either way.
+    h1, h2, d, m = _random_geometries(n, seed, degenerate=False)
+    bounce, valid = solve_bounce_block(h1, h2, d, m)
+    _assert_block_matches_scalar(h1, h2, d, m, bounce, valid)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.floats(-0.15, 0.25),
+    st.floats(-0.15, 0.25),
+    st.floats(0.0, 0.9),
+    st.floats(0.4, 0.95),
+)
+def test_solve_bounce_block_single_row_matches_scalar(h1, h2, d, m):
+    bounce, valid = solve_bounce_block(
+        np.asarray([h1]), np.asarray([h2]), np.asarray([d]), np.asarray([m])
+    )
+    _assert_block_matches_scalar(
+        np.asarray([h1]), np.asarray([h2]), np.asarray([d]), np.asarray([m]),
+        bounce, valid,
+    )
+
+
+def test_solve_bounce_block_broadcasts_scalar_arm():
+    h1, h2, d, _ = _random_geometries(200, 3, degenerate=False)
+    b1, v1 = solve_bounce_block(h1, h2, d, 0.7)
+    b2, v2 = solve_bounce_block(h1, h2, d, np.full(200, 0.7))
+    np.testing.assert_array_equal(v1, v2)
+    np.testing.assert_array_equal(b1[v1], b2[v2])
+
+
+def test_solve_bounce_block_empty():
+    empty = np.empty(0)
+    bounce, valid = solve_bounce_block(empty, empty, empty, empty)
+    assert bounce.size == 0 and valid.size == 0
+
+
+def test_solve_bounce_block_starved_maxiter_flags_not_valid():
+    # With one iteration the lockstep Brent cannot converge interior
+    # roots; the contract is valid=False (caller re-runs scalar), never
+    # a silently wrong root.
+    n = 2 * _BLOCK_SCALAR_CUTOFF
+    h1, h2, d, m = _random_geometries(n, 7, degenerate=False)
+    bounce, valid = solve_bounce_block(h1, h2, d, m, maxiter=1)
+    full_bounce, full_valid = solve_bounce_block(h1, h2, d, m)
+    assert valid.sum() < full_valid.sum()  # starvation actually bites
+    _assert_block_matches_scalar(
+        h1[valid], h2[valid], d[valid], m[valid],
+        bounce[valid], np.ones(int(valid.sum()), dtype=bool),
+    )
+
+
+def test_solve_bounce_block_geometry_rejects_match_scalar_raises():
+    h1 = np.asarray([0.0, 0.05, 0.01])
+    h2 = np.asarray([0.0, 0.05, 0.01])
+    d = np.asarray([2.5, 0.3, -0.1])   # oversized, fine, negative
+    m = np.asarray([0.7, 0.0, 0.7])    # fine, non-positive arm, fine
+    bounce, valid = solve_bounce_block(h1, h2, d, m)
+    assert not valid[0] and not valid[1] and not valid[2]
+    assert np.all(np.isnan(bounce[~valid]))
+
+
+# ----------------------------------------------------------------------
+# Stride rows
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_stride_rows_bit_identical_to_scalar_model(seed):
+    rng = np.random.default_rng(seed)
+    n = 64
+    bounce = rng.uniform(-0.05, 1.2, n)  # includes out-of-clip values
+    legs = rng.uniform(0.6, 1.1, n)
+    ks = rng.uniform(1.5, 2.5, n)
+    rows = stride_rows_from_bounce(bounce, legs, ks)
+    for r in range(n):
+        profile = UserProfile(
+            arm_length_m=0.7,
+            leg_length_m=float(legs[r]),
+            calibration_k=float(ks[r]),
+        )
+        assert rows[r] == stride_from_bounce_model(float(bounce[r]), profile)
+
+
+# ----------------------------------------------------------------------
+# Backend parity
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", PARITY_BACKENDS)
+def test_extrema_block_parity(name):
+    be = get_backend(name)
+    ref = get_backend("numpy")
+    windows = [_walky(n, seed) for n, seed in ((120, 0), (40, 1), (7, 2))]
+    concat, _starts, _lens = pack_windows(windows)
+    cand, proms = be.extrema_block(concat)
+    ref_cand, ref_proms = ref.extrema_block(concat)
+    assert np.all(np.isfinite(concat[cand]))  # separators dropped
+    if be.bit_identical:
+        np.testing.assert_array_equal(cand, ref_cand)
+        np.testing.assert_array_equal(proms, ref_proms)
+    else:
+        # float32: tie-breaking may move candidates; prominences of the
+        # shared candidates stay within the documented tolerance.
+        shared = np.intersect1d(cand, ref_cand)
+        assert shared.size >= min(cand.size, ref_cand.size) * 0.8
+        sel = {c: p for c, p in zip(cand, proms)}
+        ref_sel = {c: p for c, p in zip(ref_cand, ref_proms)}
+        for c in shared:
+            np.testing.assert_allclose(
+                sel[c], ref_sel[c], rtol=1e-3, atol=1e-3
+            )
+
+
+@pytest.mark.parametrize("name", PARITY_BACKENDS)
+def test_integrate_block_parity(name):
+    from repro.signal.integration import (
+        double_integrate_mean_removal,
+        integrate_mean_removal,
+    )
+
+    be = get_backend(name)
+    rows = np.stack([_walky(80, s) for s in range(6)])
+    dt = 0.01
+    vel, disp = be.integrate_block(rows, dt)
+    for r in range(rows.shape[0]):
+        ref_v = integrate_mean_removal(rows[r], dt)
+        ref_d = double_integrate_mean_removal(rows[r], dt)
+        if be.bit_identical:
+            np.testing.assert_array_equal(vel[r], ref_v)
+            np.testing.assert_array_equal(disp[r], ref_d)
+        else:
+            np.testing.assert_allclose(vel[r], ref_v, rtol=1e-3, atol=1e-4)
+            np.testing.assert_allclose(disp[r], ref_d, rtol=1e-3, atol=1e-4)
+
+
+@pytest.mark.parametrize("name", PARITY_BACKENDS)
+def test_measurement_block_parity(name):
+    be = get_backend(name)
+    ref = get_backend("numpy")
+    cfg = PTrackConfig()
+    specs = ((60, 0), (60, 1), (33, 2), (90, 3))
+    v_segs = [_walky(n, seed) for n, seed in specs]
+    h_segs = [
+        np.column_stack([_walky(n, seed + 10), _walky(n, seed + 20, freq=0.9)])
+        for n, seed in specs
+    ]
+    got = be.measurement_block(v_segs, h_segs, cfg)
+    want = ref.measurement_block(v_segs, h_segs, cfg)
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        g_a, g_ant, g_mot, g_off = g
+        w_a, w_ant, w_mot, w_off = w
+        if be.bit_identical:
+            np.testing.assert_array_equal(g_a, w_a)
+            assert (g_ant, g_mot) == (w_ant, w_mot)
+            assert g_off == w_off  # bitwise
+        else:
+            np.testing.assert_allclose(g_a, w_a, rtol=1e-2, atol=1e-4)
+            if g_mot and w_mot:
+                np.testing.assert_allclose(
+                    g_off, w_off, rtol=1e-2, atol=1e-4
+                )
+
+
+@pytest.mark.parametrize("name", PARITY_BACKENDS)
+def test_bounce_solve_block_parity(name):
+    be = get_backend(name)
+    h1, h2, d, m = _random_geometries(300, 11)
+    bounce, valid = be.bounce_solve_block(h1, h2, d, m)
+    ref_b, ref_v = get_backend("numpy").bounce_solve_block(h1, h2, d, m)
+    if be.bit_identical:
+        np.testing.assert_array_equal(valid, ref_v)
+        np.testing.assert_array_equal(bounce[valid], ref_b[ref_v])
+        _assert_block_matches_scalar(h1, h2, d, m, bounce, valid)
+    else:
+        both = valid & ref_v
+        assert both.sum() >= 0.9 * ref_v.sum()
+        np.testing.assert_allclose(
+            bounce[both], ref_b[both], rtol=1e-3, atol=1e-4
+        )
+
+
+# ----------------------------------------------------------------------
+# Loop specifications (un-jitted)
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000), st.integers(3, 300))
+def test_extrema_fused_loop_matches_default_block(seed, n):
+    x = _walky(n, seed)
+    be = get_backend("numpy")
+    cand, proms = _extrema_fused_loop(x)
+    ref_cand, ref_proms = be.extrema_block(x)
+    np.testing.assert_array_equal(cand, ref_cand)
+    np.testing.assert_array_equal(proms, ref_proms)
+
+
+def test_extrema_fused_loop_skips_separators():
+    windows = [_walky(50, 0), _walky(30, 1)]
+    concat, _starts, _lens = pack_windows(windows)
+    cand, proms = _extrema_fused_loop(concat)
+    ref_cand, ref_proms = get_backend("numpy").extrema_block(concat)
+    np.testing.assert_array_equal(cand, ref_cand)
+    np.testing.assert_array_equal(proms, ref_proms)
+    assert np.all(np.isfinite(concat[cand]))
+
+
+def test_extrema_fused_loop_plateaus_and_edges():
+    x = np.asarray([0.0, 2.0, 2.0, 2.0, 0.0, 1.0, 0.5, 3.0])
+    cand, proms = _extrema_fused_loop(x)
+    ref_cand, ref_proms = get_backend("numpy").extrema_block(x)
+    np.testing.assert_array_equal(cand, ref_cand)
+    np.testing.assert_array_equal(proms, ref_proms)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_bounce_rows_loop_matches_scalar(seed):
+    from repro.core.bounce import _BRENT_MAXITER, _BRENT_RTOL, _BRENT_XTOL
+
+    n = 120
+    h1, h2, d, m = _random_geometries(n, seed)
+    bounce = np.empty(n)
+    valid = np.empty(n, dtype=np.bool_)
+    _bounce_rows_loop(
+        h1, h2, d, m, 0.30,
+        _BRENT_XTOL, _BRENT_RTOL, _BRENT_MAXITER,
+        bounce, valid,
+    )
+    _assert_block_matches_scalar(h1, h2, d, m, bounce, valid)

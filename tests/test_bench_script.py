@@ -221,6 +221,54 @@ def test_pr7_scoreboard_meets_acceptance():
     assert shed["deterministic"] is True
 
 
+def test_fleet_kernels_sections_complete(check_results):
+    kernels = check_results["fleet_kernels"]
+    assert set(kernels) == {
+        "check_mode",
+        "identity",
+        "bounce_differential",
+        "headline",
+        "small_fleet",
+        "backends",
+        "bounce_kernel",
+        "check_reference",
+        "regression",
+    }
+    assert kernels["identity"]["ok"] is True
+    diff = kernels["bounce_differential"]
+    assert diff["ok"] is True
+    assert diff["solved_rows"] + diff["rejected_rows"] == diff["rows"]
+    assert kernels["headline"]["us_per_sample"] > 0
+    assert kernels["small_fleet"]["packed_us_per_sample"] > 0
+    statuses = {r["backend"]: r["status"] for r in kernels["backends"]["rows"]}
+    assert statuses["numpy"] == "bit_identical"
+    assert statuses["numba"] in ("bit_identical", "skipped")
+    assert kernels["bounce_kernel"]["block_us_per_row"] > 0
+    assert kernels["check_reference"]["speedup"] > 0
+    assert kernels["regression"]["regression_ok"] is True
+
+
+def test_pr8_scoreboard_meets_acceptance():
+    scoreboard = json.loads((REPO_ROOT / "BENCH_PR8.json").read_text())
+    assert scoreboard["schema"] == "ptrack-bench-v2"
+    kernels = scoreboard["fleet_kernels"]
+    # Acceptance: crediting oracle + brentq bit-identity differential
+    # asserted before timing, and the 1000-session NumPy headline beats
+    # the tracked PR-6 batched row by >= 1.5x at <= 1.2 µs/sample.
+    assert kernels["identity"]["ok"] is True
+    diff = kernels["bounce_differential"]
+    assert diff["ok"] is True and diff["rows"] >= 10_000
+    headline = kernels["headline"]
+    assert headline["n_sessions"] >= 1000
+    assert headline["improvement_x"] >= headline["target_improvement_x"]
+    assert headline["improvement_ok"] is True
+    assert headline["absolute_ok"] is True
+    # The small-fleet measurement justifying SMALL_FLEET_CUTOFF = 0.
+    assert kernels["small_fleet"]["packed_beats_scalar"] is True
+    # The check-scale reference CI's regression gate compares against.
+    assert kernels["check_reference"]["speedup"] > 1.0
+
+
 def test_cli_bench_verb_wiring():
     # The installed-package entry point: `repro bench` forwards to the
     # scripts/bench.py driver (exercised directly by the fixture above).
@@ -233,3 +281,5 @@ def test_cli_bench_verb_wiring():
     assert args.check is True
     args = parser.parse_args(["bench", "--suite", "ragged-ingest", "--check"])
     assert args.suite == "ragged-ingest"
+    args = parser.parse_args(["bench", "--suite", "fleet-kernels", "--check"])
+    assert args.suite == "fleet-kernels"

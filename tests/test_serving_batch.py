@@ -240,6 +240,10 @@ def _serve_serially(workloads, batch):
 
 
 def _serve_batched(workloads, batch, pool_cls=BatchedSessionPool, **kw):
+    if pool_cls is BatchedSessionPool:
+        # Test fleets are small; force the packed path unless a test
+        # opts into the small-fleet scalar fast path explicitly.
+        kw.setdefault("small_fleet_cutoff", 0)
     pool = pool_cls(RATE, **kw)
     sids = pool.add_sessions([w.profile for w in workloads])
     results = [([], []) for _ in sids]
@@ -300,7 +304,7 @@ def test_batched_pool_ragged_session_lengths():
 def test_batched_pool_session_joins_mid_round():
     workloads = synthesize_workload(3, 14.0, seed=23)
     late = workloads[2]
-    pool = BatchedSessionPool(RATE)
+    pool = BatchedSessionPool(RATE, small_fleet_cutoff=0)
     sids = pool.add_sessions([w.profile for w in workloads[:2]])
     acc = {sid: ([], []) for sid in sids}
     batch = 128
@@ -348,7 +352,7 @@ def test_batched_pool_session_joins_mid_round():
 
 def test_batched_pool_failed_session_excluded_from_pack():
     workloads = synthesize_workload(4, 12.0, seed=24)
-    pool = BatchedSessionPool(RATE)
+    pool = BatchedSessionPool(RATE, small_fleet_cutoff=0)
     sids = pool.add_sessions([w.profile for w in workloads])
     batch = 128
     # Poison session 1 on the second append with a wrong-dtype batch.
@@ -391,6 +395,32 @@ def test_batched_pool_chunk_invariant_credits():
         assert [(e.time, e.length_m) for e in r1] == [
             (e.time, e.length_m) for e in r2
         ]
+
+
+def test_batched_pool_small_fleet_fast_path_bit_identical():
+    # With the cutoff raised above the fleet size every round takes the
+    # scalar lockstep fast path; credits must stay bit-identical to
+    # serial and to the packed path.
+    workloads = synthesize_workload(4, 14.0, seed=28)
+    serial = _serve_serially(workloads, batch=128)
+    fast, _ = _serve_batched(workloads, batch=128, small_fleet_cutoff=16)
+    packed, _ = _serve_batched(workloads, batch=128, small_fleet_cutoff=0)
+    _assert_credits_identical(fast, serial)
+    _assert_credits_identical(packed, serial)
+
+
+def test_batched_pool_fast_path_skipped_on_tolerance_backend():
+    # float32 is not bit-identical, so the fast path (which computes in
+    # float64) must never trigger: a huge cutoff and a zero cutoff must
+    # produce identical float32 credits.
+    workloads = synthesize_workload(3, 12.0, seed=29)
+    a, _ = _serve_batched(
+        workloads, batch=128, backend="float32", small_fleet_cutoff=10**9
+    )
+    b, _ = _serve_batched(
+        workloads, batch=128, backend="float32", small_fleet_cutoff=0
+    )
+    _assert_credits_identical(a, b)
 
 
 def test_batched_pool_float32_backend_close_totals():
