@@ -42,7 +42,15 @@ Suites:
   gated on the crediting oracle *and* a bitwise
   ``solve_bounce_block == solve_bounce`` differential sweep (the PR-8
   scoreboard, ``BENCH_PR8.json``).
+* ``durability`` — the durable-session machinery: per-epoch
+  checkpoint overhead on the 1000-session round (tracked <= 5%
+  budget) and the restore-vs-reingest recovery speedup after a late
+  crash — gated on the snapshot/restore resume oracle and the
+  ``classic fleet == durable fleet`` crediting identity (the PR-9
+  scoreboard, ``BENCH_PR9.json``).
 
+The suite list and default scoreboard filenames live in
+:mod:`repro.benchsuites`, shared with the ``repro bench`` CLI verb.
 Every scoreboard is stamped with the schema version and the git
 revision it was measured at, so checked-in numbers are traceable to
 the exact tree that produced them. See ``docs/performance.md``.
@@ -61,12 +69,15 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import bench_batch  # noqa: E402
+import bench_durability  # noqa: E402
 import bench_faults  # noqa: E402
 import bench_gateway  # noqa: E402
 import bench_kernels  # noqa: E402
 import bench_runtime  # noqa: E402
 import bench_serving  # noqa: E402
 import bench_telemetry  # noqa: E402
+
+from repro.benchsuites import DEFAULT_OUTPUTS, SUITE_CHOICES  # noqa: E402
 
 BENCH_SCHEMA = "ptrack-bench-v2"
 
@@ -335,7 +346,41 @@ def _print_ragged_ingest(ragged) -> bool:
     return ok
 
 
-def main(argv=None) -> int:
+def _print_durability(durability) -> bool:
+    identity = durability["identity"]
+    print(
+        f"  resume oracle ({identity['n_sessions']} sessions, cuts at "
+        f"ticks {identity['cut_ticks']}, {identity['compared_steps']} "
+        f"steps): {identity['ok']}"
+    )
+    overhead = durability["checkpoint_overhead"]
+    print(
+        f"  checkpoint overhead ({overhead['n_sessions']} sessions, "
+        f"every {overhead['checkpoint_every_s']:.0f}s): "
+        f"{100 * overhead['overhead_frac']:+.1f}% "
+        f"(budget {100 * overhead['overhead_budget']:.0f}%), "
+        f"{overhead['samples_per_s']:,.0f} samples/s"
+    )
+    recovery = durability["recovery"]
+    print(
+        f"  recovery ({recovery['n_sessions']} sessions, crash at "
+        f"{100 * recovery['crash_frac']:.0f}% of a "
+        f"{recovery['duration_s']:.0f}s stream): restore "
+        f"{recovery['restore_s']:.2f}s vs re-ingest "
+        f"{recovery['reingest_s']:.2f}s ({recovery['speedup']:.1f}x)"
+    )
+    ok = True
+    if not identity["ok"]:
+        print("ERROR: durable serving failed the resume oracle")
+        ok = False
+    if not durability["check_mode"] and not overhead["overhead_ok"]:
+        print("ERROR: checkpointing exceeds the 5% overhead budget")
+        ok = False
+    return ok
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The driver's argument parser (exposed for the drift tests)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--check",
@@ -344,16 +389,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=(
-            "runtime",
-            "serving",
-            "faulted-serving",
-            "telemetry",
-            "fleet-batch",
-            "ragged-ingest",
-            "fleet-kernels",
-            "all",
-        ),
+        choices=SUITE_CHOICES,
         default="all",
         help="which benchmark suites to run",
     )
@@ -361,12 +397,12 @@ def main(argv=None) -> int:
         "--output",
         type=pathlib.Path,
         default=None,
-        help="where to write the JSON scoreboard (default: "
-        "BENCH_PR1.json for --suite runtime, BENCH_PR3.json for "
-        "--suite serving, BENCH_PR4.json for --suite faulted-serving, "
-        "BENCH_PR5.json for --suite telemetry, BENCH_PR6.json for "
-        "--suite fleet-batch, BENCH_PR7.json for --suite ragged-ingest, "
-        "BENCH_PR8.json for --suite fleet-kernels and for all)",
+        help="where to write the JSON scoreboard (default: the suite's "
+        "scoreboard from repro.benchsuites, e.g. "
+        + ", ".join(
+            f"{name}: {out}" for name, out in DEFAULT_OUTPUTS.items()
+        )
+        + ")",
     )
     parser.add_argument("--seeds", type=int, default=6, help="macro replicates")
     parser.add_argument("--users", type=int, default=2, help="users per replicate")
@@ -379,20 +415,14 @@ def main(argv=None) -> int:
         default=0,
         help="worker processes for the runtime passes (0 = all cores)",
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
     output = args.output
     if output is None:
-        default_outputs = {
-            "runtime": "BENCH_PR1.json",
-            "serving": "BENCH_PR3.json",
-            "faulted-serving": "BENCH_PR4.json",
-            "telemetry": "BENCH_PR5.json",
-            "fleet-batch": "BENCH_PR6.json",
-            "ragged-ingest": "BENCH_PR7.json",
-            "fleet-kernels": "BENCH_PR8.json",
-            "all": "BENCH_PR8.json",
-        }
-        output = REPO_ROOT / default_outputs[args.suite]
+        output = REPO_ROOT / DEFAULT_OUTPUTS[args.suite]
 
     ok = True
     results = {"schema": BENCH_SCHEMA, "git_revision": git_revision()}
@@ -430,6 +460,11 @@ def main(argv=None) -> int:
         results["fleet_kernels"] = bench_kernels.run_fleet_kernels(
             check=args.check
         )
+    if args.suite in ("durability", "all"):
+        results["check_mode"] = args.check
+        results["durability"] = bench_durability.run_durability(
+            check=args.check
+        )
 
     output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output} (rev {results['git_revision']})")
@@ -447,6 +482,8 @@ def main(argv=None) -> int:
         ok = _print_ragged_ingest(results["ragged_ingest"]) and ok
     if args.suite in ("fleet-kernels", "all"):
         ok = _print_fleet_kernels(results["fleet_kernels"]) and ok
+    if args.suite in ("durability", "all"):
+        ok = _print_durability(results["durability"]) and ok
     return 0 if ok else 1
 
 

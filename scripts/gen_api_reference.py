@@ -23,12 +23,15 @@ MODULES = [
     "repro.faults",
     "repro.serving",
     "repro.serving.batch",
+    "repro.serving.checkpoint",
     "repro.serving.gateway",
+    "repro.serving.rebalance",
     "repro.telemetry",
     "repro.baselines",
     "repro.apps",
     "repro.eval",
     "repro.experiments",
+    "repro.benchsuites",
 ]
 
 

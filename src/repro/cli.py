@@ -24,6 +24,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.benchsuites import SUITE_CHOICES
+
 
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import PTrack
@@ -297,16 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=(
-            "runtime",
-            "serving",
-            "faulted-serving",
-            "telemetry",
-            "fleet-batch",
-            "ragged-ingest",
-            "fleet-kernels",
-            "all",
-        ),
+        choices=SUITE_CHOICES,
         default="all",
     )
     bench.add_argument(

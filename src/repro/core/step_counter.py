@@ -18,8 +18,8 @@ Pipeline per trace:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -159,6 +159,29 @@ class Fig4Streak:
         """Drop all streak state (start of a fresh stream)."""
         self._streak = 0
         self._pending.clear()
+
+    def state_dict(self) -> Dict[str, Any]:
+        """The streak state as a picklable copy (for session snapshots).
+
+        Candidates are copied so the live machine and the snapshot
+        never alias mutable records; the counterpart is
+        :meth:`load_state`.
+        """
+        return {
+            "streak": self._streak,
+            "pending": [
+                (replace(cand), off, corr, phase)
+                for cand, off, corr, phase in self._pending
+            ],
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore streak state captured by :meth:`state_dict`."""
+        self._streak = int(state["streak"])
+        self._pending = [
+            (replace(cand), float(off), float(corr), bool(phase))
+            for cand, off, corr, phase in state["pending"]
+        ]
 
     def _flush_interference(self) -> List[ResolvedCycle]:
         resolved = [

@@ -37,7 +37,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -60,11 +60,49 @@ from repro.telemetry.registry import MetricsRegistry, get_registry
 from repro.types import StepEvent, StrideEstimate, UserProfile
 
 __all__ = [
+    "SESSION_SNAPSHOT_SCHEMA",
+    "ensure_snapshot_kind",
     "StreamingOpStats",
     "StagedCycle",
     "StreamingPTrack",
     "ReprocessingStreamingPTrack",
 ]
+
+#: Version tag of the durable session state format (mirrors the
+#: ``ptrack-telemetry-v1`` precedent). Restore paths refuse any other
+#: schema so a stale or foreign blob can never silently resume with
+#: wrong credits; bump the suffix when the state layout changes.
+SESSION_SNAPSHOT_SCHEMA = "ptrack-session-v1"
+
+
+def ensure_snapshot_kind(blob: Any, kind: str) -> None:
+    """Validate the envelope of a ``ptrack-session-v1`` blob.
+
+    Every durable-state payload in this codebase — a single session
+    (``kind="session"``), a pool (``kind="pool"``), a fleet checkpoint
+    (``kind="checkpoint"``) — shares the same envelope: a dict carrying
+    ``schema`` (the exact version string) and ``kind``. This is the one
+    place that envelope is enforced; mismatches raise an actionable
+    :class:`ConfigurationError` instead of a silent wrong-credit resume
+    or a cryptic ``KeyError`` deep in a restore path.
+    """
+    if not isinstance(blob, dict) or "schema" not in blob:
+        raise ConfigurationError(
+            f"expected a {SESSION_SNAPSHOT_SCHEMA} snapshot dict, got "
+            f"{type(blob).__name__}; produce one with snapshot()"
+        )
+    if blob["schema"] != SESSION_SNAPSHOT_SCHEMA:
+        raise ConfigurationError(
+            f"unsupported snapshot schema {blob['schema']!r}; this build "
+            f"restores only {SESSION_SNAPSHOT_SCHEMA!r} — re-snapshot with "
+            "a matching build instead of resuming across versions"
+        )
+    if blob.get("kind") != kind:
+        raise ConfigurationError(
+            f"snapshot kind {blob.get('kind')!r} cannot restore here; "
+            f"expected kind {kind!r} (session/pool/checkpoint blobs are "
+            "not interchangeable)"
+        )
 
 
 @dataclass
@@ -232,6 +270,7 @@ class StreamingPTrack:
         self._rate = sample_rate_hz
         self._profile = profile
         self._settle = settle_s
+        self._max_buffer_s = max_buffer_s
         self._max_buffer = int(max_buffer_s * sample_rate_hz)
         self._settle_margin = int(settle_s * sample_rate_hz)
         # Processing happens only when the head crosses hop boundaries:
@@ -372,6 +411,209 @@ class StreamingPTrack:
             self._published = {}
         self._stats = StreamingOpStats()
         self._reset_positions()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Capture the full session state as a versioned, picklable dict.
+
+        The snapshot is a deep value copy — no buffer aliases the live
+        session — so it can be pickled, shipped to another process, or
+        held while the live session keeps appending. Restoring it (on a
+        compatible session via :meth:`restore`, or from scratch via
+        :meth:`from_snapshot`) resumes the stream *bit-identically*: the
+        credits emitted after a snapshot/restore at any append boundary
+        equal those of the uninterrupted run, in the same way credits
+        are invariant to append chunking.
+
+        Covered state: the rolling raw/filtered buffers and every
+        absolute stream position, the segmentation staging store, the
+        Fig.-4 streak and its pending buffer, the recent-stride history
+        used for median imputation, degraded-mode health state (last
+        good sample, pending invalid run, gap flag, parked credits),
+        totals, and the cumulative operation counters. The telemetry
+        registry is deliberately *not* part of session state — it has
+        its own ``ptrack-telemetry-v1`` snapshot format — and a
+        restored session publishes only post-restore deltas.
+        """
+        if self._telemetry is not None:
+            # Snapshotting is a publication boundary: flush the op-stat
+            # deltas still lagging since the last credit boundary, so
+            # the registry the snapshot leaves behind accounts for all
+            # snapshotted work and a restore under a fresh registry
+            # (whose baseline is the snapshotted stats) loses nothing.
+            self._publish_ops()
+        n_filt = max(0, self._filt_final - self._buf_start)
+        pending = self._pending_credits
+        state: Dict[str, Any] = {
+            "size": self._size,
+            "buf_start": self._buf_start,
+            "filt_final": self._filt_final,
+            "next_boundary": self._next_boundary,
+            "credited_until": self._credited_until,
+            "last_peak": self._last_peak,
+            "cycle_counter": self._cycle_counter,
+            "total_steps": self._total_steps,
+            "total_distance": self._total_distance,
+            "trim_boundary": self._trim_boundary,
+            "pending_invalid": self._pending_invalid,
+            "in_gap": self._in_gap,
+            "last_good": (
+                None if self._last_good is None else self._last_good.copy()
+            ),
+            "pending_credits": (
+                None
+                if pending is None
+                else (list(pending[0]), list(pending[1]))
+            ),
+            "data": self._data[: self._size].copy(),
+            "filt": self._filt[:n_filt].copy(),
+            "seg_store": {
+                cid: (v.copy(), h.copy(), None if a is None else a.copy())
+                for cid, (v, h, a) in self._seg_store.items()
+            },
+            "machine": self._machine.state_dict(),
+            "recent_strides": list(self._recent_strides),
+            "stats": self._stats.as_dict(),
+        }
+        return {
+            "schema": SESSION_SNAPSHOT_SCHEMA,
+            "kind": "session",
+            "sample_rate_hz": self._rate,
+            "settle_s": self._settle,
+            "max_buffer_s": self._max_buffer_s,
+            "config": self._config,
+            "profile": self._profile,
+            "fault_policy": self._policy,
+            "state": state,
+        }
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        """Overwrite this session's state from a :meth:`snapshot` dict.
+
+        The receiving session must have been constructed with the same
+        pipeline identity the snapshot was taken under — sampling rate,
+        config, profile, settle/buffer horizons, and fault policy all
+        shape where hop boundaries fall and what gets credited, so any
+        mismatch (or an unknown schema version) raises
+        :class:`ConfigurationError` naming the offending field instead
+        of silently resuming with wrong credits. Use
+        :meth:`from_snapshot` when no compatible session exists yet.
+        """
+        self.validate_snapshot(snapshot)
+        st = snapshot["state"]
+        size = int(st["size"])
+        if size > self._data.shape[0]:
+            capacity = self._data.shape[0]
+            while capacity < size:
+                capacity *= 2
+            self._data = np.empty((capacity, 3))
+            self._filt = np.empty_like(self._data)
+        self._size = size
+        self._data[:size] = st["data"]
+        self._buf_start = int(st["buf_start"])
+        self._filt_final = int(st["filt_final"])
+        n_filt = max(0, self._filt_final - self._buf_start)
+        self._filt[:n_filt] = st["filt"]
+        self._next_boundary = int(st["next_boundary"])
+        self._credited_until = int(st["credited_until"])
+        self._last_peak = int(st["last_peak"])
+        self._cycle_counter = int(st["cycle_counter"])
+        self._total_steps = int(st["total_steps"])
+        self._total_distance = float(st["total_distance"])
+        tb = st["trim_boundary"]
+        self._trim_boundary = None if tb is None else int(tb)
+        self._pending_invalid = int(st["pending_invalid"])
+        self._in_gap = bool(st["in_gap"])
+        lg = st["last_good"]
+        self._last_good = None if lg is None else lg.copy()
+        pending = st["pending_credits"]
+        self._pending_credits = (
+            None if pending is None else (list(pending[0]), list(pending[1]))
+        )
+        # Copy the staged segments so two sessions restored from the
+        # same snapshot never alias each other's staging store.
+        self._seg_store = {
+            cid: (v.copy(), h.copy(), None if a is None else a.copy())
+            for cid, (v, h, a) in st["seg_store"].items()
+        }
+        self._machine.load_state(st["machine"])
+        self._recent_strides = deque(st["recent_strides"], maxlen=32)
+        self._stride_fracs = []
+        self._stats = StreamingOpStats(**st["stats"])
+        if self._telemetry is not None:
+            # The snapshotted work was already published by the session
+            # that produced it; baseline the delta ledger at the
+            # restored counters so only post-restore work publishes.
+            self._published = self._stats.as_dict()
+
+    def validate_snapshot(self, snapshot: Any) -> None:
+        """Raise :class:`ConfigurationError` unless ``snapshot`` can
+        resume on this session bit-identically (schema and pipeline
+        identity checks; no state changes)."""
+        ensure_snapshot_kind(snapshot, "session")
+        if snapshot["sample_rate_hz"] != self._rate:
+            raise ConfigurationError(
+                f"session snapshot was taken at sample_rate_hz="
+                f"{snapshot['sample_rate_hz']} but this session runs at "
+                f"{self._rate}; hop boundaries would shift and credits "
+                "would diverge — construct the session at the snapshot's "
+                "rate (StreamingPTrack.from_snapshot does this)"
+            )
+        if snapshot["config"] != self._config:
+            raise ConfigurationError(
+                "session snapshot was taken under a different PTrackConfig "
+                "than this session's; admission thresholds would change "
+                "mid-stream — construct the session with the snapshot's "
+                "config (StreamingPTrack.from_snapshot does this)"
+            )
+        if snapshot["profile"] != self._profile:
+            raise ConfigurationError(
+                "session snapshot carries a different user profile than "
+                "this session's; stride calibration (m, l) would change "
+                "mid-stream — construct the session with the snapshot's "
+                "profile (StreamingPTrack.from_snapshot does this)"
+            )
+        if (
+            snapshot["settle_s"] != self._settle
+            or snapshot["max_buffer_s"] != self._max_buffer_s
+        ):
+            raise ConfigurationError(
+                f"session snapshot horizons (settle_s="
+                f"{snapshot['settle_s']}, max_buffer_s="
+                f"{snapshot['max_buffer_s']}) do not match this session's "
+                f"(settle_s={self._settle}, max_buffer_s="
+                f"{self._max_buffer_s}); the hop grid and trim schedule "
+                "would shift — construct the session with the snapshot's "
+                "horizons (StreamingPTrack.from_snapshot does this)"
+            )
+        if snapshot["fault_policy"] != self._policy:
+            raise ConfigurationError(
+                "session snapshot was taken under a different FaultPolicy "
+                "than this session's; repair/gap decisions would change "
+                "mid-stream — construct the session with the snapshot's "
+                "policy (StreamingPTrack.from_snapshot does this)"
+            )
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: Dict[str, Any],
+        telemetry: Optional[MetricsRegistry] = None,
+    ) -> "StreamingPTrack":
+        """Build a new session resuming exactly where ``snapshot`` left
+        off (the migration/restart entry point: construct with the
+        snapshot's own pipeline identity, then :meth:`restore`)."""
+        ensure_snapshot_kind(snapshot, "session")
+        session = cls(
+            sample_rate_hz=snapshot["sample_rate_hz"],
+            profile=snapshot["profile"],
+            config=snapshot["config"],
+            settle_s=snapshot["settle_s"],
+            max_buffer_s=snapshot["max_buffer_s"],
+            fault_policy=snapshot["fault_policy"],
+            telemetry=telemetry,
+        )
+        session.restore(snapshot)
+        return session
 
     def append(
         self,

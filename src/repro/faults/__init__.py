@@ -7,8 +7,9 @@ of that story for the serving stack:
 * :mod:`repro.faults.injectors` — composable, ``derive_rng``-seeded
   fault injectors (sample dropout, upload outages, NaN bursts,
   saturation/clipping, clock jitter, duplicated and out-of-order
-  batches, stalled producers, mailbox floods) that corrupt any trace,
-  upload stream, or arrival schedule deterministically under
+  batches, stalled producers, mailbox floods, shard crashes, torn
+  checkpoint writes) that corrupt any trace, upload stream, arrival
+  schedule, serving process, or durable blob deterministically under
   ``(seed, index)``;
 * :mod:`repro.faults.policy` — the :class:`FaultPolicy` that switches
   :class:`repro.core.StreamingPTrack` into degraded-mode ingest:
@@ -29,11 +30,15 @@ from repro.faults.injectors import (
     RateJitter,
     SampleDropout,
     Saturation,
+    ShardCrash,
     StalledProducer,
+    TornCheckpoint,
+    derive_blob_rng,
     faulted_stream,
     inject_batch_faults,
     inject_faults,
     inject_schedule_faults,
+    plan_shard_crash,
     split_batches,
 )
 from repro.faults.policy import FaultPolicy
@@ -49,10 +54,14 @@ __all__ = [
     "RateJitter",
     "SampleDropout",
     "Saturation",
+    "ShardCrash",
     "StalledProducer",
+    "TornCheckpoint",
+    "derive_blob_rng",
     "faulted_stream",
     "inject_batch_faults",
     "inject_faults",
     "inject_schedule_faults",
+    "plan_shard_crash",
     "split_batches",
 ]

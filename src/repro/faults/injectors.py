@@ -33,12 +33,27 @@ Three fault surfaces:
   and load-shedding must absorb
   (:func:`inject_schedule_faults` rebuilds a faulted
   :class:`~repro.serving.workload.ArrivalSchedule`).
+
+Two further surfaces target the durable fleet itself rather than its
+traffic:
+
+* **shard faults** (``apply_shard``) kill serving *processes* —
+  :class:`ShardCrash` decides per ``(shard, epoch, attempt)`` whether
+  a worker dies mid-epoch (by exception or SIGKILL) and at what point
+  in the epoch, which is what the checkpoint/restore recovery of
+  :func:`repro.serving.serve_fleet` must absorb with zero credit loss;
+* **blob faults** (``apply_blob``) corrupt durable *bytes* —
+  :class:`TornCheckpoint` truncates or scrambles a serialized
+  checkpoint at write time, exercising the
+  :class:`~repro.serving.CheckpointStore` quarantine path and the
+  driver's re-ingest fallback.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,9 +71,13 @@ __all__ = [
     "OutOfOrderBatches",
     "StalledProducer",
     "MailboxFlood",
+    "ShardCrash",
+    "TornCheckpoint",
     "inject_faults",
     "inject_batch_faults",
     "inject_schedule_faults",
+    "plan_shard_crash",
+    "derive_blob_rng",
     "split_batches",
     "faulted_stream",
 ]
@@ -108,6 +127,34 @@ class FaultInjector:
         decides to shed (default: identity).
         """
         return events
+
+    def apply_shard(
+        self,
+        shard_index: int,
+        epoch: int,
+        attempt: int,
+        rng: np.random.Generator,
+    ) -> Optional[Tuple[str, float]]:
+        """Decide whether one shard's epoch dies, and how.
+
+        Returns ``None`` (default: the shard lives) or a directive
+        ``(mode, position)``: ``mode`` is ``"raise"`` (an exception
+        escapes the worker) or ``"kill"`` (the worker process is
+        SIGKILLed), and ``position`` in ``[0, 1)`` places the death
+        within the epoch's serving ticks. ``attempt`` counts restore
+        retries of the same epoch, so an injector can crash the first
+        attempt and spare the retry.
+        """
+        return None
+
+    def apply_blob(
+        self,
+        blob: bytes,
+        rng: np.random.Generator,
+    ) -> bytes:
+        """Return a (possibly corrupted) copy of serialized durable
+        state at write time (default: identity)."""
+        return blob
 
 
 def _check_prob(name: str, value: float) -> None:
@@ -566,3 +613,119 @@ def faulted_stream(
     )
     batches = split_batches(faulted, batch_samples)
     return inject_batch_faults(batches, injectors, seed, index)
+
+
+@dataclass(frozen=True)
+class ShardCrash(FaultInjector):
+    """Worker deaths mid-epoch: the rolling-restart fault.
+
+    Each ``(shard, epoch)`` coordinate crashes with ``prob``; a crash
+    lands at a uniform position within the epoch's serving ticks, so
+    everything the worker did since the last checkpoint is lost and the
+    durable fleet driver must restore and replay it. Restore *retries*
+    of the same epoch crash with ``retry_prob`` instead (default 0: the
+    first retry succeeds, modelling a transient death; raise it to
+    exercise the bisection fallback behind the restore path).
+
+    Attributes:
+        prob: Crash probability per shard-epoch (first attempt).
+        mode: ``"raise"`` (an exception escapes the worker — works on
+            every platform and with in-process serving) or ``"kill"``
+            (``SIGKILL`` to the worker — a true process death; only
+            meaningful under fork-based process pools).
+        retry_prob: Crash probability on restore retries.
+    """
+
+    prob: float = 0.1
+    mode: str = "raise"
+    retry_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_prob("prob", self.prob)
+        _check_prob("retry_prob", self.retry_prob)
+        if self.mode not in ("raise", "kill"):
+            raise ConfigurationError(
+                f"mode must be 'raise' or 'kill', got {self.mode!r}"
+            )
+
+    def apply_shard(
+        self,
+        shard_index: int,
+        epoch: int,
+        attempt: int,
+        rng: np.random.Generator,
+    ) -> Optional[Tuple[str, float]]:
+        p = self.prob if attempt == 0 else self.retry_prob
+        if rng.random() >= p:
+            return None
+        return self.mode, float(rng.random())
+
+
+@dataclass(frozen=True)
+class TornCheckpoint(FaultInjector):
+    """Torn durable writes: checkpoint bytes truncated on disk.
+
+    With ``prob`` per save, only a uniform fraction of the serialized
+    blob (between ``min_keep_frac`` and ``max_keep_frac``) reaches
+    disk — the classic torn-write/partial-flush failure. The
+    :class:`repro.serving.CheckpointStore` must treat the remains as a
+    miss (quarantine + counter), never as state to resume from.
+    """
+
+    prob: float = 0.5
+    min_keep_frac: float = 0.05
+    max_keep_frac: float = 0.9
+
+    def __post_init__(self) -> None:
+        _check_prob("prob", self.prob)
+        if not 0.0 <= self.min_keep_frac <= self.max_keep_frac <= 1.0:
+            raise ConfigurationError(
+                "keep fraction must satisfy 0 <= min <= max <= 1, got "
+                f"({self.min_keep_frac!r}, {self.max_keep_frac!r})"
+            )
+
+    def apply_blob(
+        self,
+        blob: bytes,
+        rng: np.random.Generator,
+    ) -> bytes:
+        if rng.random() >= self.prob:
+            return blob
+        frac = rng.uniform(self.min_keep_frac, self.max_keep_frac)
+        keep = max(1, int(len(blob) * frac))
+        return blob[:keep]
+
+
+def plan_shard_crash(
+    injectors: Sequence[FaultInjector],
+    seed: int,
+    shard_index: int,
+    epoch: int,
+    attempt: int,
+) -> Optional[Tuple[str, float]]:
+    """The first shard-fault directive for one epoch attempt, if any.
+
+    Injector ``k`` draws from a generator derived from
+    ``(seed, shard_index, domain, k, epoch, attempt)`` — a pure
+    function of the coordinates, so a crash schedule replays
+    identically across runs and worker layouts, and a *retry* of the
+    same epoch re-rolls rather than deterministically re-dying.
+    """
+    for k, injector in enumerate(injectors):
+        rng = derive_rng(seed, shard_index, _FAULT_DOMAIN, k, epoch, attempt)
+        directive = injector.apply_shard(shard_index, epoch, attempt, rng)
+        if directive is not None:
+            return directive
+    return None
+
+
+def derive_blob_rng(seed: int, name: str, version: int) -> np.random.Generator:
+    """A generator for blob faults on one named durable write.
+
+    The name (e.g. a checkpoint key like ``"shard-3"``) is folded to a
+    stable integer coordinate so corruption is a pure function of
+    ``(seed, name, version)`` — independent of save ordering across
+    shards.
+    """
+    name_coord = zlib.crc32(name.encode("utf-8"))
+    return derive_rng(seed, name_coord, _FAULT_DOMAIN, version)

@@ -14,6 +14,14 @@ Two layers:
   processes and runs — point ``REPRO_CACHE_DIR`` at a directory to give
   the default cache a disk layer.
 
+The disk layer is self-healing: a corrupted or truncated entry (torn
+write, bit rot, stale pickle) is quarantined under a ``.corrupt``
+suffix, counted (``corrupt_entries`` /
+``runtime_cache_corrupt_total``), and reported as a miss so the value
+is simply recomputed — a damaged cache can degrade performance but
+never correctness, the same quarantine-as-miss contract the serving
+:class:`~repro.serving.checkpoint.CheckpointStore` keeps.
+
 Keys are SHA-256 digests of the ``repr`` of every keyed argument, so
 any parameter change (a different stride, one more second of duration,
 another seed) misses cleanly. Invalidation is therefore automatic for
@@ -115,6 +123,7 @@ class TraceCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._corrupt = 0
         self._telemetry = telemetry
 
     def _registry(self) -> Optional[MetricsRegistry]:
@@ -138,6 +147,11 @@ class TraceCache:
     def evictions(self) -> int:
         """In-memory entries dropped by the LRU cap."""
         return self._evictions
+
+    @property
+    def corrupt_entries(self) -> int:
+        """Disk entries quarantined as unreadable (counted as misses)."""
+        return self._corrupt
 
     @property
     def directory(self) -> Optional[Path]:
@@ -217,6 +231,7 @@ class TraceCache:
             self._hits = 0
             self._misses = 0
             self._evictions = 0
+            self._corrupt = 0
 
     # ------------------------------------------------------------------
     # Internals
@@ -268,8 +283,25 @@ class TraceCache:
         try:
             with open(path, "rb") as fh:
                 return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            return _MISSING  # a torn or stale entry reads as a miss
+        except OSError:
+            return _MISSING  # vanished or unreadable: plain miss
+        except Exception:
+            # Torn write, truncation, bit rot, or a stale entry whose
+            # classes no longer unpickle: quarantine the file so the
+            # recompute can land a fresh copy, count it, and read as a
+            # miss — never raise out of a cache lookup.
+            self._quarantine(path)
+            return _MISSING
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt disk entry aside and count it."""
+        with self._lock:
+            self._corrupt += 1
+        self._count_telemetry("runtime_cache_corrupt_total")
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            pass  # best effort; an unmovable file still reads as a miss
 
     def _disk_write(self, key: str, value: Any) -> None:
         path = self._disk_path(key)

@@ -19,13 +19,26 @@ together:
   stay bit-identical to serial replay of the delivered streams.
 * :func:`serve_fleet` — shard a fleet of sessions across worker
   processes via :func:`repro.runtime.parallel_map`, with a guaranteed
-  shard-layout-independent result.
+  shard-layout-independent result; with ``checkpoint_every_s`` it runs
+  as a rolling-restartable service with checkpoint recovery and live
+  rebalancing.
+* :class:`CheckpointStore` / :func:`make_checkpoint` /
+  :func:`split_checkpoint` — atomic on-disk persistence and splitting
+  for the durable fleet's ``ptrack-session-v1`` shard checkpoints.
+* :class:`RebalancePolicy` — telemetry-driven live shard splitting
+  from round-latency and crash statistics.
 * :func:`synthesize_workload` / :func:`synthesize_arrival_schedule` —
   deterministic per-session walks and ragged arrival processes keyed
   by ``derive_rng(seed, i)`` for benchmarks and equivalence tests.
 """
 
 from repro.serving.batch import BatchedSessionPool, FleetBatchBuffer
+from repro.serving.checkpoint import (
+    CheckpointStore,
+    make_checkpoint,
+    split_checkpoint,
+    split_pool_snapshot,
+)
 from repro.serving.fleet import FleetReport, SessionReport, serve_fleet
 from repro.serving.gateway import (
     GatewayStats,
@@ -35,6 +48,7 @@ from repro.serving.gateway import (
     serve_schedule,
 )
 from repro.serving.pool import SessionPool
+from repro.serving.rebalance import RebalancePolicy, ShardEpochStats
 from repro.serving.workload import (
     ArrivalEvent,
     ArrivalSchedule,
@@ -47,17 +61,23 @@ __all__ = [
     "ArrivalEvent",
     "ArrivalSchedule",
     "BatchedSessionPool",
+    "CheckpointStore",
     "FleetBatchBuffer",
     "FleetReport",
     "GatewayStats",
     "IngestGateway",
     "OfferResult",
+    "RebalancePolicy",
     "SessionMailbox",
     "SessionPool",
     "SessionReport",
     "SessionWorkload",
+    "ShardEpochStats",
+    "make_checkpoint",
     "serve_fleet",
     "serve_schedule",
+    "split_checkpoint",
+    "split_pool_snapshot",
     "synthesize_arrival_schedule",
     "synthesize_workload",
 ]

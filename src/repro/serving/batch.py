@@ -145,6 +145,30 @@ class BatchedSessionPool(SessionPool):
         return self._backend
 
     # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def _backend_identity(self) -> Optional[str]:
+        """Echo the backend name into pool snapshots: only the exact
+        same backend is guaranteed to resume bit-identically (float32
+        is tolerance-bounded, not bit-identical), so restore refuses a
+        snapshot taken under any other backend."""
+        return self._backend.name
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: Dict[str, object],
+        telemetry: Optional[MetricsRegistry] = None,
+        **kwargs: object,
+    ) -> "BatchedSessionPool":
+        """Build a batched pool resuming ``snapshot``, reconstructing
+        the snapshot's own compute backend by name."""
+        kwargs.setdefault("backend", snapshot.get("backend"))
+        return super().from_snapshot(  # type: ignore[return-value]
+            snapshot, telemetry=telemetry, **kwargs
+        )
+
+    # ------------------------------------------------------------------
     # Batched ingest
     # ------------------------------------------------------------------
     def append(

@@ -26,20 +26,46 @@ Fault tolerance is layered on three levels:
   split in half and re-served until the poison is cornered in a
   single-session shard, which is then reported failed. The healthy
   majority of the fleet always completes.
+
+With ``checkpoint_every_s`` set, :func:`serve_fleet` becomes a
+*rolling-restartable service* instead of a replay-only batch harness.
+Serving proceeds in epochs; after each epoch every shard's pool is
+snapshotted (``ptrack-session-v1``) together with the credits settled
+so far, in memory or — with ``checkpoint_dir`` — in an atomic
+:class:`~repro.serving.checkpoint.CheckpointStore`. A shard whose
+worker dies mid-epoch (crash, SIGKILL, timeout — the
+:class:`repro.faults.ShardCrash` surface) is *restored from its last
+checkpoint* and replays only the lost epoch, with zero credit loss and
+zero credit duplication; classic bisection from the original trace
+remains the fallback when no usable checkpoint exists (first epoch,
+torn checkpoint file, or an epoch that keeps dying). A
+:class:`~repro.serving.rebalance.RebalancePolicy` may additionally
+split overloaded shards between epochs, migrating live session state
+through the same snapshot format without touching a single credit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+import signal
+import time
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import PTrackConfig
 from repro.exceptions import ConfigurationError
+from repro.faults.injectors import FaultInjector, plan_shard_crash
 from repro.faults.policy import FaultPolicy
 from repro.runtime import parallel_map_outcomes, resolve_workers
+from repro.serving.checkpoint import (
+    CheckpointStore,
+    make_checkpoint,
+    split_checkpoint,
+)
 from repro.serving.pool import SessionPool
+from repro.serving.rebalance import RebalancePolicy, ShardEpochStats
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.tracing import trace_span
 from repro.types import StepEvent, StrideEstimate, UserProfile
@@ -103,12 +129,18 @@ class FleetReport:
             Render it with :func:`repro.telemetry.to_json` /
             :func:`~repro.telemetry.to_prometheus` or
             :func:`repro.eval.reporting.fleet_health_table`.
+        checkpoint_restores: Shard epochs recovered from a checkpoint
+            instead of re-ingested (durable mode only).
+        rebalances: Live shard splits applied by the rebalance policy
+            (durable mode only).
     """
 
     sessions: Tuple[SessionReport, ...]
     n_samples: int
     shard_retries: int = 0
     telemetry: Optional[Dict[str, Any]] = None
+    checkpoint_restores: int = 0
+    rebalances: int = 0
 
     @property
     def status(self) -> str:
@@ -248,6 +280,447 @@ def _split_shard(shard: _Shard) -> List[_Shard]:
     ]
 
 
+def _heal_shards(
+    shards: Sequence[_Shard],
+    n_workers: int,
+    shard_timeout_s: Optional[float],
+) -> Tuple[Dict[int, SessionReport], List[Dict[str, Any]], int]:
+    """Serve shards to completion with bisection healing (the classic
+    replay-from-trace path).
+
+    Every pending shard is served; a shard that fails wholesale is
+    bisected and re-served from the original traces until the poison
+    is cornered in a single-session shard, which gets
+    :data:`_MAX_SHARD_ATTEMPTS` tries before being written off. Each
+    round runs in a fresh pool, so a worker lost to a crash in round k
+    cannot poison round k+1 — which also means a shard that failed only
+    as *collateral* of a pool break deserves a clean retry before being
+    written off. Terminates because splits strictly shrink shards and
+    attempts are bounded.
+
+    Returns ``(reports_by_index, telemetry_snapshots, retries)``.
+    """
+    results: Dict[int, SessionReport] = {}
+    snapshots: List[Dict[str, Any]] = []
+    retries = 0
+    pending: List[Tuple[_Shard, int]] = [(shard, 0) for shard in shards]
+    while pending:
+        with trace_span("serve_fleet.healing_round"):
+            if n_workers > 1 and any(attempts for _, attempts in pending):
+                # Retry round: one pool per shard, so a culprit that
+                # kills its worker cannot break the pool under its
+                # innocent collateral siblings a second time.
+                outcomes = []
+                for shard, _ in pending:
+                    outcomes.extend(
+                        parallel_map_outcomes(
+                            _serve_shard,
+                            [shard],
+                            workers=n_workers,
+                            timeout_s=shard_timeout_s,
+                        )
+                    )
+            else:
+                outcomes = parallel_map_outcomes(
+                    _serve_shard,
+                    [shard for shard, _ in pending],
+                    workers=n_workers,
+                    timeout_s=shard_timeout_s,
+                )
+        next_round: List[Tuple[_Shard, int]] = []
+        for (shard, attempts), outcome in zip(pending, outcomes):
+            if outcome.ok:
+                reports, snapshot = outcome.value
+                for report in reports:
+                    results[report.session_index] = report
+                if snapshot is not None:
+                    snapshots.append(snapshot)
+            elif len(shard[0]) > 1:
+                next_round.extend((s, 0) for s in _split_shard(shard))
+                retries += 1
+            elif attempts + 1 < _MAX_SHARD_ATTEMPTS:
+                next_round.append((shard, attempts + 1))
+                retries += 1
+            else:
+                index = shard[0][0]
+                results[index] = SessionReport(
+                    session_index=index,
+                    steps=(),
+                    strides=(),
+                    status="failed",
+                    error=outcome.error,
+                )
+        pending = next_round
+    return results, snapshots, retries
+
+
+# ----------------------------------------------------------------------
+# Durable mode: epoch serving, checkpoint recovery, live rebalancing
+# ----------------------------------------------------------------------
+
+#: One epoch's worker payload: the static shard, the pool snapshot to
+#: resume from (``None`` = first epoch, build fresh), the absolute
+#: sample offset to start at, the tick budget, and an optional injected
+#: crash directive ``(mode, position)``.
+_EpochJob = Tuple[
+    _Shard, Optional[Dict[str, Any]], int, int, Optional[Tuple[str, float]]
+]
+
+
+def _serve_shard_epoch(job: _EpochJob) -> Dict[str, Any]:
+    """Serve one shard for one epoch (durable-mode worker entry point).
+
+    Resumes the shard's pool from its snapshot (or builds it fresh on
+    the first epoch), serves at most ``epoch_ticks`` upload ticks, and
+    returns the new pool snapshot plus the credits settled *this
+    epoch* — the driver owns accumulation, so a crashed attempt's
+    partial work is simply never returned and the replay after restore
+    cannot double-count. On the final epoch (the shard's traces are
+    exhausted) the pool is flushed and per-session health travels home
+    instead of a snapshot.
+    """
+    shard, pool_blob, start, epoch_ticks, crash = job
+    (
+        indices,
+        traces,
+        profiles,
+        sample_rate_hz,
+        config,
+        settle_s,
+        max_buffer_s,
+        batch_samples,
+        fault_policy,
+        telemetry,
+    ) = shard
+    t0 = time.perf_counter()
+    registry = MetricsRegistry() if telemetry else None
+    if pool_blob is None:
+        pool = SessionPool(
+            sample_rate_hz,
+            config=config,
+            settle_s=settle_s,
+            max_buffer_s=max_buffer_s,
+            fault_policy=fault_policy,
+            telemetry=registry,
+        )
+        sids = pool.add_sessions(profiles)
+    else:
+        pool = SessionPool.from_snapshot(pool_blob, telemetry=registry)
+        sids = pool.session_ids
+    steps: List[List[StepEvent]] = [[] for _ in sids]
+    strides: List[List[StrideEstimate]] = [[] for _ in sids]
+
+    longest = max((t.shape[0] for t in traces), default=0)
+    end = min(longest, start + epoch_ticks * batch_samples)
+    ticks = range(start, end, batch_samples)
+    crash_tick = (
+        min(len(ticks) - 1, int(crash[1] * len(ticks)))
+        if crash is not None and len(ticks)
+        else None
+    )
+    for tick, offset in enumerate(ticks):
+        if crash_tick is not None and tick == crash_tick:
+            if crash[0] == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise RuntimeError(
+                f"injected shard crash at epoch tick {tick}"
+            )
+        live = [k for k, t in enumerate(traces) if offset < t.shape[0]]
+        results = pool.append(
+            [sids[k] for k in live],
+            [traces[k][offset : offset + batch_samples] for k in live],
+        )
+        for k, (new_steps, new_strides) in zip(live, results):
+            steps[k].extend(new_steps)
+            strides[k].extend(new_strides)
+
+    done = end >= longest
+    health: Optional[List[Tuple]] = None
+    blob: Optional[Dict[str, Any]] = None
+    if done:
+        for k, (new_steps, new_strides) in enumerate(pool.flush(sids)):
+            steps[k].extend(new_steps)
+            strides[k].extend(new_strides)
+        errors = pool.failed_sessions
+        health = []
+        for sid in sids:
+            ops = pool.session(sid).op_stats
+            health.append(
+                (
+                    "failed" if sid in errors else "ok",
+                    errors.get(sid),
+                    ops.samples_repaired,
+                    ops.samples_rejected,
+                    ops.gaps_reset,
+                )
+            )
+    else:
+        blob = pool.snapshot()
+
+    round_sum, round_count = 0.0, 0
+    snapshot = None
+    if registry is not None:
+        snapshot = registry.snapshot()
+        hist = snapshot["histograms"].get("serving_pool_round_seconds")
+        if hist is not None:
+            round_sum = float(hist["sum"])
+            round_count = int(hist["count"])
+    return {
+        "done": done,
+        "next_offset": end,
+        "pool": blob,
+        "steps": steps,
+        "strides": strides,
+        "health": health,
+        "telemetry": snapshot,
+        "elapsed_s": time.perf_counter() - t0,
+        "round_seconds_sum": round_sum,
+        "round_seconds_count": round_count,
+    }
+
+
+@dataclass
+class _DurableShard:
+    """Driver-side bookkeeping for one shard across epochs."""
+
+    sid: int
+    shard: _Shard
+    ckpt: Optional[Dict[str, Any]] = None
+    epoch: int = 0
+    attempt: int = 0
+    crashes: int = 0
+    #: From-scratch re-ingests (checkpoint lost/torn). Offsets the
+    #: fault-plan attempt coordinate so replayed epochs re-roll as
+    #: retries instead of deterministically re-dying.
+    restarts: int = 0
+    last: Optional[Dict[str, Any]] = field(default=None, repr=False)
+
+    @property
+    def name(self) -> str:
+        """Stable checkpoint key."""
+        return f"shard-{self.sid}"
+
+
+def _serve_fleet_durable(
+    shards: List[_Shard],
+    n: int,
+    n_workers: int,
+    shard_timeout_s: Optional[float],
+    telemetry: bool,
+    sample_rate_hz: float,
+    batch_samples: int,
+    checkpoint_every_s: float,
+    checkpoint_dir: Optional[os.PathLike],
+    rebalance: Optional[RebalancePolicy],
+    shard_faults: Sequence[FaultInjector],
+    fault_seed: int,
+) -> Tuple[Dict[int, SessionReport], List[Dict[str, Any]], int, int, int]:
+    """Drive the fleet epoch by epoch with checkpoint recovery.
+
+    Returns ``(reports_by_index, telemetry_snapshots, retries,
+    restores, rebalances)``. The credit stream is bit-identical to the
+    classic path: epochs only partition the same append sequence, the
+    flush still happens exactly once at each shard's end of stream, and
+    crash recovery replays from a snapshot proven bit-identical by the
+    resume oracle.
+    """
+    epoch_ticks = max(
+        1, int(round(checkpoint_every_s * sample_rate_hz / batch_samples))
+    )
+    driver_reg = MetricsRegistry() if telemetry else None
+    store = (
+        CheckpointStore(
+            checkpoint_dir,
+            blob_faults=shard_faults,
+            seed=fault_seed,
+            telemetry=driver_reg,
+        )
+        if checkpoint_dir is not None
+        else None
+    )
+    states = [
+        _DurableShard(sid=i, shard=shard) for i, shard in enumerate(shards)
+    ]
+    next_sid = len(states)
+    results: Dict[int, SessionReport] = {}
+    snapshots: List[Dict[str, Any]] = []
+    retries = restores = rebalances = 0
+    active = list(states)
+
+    while active:
+        jobs: List[_EpochJob] = []
+        for st in active:
+            # Replays after a from-scratch restart draw as retries:
+            # the crash plan is a pure function of (sid, epoch,
+            # attempt), so without the restart offset a shard whose
+            # checkpoint was lost would re-cross its fatal epoch at
+            # the original coordinates and deterministically re-die.
+            crash = (
+                plan_shard_crash(
+                    shard_faults,
+                    fault_seed,
+                    st.sid,
+                    st.epoch,
+                    st.attempt + st.restarts,
+                )
+                if shard_faults
+                else None
+            )
+            if crash is not None and crash[0] == "kill" and n_workers == 1:
+                # In-process serving has no worker to kill; degrade to
+                # the exception flavour so the recovery path still runs.
+                crash = ("raise", crash[1])
+            start = st.ckpt["next_offset"] if st.ckpt is not None else 0
+            blob = st.ckpt["pool"] if st.ckpt is not None else None
+            jobs.append((st.shard, blob, start, epoch_ticks, crash))
+        with trace_span("serve_fleet.epoch"):
+            if n_workers > 1 and any(st.attempt for st in active):
+                # Recovery round: isolate each shard in its own pool so
+                # a repeat offender cannot re-break its siblings' round.
+                outcomes = []
+                for job in jobs:
+                    outcomes.extend(
+                        parallel_map_outcomes(
+                            _serve_shard_epoch,
+                            [job],
+                            workers=n_workers,
+                            timeout_s=shard_timeout_s,
+                        )
+                    )
+            else:
+                outcomes = parallel_map_outcomes(
+                    _serve_shard_epoch,
+                    jobs,
+                    workers=n_workers,
+                    timeout_s=shard_timeout_s,
+                )
+
+        survivors: List[_DurableShard] = []
+        epoch_stats: List[ShardEpochStats] = []
+        for st, outcome in zip(active, outcomes):
+            if outcome.ok:
+                res = outcome.value
+                prev = st.ckpt
+                acc_steps = (
+                    [list(s) for s in prev["steps"]]
+                    if prev is not None
+                    else [[] for _ in st.shard[0]]
+                )
+                acc_strides = (
+                    [list(s) for s in prev["strides"]]
+                    if prev is not None
+                    else [[] for _ in st.shard[0]]
+                )
+                for k in range(len(st.shard[0])):
+                    acc_steps[k].extend(res["steps"][k])
+                    acc_strides[k].extend(res["strides"][k])
+                st.epoch += 1
+                st.attempt = 0
+                st.last = res
+                if res["telemetry"] is not None:
+                    snapshots.append(res["telemetry"])
+                if res["done"]:
+                    for k, index in enumerate(st.shard[0]):
+                        status, error, repaired, rejected, gaps = res[
+                            "health"
+                        ][k]
+                        results[index] = SessionReport(
+                            session_index=index,
+                            steps=tuple(acc_steps[k]),
+                            strides=tuple(acc_strides[k]),
+                            status=status,
+                            error=error,
+                            samples_repaired=repaired,
+                            samples_rejected=rejected,
+                            gaps_reset=gaps,
+                        )
+                    if store is not None:
+                        store.delete(st.name)
+                else:
+                    st.ckpt = make_checkpoint(
+                        res["pool"],
+                        res["next_offset"],
+                        acc_steps,
+                        acc_strides,
+                        st.epoch,
+                    )
+                    if store is not None:
+                        store.save(st.name, st.ckpt)
+                    survivors.append(st)
+                    epoch_stats.append(
+                        ShardEpochStats(
+                            shard_id=st.sid,
+                            n_sessions=len(st.shard[0]),
+                            elapsed_s=float(res["elapsed_s"]),
+                            round_seconds_sum=res["round_seconds_sum"],
+                            round_seconds_count=res["round_seconds_count"],
+                            crashes=st.crashes,
+                        )
+                    )
+                continue
+
+            # Shard-level death: restore from the last checkpoint and
+            # replay the lost epoch; exhaust the attempt budget and the
+            # shard falls back to classic bisection from the trace.
+            st.crashes += 1
+            st.attempt += 1
+            if st.attempt >= _MAX_SHARD_ATTEMPTS:
+                healed, heal_snaps, heal_retries = _heal_shards(
+                    [st.shard], n_workers, shard_timeout_s
+                )
+                results.update(healed)
+                snapshots.extend(heal_snaps)
+                retries += heal_retries + 1
+                if store is not None:
+                    store.delete(st.name)
+                continue
+            if store is not None:
+                # Disk is authoritative in persistent mode — the torn-
+                # checkpoint path reads as a miss here, dropping the
+                # shard back to a from-scratch re-ingest.
+                st.ckpt = store.load(st.name)
+                if st.ckpt is None and st.epoch > 0:
+                    st.restarts += 1
+                st.epoch = st.ckpt["epoch"] if st.ckpt is not None else 0
+            if st.ckpt is not None:
+                restores += 1
+            survivors.append(st)
+
+        # Live rebalancing: split overloaded shards between epochs by
+        # splitting their checkpoints (pool snapshot + settled credits),
+        # so the migrated sessions resume bit-identically on the new
+        # shard and no credit is lost or duplicated.
+        if rebalance is not None and epoch_stats:
+            by_sid = {st.sid: st for st in survivors}
+            for sid in rebalance.plan(epoch_stats):
+                st = by_sid.get(sid)
+                if st is None or st.ckpt is None or len(st.shard[0]) < 2:
+                    continue
+                mid = len(st.shard[0]) // 2
+                left_ck, right_ck = split_checkpoint(st.ckpt, mid)
+                left_shard, right_shard = _split_shard(st.shard)
+                right = _DurableShard(
+                    sid=next_sid,
+                    shard=right_shard,
+                    ckpt=right_ck,
+                    epoch=st.epoch,
+                    crashes=st.crashes,
+                )
+                next_sid += 1
+                st.shard = left_shard
+                st.ckpt = left_ck
+                if store is not None:
+                    store.save(st.name, left_ck)
+                    store.save(right.name, right_ck)
+                survivors.append(right)
+                rebalances += 1
+        active = survivors
+
+    if driver_reg is not None:
+        snapshots.append(driver_reg.snapshot())
+    return results, snapshots, retries, restores, rebalances
+
+
 def _validate_traces(
     traces: Sequence[np.ndarray],
     fault_policy: Optional[FaultPolicy],
@@ -302,6 +775,11 @@ def serve_fleet(
     fault_policy: Optional[FaultPolicy] = None,
     shard_timeout_s: Optional[float] = None,
     telemetry: bool = False,
+    checkpoint_every_s: Optional[float] = None,
+    checkpoint_dir: Optional[os.PathLike] = None,
+    rebalance: Optional[RebalancePolicy] = None,
+    shard_faults: Optional[Sequence[FaultInjector]] = None,
+    fault_seed: int = 0,
 ) -> FleetReport:
     """Serve one trace per session through a self-healing session fleet.
 
@@ -333,6 +811,31 @@ def serve_fleet(
             :attr:`FleetReport.telemetry`. Counter totals are
             deterministic and shard-layout-invariant on clean runs;
             latency histograms are wall-clock and are not.
+        checkpoint_every_s: Enable *durable mode*: serve in epochs of
+            this many stream-seconds, snapshotting every shard's pool
+            (``ptrack-session-v1``) plus its settled credits after each
+            epoch. A shard lost mid-epoch restores from its last
+            checkpoint and replays only the lost epoch instead of
+            re-ingesting; repeated failure falls back to classic
+            bisection from the trace. ``None`` (default) keeps the
+            classic single-pass path byte for byte.
+        checkpoint_dir: Persist checkpoints to this directory through
+            an atomic :class:`~repro.serving.checkpoint.CheckpointStore`
+            (created if missing). The disk copy is authoritative on
+            recovery: a torn file reads as a miss and drops the shard
+            back to re-ingest. ``None`` keeps checkpoints in memory.
+            Requires ``checkpoint_every_s``.
+        rebalance: A :class:`~repro.serving.rebalance.RebalancePolicy`
+            consulted after every epoch; shards it plans to split are
+            halved live, with the new shard seeded from the split
+            checkpoint so migrated sessions resume bit-identically.
+            Requires ``checkpoint_every_s``.
+        shard_faults: Fault injectors with shard-level surfaces
+            (:class:`repro.faults.ShardCrash` kills or raises inside a
+            worker epoch, :class:`repro.faults.TornCheckpoint` corrupts
+            checkpoint writes), driven deterministically from
+            ``fault_seed``. Requires ``checkpoint_every_s``.
+        fault_seed: Base seed for the ``shard_faults`` derivation.
 
     Returns:
         A :class:`FleetReport` with per-session results in fleet
@@ -353,6 +856,21 @@ def serve_fleet(
     if batch_samples < 1:
         raise ConfigurationError(
             f"batch_samples must be >= 1, got {batch_samples}"
+        )
+    if checkpoint_every_s is None:
+        for arg, name in (
+            (checkpoint_dir, "checkpoint_dir"),
+            (rebalance, "rebalance"),
+            (shard_faults, "shard_faults"),
+        ):
+            if arg is not None:
+                raise ConfigurationError(
+                    f"{name} requires durable mode; also pass "
+                    "checkpoint_every_s=<epoch seconds>"
+                )
+    elif checkpoint_every_s <= 0:
+        raise ConfigurationError(
+            f"checkpoint_every_s must be > 0, got {checkpoint_every_s}"
         )
     if n == 0:
         snap = MetricsRegistry().snapshot() if telemetry else None
@@ -383,66 +901,30 @@ def serve_fleet(
         for lo in range(0, n, sessions_per_shard)
     ]
 
-    # Healing loop: serve every pending shard; bisect the failures.
-    # Each round runs in a fresh pool, so a worker lost to a crash in
-    # round k cannot poison round k+1 — which also means a shard that
-    # failed only as *collateral* of a pool break (a sibling's worker
-    # died and took the whole pool down) deserves a clean retry before
-    # being written off. Every shard therefore gets two attempts at
-    # single-session size; multi-session failures are bisected.
-    # Terminates because splits strictly shrink shards and attempts
-    # are bounded.
-    results: Dict[int, SessionReport] = {}
-    snapshots: List[Dict[str, Any]] = []
-    retries = 0
-    pending: List[Tuple[_Shard, int]] = [(shard, 0) for shard in shards]
-    while pending:
-        with trace_span("serve_fleet.healing_round"):
-            if n_workers > 1 and any(attempts for _, attempts in pending):
-                # Retry round: one pool per shard, so a culprit that
-                # kills its worker cannot break the pool under its
-                # innocent collateral siblings a second time.
-                outcomes = []
-                for shard, _ in pending:
-                    outcomes.extend(
-                        parallel_map_outcomes(
-                            _serve_shard,
-                            [shard],
-                            workers=n_workers,
-                            timeout_s=shard_timeout_s,
-                        )
-                    )
-            else:
-                outcomes = parallel_map_outcomes(
-                    _serve_shard,
-                    [shard for shard, _ in pending],
-                    workers=n_workers,
-                    timeout_s=shard_timeout_s,
-                )
-        next_round: List[Tuple[_Shard, int]] = []
-        for (shard, attempts), outcome in zip(pending, outcomes):
-            if outcome.ok:
-                reports, snapshot = outcome.value
-                for report in reports:
-                    results[report.session_index] = report
-                if snapshot is not None:
-                    snapshots.append(snapshot)
-            elif len(shard[0]) > 1:
-                next_round.extend((s, 0) for s in _split_shard(shard))
-                retries += 1
-            elif attempts + 1 < _MAX_SHARD_ATTEMPTS:
-                next_round.append((shard, attempts + 1))
-                retries += 1
-            else:
-                index = shard[0][0]
-                results[index] = SessionReport(
-                    session_index=index,
-                    steps=(),
-                    strides=(),
-                    status="failed",
-                    error=outcome.error,
-                )
-        pending = next_round
+    restores = rebalances = 0
+    if checkpoint_every_s is not None:
+        results, snapshots, retries, restores, rebalances = (
+            _serve_fleet_durable(
+                shards,
+                n,
+                n_workers,
+                shard_timeout_s,
+                telemetry,
+                sample_rate_hz,
+                batch_samples,
+                checkpoint_every_s,
+                checkpoint_dir,
+                rebalance,
+                list(shard_faults) if shard_faults else [],
+                fault_seed,
+            )
+        )
+    else:
+        # Classic path: one pass per shard, bisection healing on
+        # wholesale failure.
+        results, snapshots, retries = _heal_shards(
+            shards, n_workers, shard_timeout_s
+        )
 
     sessions = tuple(results[i] for i in range(n))
     merged: Optional[Dict[str, Any]] = None
@@ -457,6 +939,13 @@ def serve_fleet(
         fleet_reg.counter("serving_fleet_sessions_failed_total").inc(
             sum(1 for s in sessions if s.status != "ok")
         )
+        if checkpoint_every_s is not None:
+            fleet_reg.counter(
+                "serving_fleet_checkpoint_restores_total"
+            ).inc(restores)
+            fleet_reg.counter("serving_fleet_rebalances_total").inc(
+                rebalances
+            )
         merged = fleet_reg.snapshot()
 
     return FleetReport(
@@ -464,4 +953,6 @@ def serve_fleet(
         n_samples=int(sum(t.shape[0] for t in validated)),
         shard_retries=retries,
         telemetry=merged,
+        checkpoint_restores=restores,
+        rebalances=rebalances,
     )

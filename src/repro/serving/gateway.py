@@ -440,6 +440,32 @@ class IngestGateway:
         """The backing pool (read-oriented introspection)."""
         return self._pool
 
+    def adopt_pool(self, pool: SessionPool) -> None:
+        """Swap in a pool restored from a snapshot (pool-crash recovery).
+
+        The gateway's mailboxes live in this process and survive a pool
+        failure; after rebuilding the lost pool from its last snapshot
+        (``SessionPool.from_snapshot``), adopting it lets the queued
+        arrivals drain into the restored sessions — credits stay
+        arrival-order invariant because the mailboxes preserved every
+        undelivered sample and its sequence order. The restored pool
+        must cover exactly the gateway's session ids; anything else is
+        a wiring mistake raised as :class:`ConfigurationError` rather
+        than a silent mis-delivery.
+        """
+        have = set(pool.session_ids)
+        want = set(self._sessions)
+        if have != want:
+            missing = sorted(want - have)
+            extra = sorted(have - want)
+            raise ConfigurationError(
+                "adopted pool does not match the gateway's sessions "
+                f"(missing ids {missing!r}, unexpected ids {extra!r}); "
+                "restore the pool from a snapshot taken while it was "
+                "serving this gateway"
+            )
+        self._pool = pool
+
     @property
     def n_sessions(self) -> int:
         """Sessions currently accepting arrivals."""

@@ -20,13 +20,18 @@ from __future__ import annotations
 
 import time
 from collections import Counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import PTrackConfig
 from repro.core.stepping import batch_stepping_tests
-from repro.core.streaming import StagedCycle, StreamingPTrack
+from repro.core.streaming import (
+    SESSION_SNAPSHOT_SCHEMA,
+    StagedCycle,
+    StreamingPTrack,
+    ensure_snapshot_kind,
+)
 from repro.exceptions import ConfigurationError
 from repro.faults.policy import FaultPolicy
 from repro.telemetry.registry import MetricsRegistry, get_registry
@@ -176,6 +181,197 @@ class SessionPool:
             )
         else:
             sess.reset()
+
+    # ------------------------------------------------------------------
+    # Durability: snapshot / restore / migration
+    # ------------------------------------------------------------------
+    def _backend_identity(self) -> Optional[str]:
+        """The compute-backend identity echoed into pool snapshots.
+
+        ``None`` for the lockstep pool (no backend seam); the batched
+        pool overrides this with its backend's name. Restore refuses a
+        mismatch: the float32 backend is only tolerance-bounded, so
+        resuming its state under a different backend could diverge from
+        the uninterrupted run.
+        """
+        return None
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Capture the whole pool — membership plus per-session state —
+        as one versioned, picklable dict.
+
+        The payload embeds one :meth:`StreamingPTrack.snapshot` per
+        session (failed sessions included, with their recorded errors),
+        the id allocator, and the pool's pipeline identity, so
+        :meth:`restore` on a compatibly configured pool (or
+        :meth:`from_snapshot`) resumes every stream bit-identically.
+        """
+        return {
+            "schema": SESSION_SNAPSHOT_SCHEMA,
+            "kind": "pool",
+            "sample_rate_hz": self._rate,
+            "config": self._config,
+            "settle_s": self._settle,
+            "max_buffer_s": self._max_buffer_s,
+            "fault_policy": self._fault_policy,
+            "isolate_failures": self._isolate,
+            "backend": self._backend_identity(),
+            "next_id": self._next_id,
+            "errors": dict(self._errors),
+            "sessions": {
+                sid: sess.snapshot() for sid, sess in self._sessions.items()
+            },
+        }
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        """Replace this pool's sessions with a :meth:`snapshot`'s.
+
+        Existing sessions are discarded; every snapshotted session is
+        rebuilt (under this pool's telemetry registry) and restored,
+        and the failure ledger and id allocator come along so revived
+        pools hand out fresh ids exactly like the original would have.
+        Raises :class:`ConfigurationError` before touching any state if
+        the snapshot's schema or pipeline identity (rate, config,
+        horizons, fault policy, backend) does not match this pool.
+        """
+        self.validate_snapshot(snapshot)
+        sessions: Dict[int, StreamingPTrack] = {}
+        for sid, blob in snapshot["sessions"].items():
+            sessions[sid] = StreamingPTrack.from_snapshot(
+                blob, telemetry=self._telemetry
+            )
+        self._sessions = sessions
+        self._errors = dict(snapshot["errors"])
+        self._next_id = int(snapshot["next_id"])
+        if self._telemetry is not None:
+            self._m_live.set(len(self._sessions))
+
+    def validate_snapshot(self, snapshot: Any) -> None:
+        """Raise :class:`ConfigurationError` unless ``snapshot`` is a
+        pool snapshot this pool can resume bit-identically."""
+        ensure_snapshot_kind(snapshot, "pool")
+        mismatches = []
+        if snapshot["sample_rate_hz"] != self._rate:
+            mismatches.append(
+                f"sample_rate_hz {snapshot['sample_rate_hz']} != {self._rate}"
+            )
+        if snapshot["config"] != self._config:
+            mismatches.append("PTrackConfig differs")
+        if (
+            snapshot["settle_s"] != self._settle
+            or snapshot["max_buffer_s"] != self._max_buffer_s
+        ):
+            mismatches.append(
+                f"horizons (settle_s={snapshot['settle_s']}, max_buffer_s="
+                f"{snapshot['max_buffer_s']}) != (settle_s={self._settle}, "
+                f"max_buffer_s={self._max_buffer_s})"
+            )
+        if snapshot["fault_policy"] != self._fault_policy:
+            mismatches.append("FaultPolicy differs")
+        if snapshot["backend"] != self._backend_identity():
+            mismatches.append(
+                f"compute backend {snapshot['backend']!r} != "
+                f"{self._backend_identity()!r}"
+            )
+        if mismatches:
+            raise ConfigurationError(
+                "pool snapshot cannot resume here — credits would not be "
+                "bit-identical: " + "; ".join(mismatches) + ". Construct "
+                "the pool with the snapshot's own parameters "
+                "(SessionPool.from_snapshot does this)."
+            )
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: Dict[str, Any],
+        telemetry: Optional[MetricsRegistry] = None,
+        **kwargs: Any,
+    ) -> "SessionPool":
+        """Build a pool resuming exactly where ``snapshot`` left off
+        (constructed with the snapshot's own pipeline identity, then
+        :meth:`restore`). Extra keyword arguments pass through to the
+        subclass constructor (e.g. ``small_fleet_cutoff``)."""
+        ensure_snapshot_kind(snapshot, "pool")
+        pool = cls(
+            sample_rate_hz=snapshot["sample_rate_hz"],
+            config=snapshot["config"],
+            settle_s=snapshot["settle_s"],
+            max_buffer_s=snapshot["max_buffer_s"],
+            fault_policy=snapshot["fault_policy"],
+            isolate_failures=snapshot["isolate_failures"],
+            telemetry=telemetry,
+            **kwargs,
+        )
+        pool.restore(snapshot)
+        return pool
+
+    def export_session(self, session_id: int) -> Dict[str, Any]:
+        """One session's state as a standalone ``kind="session"`` blob
+        (the migration unit for :meth:`import_session` on another
+        pool/shard). The live session is untouched."""
+        return self._session(session_id).snapshot()
+
+    def import_session(
+        self,
+        snapshot: Dict[str, Any],
+        session_id: Optional[int] = None,
+    ) -> int:
+        """Adopt a session exported from another pool; return its id.
+
+        The blob must match this pool's pipeline identity (rate,
+        config, horizons, fault policy) — enforced by the session-level
+        restore — so a migrated stream keeps crediting bit-identically.
+        By default the next free id is assigned; passing ``session_id``
+        preserves the original id (required when a fleet shard map
+        addresses sessions by id), and collides with an existing id as
+        a :class:`ConfigurationError`.
+        """
+        ensure_snapshot_kind(snapshot, "session")
+        self._check_import_identity(snapshot)
+        sid = self._next_id if session_id is None else session_id
+        if sid in self._sessions:
+            raise ConfigurationError(
+                f"cannot import session as id {sid}: the id is already "
+                "live in this pool — omit session_id to auto-assign, or "
+                "remove_session() the occupant first"
+            )
+        self._sessions[sid] = StreamingPTrack.from_snapshot(
+            snapshot, telemetry=self._telemetry
+        )
+        self._next_id = max(self._next_id, sid + 1)
+        if self._telemetry is not None:
+            self._m_live.set(len(self._sessions))
+        return sid
+
+    def remove_session(self, session_id: int) -> None:
+        """Drop a session from the pool (the hand-off half of a
+        migration: export, import elsewhere, then remove here)."""
+        self._session(session_id)
+        del self._sessions[session_id]
+        self._errors.pop(session_id, None)
+        if self._telemetry is not None:
+            self._m_live.set(len(self._sessions))
+
+    def _check_import_identity(self, snapshot: Dict[str, Any]) -> None:
+        """Pool-level identity gate for :meth:`import_session`, so the
+        error names the pool mismatch instead of a session detail."""
+        if (
+            snapshot["sample_rate_hz"] != self._rate
+            or snapshot["config"] != self._config
+            or snapshot["settle_s"] != self._settle
+            or snapshot["max_buffer_s"] != self._max_buffer_s
+            or snapshot["fault_policy"] != self._fault_policy
+        ):
+            raise ConfigurationError(
+                "session snapshot does not match this pool's pipeline "
+                f"identity (pool: rate={self._rate}, settle_s="
+                f"{self._settle}, max_buffer_s={self._max_buffer_s}; "
+                f"snapshot: rate={snapshot['sample_rate_hz']}, settle_s="
+                f"{snapshot['settle_s']}, max_buffer_s="
+                f"{snapshot['max_buffer_s']}) — migrate only between "
+                "pools serving the same device class"
+            )
 
     # ------------------------------------------------------------------
     # Failure isolation

@@ -8,8 +8,13 @@ reorderings within a session's window, disconnects, staggered joins)
 and every example is checked against the serial oracle; the
 differential profiles additionally pin the whole driver stack to one
 answer: ``serial == pooled == batched == gateway`` (and ``== sharded``
-in the slow profile).
+in the slow profile). The pool-kill profile extends the contract to
+durability: killing the backing pool mid-schedule and adopting one
+restored from its ``ptrack-session-v1`` snapshot must leave the
+credits equal to the uninterrupted serial replay.
 """
+
+import pickle
 
 import numpy as np
 import pytest
@@ -243,6 +248,68 @@ class TestArrivalOrderInvariance:
             stats_a["samples_accepted"] + stats_a["samples_shed"]
             == schedule.n_samples
         )
+
+
+def _gateway_with_pool_kill(schedule, cut_frac):
+    """Replay a schedule tick by tick; partway through, kill the pool
+    and adopt one restored from a pickled snapshot.
+
+    The gateway's mailboxes survive the kill, so any samples still
+    buffered for reordering at the cut must drain into the restored
+    pool on the following ticks — the durability contract for the
+    ingest path.
+    """
+    gw = IngestGateway(
+        RATE,
+        reorder_window=max(8, schedule.max_seq_skew),
+        telemetry=MetricsRegistry(),
+    )
+    cut = max(1, int(cut_frac * schedule.n_ticks))
+    sid_of = {}
+    acc = {}
+    for tick, events in enumerate(schedule.events):
+        if tick == cut:
+            blob = pickle.loads(pickle.dumps(gw.pool.snapshot()))
+            gw.adopt_pool(SessionPool.from_snapshot(blob))
+        for ev in events:
+            if ev.session not in sid_of:
+                sid_of[ev.session] = gw.add_session(_PROFILES[ev.session])
+                acc[ev.session] = ([], [])
+            res = gw.offer(
+                sid_of[ev.session],
+                _TRACES[ev.session][ev.start : ev.stop],
+                seq=ev.seq,
+            )
+            assert res.ok, res
+        reverse = {sid: i for i, sid in sid_of.items()}
+        for sid, (s, r) in gw.tick().items():
+            acc[reverse[sid]][0].extend(s)
+            acc[reverse[sid]][1].extend(r)
+    reverse = {sid: i for i, sid in sid_of.items()}
+    for sid, (s, r) in gw.flush().items():
+        acc[reverse[sid]][0].extend(s)
+        acc[reverse[sid]][1].extend(r)
+    return gw, {i: _signature(*c) for i, c in acc.items()}
+
+
+class TestPoolKillRestore:
+    @fuzz_heavy
+    @given(
+        schedule=schedules,
+        cut_frac=st.sampled_from([0.1, 0.5, 0.9]),
+    )
+    def test_mid_schedule_pool_kill_matches_serial(self, schedule, cut_frac):
+        """For any schedule and kill point: killing the pool mid-stream
+        and restoring it from its snapshot leaves the credits equal to
+        the uninterrupted serial replay — the mailboxes drain into the
+        restored pool with arrival-order invariance intact."""
+        gw, credits = _gateway_with_pool_kill(schedule, cut_frac)
+        assert gw.stats.samples_shed == 0
+        oracle = _serial(schedule.delivered_slices())
+        assert credits == {i: s for i, s in oracle.items() if i in credits}
+        for i, sig in oracle.items():
+            if i not in credits:
+                assert sig == ([], [])
 
 
 @pytest.mark.slow

@@ -184,6 +184,41 @@ class TestTraceCache:
         (tmp_path / "bad.pkl").write_bytes(b"\x80\x04 torn")
         assert cache.get("bad", "default") == "default"
 
+    def test_truncated_disk_entry_is_quarantined(self, tmp_path):
+        # Write a real entry, truncate it on disk, and drop the memory
+        # copy: the damaged file must read as a miss, move aside under
+        # a .corrupt suffix, count, and let a recompute land cleanly.
+        writer = TraceCache(directory=tmp_path)
+        writer.put("walk", {"trace": list(range(200))})
+        entry = tmp_path / "walk.pkl"
+        payload = entry.read_bytes()
+        entry.write_bytes(payload[: len(payload) // 2])
+
+        cache = TraceCache(directory=tmp_path)
+        assert cache.get("walk", "MISS") == "MISS"
+        assert cache.misses == 1
+        assert cache.corrupt_entries == 1
+        assert not entry.exists()
+        assert (tmp_path / "walk.pkl.corrupt").exists()
+        # The quarantine frees the slot: get_or_compute recomputes and
+        # repopulates disk, and a fresh instance reads the new value.
+        assert cache.get_or_compute("walk", lambda: "fresh") == "fresh"
+        assert TraceCache(directory=tmp_path).get("walk") == "fresh"
+
+    def test_corrupt_entry_counts_telemetry(self, tmp_path):
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        writer = TraceCache(directory=tmp_path)
+        writer.put("k", [1, 2, 3])
+        entry = tmp_path / "k.pkl"
+        entry.write_bytes(entry.read_bytes()[:4])
+        cache = TraceCache(directory=tmp_path, telemetry=registry)
+        assert cache.get("k", "MISS") == "MISS"
+        snap = registry.snapshot()
+        assert snap["counters"]["runtime_cache_corrupt_total"] == 1
+        assert snap["counters"]["runtime_cache_misses_total"] == 1
+
     def test_disk_eviction_recovers_from_disk(self, tmp_path):
         cache = TraceCache(max_items=1, directory=tmp_path)
         cache.put("a", 1)
