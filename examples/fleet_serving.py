@@ -11,7 +11,14 @@ them three ways and shows the results are identical:
 3. **Sharded** — :func:`repro.serving.serve_fleet` partitions the
    fleet across worker processes via ``repro.runtime.parallel_map``.
 
-It then scales the pool to ~1000 users at a 0.5 s upload cadence,
+It then makes profiles durable: a :class:`repro.profiles.ProfileStore`
+round-trips the same fleet — serving by ``user_id`` warm-loads the
+stored records and credits the exact same steps as passing profiles
+directly, and a self-training run writes refreshed, version-bumped
+records back so the *next* run resumes calibration where this one
+stopped.
+
+Finally it scales the pool to ~1000 users at a 0.5 s upload cadence,
 reports throughput against real time, and prints the fleet health
 summary from the merged telemetry registry (every shard's counters
 travel home with its results and merge into one ledger).
@@ -19,10 +26,12 @@ travel home with its results and merge into one ledger).
 Run:  python examples/fleet_serving.py
 """
 
+import tempfile
 import time
 
 from repro.core import StreamingPTrack
 from repro.eval.reporting import fleet_health_table
+from repro.profiles import ProfileRecord, ProfileStore
 from repro.serving import SessionPool, serve_fleet, synthesize_workload
 
 RATE_HZ = 100.0
@@ -72,6 +81,50 @@ def main() -> None:
         print(
             f"  {w.user.name}: {serial[k]} steps "
             f"(ground truth {w.true_steps})"
+        )
+
+    # Profiles as durable state: the same fleet, round-tripped through
+    # a persistent store. Seed it with each walker's profile, then serve
+    # by user_id — the warm-loaded records credit the exact same steps.
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ProfileStore(tmp)
+        user_ids = [w.user.name for w in demo]
+        store.put_many(
+            ProfileRecord(user_id=uid, profile=w.profile)
+            for uid, w in zip(user_ids, demo)
+        )
+        warm = serve_fleet(
+            [w.samples for w in demo],
+            RATE_HZ,
+            user_ids=user_ids,
+            profile_store=store,
+            batch_samples=CADENCE,
+            sessions_per_shard=3,
+        )
+        assert [s.step_count for s in warm.sessions] == serial
+        print(
+            f"\nwarm-loaded {warm.profiles_loaded} profiles from the "
+            "store; credits match directly-passed profiles exactly"
+        )
+
+        # Serve again with self-training on: every session streams gait
+        # evidence into an IncrementalSelfTrainer and the fleet writes
+        # version-bumped records back, so the next run resumes
+        # calibration where this one stopped.
+        trained = serve_fleet(
+            [w.samples for w in demo],
+            RATE_HZ,
+            user_ids=user_ids,
+            profile_store=store,
+            self_train=True,
+            batch_samples=CADENCE,
+            sessions_per_shard=3,
+        )
+        rec = store.get(user_ids[0])
+        print(
+            f"self-training wrote back {trained.profiles_updated} "
+            f"record(s); {user_ids[0]} is now v{rec.version} with "
+            f"{rec.observations} gait observations banked"
         )
 
     # Now the headline: ~1000 concurrent users, 0.5 s upload cadence.

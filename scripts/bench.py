@@ -48,6 +48,12 @@ Suites:
   crash — gated on the snapshot/restore resume oracle and the
   ``classic fleet == durable fleet`` crediting identity (the PR-9
   scoreboard, ``BENCH_PR9.json``).
+* ``profile-store`` — the persistent profile subsystem: batched
+  ``put_many`` ingest of a million-profile population, cold random
+  ``get_many`` warm-load throughput, and the store-backed serve path
+  against directly-passed profiles — gated on the incremental-vs-batch
+  trainer equivalence oracle and the bit-identical warm-load crediting
+  oracle (the PR-10 scoreboard, ``BENCH_PR10.json``).
 
 The suite list and default scoreboard filenames live in
 :mod:`repro.benchsuites`, shared with the ``repro bench`` CLI verb.
@@ -73,6 +79,7 @@ import bench_durability  # noqa: E402
 import bench_faults  # noqa: E402
 import bench_gateway  # noqa: E402
 import bench_kernels  # noqa: E402
+import bench_profiles  # noqa: E402
 import bench_runtime  # noqa: E402
 import bench_serving  # noqa: E402
 import bench_telemetry  # noqa: E402
@@ -379,6 +386,38 @@ def _print_durability(durability) -> bool:
     return ok
 
 
+def _print_profiles(profiles) -> bool:
+    equivalence = profiles["equivalence"]
+    print(
+        f"  trainer oracle ({equivalence['n_users']} users, "
+        f"{equivalence['profiles_compared']} chunked/shuffled variants): "
+        f"{equivalence['ok']}"
+    )
+    population = profiles["population"]
+    print(
+        f"  population ({population['n_profiles']:,} profiles, "
+        f"{population['populated_shards']} shards): "
+        f"{population['puts_per_s']:,.0f} puts/s, cold "
+        f"{population['cold_gets_per_s']:,.0f} gets/s "
+        f"({population['cold_sample']:,} sampled)"
+    )
+    warm = profiles["warm_load"]
+    print(
+        f"  warm-load serving ({warm['n_sessions']} sessions, "
+        f"{warm['profiles_loaded']} loaded): "
+        f"{100 * warm['overhead_frac']:+.1f}% vs direct profiles, "
+        f"credits identical: {warm['identity_ok']}"
+    )
+    ok = True
+    if not equivalence["ok"]:
+        print("ERROR: incremental trainer diverged from the batch solve")
+        ok = False
+    if not warm["identity_ok"]:
+        print("ERROR: store-backed serving diverged from direct profiles")
+        ok = False
+    return ok
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The driver's argument parser (exposed for the drift tests)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -465,6 +504,9 @@ def main(argv=None) -> int:
         results["durability"] = bench_durability.run_durability(
             check=args.check
         )
+    if args.suite in ("profile-store", "all"):
+        results["check_mode"] = args.check
+        results["profiles"] = bench_profiles.run_profiles(check=args.check)
 
     output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output} (rev {results['git_revision']})")
@@ -484,6 +526,8 @@ def main(argv=None) -> int:
         ok = _print_fleet_kernels(results["fleet_kernels"]) and ok
     if args.suite in ("durability", "all"):
         ok = _print_durability(results["durability"]) and ok
+    if args.suite in ("profile-store", "all"):
+        ok = _print_profiles(results["profiles"]) and ok
     return 0 if ok else 1
 
 

@@ -26,6 +26,7 @@ MODULES = [
     "repro.serving.checkpoint",
     "repro.serving.gateway",
     "repro.serving.rebalance",
+    "repro.profiles",
     "repro.telemetry",
     "repro.baselines",
     "repro.apps",

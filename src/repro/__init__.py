@@ -49,6 +49,7 @@ from repro.sensing.imu import IMUTrace
 from repro.types import (
     ActivityKind,
     CycleClassification,
+    CycleObservation,
     GaitType,
     Posture,
     StepEvent,
@@ -65,6 +66,7 @@ __all__ = [
     "CalibrationWalk",
     "ConfigurationError",
     "CycleClassification",
+    "CycleObservation",
     "GaitType",
     "GeometryError",
     "IMUTrace",

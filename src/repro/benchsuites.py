@@ -85,6 +85,11 @@ SUITES: Tuple[BenchSuite, ...] = (
         "BENCH_PR9.json",
         "checkpoint overhead, restore-vs-reingest recovery, resume oracle",
     ),
+    BenchSuite(
+        "profile-store",
+        "BENCH_PR10.json",
+        "population-scale profile store ingest, cold warm-load, trainer oracle",
+    ),
 )
 
 #: Valid ``--suite`` values: every registered suite plus ``all``.

@@ -41,11 +41,29 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
-_FIGURES = ("fig1", "fig3", "fig6", "fig7", "fig8", "fig9", "ablations")
+_FIGURES = (
+    "fig1",
+    "fig3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "ablations",
+    "fingerprint",
+)
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
-    from repro.experiments import ablations, fig1, fig3, fig6, fig7, fig8, fig9
+    from repro.experiments import (
+        ablations,
+        fig1,
+        fig3,
+        fig6,
+        fig7,
+        fig8,
+        fig9,
+        fingerprint,
+    )
 
     selected = args.only if args.only else list(_FIGURES)
     unknown = set(selected) - set(_FIGURES)
@@ -79,6 +97,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         ablations.sweep_sample_rate()[1].show()
         ablations.sweep_consecutive()[1].show()
         ablations.sweep_metric_variants()[1].show()
+    if "fingerprint" in selected:
+        fingerprint.run_fingerprint()[1].show()
     return 0
 
 
@@ -195,6 +215,53 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profiles(args: argparse.Namespace) -> int:
+    """Operate on a persistent profile store directory."""
+    import json
+
+    from repro.profiles import ProfileStore
+
+    store = ProfileStore(args.directory)
+    if args.action == "stats":
+        for key, value in store.stats().items():
+            print(f"{key}: {value}")
+    elif args.action == "compact":
+        outcome = store.compact()
+        print(
+            f"rewrote {outcome['rewritten']} shard file(s), removed "
+            f"{outcome['removed_corrupt']} quarantined file(s)"
+        )
+    else:  # inspect
+        if args.user is None:
+            print("inspect requires --user <user id>", file=sys.stderr)
+            return 2
+        record = store.get(args.user)
+        if record is None:
+            print(f"no record for user {args.user!r}", file=sys.stderr)
+            return 1
+        payload = {
+            "user_id": record.user_id,
+            "version": record.version,
+            "observations": record.observations,
+            "referenced_walks": record.referenced_walks,
+            "confidence": record.confidence,
+            "cadence_hz": record.cadence_hz,
+            "updated_at": record.updated_at,
+            "profile": (
+                None
+                if record.profile is None
+                else {
+                    "arm_length_m": record.profile.arm_length_m,
+                    "leg_length_m": record.profile.leg_length_m,
+                    "calibration_k": record.profile.calibration_k,
+                }
+            ),
+            "has_trainer_state": record.trainer_state is not None,
+        }
+        print(json.dumps(payload, indent=2))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Thin wrapper over ``scripts/bench.py`` for installed packages.
 
@@ -292,6 +359,22 @@ def build_parser() -> argparse.ArgumentParser:
         default="table",
     )
     telemetry.set_defaults(func=_cmd_telemetry)
+
+    profiles = sub.add_parser(
+        "profiles",
+        help="inspect or maintain a persistent profile store",
+    )
+    profiles.add_argument("directory")
+    profiles.add_argument(
+        "action",
+        choices=("stats", "inspect", "compact"),
+        help="stats: store-wide summary; inspect: one user's record "
+        "as JSON; compact: drop empty shard files",
+    )
+    profiles.add_argument(
+        "--user", default=None, help="user id (required for inspect)"
+    )
+    profiles.set_defaults(func=_cmd_profiles)
 
     bench = sub.add_parser(
         "bench",

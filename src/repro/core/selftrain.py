@@ -33,12 +33,22 @@ in closed form by least squares over the walks; the selected ``l̂``
 minimises the residual across walks of different paces — a wrong ``l``
 cannot fit slow and fast walks with one ``k`` because the
 bounce-to-stride map is nonlinear in ``l``.
+
+**Observation-level cores.** Both steps are factored into pure
+functions over :class:`repro.types.CycleObservation` multisets
+(``value -> count``), so the batch trainer here and the bounded-memory
+:class:`repro.profiles.IncrementalSelfTrainer` share one set of
+numerics: a batch run is just the incremental run fed every
+observation at once, and the two provably agree (see
+``tests/test_profiles_trainer.py``). The weighted median over a
+multiset reproduces ``np.median`` over the expanded array bit-exactly,
+so routing the batch path through the shared cores changes nothing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,9 +59,34 @@ from repro.exceptions import CalibrationError, GeometryError, SignalError
 from repro.sensing.imu import IMUTrace
 from repro.signal.filters import butter_lowpass
 from repro.signal.projection import anterior_direction, project_horizontal
-from repro.types import GaitType, UserProfile
+from repro.types import CycleObservation, GaitType, UserProfile
 
-__all__ = ["CalibrationWalk", "train_arm_length", "train_leg_length", "SelfTrainer"]
+__all__ = [
+    "CalibrationWalk",
+    "train_arm_length",
+    "train_leg_length",
+    "SelfTrainer",
+    "calibration_observations",
+    "walk_observations",
+    "arm_length_from_observations",
+    "arm_length_from_counts",
+    "arm_length_from_costs",
+    "bounces_from_observations",
+    "leg_length_from_walk_bounces",
+    "weighted_median",
+    "DEFAULT_ARM_GRID_M",
+    "DEFAULT_LEG_GRID_M",
+]
+
+#: Default Step-1 search grid: candidate arm lengths, 0.40-0.85 m at 5 mm.
+DEFAULT_ARM_GRID_M = (0.40, 0.851, 0.005)
+#: Default Step-2 search grid: candidate leg lengths, 0.70-1.10 m at 5 mm.
+DEFAULT_LEG_GRID_M = (0.70, 1.101, 0.005)
+
+
+def _default_grid(spec: Tuple[float, float, float]) -> np.ndarray:
+    start, stop, step = spec
+    return np.arange(start, stop, step)
 
 
 @dataclass(frozen=True)
@@ -74,27 +109,36 @@ class CalibrationWalk:
             )
 
 
-def _cycle_observations(
+# ----------------------------------------------------------------------
+# Observation extraction
+# ----------------------------------------------------------------------
+def calibration_observations(
     traces: Sequence[IMUTrace],
-    config: PTrackConfig,
-) -> Tuple[List[Tuple[float, float, float]], List[float]]:
-    """Per-cycle raw observations across traces.
+    config: Optional[PTrackConfig] = None,
+) -> List[CycleObservation]:
+    """Per-cycle raw Step-1 observations across calibration traces.
+
+    Every classified WALKING or STEPPING cycle contributes, including
+    cycles the counter confirmed but did not credit steps for — Step 1
+    compares *bounce distributions*, not step counts, so it uses every
+    cycle whose signal admits a measurement.
 
     Returns:
-        Tuple ``(walking_triples, stepping_bounces)`` where each
-        walking triple is the measured ``(h1, h2, d)`` of Eqs. (3)-(5)
-        and each stepping bounce is a direct measurement.
+        One :class:`CycleObservation` per usable cycle, in cycle order
+        per trace: walking cycles carry the ``(h1, h2, d)`` moment
+        triple of Eqs. (3)-(5), stepping cycles the directly measured
+        bounce.
     """
-    walking: List[Tuple[float, float, float]] = []
-    stepping: List[float] = []
-    counter = PTrackStepCounter(config)
+    cfg = config if config is not None else PTrackConfig()
+    observations: List[CycleObservation] = []
+    counter = PTrackStepCounter(cfg)
     for trace in traces:
         _, classifications = counter.process(trace)
         filtered = butter_lowpass(
             trace.linear_acceleration,
-            config.lowpass_cutoff_hz,
+            cfg.lowpass_cutoff_hz,
             trace.sample_rate_hz,
-            config.lowpass_order,
+            cfg.lowpass_order,
         )
         vertical = filtered[:, 2]
         horizontal = filtered[:, :2]
@@ -102,9 +146,12 @@ def _cycle_observations(
             v_seg = vertical[cls.start_index : cls.end_index]
             if cls.gait_type is GaitType.STEPPING:
                 try:
-                    stepping.append(direct_bounce(v_seg, trace.dt))
+                    bounce = direct_bounce(v_seg, trace.dt)
                 except SignalError:
                     continue
+                observations.append(
+                    CycleObservation(gait_type=GaitType.STEPPING, bounce_m=bounce)
+                )
             elif cls.gait_type is GaitType.WALKING:
                 h_seg = horizontal[cls.start_index : cls.end_index]
                 try:
@@ -113,10 +160,339 @@ def _cycle_observations(
                     moments = extract_cycle_moments(v_seg, a_seg, trace.dt)
                 except (SignalError, GeometryError):
                     continue
-                walking.append((moments.h1_m, moments.h2_m, moments.d_m))
+                observations.append(
+                    CycleObservation(
+                        gait_type=GaitType.WALKING,
+                        h1_m=moments.h1_m,
+                        h2_m=moments.h2_m,
+                        d_m=moments.d_m,
+                    )
+                )
+    return observations
+
+
+def walk_observations(
+    trace: IMUTrace,
+    config: Optional[PTrackConfig] = None,
+) -> List[CycleObservation]:
+    """Per-cycle raw Step-2 observations of one calibration walk.
+
+    Unlike :func:`calibration_observations` this mirrors the stride
+    estimator's cycle admission (skip INTERFERENCE and zero-step
+    cycles), because Step 2 prices exactly the cycles that will be
+    credited distance at serving time. Solving the walking bounce is
+    deferred to :func:`bounces_from_observations` so the same
+    observations can be re-priced at any arm length.
+    """
+    cfg = config if config is not None else PTrackConfig()
+    counter = PTrackStepCounter(cfg)
+    _, classifications = counter.process(trace)
+    filtered = butter_lowpass(
+        trace.linear_acceleration,
+        cfg.lowpass_cutoff_hz,
+        trace.sample_rate_hz,
+        cfg.lowpass_order,
+    )
+    vertical = filtered[:, 2]
+    horizontal = filtered[:, :2]
+    observations: List[CycleObservation] = []
+    for cls in classifications:
+        if cls.gait_type is GaitType.INTERFERENCE or cls.steps_added == 0:
+            continue
+        v_seg = vertical[cls.start_index : cls.end_index]
+        if cls.gait_type is GaitType.STEPPING:
+            try:
+                bounce = direct_bounce(v_seg, trace.dt)
+            except SignalError:
+                continue
+            observations.append(
+                CycleObservation(gait_type=GaitType.STEPPING, bounce_m=bounce)
+            )
+        else:
+            h_seg = horizontal[cls.start_index : cls.end_index]
+            try:
+                direction = anterior_direction(h_seg)
+                a_seg = project_horizontal(h_seg, direction)
+                moments = extract_cycle_moments(v_seg, a_seg, trace.dt)
+            except (SignalError, GeometryError):
+                continue
+            observations.append(
+                CycleObservation(
+                    gait_type=GaitType.WALKING,
+                    h1_m=moments.h1_m,
+                    h2_m=moments.h2_m,
+                    d_m=moments.d_m,
+                )
+            )
+    return observations
+
+
+# ----------------------------------------------------------------------
+# Shared numeric cores (batch SelfTrainer + IncrementalSelfTrainer)
+# ----------------------------------------------------------------------
+def weighted_median(counts: Mapping[float, int]) -> float:
+    """Median of the multiset ``{value: multiplicity}``.
+
+    Bit-identical to ``np.median`` over the expanded array: the two
+    middle order statistics are located through cumulative counts and
+    averaged with the same ``np.mean`` reduction ``np.median`` uses, so
+    sufficient-statistic consumers agree exactly with array consumers.
+    """
+    total = 0
+    for c in counts.values():
+        if c < 0:
+            raise ValueError("multiplicities must be non-negative")
+        total += c
+    if total == 0:
+        raise ValueError("weighted_median of an empty multiset")
+    lo_pos = (total - 1) // 2
+    hi_pos = total // 2
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    cum = 0
+    for value in sorted(counts):
+        cum += counts[value]
+        if lo is None and cum > lo_pos:
+            lo = value
+        if cum > hi_pos:
+            hi = value
+            break
+    return float(np.mean(np.asarray([lo, hi], dtype=float)))
+
+
+def _observation_counts(
+    observations: Sequence[CycleObservation],
+) -> Tuple[Dict[Tuple[float, float, float], int], Dict[float, int]]:
+    """Multisets ``(walking (h1, h2, d) triples, stepping bounces)``."""
+    walking: Dict[Tuple[float, float, float], int] = {}
+    stepping: Dict[float, int] = {}
+    for obs in observations:
+        if obs.gait_type is GaitType.STEPPING:
+            b = float(obs.bounce_m)  # type: ignore[arg-type]
+            stepping[b] = stepping.get(b, 0) + 1
+        else:
+            key = (float(obs.h1_m), float(obs.h2_m), float(obs.d_m))  # type: ignore[arg-type]
+            walking[key] = walking.get(key, 0) + 1
     return walking, stepping
 
 
+def arm_length_from_costs(grid: np.ndarray, costs: np.ndarray) -> float:
+    """Argmin over the Step-1 grid with local parabolic refinement.
+
+    Raises:
+        CalibrationError: When no grid candidate produced a finite cost.
+    """
+    if not np.any(np.isfinite(costs)):
+        raise CalibrationError("no arm-length candidate admits the measurements")
+    best = int(np.argmin(costs))
+    # Local parabolic refinement around the best grid point.
+    if 0 < best < grid.size - 1 and np.all(np.isfinite(costs[best - 1 : best + 2])):
+        y0, y1, y2 = costs[best - 1 : best + 2]
+        denom = y0 - 2 * y1 + y2
+        if denom > 0:
+            shift = float(np.clip(0.5 * (y0 - y2) / denom, -1.0, 1.0))
+            return float(grid[best] + shift * (grid[1] - grid[0]))
+    return float(grid[best])
+
+
+def arm_length_from_counts(
+    walking_counts: Mapping[Tuple[float, float, float], int],
+    stepping_counts: Mapping[float, int],
+    grid_m: Optional[np.ndarray] = None,
+    min_cycles: int = 8,
+) -> float:
+    """Step 1 over sufficient statistics: observation multisets.
+
+    The multiset form is what :class:`repro.profiles.IncrementalSelfTrainer`
+    accumulates; each distinct walking triple is solved once per grid
+    candidate regardless of multiplicity.
+
+    Raises:
+        CalibrationError: With insufficient walking or stepping cycles,
+            or when no candidate admits the measurements.
+    """
+    grid = (
+        np.asarray(grid_m, dtype=float)
+        if grid_m is not None
+        else _default_grid(DEFAULT_ARM_GRID_M)
+    )
+    if grid.size < 3:
+        raise CalibrationError("arm-length grid needs at least 3 candidates")
+    n_walking = sum(walking_counts.values())
+    n_stepping = sum(stepping_counts.values())
+    if n_walking < min_cycles:
+        raise CalibrationError(
+            f"need >= {min_cycles} walking cycles, got {n_walking}"
+        )
+    if n_stepping < min_cycles:
+        raise CalibrationError(
+            f"need >= {min_cycles} stepping cycles, got {n_stepping}; "
+            "include a stepping stretch (hand in pocket) in the calibration"
+        )
+    anchor = weighted_median(stepping_counts)
+
+    admit_floor = max(min_cycles, int(0.5 * n_walking))
+    costs = np.full(grid.size, np.inf)
+    for gi, m in enumerate(grid):
+        bounce_counts: Dict[float, int] = {}
+        n_solved = 0
+        for (h1, h2, d), count in walking_counts.items():
+            try:
+                b = solve_bounce(h1, h2, d, m)
+            except GeometryError:
+                continue
+            bounce_counts[b] = bounce_counts.get(b, 0) + count
+            n_solved += count
+        if n_solved >= admit_floor:
+            costs[gi] = (weighted_median(bounce_counts) - anchor) ** 2
+    return arm_length_from_costs(grid, costs)
+
+
+def arm_length_from_observations(
+    observations: Sequence[CycleObservation],
+    grid_m: Optional[np.ndarray] = None,
+    min_cycles: int = 8,
+) -> float:
+    """Step 1 over a flat observation sequence (order-invariant)."""
+    walking, stepping = _observation_counts(observations)
+    return arm_length_from_counts(walking, stepping, grid_m=grid_m, min_cycles=min_cycles)
+
+
+def bounces_from_observations(
+    observations: Sequence[CycleObservation],
+    arm_length_m: float,
+) -> np.ndarray:
+    """Per-cycle bounces of one walk's observations at a fixed arm length.
+
+    Walking cycles are priced through the Eqs. (3)-(5) solve at
+    ``arm_length_m`` (cycles whose geometry does not admit a solve are
+    skipped, exactly as the stride estimator skips them); stepping
+    cycles contribute their direct bounce. The result is sorted by
+    value, making downstream float reductions independent of
+    observation order.
+    """
+    bounces: List[float] = []
+    for obs in observations:
+        if obs.gait_type is GaitType.STEPPING:
+            bounces.append(float(obs.bounce_m))  # type: ignore[arg-type]
+        else:
+            try:
+                bounces.append(
+                    solve_bounce(obs.h1_m, obs.h2_m, obs.d_m, arm_length_m)
+                )
+            except (SignalError, GeometryError):
+                continue
+    return np.sort(np.asarray(bounces, dtype=float)) if bounces else np.empty(0)
+
+
+def leg_length_from_walk_bounces(
+    per_walk_bounces: Sequence[np.ndarray],
+    references: Sequence[float],
+    grid_l: Optional[np.ndarray] = None,
+    min_cycles: int = 8,
+) -> Tuple[float, float]:
+    """Step 2 over pre-priced walks: fit ``(l, k)`` against references.
+
+    Args:
+        per_walk_bounces: Per-walk cycle bounce arrays (walks with no
+            usable cycles are skipped together with their reference).
+            Each array is value-sorted on entry so the fit is invariant
+            to the order bounces were collected in.
+        references: Coarse external distance per walk, parallel to
+            ``per_walk_bounces``.
+        grid_l: Candidate leg lengths; default 0.70-1.10 m at 5 mm.
+        min_cycles: Minimum usable cycles across all walks.
+
+    Returns:
+        Tuple ``(leg_length_m, calibration_k)``.
+
+    Raises:
+        CalibrationError: With insufficient data.
+    """
+    grid = (
+        np.asarray(grid_l, dtype=float)
+        if grid_l is not None
+        else _default_grid(DEFAULT_LEG_GRID_M)
+    )
+    if len(per_walk_bounces) != len(references):
+        raise CalibrationError(
+            f"got {len(per_walk_bounces)} walks but {len(references)} references"
+        )
+    if not per_walk_bounces:
+        raise CalibrationError("need at least one calibration walk")
+
+    kept: List[Tuple[float, Tuple[float, ...], np.ndarray]] = []
+    for bounces, ref in zip(per_walk_bounces, references):
+        arr = np.sort(np.asarray(bounces, dtype=float))
+        if arr.size == 0:
+            continue
+        kept.append((float(ref), tuple(arr.tolist()), arr))
+    # Canonical walk order: the fit's reductions (dot products, means)
+    # associate floats in walk order, so sorting by (reference, bounce
+    # values) makes the result invariant to the order walks were
+    # collected in — the property the incremental trainer needs to
+    # agree with the batch trainer bit-for-bit under any arrival order.
+    kept.sort(key=lambda item: item[:2])
+    kept_bounces = [arr for _, _, arr in kept]
+    kept_refs = [ref for ref, _, _ in kept]
+    total_cycles = int(sum(b.size for b in kept_bounces))
+    if total_cycles < min_cycles:
+        raise CalibrationError(
+            f"need >= {min_cycles} usable cycles across walks, got {total_cycles}"
+        )
+
+    refs = np.asarray(kept_refs)
+    ref_scale = float(np.mean(refs**2))
+    best_cost = np.inf
+    best_l = float(grid[0])
+    best_k = 2.0
+    # (l, k) trade off along a near-flat ridge when the calibration
+    # paces are similar; a mild prior pulling k toward its geometric
+    # value of 2 (Eq. 2's pure inverted pendulum) breaks the tie the
+    # way the physics suggests without constraining the fit when the
+    # data genuinely demand a different k.
+    k_prior_weight = 0.02
+    for leg in grid:
+        # Distance a unit-k estimator would report per walk: each cycle
+        # contributes two steps of sqrt(l^2 - (l - b)^2) each.
+        unit = np.array(
+            [
+                2.0
+                * float(
+                    np.sum(
+                        np.sqrt(
+                            np.maximum(
+                                leg**2 - (leg - np.clip(b, 0.0, leg)) ** 2, 0.0
+                            )
+                        )
+                    )
+                )
+                for b in kept_bounces
+            ]
+        )
+        if np.all(unit <= 0):
+            continue
+        # Ridge-regularised closed-form k: least squares against the
+        # references plus the k ~ 2 prior.
+        uu = float(np.dot(unit, unit))
+        k = float(
+            (np.dot(unit, refs) + k_prior_weight * ref_scale * 2.0)
+            / (uu + k_prior_weight * ref_scale)
+        )
+        cost = (
+            float(np.mean((k * unit - refs) ** 2)) / ref_scale
+            + k_prior_weight * (k - 2.0) ** 2
+        )
+        if cost < best_cost:
+            best_cost, best_l, best_k = cost, float(leg), k
+    if not np.isfinite(best_cost):
+        raise CalibrationError("no leg-length candidate admits the walks")
+    return best_l, best_k
+
+
+# ----------------------------------------------------------------------
+# Batch trainer (the paper's offline two-step procedure)
+# ----------------------------------------------------------------------
 def train_arm_length(
     traces: Sequence[IMUTrace],
     config: Optional[PTrackConfig] = None,
@@ -140,48 +516,10 @@ def train_arm_length(
             or when no candidate admits the measurements.
     """
     cfg = config if config is not None else PTrackConfig()
-    grid = (
-        np.asarray(grid_m, dtype=float)
-        if grid_m is not None
-        else np.arange(0.40, 0.851, 0.005)
+    observations = calibration_observations(traces, cfg)
+    return arm_length_from_observations(
+        observations, grid_m=grid_m, min_cycles=min_cycles
     )
-    if grid.size < 3:
-        raise CalibrationError("arm-length grid needs at least 3 candidates")
-
-    walking, stepping = _cycle_observations(traces, cfg)
-    if len(walking) < min_cycles:
-        raise CalibrationError(
-            f"need >= {min_cycles} walking cycles, got {len(walking)}"
-        )
-    if len(stepping) < min_cycles:
-        raise CalibrationError(
-            f"need >= {min_cycles} stepping cycles, got {len(stepping)}; "
-            "include a stepping stretch (hand in pocket) in the calibration"
-        )
-    anchor = float(np.median(stepping))
-
-    costs = np.full(grid.size, np.inf)
-    for gi, m in enumerate(grid):
-        bounces = []
-        for h1, h2, d in walking:
-            try:
-                bounces.append(solve_bounce(h1, h2, d, m))
-            except GeometryError:
-                continue
-        if len(bounces) >= max(min_cycles, int(0.5 * len(walking))):
-            costs[gi] = (float(np.median(bounces)) - anchor) ** 2
-    if not np.any(np.isfinite(costs)):
-        raise CalibrationError("no arm-length candidate admits the measurements")
-
-    best = int(np.argmin(costs))
-    # Local parabolic refinement around the best grid point.
-    if 0 < best < grid.size - 1 and np.all(np.isfinite(costs[best - 1 : best + 2])):
-        y0, y1, y2 = costs[best - 1 : best + 2]
-        denom = y0 - 2 * y1 + y2
-        if denom > 0:
-            shift = float(np.clip(0.5 * (y0 - y2) / denom, -1.0, 1.0))
-            return float(grid[best] + shift * (grid[1] - grid[0]))
-    return float(grid[best])
 
 
 def _bounces_for_walk(
@@ -190,18 +528,7 @@ def _bounces_for_walk(
     config: PTrackConfig,
 ) -> np.ndarray:
     """Per-cycle bounce estimates of one calibration walk."""
-    from repro.core.stride import PTrackStrideEstimator  # local: avoids cycle
-
-    profile = UserProfile(arm_length_m=arm_length_m, leg_length_m=0.9, calibration_k=2.0)
-    counter = PTrackStepCounter(config)
-    _, classifications = counter.process(trace)
-    estimator = PTrackStrideEstimator(profile, config)
-    estimates = estimator.estimate(trace, classifications)
-    bounces = {}
-    for e in estimates:
-        if e.bounce_m is not None:
-            bounces[e.cycle_id] = e.bounce_m
-    return np.asarray(sorted(bounces.values()), dtype=float) if bounces else np.empty(0)
+    return bounces_from_observations(walk_observations(trace, config), arm_length_m)
 
 
 def train_leg_length(
@@ -228,75 +555,15 @@ def train_leg_length(
         CalibrationError: With insufficient data.
     """
     cfg = config if config is not None else PTrackConfig()
-    grid = (
-        np.asarray(grid_l, dtype=float)
-        if grid_l is not None
-        else np.arange(0.70, 1.101, 0.005)
-    )
     if not walks:
         raise CalibrationError("need at least one calibration walk")
-
-    per_walk_bounces: List[np.ndarray] = []
-    references: List[float] = []
-    for walk in walks:
-        bounces = _bounces_for_walk(walk.trace, arm_length_m, cfg)
-        if bounces.size == 0:
-            continue
-        per_walk_bounces.append(bounces)
-        references.append(walk.reference_distance_m)
-    total_cycles = int(sum(b.size for b in per_walk_bounces))
-    if total_cycles < min_cycles:
-        raise CalibrationError(
-            f"need >= {min_cycles} usable cycles across walks, got {total_cycles}"
-        )
-
-    refs = np.asarray(references)
-    ref_scale = float(np.mean(refs**2))
-    best_cost = np.inf
-    best_l = float(grid[0])
-    best_k = 2.0
-    # (l, k) trade off along a near-flat ridge when the calibration
-    # paces are similar; a mild prior pulling k toward its geometric
-    # value of 2 (Eq. 2's pure inverted pendulum) breaks the tie the
-    # way the physics suggests without constraining the fit when the
-    # data genuinely demand a different k.
-    k_prior_weight = 0.02
-    for leg in grid:
-        # Distance a unit-k estimator would report per walk: each cycle
-        # contributes two steps of sqrt(l^2 - (l - b)^2) each.
-        unit = np.array(
-            [
-                2.0
-                * float(
-                    np.sum(
-                        np.sqrt(
-                            np.maximum(
-                                leg**2 - (leg - np.clip(b, 0.0, leg)) ** 2, 0.0
-                            )
-                        )
-                    )
-                )
-                for b in per_walk_bounces
-            ]
-        )
-        if np.all(unit <= 0):
-            continue
-        # Ridge-regularised closed-form k: least squares against the
-        # references plus the k ~ 2 prior.
-        uu = float(np.dot(unit, unit))
-        k = float(
-            (np.dot(unit, refs) + k_prior_weight * ref_scale * 2.0)
-            / (uu + k_prior_weight * ref_scale)
-        )
-        cost = (
-            float(np.mean((k * unit - refs) ** 2)) / ref_scale
-            + k_prior_weight * (k - 2.0) ** 2
-        )
-        if cost < best_cost:
-            best_cost, best_l, best_k = cost, float(leg), k
-    if not np.isfinite(best_cost):
-        raise CalibrationError("no leg-length candidate admits the walks")
-    return best_l, best_k
+    per_walk = [_bounces_for_walk(w.trace, arm_length_m, cfg) for w in walks]
+    return leg_length_from_walk_bounces(
+        per_walk,
+        [w.reference_distance_m for w in walks],
+        grid_l=grid_l,
+        min_cycles=min_cycles,
+    )
 
 
 class SelfTrainer:

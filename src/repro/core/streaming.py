@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.bounce import direct_bounce, extract_cycle_moments
 from repro.core.config import PTrackConfig
 from repro.core.offset import cycle_offset
 from repro.core.step_counter import (
@@ -50,14 +51,14 @@ from repro.core.step_counter import (
 )
 from repro.core.stepping import batch_stepping_tests
 from repro.core.stride import PTrackStrideEstimator
-from repro.exceptions import ConfigurationError, SignalError
+from repro.exceptions import ConfigurationError, GeometryError, SignalError
 from repro.faults.policy import FaultPolicy
 from repro.sensing.imu import IMUTrace
 from repro.signal.filters import butter_lowpass
 from repro.signal.projection import anterior_direction, project_horizontal
 from repro.signal.segmentation import segment_gait_cycles
 from repro.telemetry.registry import MetricsRegistry, get_registry
-from repro.types import StepEvent, StrideEstimate, UserProfile
+from repro.types import CycleObservation, GaitType, StepEvent, StrideEstimate, UserProfile
 
 __all__ = [
     "SESSION_SNAPSHOT_SCHEMA",
@@ -75,26 +76,30 @@ __all__ = [
 SESSION_SNAPSHOT_SCHEMA = "ptrack-session-v1"
 
 
-def ensure_snapshot_kind(blob: Any, kind: str) -> None:
-    """Validate the envelope of a ``ptrack-session-v1`` blob.
+def ensure_snapshot_kind(
+    blob: Any, kind: str, schema: str = SESSION_SNAPSHOT_SCHEMA
+) -> None:
+    """Validate the envelope of a versioned durable-state blob.
 
     Every durable-state payload in this codebase — a single session
     (``kind="session"``), a pool (``kind="pool"``), a fleet checkpoint
-    (``kind="checkpoint"``) — shares the same envelope: a dict carrying
-    ``schema`` (the exact version string) and ``kind``. This is the one
-    place that envelope is enforced; mismatches raise an actionable
-    :class:`ConfigurationError` instead of a silent wrong-credit resume
-    or a cryptic ``KeyError`` deep in a restore path.
+    (``kind="checkpoint"``), a profile record (``kind="profile"`` under
+    the ``ptrack-profile-v1`` schema) — shares the same envelope: a
+    dict carrying ``schema`` (the exact version string) and ``kind``.
+    This is the one place that envelope is enforced; mismatches raise
+    an actionable :class:`ConfigurationError` instead of a silent
+    wrong-credit resume or a cryptic ``KeyError`` deep in a restore
+    path.
     """
     if not isinstance(blob, dict) or "schema" not in blob:
         raise ConfigurationError(
-            f"expected a {SESSION_SNAPSHOT_SCHEMA} snapshot dict, got "
+            f"expected a {schema} snapshot dict, got "
             f"{type(blob).__name__}; produce one with snapshot()"
         )
-    if blob["schema"] != SESSION_SNAPSHOT_SCHEMA:
+    if blob["schema"] != schema:
         raise ConfigurationError(
             f"unsupported snapshot schema {blob['schema']!r}; this build "
-            f"restores only {SESSION_SNAPSHOT_SCHEMA!r} — re-snapshot with "
+            f"restores only {schema!r} — re-snapshot with "
             "a matching build instead of resuming across versions"
         )
     if blob.get("kind") != kind:
@@ -244,7 +249,20 @@ class StreamingPTrack:
             construction time; with the gate closed the session runs
             uninstrumented and the data path is untouched
             (bit-identical credits, zero added work per append).
+        collect_observations: When ``True``, every credited WALKING or
+            STEPPING cycle also deposits a profile-free
+            :class:`repro.types.CycleObservation` (direct bounce, or
+            the Eqs. (3)-(5) moment triple) into a bounded buffer
+            drained by :meth:`take_pending_observations` — the feed of
+            :class:`repro.profiles.IncrementalSelfTrainer`. Off by
+            default: credits are unchanged either way (observations are
+            a read-only tap), but collection prices each credited
+            walking cycle's moments once more.
     """
+
+    #: Drop-oldest bound of the observation buffer (see
+    #: ``observations_dropped``); ~an hour of credited cycles.
+    MAX_PENDING_OBSERVATIONS = 4096
 
     def __init__(
         self,
@@ -255,6 +273,7 @@ class StreamingPTrack:
         max_buffer_s: float = 30.0,
         fault_policy: Optional[FaultPolicy] = None,
         telemetry: Optional[MetricsRegistry] = None,
+        collect_observations: bool = False,
     ) -> None:
         if sample_rate_hz <= 0:
             raise ConfigurationError("sample_rate_hz must be positive")
@@ -288,6 +307,7 @@ class StreamingPTrack:
             if profile is not None
             else None
         )
+        self._collect_observations = bool(collect_observations)
         self._policy = fault_policy
         self._max_repair = (
             int(round(fault_policy.max_repair_s * sample_rate_hz))
@@ -348,6 +368,12 @@ class StreamingPTrack:
         self._pending_credits: Optional[
             Tuple[List[StepEvent], List[StrideEstimate]]
         ] = None
+        # Self-training observation buffer (collect_observations=True):
+        # profile-free per-cycle measurements awaiting a drain by
+        # take_pending_observations(). Bounded drop-oldest so an
+        # undrained session can never grow without limit.
+        self._pending_observations: List[CycleObservation] = []
+        self._observations_dropped = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -473,6 +499,10 @@ class StreamingPTrack:
             "machine": self._machine.state_dict(),
             "recent_strides": list(self._recent_strides),
             "stats": self._stats.as_dict(),
+            # Additive optional keys (readers use .get with defaults,
+            # so pre-profile ptrack-session-v1 blobs stay restorable).
+            "pending_observations": list(self._pending_observations),
+            "observations_dropped": self._observations_dropped,
         }
         return {
             "schema": SESSION_SNAPSHOT_SCHEMA,
@@ -483,6 +513,7 @@ class StreamingPTrack:
             "config": self._config,
             "profile": self._profile,
             "fault_policy": self._policy,
+            "collect_observations": self._collect_observations,
             "state": state,
         }
 
@@ -538,6 +569,8 @@ class StreamingPTrack:
         self._machine.load_state(st["machine"])
         self._recent_strides = deque(st["recent_strides"], maxlen=32)
         self._stride_fracs = []
+        self._pending_observations = list(st.get("pending_observations", []))
+        self._observations_dropped = int(st.get("observations_dropped", 0))
         self._stats = StreamingOpStats(**st["stats"])
         if self._telemetry is not None:
             # The snapshotted work was already published by the session
@@ -592,6 +625,15 @@ class StreamingPTrack:
                 "mid-stream — construct the session with the snapshot's "
                 "policy (StreamingPTrack.from_snapshot does this)"
             )
+        if bool(snapshot.get("collect_observations", False)) != self._collect_observations:
+            raise ConfigurationError(
+                "session snapshot's collect_observations="
+                f"{snapshot.get('collect_observations', False)} does not "
+                f"match this session's {self._collect_observations}; the "
+                "self-training tap would silently start or stop mid-stream "
+                "— construct the session with the snapshot's flag "
+                "(StreamingPTrack.from_snapshot does this)"
+            )
 
     @classmethod
     def from_snapshot(
@@ -611,6 +653,9 @@ class StreamingPTrack:
             max_buffer_s=snapshot["max_buffer_s"],
             fault_policy=snapshot["fault_policy"],
             telemetry=telemetry,
+            collect_observations=bool(
+                snapshot.get("collect_observations", False)
+            ),
         )
         session.restore(snapshot)
         return session
@@ -754,6 +799,32 @@ class StreamingPTrack:
         steps, strides = self._pending_credits
         self._pending_credits = None
         return steps, strides
+
+    @property
+    def collect_observations(self) -> bool:
+        """Whether this session taps credited cycles for self-training."""
+        return self._collect_observations
+
+    @property
+    def observations_dropped(self) -> int:
+        """Observations lost to the drop-oldest buffer bound."""
+        return self._observations_dropped
+
+    def take_pending_observations(self) -> List[CycleObservation]:
+        """Drain the self-training observations collected so far.
+
+        Only populated when the session was constructed with
+        ``collect_observations=True``: one profile-free
+        :class:`repro.types.CycleObservation` per credited WALKING or
+        STEPPING cycle, in credit order. Draining regularly (the
+        serving pools do it per round/epoch) keeps the buffer well
+        under its :attr:`MAX_PENDING_OBSERVATIONS` drop-oldest bound.
+        """
+        if not self._pending_observations:
+            return []
+        observations = self._pending_observations
+        self._pending_observations = []
+        return observations
 
     def collect(self) -> Optional[List[StagedCycle]]:
         """Run ONE due processing pass; return its settled cycles.
@@ -1091,6 +1162,8 @@ class StreamingPTrack:
         strides: List[StrideEstimate] = []
         for (cand, gait, segs), solved in zip(credited, solutions):
             self._credit(cand, gait, segs, solved, steps, strides)
+        if self._collect_observations and credited:
+            self._observe_credited(credited)
         self._total_steps += len(steps)
         distance = float(sum(s.length_m for s in strides))
         self._total_distance += distance
@@ -1114,6 +1187,62 @@ class StreamingPTrack:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _observe_credited(
+        self,
+        credited: Sequence[Tuple[CycleCandidate, object, Optional[Tuple]]],
+    ) -> None:
+        """Deposit self-training observations for credited cycles.
+
+        A read-only tap: the same cycles the stride path prices (live
+        segments, new peaks) contribute a profile-free measurement —
+        the direct bounce of a STEPPING cycle, the Eqs. (3)-(5) moment
+        triple of a WALKING one — computed from the same filtered
+        segments the stride solves consume. Cycles whose signal does
+        not admit the measurement are skipped exactly as the estimator
+        skips their solves. The observation stream therefore tracks the
+        offline :func:`repro.core.selftrain.walk_observations`
+        extraction the same way streaming credits track the batch
+        pipeline: equivalent gait evidence, not bit-equal floats (the
+        rolling filter finalises bounded-context blocks).
+        """
+        dt = 1.0 / self._rate
+        out = self._pending_observations
+        for cand, gait, segs in credited:
+            if segs is None or not cand.peaks:
+                continue
+            if gait is GaitType.STEPPING:
+                try:
+                    bounce = direct_bounce(segs[0], dt)
+                except SignalError:
+                    continue
+                out.append(
+                    CycleObservation(gait_type=GaitType.STEPPING, bounce_m=bounce)
+                )
+            elif gait is GaitType.WALKING:
+                v_seg, h_seg, a_seg = segs
+                try:
+                    if a_seg is None:
+                        # Degenerate staged projection: re-derive (and
+                        # possibly re-fail) as the stride solve does.
+                        a_seg = project_horizontal(
+                            h_seg, anterior_direction(h_seg)
+                        )
+                    moments = extract_cycle_moments(v_seg, a_seg, dt)
+                except (SignalError, GeometryError):
+                    continue
+                out.append(
+                    CycleObservation(
+                        gait_type=GaitType.WALKING,
+                        h1_m=moments.h1_m,
+                        h2_m=moments.h2_m,
+                        d_m=moments.d_m,
+                    )
+                )
+        overflow = len(out) - self.MAX_PENDING_OBSERVATIONS
+        if overflow > 0:
+            del out[:overflow]
+            self._observations_dropped += overflow
+
     def _publish_ops(self) -> None:
         """Sync op-stat deltas into the telemetry counters.
 

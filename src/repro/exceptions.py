@@ -56,6 +56,16 @@ class GeometryError(ReproError):
     """
 
 
+class ProfileConflictError(ReproError):
+    """A compare-and-swap profile write lost the race.
+
+    Raised by :meth:`repro.profiles.ProfileStore.put` when the caller's
+    ``expected_version`` no longer matches the stored record — another
+    writer committed first. The caller should re-read, merge, and retry
+    rather than overwrite the concurrent update.
+    """
+
+
 class SimulationError(ReproError):
     """The trace simulator was asked for an impossible scenario.
 

@@ -19,6 +19,7 @@ interactive use and ``pytest benchmarks/ --benchmark-only``.
 | ``extensions`` | counter design space, adaptive delta, inertial navigation, attitude + energy |
 | ``robustness`` | attitude-error / mount / arm-lag / gyro-quality / dropout / clipping sweeps |
 | ``dataset_eval`` | scoring PTrack over saved labelled datasets |
+| ``fingerprint`` | gait fingerprinting: held-out session attribution by profile |
 """
 
 from repro.experiments import (
@@ -31,6 +32,7 @@ from repro.experiments import (
     fig7,
     fig8,
     fig9,
+    fingerprint,
     robustness,
     study,
 )
@@ -45,6 +47,7 @@ __all__ = [
     "fig7",
     "fig8",
     "fig9",
+    "fingerprint",
     "robustness",
     "study",
 ]

@@ -1,0 +1,39 @@
+"""Population-scale persistent user profiles (``repro.profiles``).
+
+The serving stack runs durable fleets of millions of sessions, but
+until this subsystem every session's :class:`~repro.types.UserProfile`
+was an ephemeral constructor argument — trained once offline, lost on
+restart. ``repro.profiles`` makes profiles first-class durable state:
+
+* :class:`ProfileStore` — a sharded, atomic, compare-and-swap versioned
+  on-disk store of ``ptrack-profile-v1`` records with an LRU warm
+  cache and the codebase's quarantine-as-miss torn-blob contract.
+* :class:`IncrementalSelfTrainer` — the paper's §3 self-training as
+  bounded-memory running sufficient statistics, provably equivalent to
+  the batch :class:`~repro.core.selftrain.SelfTrainer` on the same
+  observations.
+* :class:`ProfileRecord` — the versioned record tying the two together
+  with staleness/confidence metadata for serving.
+
+See ``docs/profiles.md`` for the record schema, CAS semantics,
+staleness policy, and telemetry catalog.
+"""
+
+from repro.profiles.record import (
+    PROFILE_SNAPSHOT_SCHEMA,
+    ProfileRecord,
+    record_from_blob,
+    record_to_blob,
+)
+from repro.profiles.store import ProfileStore
+from repro.profiles.trainer import IncrementalSelfTrainer, ProfileEstimate
+
+__all__ = [
+    "PROFILE_SNAPSHOT_SCHEMA",
+    "ProfileRecord",
+    "ProfileStore",
+    "IncrementalSelfTrainer",
+    "ProfileEstimate",
+    "record_from_blob",
+    "record_to_blob",
+]

@@ -1,0 +1,144 @@
+"""Versioned ``ptrack-profile-v1`` records.
+
+A :class:`ProfileRecord` is the unit the profile store persists: one
+user's trained :class:`~repro.types.UserProfile` (possibly still
+``None`` while calibration is accumulating), its monotonically
+increasing store version, the evidence counters serving uses to decide
+whether the profile is trustworthy, and optionally the incremental
+trainer's sufficient statistics so re-calibration can resume in a later
+run exactly where it left off.
+
+Records travel as plain-dict blobs under the same envelope contract as
+every other durable payload in this codebase (``schema`` + ``kind``,
+enforced by :func:`repro.core.streaming.ensure_snapshot_kind`), under
+their own schema string :data:`PROFILE_SNAPSHOT_SCHEMA` — bump it when
+the record layout changes so a stale blob fails loud instead of
+resuming with wrong biomechanics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from repro.core.streaming import ensure_snapshot_kind
+from repro.exceptions import ConfigurationError
+from repro.types import UserProfile
+
+__all__ = [
+    "PROFILE_SNAPSHOT_SCHEMA",
+    "ProfileRecord",
+    "record_to_blob",
+    "record_from_blob",
+]
+
+#: Version tag of the durable profile record format. Restore paths
+#: refuse any other schema so a foreign or stale blob can never warm a
+#: session with wrong biomechanics; bump the suffix when the layout
+#: changes.
+PROFILE_SNAPSHOT_SCHEMA = "ptrack-profile-v1"
+
+
+@dataclass(frozen=True)
+class ProfileRecord:
+    """One user's durable profile state.
+
+    Attributes:
+        user_id: Stable external identity (non-empty flat string).
+        profile: The trained biomechanical profile, or ``None`` while
+            the trainer has not yet converged to a full ``(m, l, k)``.
+        version: Store-assigned compare-and-swap version. ``0`` means
+            "not yet persisted"; the first successful put stores
+            version 1 and every update increments it.
+        observations: Total gait-cycle observations that informed this
+            record (staleness/evidence counter).
+        referenced_walks: Distance-referenced calibration walks behind
+            the leg-length fit (Step 2 evidence).
+        confidence: Trainer confidence in ``[0, 1]`` — the serving
+            stack's "is this profile trustworthy" signal.
+        cadence_hz: Mean credited cadence, when known; used by the
+            fingerprinting experiment as a third attribution axis.
+        updated_at: Store clock reading of the last successful put
+            (``None`` until first persisted).
+        trainer_state: Optional
+            :meth:`repro.profiles.IncrementalSelfTrainer.state_dict`
+            payload so re-calibration resumes across runs.
+    """
+
+    user_id: str
+    profile: Optional[UserProfile] = None
+    version: int = 0
+    observations: int = 0
+    referenced_walks: int = 0
+    confidence: float = 0.0
+    cadence_hz: Optional[float] = None
+    updated_at: Optional[float] = None
+    trainer_state: Optional[Dict[str, Any]] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.user_id or not isinstance(self.user_id, str):
+            raise ConfigurationError(
+                f"user_id must be a non-empty string, got {self.user_id!r}"
+            )
+        if self.version < 0:
+            raise ConfigurationError(
+                f"version must be >= 0, got {self.version}"
+            )
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ConfigurationError(
+                f"confidence must be in [0, 1], got {self.confidence}"
+            )
+
+    def with_version(self, version: int, updated_at: Optional[float]) -> "ProfileRecord":
+        """Copy with the store-assigned version and timestamp."""
+        return replace(self, version=version, updated_at=updated_at)
+
+
+def record_to_blob(record: ProfileRecord) -> Dict[str, Any]:
+    """Serialise one record into its ``ptrack-profile-v1`` blob."""
+    profile = record.profile
+    return {
+        "schema": PROFILE_SNAPSHOT_SCHEMA,
+        "kind": "profile",
+        "user_id": record.user_id,
+        "profile": (
+            None
+            if profile is None
+            else {
+                "arm_length_m": profile.arm_length_m,
+                "leg_length_m": profile.leg_length_m,
+                "calibration_k": profile.calibration_k,
+            }
+        ),
+        "version": int(record.version),
+        "observations": int(record.observations),
+        "referenced_walks": int(record.referenced_walks),
+        "confidence": float(record.confidence),
+        "cadence_hz": record.cadence_hz,
+        "updated_at": record.updated_at,
+        "trainer_state": record.trainer_state,
+    }
+
+
+def record_from_blob(blob: Any) -> ProfileRecord:
+    """Rebuild a record from its blob, enforcing the envelope.
+
+    Raises:
+        ConfigurationError: On a wrong-schema or wrong-kind blob — a
+            deployment mistake the operator must see, never a silent
+            wrong-profile warm-load.
+    """
+    ensure_snapshot_kind(blob, "profile", schema=PROFILE_SNAPSHOT_SCHEMA)
+    raw_profile = blob["profile"]
+    profile = None if raw_profile is None else UserProfile(**raw_profile)
+    return ProfileRecord(
+        user_id=blob["user_id"],
+        profile=profile,
+        version=int(blob["version"]),
+        observations=int(blob["observations"]),
+        referenced_walks=int(blob["referenced_walks"]),
+        confidence=float(blob["confidence"]),
+        cadence_hz=blob.get("cadence_hz"),
+        updated_at=blob.get("updated_at"),
+        trainer_state=blob.get("trainer_state"),
+    )

@@ -1,0 +1,453 @@
+"""Sharded, atomic, versioned on-disk profile store.
+
+A population of millions of users cannot live in one pickle: the store
+hashes each ``user_id`` onto one of ``n_shards`` shard files
+(``zlib.crc32``, stable across processes and Python hash
+randomisation), keeps a write-through LRU of recently touched shards in
+memory, and persists every shard atomically (serialise to a temp file
+in the same directory, then ``os.replace``) so a crash mid-write leaves
+the previous complete shard, never a hybrid.
+
+Reads follow the codebase's quarantine-as-miss durability contract
+(shared with :class:`repro.serving.CheckpointStore` and the
+:class:`repro.runtime.TraceCache` disk layer): a torn or truncated
+shard file is renamed aside with a ``.corrupt`` suffix, counted
+(``profile_store_torn_total``), and read as empty — profile data is an
+optimisation over re-calibrating, so a torn shard must degrade to a
+cache miss, not an exception. A *decodable* blob of the wrong schema
+version instead raises :class:`~repro.exceptions.ConfigurationError`:
+that is a deployment mistake the operator must see.
+
+Concurrent shard writers coordinate through compare-and-swap
+versioning: :meth:`ProfileStore.put` with ``expected_version`` commits
+only if the stored record still has that version, raising
+:class:`~repro.exceptions.ProfileConflictError` otherwise so the loser
+re-reads and merges instead of clobbering the winner's update.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import time
+import zlib
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.core.streaming import ensure_snapshot_kind
+from repro.exceptions import ConfigurationError, ProfileConflictError
+from repro.profiles.record import (
+    PROFILE_SNAPSHOT_SCHEMA,
+    ProfileRecord,
+    record_from_blob,
+    record_to_blob,
+)
+from repro.runtime.clock import Clock
+from repro.telemetry.registry import MetricsRegistry, get_registry
+
+__all__ = ["ProfileStore"]
+
+_SHARD_SUFFIX = ".pshard"
+_META_NAME = "store.meta"
+
+
+def _meta_blob(n_shards: int) -> Dict[str, Any]:
+    return {
+        "schema": PROFILE_SNAPSHOT_SCHEMA,
+        "kind": "profile-store-meta",
+        "n_shards": int(n_shards),
+    }
+
+
+class ProfileStore:
+    """Population-scale persistent store of :class:`ProfileRecord`.
+
+    Args:
+        directory: Where the shard files live; created if missing. A
+            ``store.meta`` file pins the shard count — reopening an
+            existing store with a conflicting explicit ``n_shards``
+            fails loud (re-sharding would orphan every record).
+        n_shards: Shard-file count for a *new* store (default 256;
+            ``None`` defers entirely to an existing meta). Sizing rule:
+            keep shards small enough to rewrite cheaply per put batch;
+            256 shards hold 1M profiles at ~4k records per shard file.
+        cache_shards: Shards kept warm in the write-through LRU.
+        telemetry: Metrics registry for ``profile_store_*`` counters;
+            ``None`` falls back to the process gate.
+        clock: Timestamp source for ``updated_at`` stamps; ``None``
+            uses wall time (:func:`time.time`). Inject a
+            :class:`repro.runtime.ManualClock` for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        directory: os.PathLike,
+        n_shards: Optional[int] = None,
+        cache_shards: int = 64,
+        telemetry: Optional[MetricsRegistry] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if n_shards is not None and n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        if cache_shards < 1:
+            raise ConfigurationError(
+                f"cache_shards must be >= 1, got {cache_shards}"
+            )
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._cache_shards = int(cache_shards)
+        self._cache: "OrderedDict[int, Dict[str, Dict[str, Any]]]" = OrderedDict()
+        self._now = clock.now if clock is not None else time.time
+        self._loads = 0
+        self._saves = 0
+        self._torn = 0
+        self._hits = 0
+        self._misses = 0
+        self._conflicts = 0
+        self._telemetry = telemetry if telemetry is not None else get_registry()
+        if self._telemetry is not None:
+            reg = self._telemetry
+            self._m_loads = reg.counter("profile_store_loads_total")
+            self._m_saves = reg.counter("profile_store_saves_total")
+            self._m_torn = reg.counter("profile_store_torn_total")
+            self._m_hits = reg.counter("profile_store_hits_total")
+            self._m_misses = reg.counter("profile_store_misses_total")
+            self._m_conflicts = reg.counter("profile_store_conflicts_total")
+        self._n_shards = self._open_meta(n_shards)
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> Path:
+        """The store's directory."""
+        return self._dir
+
+    @property
+    def n_shards(self) -> int:
+        """The store's (persisted, immutable) shard count."""
+        return self._n_shards
+
+    def shard_of(self, user_id: str) -> int:
+        """The shard index ``user_id`` hashes to (stable across runs)."""
+        if not user_id or "/" in user_id or user_id.startswith("."):
+            raise ConfigurationError(
+                f"invalid user_id {user_id!r}; ids are non-empty flat "
+                "strings (no path separators)"
+            )
+        return zlib.crc32(user_id.encode("utf-8")) % self._n_shards
+
+    def _shard_path(self, index: int) -> Path:
+        return self._dir / f"shard-{index:05d}{_SHARD_SUFFIX}"
+
+    def _open_meta(self, n_shards: Optional[int]) -> int:
+        """Read or create ``store.meta``; existing meta is authoritative."""
+        path = self._dir / _META_NAME
+        if path.exists():
+            try:
+                with open(path, "rb") as fh:
+                    blob = pickle.load(fh)
+                if not isinstance(blob, dict) or "schema" not in blob:
+                    raise pickle.UnpicklingError("not a meta blob")
+            except ConfigurationError:
+                raise
+            except Exception:
+                # A torn meta cannot reveal the shard count; quarantine
+                # it and refuse rather than guess — guessing a wrong
+                # count would silently orphan every existing record.
+                self._quarantine(path)
+                if any(self._dir.glob(f"*{_SHARD_SUFFIX}")):
+                    raise ConfigurationError(
+                        f"profile store meta at {path} is torn but shard "
+                        "files exist; restore the meta (n_shards) or "
+                        "rebuild the store"
+                    )
+                blob = None
+            if blob is not None:
+                ensure_snapshot_kind(
+                    blob, "profile-store-meta", schema=PROFILE_SNAPSHOT_SCHEMA
+                )
+                stored = int(blob["n_shards"])
+                if n_shards is not None and n_shards != stored:
+                    raise ConfigurationError(
+                        f"profile store at {self._dir} has {stored} shards; "
+                        f"cannot reopen with n_shards={n_shards} "
+                        "(re-sharding would orphan existing records)"
+                    )
+                return stored
+        chosen = 256 if n_shards is None else int(n_shards)
+        self._write_atomic(
+            path,
+            pickle.dumps(_meta_blob(chosen), protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Shard IO
+    # ------------------------------------------------------------------
+    def _write_atomic(self, path: Path, blob: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=self._dir, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _load_shard(self, index: int) -> Dict[str, Dict[str, Any]]:
+        """The shard's ``user_id -> record blob`` map (LRU-cached)."""
+        cached = self._cache.get(index)
+        if cached is not None:
+            self._cache.move_to_end(index)
+            return cached
+        path = self._shard_path(index)
+        records: Dict[str, Dict[str, Any]] = {}
+        if path.exists():
+            try:
+                with open(path, "rb") as fh:
+                    payload = pickle.load(fh)
+                if not isinstance(payload, dict) or "schema" not in payload:
+                    raise pickle.UnpicklingError("not a profile shard blob")
+            except ConfigurationError:
+                raise
+            except Exception:
+                # Torn shard: quarantine-as-miss. Profiles are an
+                # optimisation over re-calibrating from scratch, so a
+                # torn shard degrades to cold sessions, never a crash.
+                self._quarantine(path)
+                payload = None
+            if payload is not None:
+                ensure_snapshot_kind(
+                    payload, "profile-shard", schema=PROFILE_SNAPSHOT_SCHEMA
+                )
+                records = payload["records"]
+                self._loads += 1
+                if self._telemetry is not None:
+                    self._m_loads.inc()
+        self._cache[index] = records
+        self._cache.move_to_end(index)
+        while len(self._cache) > self._cache_shards:
+            # Write-through makes eviction free: disk already has it.
+            self._cache.popitem(last=False)
+        return records
+
+    def _write_shard(self, index: int, records: Dict[str, Dict[str, Any]]) -> None:
+        payload = {
+            "schema": PROFILE_SNAPSHOT_SCHEMA,
+            "kind": "profile-shard",
+            "records": records,
+        }
+        self._write_atomic(
+            self._shard_path(index),
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        self._saves += 1
+        if self._telemetry is not None:
+            self._m_saves.inc()
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a torn file aside and count it (best effort)."""
+        self._torn += 1
+        if self._telemetry is not None:
+            self._m_torn.inc()
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, user_id: str) -> Optional[ProfileRecord]:
+        """One user's record, or ``None`` when absent (or shard torn)."""
+        blob = self._load_shard(self.shard_of(user_id)).get(user_id)
+        if blob is None:
+            self._misses += 1
+            if self._telemetry is not None:
+                self._m_misses.inc()
+            return None
+        self._hits += 1
+        if self._telemetry is not None:
+            self._m_hits.inc()
+        return record_from_blob(blob)
+
+    def get_many(self, user_ids: Iterable[str]) -> Dict[str, ProfileRecord]:
+        """Batch read; absent users are simply omitted.
+
+        Grouped by shard so a fleet warm-load touches each shard file
+        once, not once per user.
+        """
+        by_shard: Dict[int, List[str]] = {}
+        for uid in user_ids:
+            by_shard.setdefault(self.shard_of(uid), []).append(uid)
+        out: Dict[str, ProfileRecord] = {}
+        for index, uids in by_shard.items():
+            records = self._load_shard(index)
+            for uid in uids:
+                blob = records.get(uid)
+                if blob is None:
+                    self._misses += 1
+                    if self._telemetry is not None:
+                        self._m_misses.inc()
+                    continue
+                self._hits += 1
+                if self._telemetry is not None:
+                    self._m_hits.inc()
+                out[uid] = record_from_blob(blob)
+        return out
+
+    def user_ids(self) -> List[str]:
+        """Every stored user id (sorted; walks all shard files)."""
+        ids: List[str] = []
+        for index in range(self._n_shards):
+            ids.extend(self._load_shard(index).keys())
+        return sorted(ids)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        record: ProfileRecord,
+        expected_version: Optional[int] = None,
+    ) -> ProfileRecord:
+        """Persist one record; returns it with its assigned version.
+
+        The store owns versions: whatever ``record.version`` says, the
+        committed record carries ``stored_version + 1`` (1 for a new
+        user). With ``expected_version`` the put is compare-and-swap:
+        it commits only if the stored version still matches (0 for
+        "user must be absent").
+
+        Raises:
+            ProfileConflictError: CAS failure — another writer
+                committed first; re-read, merge, retry.
+        """
+        committed = self.put_many([record], expected_versions={
+            record.user_id: expected_version,
+        } if expected_version is not None else None)
+        return committed[record.user_id]
+
+    def put_many(
+        self,
+        records: Iterable[ProfileRecord],
+        expected_versions: Optional[Dict[str, Optional[int]]] = None,
+    ) -> Dict[str, ProfileRecord]:
+        """Batch persist; one atomic write per touched shard.
+
+        All compare-and-swap preconditions are validated *before* any
+        shard is written, so a conflict anywhere commits nothing.
+
+        Raises:
+            ProfileConflictError: First CAS mismatch found.
+            ConfigurationError: Duplicate user ids in one batch (the
+                order would silently decide which update wins).
+        """
+        expected = expected_versions or {}
+        staged: Dict[int, Dict[str, ProfileRecord]] = {}
+        for record in records:
+            shard = self.shard_of(record.user_id)
+            if record.user_id in staged.setdefault(shard, {}):
+                raise ConfigurationError(
+                    f"duplicate user_id {record.user_id!r} in one put batch"
+                )
+            staged[shard][record.user_id] = record
+        # Phase 1: validate every CAS precondition against loaded shards.
+        current_versions: Dict[str, int] = {}
+        for shard, recs in staged.items():
+            stored = self._load_shard(shard)
+            for uid in recs:
+                blob = stored.get(uid)
+                current_versions[uid] = int(blob["version"]) if blob else 0
+                want = expected.get(uid)
+                if want is not None and want != current_versions[uid]:
+                    self._conflicts += 1
+                    if self._telemetry is not None:
+                        self._m_conflicts.inc()
+                    raise ProfileConflictError(
+                        f"profile {uid!r} is at version {current_versions[uid]}, "
+                        f"caller expected {want}; re-read and merge"
+                    )
+        # Phase 2: commit, one write per shard.
+        out: Dict[str, ProfileRecord] = {}
+        now = float(self._now())
+        for shard, recs in staged.items():
+            stored = self._load_shard(shard)
+            for uid, record in recs.items():
+                committed = record.with_version(current_versions[uid] + 1, now)
+                stored[uid] = record_to_blob(committed)
+                out[uid] = committed
+            self._write_shard(shard, stored)
+        return out
+
+    def delete(self, user_id: str) -> bool:
+        """Remove one user's record; returns whether it existed."""
+        shard = self.shard_of(user_id)
+        stored = self._load_shard(shard)
+        if user_id not in stored:
+            return False
+        del stored[user_id]
+        self._write_shard(shard, stored)
+        return True
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Store shape and lifetime counters (drives ``repro profiles``)."""
+        shard_files = sorted(self._dir.glob(f"*{_SHARD_SUFFIX}"))
+        n_records = 0
+        populated = 0
+        for path in shard_files:
+            index = int(path.name[len("shard-") : -len(_SHARD_SUFFIX)])
+            count = len(self._load_shard(index))
+            n_records += count
+            if count:
+                populated += 1
+        return {
+            "directory": str(self._dir),
+            "n_shards": self._n_shards,
+            "shard_files": len(shard_files),
+            "populated_shards": populated,
+            "records": n_records,
+            "quarantined_files": len(list(self._dir.glob("*.corrupt"))),
+            "cached_shards": len(self._cache),
+            "loads": self._loads,
+            "saves": self._saves,
+            "torn_loads": self._torn,
+            "hits": self._hits,
+            "misses": self._misses,
+            "conflicts": self._conflicts,
+        }
+
+    def compact(self) -> Dict[str, int]:
+        """Rewrite every populated shard and drop quarantined files.
+
+        Shard rewrites reclaim the space of superseded record versions
+        (pickle keeps only the live map, but a shard written by an
+        older build may serialise less compactly), and ``.corrupt``
+        quarantine files — already counted, never readable — are
+        removed. Returns ``{"rewritten": ..., "removed_corrupt": ...}``.
+        """
+        rewritten = 0
+        for index in range(self._n_shards):
+            records = self._load_shard(index)
+            if records:
+                self._write_shard(index, records)
+                rewritten += 1
+        removed = 0
+        for path in self._dir.glob("*.corrupt"):
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return {"rewritten": rewritten, "removed_corrupt": removed}

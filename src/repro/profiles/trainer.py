@@ -1,0 +1,411 @@
+"""Bounded-memory incremental self-training.
+
+The paper's §3 procedure is a batch optimisation over a pile of
+calibration traces. A serving fleet never has the pile — it has a
+stream of credited cycles per user, arriving over weeks. This module
+closes that gap: :class:`IncrementalSelfTrainer` accumulates the
+*sufficient statistics* of the batch procedure (observation multisets
+for Step 1, per-walk observation lists for Step 2) so that training at
+any moment is exactly the batch solve over everything observed so far.
+
+**Exact mode** (the default, ``resolution_m=None``) keeps observation
+values unquantised; :meth:`train` is then bit-identical to running
+:class:`repro.core.selftrain.SelfTrainer` over the same observations in
+any arrival order or chunking — the multiset medians reproduce
+``np.median`` exactly and every other reduction in the shared cores of
+:mod:`repro.core.selftrain` is order-invariant by construction (see
+``tests/test_profiles_trainer.py`` for the hypothesis suite pinning
+this).
+
+**Quantised mode** (``resolution_m > 0``) rounds stepping bounces and
+walking moment triples onto a fixed lattice so the Step-1 multisets
+stay bounded no matter how long the stream runs. The documented
+tolerance: each quantised value moves by at most ``resolution_m / 2``,
+so the stepping anchor (a median of quantised values) moves by at most
+``resolution_m / 2``, and the selected ``m̂`` by at most one arm-grid
+step (5 mm by default) for the default paper grids.
+
+Memory is bounded on the walk side too: at most ``max_walks``
+referenced walks are retained (oldest dropped first — the staleness
+policy, since recent walks reflect the user's current gait) and each
+walk keeps at most ``max_cycles_per_walk`` observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import PTrackConfig
+from repro.core.selftrain import (
+    arm_length_from_counts,
+    bounces_from_observations,
+    leg_length_from_walk_bounces,
+)
+from repro.exceptions import CalibrationError, ConfigurationError
+from repro.types import CycleObservation, GaitType, UserProfile
+
+__all__ = ["IncrementalSelfTrainer", "ProfileEstimate"]
+
+#: trainer_state layout version (inside ``ptrack-profile-v1`` records).
+_STATE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ProfileEstimate:
+    """Best-effort output of :meth:`IncrementalSelfTrainer.estimate`.
+
+    Attributes:
+        arm_length_m: The Step-1 arm length ``m̂``.
+        leg_length_m: The Step-2 leg length ``l̂``; ``None`` while the
+            referenced walks are insufficient.
+        calibration_k: The fitted ``k``; ``None`` with ``leg_length_m``.
+        profile: The full trained profile when both steps converged,
+            else ``None``.
+        observations: Total observations consumed so far.
+        referenced_walks: Retained distance-referenced walks.
+        confidence: Evidence score in ``[0, 1]`` (see
+            :meth:`IncrementalSelfTrainer.confidence`).
+        exact: ``True`` when the trainer runs unquantised and the
+            estimate is bit-identical to the batch solve.
+    """
+
+    arm_length_m: float
+    leg_length_m: Optional[float]
+    calibration_k: Optional[float]
+    profile: Optional[UserProfile]
+    observations: int
+    referenced_walks: int
+    confidence: float
+    exact: bool
+
+
+class IncrementalSelfTrainer:
+    """Streaming §3 self-training from running sufficient statistics.
+
+    Feed unreferenced cycle observations (streaming credits, Step-1
+    anchor evidence) through :meth:`observe` and distance-referenced
+    calibration walks through :meth:`observe_walk`; call :meth:`train`
+    (strict, batch-equivalent) or :meth:`estimate` (best effort)
+    whenever a profile is wanted. The trainer is cheap to keep per
+    user: observation time is O(1) dictionary updates, all grid solves
+    are deferred to training time.
+
+    Args:
+        config: Pipeline configuration (kept for parity with the batch
+            trainer's extraction helpers; the trainer itself consumes
+            pre-extracted observations).
+        min_cycles: Minimum usable cycles per gait type (Step 1) and
+            across walks (Step 2) — same meaning as the batch trainer.
+        arm_grid_m: Optional explicit Step-1 search grid.
+        leg_grid_m: Optional explicit Step-2 search grid.
+        resolution_m: Observation quantisation lattice; ``None`` keeps
+            exact values (bit-identical to batch, unbounded distinct
+            keys), a positive value bounds Step-1 memory with the
+            tolerance documented in the module docstring.
+        max_walks: Referenced walks retained; beyond it the *oldest*
+            walk is dropped (recency-weighted staleness policy).
+        max_cycles_per_walk: Observations kept per referenced walk.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PTrackConfig] = None,
+        min_cycles: int = 8,
+        arm_grid_m: Optional[np.ndarray] = None,
+        leg_grid_m: Optional[np.ndarray] = None,
+        resolution_m: Optional[float] = None,
+        max_walks: int = 64,
+        max_cycles_per_walk: int = 512,
+    ) -> None:
+        if resolution_m is not None and resolution_m <= 0:
+            raise ConfigurationError(
+                f"resolution_m must be positive or None, got {resolution_m}"
+            )
+        if max_walks < 1:
+            raise ConfigurationError(f"max_walks must be >= 1, got {max_walks}")
+        if max_cycles_per_walk < 1:
+            raise ConfigurationError(
+                f"max_cycles_per_walk must be >= 1, got {max_cycles_per_walk}"
+            )
+        self._config = config if config is not None else PTrackConfig()
+        self._min_cycles = int(min_cycles)
+        self._arm_grid = None if arm_grid_m is None else np.asarray(arm_grid_m, float)
+        self._leg_grid = None if leg_grid_m is None else np.asarray(leg_grid_m, float)
+        self._resolution = None if resolution_m is None else float(resolution_m)
+        self._max_walks = int(max_walks)
+        self._max_cycles_per_walk = int(max_cycles_per_walk)
+        # Step-1 sufficient statistics: observation multisets.
+        self._walking: Dict[Tuple[float, float, float], int] = {}
+        self._stepping: Dict[float, int] = {}
+        # Step-2 state: referenced walks, oldest first.
+        self._walks: List[Dict[str, Any]] = []
+        self._n_observations = 0
+        self._dropped_walks = 0
+        self._since_train = 0
+
+    # ------------------------------------------------------------------
+    # Observation intake
+    # ------------------------------------------------------------------
+    def _quantise(self, value: float) -> float:
+        if self._resolution is None:
+            return float(value)
+        return float(round(value / self._resolution) * self._resolution)
+
+    def observe(self, observations: Iterable[CycleObservation]) -> int:
+        """Consume Step-1 (anchor) observations; returns how many.
+
+        These feed only the arm-length solve — streaming credits and
+        unreferenced calibration traces go here. Distance-referenced
+        walks must instead go through :meth:`observe_walk`, which keeps
+        them for the leg-length fit *without* re-feeding Step 1 (the
+        batch procedure extracts the two steps' observation sets
+        independently, and equivalence demands the same split here).
+        """
+        n = 0
+        for obs in observations:
+            if obs.gait_type is GaitType.STEPPING:
+                b = self._quantise(obs.bounce_m)  # type: ignore[arg-type]
+                self._stepping[b] = self._stepping.get(b, 0) + 1
+            else:
+                key = (
+                    self._quantise(obs.h1_m),  # type: ignore[arg-type]
+                    self._quantise(obs.h2_m),  # type: ignore[arg-type]
+                    self._quantise(obs.d_m),  # type: ignore[arg-type]
+                )
+                self._walking[key] = self._walking.get(key, 0) + 1
+            n += 1
+        self._n_observations += n
+        self._since_train += n
+        return n
+
+    def observe_walk(
+        self,
+        observations: Iterable[CycleObservation],
+        reference_distance_m: float,
+    ) -> int:
+        """Retain one distance-referenced walk for the Step-2 fit.
+
+        Walk observations are *never* quantised (each walk is bounded
+        by ``max_cycles_per_walk`` already, so exactness is free) and
+        are *not* added to the Step-1 multisets — see :meth:`observe`.
+        Oldest walks are dropped beyond ``max_walks``.
+        """
+        if reference_distance_m <= 0:
+            raise CalibrationError(
+                f"reference distance must be positive, got {reference_distance_m}"
+            )
+        kept = list(observations)[: self._max_cycles_per_walk]
+        self._walks.append(
+            {"observations": kept, "reference": float(reference_distance_m)}
+        )
+        if len(self._walks) > self._max_walks:
+            del self._walks[0]
+            self._dropped_walks += 1
+        self._n_observations += len(kept)
+        self._since_train += len(kept)
+        return len(kept)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def arm_length(self) -> float:
+        """Step 1 over everything observed so far.
+
+        Raises:
+            CalibrationError: With insufficient cycles of either gait.
+        """
+        return arm_length_from_counts(
+            self._walking,
+            self._stepping,
+            grid_m=self._arm_grid,
+            min_cycles=self._min_cycles,
+        )
+
+    def train(self) -> UserProfile:
+        """Full two-step training; batch-equivalent on the same data.
+
+        Raises:
+            CalibrationError: Exactly where the batch trainer would —
+                insufficient Step-1 cycles, no referenced walks, or
+                insufficient usable Step-2 cycles.
+        """
+        arm = self.arm_length()
+        if not self._walks:
+            raise CalibrationError("need at least one calibration walk")
+        leg, k = leg_length_from_walk_bounces(
+            [bounces_from_observations(w["observations"], arm) for w in self._walks],
+            [w["reference"] for w in self._walks],
+            grid_l=self._leg_grid,
+            min_cycles=self._min_cycles,
+        )
+        self._since_train = 0
+        return UserProfile(arm_length_m=arm, leg_length_m=leg, calibration_k=k)
+
+    def estimate(self) -> ProfileEstimate:
+        """Best-effort training: as much profile as the evidence admits.
+
+        Raises:
+            CalibrationError: Only when even Step 1 is impossible.
+        """
+        arm = self.arm_length()
+        leg: Optional[float] = None
+        k: Optional[float] = None
+        profile: Optional[UserProfile] = None
+        if self._walks:
+            try:
+                leg, k = leg_length_from_walk_bounces(
+                    [
+                        bounces_from_observations(w["observations"], arm)
+                        for w in self._walks
+                    ],
+                    [w["reference"] for w in self._walks],
+                    grid_l=self._leg_grid,
+                    min_cycles=self._min_cycles,
+                )
+                profile = UserProfile(
+                    arm_length_m=arm, leg_length_m=leg, calibration_k=k
+                )
+                self._since_train = 0
+            except CalibrationError:
+                pass
+        return ProfileEstimate(
+            arm_length_m=arm,
+            leg_length_m=leg,
+            calibration_k=k,
+            profile=profile,
+            observations=self._n_observations,
+            referenced_walks=len(self._walks),
+            confidence=self.confidence(),
+            exact=self._resolution is None,
+        )
+
+    # ------------------------------------------------------------------
+    # Evidence / staleness
+    # ------------------------------------------------------------------
+    @property
+    def observations(self) -> int:
+        """Total observations consumed (including dropped walks')."""
+        return self._n_observations
+
+    @property
+    def referenced_walks(self) -> int:
+        """Referenced walks currently retained."""
+        return len(self._walks)
+
+    @property
+    def observations_since_train(self) -> int:
+        """Observations arrived since the last successful (full) train.
+
+        Serving uses this as the staleness trigger: re-train once the
+        untrained evidence crosses a threshold rather than per credit.
+        """
+        return self._since_train
+
+    def confidence(self) -> float:
+        """Evidence score in ``[0, 1]``.
+
+        Saturates when each gait has 4x the minimum Step-1 cycles *and*
+        at least two referenced walks back the leg fit; anything less
+        scales down linearly. Purely a trust signal — it never gates
+        training itself.
+        """
+        n_walk = sum(self._walking.values())
+        n_step = sum(self._stepping.values())
+        anchor = min(1.0, min(n_walk, n_step) / float(4 * self._min_cycles))
+        legs = min(1.0, len(self._walks) / 2.0)
+        return anchor * (0.5 + 0.5 * legs)
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Sufficient statistics as a plain picklable dict.
+
+        Stored inside :class:`repro.profiles.ProfileRecord.trainer_state`
+        so a later run resumes re-calibration exactly where this one
+        stopped.
+        """
+        return {
+            "state_version": _STATE_VERSION,
+            "resolution_m": self._resolution,
+            "min_cycles": self._min_cycles,
+            "max_walks": self._max_walks,
+            "max_cycles_per_walk": self._max_cycles_per_walk,
+            "walking": [[h1, h2, d, c] for (h1, h2, d), c in self._walking.items()],
+            "stepping": [[b, c] for b, c in self._stepping.items()],
+            "walks": [
+                {
+                    "reference": w["reference"],
+                    "observations": [
+                        [
+                            o.gait_type.name,
+                            o.bounce_m,
+                            o.h1_m,
+                            o.h2_m,
+                            o.d_m,
+                        ]
+                        for o in w["observations"]
+                    ],
+                }
+                for w in self._walks
+            ],
+            "n_observations": self._n_observations,
+            "dropped_walks": self._dropped_walks,
+            "since_train": self._since_train,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output (replacing current state).
+
+        Raises:
+            ConfigurationError: On an unknown state layout version.
+        """
+        if not isinstance(state, dict) or state.get("state_version") != _STATE_VERSION:
+            raise ConfigurationError(
+                "unsupported trainer_state layout "
+                f"{state.get('state_version') if isinstance(state, dict) else state!r}; "
+                f"this build reads version {_STATE_VERSION}"
+            )
+        self._resolution = state["resolution_m"]
+        self._min_cycles = int(state["min_cycles"])
+        self._max_walks = int(state["max_walks"])
+        self._max_cycles_per_walk = int(state["max_cycles_per_walk"])
+        self._walking = {
+            (h1, h2, d): int(c) for h1, h2, d, c in state["walking"]
+        }
+        self._stepping = {b: int(c) for b, c in state["stepping"]}
+        self._walks = [
+            {
+                "reference": w["reference"],
+                "observations": [
+                    CycleObservation(
+                        gait_type=GaitType[name],
+                        bounce_m=bounce,
+                        h1_m=h1,
+                        h2_m=h2,
+                        d_m=d,
+                    )
+                    for name, bounce, h1, h2, d in w["observations"]
+                ],
+            }
+            for w in state["walks"]
+        ]
+        self._n_observations = int(state["n_observations"])
+        self._dropped_walks = int(state["dropped_walks"])
+        self._since_train = int(state["since_train"])
+
+    @classmethod
+    def from_state(
+        cls,
+        state: Dict[str, Any],
+        config: Optional[PTrackConfig] = None,
+        arm_grid_m: Optional[np.ndarray] = None,
+        leg_grid_m: Optional[np.ndarray] = None,
+    ) -> "IncrementalSelfTrainer":
+        """Build a trainer directly from persisted state."""
+        trainer = cls(config=config, arm_grid_m=arm_grid_m, leg_grid_m=leg_grid_m)
+        trainer.load_state(state)
+        return trainer

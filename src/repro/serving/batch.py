@@ -37,7 +37,7 @@ without it.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -117,6 +117,7 @@ class BatchedSessionPool(SessionPool):
         telemetry: Optional[MetricsRegistry] = None,
         backend: Optional[Union[str, ComputeBackend]] = None,
         small_fleet_cutoff: Optional[int] = None,
+        **pool_kwargs: Any,
     ) -> None:
         super().__init__(
             sample_rate_hz,
@@ -126,6 +127,7 @@ class BatchedSessionPool(SessionPool):
             fault_policy=fault_policy,
             isolate_failures=isolate_failures,
             telemetry=telemetry,
+            **pool_kwargs,
         )
         self._backend = get_backend(backend)
         self._buffers = FleetBatchBuffer()

@@ -49,15 +49,20 @@ from __future__ import annotations
 import os
 import signal
 import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.core.config import PTrackConfig
-from repro.exceptions import ConfigurationError
+from repro.exceptions import CalibrationError, ConfigurationError
 from repro.faults.injectors import FaultInjector, plan_shard_crash
 from repro.faults.policy import FaultPolicy
+from repro.profiles import (
+    IncrementalSelfTrainer,
+    ProfileRecord,
+    ProfileStore,
+)
 from repro.runtime import parallel_map_outcomes, resolve_workers
 from repro.serving.checkpoint import (
     CheckpointStore,
@@ -68,7 +73,12 @@ from repro.serving.pool import SessionPool
 from repro.serving.rebalance import RebalancePolicy, ShardEpochStats
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.tracing import trace_span
-from repro.types import StepEvent, StrideEstimate, UserProfile
+from repro.types import (
+    CycleObservation,
+    StepEvent,
+    StrideEstimate,
+    UserProfile,
+)
 
 __all__ = ["SessionReport", "FleetReport", "serve_fleet"]
 
@@ -133,6 +143,10 @@ class FleetReport:
             instead of re-ingested (durable mode only).
         rebalances: Live shard splits applied by the rebalance policy
             (durable mode only).
+        profiles_loaded: Sessions whose profile was warm-loaded from
+            the fleet's :class:`~repro.profiles.ProfileStore`.
+        profiles_updated: Profile-record write-backs committed by
+            streaming self-training (``self_train=True``).
     """
 
     sessions: Tuple[SessionReport, ...]
@@ -141,6 +155,8 @@ class FleetReport:
     telemetry: Optional[Dict[str, Any]] = None
     checkpoint_restores: int = 0
     rebalances: int = 0
+    profiles_loaded: int = 0
+    profiles_updated: int = 0
 
     @property
     def status(self) -> str:
@@ -178,7 +194,10 @@ class FleetReport:
         return sum(s.gaps_reset for s in self.sessions)
 
 
-#: Worker payload: everything needed to rebuild one shard's pool.
+#: Worker payload: everything needed to rebuild one shard's pool. The
+#: final flag turns on the sessions' self-training observation tap
+#: (``_split_shard`` keeps everything past the per-session triple as an
+#: opaque tail, so appending fields here is split-safe).
 _Shard = Tuple[
     List[int],
     List[np.ndarray],
@@ -190,12 +209,17 @@ _Shard = Tuple[
     int,
     Optional[FaultPolicy],
     bool,
+    bool,
 ]
 
 
 def _serve_shard(
     shard: _Shard,
-) -> Tuple[List[SessionReport], Optional[Dict[str, Any]]]:
+) -> Tuple[
+    List[SessionReport],
+    Optional[Dict[str, Any]],
+    Dict[int, List[CycleObservation]],
+]:
     """Serve one shard of sessions through a pool (worker entry point).
 
     Module-level so it pickles for the process map; the payload
@@ -208,6 +232,8 @@ def _serve_shard(
     its pool and ships the picklable snapshot home next to the
     reports; the caller merges snapshots across shards, which is how
     the fleet registry crosses process boundaries via ``parallel_map``.
+    With the observation tap on, the drained self-training evidence
+    travels home the same way, keyed by fleet index.
     """
     (
         indices,
@@ -220,6 +246,7 @@ def _serve_shard(
         batch_samples,
         fault_policy,
         telemetry,
+        collect_observations,
     ) = shard
     registry = MetricsRegistry() if telemetry else None
     pool = SessionPool(
@@ -229,6 +256,7 @@ def _serve_shard(
         max_buffer_s=max_buffer_s,
         fault_policy=fault_policy,
         telemetry=registry,
+        collect_observations=collect_observations,
     )
     sids = pool.add_sessions(profiles)
     steps: List[List[StepEvent]] = [[] for _ in sids]
@@ -250,6 +278,10 @@ def _serve_shard(
         steps[k].extend(new_steps)
         strides[k].extend(new_strides)
 
+    idx_of = {sid: indices[k] for k, sid in enumerate(sids)}
+    observations = {
+        idx_of[sid]: obs for sid, obs in pool.take_observations().items()
+    }
     errors = pool.failed_sessions
     reports = []
     for k, sid in enumerate(sids):
@@ -266,7 +298,11 @@ def _serve_shard(
                 gaps_reset=ops.gaps_reset,
             )
         )
-    return reports, (registry.snapshot() if registry is not None else None)
+    return (
+        reports,
+        registry.snapshot() if registry is not None else None,
+        observations,
+    )
 
 
 def _split_shard(shard: _Shard) -> List[_Shard]:
@@ -284,7 +320,12 @@ def _heal_shards(
     shards: Sequence[_Shard],
     n_workers: int,
     shard_timeout_s: Optional[float],
-) -> Tuple[Dict[int, SessionReport], List[Dict[str, Any]], int]:
+) -> Tuple[
+    Dict[int, SessionReport],
+    List[Dict[str, Any]],
+    int,
+    Dict[int, List[CycleObservation]],
+]:
     """Serve shards to completion with bisection healing (the classic
     replay-from-trace path).
 
@@ -298,10 +339,13 @@ def _heal_shards(
     written off. Terminates because splits strictly shrink shards and
     attempts are bounded.
 
-    Returns ``(reports_by_index, telemetry_snapshots, retries)``.
+    Returns ``(reports_by_index, telemetry_snapshots, retries,
+    observations_by_index)`` — observations only from shards whose tap
+    is on, delivered exactly once per successfully served shard.
     """
     results: Dict[int, SessionReport] = {}
     snapshots: List[Dict[str, Any]] = []
+    observations: Dict[int, List[CycleObservation]] = {}
     retries = 0
     pending: List[Tuple[_Shard, int]] = [(shard, 0) for shard in shards]
     while pending:
@@ -330,11 +374,12 @@ def _heal_shards(
         next_round: List[Tuple[_Shard, int]] = []
         for (shard, attempts), outcome in zip(pending, outcomes):
             if outcome.ok:
-                reports, snapshot = outcome.value
+                reports, snapshot, shard_obs = outcome.value
                 for report in reports:
                     results[report.session_index] = report
                 if snapshot is not None:
                     snapshots.append(snapshot)
+                observations.update(shard_obs)
             elif len(shard[0]) > 1:
                 next_round.extend((s, 0) for s in _split_shard(shard))
                 retries += 1
@@ -351,7 +396,7 @@ def _heal_shards(
                     error=outcome.error,
                 )
         pending = next_round
-    return results, snapshots, retries
+    return results, snapshots, retries, observations
 
 
 # ----------------------------------------------------------------------
@@ -391,6 +436,7 @@ def _serve_shard_epoch(job: _EpochJob) -> Dict[str, Any]:
         batch_samples,
         fault_policy,
         telemetry,
+        collect_observations,
     ) = shard
     t0 = time.perf_counter()
     registry = MetricsRegistry() if telemetry else None
@@ -402,6 +448,7 @@ def _serve_shard_epoch(job: _EpochJob) -> Dict[str, Any]:
             max_buffer_s=max_buffer_s,
             fault_policy=fault_policy,
             telemetry=registry,
+            collect_observations=collect_observations,
         )
         sids = pool.add_sessions(profiles)
     else:
@@ -441,6 +488,14 @@ def _serve_shard_epoch(job: _EpochJob) -> Dict[str, Any]:
         for k, (new_steps, new_strides) in enumerate(pool.flush(sids)):
             steps[k].extend(new_steps)
             strides[k].extend(new_strides)
+    # Drain the observation tap *before* snapshotting, so pending
+    # evidence travels home exactly once: this epoch's result carries
+    # it, and a resume from the snapshot starts with an empty tap.
+    idx_of = {sid: indices[k] for k, sid in enumerate(sids)}
+    observations = {
+        idx_of[sid]: obs for sid, obs in pool.take_observations().items()
+    }
+    if done:
         errors = pool.failed_sessions
         health = []
         for sid in sids:
@@ -472,11 +527,149 @@ def _serve_shard_epoch(job: _EpochJob) -> Dict[str, Any]:
         "steps": steps,
         "strides": strides,
         "health": health,
+        "observations": observations,
         "telemetry": snapshot,
         "elapsed_s": time.perf_counter() - t0,
         "round_seconds_sum": round_sum,
         "round_seconds_count": round_count,
     }
+
+
+class _ProfileCtx:
+    """Driver-side streaming self-training state for one fleet run.
+
+    Owns the per-user :class:`IncrementalSelfTrainer` instances (warm-
+    started from persisted ``trainer_state``), the compare-and-swap
+    version map against the :class:`~repro.profiles.ProfileStore`, and
+    the write-back policy. Lives only in the caller's process — workers
+    ship raw observations home, the driver trains and persists, and
+    live sessions are never touched, so the credit stream is invariant
+    to everything this context does.
+    """
+
+    def __init__(
+        self,
+        store: ProfileStore,
+        user_ids: Sequence[Optional[str]],
+        records: Dict[str, ProfileRecord],
+        config: Optional[PTrackConfig],
+    ) -> None:
+        self.store = store
+        self.user_ids = list(user_ids)
+        self.records: Dict[str, Optional[ProfileRecord]] = dict(records)
+        self.expected: Dict[str, int] = {}
+        self.trainers: Dict[str, IncrementalSelfTrainer] = {}
+        self.updated = 0
+        for uid in dict.fromkeys(u for u in self.user_ids if u is not None):
+            record = records.get(uid)
+            self.expected[uid] = 0 if record is None else record.version
+            if record is not None and record.trainer_state is not None:
+                self.trainers[uid] = IncrementalSelfTrainer.from_state(
+                    record.trainer_state, config=config
+                )
+            else:
+                self.trainers[uid] = IncrementalSelfTrainer(config=config)
+
+    def feed(
+        self, observations: Dict[int, List[CycleObservation]]
+    ) -> Set[str]:
+        """Feed fleet-indexed observations to their users' trainers;
+        returns the user ids that received anything."""
+        fed: Set[str] = set()
+        for index, obs in observations.items():
+            uid = self.user_ids[index]
+            if uid is None or not obs:
+                continue
+            self.trainers[uid].observe(obs)
+            fed.add(uid)
+        return fed
+
+    def write_back(self, user_ids: Set[str]) -> None:
+        """Persist the named users' records with compare-and-swap.
+
+        Policy: a full two-step estimate replaces the whole profile; an
+        arm-only estimate refines ``arm_length_m`` on an existing
+        profile; with neither, the record still carries the updated
+        ``trainer_state`` so a later run (or a calibration walk) picks
+        up exactly where this stream left off. A
+        :class:`~repro.exceptions.ProfileConflictError` propagates —
+        it means an external writer raced this fleet, and silently
+        overwriting either side would lose training evidence.
+        """
+        for uid in sorted(user_ids):
+            trainer = self.trainers[uid]
+            try:
+                est = trainer.estimate()
+            except CalibrationError:
+                est = None
+            previous = self.records.get(uid)
+            profile = None if previous is None else previous.profile
+            if est is not None and est.profile is not None:
+                profile = est.profile
+            elif est is not None and profile is not None:
+                profile = replace(profile, arm_length_m=est.arm_length_m)
+            committed = self.store.put(
+                ProfileRecord(
+                    user_id=uid,
+                    profile=profile,
+                    observations=trainer.observations,
+                    referenced_walks=trainer.referenced_walks,
+                    confidence=(
+                        est.confidence
+                        if est is not None
+                        else trainer.confidence()
+                    ),
+                    cadence_hz=(
+                        None if previous is None else previous.cadence_hz
+                    ),
+                    trainer_state=trainer.state_dict(),
+                ),
+                expected_version=self.expected[uid],
+            )
+            self.expected[uid] = committed.version
+            self.records[uid] = committed
+            self.updated += 1
+
+    def shard_versions(self, indices: Sequence[int]) -> Dict[str, int]:
+        """Current committed version per user serving in a shard."""
+        return {
+            uid: self.expected[uid]
+            for uid in dict.fromkeys(
+                self.user_ids[i] for i in indices
+            )
+            if uid is not None
+        }
+
+    def check_restored(
+        self, checkpoint: Dict[str, Any], indices: Sequence[int]
+    ) -> None:
+        """Fail loud when a crash-restore would resume over profiles an
+        external writer advanced: the shard's sessions were built from
+        versions this run loaded, so a version the store has since
+        moved past means the resumed stream would serve (and this run
+        would keep training against) superseded state."""
+        pinned = checkpoint.get("profiles", {})
+        stale = []
+        for uid in sorted(self.shard_versions(indices)):
+            record = self.store.get(uid)
+            current = 0 if record is None else record.version
+            if current != self.expected[uid]:
+                detail = (
+                    f", checkpoint pinned v{pinned[uid]}"
+                    if uid in pinned
+                    else ""
+                )
+                stale.append(
+                    f"{uid!r} (this run holds v{self.expected[uid]}, "
+                    f"store has v{current}{detail})"
+                )
+        if stale:
+            raise ConfigurationError(
+                "durable restore refused — the profile store advanced "
+                "past this run's versions for " + "; ".join(stale)
+                + ". An external writer updated these users mid-run; "
+                "restart serve_fleet to warm-load the current profiles."
+            )
 
 
 @dataclass
@@ -489,6 +682,12 @@ class _DurableShard:
     epoch: int = 0
     attempt: int = 0
     crashes: int = 0
+    #: Epochs whose drained observations were already fed to the
+    #: driver's trainers. A replay (crash recovery or from-scratch
+    #: re-ingest) regenerates bit-identical observations for epochs
+    #: below this mark, so the driver skips re-feeding them — the
+    #: exactly-once contract for self-training evidence.
+    obs_fed: int = 0
     #: From-scratch re-ingests (checkpoint lost/torn). Offsets the
     #: fault-plan attempt coordinate so replayed epochs re-roll as
     #: retries instead of deterministically re-dying.
@@ -514,6 +713,7 @@ def _serve_fleet_durable(
     rebalance: Optional[RebalancePolicy],
     shard_faults: Sequence[FaultInjector],
     fault_seed: int,
+    profile_ctx: Optional[_ProfileCtx] = None,
 ) -> Tuple[Dict[int, SessionReport], List[Dict[str, Any]], int, int, int]:
     """Drive the fleet epoch by epoch with checkpoint recovery.
 
@@ -619,6 +819,18 @@ def _serve_fleet_durable(
                 st.last = res
                 if res["telemetry"] is not None:
                     snapshots.append(res["telemetry"])
+                # Streaming self-training: feed this epoch's drained
+                # observations once (replayed epochs are below the
+                # obs_fed mark and skipped) and persist the touched
+                # users before the checkpoint commits, so the pinned
+                # versions are always the post-write-back ones.
+                if profile_ctx is not None:
+                    fed: Set[str] = set()
+                    if st.epoch > st.obs_fed and res["observations"]:
+                        fed = profile_ctx.feed(res["observations"])
+                    st.obs_fed = max(st.obs_fed, st.epoch)
+                    if fed:
+                        profile_ctx.write_back(fed)
                 if res["done"]:
                     for k, index in enumerate(st.shard[0]):
                         status, error, repaired, rejected, gaps = res[
@@ -644,6 +856,10 @@ def _serve_fleet_durable(
                         acc_strides,
                         st.epoch,
                     )
+                    if profile_ctx is not None:
+                        st.ckpt["profiles"] = profile_ctx.shard_versions(
+                            st.shard[0]
+                        )
                     if store is not None:
                         store.save(st.name, st.ckpt)
                     survivors.append(st)
@@ -665,8 +881,14 @@ def _serve_fleet_durable(
             st.crashes += 1
             st.attempt += 1
             if st.attempt >= _MAX_SHARD_ATTEMPTS:
-                healed, heal_snaps, heal_retries = _heal_shards(
-                    [st.shard], n_workers, shard_timeout_s
+                # Bisection re-serves the whole trace, but earlier
+                # epochs' observations were already fed — re-run the
+                # fallback with the tap off so self-training evidence
+                # stays exactly-once (this shard simply contributes no
+                # further evidence).
+                fallback = st.shard[:10] + (False,)
+                healed, heal_snaps, heal_retries, _ = _heal_shards(
+                    [fallback], n_workers, shard_timeout_s
                 )
                 results.update(healed)
                 snapshots.extend(heal_snaps)
@@ -683,6 +905,10 @@ def _serve_fleet_durable(
                     st.restarts += 1
                 st.epoch = st.ckpt["epoch"] if st.ckpt is not None else 0
             if st.ckpt is not None:
+                if profile_ctx is not None:
+                    # Fail loud before resuming over profiles an
+                    # external writer advanced mid-run.
+                    profile_ctx.check_restored(st.ckpt, st.shard[0])
                 restores += 1
             survivors.append(st)
 
@@ -705,6 +931,7 @@ def _serve_fleet_durable(
                     ckpt=right_ck,
                     epoch=st.epoch,
                     crashes=st.crashes,
+                    obs_fed=st.obs_fed,
                 )
                 next_sid += 1
                 st.shard = left_shard
@@ -780,6 +1007,9 @@ def serve_fleet(
     rebalance: Optional[RebalancePolicy] = None,
     shard_faults: Optional[Sequence[FaultInjector]] = None,
     fault_seed: int = 0,
+    user_ids: Optional[Sequence[Optional[str]]] = None,
+    profile_store: Optional[ProfileStore] = None,
+    self_train: bool = False,
 ) -> FleetReport:
     """Serve one trace per session through a self-healing session fleet.
 
@@ -836,6 +1066,27 @@ def serve_fleet(
             checkpoint writes), driven deterministically from
             ``fault_seed``. Requires ``checkpoint_every_s``.
         fault_seed: Base seed for the ``shard_faults`` derivation.
+        user_ids: Optional per-session user identity (aligned with
+            ``traces``; ``None`` entries are anonymous). With a
+            ``profile_store``, a named session whose ``profiles`` entry
+            is ``None`` warm-loads the user's stored profile, so a
+            fleet restart serves with everything previously learned.
+            The warm-loaded values feed the exact same session
+            constructor as directly-passed profiles — credits are
+            bit-identical either way.
+        profile_store: The :class:`~repro.profiles.ProfileStore`
+            backing warm-loads and self-training write-backs. Requires
+            ``user_ids``.
+        self_train: Stream every session's credited-cycle observations
+            back to driver-side
+            :class:`~repro.profiles.IncrementalSelfTrainer` instances
+            (one per user, warm-started from persisted
+            ``trainer_state``) and persist updated profile records with
+            compare-and-swap — at every checkpoint epoch in durable
+            mode, once at completion on the classic path. Observations
+            are delivered exactly once even across crash replays; live
+            sessions are never retouched, so the credit stream is
+            invariant to self-training. Requires ``profile_store``.
 
     Returns:
         A :class:`FleetReport` with per-session results in fleet
@@ -852,6 +1103,26 @@ def serve_fleet(
     if len(profiles) != n:
         raise ConfigurationError(
             f"{n} traces but {len(profiles)} profiles"
+        )
+    if user_ids is not None and len(user_ids) != n:
+        raise ConfigurationError(
+            f"{n} traces but {len(user_ids)} user ids"
+        )
+    if profile_store is not None and user_ids is None:
+        raise ConfigurationError(
+            "profile_store without user_ids — the store is keyed by "
+            "user; pass user_ids aligned with traces"
+        )
+    if user_ids is not None and profile_store is None:
+        raise ConfigurationError(
+            "user_ids without profile_store — identities only matter "
+            "for profile warm-loads and write-backs; pass "
+            "profile_store=ProfileStore(...)"
+        )
+    if self_train and profile_store is None:
+        raise ConfigurationError(
+            "self_train requires profile_store and user_ids — trained "
+            "profiles must have somewhere durable to go"
         )
     if batch_samples < 1:
         raise ConfigurationError(
@@ -878,6 +1149,31 @@ def serve_fleet(
     with trace_span("serve_fleet.validate"):
         validated = _validate_traces(traces, fault_policy)
 
+    # Profile warm-load: resolve stored profiles in the caller's
+    # process (one get_many, each shard file touched once) so workers
+    # receive plain UserProfile values — the exact constructor path a
+    # directly-passed profile takes, keeping credits bit-identical.
+    profiles = list(profiles)
+    profiles_loaded = 0
+    profile_ctx: Optional[_ProfileCtx] = None
+    if profile_store is not None:
+        assert user_ids is not None  # validated above
+        unique_ids = list(
+            dict.fromkeys(u for u in user_ids if u is not None)
+        )
+        records = profile_store.get_many(unique_ids)
+        for i, uid in enumerate(user_ids):
+            if uid is None or profiles[i] is not None:
+                continue
+            record = records.get(uid)
+            if record is not None and record.profile is not None:
+                profiles[i] = record.profile
+                profiles_loaded += 1
+        if self_train:
+            profile_ctx = _ProfileCtx(
+                profile_store, user_ids, records, config
+            )
+
     n_workers = resolve_workers(workers)
     if sessions_per_shard is None:
         sessions_per_shard = max(1, -(-n // n_workers))
@@ -897,6 +1193,7 @@ def serve_fleet(
             batch_samples,
             fault_policy,
             telemetry,
+            profile_ctx is not None,
         )
         for lo in range(0, n, sessions_per_shard)
     ]
@@ -917,14 +1214,17 @@ def serve_fleet(
                 rebalance,
                 list(shard_faults) if shard_faults else [],
                 fault_seed,
+                profile_ctx,
             )
         )
     else:
         # Classic path: one pass per shard, bisection healing on
         # wholesale failure.
-        results, snapshots, retries = _heal_shards(
+        results, snapshots, retries, fleet_obs = _heal_shards(
             shards, n_workers, shard_timeout_s
         )
+        if profile_ctx is not None and fleet_obs:
+            profile_ctx.write_back(profile_ctx.feed(fleet_obs))
 
     sessions = tuple(results[i] for i in range(n))
     merged: Optional[Dict[str, Any]] = None
@@ -946,6 +1246,13 @@ def serve_fleet(
             fleet_reg.counter("serving_fleet_rebalances_total").inc(
                 rebalances
             )
+        if profile_store is not None:
+            fleet_reg.counter("serving_fleet_profiles_loaded_total").inc(
+                profiles_loaded
+            )
+            fleet_reg.counter(
+                "serving_fleet_profiles_updated_total"
+            ).inc(profile_ctx.updated if profile_ctx is not None else 0)
         merged = fleet_reg.snapshot()
 
     return FleetReport(
@@ -955,4 +1262,8 @@ def serve_fleet(
         telemetry=merged,
         checkpoint_restores=restores,
         rebalances=rebalances,
+        profiles_loaded=profiles_loaded,
+        profiles_updated=(
+            profile_ctx.updated if profile_ctx is not None else 0
+        ),
     )

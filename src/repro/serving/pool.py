@@ -34,8 +34,14 @@ from repro.core.streaming import (
 )
 from repro.exceptions import ConfigurationError
 from repro.faults.policy import FaultPolicy
+from repro.profiles import ProfileRecord, ProfileStore
 from repro.telemetry.registry import MetricsRegistry, get_registry
-from repro.types import StepEvent, StrideEstimate, UserProfile
+from repro.types import (
+    CycleObservation,
+    StepEvent,
+    StrideEstimate,
+    UserProfile,
+)
 
 __all__ = ["SessionPool"]
 
@@ -80,6 +86,20 @@ class SessionPool:
             shard's complete health ledger. ``None`` falls back to the
             process gate at construction time (closed gate = fully
             uninstrumented).
+        profile_store: Optional :class:`~repro.profiles.ProfileStore`
+            backing the pool's sessions. With a store attached,
+            ``add_session(user_id=...)`` warm-loads the user's trained
+            profile, the pool tracks each store-loaded session's
+            profile version (``profile_meta``), and
+            :meth:`write_back_profile` persists updated records with
+            compare-and-swap against the loaded version.
+        collect_observations: Construct every session with the
+            streaming observation tap enabled
+            (:class:`~repro.core.streaming.StreamingPTrack`'s
+            ``collect_observations``), so self-training evidence can be
+            drained fleet-wide via :meth:`take_observations`. Off by
+            default — tracking output is byte-identical either way; the
+            tap only adds per-cycle bookkeeping.
     """
 
     #: Instrument names, overridable per driver so a subclass (e.g. the
@@ -98,6 +118,8 @@ class SessionPool:
         fault_policy: Optional[FaultPolicy] = None,
         isolate_failures: bool = True,
         telemetry: Optional[MetricsRegistry] = None,
+        profile_store: Optional[ProfileStore] = None,
+        collect_observations: bool = False,
     ) -> None:
         self._rate = sample_rate_hz
         self._config = config if config is not None else PTrackConfig()
@@ -105,8 +127,11 @@ class SessionPool:
         self._max_buffer_s = max_buffer_s
         self._fault_policy = fault_policy
         self._isolate = isolate_failures
+        self._profile_store = profile_store
+        self._collect_observations = bool(collect_observations)
         self._sessions: Dict[int, StreamingPTrack] = {}
         self._errors: Dict[int, str] = {}
+        self._profiles: Dict[int, Dict[str, Any]] = {}
         self._next_id = 0
         self._telemetry = (
             telemetry if telemetry is not None else get_registry()
@@ -132,11 +157,105 @@ class SessionPool:
         """Ids of all live sessions, in creation order."""
         return list(self._sessions.keys())
 
-    def add_session(self, profile: Optional[UserProfile] = None) -> int:
-        """Create one session; return its id."""
+    def add_session(
+        self,
+        profile: Optional[UserProfile] = None,
+        user_id: Optional[str] = None,
+    ) -> int:
+        """Create one session; return its id.
+
+        Profile provenance: a caller-supplied ``profile`` always wins
+        and is served as-is. When ``profile`` is ``None`` and both
+        ``user_id`` and a ``profile_store`` are present, the user's
+        stored profile is warm-loaded (a missing or still-untrained
+        record starts the session profile-free, exactly like passing
+        ``profile=None``). Either way a ``user_id`` records the
+        session's store identity and loaded version in
+        :meth:`profile_meta`, so :meth:`write_back_profile` can later
+        persist updates with compare-and-swap.
+        """
         sid = self._next_id
         self._next_id += 1
-        self._sessions[sid] = StreamingPTrack(
+        profile, meta = self._resolve_profile(profile, user_id)
+        self._sessions[sid] = self._make_session(profile)
+        if meta is not None:
+            self._profiles[sid] = meta
+        if self._telemetry is not None:
+            self._m_live.set(len(self._sessions))
+        return sid
+
+    def add_sessions(
+        self,
+        profiles: Sequence[Optional[UserProfile]],
+        user_ids: Optional[Sequence[Optional[str]]] = None,
+    ) -> List[int]:
+        """Create one session per profile; return their ids.
+
+        Each entry follows :meth:`add_session`'s provenance rule: a
+        non-``None`` profile is caller-supplied and served verbatim; a
+        ``None`` profile with a ``user_id`` (aligned positionally via
+        ``user_ids``) is warm-loaded from the pool's profile store.
+        """
+        if user_ids is None:
+            return [self.add_session(p) for p in profiles]
+        if len(user_ids) != len(profiles):
+            raise ConfigurationError(
+                f"got {len(profiles)} profiles but {len(user_ids)} "
+                "user ids; add_sessions() pairs them positionally — "
+                "pass exactly one user id (or None) per profile"
+            )
+        return [
+            self.add_session(p, user_id=u)
+            for p, u in zip(profiles, user_ids)
+        ]
+
+    def session(self, session_id: int) -> StreamingPTrack:
+        """The underlying session object (read-oriented introspection)."""
+        return self._session(session_id)
+
+    def reset_session(
+        self,
+        session_id: int,
+        profile: Optional[UserProfile] = None,
+        user_id: Optional[str] = None,
+    ) -> None:
+        """Rewind a session for reuse; optionally swap the profile.
+
+        Reassigning a slot to a new user keeps the session's
+        preallocated buffers (:meth:`StreamingPTrack.reset`); a profile
+        swap rebuilds only the stride estimator.
+
+        Profile provenance after the reset: passing ``profile`` serves
+        that caller-supplied profile verbatim and *clears* any recorded
+        store identity (the slot no longer tracks a store version
+        unless ``user_id`` is also given). Passing ``user_id`` binds
+        the slot to that user — warm-loading their stored profile when
+        ``profile`` is ``None`` and a profile store is attached — and
+        records the loaded version for :meth:`write_back_profile`.
+        Passing neither rewinds the session in place and keeps its
+        existing provenance.
+        """
+        sess = self._session(session_id)
+        if profile is None and user_id is None:
+            sess.reset()
+            return
+        resolved, meta = self._resolve_profile(profile, user_id)
+        self._profiles.pop(session_id, None)
+        if meta is not None:
+            self._profiles[session_id] = meta
+        if resolved is not sess.profile:
+            self._sessions[session_id] = self._make_session(resolved)
+        else:
+            sess.reset()
+
+    # ------------------------------------------------------------------
+    # Profiles: warm-load / observation drain / write-back
+    # ------------------------------------------------------------------
+    def _make_session(
+        self, profile: Optional[UserProfile]
+    ) -> StreamingPTrack:
+        """One session under the pool's shared pipeline identity."""
+        return StreamingPTrack(
             self._rate,
             profile=profile,
             config=self._config,
@@ -144,43 +263,101 @@ class SessionPool:
             max_buffer_s=self._max_buffer_s,
             fault_policy=self._fault_policy,
             telemetry=self._telemetry,
+            collect_observations=self._collect_observations,
         )
-        if self._telemetry is not None:
-            self._m_live.set(len(self._sessions))
-        return sid
 
-    def add_sessions(
-        self, profiles: Sequence[Optional[UserProfile]]
-    ) -> List[int]:
-        """Create one session per profile; return their ids."""
-        return [self.add_session(p) for p in profiles]
+    def _resolve_profile(
+        self, profile: Optional[UserProfile], user_id: Optional[str]
+    ) -> Tuple[Optional[UserProfile], Optional[Dict[str, Any]]]:
+        """Apply the provenance rule shared by ``add_session`` /
+        ``reset_session``: caller-supplied profile wins; otherwise a
+        ``user_id`` warm-loads from the store. Returns the profile to
+        serve plus the ``profile_meta`` entry (``None`` when the slot
+        has no store identity)."""
+        if user_id is None:
+            return profile, None
+        version = 0
+        if self._profile_store is not None:
+            record = self._profile_store.get(user_id)
+            if record is not None:
+                version = record.version
+                if profile is None:
+                    profile = record.profile
+        return profile, {"user_id": str(user_id), "version": version}
 
-    def session(self, session_id: int) -> StreamingPTrack:
-        """The underlying session object (read-oriented introspection)."""
-        return self._session(session_id)
+    @property
+    def profile_store(self) -> Optional[ProfileStore]:
+        """The attached profile store, if any."""
+        return self._profile_store
 
-    def reset_session(
-        self, session_id: int, profile: Optional[UserProfile] = None
-    ) -> None:
-        """Rewind a session for reuse; optionally swap the profile.
+    @property
+    def collect_observations(self) -> bool:
+        """Whether sessions are built with the observation tap on."""
+        return self._collect_observations
 
-        Reassigning a slot to a new user keeps the session's
-        preallocated buffers (:meth:`StreamingPTrack.reset`); a profile
-        swap rebuilds only the stride estimator.
+    def profile_meta(self) -> Dict[int, Dict[str, Any]]:
+        """Store identity per session id (a copy): ``{sid: {"user_id",
+        "version"}}`` for every session bound to a user. ``version`` is
+        the store version loaded (or last written back) for that slot —
+        the compare-and-swap baseline for :meth:`write_back_profile`."""
+        return {sid: dict(meta) for sid, meta in self._profiles.items()}
+
+    def take_observations(self) -> Dict[int, List[CycleObservation]]:
+        """Drain every session's pending self-training observations.
+
+        Returns ``{session_id: [CycleObservation, ...]}`` for sessions
+        that produced any since the last drain; sessions without the
+        tap (``collect_observations=False``) and failed sessions are
+        skipped. Draining is destructive at the session level, so each
+        observation is delivered exactly once — feed them to an
+        :class:`~repro.profiles.IncrementalSelfTrainer` keyed by the
+        session's user (see :meth:`profile_meta`).
         """
-        sess = self._session(session_id)
-        if profile is not None and profile is not sess.profile:
-            self._sessions[session_id] = StreamingPTrack(
-                self._rate,
-                profile=profile,
-                config=self._config,
-                settle_s=self._settle,
-                max_buffer_s=self._max_buffer_s,
-                fault_policy=self._fault_policy,
-                telemetry=self._telemetry,
+        out: Dict[int, List[CycleObservation]] = {}
+        for sid, sess in self._sessions.items():
+            if sid in self._errors or not sess.collect_observations:
+                continue
+            obs = sess.take_pending_observations()
+            if obs:
+                out[sid] = obs
+        return out
+
+    def write_back_profile(self, record: ProfileRecord) -> ProfileRecord:
+        """Persist an updated profile record for a session's user with
+        compare-and-swap against the version this pool loaded.
+
+        The record's ``user_id`` must match a live session's recorded
+        store identity (see :meth:`profile_meta`). On success the
+        slot's tracked version advances to the committed version, so
+        repeated write-backs from the same pool keep succeeding;
+        a :class:`~repro.exceptions.ProfileConflictError` means another
+        writer updated the user first — re-read, merge, retry. Live
+        sessions are never touched: serving output stays bit-identical
+        regardless of write-backs (a rebuilt profile only takes effect
+        on the next warm-load).
+        """
+        if self._profile_store is None:
+            raise ConfigurationError(
+                "write_back_profile() needs a profile store — construct "
+                "the pool with profile_store=..."
             )
-        else:
-            sess.reset()
+        matches = [
+            (sid, meta)
+            for sid, meta in self._profiles.items()
+            if meta["user_id"] == record.user_id
+        ]
+        if not matches:
+            raise ConfigurationError(
+                f"no session in this pool is bound to user "
+                f"{record.user_id!r} — bind one via add_session"
+                "(user_id=...) before writing back its profile"
+            )
+        committed = self._profile_store.put(
+            record, expected_version=matches[0][1]["version"]
+        )
+        for _, meta in matches:
+            meta["version"] = committed.version
+        return committed
 
     # ------------------------------------------------------------------
     # Durability: snapshot / restore / migration
@@ -216,8 +393,14 @@ class SessionPool:
             "fault_policy": self._fault_policy,
             "isolate_failures": self._isolate,
             "backend": self._backend_identity(),
+            "collect_observations": self._collect_observations,
             "next_id": self._next_id,
             "errors": dict(self._errors),
+            # Store identity per session, so restore can refuse to
+            # resume over profiles another writer has since advanced.
+            "profiles": {
+                sid: dict(meta) for sid, meta in self._profiles.items()
+            },
             "sessions": {
                 sid: sess.snapshot() for sid, sess in self._sessions.items()
             },
@@ -232,9 +415,14 @@ class SessionPool:
         pools hand out fresh ids exactly like the original would have.
         Raises :class:`ConfigurationError` before touching any state if
         the snapshot's schema or pipeline identity (rate, config,
-        horizons, fault policy, backend) does not match this pool.
+        horizons, fault policy, backend) does not match this pool — or,
+        when this pool has a profile store attached, if any snapshotted
+        session's profile version no longer matches the store (a stale
+        profile: another writer trained the user since the snapshot, so
+        silently resuming would serve superseded state).
         """
         self.validate_snapshot(snapshot)
+        self._check_profile_staleness(snapshot)
         sessions: Dict[int, StreamingPTrack] = {}
         for sid, blob in snapshot["sessions"].items():
             sessions[sid] = StreamingPTrack.from_snapshot(
@@ -242,9 +430,38 @@ class SessionPool:
             )
         self._sessions = sessions
         self._errors = dict(snapshot["errors"])
+        self._profiles = {
+            sid: dict(meta)
+            for sid, meta in snapshot.get("profiles", {}).items()
+        }
         self._next_id = int(snapshot["next_id"])
         if self._telemetry is not None:
             self._m_live.set(len(self._sessions))
+
+    def _check_profile_staleness(self, snapshot: Dict[str, Any]) -> None:
+        """Refuse to resume a snapshot whose profile versions the
+        attached store has since moved past (fail loud, not silently
+        serve a superseded profile). No store attached = no check: the
+        snapshot is self-contained and the caller owns freshness."""
+        if self._profile_store is None:
+            return
+        stale = []
+        for sid, meta in snapshot.get("profiles", {}).items():
+            record = self._profile_store.get(meta["user_id"])
+            current = 0 if record is None else record.version
+            if current != int(meta["version"]):
+                stale.append(
+                    f"session {sid} user {meta['user_id']!r} (snapshot "
+                    f"v{meta['version']}, store v{current})"
+                )
+        if stale:
+            raise ConfigurationError(
+                "pool snapshot is stale against the profile store — "
+                + "; ".join(stale)
+                + ". Another writer updated these profiles since the "
+                "snapshot was taken; rebuild the sessions from the "
+                "store (add_session(user_id=...)) instead of restoring."
+            )
 
     def validate_snapshot(self, snapshot: Any) -> None:
         """Raise :class:`ConfigurationError` unless ``snapshot`` is a
@@ -272,6 +489,15 @@ class SessionPool:
             mismatches.append(
                 f"compute backend {snapshot['backend']!r} != "
                 f"{self._backend_identity()!r}"
+            )
+        if (
+            bool(snapshot.get("collect_observations", False))
+            != self._collect_observations
+        ):
+            mismatches.append(
+                "collect_observations "
+                f"{bool(snapshot.get('collect_observations', False))} != "
+                f"{self._collect_observations}"
             )
         if mismatches:
             raise ConfigurationError(
@@ -301,6 +527,9 @@ class SessionPool:
             fault_policy=snapshot["fault_policy"],
             isolate_failures=snapshot["isolate_failures"],
             telemetry=telemetry,
+            collect_observations=bool(
+                snapshot.get("collect_observations", False)
+            ),
             **kwargs,
         )
         pool.restore(snapshot)
@@ -350,6 +579,7 @@ class SessionPool:
         self._session(session_id)
         del self._sessions[session_id]
         self._errors.pop(session_id, None)
+        self._profiles.pop(session_id, None)
         if self._telemetry is not None:
             self._m_live.set(len(self._sessions))
 
@@ -387,14 +617,19 @@ class SessionPool:
         return "failed" if session_id in self._errors else "ok"
 
     def revive_session(
-        self, session_id: int, profile: Optional[UserProfile] = None
+        self,
+        session_id: int,
+        profile: Optional[UserProfile] = None,
+        user_id: Optional[str] = None,
     ) -> None:
-        """Clear a session's failure record and rewind it for reuse."""
+        """Clear a session's failure record and rewind it for reuse
+        (``profile``/``user_id`` follow :meth:`reset_session`'s
+        provenance rule)."""
         self._session(session_id)
         if session_id in self._errors and self._telemetry is not None:
             self._m_revived.inc()
         self._errors.pop(session_id, None)
-        self.reset_session(session_id, profile)
+        self.reset_session(session_id, profile, user_id=user_id)
 
     def _mark_failed(self, session_id: int, exc: BaseException) -> None:
         """Record a poisoned session, or propagate when not isolating."""

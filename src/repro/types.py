@@ -124,6 +124,54 @@ class CycleClassification:
 
 
 @dataclass(frozen=True)
+class CycleObservation:
+    """Profile-free measurement of one credited gait cycle for §3 self-training.
+
+    A stepping cycle contributes its directly measured bounce (the arm
+    swings rigidly with the torso, so no geometry is involved); a
+    walking cycle contributes the raw Eq. (3)–(5) moments
+    ``(h1, h2, d)`` so the arm-length bounce solve can be replayed at
+    any candidate ``m`` later.  Produced by the batch trainer's
+    extraction helpers in :mod:`repro.core.selftrain` and by
+    :class:`repro.core.streaming.StreamingPTrack` when constructed with
+    ``collect_observations=True``; consumed by
+    :class:`repro.profiles.IncrementalSelfTrainer`.
+
+    Attributes:
+        gait_type: WALKING or STEPPING (interference cycles never
+            produce observations).
+        bounce_m: Direct bounce of a STEPPING cycle; ``None`` for
+            walking.
+        h1_m: First vertical moment of a WALKING cycle; ``None`` for
+            stepping.
+        h2_m: Second vertical moment of a WALKING cycle; ``None`` for
+            stepping.
+        d_m: Anterior displacement moment of a WALKING cycle; ``None``
+            for stepping.
+    """
+
+    gait_type: GaitType
+    bounce_m: Optional[float] = None
+    h1_m: Optional[float] = None
+    h2_m: Optional[float] = None
+    d_m: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.gait_type is GaitType.STEPPING:
+            if self.bounce_m is None:
+                raise ValueError("STEPPING observation requires bounce_m")
+        elif self.gait_type is GaitType.WALKING:
+            if self.h1_m is None or self.h2_m is None or self.d_m is None:
+                raise ValueError(
+                    "WALKING observation requires the full (h1_m, h2_m, d_m) triple"
+                )
+        else:
+            raise ValueError(
+                f"observations only exist for WALKING/STEPPING cycles, got {self.gait_type}"
+            )
+
+
+@dataclass(frozen=True)
 class UserProfile:
     """Per-user biomechanical profile used by the stride estimator.
 

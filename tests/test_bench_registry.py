@@ -67,6 +67,10 @@ class TestRegistry:
         by_name = {s.name: s for s in SUITES}
         assert by_name["durability"].scoreboard == "BENCH_PR9.json"
 
+    def test_profile_store_suite_registered(self):
+        by_name = {s.name: s for s in SUITES}
+        assert by_name["profile-store"].scoreboard == "BENCH_PR10.json"
+
 
 class TestConsumersDoNotDrift:
     def test_bench_script_accepts_every_registry_choice(self):

@@ -1,0 +1,215 @@
+"""Incremental self-training equals the paper's batch solve.
+
+The load-bearing contract of :class:`repro.profiles.IncrementalSelfTrainer`
+is that its running sufficient statistics are *exactly* the batch
+procedure's inputs: train at any moment and you get bit-for-bit the
+profile :class:`repro.core.selftrain.SelfTrainer` would produce from
+the same observations — under any chunking and any arrival order
+(hypothesis pins both). Quantised mode trades that exactness for
+bounded memory inside a documented tolerance, and ``state_dict`` /
+``from_state`` must round-trip the statistics losslessly so
+re-calibration resumes across runs.
+
+Observations come from the *offline* extraction helpers
+(``calibration_observations`` / ``walk_observations``), matching what
+the batch trainer sees internally; the streaming tap is covered by the
+serving tests.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.selftrain import (
+    CalibrationWalk,
+    SelfTrainer,
+    calibration_observations,
+    walk_observations,
+)
+from repro.exceptions import CalibrationError, ConfigurationError
+from repro.profiles import IncrementalSelfTrainer
+
+
+@pytest.fixture(scope="module")
+def corpus(walk_trace, stepping_trace, config):
+    """The shared observation corpus: two referenced walks' evidence."""
+    walk, walk_truth = walk_trace
+    step, step_truth = stepping_trace
+    walks = [
+        CalibrationWalk(walk, walk_truth.total_distance_m),
+        CalibrationWalk(step, step_truth.total_distance_m),
+    ]
+    anchor = calibration_observations([w.trace for w in walks], config)
+    per_walk = [
+        (walk_observations(w.trace, config), w.reference_distance_m)
+        for w in walks
+    ]
+    batch = SelfTrainer(config).train(walks)
+    return anchor, per_walk, batch
+
+
+def _train_incremental(
+    corpus, config, chunk=10_000, order=None, reverse_walks=False, **kwargs
+):
+    anchor, per_walk, _ = corpus
+    obs = list(anchor)
+    if order is not None:
+        obs = [obs[i] for i in order]
+    trainer = IncrementalSelfTrainer(config=config, **kwargs)
+    for start in range(0, len(obs), chunk):
+        trainer.observe(obs[start : start + chunk])
+    walks = list(reversed(per_walk)) if reverse_walks else per_walk
+    for cycle_obs, reference in walks:
+        trainer.observe_walk(cycle_obs, reference)
+    return trainer
+
+
+class TestExactEquivalence:
+    def test_all_at_once_matches_batch(self, corpus, config):
+        trainer = _train_incremental(corpus, config)
+        assert trainer.train() == corpus[2]
+
+    def test_single_observation_chunks_match_batch(self, corpus, config):
+        trainer = _train_incremental(corpus, config, chunk=1)
+        assert trainer.train() == corpus[2]
+
+    def test_walk_order_is_irrelevant(self, corpus, config):
+        trainer = _train_incremental(corpus, config, reverse_walks=True)
+        assert trainer.train() == corpus[2]
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(chunk=st.integers(1, 97), shuffle_seed=st.integers(0, 2**31))
+    def test_any_chunking_and_order_matches_batch(
+        self, corpus, config, chunk, shuffle_seed
+    ):
+        import random
+
+        n = len(corpus[0])
+        order = list(range(n))
+        random.Random(shuffle_seed).shuffle(order)
+        trainer = _train_incremental(corpus, config, chunk=chunk, order=order)
+        assert trainer.train() == corpus[2]
+
+    def test_interleaved_walks_and_observations(self, corpus, config):
+        # Evidence arriving the way a fleet delivers it: some credited
+        # cycles, a referenced walk, more cycles, another walk.
+        anchor, per_walk, batch = corpus
+        half = len(anchor) // 2
+        trainer = IncrementalSelfTrainer(config=config)
+        trainer.observe(anchor[:half])
+        trainer.observe_walk(*per_walk[0])
+        trainer.observe(anchor[half:])
+        trainer.observe_walk(*per_walk[1])
+        assert trainer.train() == batch
+
+
+class TestQuantisedTolerance:
+    @pytest.mark.parametrize("resolution", [0.0005, 0.001])
+    def test_quantised_arm_within_documented_bound(
+        self, corpus, config, resolution
+    ):
+        exact = _train_incremental(corpus, config).train()
+        quantised = _train_incremental(
+            corpus, config, resolution_m=resolution
+        ).train()
+        # Documented: the anchor moves <= resolution/2, the selected m̂
+        # by at most one more default-grid step (5 mm).
+        assert abs(quantised.arm_length_m - exact.arm_length_m) <= (
+            resolution / 2 + 0.005 + 1e-9
+        )
+        # At millimetre lattices Step 2 lands on the same grid point.
+        assert quantised.leg_length_m == exact.leg_length_m
+
+    def test_quantised_estimate_flagged_inexact(self, corpus, config):
+        trainer = _train_incremental(corpus, config, resolution_m=0.01)
+        assert trainer.estimate().exact is False
+        assert _train_incremental(corpus, config).estimate().exact is True
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IncrementalSelfTrainer(resolution_m=0.0)
+        with pytest.raises(ConfigurationError):
+            IncrementalSelfTrainer(resolution_m=-1.0)
+
+
+class TestStateRoundTrip:
+    def test_state_round_trip_mid_stream(self, corpus, config):
+        anchor, per_walk, batch = corpus
+        half = len(anchor) // 2
+        first = IncrementalSelfTrainer(config=config)
+        first.observe(anchor[:half])
+        first.observe_walk(*per_walk[0])
+        state = pickle.loads(pickle.dumps(first.state_dict()))
+        resumed = IncrementalSelfTrainer.from_state(state, config=config)
+        resumed.observe(anchor[half:])
+        resumed.observe_walk(*per_walk[1])
+        assert resumed.train() == batch
+        assert resumed.observations == first.observations + (
+            len(anchor) - half + len(per_walk[1][0])
+        )
+
+    def test_state_round_trip_preserves_training(self, corpus, config):
+        trainer = _train_incremental(corpus, config)
+        clone = IncrementalSelfTrainer.from_state(
+            trainer.state_dict(), config=config
+        )
+        assert clone.train() == trainer.train()
+        assert clone.referenced_walks == trainer.referenced_walks
+
+    def test_unknown_state_version_fails_loud(self, corpus, config):
+        trainer = _train_incremental(corpus, config)
+        state = trainer.state_dict()
+        state["state_version"] = 99
+        with pytest.raises(ConfigurationError):
+            IncrementalSelfTrainer.from_state(state, config=config)
+
+
+class TestBoundedMemory:
+    def test_oldest_walk_dropped_beyond_max_walks(self, corpus, config):
+        anchor, per_walk, _ = corpus
+        stale = (per_walk[0][0], per_walk[0][1] * 2.0)  # a "wrong" old walk
+        full = IncrementalSelfTrainer(config=config, max_walks=2)
+        full.observe(anchor)
+        for walk in (stale, per_walk[0], per_walk[1]):
+            full.observe_walk(*walk)
+        recent_only = IncrementalSelfTrainer(config=config, max_walks=2)
+        recent_only.observe(anchor)
+        for walk in (per_walk[0], per_walk[1]):
+            recent_only.observe_walk(*walk)
+        assert full.train() == recent_only.train()
+        assert full.referenced_walks == 2
+
+    def test_train_without_walks_raises(self, corpus, config):
+        anchor, _, _ = corpus
+        trainer = IncrementalSelfTrainer(config=config)
+        trainer.observe(anchor)
+        with pytest.raises(CalibrationError):
+            trainer.train()
+
+    def test_estimate_without_walks_is_arm_only(self, corpus, config):
+        anchor, _, batch = corpus
+        trainer = IncrementalSelfTrainer(config=config)
+        trainer.observe(anchor)
+        est = trainer.estimate()
+        assert est.arm_length_m == batch.arm_length_m
+        assert est.leg_length_m is None
+        assert est.profile is None
+
+    def test_confidence_grows_with_evidence(self, corpus, config):
+        anchor, per_walk, _ = corpus
+        trainer = IncrementalSelfTrainer(config=config)
+        empty = trainer.confidence()
+        trainer.observe(anchor)
+        anchored = trainer.confidence()
+        trainer.observe_walk(*per_walk[0])
+        walked = trainer.confidence()
+        assert empty <= anchored <= walked <= 1.0
+        assert walked > empty
